@@ -1,0 +1,104 @@
+"""Ablation 1 — speedup shape vs runtime-distribution shape.
+
+The design insight behind the whole paper (and behind DESIGN.md's choice of
+an order-statistics platform substitute): independent multi-walk speedup is
+a functional of the sequential runtime distribution alone.
+
+- exponential runtimes  -> linear (ideal) speedup: the CAP regime;
+- shifted exponential   -> speedup saturating at mean/t0: the CSPLib regime;
+- lognormal             -> intermediate, early flattening.
+
+This bench drives *synthetic* distributions through the same simulator used
+for Figures 1-3 and checks each regime quantitatively.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulate import MultiWalkSimulator
+from repro.cluster.topology import Platform
+from repro.stats.fitting import (
+    fit_exponential,
+    fit_lognormal,
+    fit_shifted_exponential,
+)
+from repro.stats.order_stats import predicted_speedup
+from repro.util.ascii_plot import render_table
+
+IDEAL = Platform(name="ideal", nodes=2, cores_per_node=512)
+CORES = (16, 32, 64, 128, 256)
+MEAN = 1000.0
+
+
+def _speedups(samples_or_fit, rng_seed=1, reps=1500):
+    sim = MultiWalkSimulator(IDEAL, rng_seed)
+    return sim.speedups(samples_or_fit, CORES, n_reps=reps)
+
+
+def bench_abl1_exponential_linear(benchmark, write_artifact):
+    rng = np.random.default_rng(0)
+    fit = fit_exponential(rng.exponential(MEAN, 5000))
+    speedups = benchmark.pedantic(
+        lambda: _speedups(fit), rounds=3, iterations=1
+    )
+    rows = [[k, speedups[k], k] for k in CORES]
+    write_artifact(
+        "abl1_exponential",
+        render_table(
+            ["cores", "measured speedup", "ideal"],
+            rows,
+            title="exponential runtimes -> linear speedup (CAP regime)",
+        ),
+    )
+    for k in CORES:
+        assert speedups[k] == pytest.approx(k, rel=0.30), (k, speedups[k])
+
+
+def bench_abl1_shifted_exponential_saturates(benchmark, write_artifact):
+    rng = np.random.default_rng(1)
+    t0 = MEAN / 10  # saturation ceiling = mean / t0 = 10
+    samples = t0 + rng.exponential(MEAN - t0, 5000)
+    fit = fit_shifted_exponential(samples)
+    speedups = benchmark.pedantic(
+        lambda: _speedups(fit), rounds=3, iterations=1
+    )
+    predicted = predicted_speedup(fit, CORES)
+    rows = [[k, speedups[k], predicted[k]] for k in CORES]
+    write_artifact(
+        "abl1_shifted_exponential",
+        render_table(
+            ["cores", "simulated", "closed-form"],
+            rows,
+            title=(
+                "shifted-exponential runtimes -> saturation at mean/t0 = 10 "
+                "(CSPLib regime)"
+            ),
+        ),
+    )
+    ceiling = MEAN / t0
+    assert speedups[256] < ceiling * 1.05
+    assert speedups[256] > speedups[16]
+    # simulation agrees with the closed form
+    for k in CORES:
+        assert speedups[k] == pytest.approx(predicted[k], rel=0.2)
+
+
+def bench_abl1_lognormal_intermediate(benchmark, write_artifact):
+    rng = np.random.default_rng(2)
+    sigma = 1.0
+    samples = rng.lognormal(np.log(MEAN) - sigma**2 / 2, sigma, 5000)
+    fit = fit_lognormal(samples)
+    speedups = benchmark.pedantic(
+        lambda: _speedups(fit), rounds=3, iterations=1
+    )
+    write_artifact(
+        "abl1_lognormal",
+        render_table(
+            ["cores", "simulated speedup"],
+            [[k, speedups[k]] for k in CORES],
+            title="lognormal runtimes -> sub-linear, non-saturating",
+        ),
+    )
+    # far from linear at 256 but still growing
+    assert speedups[256] < 0.8 * 256
+    assert speedups[256] > speedups[64] > speedups[16] > 1.0

@@ -1,0 +1,101 @@
+"""Ablation 2 — the Adaptive Search tunables on the paper's benchmarks.
+
+Quantifies the design choices DESIGN.md calls out: tabu tenure
+(freeze_loc_min), local-minimum move acceptance (prob_select_loc_min) and
+reset aggressiveness — the knobs the C library exposes per benchmark.
+"""
+
+import numpy as np
+
+from repro import AdaptiveSearch, AdaptiveSearchConfig, make_problem
+from repro.util.ascii_plot import render_table
+
+MAX_ITERS = 60_000
+SEEDS = range(4)
+
+
+def _median_iters(problem, **overrides) -> float:
+    cfg = AdaptiveSearchConfig(
+        max_iterations=MAX_ITERS, time_limit=8.0, **overrides
+    )
+    solver = AdaptiveSearch(cfg, use_problem_defaults=False)
+    iters = [solver.solve(problem, seed=s).stats.iterations for s in SEEDS]
+    return float(np.median(iters))
+
+
+BASE = dict(
+    prob_select_loc_min=0.5, freeze_loc_min=5, reset_limit=10, reset_fraction=0.25
+)
+
+
+def bench_abl2_freeze_tenure(benchmark, write_artifact):
+    problem = make_problem("magic_square", n=5)
+
+    def sweep():
+        rows = []
+        for freeze in (1, 3, 5, 10, 20):
+            params = dict(BASE, freeze_loc_min=freeze)
+            rows.append([freeze, _median_iters(problem, **params)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_artifact(
+        "abl2_freeze",
+        render_table(
+            ["freeze_loc_min", "median iters"],
+            rows,
+            title=f"tabu tenure sweep on {problem.name}",
+        ),
+    )
+    by_freeze = dict((int(r[0]), r[1]) for r in rows)
+    # moderate tenures must beat the degenerate tenure of 1 (no memory)
+    assert min(by_freeze[3], by_freeze[5]) < by_freeze[1]
+
+
+def bench_abl2_loc_min_acceptance(benchmark, write_artifact):
+    problem = make_problem("all_interval", n=12)
+
+    def sweep():
+        rows = []
+        for prob in (0.0, 0.25, 0.5, 0.75, 1.0):
+            params = dict(BASE, prob_select_loc_min=prob)
+            rows.append([prob, _median_iters(problem, **params)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_artifact(
+        "abl2_loc_min",
+        render_table(
+            ["prob_select_loc_min", "median iters"],
+            rows,
+            title=f"local-min acceptance sweep on {problem.name}",
+        ),
+    )
+    by_prob = {r[0]: r[1] for r in rows}
+    # some acceptance beats never accepting (pure tabu) on this landscape
+    assert min(by_prob[0.25], by_prob[0.5]) <= by_prob[0.0]
+
+
+def bench_abl2_reset_aggressiveness(benchmark, write_artifact):
+    problem = make_problem("partition", n=24)
+
+    def sweep():
+        rows = []
+        for limit, fraction in ((3, 0.8), (5, 0.5), (10, 0.25), (30, 0.1)):
+            params = dict(BASE, freeze_loc_min=12, reset_limit=limit,
+                          reset_fraction=fraction, prob_select_loc_min=0.3)
+            rows.append([f"{limit}/{fraction}", _median_iters(problem, **params)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_artifact(
+        "abl2_reset",
+        render_table(
+            ["reset_limit/fraction", "median iters"],
+            rows,
+            title=f"reset sweep on {problem.name} (strong shakes win)",
+        ),
+    )
+    values = [r[1] for r in rows]
+    # aggressive resets (first row) must beat the most timid setting
+    assert values[0] < values[-1]

@@ -1,0 +1,69 @@
+"""Campaign-level view: what running the Figure-1 study costs a machine.
+
+Not a paper artifact, but the paper's context: the reported figures come
+from batch campaigns on shared machines.  This bench schedules the whole
+Figure-1 sweep (4 benchmarks x 5 core counts x several repetitions) on the
+simulated HA8000 with FCFS allocation and reports makespan, utilization and
+queueing — then checks scheduler invariants.
+"""
+
+from repro.cluster.batch import BatchSimulator, campaign_jobs
+from repro.cluster.platforms import HA8000
+from repro.util.ascii_plot import render_table
+
+CORES = (16, 32, 64, 128, 256)
+REPS = 5
+SEED = 20120225
+
+
+def bench_campaign_fig1_on_ha8000(benchmark, paper_times, write_artifact):
+    def run():
+        jobs = campaign_jobs(
+            paper_times, CORES, HA8000, reps_per_point=REPS, rng=SEED
+        )
+        return jobs, BatchSimulator(HA8000).run_campaign(jobs)
+
+    jobs, result = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    per_bench: dict[str, float] = {}
+    for execution in result.executions:
+        label = execution.job.label
+        per_bench[label] = per_bench.get(label, 0.0) + (
+            execution.end_time - execution.start_time
+        ) * execution.job.cores
+    rows = [
+        [label, core_seconds / 3600.0]
+        for label, core_seconds in sorted(per_bench.items())
+    ]
+    rows.append(["TOTAL", result.total_core_seconds / 3600.0])
+    write_artifact(
+        "campaign_fig1",
+        render_table(
+            ["benchmark", "core-hours"],
+            rows,
+            title=(
+                f"figure-1 campaign on HA8000: {len(jobs)} jobs, makespan "
+                f"{result.makespan:.0f}s, utilization {result.utilization:.1%}, "
+                f"mean wait {result.mean_wait:.0f}s"
+            ),
+        ),
+    )
+
+    # scheduler invariants
+    assert len(result.executions) == len(jobs)
+    assert 0.0 < result.utilization <= 1.0
+    for execution in result.executions:
+        assert execution.start_time >= execution.submit_time
+        assert execution.end_time > execution.start_time
+    # capacity is never exceeded at any job start
+    capacity = HA8000.usable_cores
+    events = sorted(
+        [(e.start_time, e.job.cores) for e in result.executions]
+        + [(e.end_time, -e.job.cores) for e in result.executions]
+    )
+    in_use = 0
+    for _t, change in events:
+        in_use += change
+        assert in_use <= capacity
+    # costas dominates the bill (its jobs run for simulated hours)
+    assert per_bench["costas"] == max(per_bench.values())

@@ -1,0 +1,95 @@
+"""The paper's size claim: "the bigger the benchmark, the better the speedup".
+
+Tested on the Costas family under the paper's own conditions: the engine
+spends a fixed time per iteration (the C library's regime — we convert
+iterations to seconds with one constant for every instance) and the
+platform charges a fixed job-launch overhead.  Bigger instances then
+amortize the overhead over longer runs *and* carry a smaller relative
+runtime floor, so their multi-walk speedups are better — which is exactly
+the sentence in the paper's Section 3.
+"""
+
+import numpy as np
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.cluster.platforms import HA8000
+from repro.harness.figures import speedup_source
+from repro.harness.runner import BenchmarkSpec, collect_samples, scaled_times
+from repro.stats.rtd import exponentiality
+from repro.stats.speedup import speedup_curve_from_samples
+from repro.util.ascii_plot import render_table
+
+ORDERS = (9, 10, 11, 12)
+N_RUNS = 150
+SEED = 20120225
+#: one engine iteration in seconds — a single constant for the whole sweep
+#: (the C engine's per-iteration time does not depend on luck, only on n;
+#: using one constant is conservative for the claim, since larger n costs
+#: *more* per iteration and would only widen the gap)
+SECONDS_PER_ITERATION = 0.05
+
+
+def bench_claim_bigger_is_better(benchmark, cache, write_artifact):
+    def run():
+        rows = []
+        speedups = {}
+        for n in ORDERS:
+            spec = BenchmarkSpec(
+                "costas", {"n": n}, label=f"costas-{n}", metric="iterations"
+            )
+            samples = collect_samples(
+                spec,
+                N_RUNS,
+                seed=(SEED, n),
+                solver_config=AdaptiveSearchConfig(
+                    max_iterations=2_000_000, time_limit=60
+                ),
+                cache=cache,
+            )
+            times = (
+                scaled_times(samples, metric="iterations")
+                * SECONDS_PER_ITERATION
+            )
+            report = exponentiality(times)
+            source = speedup_source(times, 256, parametric_tail=True)
+            curve = speedup_curve_from_samples(
+                spec.label, source, HA8000, [64, 256], n_reps=600, rng=SEED
+            )
+            speedups[n] = curve.speedup_at(256)
+            rows.append(
+                [
+                    spec.label,
+                    float(times.mean()),
+                    report.floor_fraction,
+                    curve.speedup_at(64),
+                    curve.speedup_at(256),
+                ]
+            )
+        return rows, speedups
+
+    rows, speedups = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artifact(
+        "claim_size",
+        render_table(
+            [
+                "instance",
+                "mean seq time (s)",
+                "runtime floor",
+                "speedup@64",
+                "speedup@256",
+            ],
+            rows,
+            title=(
+                "paper: 'the bigger the benchmark, the better the speedup' "
+                "(HA8000 model, fixed time per iteration)"
+            ),
+        ),
+    )
+    # the claim: the largest instance clearly beats the smallest at 256
+    # cores, and the overall trend is upward
+    assert speedups[ORDERS[-1]] > 1.5 * speedups[ORDERS[0]], speedups
+    ordered = [speedups[n] for n in ORDERS]
+    assert ordered[-1] == max(ordered), speedups
+    # mean work must actually grow with the order, or the sweep is vacuous
+    means = {row[0]: row[1] for row in rows}
+    assert means[f"costas-{ORDERS[-1]}"] > means[f"costas-{ORDERS[0]}"]

@@ -1,0 +1,53 @@
+"""Figure 1 — speedups on HA8000 (all-interval, perfect-square,
+magic-square, costas; 16..256 cores; 1-core baseline).
+
+Regenerates the paper's Figure 1 from measured sequential runtime
+distributions pushed through the HA8000 multi-walk simulation, asserts the
+paper's qualitative claims, and benchmarks the simulation sweep itself.
+"""
+
+import pytest
+
+from repro.harness.figures import figure1
+
+CORES = (16, 32, 64, 128, 256)
+
+
+def _make_figure(paper_times, sim_reps=500):
+    return figure1(paper_times, CORES, sim_reps=sim_reps, rng=20120225)
+
+
+def bench_fig1_simulation_sweep(benchmark, paper_times, write_artifact, write_manifest):
+    """Time the full 4-benchmark x 5-core-count simulation sweep."""
+    fig = benchmark.pedantic(
+        _make_figure, args=(paper_times,), rounds=3, iterations=1
+    )
+    write_artifact("fig1_ha8000", fig.render())
+    write_manifest("fig1_ha8000", fig)
+
+    curves = {c.label: c for c in fig.curves}
+    # paper: every benchmark gains substantially through 64 cores
+    for label, curve in curves.items():
+        assert curve.speedup_at(64) > 10, (label, curve.speedups)
+        # monotone improvement across the sweep
+        assert all(
+            a <= b * 1.15 for a, b in zip(curve.speedups, curve.speedups[1:])
+        ), (label, curve.speedups)
+    # paper: costas is the best scaler (near-ideal), CSPLib flattens
+    cap_speedup = curves["costas"].speedup_at(256)
+    assert cap_speedup > 100, cap_speedup
+    assert cap_speedup > curves["perfect-square"].speedup_at(256)
+    assert cap_speedup > curves["all-interval"].speedup_at(256)
+    # paper: "the bigger the benchmark, the better the speedup" —
+    # perfect-square (smallest times) saturates hardest among CSPLib
+    assert curves["perfect-square"].speedup_at(256) < 100
+
+
+def bench_fig1_single_point(benchmark, paper_times):
+    """Microbenchmark: one min-of-256 Monte-Carlo summary."""
+    from repro.cluster import HA8000, MultiWalkSimulator
+
+    sim = MultiWalkSimulator(HA8000, 1)
+    times = paper_times["costas"]
+    result = benchmark(lambda: sim.summarize(times, 256, 500))
+    assert result.mean_time > 0

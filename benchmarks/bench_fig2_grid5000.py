@@ -1,0 +1,50 @@
+"""Figure 2 — speedups on Grid'5000 (Suno), same sweep as Figure 1.
+
+Also checks the cross-platform observation the paper highlights: only
+perfect-square differs significantly between the two platforms at 128-256
+cores, and Grid'5000 is the *better* one there (the paper attributes this
+to execution times dropping under a second on HA8000).
+"""
+
+from repro.harness.figures import figure1, figure2
+
+CORES = (16, 32, 64, 128, 256)
+SEED = 20120225
+
+
+def bench_fig2_simulation_sweep(benchmark, paper_times, write_artifact, write_manifest):
+    fig = benchmark.pedantic(
+        lambda: figure2(paper_times, CORES, sim_reps=500, rng=SEED),
+        rounds=3,
+        iterations=1,
+    )
+    write_artifact("fig2_grid5000", fig.render())
+    write_manifest("fig2_grid5000", fig)
+
+    curves = {c.label: c for c in fig.curves}
+    for label, curve in curves.items():
+        assert curve.speedup_at(64) > 10, (label, curve.speedups)
+    assert curves["costas"].speedup_at(256) > 100
+
+
+def bench_fig2_vs_fig1_perfect_square(benchmark, paper_times, write_artifact):
+    """The paper's perfect-square anomaly: Suno beats HA8000 at 128-256."""
+
+    def both():
+        ha = figure1(paper_times, CORES, sim_reps=500, rng=SEED)
+        suno = figure2(paper_times, CORES, sim_reps=500, rng=SEED)
+        return ha, suno
+
+    ha, suno = benchmark.pedantic(both, rounds=1, iterations=1)
+    ha_ps = next(c for c in ha.curves if c.label == "perfect-square")
+    suno_ps = next(c for c in suno.curves if c.label == "perfect-square")
+    lines = ["perfect-square speedups, HA8000 vs Grid5000/Suno (paper: Suno",
+             "is significantly better at 128 and 256 cores):"]
+    for cores in CORES:
+        lines.append(
+            f"  {cores:4d} cores: HA8000 {ha_ps.speedup_at(cores):7.1f}   "
+            f"Suno {suno_ps.speedup_at(cores):7.1f}"
+        )
+    write_artifact("fig2_perfect_square_gap", "\n".join(lines))
+    assert suno_ps.speedup_at(256) > ha_ps.speedup_at(256) * 1.2
+    assert suno_ps.speedup_at(128) > ha_ps.speedup_at(128) * 1.1

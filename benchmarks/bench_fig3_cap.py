@@ -1,0 +1,59 @@
+"""Figure 3 — CAP speedups w.r.t. 32 cores, log-log, all three platforms.
+
+The paper: "on all platforms, execution times are halved when the number of
+cores is doubled, thus achieving ideal speedup", and "we can now solve
+n = 22 in about one minute on average with 256 cores on HA8000".
+"""
+
+import pytest
+
+from repro.harness.figures import figure3
+
+SEED = 20120225
+
+
+def bench_fig3_loglog(benchmark, cap_times, write_artifact, write_manifest):
+    fig = benchmark.pedantic(
+        lambda: figure3(cap_times, sim_reps=800, rng=SEED),
+        rounds=3,
+        iterations=1,
+    )
+    write_artifact("fig3_cap", fig.render())
+    write_manifest("fig3_cap", fig)
+
+    for curve in fig.curves:
+        # near-ideal doubling on every platform: each doubling of cores
+        # buys 1.6x..2.4x (paper: 2.0)
+        for lo, hi in zip(curve.core_counts, curve.core_counts[1:]):
+            ratio = (
+                curve.mean_times[curve.core_counts.index(lo)]
+                / curve.mean_times[curve.core_counts.index(hi)]
+            )
+            assert 1.5 < ratio < 2.6, (curve.label, lo, hi, ratio)
+        # overall speedup at the top of the sweep is near cores/32
+        top = max(curve.core_counts)
+        assert curve.speedup_at(top) == pytest.approx(top / 32, rel=0.4)
+
+
+def bench_fig3_one_minute_claim(benchmark, cap_times, write_artifact):
+    """CAP at 256 cores lands near one minute (paper's headline claim)."""
+    from repro.cluster import HA8000, MultiWalkSimulator
+    from repro.harness.figures import speedup_source
+
+    source = speedup_source(cap_times, 256, parametric_tail=True)
+
+    def run():
+        sim = MultiWalkSimulator(HA8000, SEED)
+        return sim.summarize(source, 256, 800)
+
+    summary = benchmark.pedantic(run, rounds=3, iterations=1)
+    write_artifact(
+        "fig3_one_minute",
+        (
+            "CAP mean time at 256 cores on HA8000 (simulated): "
+            f"{summary.mean_time:.1f}s\n"
+            "paper: 'we can now solve n = 22 in about one minute on average "
+            "with 256 cores on HA8000'"
+        ),
+    )
+    assert 20 <= summary.mean_time <= 180, summary.mean_time

@@ -1,0 +1,38 @@
+"""Execution-time tables (the EvoCOP'11 companion paper's table form of
+Figures 1-2): mean sequential time and mean parallel time per core count on
+both platforms."""
+
+from repro.harness.tables import times_table
+
+CORES = (16, 32, 64, 128, 256)
+SEED = 20120225
+
+
+def bench_tabA_ha8000(benchmark, paper_times, write_artifact):
+    table = benchmark.pedantic(
+        lambda: times_table(paper_times, "ha8000", CORES, sim_reps=500, rng=SEED),
+        rounds=3,
+        iterations=1,
+    )
+    write_artifact("tabA_ha8000", table.render())
+    for row in table.rows:
+        times = row[2:]
+        # mean parallel time decreases monotonically with cores (within
+        # Monte-Carlo tolerance)
+        assert all(a >= b * 0.9 for a, b in zip(times, times[1:])), row
+        # and never beats the launch-overhead floor
+        assert min(times) >= 0.5, row
+
+
+def bench_tabA_grid5000(benchmark, paper_times, write_artifact):
+    table = benchmark.pedantic(
+        lambda: times_table(
+            paper_times, "grid5000_suno", CORES, sim_reps=500, rng=SEED
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    write_artifact("tabA_grid5000_suno", table.render())
+    assert len(table.rows) == 4
+    for row in table.rows:
+        assert min(row[2:]) >= 0.1, row

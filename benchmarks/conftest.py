@@ -1,0 +1,99 @@
+"""Shared fixtures for the benchmark suite.
+
+Sequential run samples are collected once per session (and cached on disk in
+``.repro_cache/``, so re-running any bench is nearly free) and shared by all
+figure/table benches.  ``REPRO_BENCH_SAMPLES`` scales measurement effort:
+
+    REPRO_BENCH_SAMPLES=200 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.harness.cache import SampleCache
+from repro.harness.experiment import get_experiment
+from repro.harness.report import gather_experiment_times
+
+BENCH_DIR = Path(__file__).parent
+ARTIFACT_DIR = BENCH_DIR / "out"
+
+
+def n_samples_default() -> int:
+    return int(os.environ.get("REPRO_BENCH_SAMPLES", "60"))
+
+
+@pytest.fixture(scope="session")
+def cache() -> SampleCache:
+    return SampleCache(BENCH_DIR.parent / ".repro_cache")
+
+
+@pytest.fixture(scope="session")
+def paper_times(cache) -> dict[str, np.ndarray]:
+    """Rescaled sequential times of the four paper benchmarks (fig1 spec)."""
+    return gather_experiment_times(
+        get_experiment("fig1"), cache=cache, n_samples=n_samples_default()
+    )
+
+
+@pytest.fixture(scope="session")
+def cap_times(cache) -> np.ndarray:
+    """CAP samples (the costas spec pins its own larger sample count)."""
+    spec = get_experiment("fig3")
+    times = gather_experiment_times(spec, cache=cache)
+    return times["costas"]
+
+
+@pytest.fixture(scope="session")
+def write_artifact():
+    """Persist a rendered figure/table under benchmarks/out/ and echo it."""
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> Path:
+        path = ARTIFACT_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[artifact written to {path}]")
+        return path
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def write_manifest():
+    """Persist a figure's machine-readable data and report drift.
+
+    If a previous manifest exists, speedup points that moved by more than
+    50% are printed (informational — statistical drift across sample sets
+    is expected; structural regressions stand out).
+    """
+    from repro.harness.manifest import (
+        compare_curves,
+        figure_payload,
+        load_manifest,
+        save_manifest,
+    )
+    from repro.errors import CacheError
+
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, figure) -> Path:
+        path = ARTIFACT_DIR / f"{name}.manifest.json"
+        payload = figure_payload(figure)
+        try:
+            previous = load_manifest(path)
+        except CacheError:
+            previous = None
+        if previous is not None:
+            drifts = compare_curves(
+                previous.get("curves", []), payload["curves"], rel_tol=0.5
+            )
+            for drift in drifts:
+                print(f"[manifest drift] {name}: {drift}")
+        save_manifest(path, payload)
+        return path
+
+    return _write

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Declarative modelling: magic square from constraints, no custom code.
+
+Run:  python examples/declarative_model.py [n]
+
+The paper's benchmarks ship hand-written incremental cost functions (as the
+C library's benchmarks do).  This example shows the other way in: declare
+the magic square as a permutation array plus ``2n + 2`` linear equations,
+wrap the model in :class:`ModelProblem`, and hand it to the same engine.
+It then compares against the native incremental implementation — same
+search behaviour, different evaluation cost — which is exactly the
+trade-off between the C library's generic and plugged-in modes.
+"""
+
+import sys
+import time
+
+from repro import AdaptiveSearch, AdaptiveSearchConfig, make_problem
+from repro.csp.constraints import LinearConstraint
+from repro.csp.domain import IntegerDomain
+from repro.csp.model import Model
+from repro.problems.base import ModelProblem
+
+
+def declarative_magic_square(n: int) -> ModelProblem:
+    model = Model(f"magic-{n}")
+    cells = model.add_array("cell", n * n, IntegerDomain(1, n * n))
+    model.declare_permutation(cells)
+    magic = n * (n * n + 1) // 2
+    ones = [1.0] * n
+    for r in range(n):
+        model.add_constraint(
+            LinearConstraint(
+                [r * n + c for c in range(n)], ones, "==", magic, name=f"row{r}"
+            )
+        )
+    for c in range(n):
+        model.add_constraint(
+            LinearConstraint(
+                [r * n + c for r in range(n)], ones, "==", magic, name=f"col{c}"
+            )
+        )
+    model.add_constraint(
+        LinearConstraint(
+            [i * n + i for i in range(n)], ones, "==", magic, name="diag"
+        )
+    )
+    model.add_constraint(
+        LinearConstraint(
+            [i * n + (n - 1 - i) for i in range(n)], ones, "==", magic, name="anti"
+        )
+    )
+    return ModelProblem(model)
+
+
+def main(n: int = 4) -> None:
+    config = AdaptiveSearchConfig(
+        max_iterations=300_000,
+        time_limit=60,
+        freeze_loc_min=5,
+        reset_limit=max(5, n * n // 8),
+        reset_fraction=0.25,
+    )
+
+    declarative = declarative_magic_square(n)
+    t = time.perf_counter()
+    result = AdaptiveSearch(config, use_problem_defaults=False).solve(
+        declarative, seed=7
+    )
+    dt_decl = time.perf_counter() - t
+    print(f"declarative model : solved={result.solved} "
+          f"iterations={result.iterations} time={dt_decl:.2f}s")
+    assert result.solved
+
+    native = make_problem("magic_square", n=n)
+    t = time.perf_counter()
+    result2 = AdaptiveSearch(config, use_problem_defaults=False).solve(
+        native, seed=7
+    )
+    dt_native = time.perf_counter() - t
+    print(f"native incremental: solved={result2.solved} "
+          f"iterations={result2.iterations} time={dt_native:.2f}s")
+    print(f"-> same engine, same landscape; incremental deltas make each "
+          f"iteration ~{dt_decl / result.iterations / (dt_native / result2.iterations):.0f}x cheaper")
+    print()
+    print(native.render(result2.config))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Fitness-landscape analysis of the paper's benchmarks.
+
+Run:  python examples/landscape_analysis.py
+
+Probes each benchmark's swap landscape (improving-move density, cost
+autocorrelation / correlation length) and instruments a real Adaptive
+Search run (move mix, best-cost timeline).  Together these explain the
+per-benchmark parameter choices: smooth landscapes with dense improving
+moves barely need the tabu/reset machinery, rugged or plateau-heavy ones
+lean on it.
+"""
+
+import numpy as np
+
+from repro import AdaptiveSearch, AdaptiveSearchConfig, make_problem
+from repro.core.instrumentation import (
+    BestCostTimeline,
+    MoveHistogram,
+    cost_autocorrelation,
+    improving_move_density,
+)
+
+BENCHMARKS = [
+    ("costas", {"n": 11}),
+    ("all_interval", {"n": 14}),
+    ("magic_square", {"n": 6}),
+    ("queens", {"n": 30}),
+    ("alpha", {}),
+]
+
+
+def correlation_length(rho1: float) -> float:
+    if rho1 <= 0 or rho1 >= 1:
+        return float("nan")
+    return -1.0 / np.log(rho1)
+
+
+def main() -> None:
+    print(f"{'benchmark':18s} {'improv.density':>14s} {'corr.length':>12s} "
+          f"{'move mix of one solving run':>40s}")
+    print("-" * 96)
+    for family, params in BENCHMARKS:
+        problem = make_problem(family, **params)
+        density = improving_move_density(problem, n_configs=10, rng=0,
+                                         max_pairs=300)
+        rho = cost_autocorrelation(problem, walk_length=1500, max_lag=1, rng=0)
+        ell = correlation_length(float(rho[1]))
+
+        hist = MoveHistogram()
+        timeline = BestCostTimeline()
+        solver = AdaptiveSearch(
+            AdaptiveSearchConfig(max_iterations=300_000, time_limit=30)
+        )
+        result = solver.solve(problem, seed=1, callbacks=[hist, timeline])
+        status = "solved" if result.solved else f"cost {result.cost:g}"
+        print(f"{problem.name:18s} {density:14.3f} {ell:12.1f} "
+              f"{hist.summary():>40s}  [{status}]")
+
+    print()
+    print("reading: smooth landscapes (long correlation length) with dense")
+    print("improving moves favour descent, but smoothness alone is not ease —")
+    print("alpha is the smoothest probe here yet needs the most worsening")
+    print("moves, because its local minima sit far above cost 0; plateau-")
+    print("heavy landscapes (all-interval) instead lean on the freeze/accept")
+    print("machinery. The move mix shows which mechanism carried each run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Figures 1-3 end-to-end (scaled-down).
+
+Run:  python examples/speedup_study.py [--quick]
+
+Pipeline (the same one ``benchmarks/`` uses, with smaller sample counts):
+1. measure independent sequential solving times of the four paper
+   benchmarks (cached in .repro_cache/ — rerunning is instant);
+2. rescale to the paper's time regime (pure unit change, see
+   EXPERIMENTS.md);
+3. simulate HA8000 / Grid'5000 multi-walk executions as min-of-k over the
+   measured distribution and plot speedups as ASCII charts.
+"""
+
+import sys
+
+from repro.harness import SampleCache, run_experiment
+
+
+def main(quick: bool = False) -> None:
+    cache = SampleCache(".repro_cache")
+    n_samples = 30 if quick else 120
+    sim_reps = 200 if quick else 500
+
+    for experiment_id in ("fig1", "fig2", "fig3"):
+        report = run_experiment(
+            experiment_id, cache=cache, n_samples=n_samples, sim_reps=sim_reps
+        )
+        print(report.render())
+        print("=" * 78)
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

@@ -1,0 +1,48 @@
+"""repro — parallel constraint-based local search.
+
+A production-quality reproduction of *Performance Analysis of Parallel
+Constraint-Based Local Search* (Abreu, Caniou, Codognet, Diaz, Richoux;
+PPoPP 2012): the Adaptive Search solver, the paper's benchmark problems,
+an independent multi-walk parallel runtime, simulated HA8000/Grid'5000
+platforms, and the statistics/harness machinery that regenerates every
+figure and table of the paper.
+
+Quickstart::
+
+    from repro import AdaptiveSearch, make_problem
+
+    problem = make_problem("costas", n=10)
+    result = AdaptiveSearch().solve(problem, seed=42)
+    print(result.summary())
+"""
+
+from repro.core import (
+    AdaptiveSearch,
+    AdaptiveSearchConfig,
+    MinConflicts,
+    MinConflictsConfig,
+    RandomRestartHillClimbing,
+    SolveResult,
+    SolveStats,
+    TerminationReason,
+)
+from repro.errors import ReproError
+from repro.problems import Problem, available_problems, make_problem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveSearch",
+    "AdaptiveSearchConfig",
+    "MinConflicts",
+    "MinConflictsConfig",
+    "RandomRestartHillClimbing",
+    "SolveResult",
+    "SolveStats",
+    "TerminationReason",
+    "Problem",
+    "make_problem",
+    "available_problems",
+    "ReproError",
+    "__version__",
+]

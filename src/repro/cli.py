@@ -1,0 +1,269 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro solve costas --set n=12 --seed 42 --render
+    python -m repro solve magic_square --set n=8 --walkers 4 --executor process
+    python -m repro sample costas --set n=10 --runs 50
+    python -m repro experiment fig1 --samples 40 --reps 200
+    python -m repro problems
+    python -m repro platforms
+
+Every subcommand prints human-readable text to stdout and returns a
+process exit status (0 on success, 1 on a failed solve, 2 on bad usage).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro import __version__
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.solver import AdaptiveSearch
+from repro.cluster.platforms import PLATFORMS
+from repro.cluster.trace import save_samples
+from repro.errors import ReproError
+from repro.harness.cache import SampleCache
+from repro.harness.report import run_experiment
+from repro.harness.runner import BenchmarkSpec, collect_samples, scaled_times
+from repro.parallel import CooperativeMultiWalk, MultiWalkSolver
+from repro.problems import available_problems, make_problem
+from repro.stats import best_fit
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_value(text: str) -> object:
+    """Best-effort literal parsing for --set values (int, float, str)."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_params(pairs: Sequence[str]) -> dict[str, object]:
+    params: dict[str, object] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"error: --set expects key=value, got {pair!r}")
+        params[key] = _parse_value(value)
+    return params
+
+
+def _solver_config(args: argparse.Namespace) -> AdaptiveSearchConfig:
+    kwargs: dict[str, object] = {}
+    if args.max_iterations is not None:
+        kwargs["max_iterations"] = args.max_iterations
+    if args.time_limit is not None:
+        kwargs["time_limit"] = args.time_limit
+    return AdaptiveSearchConfig(**kwargs)  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_problems(args: argparse.Namespace) -> int:
+    for family in available_problems():
+        print(family)
+    return 0
+
+
+def cmd_platforms(args: argparse.Namespace) -> int:
+    for key, platform in sorted(PLATFORMS.items()):
+        print(f"{key}: {platform}")
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    from repro.core.value_solver import ValueAdaptiveSearch
+    from repro.problems.value_base import ValueProblem
+
+    problem = make_problem(args.family, **_parse_params(args.set))
+    config = _solver_config(args)
+    if isinstance(problem, ValueProblem):
+        if args.walkers > 1:
+            print(
+                "error: multi-walk executors support permutation problems "
+                "only; run value-mode problems with --walkers 1",
+                file=sys.stderr,
+            )
+            return 2
+        result = ValueAdaptiveSearch(config).solve(problem, seed=args.seed)
+        print(result.summary())
+        if result.solved and args.render and hasattr(problem, "render"):
+            print(problem.render(result.config))
+        return 0 if result.solved else 1
+    if args.walkers <= 1:
+        result = AdaptiveSearch(config).solve(problem, seed=args.seed)
+        print(result.summary())
+        solved, config_vec = result.solved, result.config
+    elif args.executor == "cooperative":
+        coop = CooperativeMultiWalk(config).solve(
+            problem, args.walkers, seed=args.seed
+        )
+        print(coop.summary())
+        solved, config_vec = coop.solved, coop.config
+    else:
+        parallel = MultiWalkSolver(config, executor=args.executor).solve(
+            problem, args.walkers, seed=args.seed
+        )
+        print(parallel.summary())
+        solved, config_vec = parallel.solved, parallel.config
+    if solved and args.render and hasattr(problem, "render"):
+        print(problem.render(config_vec))
+    return 0 if solved else 1
+
+
+def cmd_sample(args: argparse.Namespace) -> int:
+    spec = BenchmarkSpec(args.family, _parse_params(args.set))
+    cache = SampleCache(args.cache) if args.cache else None
+    samples = collect_samples(
+        spec,
+        args.runs,
+        seed=args.seed,
+        solver_config=_solver_config(args),
+        cache=cache,
+    )
+    solved = [s for s in samples if s.solved]
+    print(
+        f"{spec.label}: {len(solved)}/{len(samples)} runs solved"
+    )
+    for metric in ("wall_time", "iterations"):
+        values = scaled_times(samples, metric=metric)
+        fit = best_fit(np.maximum(values, 1e-9))
+        print(
+            f"  {metric}: mean={values.mean():.6g} median={np.median(values):.6g} "
+            f"min={values.min():.6g} max={values.max():.6g}"
+        )
+        print(f"  {metric} fit: {fit.summary()}")
+    if args.out:
+        save_samples(args.out, samples, meta={"spec": spec.label, "runs": args.runs})
+        print(f"samples written to {args.out}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.harness.experiment import EXPERIMENTS
+
+    cache = SampleCache(args.cache)
+    ids = sorted(EXPERIMENTS) if args.id == "all" else [args.id]
+    sections: list[str] = []
+    for experiment_id in ids:
+        report = run_experiment(
+            experiment_id,
+            cache=cache,
+            n_samples=args.samples,
+            sim_reps=args.reps,
+        )
+        text = report.render()
+        print(text)
+        sections.append(text)
+    if args.out:
+        from pathlib import Path
+
+        header = (
+            "# Reproduction report — Performance Analysis of Parallel "
+            "Constraint-Based Local Search (PPoPP 2012)\n\n"
+            "Generated by `python -m repro experiment "
+            f"{args.id}`.\n\n```\n"
+        )
+        Path(args.out).write_text(
+            header + "\n\n".join(sections) + "\n```\n", encoding="utf-8"
+        )
+        print(f"report written to {args.out}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel constraint-based local search (PPoPP 2012 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_problems = sub.add_parser("problems", help="list benchmark families")
+    p_problems.set_defaults(func=cmd_problems)
+
+    p_platforms = sub.add_parser("platforms", help="list simulated platforms")
+    p_platforms.set_defaults(func=cmd_platforms)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("family", help="problem family (see `repro problems`)")
+        p.add_argument(
+            "--set",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help="problem parameter, repeatable (e.g. --set n=12)",
+        )
+        p.add_argument("--seed", type=int, default=None, help="master seed")
+        p.add_argument(
+            "--max-iterations", type=float, default=None, help="iteration budget"
+        )
+        p.add_argument(
+            "--time-limit", type=float, default=None, help="seconds budget"
+        )
+
+    p_solve = sub.add_parser("solve", help="solve one instance")
+    add_common(p_solve)
+    p_solve.add_argument(
+        "--walkers", type=int, default=1, help="parallel walkers (1 = sequential)"
+    )
+    p_solve.add_argument(
+        "--executor",
+        choices=("inline", "process", "cooperative"),
+        default="process",
+        help="multi-walk executor when --walkers > 1",
+    )
+    p_solve.add_argument(
+        "--render", action="store_true", help="pretty-print the solution"
+    )
+    p_solve.set_defaults(func=cmd_solve)
+
+    p_sample = sub.add_parser(
+        "sample", help="collect independent sequential run samples"
+    )
+    add_common(p_sample)
+    p_sample.add_argument("--runs", type=int, default=50, help="number of runs")
+    p_sample.add_argument("--out", default=None, help="write samples JSON here")
+    p_sample.add_argument("--cache", default=None, help="sample cache directory")
+    p_sample.set_defaults(func=cmd_sample)
+
+    p_exp = sub.add_parser("experiment", help="run a registered experiment")
+    p_exp.add_argument(
+        "id", help="experiment id (fig1, fig2, fig3, tab1, tabA) or 'all'"
+    )
+    p_exp.add_argument(
+        "--out", default=None, help="also write the report to this file"
+    )
+    p_exp.add_argument("--samples", type=int, default=None, help="samples override")
+    p_exp.add_argument("--reps", type=int, default=None, help="simulation reps")
+    p_exp.add_argument(
+        "--cache", default=".repro_cache", help="sample cache directory"
+    )
+    p_exp.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

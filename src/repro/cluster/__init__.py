@@ -1,0 +1,55 @@
+"""Simulated parallel platforms.
+
+The paper ran on two machines we do not have: the Hitachi HA8000
+supercomputer (952 nodes x 16 cores) and the Grid'5000 Suno/Helios clusters.
+For *communication-free* independent multi-walks, the parallel completion
+time on ``k`` homogeneous cores is exactly ``min`` of ``k`` i.i.d. draws from
+the sequential runtime distribution (plus job-launch overhead) — the same
+order-statistics identity the authors use to analyse their own results.
+
+This package therefore substitutes the hardware with:
+
+- :class:`~repro.cluster.topology.Platform` — machine descriptions with the
+  paper's node/core counts, per-core relative speed, and launch overhead;
+- :class:`~repro.cluster.simulate.MultiWalkSimulator` — Monte-Carlo
+  min-of-k simulation over *measured* sequential run samples, with optional
+  per-core speed heterogeneity (the Grid'5000 case).
+
+The substitution is documented in DESIGN.md; its fidelity is validated in
+``tests/integration`` by comparing simulated speedups against the exact
+inline multi-walk executor on the same sample sets.
+"""
+
+from repro.cluster.topology import Platform
+from repro.cluster.platforms import (
+    GRID5000_HELIOS,
+    GRID5000_SUNO,
+    HA8000,
+    LOCAL,
+    PLATFORMS,
+    get_platform,
+)
+from repro.cluster.batch import BatchSimulator, CampaignResult, Job, JobExecution, campaign_jobs
+from repro.cluster.simulate import MultiWalkSimulator, SimulatedRun
+from repro.cluster.trace import RunSample, load_samples, samples_from_results, save_samples
+
+__all__ = [
+    "Platform",
+    "HA8000",
+    "GRID5000_SUNO",
+    "GRID5000_HELIOS",
+    "LOCAL",
+    "PLATFORMS",
+    "get_platform",
+    "MultiWalkSimulator",
+    "SimulatedRun",
+    "BatchSimulator",
+    "CampaignResult",
+    "Job",
+    "JobExecution",
+    "campaign_jobs",
+    "RunSample",
+    "samples_from_results",
+    "save_samples",
+    "load_samples",
+]

@@ -1,0 +1,204 @@
+"""Discrete-event batch scheduling of experiment campaigns.
+
+The paper's numbers come from batch campaigns: many multi-walk jobs at
+different core counts queued on a shared machine (HA8000's "normal
+service", Grid'5000 reservations).  This module simulates such a campaign
+with first-come-first-served core allocation, answering questions the
+figures do not: how long does the whole Figure-1 campaign occupy the
+machine, how much of the machine sits idle, and how long do wide jobs wait
+behind narrow ones.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cluster.simulate import MultiWalkSimulator
+from repro.cluster.topology import Platform
+from repro.errors import SimulationError
+from repro.util.rng import SeedLike
+
+__all__ = ["Job", "JobExecution", "CampaignResult", "BatchSimulator", "campaign_jobs"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One batch job: ``cores`` cores held for ``duration`` seconds.
+
+    ``duration`` includes the solver's completion time; the platform's
+    launch overhead is added by the scheduler (it is machine time too).
+    """
+
+    job_id: str
+    cores: int
+    duration: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise SimulationError(f"job {self.job_id}: cores must be >= 1")
+        if self.duration < 0:
+            raise SimulationError(f"job {self.job_id}: duration must be >= 0")
+
+
+@dataclass(frozen=True)
+class JobExecution:
+    """Where one job landed in the schedule."""
+
+    job: Job
+    submit_time: float
+    start_time: float
+    end_time: float
+
+    @property
+    def wait_time(self) -> float:
+        return self.start_time - self.submit_time
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a whole campaign."""
+
+    executions: list[JobExecution] = field(default_factory=list)
+    makespan: float = 0.0
+    total_core_seconds: float = 0.0
+    capacity_core_seconds: float = 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Busy core-seconds / available core-seconds over the makespan."""
+        if self.capacity_core_seconds <= 0:
+            return 0.0
+        return self.total_core_seconds / self.capacity_core_seconds
+
+    @property
+    def mean_wait(self) -> float:
+        if not self.executions:
+            return 0.0
+        return sum(e.wait_time for e in self.executions) / len(self.executions)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.executions)} jobs, makespan {self.makespan:.1f}s, "
+            f"utilization {self.utilization:.1%}, "
+            f"mean wait {self.mean_wait:.1f}s"
+        )
+
+
+class BatchSimulator:
+    """FCFS batch scheduler over one platform's usable cores.
+
+    Jobs are started in submission order as soon as enough cores are free;
+    FCFS means a wide job at the queue head blocks later narrow jobs
+    (no backfilling) — the conservative classic policy.
+    """
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+
+    def run_campaign(
+        self, jobs: Sequence[Job], *, submit_times: Sequence[float] | None = None
+    ) -> CampaignResult:
+        """Schedule ``jobs``; all submitted at t=0 unless given times."""
+        capacity = self.platform.usable_cores
+        for job in jobs:
+            if job.cores > capacity:
+                raise SimulationError(
+                    f"job {job.job_id} wants {job.cores} cores but "
+                    f"{self.platform.name} offers {capacity} per campaign"
+                )
+        if submit_times is None:
+            submits = [0.0] * len(jobs)
+        else:
+            submits = [float(t) for t in submit_times]
+            if len(submits) != len(jobs):
+                raise SimulationError(
+                    "submit_times length must match the job list"
+                )
+            if any(t < 0 for t in submits):
+                raise SimulationError("submit times must be >= 0")
+
+        # pending jobs in FCFS order (submit time, sequence number)
+        order = sorted(range(len(jobs)), key=lambda i: (submits[i], i))
+        free = capacity
+        now = 0.0
+        running: list[tuple[float, int, int]] = []  # (end_time, seq, cores)
+        executions: list[JobExecution] = []
+        queue = list(order)
+        idx = 0  # next job in FCFS order not yet started
+        while idx < len(queue) or running:
+            if idx < len(queue):
+                j = queue[idx]
+                job = jobs[j]
+                ready = max(now, submits[j])
+                if job.cores <= free and (not running or ready <= running[0][0]):
+                    # start the job at `ready`
+                    now = ready
+                    duration = job.duration + self.platform.launch_overhead
+                    end = now + duration
+                    heapq.heappush(running, (end, j, job.cores))
+                    free -= job.cores
+                    executions.append(
+                        JobExecution(
+                            job=job,
+                            submit_time=submits[j],
+                            start_time=now,
+                            end_time=end,
+                        )
+                    )
+                    idx += 1
+                    continue
+            # cannot start the next job now: advance to the next completion
+            if not running:  # pragma: no cover - guarded by the loop condition
+                raise SimulationError("scheduler deadlock (empty machine)")
+            end, _j, cores = heapq.heappop(running)
+            now = max(now, end)
+            free += cores
+
+        makespan = max((e.end_time for e in executions), default=0.0)
+        busy = sum(
+            (e.end_time - e.start_time) * e.job.cores for e in executions
+        )
+        return CampaignResult(
+            executions=executions,
+            makespan=makespan,
+            total_core_seconds=busy,
+            capacity_core_seconds=makespan * capacity,
+        )
+
+
+def campaign_jobs(
+    sample_times: dict[str, Sequence[float]],
+    core_counts: Sequence[int],
+    platform: Platform,
+    *,
+    reps_per_point: int = 1,
+    rng: SeedLike = None,
+) -> list[Job]:
+    """Build the jobs of a Figure-1-style campaign.
+
+    One job per (benchmark, core count, repetition); each job's duration is
+    one simulated multi-walk completion time at that core count.
+    """
+    if reps_per_point < 1:
+        raise SimulationError("reps_per_point must be >= 1")
+    sim = MultiWalkSimulator(platform, rng)
+    jobs: list[Job] = []
+    for label, times in sample_times.items():
+        for cores in core_counts:
+            for rep in range(reps_per_point):
+                # simulate_run already charges the launch overhead; strip it
+                # here because the scheduler re-adds it as machine time
+                duration = sim.simulate_run(times, int(cores))
+                duration = max(0.0, duration - platform.launch_overhead)
+                jobs.append(
+                    Job(
+                        job_id=f"{label}-{cores}c-r{rep}",
+                        cores=int(cores),
+                        duration=duration,
+                        label=label,
+                    )
+                )
+    return jobs

@@ -1,0 +1,105 @@
+"""Preset platforms with the paper's topologies.
+
+Node/core counts are quoted from the paper's Section 1:
+
+- HA8000 (University of Tokyo): 952 nodes x 4 AMD Opteron 8356 quad-cores
+  (16 cores/node, 15232 total); normal service caps a user at 64 nodes
+  (1024 cores); the paper used up to 256 cores.
+- Grid'5000 Sophia-Antipolis, Suno: 45 Dell PowerEdge R410 x 8 cores = 360.
+- Grid'5000 Sophia-Antipolis, Helios: 56 Sun Fire X4100 x 4 cores = 224.
+
+Relative ``core_speed`` is 1.0 on the reference platforms: sequential
+samples are measured with *this* library on *this* host, and speedups (the
+paper's reported metric) are invariant to a uniform speed factor.  Helios
+carries a mild speed handicap and jitter (older AMD nodes on a shared grid).
+
+``launch_overhead`` encodes the empirically relevant difference between the
+machines: the HA8000 batch system starts large MPI jobs noticeably slower
+than the Grid'5000 clusters, which is the mechanism the paper suspects
+behind perfect-square's *worse* speedups on HA8000 once execution times
+drop under a second ("execution time is getting too small ... some other
+mechanisms interfere").  With a 0.5 s overhead floor on HA8000 vs 0.1 s on
+Suno, small-runtime benchmarks saturate exactly as in Figures 1-2.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.topology import Platform
+from repro.errors import SimulationError
+
+__all__ = [
+    "HA8000",
+    "GRID5000_SUNO",
+    "GRID5000_HELIOS",
+    "LOCAL",
+    "PLATFORMS",
+    "get_platform",
+]
+
+HA8000 = Platform(
+    name="HA8000",
+    nodes=952,
+    cores_per_node=16,
+    core_speed=1.0,
+    launch_overhead=0.5,
+    speed_jitter=0.0,
+    max_cores_per_job=1024,
+    description=(
+        "Hitachi HA8000 supercomputer, University of Tokyo: 952 nodes, "
+        "4x AMD Opteron 8356 (quad core, 2.3 GHz) per node, 32 GB/node."
+    ),
+)
+
+GRID5000_SUNO = Platform(
+    name="Grid5000/Suno",
+    nodes=45,
+    cores_per_node=8,
+    core_speed=1.0,
+    launch_overhead=0.1,
+    speed_jitter=0.05,
+    max_cores_per_job=0,
+    description=(
+        "Grid'5000 Sophia-Antipolis, Suno cluster: 45 Dell PowerEdge R410, "
+        "8 cores each (360 cores)."
+    ),
+)
+
+GRID5000_HELIOS = Platform(
+    name="Grid5000/Helios",
+    nodes=56,
+    cores_per_node=4,
+    core_speed=0.85,
+    launch_overhead=0.12,
+    speed_jitter=0.08,
+    max_cores_per_job=0,
+    description=(
+        "Grid'5000 Sophia-Antipolis, Helios cluster: 56 Sun Fire X4100, "
+        "4 cores each (224 cores)."
+    ),
+)
+
+LOCAL = Platform(
+    name="local",
+    nodes=1,
+    cores_per_node=1024,
+    core_speed=1.0,
+    launch_overhead=0.0,
+    speed_jitter=0.0,
+    description="Idealized local machine (no overhead, homogeneous cores).",
+)
+
+PLATFORMS: dict[str, Platform] = {
+    "ha8000": HA8000,
+    "grid5000_suno": GRID5000_SUNO,
+    "grid5000_helios": GRID5000_HELIOS,
+    "local": LOCAL,
+}
+
+
+def get_platform(name: str) -> Platform:
+    """Look up a preset platform by key (case-insensitive)."""
+    key = name.lower()
+    if key not in PLATFORMS:
+        known = ", ".join(sorted(PLATFORMS))
+        raise SimulationError(f"unknown platform {name!r}; known: {known}")
+    return PLATFORMS[key]

@@ -1,0 +1,168 @@
+"""Monte-Carlo min-of-k simulation of independent multi-walk executions.
+
+Given ``m`` measured sequential solving times of one benchmark, a simulated
+``k``-core execution draws ``k`` times (bootstrap, with replacement), divides
+each by its core's relative speed, takes the minimum, and adds the platform's
+launch overhead.  Repeating this yields the distribution of parallel
+completion times, hence expected times and speedups for the paper's figures.
+
+Why this is faithful: walks never communicate, so the ``k``-core run time is
+*identically* ``min`` of ``k`` independent sequential run times — there is no
+modelling approximation beyond bootstrap resampling of the measured
+distribution (Verhoeven & Aarts 1995; also the analysis used in the
+companion papers [1, 4] of the reproduced paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.topology import Platform
+from repro.errors import SimulationError
+from repro.util.rng import SeedLike, as_generator
+
+__all__ = ["SimulatedRun", "MultiWalkSimulator"]
+
+
+@dataclass(frozen=True)
+class SimulatedRun:
+    """Aggregate of the simulated parallel-time distribution at one ``k``."""
+
+    cores: int
+    mean_time: float
+    median_time: float
+    std_time: float
+    min_time: float
+    max_time: float
+    n_reps: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "cores": self.cores,
+            "mean_time": self.mean_time,
+            "median_time": self.median_time,
+            "std_time": self.std_time,
+            "min_time": self.min_time,
+            "max_time": self.max_time,
+            "n_reps": self.n_reps,
+        }
+
+
+class MultiWalkSimulator:
+    """Simulates independent multi-walk executions on a platform.
+
+    Parameters
+    ----------
+    platform:
+        machine description (core counts, speed, overhead, heterogeneity).
+    rng:
+        seed or generator driving the bootstrap (deterministic experiments
+        pass a fixed seed).
+    """
+
+    def __init__(self, platform: Platform, rng: SeedLike = None) -> None:
+        self.platform = platform
+        self.rng = as_generator(rng)
+
+    # ------------------------------------------------------------------
+    def _draw(self, source: Sequence[float] | object, size: tuple[int, ...]) -> np.ndarray:
+        """Draw runtimes from an empirical sample or a parametric fit.
+
+        ``source`` is either a 1-D array of measured times (nonparametric
+        bootstrap) or any object with a ``sample(size, rng)`` method, e.g. a
+        :class:`repro.stats.fitting.DistributionFit` (parametric draws).
+        Parametric draws matter at high core counts: bootstrapping the
+        minimum of ``k`` values from ``m`` measurements floors out near the
+        sample minimum once ``k`` approaches ``m``.
+        """
+        sampler = getattr(source, "sample", None)
+        if callable(sampler):
+            n = int(np.prod(size))
+            draws = np.asarray(sampler(n, self.rng), dtype=np.float64).reshape(size)
+            return np.maximum(draws, 0.0)
+        arr = np.asarray(source, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise SimulationError(
+                "need a non-empty 1-D array of sequential run times"
+            )
+        if np.any(arr < 0) or not np.all(np.isfinite(arr)):
+            raise SimulationError("run times must be finite and non-negative")
+        return self.rng.choice(arr, size=size, replace=True)
+
+    def simulate_run(self, samples: Sequence[float] | object, cores: int) -> float:
+        """One simulated parallel completion time on ``cores`` cores."""
+        self.platform.validate_cores(cores)
+        draws = self._draw(samples, (cores,))
+        speeds = self.platform.core_speeds(cores, self.rng)
+        return float(np.min(draws / speeds) + self.platform.launch_overhead)
+
+    def simulate_many(
+        self, samples: Sequence[float] | object, cores: int, n_reps: int = 200
+    ) -> np.ndarray:
+        """``n_reps`` independent simulated parallel completion times."""
+        if n_reps <= 0:
+            raise SimulationError(f"n_reps must be >= 1, got {n_reps}")
+        self.platform.validate_cores(cores)
+        draws = self._draw(samples, (n_reps, cores))
+        if self.platform.speed_jitter == 0.0:
+            scaled = draws / self.platform.core_speed
+        else:
+            speeds = np.vstack(
+                [self.platform.core_speeds(cores, self.rng) for _ in range(n_reps)]
+            )
+            scaled = draws / speeds
+        return scaled.min(axis=1) + self.platform.launch_overhead
+
+    def summarize(
+        self, samples: Sequence[float] | object, cores: int, n_reps: int = 200
+    ) -> SimulatedRun:
+        """Distribution summary of parallel completion times at one ``k``."""
+        times = self.simulate_many(samples, cores, n_reps)
+        return SimulatedRun(
+            cores=cores,
+            mean_time=float(times.mean()),
+            median_time=float(np.median(times)),
+            std_time=float(times.std(ddof=1)) if len(times) > 1 else 0.0,
+            min_time=float(times.min()),
+            max_time=float(times.max()),
+            n_reps=len(times),
+        )
+
+    # ------------------------------------------------------------------
+    def expected_times(
+        self,
+        samples: Sequence[float] | object,
+        core_counts: Sequence[int],
+        n_reps: int = 200,
+    ) -> dict[int, SimulatedRun]:
+        """Summaries for a whole sweep of core counts."""
+        return {int(k): self.summarize(samples, int(k), n_reps) for k in core_counts}
+
+    def speedups(
+        self,
+        samples: Sequence[float] | object,
+        core_counts: Sequence[int],
+        n_reps: int = 200,
+        *,
+        baseline_cores: int = 1,
+    ) -> dict[int, float]:
+        """Mean-time speedups relative to ``baseline_cores``.
+
+        The paper's Figures 1-2 use 1-core baselines; Figure 3 (CAP) uses
+        32 cores because sequential runs are impractically long — pass
+        ``baseline_cores=32`` to reproduce it.
+        """
+        sweep = sorted({int(k) for k in core_counts} | {int(baseline_cores)})
+        runs = self.expected_times(samples, sweep, n_reps)
+        base = runs[int(baseline_cores)].mean_time
+        if base <= 0:
+            raise SimulationError(
+                f"baseline mean time is {base}; cannot form speedups"
+            )
+        return {
+            int(k): base / runs[int(k)].mean_time
+            for k in core_counts
+        }

@@ -1,0 +1,125 @@
+"""Platform descriptions.
+
+A :class:`Platform` captures what matters to independent multi-walk
+performance: how many cores can be requested, how fast each core runs the
+sequential engine relative to the measurement host, how much per-job launch
+overhead the batch system adds, and how heterogeneous the cores are (the
+Grid'5000 sites mix machine generations; a supercomputer partition does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["Platform"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One parallel machine.
+
+    Parameters
+    ----------
+    name:
+        display name ("HA8000", "Grid5000/Suno", ...).
+    nodes:
+        number of nodes in the machine.
+    cores_per_node:
+        cores per node; ``nodes * cores_per_node`` bounds walker counts.
+    core_speed:
+        relative speed of one core w.r.t. the host where sequential samples
+        were measured (2.0 = twice as fast, halves simulated runtimes).
+    launch_overhead:
+        seconds added to every parallel execution (job launch + completion
+        detection; the paper's runs pay MPI startup).
+    speed_jitter:
+        coefficient of variation of per-core speed (0 = homogeneous).
+        Models grid heterogeneity; sampled per core per simulated run.
+    max_cores_per_job:
+        scheduling policy cap (the HA8000 "normal service" limits users to
+        64 nodes / 1024 cores); 0 means no cap beyond machine size.
+    description:
+        free-text provenance note.
+    """
+
+    name: str
+    nodes: int
+    cores_per_node: int
+    core_speed: float = 1.0
+    launch_overhead: float = 0.0
+    speed_jitter: float = 0.0
+    max_cores_per_job: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise SimulationError(f"{self.name}: nodes must be > 0, got {self.nodes}")
+        if self.cores_per_node <= 0:
+            raise SimulationError(
+                f"{self.name}: cores_per_node must be > 0, got {self.cores_per_node}"
+            )
+        if self.core_speed <= 0:
+            raise SimulationError(
+                f"{self.name}: core_speed must be > 0, got {self.core_speed}"
+            )
+        if self.launch_overhead < 0:
+            raise SimulationError(
+                f"{self.name}: launch_overhead must be >= 0, "
+                f"got {self.launch_overhead}"
+            )
+        if not 0.0 <= self.speed_jitter < 1.0:
+            raise SimulationError(
+                f"{self.name}: speed_jitter must be in [0, 1), "
+                f"got {self.speed_jitter}"
+            )
+        if self.max_cores_per_job < 0:
+            raise SimulationError(
+                f"{self.name}: max_cores_per_job must be >= 0, "
+                f"got {self.max_cores_per_job}"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node
+
+    @property
+    def usable_cores(self) -> int:
+        """Largest walker count one job may request."""
+        if self.max_cores_per_job:
+            return min(self.total_cores, self.max_cores_per_job)
+        return self.total_cores
+
+    def validate_cores(self, cores: int) -> None:
+        """Reject walker counts the machine could not host."""
+        if cores <= 0:
+            raise SimulationError(f"core count must be >= 1, got {cores}")
+        if cores > self.usable_cores:
+            raise SimulationError(
+                f"{self.name}: {cores} cores requested but at most "
+                f"{self.usable_cores} are usable per job"
+            )
+
+    def core_speeds(self, cores: int, rng: np.random.Generator) -> np.ndarray:
+        """Relative speeds of ``cores`` allocated cores for one run.
+
+        Homogeneous platforms return a constant vector; with
+        ``speed_jitter`` > 0 speeds are lognormal around ``core_speed`` with
+        the requested coefficient of variation.
+        """
+        self.validate_cores(cores)
+        if self.speed_jitter == 0.0:
+            return np.full(cores, self.core_speed)
+        cv = self.speed_jitter
+        sigma = np.sqrt(np.log1p(cv * cv))
+        mu = np.log(self.core_speed) - 0.5 * sigma * sigma
+        return rng.lognormal(mean=mu, sigma=sigma, size=cores)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.nodes} nodes x {self.cores_per_node} cores "
+            f"(total {self.total_cores}, usable {self.usable_cores}/job)"
+        )

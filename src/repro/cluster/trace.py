@@ -1,0 +1,115 @@
+"""Sequential run samples: the raw material of the platform simulation.
+
+A :class:`RunSample` records one independent sequential solve (time,
+iterations, outcome).  Collections of samples are what the harness caches on
+disk and what the simulator bootstraps from.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.result import SolveResult
+from repro.errors import CacheError
+
+__all__ = ["RunSample", "samples_from_results", "save_samples", "load_samples", "wall_times", "iteration_counts"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunSample:
+    """One sequential solve, reduced to what the simulation needs."""
+
+    wall_time: float
+    iterations: int
+    solved: bool
+    seed: str = ""
+
+    def __post_init__(self) -> None:
+        if self.wall_time < 0:
+            raise ValueError(f"wall_time must be >= 0, got {self.wall_time}")
+        if self.iterations < 0:
+            raise ValueError(f"iterations must be >= 0, got {self.iterations}")
+
+
+def samples_from_results(
+    results: Iterable[SolveResult], seeds: Iterable[object] | None = None
+) -> list[RunSample]:
+    """Convert solver results into run samples."""
+    seed_list = list(seeds) if seeds is not None else None
+    samples = []
+    for idx, result in enumerate(results):
+        seed_repr = ""
+        if seed_list is not None and idx < len(seed_list):
+            seed_repr = repr(seed_list[idx])
+        samples.append(
+            RunSample(
+                wall_time=result.stats.wall_time,
+                iterations=result.stats.iterations,
+                solved=result.solved,
+                seed=seed_repr,
+            )
+        )
+    return samples
+
+
+def wall_times(samples: Sequence[RunSample], *, solved_only: bool = True) -> np.ndarray:
+    """Wall times as a float array (by default only of solved runs)."""
+    chosen = [s for s in samples if s.solved or not solved_only]
+    return np.asarray([s.wall_time for s in chosen], dtype=np.float64)
+
+
+def iteration_counts(
+    samples: Sequence[RunSample], *, solved_only: bool = True
+) -> np.ndarray:
+    """Iteration counts as a float array (machine-independent "time")."""
+    chosen = [s for s in samples if s.solved or not solved_only]
+    return np.asarray([s.iterations for s in chosen], dtype=np.float64)
+
+
+def save_samples(path: str | Path, samples: Sequence[RunSample], meta: dict | None = None) -> None:
+    """Atomically write samples (+ metadata) as JSON."""
+    path = Path(path)
+    payload = {
+        "version": _FORMAT_VERSION,
+        "meta": meta or {},
+        "samples": [asdict(s) for s in samples],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+
+
+def load_samples(path: str | Path) -> tuple[list[RunSample], dict]:
+    """Read samples written by :func:`save_samples`; returns (samples, meta)."""
+    path = Path(path)
+    try:
+        with open(path, encoding="utf-8") as f:
+            payload = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        raise CacheError(f"cannot read sample file {path}: {err}") from err
+    if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+        raise CacheError(
+            f"sample file {path} has unsupported format "
+            f"(version={payload.get('version') if isinstance(payload, dict) else '?'})"
+        )
+    try:
+        samples = [RunSample(**record) for record in payload["samples"]]
+    except (KeyError, TypeError, ValueError) as err:
+        raise CacheError(f"corrupt sample record in {path}: {err}") from err
+    return samples, payload.get("meta", {})

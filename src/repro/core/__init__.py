@@ -1,0 +1,44 @@
+"""The Adaptive Search engine and baseline solvers.
+
+:class:`AdaptiveSearch` re-implements the sequential constraint-based local
+search of Codognet & Diaz (SAGA'01, MIC'03) that the paper parallelizes:
+iterated worst-variable / best-move descent with per-variable tabu marks,
+plateau handling, partial random resets and full restarts.
+
+Baselines :class:`MinConflicts` and :class:`RandomRestartHillClimbing` share
+the problem protocol and the result types so experiments can compare engines
+head-to-head.
+"""
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.result import SolveResult, SolveStats
+from repro.core.solver import AdaptiveSearch
+from repro.core.session import AdaptiveSearchSession
+from repro.core.value_solver import ValueAdaptiveSearch
+from repro.core.tuning import TuningResult, TuningTrial, grid_search
+from repro.core.minconflicts import MinConflicts, MinConflictsConfig
+from repro.core.random_restart import (
+    RandomRestartHillClimbing,
+    RandomRestartConfig,
+)
+from repro.core.termination import TerminationReason
+from repro.core.callbacks import IterationInfo, SearchCallback
+
+__all__ = [
+    "AdaptiveSearch",
+    "AdaptiveSearchSession",
+    "ValueAdaptiveSearch",
+    "grid_search",
+    "TuningResult",
+    "TuningTrial",
+    "AdaptiveSearchConfig",
+    "MinConflicts",
+    "MinConflictsConfig",
+    "RandomRestartHillClimbing",
+    "RandomRestartConfig",
+    "SolveResult",
+    "SolveStats",
+    "TerminationReason",
+    "SearchCallback",
+    "IterationInfo",
+]

@@ -1,0 +1,116 @@
+"""Observer hooks into the search loop.
+
+Callbacks serve three purposes in this reproduction:
+
+- instrumentation (cost traces for the examples and docs),
+- cooperative cancellation — the parallel multi-walk runtime installs a
+  callback that raises a cancel flag when another walk has finished, which
+  is exactly the "communication only for completion" of the paper,
+- tests (asserting loop invariants from the outside).
+
+Returning ``False`` from ``on_iteration`` cancels the walk; any other return
+value continues it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["IterationInfo", "SearchCallback", "CallbackList", "CostTraceCallback"]
+
+
+@dataclass
+class IterationInfo:
+    """Snapshot handed to ``on_iteration`` (cheap fields only)."""
+
+    iteration: int
+    cost: float
+    best_cost: float
+    selected_variable: int
+    selected_swap: int  # partner index, or -1 if no swap executed
+    delta: float
+    restarts: int
+    resets: int
+
+
+@runtime_checkable
+class SearchCallback(Protocol):
+    """Protocol for search observers; all methods optional via duck typing."""
+
+    def on_start(self, config: np.ndarray, cost: float) -> None: ...
+
+    def on_iteration(self, info: IterationInfo) -> Optional[bool]: ...
+
+    def on_reset(self, iteration: int, cost: float) -> None: ...
+
+    def on_restart(self, restart_index: int, cost: float) -> None: ...
+
+    def on_finish(self, solved: bool, cost: float) -> None: ...
+
+
+class CallbackList:
+    """Fan-out wrapper; missing methods on members are skipped.
+
+    ``on_iteration`` returns False (cancel) as soon as any member does.
+    """
+
+    def __init__(self, callbacks: list[object] | None = None) -> None:
+        self.callbacks = list(callbacks or [])
+
+    def add(self, callback: object) -> None:
+        self.callbacks.append(callback)
+
+    def on_start(self, config: np.ndarray, cost: float) -> None:
+        for cb in self.callbacks:
+            method = getattr(cb, "on_start", None)
+            if method is not None:
+                method(config, cost)
+
+    def on_iteration(self, info: IterationInfo) -> bool:
+        keep_going = True
+        for cb in self.callbacks:
+            method = getattr(cb, "on_iteration", None)
+            if method is not None and method(info) is False:
+                keep_going = False
+        return keep_going
+
+    def on_reset(self, iteration: int, cost: float) -> None:
+        for cb in self.callbacks:
+            method = getattr(cb, "on_reset", None)
+            if method is not None:
+                method(iteration, cost)
+
+    def on_restart(self, restart_index: int, cost: float) -> None:
+        for cb in self.callbacks:
+            method = getattr(cb, "on_restart", None)
+            if method is not None:
+                method(restart_index, cost)
+
+    def on_finish(self, solved: bool, cost: float) -> None:
+        for cb in self.callbacks:
+            method = getattr(cb, "on_finish", None)
+            if method is not None:
+                method(solved, cost)
+
+
+class CostTraceCallback:
+    """Records ``(iteration, cost)`` pairs; handy for convergence plots."""
+
+    def __init__(self, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.every = every
+        self.trace: list[tuple[int, float]] = []
+
+    def on_start(self, config: np.ndarray, cost: float) -> None:
+        self.trace.append((0, cost))
+
+    def on_iteration(self, info: IterationInfo) -> None:
+        if info.iteration % self.every == 0:
+            self.trace.append((info.iteration, info.cost))
+
+    def costs(self) -> list[float]:
+        return [c for _, c in self.trace]

@@ -1,0 +1,172 @@
+"""Search instrumentation and fitness-landscape probes.
+
+Two kinds of tooling:
+
+- callbacks (:class:`MoveHistogram`, :class:`BestCostTimeline`) that attach
+  to any solver run and decompose *what the walk actually did* — the move
+  mix is how the C library's authors tuned the per-benchmark parameters;
+- stateless landscape probes (:func:`improving_move_density`,
+  :func:`cost_autocorrelation`) measuring why a benchmark is easy or hard
+  for swap-neighbourhood local search: dense improving moves and smooth
+  (high-autocorrelation) landscapes favour descent, rugged ones force the
+  tabu/reset machinery to carry the search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.callbacks import IterationInfo
+from repro.problems.base import Problem
+from repro.util.rng import SeedLike, as_generator
+
+__all__ = [
+    "MoveHistogram",
+    "BestCostTimeline",
+    "improving_move_density",
+    "cost_autocorrelation",
+]
+
+
+@dataclass
+class MoveHistogram:
+    """Counts the walk's move mix (attachable solver callback).
+
+    ``frozen`` counts iterations that executed no swap (the variable was
+    marked tabu instead); executed swaps split by their cost delta.
+    """
+
+    improving: int = 0
+    plateau: int = 0
+    worsening: int = 0
+    frozen: int = 0
+
+    def on_iteration(self, info: IterationInfo) -> None:
+        if info.selected_swap < 0:
+            self.frozen += 1
+        elif info.delta < 0:
+            self.improving += 1
+        elif info.delta == 0:
+            self.plateau += 1
+        else:
+            self.worsening += 1
+
+    @property
+    def total(self) -> int:
+        return self.improving + self.plateau + self.worsening + self.frozen
+
+    def fractions(self) -> dict[str, float]:
+        """Move-type fractions (all zero for an empty histogram)."""
+        total = self.total or 1
+        return {
+            "improving": self.improving / total,
+            "plateau": self.plateau / total,
+            "worsening": self.worsening / total,
+            "frozen": self.frozen / total,
+        }
+
+    def summary(self) -> str:
+        f = self.fractions()
+        return (
+            f"{self.total} iterations: {f['improving']:.1%} improving, "
+            f"{f['plateau']:.1%} plateau, {f['worsening']:.1%} worsening, "
+            f"{f['frozen']:.1%} frozen"
+        )
+
+
+@dataclass
+class BestCostTimeline:
+    """Records ``(iteration, best_cost)`` whenever the best improves."""
+
+    points: list[tuple[int, float]] = field(default_factory=list)
+
+    def on_start(self, config: np.ndarray, cost: float) -> None:
+        self.points.append((0, cost))
+
+    def on_iteration(self, info: IterationInfo) -> None:
+        if not self.points or info.best_cost < self.points[-1][1]:
+            self.points.append((info.iteration, info.best_cost))
+
+    @property
+    def final_best(self) -> float:
+        return self.points[-1][1] if self.points else float("inf")
+
+    def iterations_to(self, cost: float) -> int | None:
+        """First iteration at which the best reached ``cost`` (or better)."""
+        for iteration, best in self.points:
+            if best <= cost:
+                return iteration
+        return None
+
+
+def improving_move_density(
+    problem: Problem,
+    n_configs: int = 30,
+    rng: SeedLike = None,
+    *,
+    max_pairs: int = 2000,
+) -> float:
+    """Fraction of swap moves that strictly improve, at random configs.
+
+    Samples ``n_configs`` uniform configurations; for each, evaluates up to
+    ``max_pairs`` random swap pairs.  High density ⇒ plain descent thrives;
+    near-zero density ⇒ the adaptive machinery does the work.
+    """
+    if n_configs < 1:
+        raise ValueError(f"n_configs must be >= 1, got {n_configs}")
+    if max_pairs < 1:
+        raise ValueError(f"max_pairs must be >= 1, got {max_pairs}")
+    gen = as_generator(rng)
+    n = problem.size
+    improving = 0
+    evaluated = 0
+    for _ in range(n_configs):
+        state = problem.init_state(problem.random_configuration(gen))
+        total_pairs = n * (n - 1) // 2
+        budget = min(max_pairs, total_pairs)
+        for _ in range(budget):
+            i = int(gen.integers(0, n))
+            j = int(gen.integers(0, n - 1))
+            if j >= i:
+                j += 1
+            if problem.swap_delta(state, i, j) < 0:
+                improving += 1
+            evaluated += 1
+    return improving / evaluated
+
+
+def cost_autocorrelation(
+    problem: Problem,
+    walk_length: int = 2000,
+    max_lag: int = 50,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Cost autocorrelation along a uniform random swap walk.
+
+    Returns ``rho[0..max_lag]`` (``rho[0] = 1``).  The correlation length
+    ``-1/ln(rho[1])`` is the classic ruggedness measure (Weinberger):
+    smooth landscapes decay slowly, rugged ones immediately.
+    """
+    if walk_length <= max_lag + 1:
+        raise ValueError("walk_length must exceed max_lag + 1")
+    gen = as_generator(rng)
+    n = problem.size
+    state = problem.init_state(problem.random_configuration(gen))
+    costs = np.empty(walk_length, dtype=np.float64)
+    for t in range(walk_length):
+        costs[t] = state.cost
+        i = int(gen.integers(0, n))
+        j = int(gen.integers(0, n - 1))
+        if j >= i:
+            j += 1
+        problem.apply_swap(state, i, j)
+    centered = costs - costs.mean()
+    denom = float(np.dot(centered, centered))
+    if denom == 0:
+        return np.ones(max_lag + 1)
+    rho = np.empty(max_lag + 1)
+    for lag in range(max_lag + 1):
+        rho[lag] = float(np.dot(centered[: walk_length - lag], centered[lag:])) / denom
+    return rho

@@ -1,0 +1,96 @@
+"""Solve results and search statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.termination import TerminationReason
+
+__all__ = ["SolveStats", "SolveResult"]
+
+
+@dataclass
+class SolveStats:
+    """Counters accumulated over one solve call (across restarts).
+
+    These mirror the statistics the C library prints per run (iterations,
+    local minima, swaps, resets, restarts) and are the raw material for the
+    paper's performance tables.
+    """
+
+    iterations: int = 0
+    swaps: int = 0
+    local_minima: int = 0
+    plateau_moves: int = 0
+    accepted_local_min_moves: int = 0
+    frozen_variables: int = 0
+    resets: int = 0
+    restarts: int = 0
+    wall_time: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "iterations": self.iterations,
+            "swaps": self.swaps,
+            "local_minima": self.local_minima,
+            "plateau_moves": self.plateau_moves,
+            "accepted_local_min_moves": self.accepted_local_min_moves,
+            "frozen_variables": self.frozen_variables,
+            "resets": self.resets,
+            "restarts": self.restarts,
+            "wall_time": self.wall_time,
+        }
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one (sequential) solve.
+
+    Attributes
+    ----------
+    solved:
+        whether ``cost <= target_cost`` was reached.
+    config:
+        the best configuration seen (the solution when ``solved``).
+    cost:
+        cost of ``config``.
+    reason:
+        why the search stopped.
+    stats:
+        search counters (see :class:`SolveStats`).
+    problem_name / solver_name / seed_info:
+        provenance for reports and caches.
+    """
+
+    solved: bool
+    config: np.ndarray
+    cost: float
+    reason: TerminationReason
+    stats: SolveStats
+    problem_name: str = ""
+    solver_name: str = ""
+    seed_info: str = ""
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def wall_time(self) -> float:
+        """Convenience alias for ``stats.wall_time``."""
+        return self.stats.wall_time
+
+    @property
+    def iterations(self) -> int:
+        """Convenience alias for ``stats.iterations``."""
+        return self.stats.iterations
+
+    def summary(self) -> str:
+        """One-line human-readable result description."""
+        status = "SOLVED" if self.solved else f"cost={self.cost:g}"
+        return (
+            f"{self.problem_name or 'problem'}: {status} "
+            f"in {self.stats.iterations} iterations "
+            f"({self.stats.wall_time:.3f}s, {self.stats.restarts} restarts, "
+            f"{self.stats.resets} resets, reason={self.reason.name})"
+        )

@@ -1,0 +1,158 @@
+"""The Adaptive Search solver (Codognet & Diaz), sequential engine.
+
+One iteration of the method:
+
+1. project constraint errors onto variables and select the *worst*
+   non-frozen variable (ties uniformly at random);
+2. evaluate the cost change of swapping it with every other position and
+   select the best swap (ties uniformly at random);
+3. if the best swap improves the cost, execute it; otherwise the variable
+   sits on a local minimum: with probability ``prob_select_loc_min`` execute
+   the best swap anyway, else *freeze* (mark) the variable for
+   ``freeze_loc_min`` iterations;
+4. when more than ``reset_limit`` variables are simultaneously frozen,
+   perform a *partial reset* (randomly perturb ``reset_fraction`` of the
+   configuration and clear all marks);
+5. on top of this, classic restarts: after ``restart_limit`` iterations the
+   walk re-randomizes completely (up to ``max_restarts`` times).
+
+The loop itself lives in :class:`repro.core.session.AdaptiveSearchSession`
+(the resumable form used by the cooperative multi-walk runtime and by
+checkpointing); this class is the run-to-completion wrapper that adds
+iteration/time budgets and packages a :class:`SolveResult`.
+
+This is the engine the paper runs in ``k`` independent copies; see
+:mod:`repro.parallel` for the multi-walk runtime.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.result import SolveResult
+from repro.core.session import AdaptiveSearchSession
+from repro.core.termination import Budget, TerminationReason
+from repro.problems.base import Problem
+from repro.util.rng import SeedLike
+
+__all__ = ["AdaptiveSearch"]
+
+
+class AdaptiveSearch:
+    """Sequential Adaptive Search engine.
+
+    A solver object is stateless across calls; it only carries its base
+    configuration, so one instance may be shared (even across threads).
+
+    Parameters
+    ----------
+    config:
+        base configuration; per-problem defaults from
+        :meth:`Problem.default_solver_parameters` fill any field the caller
+        left at its class default.
+    use_problem_defaults:
+        set to False to run the raw configuration exactly as given.
+    """
+
+    name = "adaptive_search"
+
+    #: iterations per session step between budget checks (matches the
+    #: default time-poll granularity of :class:`Budget`)
+    _CHUNK = 64
+
+    def __init__(
+        self,
+        config: AdaptiveSearchConfig | None = None,
+        *,
+        use_problem_defaults: bool = True,
+    ) -> None:
+        self.base_config = config or AdaptiveSearchConfig()
+        self.use_problem_defaults = use_problem_defaults
+
+    def effective_config(self, problem: Problem) -> AdaptiveSearchConfig:
+        """The configuration that ``solve`` would use for ``problem``."""
+        if not self.use_problem_defaults:
+            return self.base_config
+        return self.base_config.merged_with(problem.default_solver_parameters())
+
+    # ------------------------------------------------------------------
+    def session(
+        self,
+        problem: Problem,
+        seed: SeedLike = None,
+        *,
+        callbacks: Optional[Sequence[object]] = None,
+        initial_configuration: Optional[np.ndarray] = None,
+    ) -> AdaptiveSearchSession:
+        """A resumable walk with this solver's effective configuration."""
+        return AdaptiveSearchSession(
+            problem,
+            self.effective_config(problem),
+            seed,
+            callbacks=callbacks,
+            initial_configuration=initial_configuration,
+        )
+
+    def solve(
+        self,
+        problem: Problem,
+        seed: SeedLike = None,
+        *,
+        callbacks: Optional[Sequence[object]] = None,
+        initial_configuration: Optional[np.ndarray] = None,
+    ) -> SolveResult:
+        """Run the search until solved or a budget is exhausted.
+
+        ``initial_configuration`` pins the first start (restarts still
+        re-randomize); by default the first start is random too.
+        """
+        cfg = self.effective_config(problem)
+        session = AdaptiveSearchSession(
+            problem,
+            cfg,
+            seed,
+            callbacks=callbacks,
+            initial_configuration=initial_configuration,
+        )
+        budget = Budget.from_limits(cfg.max_iterations, cfg.time_limit)
+
+        reason: TerminationReason | None = None
+        while reason is None:
+            exhausted = budget.exhausted(session.stats.iterations)
+            if exhausted is not None:
+                # a solved/finished session takes precedence over budgets
+                reason = session.step(0) or exhausted
+                break
+            remaining = cfg.max_iterations - session.stats.iterations
+            chunk = self._CHUNK if math.isinf(remaining) else int(
+                min(self._CHUNK, remaining)
+            )
+            reason = session.step(chunk)
+
+        return self._package(session, reason, problem)
+
+    # ------------------------------------------------------------------
+    def _package(
+        self,
+        session: AdaptiveSearchSession,
+        reason: TerminationReason,
+        problem: Problem,
+    ) -> SolveResult:
+        stats = session.stats
+        stats.wall_time = session.elapsed
+        assert session.best_config is not None
+        solved = reason is TerminationReason.SOLVED
+        session.callbacks.on_finish(solved, session.best_cost)
+        return SolveResult(
+            solved=solved,
+            config=session.best_config,
+            cost=session.best_cost,
+            reason=reason,
+            stats=stats,
+            problem_name=problem.name,
+            solver_name=self.name,
+        )

@@ -1,0 +1,53 @@
+"""Termination bookkeeping for the search loops."""
+
+from __future__ import annotations
+
+import enum
+import math
+import time
+from dataclasses import dataclass
+
+__all__ = ["TerminationReason", "Budget"]
+
+
+class TerminationReason(enum.Enum):
+    """Why a solve call returned."""
+
+    SOLVED = "solved"
+    MAX_ITERATIONS = "max_iterations"
+    TIME_LIMIT = "time_limit"
+    RESTARTS_EXHAUSTED = "restarts_exhausted"
+    CANCELLED = "cancelled"  # another walk finished first (multi-walk)
+
+
+@dataclass
+class Budget:
+    """Shared iteration/time budget checked inside the search loop.
+
+    ``deadline`` is an absolute :func:`time.perf_counter` timestamp so
+    repeated checks cost one subtraction.  Time is only polled every
+    ``check_every`` iterations to keep the hot loop cheap.
+    """
+
+    max_iterations: float = math.inf
+    deadline: float = math.inf
+    check_every: int = 64
+
+    @classmethod
+    def from_limits(
+        cls, max_iterations: float = math.inf, time_limit: float = math.inf
+    ) -> "Budget":
+        deadline = math.inf if math.isinf(time_limit) else time.perf_counter() + time_limit
+        return cls(max_iterations=max_iterations, deadline=deadline)
+
+    def exhausted(self, iterations: int) -> TerminationReason | None:
+        """Return the exhaustion reason, or None if budget remains."""
+        if iterations >= self.max_iterations:
+            return TerminationReason.MAX_ITERATIONS
+        if (
+            self.deadline is not math.inf
+            and iterations % self.check_every == 0
+            and time.perf_counter() >= self.deadline
+        ):
+            return TerminationReason.TIME_LIMIT
+        return None

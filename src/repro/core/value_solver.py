@@ -1,0 +1,198 @@
+"""Adaptive Search in value-move mode (general, non-permutation CSPs).
+
+Same method as :class:`repro.core.solver.AdaptiveSearch` with the swap
+neighbourhood replaced by single-variable assignments, mirroring the C
+library's non-``Is_Permut`` mode:
+
+1. select the worst non-frozen variable by projected error;
+2. evaluate every domain value for it, select the best (ties random);
+3. improving → assign; otherwise the local-minimum machinery applies
+   (probabilistic acceptance, freezing, partial resets, restarts).
+
+The configuration object is shared with the swap engine
+(:class:`AdaptiveSearchConfig`) — the tunables mean the same things.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.callbacks import CallbackList, IterationInfo
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.result import SolveResult, SolveStats
+from repro.core.selection import argmin_random_tie, masked_argmax_random_tie
+from repro.core.termination import Budget, TerminationReason
+from repro.problems.value_base import ValueProblem
+from repro.util.rng import SeedLike, as_generator
+from repro.util.timing import Stopwatch
+
+__all__ = ["ValueAdaptiveSearch"]
+
+
+class ValueAdaptiveSearch:
+    """Sequential Adaptive Search over value-change neighbourhoods."""
+
+    name = "value_adaptive_search"
+
+    def __init__(
+        self,
+        config: AdaptiveSearchConfig | None = None,
+        *,
+        use_problem_defaults: bool = True,
+    ) -> None:
+        self.base_config = config or AdaptiveSearchConfig()
+        self.use_problem_defaults = use_problem_defaults
+
+    def effective_config(self, problem: ValueProblem) -> AdaptiveSearchConfig:
+        if not self.use_problem_defaults:
+            return self.base_config
+        return self.base_config.merged_with(problem.default_solver_parameters())
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        problem: ValueProblem,
+        seed: SeedLike = None,
+        *,
+        callbacks: Optional[Sequence[object]] = None,
+        initial_configuration: Optional[np.ndarray] = None,
+    ) -> SolveResult:
+        cfg = self.effective_config(problem)
+        rng = as_generator(seed)
+        cbs = CallbackList(list(callbacks) if callbacks else [])
+        stats = SolveStats()
+        budget = Budget.from_limits(cfg.max_iterations, cfg.time_limit)
+        stopwatch = Stopwatch().start()
+
+        n = problem.size
+        best_cost = math.inf
+        best_config: np.ndarray | None = None
+        reason: TerminationReason | None = None
+
+        for restart_index in range(cfg.max_restarts + 1):
+            if restart_index == 0 and initial_configuration is not None:
+                start = np.array(initial_configuration, dtype=np.int64, copy=True)
+            else:
+                start = problem.random_configuration(rng)
+            state = problem.init_state(start)
+            if restart_index == 0:
+                cbs.on_start(state.config, state.cost)
+            else:
+                stats.restarts += 1
+                cbs.on_restart(restart_index, state.cost)
+            if state.cost < best_cost:
+                best_cost = state.cost
+                best_config = state.copy_config()
+
+            marks = np.zeros(n, dtype=np.int64)
+            restart_iterations = 0
+
+            while True:
+                if state.cost <= cfg.target_cost:
+                    reason = TerminationReason.SOLVED
+                    break
+                exhausted = budget.exhausted(stats.iterations)
+                if exhausted is not None:
+                    reason = exhausted
+                    break
+                if restart_iterations >= cfg.restart_limit:
+                    break
+
+                stats.iterations += 1
+                restart_iterations += 1
+                it = stats.iterations
+
+                errors = problem.variable_errors(state)
+                eligible = marks < it
+                if not eligible.any():
+                    problem.partial_reset(state, cfg.reset_fraction, rng)
+                    stats.resets += 1
+                    marks[:] = 0
+                    cbs.on_reset(it, state.cost)
+                    continue
+
+                var = masked_argmax_random_tie(errors, eligible, rng)
+                values = problem.domain_values(var)
+                deltas = problem.value_deltas(state, var)
+                current = int(state.config[var])
+                # never "move" to the current value
+                current_mask = values == current
+                deltas = deltas.astype(np.float64)
+                deltas[current_mask] = math.inf
+                choice = argmin_random_tie(deltas, rng)
+                delta = float(deltas[choice])
+                value = int(values[choice])
+
+                executed = -1
+                improving = delta < 0 or (
+                    delta == 0 and not cfg.plateau_is_local_min
+                )
+                if improving:
+                    problem.apply_assign(state, var, value)
+                    stats.swaps += 1
+                    if delta == 0:
+                        stats.plateau_moves += 1
+                    executed = choice
+                else:
+                    stats.local_minima += 1
+                    marks[var] = it + cfg.freeze_loc_min
+                    stats.frozen_variables += 1
+                    if (
+                        math.isfinite(delta)
+                        and rng.random() < cfg.prob_select_loc_min
+                    ):
+                        problem.apply_assign(state, var, value)
+                        stats.swaps += 1
+                        stats.accepted_local_min_moves += 1
+                        if delta == 0:
+                            stats.plateau_moves += 1
+                        executed = choice
+                    else:
+                        frozen_now = int((marks > it).sum())
+                        if frozen_now > cfg.reset_limit:
+                            problem.partial_reset(state, cfg.reset_fraction, rng)
+                            stats.resets += 1
+                            marks[:] = 0
+                            cbs.on_reset(it, state.cost)
+
+                if state.cost < best_cost:
+                    best_cost = state.cost
+                    best_config = state.copy_config()
+
+                keep_going = cbs.on_iteration(
+                    IterationInfo(
+                        iteration=it,
+                        cost=state.cost,
+                        best_cost=best_cost,
+                        selected_variable=var,
+                        selected_swap=executed,
+                        delta=delta if executed >= 0 else 0.0,
+                        restarts=stats.restarts,
+                        resets=stats.resets,
+                    )
+                )
+                if not keep_going:
+                    reason = TerminationReason.CANCELLED
+                    break
+
+            if reason is not None:
+                break
+
+        if reason is None:
+            reason = TerminationReason.RESTARTS_EXHAUSTED
+        stats.wall_time = stopwatch.stop()
+        assert best_config is not None
+        solved = reason is TerminationReason.SOLVED
+        cbs.on_finish(solved, best_cost)
+        return SolveResult(
+            solved=solved,
+            config=best_config,
+            cost=best_cost,
+            reason=reason,
+            stats=stats,
+            problem_name=problem.name,
+            solver_name=self.name,
+        )

@@ -1,0 +1,65 @@
+"""Constraint-satisfaction substrate used by the Adaptive Search engine.
+
+This package re-implements the modelling layer of the original C "adaptive
+search" library: variables over integer domains and constraints equipped with
+*error functions*.  An error function maps a full assignment to a
+non-negative number that is zero iff the constraint is satisfied; constraint
+errors are *projected* onto the variables they mention to give per-variable
+errors, which is what drives Adaptive Search's worst-variable selection.
+
+The four paper benchmarks (:mod:`repro.problems`) implement their cost
+functions directly for speed — exactly as the C benchmarks do — while this
+declarative layer backs the generic :class:`~repro.problems.base.ModelProblem`
+adapter and the examples.
+"""
+
+from repro.csp.domain import ExplicitDomain, IntegerDomain
+from repro.csp.variables import VariableArray
+from repro.csp.error_functions import (
+    error_eq,
+    error_ge,
+    error_gt,
+    error_le,
+    error_lt,
+    error_ne,
+)
+from repro.csp.constraints import (
+    AllDifferent,
+    Constraint,
+    FunctionalConstraint,
+    LinearConstraint,
+    Relation,
+)
+from repro.csp.global_constraints import (
+    AbsoluteDifference,
+    ElementConstraint,
+    IncreasingChain,
+    MaximumConstraint,
+    NotAllEqual,
+    SumConstraint,
+)
+from repro.csp.model import Model
+
+__all__ = [
+    "IntegerDomain",
+    "ExplicitDomain",
+    "VariableArray",
+    "Constraint",
+    "LinearConstraint",
+    "AllDifferent",
+    "FunctionalConstraint",
+    "Relation",
+    "SumConstraint",
+    "NotAllEqual",
+    "ElementConstraint",
+    "MaximumConstraint",
+    "IncreasingChain",
+    "AbsoluteDifference",
+    "Model",
+    "error_eq",
+    "error_ne",
+    "error_le",
+    "error_lt",
+    "error_ge",
+    "error_gt",
+]

@@ -1,0 +1,175 @@
+"""Constraint objects with Adaptive Search error semantics.
+
+A :class:`Constraint` mentions a set of global variable indices and exposes
+``error(assignment)`` — non-negative, zero iff satisfied.  The model projects
+constraint errors onto variables (see :class:`repro.csp.model.Model`); a
+constraint may refine that projection by overriding ``variable_errors``.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.csp.error_functions import ERROR_FUNCTIONS
+from repro.errors import ModelError
+
+__all__ = [
+    "Relation",
+    "Constraint",
+    "LinearConstraint",
+    "AllDifferent",
+    "FunctionalConstraint",
+]
+
+
+class Relation(enum.Enum):
+    """Arithmetic relations with standard error functions."""
+
+    EQ = "=="
+    NE = "!="
+    LE = "<="
+    LT = "<"
+    GE = ">="
+    GT = ">"
+
+    @classmethod
+    def coerce(cls, value: "Relation | str") -> "Relation":
+        if isinstance(value, Relation):
+            return value
+        for member in cls:
+            if member.value == value or member.name == value:
+                return member
+        if value == "=":
+            return cls.EQ
+        raise ModelError(f"unknown relation {value!r}")
+
+    @property
+    def error_fn(self) -> Callable:
+        return ERROR_FUNCTIONS[self.value]
+
+
+class Constraint(ABC):
+    """Base class: a named constraint over global variable indices."""
+
+    def __init__(self, variables: Sequence[int], name: str = "") -> None:
+        idx = np.asarray(list(variables), dtype=np.int64)
+        if idx.size == 0:
+            raise ModelError("constraint must mention at least one variable")
+        if idx.min() < 0:
+            raise ModelError(f"negative variable index in constraint: {idx.min()}")
+        if len(np.unique(idx)) != len(idx):
+            raise ModelError("constraint mentions a variable twice; merge coefficients")
+        self.variables = idx
+        self.name = name or type(self).__name__
+
+    @abstractmethod
+    def error(self, assignment: np.ndarray) -> float:
+        """Distance to satisfaction for a *full* model assignment."""
+
+    def variable_errors(self, assignment: np.ndarray) -> np.ndarray:
+        """Per-mentioned-variable error contributions.
+
+        Default projection: every mentioned variable receives the full
+        constraint error (the C library's default).  Subclasses override
+        this when a sharper attribution exists.  Returned array aligns with
+        ``self.variables``.
+        """
+        return np.full(len(self.variables), self.error(assignment), dtype=np.float64)
+
+    def satisfied(self, assignment: np.ndarray) -> bool:
+        return self.error(assignment) == 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, vars={self.variables.tolist()})"
+
+
+class LinearConstraint(Constraint):
+    """``sum(coeffs[i] * x[vars[i]]) REL rhs`` with the standard error."""
+
+    def __init__(
+        self,
+        variables: Sequence[int],
+        coefficients: Sequence[float],
+        relation: Relation | str,
+        rhs: float,
+        name: str = "",
+    ) -> None:
+        super().__init__(variables, name)
+        coeffs = np.asarray(list(coefficients), dtype=np.float64)
+        if coeffs.shape != self.variables.shape:
+            raise ModelError(
+                f"constraint {self.name!r}: {len(coeffs)} coefficients for "
+                f"{len(self.variables)} variables"
+            )
+        self.coefficients = coeffs
+        self.relation = Relation.coerce(relation)
+        self.rhs = float(rhs)
+
+    def lhs(self, assignment: np.ndarray) -> float:
+        return float(self.coefficients @ assignment[self.variables])
+
+    def error(self, assignment: np.ndarray) -> float:
+        return float(self.relation.error_fn(self.lhs(assignment), self.rhs))
+
+    def variable_errors(self, assignment: np.ndarray) -> np.ndarray:
+        # Attribute the violation to every variable, weighted by |coefficient|
+        # so that variables with more leverage on the sum look worse.
+        err = self.error(assignment)
+        if err == 0:
+            return np.zeros(len(self.variables))
+        weights = np.abs(self.coefficients)
+        total = weights.sum()
+        if total == 0:
+            return np.full(len(self.variables), err)
+        return err * weights * (len(weights) / total)
+
+
+class AllDifferent(Constraint):
+    """All mentioned variables take pairwise distinct values.
+
+    Error = number of variables that would have to change to restore
+    distinctness, i.e. ``sum over values of (count - 1)``.
+    """
+
+    def error(self, assignment: np.ndarray) -> float:
+        values = assignment[self.variables]
+        _, counts = np.unique(values, return_counts=True)
+        return float(np.sum(counts - 1))
+
+    def variable_errors(self, assignment: np.ndarray) -> np.ndarray:
+        values = assignment[self.variables]
+        uniq, inverse, counts = np.unique(
+            values, return_inverse=True, return_counts=True
+        )
+        # a variable is "in error" when its value is shared
+        dup = counts[inverse] > 1
+        return dup.astype(np.float64)
+
+
+class FunctionalConstraint(Constraint):
+    """Arbitrary user error function over the mentioned variables.
+
+    ``fn`` receives the values of the mentioned variables (in the order they
+    were given) and must return a non-negative number.
+    """
+
+    def __init__(
+        self,
+        variables: Sequence[int],
+        fn: Callable[[np.ndarray], float],
+        name: str = "",
+    ) -> None:
+        super().__init__(variables, name)
+        self.fn = fn
+
+    def error(self, assignment: np.ndarray) -> float:
+        err = float(self.fn(assignment[self.variables]))
+        if err < 0:
+            raise ModelError(
+                f"constraint {self.name!r}: error function returned {err} < 0"
+            )
+        return err

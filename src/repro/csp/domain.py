@@ -1,0 +1,121 @@
+"""Integer variable domains.
+
+Adaptive Search benchmarks overwhelmingly use contiguous integer ranges
+(often permutations of them), so :class:`IntegerDomain` is the workhorse;
+:class:`ExplicitDomain` covers arbitrary finite value sets for the
+declarative model layer.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["Domain", "IntegerDomain", "ExplicitDomain"]
+
+
+class Domain(ABC):
+    """A finite set of integer values a variable may take."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of values in the domain."""
+
+    @abstractmethod
+    def values(self) -> np.ndarray:
+        """All domain values as a sorted int64 array (fresh copy)."""
+
+    @abstractmethod
+    def contains(self, value: int) -> bool:
+        """Membership test for a single value."""
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray | int:
+        """Uniform sample (a scalar when ``size`` is None)."""
+        vals = self.values()
+        if size is None:
+            return int(vals[rng.integers(0, len(vals))])
+        return vals[rng.integers(0, len(vals), size=size)]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.values().tolist())
+
+    def __contains__(self, value: object) -> bool:
+        return isinstance(value, (int, np.integer)) and self.contains(int(value))
+
+
+class IntegerDomain(Domain):
+    """Contiguous range ``[lo, hi]`` (inclusive on both ends)."""
+
+    def __init__(self, lo: int, hi: int) -> None:
+        if hi < lo:
+            raise ModelError(f"empty integer domain: [{lo}, {hi}]")
+        self.lo = int(lo)
+        self.hi = int(hi)
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo + 1
+
+    def values(self) -> np.ndarray:
+        return np.arange(self.lo, self.hi + 1, dtype=np.int64)
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray | int:
+        if size is None:
+            return int(rng.integers(self.lo, self.hi + 1))
+        return rng.integers(self.lo, self.hi + 1, size=size).astype(np.int64)
+
+    def __repr__(self) -> str:
+        return f"IntegerDomain({self.lo}, {self.hi})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, IntegerDomain)
+            and other.lo == self.lo
+            and other.hi == self.hi
+        )
+
+    def __hash__(self) -> int:
+        return hash(("IntegerDomain", self.lo, self.hi))
+
+
+class ExplicitDomain(Domain):
+    """Arbitrary finite set of integers."""
+
+    def __init__(self, values: Iterable[int]) -> None:
+        arr = np.unique(np.asarray(list(values), dtype=np.int64))
+        if arr.size == 0:
+            raise ModelError("empty explicit domain")
+        self._values = arr
+
+    @property
+    def size(self) -> int:
+        return int(self._values.size)
+
+    def values(self) -> np.ndarray:
+        return self._values.copy()
+
+    def contains(self, value: int) -> bool:
+        idx = int(np.searchsorted(self._values, value))
+        return idx < self._values.size and int(self._values[idx]) == value
+
+    def __repr__(self) -> str:
+        return f"ExplicitDomain({self._values.tolist()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ExplicitDomain) and np.array_equal(
+            other._values, self._values
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ExplicitDomain", self._values.tobytes()))

@@ -1,0 +1,80 @@
+"""Standard error functions for arithmetic relations.
+
+Following Codognet & Diaz (SAGA'01), an *error function* for a constraint
+``lhs REL rhs`` returns a non-negative magnitude that is zero iff the
+relation holds and otherwise grows with the "distance to satisfaction".
+These are the canonical choices used by the C adaptive-search library:
+
+======== =======================
+relation error
+======== =======================
+``=``    ``|lhs - rhs|``
+``!=``   ``1 if lhs == rhs``
+``<=``   ``max(0, lhs - rhs)``
+``<``    ``max(0, lhs - rhs + 1)``
+``>=``   ``max(0, rhs - lhs)``
+``>``    ``max(0, rhs - lhs + 1)``
+======== =======================
+
+All functions are numpy-vectorized: scalars in → scalar out, arrays in →
+element-wise arrays out.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+import numpy as np
+
+ArrayLike = Union[int, float, np.ndarray]
+
+__all__ = [
+    "error_eq",
+    "error_ne",
+    "error_le",
+    "error_lt",
+    "error_ge",
+    "error_gt",
+    "ERROR_FUNCTIONS",
+]
+
+
+def error_eq(lhs: ArrayLike, rhs: ArrayLike) -> ArrayLike:
+    """Error of ``lhs == rhs``."""
+    return np.abs(np.subtract(lhs, rhs))
+
+
+def error_ne(lhs: ArrayLike, rhs: ArrayLike) -> ArrayLike:
+    """Error of ``lhs != rhs`` (indicator of equality)."""
+    return np.where(np.equal(lhs, rhs), 1, 0)
+
+
+def error_le(lhs: ArrayLike, rhs: ArrayLike) -> ArrayLike:
+    """Error of ``lhs <= rhs``."""
+    return np.maximum(0, np.subtract(lhs, rhs))
+
+
+def error_lt(lhs: ArrayLike, rhs: ArrayLike) -> ArrayLike:
+    """Error of ``lhs < rhs`` (integer semantics: short by at least 1)."""
+    return np.maximum(0, np.subtract(lhs, rhs) + 1)
+
+
+def error_ge(lhs: ArrayLike, rhs: ArrayLike) -> ArrayLike:
+    """Error of ``lhs >= rhs``."""
+    return np.maximum(0, np.subtract(rhs, lhs))
+
+
+def error_gt(lhs: ArrayLike, rhs: ArrayLike) -> ArrayLike:
+    """Error of ``lhs > rhs`` (integer semantics)."""
+    return np.maximum(0, np.subtract(rhs, lhs) + 1)
+
+
+ERROR_FUNCTIONS: dict[str, Callable[[ArrayLike, ArrayLike], ArrayLike]] = {
+    "==": error_eq,
+    "=": error_eq,
+    "!=": error_ne,
+    "<=": error_le,
+    "<": error_lt,
+    ">=": error_ge,
+    ">": error_gt,
+}

@@ -1,0 +1,169 @@
+"""Additional global constraints with Adaptive Search error semantics.
+
+These extend :mod:`repro.csp.constraints` with the global constraints the
+original C library's modelling examples rely on.  Each provides a natural
+"distance to satisfaction" error and, where meaningful, a sharper
+per-variable projection than the default broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.csp.constraints import Constraint, LinearConstraint, Relation
+from repro.errors import ModelError
+
+__all__ = [
+    "SumConstraint",
+    "NotAllEqual",
+    "ElementConstraint",
+    "MaximumConstraint",
+    "IncreasingChain",
+    "AbsoluteDifference",
+]
+
+
+class SumConstraint(LinearConstraint):
+    """``sum(x[vars]) REL rhs`` — unit-coefficient linear constraint."""
+
+    def __init__(
+        self,
+        variables: Sequence[int],
+        relation: Relation | str,
+        rhs: float,
+        name: str = "",
+    ) -> None:
+        super().__init__(
+            variables,
+            [1.0] * len(list(variables)),
+            relation,
+            rhs,
+            name or "SumConstraint",
+        )
+
+
+class NotAllEqual(Constraint):
+    """At least two of the mentioned variables differ.
+
+    Error 1 when all values coincide, else 0 (a symbolic constraint; its
+    error is inherently boolean).
+    """
+
+    def __init__(self, variables: Sequence[int], name: str = "") -> None:
+        super().__init__(variables, name or "NotAllEqual")
+        if len(self.variables) < 2:
+            raise ModelError("NotAllEqual needs at least two variables")
+
+    def error(self, assignment: np.ndarray) -> float:
+        values = assignment[self.variables]
+        return 1.0 if np.all(values == values[0]) else 0.0
+
+
+class ElementConstraint(Constraint):
+    """``table[x[index_var]] == x[value_var]``.
+
+    The error combines an out-of-range penalty on the index with the value
+    distance: indices outside the table are charged their distance back
+    into range plus the worst value error, keeping the surface smooth.
+    """
+
+    def __init__(
+        self,
+        index_var: int,
+        value_var: int,
+        table: Sequence[float],
+        name: str = "",
+    ) -> None:
+        if index_var == value_var:
+            raise ModelError("ElementConstraint needs distinct variables")
+        super().__init__([index_var, value_var], name or "ElementConstraint")
+        self.table = np.asarray(list(table), dtype=np.float64)
+        if self.table.size == 0:
+            raise ModelError("ElementConstraint needs a non-empty table")
+        self._spread = float(self.table.max() - self.table.min()) or 1.0
+
+    def error(self, assignment: np.ndarray) -> float:
+        idx = int(assignment[self.variables[0]])
+        value = float(assignment[self.variables[1]])
+        if idx < 0:
+            return float(-idx) + self._spread
+        if idx >= self.table.size:
+            return float(idx - self.table.size + 1) + self._spread
+        return abs(float(self.table[idx]) - value)
+
+
+class MaximumConstraint(Constraint):
+    """``max(x[vars]) == x[value_var]``."""
+
+    def __init__(
+        self, variables: Sequence[int], value_var: int, name: str = ""
+    ) -> None:
+        all_vars = list(variables) + [value_var]
+        if value_var in list(variables):
+            raise ModelError(
+                "MaximumConstraint: value variable must not be in the scope"
+            )
+        super().__init__(all_vars, name or "MaximumConstraint")
+        self._n_scope = len(list(variables))
+
+    def error(self, assignment: np.ndarray) -> float:
+        values = assignment[self.variables[: self._n_scope]]
+        target = float(assignment[self.variables[-1]])
+        return abs(float(values.max()) - target)
+
+
+class IncreasingChain(Constraint):
+    """``x[v0] <= x[v1] <= ... <= x[vk]`` (sum of pairwise violations)."""
+
+    def __init__(
+        self, variables: Sequence[int], *, strict: bool = False, name: str = ""
+    ) -> None:
+        super().__init__(variables, name or "IncreasingChain")
+        if len(self.variables) < 2:
+            raise ModelError("IncreasingChain needs at least two variables")
+        self.strict = strict
+
+    def error(self, assignment: np.ndarray) -> float:
+        values = assignment[self.variables].astype(np.float64)
+        gaps = values[:-1] - values[1:]
+        if self.strict:
+            gaps = gaps + 1
+        return float(np.maximum(gaps, 0).sum())
+
+    def variable_errors(self, assignment: np.ndarray) -> np.ndarray:
+        values = assignment[self.variables].astype(np.float64)
+        gaps = values[:-1] - values[1:]
+        if self.strict:
+            gaps = gaps + 1
+        violation = np.maximum(gaps, 0)
+        errors = np.zeros(len(self.variables))
+        errors[:-1] += violation
+        errors[1:] += violation
+        return errors
+
+
+class AbsoluteDifference(Constraint):
+    """``|x[a] - x[b]| REL rhs`` (e.g. the all-interval building block)."""
+
+    def __init__(
+        self,
+        var_a: int,
+        var_b: int,
+        relation: Relation | str,
+        rhs: float,
+        name: str = "",
+    ) -> None:
+        if var_a == var_b:
+            raise ModelError("AbsoluteDifference needs distinct variables")
+        super().__init__([var_a, var_b], name or "AbsoluteDifference")
+        self.relation = Relation.coerce(relation)
+        self.rhs = float(rhs)
+
+    def error(self, assignment: np.ndarray) -> float:
+        lhs = abs(
+            float(assignment[self.variables[0]])
+            - float(assignment[self.variables[1]])
+        )
+        return float(self.relation.error_fn(lhs, self.rhs))

@@ -1,0 +1,177 @@
+"""Declarative CSP model: variable arrays + error-function constraints.
+
+The model aggregates constraint errors into a total cost and projects them
+onto variables — the two quantities Adaptive Search consumes.  Permutation
+structure can be declared per variable array; the
+:class:`~repro.problems.base.ModelProblem` adapter then exposes the model to
+the solver through the generic (non-incremental) problem protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.csp.constraints import Constraint
+from repro.csp.domain import Domain
+from repro.csp.variables import VariableArray
+from repro.errors import ModelError
+from repro.util.rng import SeedLike, as_generator
+
+__all__ = ["Model"]
+
+
+class Model:
+    """A collection of variable arrays and constraints.
+
+    Variables receive global indices in registration order: the first array
+    occupies ``0 .. n0-1``, the next ``n0 .. n0+n1-1``, and so on.  A full
+    assignment is a single int64 vector over all global indices.
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self.arrays: list[VariableArray] = []
+        self.constraints: list[Constraint] = []
+        self._n_variables = 0
+        self._permutation_arrays: set[str] = set()
+        self._incidence: list[list[tuple[int, int]]] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_array(self, name: str, n: int, domain: Domain) -> VariableArray:
+        """Create and register a new variable array."""
+        if any(a.name == name for a in self.arrays):
+            raise ModelError(f"duplicate variable array name {name!r}")
+        array = VariableArray(name, n, domain)
+        array._register(self._n_variables)
+        self.arrays.append(array)
+        self._n_variables += array.n
+        self._incidence = None
+        return array
+
+    def add_constraint(self, constraint: Constraint) -> Constraint:
+        """Register a constraint; its indices must be in range."""
+        if constraint.variables.max() >= self._n_variables:
+            raise ModelError(
+                f"constraint {constraint.name!r} mentions variable "
+                f"{int(constraint.variables.max())} but model has only "
+                f"{self._n_variables} variables"
+            )
+        self.constraints.append(constraint)
+        self._incidence = None
+        return constraint
+
+    def add_constraints(self, constraints: Iterable[Constraint]) -> None:
+        for c in constraints:
+            self.add_constraint(c)
+
+    def declare_permutation(self, array: VariableArray) -> None:
+        """Mark ``array`` as permutation-structured.
+
+        Its variables always hold a permutation of the domain values; random
+        configurations shuffle the domain and the solver explores by swaps
+        (keeping any all-different structure satisfied by construction).
+        """
+        if array not in self.arrays:
+            raise ModelError(f"array {array.name!r} does not belong to this model")
+        if array.domain.size != array.n:
+            raise ModelError(
+                f"array {array.name!r}: permutation needs |domain| == n "
+                f"({array.domain.size} != {array.n})"
+            )
+        self._permutation_arrays.add(array.name)
+
+    def is_permutation(self, array: VariableArray) -> bool:
+        return array.name in self._permutation_arrays
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_variables(self) -> int:
+        return self._n_variables
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self.constraints)
+
+    def _incidence_lists(self) -> list[list[tuple[int, int]]]:
+        """For each global variable: list of (constraint idx, position)."""
+        if self._incidence is None:
+            incidence: list[list[tuple[int, int]]] = [
+                [] for _ in range(self._n_variables)
+            ]
+            for ci, constraint in enumerate(self.constraints):
+                for pos, v in enumerate(constraint.variables.tolist()):
+                    incidence[v].append((ci, pos))
+            self._incidence = incidence
+        return self._incidence
+
+    def constraints_on(self, variable: int) -> list[Constraint]:
+        """All constraints mentioning global variable ``variable``."""
+        if not 0 <= variable < self._n_variables:
+            raise IndexError(f"variable index {variable} out of range")
+        return [self.constraints[ci] for ci, _ in self._incidence_lists()[variable]]
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def check_assignment(self, assignment: np.ndarray) -> None:
+        """Validate shape and domain membership; raise ModelError if bad."""
+        arr = np.asarray(assignment)
+        if arr.shape != (self._n_variables,):
+            raise ModelError(
+                f"assignment has shape {arr.shape}, expected ({self._n_variables},)"
+            )
+        for array in self.arrays:
+            values = array.slice_of(arr)
+            for v in np.unique(values).tolist():
+                if not array.domain.contains(int(v)):
+                    raise ModelError(
+                        f"value {v} outside domain of array {array.name!r}"
+                    )
+
+    def cost(self, assignment: np.ndarray) -> float:
+        """Total cost = sum of constraint errors (0 iff all satisfied)."""
+        return float(sum(c.error(assignment) for c in self.constraints))
+
+    def variable_errors(self, assignment: np.ndarray) -> np.ndarray:
+        """Project constraint errors onto the variables they mention."""
+        errors = np.zeros(self._n_variables, dtype=np.float64)
+        for constraint in self.constraints:
+            contrib = constraint.variable_errors(assignment)
+            errors[constraint.variables] += contrib
+        return errors
+
+    def violated_constraints(self, assignment: np.ndarray) -> list[Constraint]:
+        return [c for c in self.constraints if c.error(assignment) > 0]
+
+    def is_solution(self, assignment: np.ndarray) -> bool:
+        return self.cost(assignment) == 0
+
+    # ------------------------------------------------------------------
+    # configurations
+    # ------------------------------------------------------------------
+    def random_assignment(self, seed: SeedLike = None) -> np.ndarray:
+        """Random full assignment respecting permutation declarations."""
+        rng = as_generator(seed)
+        out = np.empty(self._n_variables, dtype=np.int64)
+        for array in self.arrays:
+            if self.is_permutation(array):
+                values = array.domain.values()
+                rng.shuffle(values)
+                out[array.offset : array.offset + array.n] = values
+            else:
+                out[array.offset : array.offset + array.n] = array.domain.sample(
+                    rng, size=array.n
+                )
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Model({self.name!r}, variables={self._n_variables}, "
+            f"constraints={len(self.constraints)})"
+        )

@@ -1,0 +1,67 @@
+"""Permutation helpers shared by the benchmark problems.
+
+All paper benchmarks are modelled over permutations (the C library's
+``Is_Permut`` mode): a configuration is an int64 vector holding each domain
+value exactly once, and the move neighbourhood is the set of transpositions
+(swaps of two positions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProblemError
+
+__all__ = [
+    "is_permutation",
+    "check_permutation",
+    "random_partial_reset",
+    "swap_inplace",
+]
+
+
+def is_permutation(config: np.ndarray, base: int = 0) -> bool:
+    """True iff ``config`` is a permutation of ``base .. base+n-1``."""
+    arr = np.asarray(config)
+    if arr.ndim != 1:
+        return False
+    n = arr.size
+    seen = np.zeros(n, dtype=bool)
+    shifted = arr - base
+    if shifted.size and (shifted.min() < 0 or shifted.max() >= n):
+        return False
+    seen[shifted] = True
+    return bool(seen.all())
+
+
+def check_permutation(config: np.ndarray, base: int = 0) -> None:
+    """Raise :class:`ProblemError` unless ``config`` is a permutation."""
+    if not is_permutation(config, base):
+        raise ProblemError(
+            f"configuration is not a permutation of {base}..{base + len(config) - 1}"
+        )
+
+
+def swap_inplace(config: np.ndarray, i: int, j: int) -> None:
+    """Swap positions ``i`` and ``j`` of ``config`` in place."""
+    config[i], config[j] = config[j], config[i]
+
+
+def random_partial_reset(
+    config: np.ndarray, fraction: float, rng: np.random.Generator
+) -> int:
+    """Perturb ``config`` in place with random transpositions.
+
+    Mirrors the C library's partial reset: roughly ``fraction`` of the
+    variables are moved by applying ``ceil(fraction * n / 2)`` uniformly
+    random swaps (each swap touches two variables).  Returns the number of
+    swaps performed.  The result is always still a permutation.
+    """
+    n = len(config)
+    if not 0.0 < fraction <= 1.0:
+        raise ProblemError(f"reset fraction must be in (0, 1], got {fraction}")
+    n_swaps = max(1, int(np.ceil(fraction * n / 2.0)))
+    for _ in range(n_swaps):
+        i, j = rng.integers(0, n, size=2)
+        config[i], config[j] = config[j], config[i]
+    return n_swaps

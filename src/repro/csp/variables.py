@@ -1,0 +1,72 @@
+"""Variable arrays for declarative models.
+
+A :class:`VariableArray` is a named block of ``n`` decision variables sharing
+one domain — the natural shape for the paper's benchmarks (a permutation of
+``n`` values, a grid flattened to ``n*n`` cells, ...).  Models index variables
+globally; the array records its offset once registered with a
+:class:`~repro.csp.model.Model`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csp.domain import Domain
+from repro.errors import ModelError
+
+__all__ = ["VariableArray"]
+
+
+class VariableArray:
+    """``n`` integer variables named ``name[0] .. name[n-1]``."""
+
+    def __init__(self, name: str, n: int, domain: Domain) -> None:
+        if not name:
+            raise ModelError("variable array needs a non-empty name")
+        if n <= 0:
+            raise ModelError(f"variable array {name!r} needs n > 0, got {n}")
+        self.name = name
+        self.n = int(n)
+        self.domain = domain
+        self._offset: int | None = None
+
+    @property
+    def offset(self) -> int:
+        """Global index of this array's first variable within its model."""
+        if self._offset is None:
+            raise ModelError(
+                f"variable array {self.name!r} is not registered with a model"
+            )
+        return self._offset
+
+    @property
+    def registered(self) -> bool:
+        return self._offset is not None
+
+    def _register(self, offset: int) -> None:
+        if self._offset is not None:
+            raise ModelError(
+                f"variable array {self.name!r} is already part of a model"
+            )
+        self._offset = int(offset)
+
+    def index(self, i: int) -> int:
+        """Global model index of local variable ``i``."""
+        if not 0 <= i < self.n:
+            raise IndexError(f"{self.name}[{i}]: index out of range 0..{self.n - 1}")
+        return self.offset + i
+
+    def indices(self) -> np.ndarray:
+        """Global indices of all variables in this array."""
+        return np.arange(self.offset, self.offset + self.n, dtype=np.int64)
+
+    def slice_of(self, assignment: np.ndarray) -> np.ndarray:
+        """View of this array's values within a full model assignment."""
+        return assignment[self.offset : self.offset + self.n]
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        where = f"@{self._offset}" if self._offset is not None else "(unregistered)"
+        return f"VariableArray({self.name!r}, n={self.n}, {self.domain!r}) {where}"

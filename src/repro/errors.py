@@ -1,0 +1,51 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without masking
+programming errors (``TypeError`` etc. still propagate untouched).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "ProblemError",
+    "SolverError",
+    "ParallelError",
+    "SimulationError",
+    "ExperimentError",
+    "CacheError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-raised errors."""
+
+
+class ModelError(ReproError):
+    """Invalid CSP model construction (bad domain, arity mismatch, ...)."""
+
+
+class ProblemError(ReproError):
+    """Invalid benchmark-problem instance or configuration."""
+
+
+class SolverError(ReproError):
+    """Solver misconfiguration or invariant violation during search."""
+
+
+class ParallelError(ReproError):
+    """Failures of the multi-walk parallel runtime."""
+
+
+class SimulationError(ReproError):
+    """Invalid platform description or simulation request."""
+
+
+class ExperimentError(ReproError):
+    """Unknown experiment id or inconsistent harness request."""
+
+
+class CacheError(ReproError):
+    """Corrupt or unreadable on-disk sample cache."""

@@ -1,0 +1,45 @@
+"""Experiment harness: regenerates every figure and table of the paper.
+
+The pipeline per experiment:
+
+1. ``runner`` collects ``n`` independent sequential solves of each benchmark
+   (cached on disk — re-running a benchmark is free);
+2. sample times are rescaled to the paper's absolute regime (pure unit
+   change; speedup shapes are scale-invariant, see EXPERIMENTS.md);
+3. ``figures``/``tables`` push the samples through the platform simulator
+   and render ASCII charts/tables mirroring the paper's Figures 1-3 and the
+   headline numbers of its Section 3.
+
+Experiment definitions live in :mod:`repro.harness.experiment`; benchmarks
+under ``benchmarks/`` are thin wrappers that execute them.
+"""
+
+from repro.harness.cache import SampleCache
+from repro.harness.experiment import (
+    EXPERIMENTS,
+    BenchmarkSpec,
+    ExperimentSpec,
+    get_experiment,
+)
+from repro.harness.runner import collect_samples, scaled_times
+from repro.harness.figures import FigureResult, figure1, figure2, figure3
+from repro.harness.tables import TableResult, headline_table, times_table
+from repro.harness.report import run_experiment
+
+__all__ = [
+    "SampleCache",
+    "BenchmarkSpec",
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "get_experiment",
+    "collect_samples",
+    "scaled_times",
+    "FigureResult",
+    "figure1",
+    "figure2",
+    "figure3",
+    "TableResult",
+    "headline_table",
+    "times_table",
+    "run_experiment",
+]

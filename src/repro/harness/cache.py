@@ -1,0 +1,90 @@
+"""On-disk cache of sequential run samples.
+
+Collecting hundreds of independent solves is the expensive step of every
+experiment; the cache keys them by the full provenance (problem spec, solver
+configuration, seed, run count, library version) so any change invalidates
+cleanly and re-running a benchmark is free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.trace import RunSample, load_samples, save_samples
+from repro.errors import CacheError
+
+__all__ = ["SampleCache", "stable_key"]
+
+DEFAULT_CACHE_DIR = Path(".repro_cache")
+
+
+def _jsonable(value: Any) -> Any:
+    """Normalize values (dataclasses, tuples, numpy scalars) for hashing."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, float):
+        # json cannot encode inf/nan portably; stringify them
+        return value if np.isfinite(value) else repr(value)
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def stable_key(spec: Mapping[str, Any]) -> str:
+    """Deterministic 16-hex-digit key of a specification mapping."""
+    canonical = json.dumps(_jsonable(spec), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+class SampleCache:
+    """Directory of sample files keyed by experiment specification."""
+
+    def __init__(self, cache_dir: str | Path | None = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
+
+    def path_for(self, spec: Mapping[str, Any]) -> Path:
+        return self.cache_dir / f"{stable_key(spec)}.json"
+
+    def load(self, spec: Mapping[str, Any]) -> list[RunSample] | None:
+        """Cached samples for ``spec``, or None on miss/corruption."""
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        try:
+            samples, _meta = load_samples(path)
+        except CacheError:
+            # corrupt entries are treated as misses (and overwritten later)
+            return None
+        return samples
+
+    def store(
+        self, spec: Mapping[str, Any], samples: Sequence[RunSample]
+    ) -> Path:
+        path = self.path_for(spec)
+        save_samples(path, samples, meta=_jsonable(spec))
+        return path
+
+    def clear(self) -> int:
+        """Delete all cache entries; returns how many were removed."""
+        if not self.cache_dir.exists():
+            return 0
+        count = 0
+        for entry in self.cache_dir.glob("*.json"):
+            entry.unlink()
+            count += 1
+        return count

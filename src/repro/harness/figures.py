@@ -1,0 +1,246 @@
+"""Regeneration of the paper's figures as ASCII charts + data series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.platforms import get_platform
+from repro.cluster.topology import Platform
+from repro.stats.fitting import best_fit
+from repro.stats.speedup import SpeedupCurve, speedup_curve_from_samples
+from repro.util.ascii_plot import Series, line_chart, loglog_chart, render_table
+from repro.util.rng import SeedLike, as_generator
+
+__all__ = ["FigureResult", "figure1", "figure2", "figure3", "speedup_source"]
+
+
+@dataclass
+class FigureResult:
+    """A regenerated figure: chart text + the underlying curves."""
+
+    id: str
+    title: str
+    chart: str
+    curves: list[SpeedupCurve]
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [f"== {self.id}: {self.title} ==", self.chart, ""]
+        for curve in self.curves:
+            parts.append(
+                render_table(
+                    ["cores", "mean time (s)", "speedup", "efficiency"],
+                    curve.as_rows(),
+                    title=f"-- {curve.label} on {curve.platform} "
+                    f"(baseline {curve.baseline_cores} core(s), "
+                    f"T_base={curve.baseline_time:.4g}s)",
+                )
+            )
+            parts.append("")
+        parts.extend(self.notes)
+        return "\n".join(parts)
+
+
+def speedup_source(
+    times: Sequence[float],
+    max_cores: int,
+    parametric_tail: bool,
+    candidates: Sequence[str] = ("exponential", "shifted_exponential"),
+) -> object:
+    """Pick the simulation source for one benchmark's samples.
+
+    Bootstrap minima degenerate once ``k`` approaches the sample count, so
+    sweeps whose top core count exceeds a quarter of the samples switch to
+    the best-fitting parametric distribution.
+
+    ``candidates`` defaults to the (shifted-)exponential family — the
+    standard model for restart-based local-search runtimes (memoryless
+    tail, optional floor), and the one whose min-of-k extrapolation is
+    reliable.  Heavier-tailed families fitted to a few dozen samples can
+    win a KS contest by a hair while grossly distorting the extrapolated
+    minimum; pass ``("exponential", "shifted_exponential", "lognormal")``
+    to lift the restriction.
+    """
+    arr = np.asarray(times, dtype=np.float64)
+    if parametric_tail and max_cores > len(arr) // 4:
+        return best_fit(arr, candidates=candidates)
+    return arr
+
+
+def _speedup_figure(
+    figure_id: str,
+    title: str,
+    sample_times: Mapping[str, Sequence[float]],
+    platform: Platform,
+    core_counts: Sequence[int],
+    *,
+    sim_reps: int = 500,
+    rng: SeedLike = None,
+    parametric_tail: bool = True,
+    baseline_cores: int = 1,
+    loglog: bool = False,
+    include_ideal: bool = True,
+) -> FigureResult:
+    gen = as_generator(rng)
+    counts = [int(k) for k in core_counts if int(k) <= platform.usable_cores]
+    notes = []
+    if len(counts) != len(list(core_counts)):
+        dropped = sorted(set(int(k) for k in core_counts) - set(counts))
+        notes.append(
+            f"note: core counts {dropped} exceed {platform.name}'s usable "
+            f"cores ({platform.usable_cores}) and were dropped"
+        )
+    curves: list[SpeedupCurve] = []
+    for label, times in sample_times.items():
+        source = speedup_source(times, max(counts), parametric_tail)
+        if not isinstance(source, np.ndarray):
+            notes.append(
+                f"note: {label}: min-of-k tail simulated from a fitted "
+                f"{source.name} distribution "
+                f"(KS={source.ks_statistic:.3f}, n={len(times)} samples)"
+            )
+        curves.append(
+            speedup_curve_from_samples(
+                label,
+                source,
+                platform,
+                counts,
+                n_reps=sim_reps,
+                baseline_cores=baseline_cores,
+                rng=gen,
+            )
+        )
+    series = [
+        Series(curve.label, curve.core_counts, curve.speedups) for curve in curves
+    ]
+    if include_ideal:
+        ideal = [k / baseline_cores for k in counts]
+        series.append(Series("ideal", counts, ideal, marker="|"))
+    chart_fn = loglog_chart if loglog else line_chart
+    chart = chart_fn(
+        series,
+        title=f"{title} [{platform.name}]",
+        xlabel="cores",
+        ylabel="speedup",
+        width=72,
+        height=22,
+    )
+    return FigureResult(
+        id=figure_id, title=title, chart=chart, curves=curves, notes=notes
+    )
+
+
+def figure1(
+    sample_times: Mapping[str, Sequence[float]],
+    core_counts: Sequence[int] = (16, 32, 64, 128, 256),
+    *,
+    platform: Platform | None = None,
+    sim_reps: int = 500,
+    rng: SeedLike = None,
+    parametric_tail: bool = True,
+) -> FigureResult:
+    """Figure 1 — speedups on HA8000, 1-core baseline."""
+    return _speedup_figure(
+        "fig1",
+        "Speedups on HA8000",
+        sample_times,
+        platform or get_platform("ha8000"),
+        core_counts,
+        sim_reps=sim_reps,
+        rng=rng,
+        parametric_tail=parametric_tail,
+    )
+
+
+def figure2(
+    sample_times: Mapping[str, Sequence[float]],
+    core_counts: Sequence[int] = (16, 32, 64, 128, 256),
+    *,
+    platform: Platform | None = None,
+    sim_reps: int = 500,
+    rng: SeedLike = None,
+    parametric_tail: bool = True,
+) -> FigureResult:
+    """Figure 2 — speedups on Grid'5000 (Suno), 1-core baseline."""
+    return _speedup_figure(
+        "fig2",
+        "Speedups on Grid5000 (Suno)",
+        sample_times,
+        platform or get_platform("grid5000_suno"),
+        core_counts,
+        sim_reps=sim_reps,
+        rng=rng,
+        parametric_tail=parametric_tail,
+    )
+
+
+def figure3(
+    cap_times: Sequence[float],
+    core_counts: Sequence[int] = (32, 64, 128, 256),
+    *,
+    platforms: Sequence[Platform | str] = ("ha8000", "grid5000_suno", "grid5000_helios"),
+    sim_reps: int = 500,
+    rng: SeedLike = None,
+    parametric_tail: bool = True,
+) -> FigureResult:
+    """Figure 3 — CAP speedups w.r.t. 32 cores, log-log, every platform.
+
+    The paper reports execution times halving with every core doubling
+    (ideal speedup); the log-log chart shows this as straight slope-1 lines.
+    """
+    gen = as_generator(rng)
+    resolved = [
+        get_platform(p) if isinstance(p, str) else p for p in platforms
+    ]
+    curves: list[SpeedupCurve] = []
+    notes: list[str] = []
+    max_k = max(int(k) for k in core_counts)
+    source = speedup_source(cap_times, max_k, parametric_tail)
+    if not isinstance(source, np.ndarray):
+        notes.append(
+            f"note: CAP tail simulated from fitted {source.name} "
+            f"(KS={source.ks_statistic:.3f}, n={len(cap_times)} samples)"
+        )
+    for platform in resolved:
+        counts = [int(k) for k in core_counts if int(k) <= platform.usable_cores]
+        if len(counts) < 2:
+            notes.append(
+                f"note: {platform.name} skipped (fewer than 2 usable core counts)"
+            )
+            continue
+        curves.append(
+            speedup_curve_from_samples(
+                f"CAP/{platform.name}",
+                source,
+                platform,
+                counts,
+                n_reps=sim_reps,
+                baseline_cores=32,
+                rng=gen,
+            )
+        )
+    series = [
+        Series(curve.label, curve.core_counts, curve.speedups) for curve in curves
+    ]
+    all_counts = sorted({k for c in curves for k in c.core_counts})
+    series.append(
+        Series("ideal", all_counts, [k / 32 for k in all_counts], marker="|")
+    )
+    chart = loglog_chart(
+        series,
+        title="CAP speedups w.r.t. 32 cores (log-log)",
+        xlabel="cores",
+        ylabel="speedup vs 32",
+        width=72,
+        height=22,
+    )
+    return FigureResult(
+        id="fig3",
+        title="CAP speedups w.r.t. 32 cores",
+        chart=chart,
+        curves=curves,
+        notes=notes,
+    )

@@ -1,0 +1,144 @@
+"""Machine-readable experiment artifacts and regression comparison.
+
+The ASCII charts under ``benchmarks/out/`` are for humans; this module
+persists the underlying *data* (speedup curves, table rows) as JSON so that
+successive reproduction runs can be compared quantitatively — "did the
+costas curve move?" becomes a one-call diff instead of eyeballing charts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.errors import CacheError
+from repro.stats.speedup import SpeedupCurve
+
+__all__ = [
+    "curve_payload",
+    "figure_payload",
+    "save_manifest",
+    "load_manifest",
+    "compare_curves",
+    "CurveDrift",
+]
+
+_FORMAT_VERSION = 1
+
+
+def curve_payload(curve: SpeedupCurve) -> dict[str, Any]:
+    """JSON-safe form of one speedup curve."""
+    return {
+        "label": curve.label,
+        "platform": curve.platform,
+        "core_counts": list(curve.core_counts),
+        "mean_times": [float(t) for t in curve.mean_times],
+        "speedups": [float(s) for s in curve.speedups],
+        "baseline_cores": curve.baseline_cores,
+        "baseline_time": float(curve.baseline_time),
+    }
+
+
+def figure_payload(figure: Any) -> dict[str, Any]:
+    """JSON-safe form of a FigureResult (curves + notes, no chart text)."""
+    return {
+        "id": figure.id,
+        "title": figure.title,
+        "curves": [curve_payload(c) for c in figure.curves],
+        "notes": list(figure.notes),
+    }
+
+
+def save_manifest(path: str | Path, payload: dict[str, Any]) -> Path:
+    """Atomically write a manifest JSON file."""
+    path = Path(path)
+    document = {"version": _FORMAT_VERSION, "payload": payload}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            json.dump(document, f, indent=1)
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+    return path
+
+
+def load_manifest(path: str | Path) -> dict[str, Any]:
+    """Read a manifest written by :func:`save_manifest`."""
+    path = Path(path)
+    try:
+        with open(path, encoding="utf-8") as f:
+            document = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        raise CacheError(f"cannot read manifest {path}: {err}") from err
+    if not isinstance(document, dict) or document.get("version") != _FORMAT_VERSION:
+        raise CacheError(f"manifest {path} has an unsupported format")
+    return document["payload"]
+
+
+@dataclass(frozen=True)
+class CurveDrift:
+    """One speedup point that moved between two runs."""
+
+    label: str
+    cores: int
+    old_speedup: float
+    new_speedup: float
+
+    @property
+    def ratio(self) -> float:
+        if self.old_speedup == 0:
+            return float("inf")
+        return self.new_speedup / self.old_speedup
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}@{self.cores}: {self.old_speedup:.3g} -> "
+            f"{self.new_speedup:.3g} ({self.ratio:.2f}x)"
+        )
+
+
+def compare_curves(
+    old: Sequence[dict[str, Any]],
+    new: Sequence[dict[str, Any]],
+    *,
+    rel_tol: float = 0.25,
+) -> list[CurveDrift]:
+    """Speedup points differing by more than ``rel_tol`` between two runs.
+
+    Curves are matched by label; points by core count.  Curves or points
+    present on only one side are ignored (they are structural changes, not
+    drift).
+    """
+    if not 0 < rel_tol:
+        raise ValueError(f"rel_tol must be > 0, got {rel_tol}")
+    old_by_label = {c["label"]: c for c in old}
+    drifts: list[CurveDrift] = []
+    for curve in new:
+        previous = old_by_label.get(curve["label"])
+        if previous is None:
+            continue
+        old_points = dict(zip(previous["core_counts"], previous["speedups"]))
+        for cores, speedup in zip(curve["core_counts"], curve["speedups"]):
+            if cores not in old_points:
+                continue
+            old_speedup = old_points[cores]
+            if old_speedup <= 0:
+                continue
+            if abs(speedup - old_speedup) / old_speedup > rel_tol:
+                drifts.append(
+                    CurveDrift(
+                        label=curve["label"],
+                        cores=int(cores),
+                        old_speedup=float(old_speedup),
+                        new_speedup=float(speedup),
+                    )
+                )
+    return drifts

@@ -1,0 +1,168 @@
+"""End-to-end experiment execution.
+
+``run_experiment("fig1")`` collects (or loads cached) sequential samples for
+each benchmark of the experiment, pushes them through the platform
+simulation, and returns the rendered figure/table plus the raw artifacts —
+what the ``benchmarks/`` targets and the examples print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.cluster.platforms import get_platform
+from repro.errors import ExperimentError
+from repro.harness.cache import SampleCache
+from repro.harness.experiment import ExperimentSpec, get_experiment
+from repro.harness.figures import FigureResult, figure3, _speedup_figure
+from repro.harness.runner import collect_samples, scaled_times
+from repro.harness.tables import TableResult, headline_table, times_table
+from repro.util.rng import as_generator
+
+__all__ = ["ExperimentReport", "gather_experiment_times", "run_experiment"]
+
+
+@dataclass
+class ExperimentReport:
+    """Everything one experiment produced."""
+
+    experiment: ExperimentSpec
+    sample_times: dict[str, np.ndarray]
+    figures: list[FigureResult] = field(default_factory=list)
+    tables: list[TableResult] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [
+            f"### Experiment {self.experiment.id} — {self.experiment.title}",
+            f"(reproduces: {self.experiment.paper_ref})",
+            "",
+        ]
+        for label, times in self.sample_times.items():
+            parts.append(
+                f"samples[{label}]: n={len(times)}, "
+                f"mean={times.mean():.4g}s, min={times.min():.4g}s, "
+                f"max={times.max():.4g}s"
+            )
+        parts.append("")
+        for fig in self.figures:
+            parts.append(fig.render())
+            parts.append("")
+        for table in self.tables:
+            parts.append(table.render())
+            parts.append("")
+        return "\n".join(parts)
+
+
+def gather_experiment_times(
+    spec: ExperimentSpec,
+    *,
+    cache: SampleCache | None = None,
+    n_samples: int | None = None,
+) -> dict[str, np.ndarray]:
+    """Collect (or load) the rescaled sequential times of every benchmark."""
+    out: dict[str, np.ndarray] = {}
+    for bench in spec.benchmarks:
+        # per-benchmark stream: experiment seed + a digest of the label
+        import hashlib
+
+        label_word = int.from_bytes(
+            hashlib.sha256(bench.label.encode()).digest()[:4], "big"
+        )
+        # per-benchmark counts always win; an explicit override replaces
+        # only the experiment-level default
+        bench_n = bench.n_samples or (n_samples or spec.n_samples)
+        samples = collect_samples(
+            bench,
+            bench_n,
+            seed=(spec.seed, label_word),
+            cache=cache,
+        )
+        out[bench.label] = scaled_times(
+            samples, bench.target_mean_time, metric=bench.metric
+        )
+    return out
+
+
+def run_experiment(
+    experiment: str | ExperimentSpec,
+    *,
+    cache: SampleCache | None = None,
+    n_samples: int | None = None,
+    sim_reps: int | None = None,
+) -> ExperimentReport:
+    """Execute one registered experiment end-to-end.
+
+    ``n_samples``/``sim_reps`` override the spec (smaller values make quick
+    smoke runs; the benchmark targets use the spec defaults).
+    """
+    spec = get_experiment(experiment) if isinstance(experiment, str) else experiment
+    cache = cache if cache is not None else SampleCache()
+    reps = sim_reps or spec.sim_reps
+    rng = as_generator(spec.seed)
+
+    sample_times = gather_experiment_times(spec, cache=cache, n_samples=n_samples)
+    report = ExperimentReport(experiment=spec, sample_times=sample_times)
+
+    if spec.id in ("fig1", "fig2"):
+        platform = get_platform(spec.platforms[0])
+        report.figures.append(
+            _speedup_figure(
+                spec.id,
+                spec.title,
+                sample_times,
+                platform,
+                spec.core_counts,
+                sim_reps=reps,
+                rng=rng,
+                parametric_tail=spec.parametric_tail,
+                baseline_cores=spec.baseline_cores,
+            )
+        )
+    elif spec.id == "fig3":
+        (cap_label,) = [b.label for b in spec.benchmarks]
+        report.figures.append(
+            figure3(
+                sample_times[cap_label],
+                spec.core_counts,
+                platforms=spec.platforms,
+                sim_reps=reps,
+                rng=rng,
+                parametric_tail=spec.parametric_tail,
+            )
+        )
+    elif spec.id == "tab1":
+        platform = get_platform(spec.platforms[0])
+        fig = _speedup_figure(
+            "tab1-curves",
+            spec.title,
+            sample_times,
+            platform,
+            spec.core_counts,
+            sim_reps=reps,
+            rng=rng,
+            parametric_tail=spec.parametric_tail,
+        )
+        csplib = [c for c in fig.curves if c.label != "costas"]
+        cap = next((c for c in fig.curves if c.label == "costas"), None)
+        report.tables.append(headline_table(csplib, cap))
+    elif spec.id == "tabA":
+        for platform_name in spec.platforms:
+            report.tables.append(
+                times_table(
+                    sample_times,
+                    platform_name,
+                    spec.core_counts,
+                    sim_reps=reps,
+                    rng=rng,
+                    parametric_tail=spec.parametric_tail,
+                    table_id=f"tabA/{platform_name}",
+                )
+            )
+    else:
+        raise ExperimentError(
+            f"experiment {spec.id!r} has no runner; add one in harness.report"
+        )
+    return report

@@ -1,0 +1,182 @@
+"""Sequential-sample collection.
+
+``collect_samples`` runs one benchmark many times with independent seeds —
+the measurement step feeding the platform simulation — with transparent
+on-disk caching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+import repro
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.solver import AdaptiveSearch
+from repro.cluster.trace import RunSample, wall_times
+from repro.errors import ExperimentError
+from repro.harness.cache import SampleCache
+from repro.problems.registry import make_problem
+from repro.util.rng import SeedLike, spawn_seeds
+
+__all__ = ["BenchmarkSpec", "collect_samples", "scaled_times"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark instance inside an experiment.
+
+    ``target_mean_time`` rescales the measured cost metric so its mean
+    matches the paper's absolute regime for that benchmark (a pure change
+    of time unit; see EXPERIMENTS.md "Time calibration").  ``None`` keeps
+    the raw metric.
+
+    ``metric`` selects what "sequential time" means: ``"wall_time"``
+    (seconds on this host) or ``"iterations"`` (engine iterations — the
+    Las Vegas cost measure).  Iterations are preferred for the paper
+    experiments: the C engine spends constant time per iteration with no
+    per-run setup, whereas Python wall times of millisecond-scale runs are
+    dominated by fixed setup cost, which would fake a runtime floor and
+    destroy the min-of-k tail.
+    """
+
+    family: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    label: str = ""
+    target_mean_time: float | None = None
+    metric: str = "wall_time"
+    #: overrides the experiment's sample count for this benchmark (cheap
+    #: benchmarks collect more samples for better tail resolution)
+    n_samples: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.target_mean_time is not None and self.target_mean_time <= 0:
+            raise ExperimentError(
+                f"target_mean_time must be > 0, got {self.target_mean_time}"
+            )
+        if self.n_samples is not None and self.n_samples < 2:
+            raise ExperimentError(
+                f"n_samples must be >= 2, got {self.n_samples}"
+            )
+        if self.metric not in ("wall_time", "iterations"):
+            raise ExperimentError(
+                f"metric must be 'wall_time' or 'iterations', got {self.metric!r}"
+            )
+        if not self.label:
+            object.__setattr__(self, "label", self._default_label())
+        # freeze params into a plain dict for hashing stability
+        object.__setattr__(self, "params", dict(self.params))
+
+    def _default_label(self) -> str:
+        if not self.params:
+            return self.family
+        inner = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.family}({inner})"
+
+    def make(self):
+        return make_problem(self.family, **self.params)
+
+
+def collect_samples(
+    spec: BenchmarkSpec,
+    n_runs: int,
+    seed: SeedLike = 0,
+    *,
+    solver_config: AdaptiveSearchConfig | None = None,
+    cache: SampleCache | None = None,
+    max_iterations: float = 2_000_000,
+    time_limit: float = 120.0,
+) -> list[RunSample]:
+    """``n_runs`` independent sequential solves of ``spec``.
+
+    Every run gets its own spawned seed; per-run budgets guard against the
+    rare pathological walk (unsolved runs are kept in the sample list but
+    excluded from time statistics by default).
+    """
+    if n_runs <= 0:
+        raise ExperimentError(f"n_runs must be >= 1, got {n_runs}")
+    base_config = solver_config or AdaptiveSearchConfig()
+    config = base_config.replace(
+        max_iterations=min(base_config.max_iterations, max_iterations),
+        time_limit=min(base_config.time_limit, time_limit),
+    )
+
+    cache_spec = {
+        "kind": "sequential_samples",
+        "version": repro.__version__,
+        "family": spec.family,
+        "params": spec.params,
+        "n_runs": n_runs,
+        "seed": repr(seed),
+        "config": config,
+    }
+    if cache is not None:
+        cached = cache.load(cache_spec)
+        if cached is not None and len(cached) == n_runs:
+            return cached
+
+    problem = spec.make()
+    from repro.core.value_solver import ValueAdaptiveSearch
+    from repro.problems.value_base import ValueProblem
+
+    if isinstance(problem, ValueProblem):
+        solver: Any = ValueAdaptiveSearch(config)
+    else:
+        solver = AdaptiveSearch(config)
+    samples: list[RunSample] = []
+    for walk_seed in spawn_seeds(n_runs, seed):
+        result = solver.solve(problem, seed=walk_seed)
+        samples.append(
+            RunSample(
+                wall_time=result.stats.wall_time,
+                iterations=result.stats.iterations,
+                solved=result.solved,
+                seed=str(walk_seed.entropy),
+            )
+        )
+    if cache is not None:
+        cache.store(cache_spec, samples)
+    return samples
+
+
+def scaled_times(
+    samples: Sequence[RunSample],
+    target_mean_time: float | None = None,
+    *,
+    metric: str = "wall_time",
+    min_solved: int = 2,
+) -> np.ndarray:
+    """Sequential costs of solved runs, optionally rescaled to a target mean.
+
+    ``metric`` picks wall seconds or engine iterations (see
+    :class:`BenchmarkSpec`).  Rescaling multiplies every value by a single
+    constant (mean maps to ``target_mean_time``), i.e. a unit change that
+    leaves the distribution shape — and hence speedups — untouched, while
+    making launch-overhead effects comparable to the paper's platforms.
+    Iteration counts are clamped to a floor of half an iteration so a
+    lucky zero-iteration start does not produce a zero "runtime".
+    """
+    from repro.cluster.trace import iteration_counts
+
+    if metric == "wall_time":
+        times = wall_times(samples, solved_only=True)
+    elif metric == "iterations":
+        times = np.maximum(iteration_counts(samples, solved_only=True), 0.5)
+    else:
+        raise ExperimentError(
+            f"metric must be 'wall_time' or 'iterations', got {metric!r}"
+        )
+    if len(times) < min_solved:
+        raise ExperimentError(
+            f"only {len(times)} solved runs out of {len(samples)}; "
+            "not enough to characterize the runtime distribution "
+            "(raise per-run budgets or shrink the instance)"
+        )
+    if target_mean_time is None:
+        return times
+    mean = times.mean()
+    if mean <= 0:
+        raise ExperimentError("mean solved cost is zero; cannot rescale")
+    return times * (target_mean_time / mean)

@@ -1,0 +1,43 @@
+"""Independent multi-walk parallel runtime.
+
+The paper's parallelization scheme: launch ``k`` independent copies of the
+sequential Adaptive Search engine from different random initial
+configurations, with **no communication except completion** — the first walk
+to find a solution terminates all others.
+
+Two executors are provided:
+
+- ``"process"`` — real OS processes via :mod:`multiprocessing` (the GIL rules
+  out threads for a CPU-bound Python solver); walks poll a shared cancel
+  event between iterations, mirroring the paper's MPI termination message.
+- ``"inline"`` — every walk runs to completion sequentially in-process and
+  the parallel wall time is *computed* as the minimum across walks.  For
+  zero-communication multi-walks this is semantically exact, determinstic,
+  and is what the simulated-platform experiments build on.
+"""
+
+from repro.parallel.cooperative import (
+    CooperationConfig,
+    CooperativeMultiWalk,
+    CooperativeResult,
+    ElitePool,
+)
+from repro.parallel.multiwalk import MultiWalkSolver, solve_parallel
+from repro.parallel.results import ParallelResult, WalkOutcome
+from repro.parallel.scaling import ScalingPoint, ScalingStudy, measure_scaling
+from repro.parallel.seeding import walk_seeds
+
+__all__ = [
+    "MultiWalkSolver",
+    "CooperativeMultiWalk",
+    "CooperationConfig",
+    "CooperativeResult",
+    "ElitePool",
+    "solve_parallel",
+    "ParallelResult",
+    "WalkOutcome",
+    "walk_seeds",
+    "measure_scaling",
+    "ScalingStudy",
+    "ScalingPoint",
+]

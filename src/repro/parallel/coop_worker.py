@@ -1,0 +1,148 @@
+"""Process-executor worker for the cooperative multi-walk.
+
+Separated into its own module so :mod:`multiprocessing` can pickle the
+target under any start method.  The shared elite pool is a managed list of
+``(cost, config-as-list)`` tuples guarded by one lock; all pool traffic is
+tiny and infrequent (one configuration per walker per report interval),
+which is the paper's "minimizing data transfers" requirement.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.session import AdaptiveSearchSession
+from repro.core.termination import TerminationReason
+from repro.csp.permutation import random_partial_reset
+from repro.problems.base import Problem
+
+__all__ = ["pool_offer", "pool_best", "run_cooperative_walk"]
+
+
+def pool_offer(
+    shared_pool: Any,
+    pool_lock: Any,
+    capacity: int,
+    cost: float,
+    config: np.ndarray,
+) -> None:
+    """Insert a configuration into the bounded shared pool (best-first)."""
+    entry = (float(cost), config.tolist())
+    with pool_lock:
+        entries = list(shared_pool)
+        if len(entries) >= capacity and entries and cost >= entries[-1][0]:
+            return
+        if any(e[0] == entry[0] and e[1] == entry[1] for e in entries):
+            return
+        entries.append(entry)
+        entries.sort(key=lambda e: e[0])
+        del entries[capacity:]
+        shared_pool[:] = entries
+
+
+def pool_best(shared_pool: Any, pool_lock: Any) -> tuple[float, np.ndarray] | None:
+    """The best shared entry, or None while the pool is empty."""
+    with pool_lock:
+        entries = list(shared_pool)
+    if not entries:
+        return None
+    cost, config = entries[0]
+    return float(cost), np.asarray(config, dtype=np.int64)
+
+
+def run_cooperative_walk(
+    walk_id: int,
+    problem: Problem,
+    config: AdaptiveSearchConfig,
+    coop_params: dict[str, Any],
+    seed: np.random.SeedSequence,
+    shared_pool: Any,
+    pool_lock: Any,
+    cancel_event: Any,
+    result_queue: Any,
+) -> None:
+    """One cooperative walker process; always enqueues one result tuple."""
+    try:
+        walk_seed, adopt_seed = seed.spawn(2)
+        session = AdaptiveSearchSession(problem, config, walk_seed)
+        adopt_rng = np.random.default_rng(adopt_seed)
+        deadline = (
+            time.monotonic() + config.time_limit
+            if math.isfinite(config.time_limit)
+            else None
+        )
+        last_adopt = 0
+        adoptions = 0
+        reason: TerminationReason | None = None
+        while True:
+            out = session.step(int(coop_params["report_interval"]))
+            if out is TerminationReason.SOLVED:
+                cancel_event.set()
+                reason = out
+                break
+            if out is not None:
+                reason = out
+                break
+            if cancel_event.is_set():
+                reason = TerminationReason.CANCELLED
+                break
+            if session.stats.iterations >= config.max_iterations:
+                reason = TerminationReason.MAX_ITERATIONS
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                reason = TerminationReason.TIME_LIMIT
+                break
+            pool_offer(
+                shared_pool,
+                pool_lock,
+                int(coop_params["pool_size"]),
+                session.cost,
+                session.state.config,
+            )
+            if (
+                session.stats.iterations - last_adopt
+                >= int(coop_params["adopt_interval"])
+            ):
+                last_adopt = session.stats.iterations
+                if adopt_rng.random() < float(coop_params["p_adopt"]):
+                    elite = pool_best(shared_pool, pool_lock)
+                    if (
+                        elite is not None
+                        and elite[0]
+                        < (1.0 - float(coop_params["min_relative_gain"]))
+                        * session.cost
+                    ):
+                        adopted = elite[1]
+                        random_partial_reset(
+                            adopted,
+                            float(coop_params["perturb_fraction"]),
+                            adopt_rng,
+                        )
+                        session.inject_configuration(adopted)
+                        adoptions += 1
+
+        result_queue.put(
+            (
+                walk_id,
+                {
+                    "solved": session.solved,
+                    "cost": session.best_cost,
+                    "iterations": session.stats.iterations,
+                    "wall_time": session.elapsed,
+                    "reason": reason.name,
+                    "adoptions": adoptions,
+                    "config": (
+                        session.best_config.tolist() if session.solved else None
+                    ),
+                },
+            )
+        )
+    except Exception:  # pragma: no cover - defensive: surface worker crashes
+        import traceback
+
+        result_queue.put((walk_id, {"error": traceback.format_exc()}))

@@ -1,0 +1,447 @@
+"""Dependent multi-walk: cooperation through an elite pool.
+
+The paper's conclusion sketches its future work: "more complex parallel
+methods with inter-processes communication, i.e., in the dependent
+multiple-walk scheme", designed to (1) minimize data transfers and (2)
+re-use common computations / record "previous interesting crossroads in the
+resolution, from which a restart can be operated" — while warning that "it
+is a challenge to design a scheme that could outperform the independent
+multiple-walk parallelization" because configuration costs are heuristic.
+
+This module implements exactly that scheme so the conjecture can be tested:
+
+- walkers are resumable :class:`~repro.core.session.AdaptiveSearchSession`s
+  advancing in synchronized rounds of ``report_interval`` iterations;
+- after each round a walker *reports* its current (cost, configuration) to
+  a bounded :class:`ElitePool` (the "recorded crossroads") — the only data
+  transfer, a single configuration vector;
+- every ``adopt_interval`` iterations a walker may *adopt* a pool elite:
+  with probability ``p_adopt``, if some elite beats its current cost by at
+  least ``min_relative_gain``, the walker restarts from a perturbed copy of
+  it (perturbation keeps the walkers diverse).
+
+The executor is the deterministic inline one (synchronized rounds make the
+scheme well-defined and exactly measurable in iteration time on any host);
+``benchmarks/bench_abl_cooperation.py`` compares it head-to-head against
+the paper's independent scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.session import AdaptiveSearchSession
+from repro.core.termination import TerminationReason
+from repro.csp.permutation import random_partial_reset
+from repro.errors import ParallelError
+from repro.parallel.results import WalkOutcome
+from repro.parallel.seeding import walk_seeds
+from repro.problems.base import Problem
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_fraction, check_probability
+
+__all__ = ["CooperationConfig", "ElitePool", "CooperativeMultiWalk", "CooperativeResult"]
+
+
+@dataclass(frozen=True)
+class CooperationConfig:
+    """Tuning of the dependent multi-walk scheme.
+
+    Parameters
+    ----------
+    report_interval:
+        iterations per synchronized round; each walker reports its current
+        configuration to the pool once per round.
+    adopt_interval:
+        minimum iterations a walker searches on its own between adoption
+        attempts.
+    p_adopt:
+        probability an eligible adoption attempt actually happens.
+    pool_size:
+        elite pool capacity (best configurations seen, deduplicated).
+    min_relative_gain:
+        adopt only when the elite cost is below
+        ``(1 - min_relative_gain) * own cost`` — the paper's warning made
+        operational: heuristic costs are noisy, so small differences are
+        not worth a jump.
+    perturb_fraction:
+        fraction of variables shuffled in the adopted copy, keeping
+        walkers from collapsing onto identical trajectories.
+    """
+
+    report_interval: int = 64
+    adopt_interval: int = 256
+    p_adopt: float = 0.8
+    pool_size: int = 8
+    min_relative_gain: float = 0.1
+    perturb_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.report_interval < 1:
+            raise ParallelError(
+                f"report_interval must be >= 1, got {self.report_interval}"
+            )
+        if self.adopt_interval < 1:
+            raise ParallelError(
+                f"adopt_interval must be >= 1, got {self.adopt_interval}"
+            )
+        if self.pool_size < 1:
+            raise ParallelError(f"pool_size must be >= 1, got {self.pool_size}")
+        try:
+            check_probability("p_adopt", self.p_adopt)
+            check_probability("min_relative_gain", self.min_relative_gain)
+            check_fraction("perturb_fraction", self.perturb_fraction)
+        except ValueError as err:
+            raise ParallelError(str(err)) from None
+
+
+class ElitePool:
+    """Bounded pool of the best configurations reported so far.
+
+    Entries are kept sorted by cost; duplicate configurations are ignored;
+    offering a configuration worse than the current worst entry of a full
+    pool is a no-op.  The pool only ever stores copies.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ParallelError(f"pool capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: list[tuple[float, np.ndarray]] = []
+        self.offers = 0
+        self.accepts = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def offer(self, cost: float, config: np.ndarray) -> bool:
+        """Report a configuration; returns True if it entered the pool."""
+        self.offers += 1
+        if len(self._entries) >= self.capacity and cost >= self._entries[-1][0]:
+            return False
+        key = config.tobytes()
+        for existing_cost, existing in self._entries:
+            if existing_cost == cost and existing.tobytes() == key:
+                return False
+        self._entries.append((float(cost), np.array(config, copy=True)))
+        self._entries.sort(key=lambda e: e[0])
+        del self._entries[self.capacity :]
+        self.accepts += 1
+        return True
+
+    def best(self) -> Optional[tuple[float, np.ndarray]]:
+        """The lowest-cost entry (cost, copy of config), or None if empty."""
+        if not self._entries:
+            return None
+        cost, config = self._entries[0]
+        return cost, config.copy()
+
+    def best_cost(self) -> float:
+        return self._entries[0][0] if self._entries else float("inf")
+
+
+@dataclass
+class CooperativeResult:
+    """Outcome of one cooperative multi-walk execution.
+
+    ``parallel_iterations`` is the completion time in the synchronized
+    iteration clock: walkers advance in lockstep, so the run ends after the
+    winner's own iteration count (all walkers execute iterations at the
+    same rate on dedicated cores).
+    """
+
+    solved: bool
+    n_walkers: int
+    winner: Optional[WalkOutcome]
+    walks: list[WalkOutcome] = field(default_factory=list)
+    rounds: int = 0
+    parallel_iterations: int = 0
+    total_iterations: int = 0
+    adoptions: int = 0
+    pool_offers: int = 0
+    pool_accepts: int = 0
+    elapsed_time: float = 0.0
+
+    @property
+    def config(self) -> Optional[np.ndarray]:
+        return self.winner.config if self.winner is not None else None
+
+    def summary(self) -> str:
+        status = (
+            f"SOLVED by walk {self.winner.walk_id}" if self.solved else "UNSOLVED"
+        )
+        return (
+            f"cooperative multi-walk x{self.n_walkers}: {status} after "
+            f"{self.rounds} rounds ({self.parallel_iterations} parallel "
+            f"iterations, {self.adoptions} adoptions, pool "
+            f"{self.pool_accepts}/{self.pool_offers} accepts)"
+        )
+
+
+class CooperativeMultiWalk:
+    """Dependent multi-walk driver.
+
+    Two executors:
+
+    - ``"inline"`` (default) — synchronized rounds in one process:
+      deterministic, exact iteration-clock measurement; the reference
+      implementation for experiments.
+    - ``"process"`` — real OS processes sharing the elite pool through a
+      :class:`multiprocessing.Manager`; non-deterministic (adoption timing
+      depends on scheduling) but gives true parallelism on multi-core
+      hosts.
+    """
+
+    def __init__(
+        self,
+        solver_config: AdaptiveSearchConfig | None = None,
+        cooperation: CooperationConfig | None = None,
+        *,
+        executor: str = "inline",
+        use_problem_defaults: bool = True,
+        mp_context: str | None = None,
+    ) -> None:
+        if executor not in ("inline", "process"):
+            raise ParallelError(
+                f"unknown executor {executor!r}; choose 'inline' or 'process'"
+            )
+        self.solver_config = solver_config or AdaptiveSearchConfig()
+        self.cooperation = cooperation or CooperationConfig()
+        self.executor = executor
+        self.use_problem_defaults = use_problem_defaults
+        self.mp_context = mp_context
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        problem: Problem,
+        n_walkers: int,
+        seed: SeedLike = None,
+        *,
+        max_rounds: int = 1_000_000,
+    ) -> CooperativeResult:
+        """Run until one walker solves, every walker finishes, or
+        ``max_rounds`` synchronized rounds elapse (inline executor only)."""
+        if max_rounds < 1:
+            raise ParallelError(f"max_rounds must be >= 1, got {max_rounds}")
+        coop = self.cooperation
+        config = self.solver_config
+        if self.use_problem_defaults:
+            config = config.merged_with(problem.default_solver_parameters())
+        if self.executor == "process":
+            return self._solve_process(problem, n_walkers, seed, config)
+
+        seeds = walk_seeds(n_walkers + 1, seed)
+        coordinator_rng = as_generator(seeds[-1])
+        sessions = [
+            AdaptiveSearchSession(problem, config, walk_seed)
+            for walk_seed in seeds[:-1]
+        ]
+        pool = ElitePool(coop.pool_size)
+        last_adopt = [0] * n_walkers
+        adoptions = 0
+        import time
+
+        t0 = time.perf_counter()
+
+        winner_id: int | None = None
+        rounds = 0
+        active = set(range(n_walkers))
+        while rounds < max_rounds and active and winner_id is None:
+            rounds += 1
+            for walk_id in sorted(active):
+                session = sessions[walk_id]
+                out = session.step(coop.report_interval)
+                if out is TerminationReason.SOLVED:
+                    winner_id = walk_id
+                    break
+                if out is not None:  # budget/restart exhaustion
+                    active.discard(walk_id)
+                    continue
+                # report: one configuration, the paper's minimal transfer
+                pool.offer(session.cost, session.state.config)
+                # adopt: restart from a recorded crossroad
+                if (
+                    session.stats.iterations - last_adopt[walk_id]
+                    >= coop.adopt_interval
+                ):
+                    last_adopt[walk_id] = session.stats.iterations
+                    if coordinator_rng.random() < coop.p_adopt:
+                        elite = pool.best()
+                        if (
+                            elite is not None
+                            and elite[0]
+                            < (1.0 - coop.min_relative_gain) * session.cost
+                        ):
+                            adopted = elite[1]
+                            random_partial_reset(
+                                adopted, coop.perturb_fraction, coordinator_rng
+                            )
+                            session.inject_configuration(adopted)
+                            adoptions += 1
+
+        walks = [
+            WalkOutcome(
+                walk_id=idx,
+                solved=s.solved,
+                cost=s.best_cost,
+                iterations=s.stats.iterations,
+                wall_time=s.elapsed,
+                reason=s.reason if s.reason is not None else TerminationReason.CANCELLED,
+                config=s.best_config if s.solved else None,
+            )
+            for idx, s in enumerate(sessions)
+        ]
+        winner = walks[winner_id] if winner_id is not None else None
+        return CooperativeResult(
+            solved=winner is not None,
+            n_walkers=n_walkers,
+            winner=winner,
+            walks=walks,
+            rounds=rounds,
+            parallel_iterations=(
+                winner.iterations
+                if winner is not None
+                else max((w.iterations for w in walks), default=0)
+            ),
+            total_iterations=sum(w.iterations for w in walks),
+            adoptions=adoptions,
+            pool_offers=pool.offers,
+            pool_accepts=pool.accepts,
+            elapsed_time=time.perf_counter() - t0,
+        )
+
+    # ------------------------------------------------------------------
+    def _solve_process(
+        self,
+        problem: Problem,
+        n_walkers: int,
+        seed: SeedLike,
+        config: AdaptiveSearchConfig,
+    ) -> CooperativeResult:
+        """Real-process executor; see class docstring for the trade-offs."""
+        import math
+        import multiprocessing as mp
+        import queue as queue_mod
+        import time
+
+        from repro.parallel.coop_worker import run_cooperative_walk
+
+        coop = self.cooperation
+        coop_params = {
+            "report_interval": coop.report_interval,
+            "adopt_interval": coop.adopt_interval,
+            "p_adopt": coop.p_adopt,
+            "pool_size": coop.pool_size,
+            "min_relative_gain": coop.min_relative_gain,
+            "perturb_fraction": coop.perturb_fraction,
+        }
+        ctx = mp.get_context(self.mp_context)
+        manager = ctx.Manager()
+        t0 = time.perf_counter()
+        try:
+            shared_pool = manager.list()
+            pool_lock = manager.Lock()
+            cancel_event = ctx.Event()
+            result_queue: mp.Queue = ctx.Queue()
+            seeds = walk_seeds(n_walkers, seed)
+            processes = [
+                ctx.Process(
+                    target=run_cooperative_walk,
+                    args=(
+                        walk_id,
+                        problem,
+                        config,
+                        coop_params,
+                        walk_seed,
+                        shared_pool,
+                        pool_lock,
+                        cancel_event,
+                        result_queue,
+                    ),
+                    daemon=True,
+                )
+                for walk_id, walk_seed in enumerate(seeds)
+            ]
+            for proc in processes:
+                proc.start()
+
+            if math.isinf(config.time_limit):
+                deadline = None
+            else:
+                deadline = (
+                    time.monotonic() + config.time_limit * (n_walkers + 1) + 60.0
+                )
+            payloads: dict[int, dict] = {}
+            try:
+                while len(payloads) < n_walkers:
+                    timeout = None
+                    if deadline is not None:
+                        timeout = max(0.1, deadline - time.monotonic())
+                    try:
+                        walk_id, payload = result_queue.get(timeout=timeout)
+                    except queue_mod.Empty:
+                        raise ParallelError(
+                            "cooperative multi-walk timed out: "
+                            f"{n_walkers - len(payloads)} walker(s) never reported"
+                        )
+                    if "error" in payload:
+                        raise ParallelError(
+                            f"walker {walk_id} crashed:\n{payload['error']}"
+                        )
+                    payloads[walk_id] = payload
+            finally:
+                cancel_event.set()
+                for proc in processes:
+                    proc.join(timeout=30.0)
+                for proc in processes:
+                    if proc.is_alive():  # pragma: no cover - defensive
+                        proc.terminate()
+                        proc.join(timeout=5.0)
+            pool_len = len(shared_pool)
+        finally:
+            manager.shutdown()
+
+        walks = [
+            WalkOutcome(
+                walk_id=walk_id,
+                solved=payload["solved"],
+                cost=payload["cost"],
+                iterations=payload["iterations"],
+                wall_time=payload["wall_time"],
+                reason=TerminationReason[payload["reason"]],
+                config=(
+                    np.asarray(payload["config"], dtype=np.int64)
+                    if payload["config"] is not None
+                    else None
+                ),
+            )
+            for walk_id, payload in sorted(payloads.items())
+        ]
+        solved_walks = [w for w in walks if w.solved]
+        winner = (
+            min(solved_walks, key=lambda w: w.iterations)
+            if solved_walks
+            else None
+        )
+        return CooperativeResult(
+            solved=winner is not None,
+            n_walkers=n_walkers,
+            winner=winner,
+            walks=walks,
+            rounds=0,  # rounds are a synchronized-executor notion
+            parallel_iterations=(
+                winner.iterations
+                if winner is not None
+                else max((w.iterations for w in walks), default=0)
+            ),
+            total_iterations=sum(w.iterations for w in walks),
+            adoptions=sum(p.get("adoptions", 0) for p in payloads.values()),
+            pool_offers=pool_len,
+            pool_accepts=pool_len,
+            elapsed_time=time.perf_counter() - t0,
+        )

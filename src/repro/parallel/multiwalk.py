@@ -1,0 +1,258 @@
+"""The independent multi-walk driver.
+
+``MultiWalkSolver.solve(problem, n_walkers)`` runs ``k`` independent
+Adaptive Search engines and returns as soon as one solves (process executor)
+or computes the equivalent outcome exactly (inline executor).  See the
+package docstring for when to use which.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.solver import AdaptiveSearch
+from repro.core.termination import TerminationReason
+from repro.errors import ParallelError
+from repro.parallel.results import ParallelResult, WalkOutcome
+from repro.parallel.seeding import walk_seeds
+from repro.parallel.worker import run_walk
+from repro.problems.base import Problem
+from repro.util.rng import SeedLike
+from repro.util.timing import Stopwatch
+
+__all__ = ["MultiWalkSolver", "solve_parallel"]
+
+_EXECUTORS = ("inline", "process")
+
+
+class MultiWalkSolver:
+    """Runs ``k`` independent Adaptive Search walks, first finisher wins.
+
+    Parameters
+    ----------
+    config:
+        base solver configuration shared by every walk (per-problem defaults
+        are merged per walk exactly as in the sequential engine).
+    executor:
+        ``"process"`` for real multi-core execution, ``"inline"`` for exact
+        sequential emulation (deterministic; used by tests and experiments).
+    poll_every:
+        process executor: how many iterations between cancel-event polls.
+    launch_overhead:
+        inline executor: constant added to the computed parallel wall time,
+        modelling job-launch latency (the process executor pays the real
+        cost instead).
+    """
+
+    def __init__(
+        self,
+        config: AdaptiveSearchConfig | None = None,
+        *,
+        executor: str = "process",
+        poll_every: int = 128,
+        launch_overhead: float = 0.0,
+        mp_context: str | None = None,
+    ) -> None:
+        if executor not in _EXECUTORS:
+            raise ParallelError(
+                f"unknown executor {executor!r}; choose from {_EXECUTORS}"
+            )
+        if poll_every < 1:
+            raise ParallelError(f"poll_every must be >= 1, got {poll_every}")
+        if launch_overhead < 0:
+            raise ParallelError(
+                f"launch_overhead must be >= 0, got {launch_overhead}"
+            )
+        self.config = config or AdaptiveSearchConfig()
+        self.executor = executor
+        self.poll_every = poll_every
+        self.launch_overhead = launch_overhead
+        self.mp_context = mp_context
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        problem: Problem,
+        n_walkers: int,
+        seed: SeedLike = None,
+        *,
+        time_limit: float | None = None,
+    ) -> ParallelResult:
+        """Run the multi-walk; ``time_limit`` (seconds) bounds every walk."""
+        seeds = walk_seeds(n_walkers, seed)
+        config = self.config
+        if time_limit is not None:
+            config = config.replace(time_limit=min(config.time_limit, time_limit))
+        if self.executor == "inline":
+            return self._solve_inline(problem, config, seeds)
+        return self._solve_process(problem, config, seeds)
+
+    # ------------------------------------------------------------------
+    def _solve_inline(
+        self,
+        problem: Problem,
+        config: AdaptiveSearchConfig,
+        seeds: list[np.random.SeedSequence],
+    ) -> ParallelResult:
+        """Run every walk to completion; parallel time = min across walks.
+
+        Exactness argument: with zero communication, walk ``i`` executes the
+        same trajectory whether or not the other walks exist, so the
+        multi-walk completion time on ``k`` dedicated cores is exactly
+        ``min_i T_i`` (plus launch overhead), which we compute directly.
+        """
+        stopwatch = Stopwatch().start()
+        solver = AdaptiveSearch(config)
+        walks: list[WalkOutcome] = []
+        for walk_id, walk_seed in enumerate(seeds):
+            result = solver.solve(problem, seed=walk_seed)
+            walks.append(
+                WalkOutcome(
+                    walk_id=walk_id,
+                    solved=result.solved,
+                    cost=result.cost,
+                    iterations=result.stats.iterations,
+                    wall_time=result.stats.wall_time,
+                    reason=result.reason,
+                    config=result.config if result.solved else None,
+                )
+            )
+        elapsed = stopwatch.stop()
+        solved_walks = [w for w in walks if w.solved]
+        if solved_walks:
+            winner = min(solved_walks, key=lambda w: w.wall_time)
+            wall_time = winner.wall_time + self.launch_overhead
+            solved = True
+        else:
+            winner = None
+            wall_time = max(w.wall_time for w in walks) + self.launch_overhead
+            solved = False
+        return ParallelResult(
+            solved=solved,
+            n_walkers=len(seeds),
+            winner=winner,
+            walks=walks,
+            wall_time=wall_time,
+            elapsed_time=elapsed,
+            executor="inline",
+        )
+
+    # ------------------------------------------------------------------
+    def _solve_process(
+        self,
+        problem: Problem,
+        config: AdaptiveSearchConfig,
+        seeds: list[np.random.SeedSequence],
+    ) -> ParallelResult:
+        ctx = mp.get_context(self.mp_context)
+        cancel_event = ctx.Event()
+        result_queue: mp.Queue = ctx.Queue()
+        stopwatch = Stopwatch().start()
+        processes = [
+            ctx.Process(
+                target=run_walk,
+                args=(
+                    walk_id,
+                    problem,
+                    config,
+                    walk_seed,
+                    cancel_event,
+                    result_queue,
+                    self.poll_every,
+                ),
+                daemon=True,
+            )
+            for walk_id, walk_seed in enumerate(seeds)
+        ]
+        for proc in processes:
+            proc.start()
+
+        # queue-drain deadline: every walk ends by solving, budget
+        # exhaustion, or cancellation; leave generous slack beyond the
+        # configured time limit for scheduling noise on oversubscribed hosts
+        if math.isinf(config.time_limit):
+            deadline = None
+        else:
+            deadline = time.monotonic() + config.time_limit * (len(seeds) + 1) + 60.0
+
+        payloads: dict[int, dict] = {}
+        first_solve_time: float | None = None
+        try:
+            while len(payloads) < len(seeds):
+                timeout = None
+                if deadline is not None:
+                    timeout = max(0.1, deadline - time.monotonic())
+                try:
+                    walk_id, payload = result_queue.get(timeout=timeout)
+                except queue_mod.Empty:
+                    raise ParallelError(
+                        f"multi-walk timed out: {len(seeds) - len(payloads)} of "
+                        f"{len(seeds)} walks never reported"
+                    )
+                if "error" in payload:
+                    raise ParallelError(
+                        f"walk {walk_id} crashed:\n{payload['error']}"
+                    )
+                payloads[walk_id] = payload
+                if payload["solved"] and first_solve_time is None:
+                    first_solve_time = stopwatch.elapsed
+        finally:
+            cancel_event.set()
+            for proc in processes:
+                proc.join(timeout=30.0)
+            for proc in processes:
+                if proc.is_alive():  # pragma: no cover - defensive cleanup
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+
+        elapsed = stopwatch.stop()
+        walks = [
+            WalkOutcome(
+                walk_id=walk_id,
+                solved=payload["solved"],
+                cost=payload["cost"],
+                iterations=payload["iterations"],
+                wall_time=payload["wall_time"],
+                reason=TerminationReason[payload["reason"]],
+                config=(
+                    np.asarray(payload["config"], dtype=np.int64)
+                    if payload["config"] is not None
+                    else None
+                ),
+            )
+            for walk_id, payload in sorted(payloads.items())
+        ]
+        solved_walks = [w for w in walks if w.solved]
+        winner = (
+            min(solved_walks, key=lambda w: w.wall_time) if solved_walks else None
+        )
+        return ParallelResult(
+            solved=winner is not None,
+            n_walkers=len(seeds),
+            winner=winner,
+            walks=walks,
+            wall_time=first_solve_time if first_solve_time is not None else elapsed,
+            elapsed_time=elapsed,
+            executor="process",
+        )
+
+
+def solve_parallel(
+    problem: Problem,
+    n_walkers: int,
+    seed: SeedLike = None,
+    *,
+    config: AdaptiveSearchConfig | None = None,
+    executor: str = "process",
+    time_limit: float | None = None,
+) -> ParallelResult:
+    """One-shot convenience wrapper around :class:`MultiWalkSolver`."""
+    solver = MultiWalkSolver(config, executor=executor)
+    return solver.solve(problem, n_walkers, seed, time_limit=time_limit)

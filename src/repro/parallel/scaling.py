@@ -1,0 +1,134 @@
+"""Measured multi-walk scaling studies (no simulation).
+
+The platform simulator extrapolates from sequential samples; this module
+measures multi-walk scaling *directly* with the exact inline executor —
+every walker's full trajectory is executed, and the parallel completion
+cost is the winner's own iteration count.  Direct measurement is what
+validates the simulator (see ``tests/integration``) and what a user runs
+to study scaling of their own problem without any platform model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.errors import ParallelError
+from repro.parallel.multiwalk import MultiWalkSolver
+from repro.problems.base import Problem
+from repro.util.rng import SeedLike, spawn_seeds
+
+__all__ = ["ScalingPoint", "ScalingStudy", "measure_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Measured behaviour at one walker count."""
+
+    walkers: int
+    mean_parallel_iterations: float
+    median_parallel_iterations: float
+    mean_total_iterations: float
+    solve_rate: float
+    repetitions: int
+
+    @property
+    def work_efficiency(self) -> float:
+        """Winner iterations / total iterations — wasted-work measure."""
+        if self.mean_total_iterations == 0:
+            return 0.0
+        return self.mean_parallel_iterations * self.walkers / self.mean_total_iterations
+
+
+@dataclass
+class ScalingStudy:
+    """A full measured sweep over walker counts."""
+
+    problem_name: str
+    points: list[ScalingPoint] = field(default_factory=list)
+
+    def speedups(self) -> dict[int, float]:
+        """Mean-parallel-iteration speedups relative to the 1-walker point.
+
+        Requires the sweep to include ``walkers=1``.
+        """
+        baseline = next(
+            (p for p in self.points if p.walkers == 1), None
+        )
+        if baseline is None:
+            raise ParallelError("speedups need a 1-walker baseline in the sweep")
+        if baseline.mean_parallel_iterations <= 0:
+            raise ParallelError("baseline mean iterations is zero")
+        return {
+            p.walkers: baseline.mean_parallel_iterations
+            / max(p.mean_parallel_iterations, 1e-12)
+            for p in self.points
+        }
+
+    def as_rows(self) -> list[list[object]]:
+        return [
+            [
+                p.walkers,
+                p.mean_parallel_iterations,
+                p.median_parallel_iterations,
+                p.solve_rate,
+                p.work_efficiency,
+            ]
+            for p in self.points
+        ]
+
+
+def measure_scaling(
+    problem: Problem,
+    walker_counts: Sequence[int],
+    *,
+    repetitions: int = 5,
+    config: AdaptiveSearchConfig | None = None,
+    seed: SeedLike = None,
+) -> ScalingStudy:
+    """Measure multi-walk scaling with the exact inline executor.
+
+    For each walker count, ``repetitions`` independent multi-walk runs are
+    executed; the parallel cost of a run is the winning walk's iteration
+    count (iteration clock — all walkers advance at the same rate on
+    dedicated cores).  Unsolved runs contribute their largest walk cost
+    and lower the ``solve_rate``.
+    """
+    if repetitions < 1:
+        raise ParallelError(f"repetitions must be >= 1, got {repetitions}")
+    counts = [int(k) for k in walker_counts]
+    if not counts or any(k < 1 for k in counts):
+        raise ParallelError(f"invalid walker counts: {walker_counts}")
+    solver = MultiWalkSolver(config or AdaptiveSearchConfig(), executor="inline")
+    rep_seeds = spawn_seeds(repetitions, seed)
+
+    points: list[ScalingPoint] = []
+    for walkers in counts:
+        parallel_iters: list[float] = []
+        total_iters: list[float] = []
+        solved = 0
+        for rep_seed in rep_seeds:
+            result = solver.solve(problem, walkers, seed=rep_seed)
+            if result.solved:
+                solved += 1
+                winners = [w.iterations for w in result.walks if w.solved]
+                parallel_iters.append(float(min(winners)))
+            else:
+                parallel_iters.append(
+                    float(max(w.iterations for w in result.walks))
+                )
+            total_iters.append(float(result.total_iterations))
+        points.append(
+            ScalingPoint(
+                walkers=walkers,
+                mean_parallel_iterations=float(np.mean(parallel_iters)),
+                median_parallel_iterations=float(np.median(parallel_iters)),
+                mean_total_iterations=float(np.mean(total_iters)),
+                solve_rate=solved / repetitions,
+                repetitions=repetitions,
+            )
+        )
+    return ScalingStudy(problem_name=problem.name, points=points)

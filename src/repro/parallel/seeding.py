@@ -1,0 +1,26 @@
+"""Deterministic seed derivation for parallel walks.
+
+Every walk receives its own :class:`numpy.random.SeedSequence` spawned from
+one master seed, so a multi-walk run is reproducible end-to-end: the same
+master seed yields the same ``k`` walk streams no matter how the OS schedules
+the worker processes, and walk ``i`` of a ``k``-walk run equals walk ``i`` of
+a ``k'``-walk run (prefix property) — handy when comparing core counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import SeedLike, spawn_seeds
+
+__all__ = ["walk_seeds"]
+
+
+def walk_seeds(n_walkers: int, seed: SeedLike = None) -> list[np.random.SeedSequence]:
+    """Independent child seeds for ``n_walkers`` walks.
+
+    Raises :class:`ValueError` for a non-positive walker count.
+    """
+    if n_walkers <= 0:
+        raise ValueError(f"n_walkers must be >= 1, got {n_walkers}")
+    return spawn_seeds(n_walkers, seed)

@@ -1,0 +1,51 @@
+"""Benchmark problems from the paper and from the C adaptive-search suite.
+
+The paper evaluates four benchmarks:
+
+- ``all_interval`` — All Interval Series, CSPLib prob007
+- ``perfect_square`` — Perfect Square placement, CSPLib prob009
+- ``magic_square`` — Magic Square, CSPLib prob019
+- ``costas`` — the Costas Array Problem (CAP)
+
+The original C distribution additionally ships ``queens``, ``alpha``,
+``langford`` and ``partition`` (CSPLib prob049), which we include for extra
+tests and ablation benchmarks.
+
+Each problem implements the incremental walk-state protocol of
+:class:`repro.problems.base.Problem`: vectorized swap deltas, O(1)-ish swap
+application, and per-variable error projection.
+"""
+
+from repro.problems.base import ModelProblem, Problem, WalkState
+from repro.problems.value_base import ValueModelProblem, ValueProblem
+from repro.problems.golomb import GolombRulerProblem
+from repro.problems.registry import available_problems, make_problem, register_problem
+from repro.problems.costas import CostasProblem
+from repro.problems.magic_square import MagicSquareProblem
+from repro.problems.all_interval import AllIntervalProblem
+from repro.problems.perfect_square import PerfectSquareProblem, SquarePackingInstance
+from repro.problems.queens import QueensProblem
+from repro.problems.alpha import AlphaProblem
+from repro.problems.langford import LangfordProblem
+from repro.problems.partition import PartitionProblem
+
+__all__ = [
+    "Problem",
+    "WalkState",
+    "ModelProblem",
+    "ValueProblem",
+    "ValueModelProblem",
+    "GolombRulerProblem",
+    "make_problem",
+    "register_problem",
+    "available_problems",
+    "CostasProblem",
+    "MagicSquareProblem",
+    "AllIntervalProblem",
+    "PerfectSquareProblem",
+    "SquarePackingInstance",
+    "QueensProblem",
+    "AlphaProblem",
+    "LangfordProblem",
+    "PartitionProblem",
+]

@@ -1,0 +1,190 @@
+"""Known-solution constructions for the benchmark problems.
+
+Closed-form solutions serve two purposes:
+
+- **paper-scale validation**: the cost functions can be checked at the
+  paper's instance sizes (a Welch Costas array of order 22, a 100x100
+  magic square) without running any search;
+- **test oracles**: property tests start walks from known solutions.
+
+Constructions implemented:
+
+- :func:`welch_costas` — the Welch construction: for a prime ``p`` and a
+  primitive root ``g`` of ``p``, the sequence ``g^1, g^2, ..., g^(p-1)``
+  (mod ``p``) is a Costas permutation of order ``p - 1``.  This covers the
+  paper's CAP orders 18 (p=19) and 22 (p=23).
+- :func:`siamese_magic_square` — the Siamese method for odd orders.
+- :func:`doubly_even_magic_square` — the complement-pattern construction
+  for orders divisible by 4.
+- :func:`magic_square` — dispatcher for any order except the impossible
+  singly-even ones not covered here (n ≡ 2 mod 4 uses LUX; out of scope).
+- :func:`zigzag_all_interval` — the lo/hi zig-zag all-interval series.
+- :func:`explicit_queens` — the classical explicit n-queens solutions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProblemError
+
+__all__ = [
+    "is_prime",
+    "primitive_root",
+    "welch_costas",
+    "siamese_magic_square",
+    "doubly_even_magic_square",
+    "magic_square",
+    "zigzag_all_interval",
+    "explicit_queens",
+]
+
+
+def is_prime(p: int) -> bool:
+    """Deterministic trial-division primality (fine for table sizes)."""
+    if p < 2:
+        return False
+    if p < 4:
+        return True
+    if p % 2 == 0:
+        return False
+    f = 3
+    while f * f <= p:
+        if p % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def primitive_root(p: int) -> int:
+    """Smallest primitive root modulo a prime ``p``."""
+    if not is_prime(p):
+        raise ProblemError(f"{p} is not prime")
+    if p == 2:
+        return 1
+    phi = p - 1
+    # distinct prime factors of phi
+    factors = []
+    m = phi
+    f = 2
+    while f * f <= m:
+        if m % f == 0:
+            factors.append(f)
+            while m % f == 0:
+                m //= f
+        f += 1
+    if m > 1:
+        factors.append(m)
+    for g in range(2, p):
+        if all(pow(g, phi // q, p) != 1 for q in factors):
+            return g
+    raise ProblemError(f"no primitive root found for {p}")  # pragma: no cover
+
+
+def welch_costas(order: int) -> np.ndarray:
+    """A Costas permutation of ``order`` via the Welch construction.
+
+    Requires ``order + 1`` prime.  Returns a 0-based permutation suitable
+    for :class:`repro.problems.costas.CostasProblem` (``p[i]`` = row of the
+    mark in column ``i``).
+    """
+    p = order + 1
+    if not is_prime(p):
+        raise ProblemError(
+            f"Welch construction needs order + 1 prime; {p} is not prime"
+        )
+    g = primitive_root(p)
+    # g^1 .. g^(p-1) mod p is a permutation of 1 .. p-1
+    seq = np.empty(order, dtype=np.int64)
+    value = 1
+    for i in range(order):
+        value = (value * g) % p
+        seq[i] = value
+    return seq - 1  # to 0-based rows
+
+
+def siamese_magic_square(n: int) -> np.ndarray:
+    """Odd-order magic square (Siamese / de la Loubère method), row-major."""
+    if n < 3 or n % 2 == 0:
+        raise ProblemError(f"Siamese method needs odd n >= 3, got {n}")
+    grid = np.zeros((n, n), dtype=np.int64)
+    row, col = 0, n // 2
+    for value in range(1, n * n + 1):
+        grid[row, col] = value
+        new_row, new_col = (row - 1) % n, (col + 1) % n
+        if grid[new_row, new_col]:
+            new_row, new_col = (row + 1) % n, col
+        row, col = new_row, new_col
+    return grid.reshape(-1)
+
+
+def doubly_even_magic_square(n: int) -> np.ndarray:
+    """Magic square for ``n`` divisible by 4 (complement pattern), row-major."""
+    if n < 4 or n % 4 != 0:
+        raise ProblemError(f"doubly-even construction needs 4 | n, got {n}")
+    grid = np.arange(1, n * n + 1, dtype=np.int64).reshape(n, n)
+    rows = np.arange(n).reshape(-1, 1) % 4
+    cols = np.arange(n).reshape(1, -1) % 4
+    # complement cells where both (row mod 4) and (col mod 4) are in
+    # {0, 3} or both in {1, 2}
+    edge_r = (rows == 0) | (rows == 3)
+    edge_c = (cols == 0) | (cols == 3)
+    mask = (edge_r & edge_c) | (~edge_r & ~edge_c)
+    grid[mask] = n * n + 1 - grid[mask]
+    return grid.reshape(-1)
+
+
+def magic_square(n: int) -> np.ndarray:
+    """A magic square of order ``n`` (odd or doubly-even), row-major."""
+    if n % 2 == 1:
+        return siamese_magic_square(n)
+    if n % 4 == 0:
+        return doubly_even_magic_square(n)
+    raise ProblemError(
+        f"singly-even order {n} not supported (needs the LUX method)"
+    )
+
+
+def zigzag_all_interval(n: int) -> np.ndarray:
+    """All-interval series by the lo/hi zig-zag construction."""
+    if n < 2:
+        raise ProblemError(f"all-interval needs n >= 2, got {n}")
+    out = np.empty(n, dtype=np.int64)
+    lo, hi = 0, n - 1
+    for idx in range(n):
+        if idx % 2 == 0:
+            out[idx] = lo
+            lo += 1
+        else:
+            out[idx] = hi
+            hi -= 1
+    return out
+
+
+def explicit_queens(n: int) -> np.ndarray:
+    """A closed-form n-queens solution (classical construction).
+
+    Valid for every ``n >= 4`` (Hoffman-Loessi-Moore style case analysis
+    on ``n mod 6``).  Returns ``p`` with ``p[col] = row``.
+    """
+    if n < 4:
+        raise ProblemError(f"n-queens needs n >= 4, got {n}")
+    if n % 2 == 1:
+        # odd n: solve n-1 and put the extra queen in the far corner
+        base = explicit_queens(n - 1)
+        return np.concatenate([base, np.asarray([n - 1], dtype=np.int64)])
+    if n % 6 != 2:
+        # simple even case: rows 1,3,5,... then 0,2,4,... (0-based)
+        rows = list(range(1, n, 2)) + list(range(0, n, 2))
+        return np.asarray(rows, dtype=np.int64)
+    # even n ≡ 2 (mod 6): Hoffman-Loessi-Moore case-2 placement
+    cols = [0] * (n + 1)  # 1-based: column of the queen in each row
+    half = n // 2
+    for i in range(1, half + 1):
+        shift = (2 * (i - 1) + half - 1) % n
+        cols[i] = 1 + shift
+        cols[n + 1 - i] = n - shift
+    perm = np.zeros(n, dtype=np.int64)  # perm[col] = row, 0-based
+    for row in range(1, n + 1):
+        perm[cols[row] - 1] = row - 1
+    return perm

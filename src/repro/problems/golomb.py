@@ -1,0 +1,199 @@
+"""Golomb Ruler (CSPLib prob006) — a value-mode benchmark.
+
+Place ``order`` marks on a ruler of length ``length`` (positions in
+``0..length``) such that all pairwise distances are distinct.  A *perfect*
+search instance fixes ``length`` at the known optimum (e.g. 6 for 4 marks,
+11 for 5, 17 for 6, 25 for 7) and asks for a zero-cost placement.
+
+This is not one of the paper's benchmarks; it exists to exercise the
+value-move engine (:class:`repro.core.value_solver.ValueAdaptiveSearch`) on
+a problem that genuinely is not a permutation — the C library models it the
+same way.
+
+Model: variables are the marks' positions; marks 0 is pinned to position 0
+by a singleton domain (symmetry breaking).  Cost: for every distance
+occurring ``c > 1`` times among the ``order*(order-1)/2`` pairwise
+distances, add ``c - 1``; coinciding marks (distance 0) additionally count
+as duplicates of each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import ProblemError
+from repro.problems.base import WalkState
+from repro.problems.registry import register_problem
+from repro.problems.value_base import ValueProblem
+
+__all__ = ["GolombRulerProblem", "OPTIMAL_LENGTHS"]
+
+#: optimal ruler lengths per mark count (OEIS A003022)
+OPTIMAL_LENGTHS = {2: 1, 3: 3, 4: 6, 5: 11, 6: 17, 7: 25, 8: 34, 9: 44, 10: 55}
+
+
+class GolombState(WalkState):
+    """Walk state caching distance-occurrence counts."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self, config: np.ndarray, cost: float, counts: np.ndarray) -> None:
+        super().__init__(config, cost)
+        #: ``counts[d]`` = pairs at distance ``d`` (``d = 0`` means collision)
+        self.counts = counts
+
+
+@register_problem("golomb")
+class GolombRulerProblem(ValueProblem):
+    """Golomb ruler with ``order`` marks on a ruler of length ``length``."""
+
+    family = "golomb"
+
+    def __init__(self, order: int = 5, length: int | None = None) -> None:
+        if order < 2:
+            raise ProblemError(f"golomb needs order >= 2, got {order}")
+        if length is None:
+            if order not in OPTIMAL_LENGTHS:
+                raise ProblemError(
+                    f"no stored optimal length for order {order}; pass length="
+                )
+            length = OPTIMAL_LENGTHS[order]
+        if length < order - 1:
+            raise ProblemError(
+                f"length {length} cannot host {order} distinct marks"
+            )
+        self.order = int(order)
+        self.length = int(length)
+
+    @property
+    def size(self) -> int:
+        return self.order
+
+    @property
+    def name(self) -> str:
+        return f"{self.family}-{self.order}x{self.length}"
+
+    def spec(self) -> Mapping[str, Any]:
+        return {"family": self.family, "order": self.order, "length": self.length}
+
+    def default_solver_parameters(self) -> dict[str, Any]:
+        return {
+            "freeze_loc_min": 2,
+            "reset_limit": max(2, self.order // 2),
+            "reset_fraction": 0.5,
+            "prob_select_loc_min": 0.5,
+            "restart_limit": 10**9,
+        }
+
+    # ------------------------------------------------------------------
+    def domain_values(self, var: int) -> np.ndarray:
+        if var == 0:
+            return np.zeros(1, dtype=np.int64)  # symmetry break: mark at 0
+        return np.arange(0, self.length + 1, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _count_table(self, config: np.ndarray) -> np.ndarray:
+        counts = np.zeros(self.length + 1, dtype=np.int64)
+        for i in range(self.order):
+            for j in range(i + 1, self.order):
+                counts[abs(int(config[i]) - int(config[j]))] += 1
+        return counts
+
+    def _cost_from_counts(self, counts: np.ndarray) -> float:
+        # distance 0 = coinciding marks: every such pair is a violation
+        dup = int(np.maximum(counts[1:] - 1, 0).sum())
+        return float(dup + int(counts[0]) * 2)
+
+    def cost(self, config: np.ndarray) -> float:
+        config = np.asarray(config, dtype=np.int64)
+        return self._cost_from_counts(self._count_table(config))
+
+    # ------------------------------------------------------------------
+    def init_state(self, config: np.ndarray) -> GolombState:
+        self.check_configuration(config)
+        cfg = np.array(config, dtype=np.int64, copy=True)
+        counts = self._count_table(cfg)
+        return GolombState(cfg, self._cost_from_counts(counts), counts)
+
+    def value_deltas(self, state: GolombState, var: int) -> np.ndarray:
+        values = self.domain_values(var)
+        current = int(state.config[var])
+        counts = state.counts
+        others = [int(v) for i, v in enumerate(state.config) if i != var]
+
+        # removing var's current distances
+        base_counts = counts.copy()
+        removed_cost = 0.0
+        for other in others:
+            d = abs(current - other)
+            c = base_counts[d]
+            if d == 0:
+                removed_cost -= 2
+            elif c > 1:
+                removed_cost -= 1
+            base_counts[d] = c - 1
+
+        deltas = np.zeros(len(values), dtype=np.float64)
+        for idx, value in enumerate(values.tolist()):
+            if value == current:
+                continue
+            delta = removed_cost
+            touched: list[int] = []
+            for other in others:
+                d = abs(value - other)
+                c = base_counts[d]
+                if d == 0:
+                    delta += 2
+                elif c >= 1:
+                    delta += 1
+                base_counts[d] = c + 1
+                touched.append(d)
+            for d in touched:
+                base_counts[d] -= 1
+            deltas[idx] = delta
+        return deltas
+
+    def apply_assign(self, state: GolombState, var: int, value: int) -> None:
+        current = int(state.config[var])
+        if value == current:
+            return
+        counts = state.counts
+        delta = 0.0
+        for i, other in enumerate(state.config.tolist()):
+            if i == var:
+                continue
+            d_old = abs(current - other)
+            c = counts[d_old]
+            if d_old == 0:
+                delta -= 2
+            elif c > 1:
+                delta -= 1
+            counts[d_old] = c - 1
+            d_new = abs(value - other)
+            c = counts[d_new]
+            if d_new == 0:
+                delta += 2
+            elif c >= 1:
+                delta += 1
+            counts[d_new] = c + 1
+        state.config[var] = value
+        state.cost += delta
+
+    def variable_errors(self, state: GolombState) -> np.ndarray:
+        errors = np.zeros(self.order, dtype=np.float64)
+        cfg = state.config.tolist()
+        counts = state.counts
+        for i in range(self.order):
+            for j in range(i + 1, self.order):
+                d = abs(cfg[i] - cfg[j])
+                if d == 0 or counts[d] > 1:
+                    errors[i] += 1.0
+                    errors[j] += 1.0
+        return errors
+
+    # ------------------------------------------------------------------
+    def marks(self, config: np.ndarray) -> list[int]:
+        """Sorted mark positions."""
+        return sorted(int(v) for v in config)

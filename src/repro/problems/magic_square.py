@@ -1,0 +1,212 @@
+"""Magic Square (CSPLib prob019).
+
+Place ``1 .. n*n`` in an ``n x n`` grid so that every row, column and the two
+main diagonals sum to the magic constant ``M = n(n^2+1)/2``.
+
+Permutation model: the configuration is a permutation of ``1..n*n`` laid out
+row-major.  Cost = sum of ``|line_sum - M|`` over the ``2n + 2`` lines — the
+error function of the C ``magic-square.c`` benchmark.
+
+Incremental state caches the ``2n + 2`` line sums; a swap touches at most two
+rows, two columns and the diagonals, so deltas are O(1) and the all-``j``
+delta vector is fully vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import ProblemError
+from repro.problems.base import Problem, WalkState
+from repro.problems.registry import register_problem
+
+__all__ = ["MagicSquareProblem", "MagicSquareState"]
+
+
+class MagicSquareState(WalkState):
+    """Walk state with cached row/column/diagonal sums."""
+
+    __slots__ = ("row_sums", "col_sums", "diag_sum", "anti_sum")
+
+    def __init__(
+        self,
+        config: np.ndarray,
+        cost: float,
+        row_sums: np.ndarray,
+        col_sums: np.ndarray,
+        diag_sum: int,
+        anti_sum: int,
+    ) -> None:
+        super().__init__(config, cost)
+        self.row_sums = row_sums
+        self.col_sums = col_sums
+        self.diag_sum = diag_sum
+        self.anti_sum = anti_sum
+
+
+@register_problem("magic_square")
+class MagicSquareProblem(Problem):
+    """Magic square of order ``n`` (``n*n`` variables)."""
+
+    family = "magic_square"
+    value_base = 1
+
+    def __init__(self, n: int = 10) -> None:
+        if n < 3:
+            raise ProblemError(f"magic_square needs n >= 3, got {n}")
+        self._order = int(n)
+        self._n_cells = n * n
+        self.magic_constant = n * (n * n + 1) // 2
+        cells = np.arange(self._n_cells)
+        self._rows = cells // n  # row index of each cell
+        self._cols = cells % n
+        self._on_diag = self._rows == self._cols
+        self._on_anti = (self._rows + self._cols) == n - 1
+
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """Side length ``n`` of the square."""
+        return self._order
+
+    @property
+    def size(self) -> int:
+        return self._n_cells
+
+    @property
+    def name(self) -> str:
+        return f"{self.family}-{self._order}"
+
+    def spec(self) -> Mapping[str, Any]:
+        return {"family": self.family, "n": self._order}
+
+    def default_solver_parameters(self) -> dict[str, Any]:
+        # tuned on orders 5..10 (see benchmarks/bench_abl_tuning.py)
+        n2 = self._n_cells
+        return {
+            "freeze_loc_min": 5,
+            "reset_limit": max(5, n2 // 8),
+            "reset_fraction": 0.25,
+            "prob_select_loc_min": 0.5,
+            "restart_limit": 10**9,
+        }
+
+    # ------------------------------------------------------------------
+    # reference semantics
+    # ------------------------------------------------------------------
+    def _line_sums(self, config: np.ndarray) -> tuple[np.ndarray, np.ndarray, int, int]:
+        n = self._order
+        grid = config.reshape(n, n)
+        return (
+            grid.sum(axis=1),
+            grid.sum(axis=0),
+            int(np.trace(grid)),
+            int(np.trace(np.fliplr(grid))),
+        )
+
+    def cost(self, config: np.ndarray) -> float:
+        config = np.asarray(config, dtype=np.int64)
+        rows, cols, diag, anti = self._line_sums(config)
+        m = self.magic_constant
+        return float(
+            np.abs(rows - m).sum()
+            + np.abs(cols - m).sum()
+            + abs(diag - m)
+            + abs(anti - m)
+        )
+
+    # ------------------------------------------------------------------
+    # incremental protocol
+    # ------------------------------------------------------------------
+    def init_state(self, config: np.ndarray) -> MagicSquareState:
+        self.check_configuration(config)
+        cfg = np.array(config, dtype=np.int64, copy=True)
+        rows, cols, diag, anti = self._line_sums(cfg)
+        cost = self.cost(cfg)
+        return MagicSquareState(cfg, cost, rows, cols, diag, anti)
+
+    def swap_deltas(self, state: MagicSquareState, i: int) -> np.ndarray:
+        """Vectorized deltas of swapping cell ``i`` with every cell ``j``."""
+        cfg = state.config
+        m = self.magic_constant
+        vi = cfg[i]
+        dv = cfg - vi  # value gained by cell i's lines, lost by j's lines
+        ri, ci = int(self._rows[i]), int(self._cols[i])
+
+        rs, cs = state.row_sums, state.col_sums
+        # current absolute errors of every line
+        row_err = np.abs(rs - m)
+        col_err = np.abs(cs - m)
+
+        same_row = self._rows == ri
+        same_col = self._cols == ci
+
+        # row of i gains dv unless j is in the same row
+        d_row_i = np.where(same_row, 0, np.abs(rs[ri] + dv - m) - row_err[ri])
+        d_row_j = np.where(
+            same_row, 0, np.abs(rs[self._rows] - dv - m) - row_err[self._rows]
+        )
+        d_col_i = np.where(same_col, 0, np.abs(cs[ci] + dv - m) - col_err[ci])
+        d_col_j = np.where(
+            same_col, 0, np.abs(cs[self._cols] - dv - m) - col_err[self._cols]
+        )
+
+        diag_err = abs(state.diag_sum - m)
+        anti_err = abs(state.anti_sum - m)
+        i_diag, i_anti = bool(self._on_diag[i]), bool(self._on_anti[i])
+        # net change of each diagonal's sum per candidate j
+        diag_change = (np.int64(i_diag) - self._on_diag.astype(np.int64)) * dv
+        anti_change = (np.int64(i_anti) - self._on_anti.astype(np.int64)) * dv
+        d_diag = np.abs(state.diag_sum + diag_change - m) - diag_err
+        d_anti = np.abs(state.anti_sum + anti_change - m) - anti_err
+
+        deltas = (d_row_i + d_row_j + d_col_i + d_col_j + d_diag + d_anti).astype(
+            np.float64
+        )
+        deltas[i] = 0.0
+        return deltas
+
+    def swap_delta(self, state: MagicSquareState, i: int, j: int) -> float:
+        if i == j:
+            return 0.0
+        return float(self.swap_deltas(state, i)[j])
+
+    def apply_swap(self, state: MagicSquareState, i: int, j: int) -> None:
+        if i == j:
+            return
+        delta = self.swap_delta(state, i, j)
+        cfg = state.config
+        dv = int(cfg[j] - cfg[i])
+        ri, ci = int(self._rows[i]), int(self._cols[i])
+        rj, cj = int(self._rows[j]), int(self._cols[j])
+        if ri != rj:
+            state.row_sums[ri] += dv
+            state.row_sums[rj] -= dv
+        if ci != cj:
+            state.col_sums[ci] += dv
+            state.col_sums[cj] -= dv
+        state.diag_sum += dv * (int(self._on_diag[i]) - int(self._on_diag[j]))
+        state.anti_sum += dv * (int(self._on_anti[i]) - int(self._on_anti[j]))
+        cfg[i], cfg[j] = cfg[j], cfg[i]
+        state.cost += delta
+
+    def variable_errors(self, state: MagicSquareState) -> np.ndarray:
+        """Each cell inherits the absolute errors of the lines through it."""
+        m = self.magic_constant
+        row_err = np.abs(state.row_sums - m).astype(np.float64)
+        col_err = np.abs(state.col_sums - m).astype(np.float64)
+        errors = row_err[self._rows] + col_err[self._cols]
+        errors += np.where(self._on_diag, abs(state.diag_sum - m), 0)
+        errors += np.where(self._on_anti, abs(state.anti_sum - m), 0)
+        return errors
+
+    # ------------------------------------------------------------------
+    def render(self, config: np.ndarray) -> str:
+        n = self._order
+        grid = np.asarray(config).reshape(n, n)
+        width = len(str(n * n))
+        return "\n".join(
+            " ".join(str(v).rjust(width) for v in row) for row in grid.tolist()
+        )

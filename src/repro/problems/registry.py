@@ -1,0 +1,50 @@
+"""Problem registry: build benchmark instances by name.
+
+The harness and benchmarks refer to problems by family name + parameters
+(e.g. ``make_problem("costas", n=12)``), so experiment definitions stay
+declarative and cacheable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ProblemError
+from repro.problems.base import Problem
+
+__all__ = ["register_problem", "make_problem", "available_problems"]
+
+_REGISTRY: dict[str, Callable[..., Problem]] = {}
+
+
+def register_problem(name: str) -> Callable[[Callable[..., Problem]], Callable[..., Problem]]:
+    """Class/factory decorator registering a problem family under ``name``."""
+
+    def decorator(factory: Callable[..., Problem]) -> Callable[..., Problem]:
+        if name in _REGISTRY:
+            raise ProblemError(f"problem family {name!r} already registered")
+        _REGISTRY[name] = factory
+        return factory
+
+    return decorator
+
+
+def make_problem(name: str, /, **params: Any) -> Problem:
+    """Instantiate a registered problem family.
+
+    >>> make_problem("costas", n=10).name
+    'costas-10'
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise ProblemError(
+            f"unknown problem family {name!r}; registered families: {known}"
+        ) from None
+    return factory(**params)
+
+
+def available_problems() -> list[str]:
+    """Sorted names of all registered problem families."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,190 @@
+"""The value-move problem protocol (non-permutation CSPs).
+
+The C adaptive-search library supports two move modes: permutation
+problems explore by *swaps* (:class:`repro.problems.base.Problem`), general
+CSPs by *changing one variable's value* within its domain.  This module is
+the value-mode counterpart of the swap protocol, consumed by
+:class:`repro.core.value_solver.ValueAdaptiveSearch`:
+
+``domain_values(var)``
+    the candidate values of one variable (including its current value).
+``value_deltas(state, var)``
+    cost change of assigning each candidate value (aligned with
+    ``domain_values``; the entry for the current value is 0).
+``apply_assign(state, var, value)``
+    commit an assignment, updating cost and caches incrementally.
+
+Defaults fall back to full re-evaluation, so a declaratively modelled
+problem (:class:`ValueModelProblem`) works out of the box.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.csp.model import Model
+from repro.errors import ProblemError
+from repro.problems.base import WalkState
+from repro.util.rng import SeedLike, as_generator
+
+__all__ = ["ValueProblem", "ValueModelProblem"]
+
+
+class ValueProblem(ABC):
+    """One CSP instance explored by single-variable value changes."""
+
+    family: str = "value_problem"
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of decision variables."""
+
+    @property
+    def name(self) -> str:
+        return f"{self.family}-{self.size}"
+
+    def spec(self) -> Mapping[str, Any]:
+        return {"family": self.family, "size": self.size}
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def domain_values(self, var: int) -> np.ndarray:
+        """Candidate values of ``var`` (sorted int64, fresh array)."""
+
+    @abstractmethod
+    def cost(self, config: np.ndarray) -> float:
+        """Full cost evaluation; 0 iff ``config`` solves the instance."""
+
+    def is_solution(self, config: np.ndarray) -> bool:
+        return self.cost(config) == 0
+
+    def random_configuration(self, seed: SeedLike = None) -> np.ndarray:
+        rng = as_generator(seed)
+        out = np.empty(self.size, dtype=np.int64)
+        for var in range(self.size):
+            values = self.domain_values(var)
+            out[var] = values[rng.integers(0, len(values))]
+        return out
+
+    def check_configuration(self, config: np.ndarray) -> None:
+        arr = np.asarray(config)
+        if arr.shape != (self.size,):
+            raise ProblemError(
+                f"{self.name}: configuration has shape {arr.shape}, "
+                f"expected ({self.size},)"
+            )
+        for var in range(self.size):
+            if int(arr[var]) not in self.domain_values(var):
+                raise ProblemError(
+                    f"{self.name}: value {arr[var]} outside domain of "
+                    f"variable {var}"
+                )
+
+    # ------------------------------------------------------------------
+    def init_state(self, config: np.ndarray) -> WalkState:
+        self.check_configuration(config)
+        cfg = np.array(config, dtype=np.int64, copy=True)
+        return WalkState(cfg, self.cost(cfg))
+
+    def value_deltas(self, state: WalkState, var: int) -> np.ndarray:
+        """Cost deltas of assigning each domain value to ``var``."""
+        values = self.domain_values(var)
+        current = int(state.config[var])
+        deltas = np.zeros(len(values), dtype=np.float64)
+        cfg = state.config
+        for idx, value in enumerate(values.tolist()):
+            if value == current:
+                continue
+            cfg[var] = value
+            deltas[idx] = self.cost(cfg) - state.cost
+        cfg[var] = current
+        return deltas
+
+    def apply_assign(self, state: WalkState, var: int, value: int) -> None:
+        state.config[var] = value
+        state.cost = self.cost(state.config)
+
+    @abstractmethod
+    def variable_errors(self, state: WalkState) -> np.ndarray:
+        """Non-negative per-variable errors; all zero iff cost is zero."""
+
+    def partial_reset(
+        self, state: WalkState, fraction: float, rng: np.random.Generator
+    ) -> None:
+        """Reassign ~``fraction`` of the variables uniformly at random."""
+        if not 0.0 < fraction <= 1.0:
+            raise ProblemError(f"reset fraction must be in (0, 1], got {fraction}")
+        n = self.size
+        count = max(1, int(round(fraction * n)))
+        chosen = rng.choice(n, size=count, replace=False)
+        for var in chosen.tolist():
+            values = self.domain_values(var)
+            state.config[var] = values[rng.integers(0, len(values))]
+        self.resync_state(state)
+
+    def resync_state(self, state: WalkState) -> None:
+        fresh = self.init_state(state.config)
+        state.config = fresh.config
+        state.cost = fresh.cost
+        for klass in type(fresh).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if slot not in ("config", "cost"):
+                    setattr(state, slot, getattr(fresh, slot))
+
+    def default_solver_parameters(self) -> dict[str, Any]:
+        return {}
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.spec().items())
+        return f"{type(self).__name__}({params})"
+
+
+class ValueModelProblem(ValueProblem):
+    """Any declarative :class:`~repro.csp.model.Model` as a value problem.
+
+    Unlike :class:`repro.problems.base.ModelProblem`, no permutation
+    structure is required: every variable moves freely within its array's
+    domain.  Evaluation is non-incremental (model recomputation).
+    """
+
+    family = "value_model"
+
+    def __init__(self, model: Model) -> None:
+        if model.n_variables == 0:
+            raise ProblemError("model has no variables")
+        self.model = model
+        self._domains: list[np.ndarray] = []
+        for array in model.arrays:
+            values = array.domain.values()
+            self._domains.extend([values] * array.n)
+
+    @property
+    def size(self) -> int:
+        return self.model.n_variables
+
+    @property
+    def name(self) -> str:
+        return f"value_model:{self.model.name}"
+
+    def spec(self) -> Mapping[str, Any]:
+        return {
+            "family": self.family,
+            "model": self.model.name,
+            "size": self.size,
+        }
+
+    def domain_values(self, var: int) -> np.ndarray:
+        return self._domains[var].copy()
+
+    def cost(self, config: np.ndarray) -> float:
+        return self.model.cost(np.asarray(config, dtype=np.int64))
+
+    def variable_errors(self, state: WalkState) -> np.ndarray:
+        return self.model.variable_errors(state.config)
+
+    def random_configuration(self, seed: SeedLike = None) -> np.ndarray:
+        return self.model.random_assignment(seed)

@@ -1,0 +1,39 @@
+"""Nonparametric bootstrap confidence intervals."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator
+
+__all__ = ["bootstrap_ci"]
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    *,
+    n_boot: int = 1000,
+    alpha: float = 0.05,
+    rng: SeedLike = None,
+) -> tuple[float, float, float]:
+    """Percentile bootstrap CI of ``statistic``.
+
+    Returns ``(point_estimate, ci_low, ci_high)`` at confidence
+    ``1 - alpha``.
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("need a non-empty 1-D sample")
+    if n_boot < 1:
+        raise ValueError(f"n_boot must be >= 1, got {n_boot}")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    gen = as_generator(rng)
+    point = float(statistic(arr))
+    idx = gen.integers(0, arr.size, size=(n_boot, arr.size))
+    stats = np.apply_along_axis(statistic, 1, arr[idx])
+    low, high = np.percentile(stats, [100 * alpha / 2, 100 * (1 - alpha / 2)])
+    return point, float(low), float(high)

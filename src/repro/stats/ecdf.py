@@ -1,0 +1,82 @@
+"""Empirical cumulative distribution function."""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+__all__ = ["ECDF"]
+
+ArrayLike = Union[float, Sequence[float], np.ndarray]
+
+
+class ECDF:
+    """Right-continuous ECDF of a sample.
+
+    ``ecdf(x)`` evaluates ``P(X <= x)``; ``quantile(q)`` returns the
+    empirical ``q``-quantile (inverse CDF, lower interpolation — the value
+    actually observed).
+    """
+
+    def __init__(self, samples: Sequence[float]) -> None:
+        arr = np.asarray(samples, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("ECDF needs a non-empty 1-D sample")
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("ECDF samples must be finite")
+        self.values = np.sort(arr)
+        self.n = int(arr.size)
+
+    def __call__(self, x: ArrayLike) -> np.ndarray | float:
+        x_arr = np.asarray(x, dtype=np.float64)
+        result = np.searchsorted(self.values, x_arr, side="right") / self.n
+        if np.isscalar(x) or x_arr.ndim == 0:
+            return float(result)
+        return result
+
+    def survival(self, x: ArrayLike) -> np.ndarray | float:
+        """``P(X > x)``."""
+        cdf = self(x)
+        return 1.0 - cdf if isinstance(cdf, float) else 1.0 - cdf
+
+    def quantile(self, q: ArrayLike) -> np.ndarray | float:
+        """Empirical quantile(s); ``q`` in [0, 1]."""
+        q_arr = np.asarray(q, dtype=np.float64)
+        if np.any((q_arr < 0) | (q_arr > 1)):
+            raise ValueError("quantiles must be in [0, 1]")
+        idx = np.clip(np.ceil(q_arr * self.n).astype(int) - 1, 0, self.n - 1)
+        result = self.values[idx]
+        if np.isscalar(q) or q_arr.ndim == 0:
+            return float(result)
+        return result
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.values))
+
+    @property
+    def min(self) -> float:
+        return float(self.values[0])
+
+    @property
+    def max(self) -> float:
+        return float(self.values[-1])
+
+    def std(self, ddof: int = 1) -> float:
+        if self.n <= ddof:
+            return 0.0
+        return float(self.values.std(ddof=ddof))
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return (
+            f"ECDF(n={self.n}, min={self.min:.4g}, median={self.median:.4g}, "
+            f"max={self.max:.4g})"
+        )

@@ -1,0 +1,155 @@
+"""Runtime-distribution (RTD) analysis.
+
+Las Vegas algorithms are characterized by their runtime distribution
+``F(t) = P(T <= t)`` (Hoos & Stützle).  For independent multi-walks the
+``k``-walker RTD follows without any further experiment:
+
+    F_k(t) = 1 - (1 - F(t))^k,
+
+which is the cumulative form of the min-of-k identity the platform
+simulation builds on.  This module renders measured RTDs, derives
+multi-walk RTDs, and scores how exponential a sample looks (the paper's
+linear-speedup criterion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.stats.ecdf import ECDF
+from repro.stats.fitting import fit_exponential
+from repro.util.ascii_plot import Series, line_chart
+
+__all__ = [
+    "rtd_points",
+    "parallel_rtd_points",
+    "rtd_chart",
+    "ExponentialityReport",
+    "exponentiality",
+]
+
+
+def rtd_points(
+    samples: Sequence[float], n_points: int = 50
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(t, F(t))`` pairs spanning the sample range.
+
+    Returns ``n_points`` abscissae from just below the minimum to the
+    maximum of the sample, with the empirical CDF evaluated at each.
+    """
+    if n_points < 2:
+        raise ValueError(f"n_points must be >= 2, got {n_points}")
+    ecdf = ECDF(samples)
+    lo = ecdf.min
+    hi = ecdf.max
+    if hi == lo:
+        hi = lo + max(abs(lo), 1.0) * 1e-6
+    t = np.linspace(lo * 0.999, hi, n_points)
+    return t, np.asarray(ecdf(t))
+
+
+def parallel_rtd_points(
+    samples: Sequence[float], k: int, n_points: int = 50
+) -> tuple[np.ndarray, np.ndarray]:
+    """RTD of the ``k``-walker independent multi-walk, derived exactly.
+
+    ``F_k(t) = 1 - (1 - F(t))^k`` — no further measurement needed.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    t, f = rtd_points(samples, n_points)
+    return t, 1.0 - np.power(1.0 - f, k)
+
+
+def rtd_chart(
+    sample_sets: Mapping[str, Sequence[float]],
+    *,
+    walkers: Sequence[int] = (1,),
+    width: int = 72,
+    height: int = 20,
+    title: str = "runtime distributions",
+) -> str:
+    """ASCII chart of (multi-walk) RTDs for several benchmarks.
+
+    With ``walkers=(1, 16, 256)`` each benchmark contributes one curve per
+    walker count — the visual form of the paper's speedup story: the more
+    exponential the 1-walker RTD, the harder the multi-walk curves snap to
+    the left.
+    """
+    series = []
+    for label, samples in sample_sets.items():
+        for k in walkers:
+            t, f = parallel_rtd_points(samples, k)
+            name = label if k == 1 else f"{label} x{k}"
+            series.append(Series(name, t.tolist(), f.tolist()))
+    return line_chart(
+        series,
+        width=width,
+        height=height,
+        title=title,
+        xlabel="time",
+        ylabel="P(solved)",
+    )
+
+
+@dataclass(frozen=True)
+class ExponentialityReport:
+    """How memoryless a runtime sample looks.
+
+    ``qq_correlation`` is the Pearson correlation of the exponential Q-Q
+    plot (1.0 = perfectly exponential order statistics);
+    ``floor_fraction`` is ``min(sample) / mean`` — the relative runtime
+    floor that caps multi-walk speedup at ``1 / floor_fraction``.
+    """
+
+    mean: float
+    qq_correlation: float
+    ks_statistic: float
+    ks_pvalue: float
+    floor_fraction: float
+
+    @property
+    def speedup_ceiling(self) -> float:
+        """Upper bound on multi-walk speedup implied by the runtime floor."""
+        if self.floor_fraction <= 0:
+            return float("inf")
+        return 1.0 / self.floor_fraction
+
+    def summary(self) -> str:
+        return (
+            f"mean={self.mean:.4g}, QQ-r={self.qq_correlation:.3f}, "
+            f"KS={self.ks_statistic:.3f} (p={self.ks_pvalue:.3f}), "
+            f"floor={self.floor_fraction:.3g} "
+            f"(speedup ceiling ~{self.speedup_ceiling:.3g})"
+        )
+
+
+def exponentiality(samples: Sequence[float]) -> ExponentialityReport:
+    """Score a runtime sample against the exponential model."""
+    arr = np.sort(np.asarray(samples, dtype=np.float64))
+    if arr.ndim != 1 or arr.size < 3:
+        raise ValueError("need at least 3 sample values")
+    if np.any(arr < 0):
+        raise ValueError("runtimes must be non-negative")
+    n = arr.size
+    mean = float(arr.mean())
+    if mean <= 0:
+        raise ValueError("mean runtime must be positive")
+    # exponential Q-Q: empirical order statistics vs -ln(1 - i/(n+1))
+    probs = (np.arange(1, n + 1)) / (n + 1)
+    theoretical = -np.log1p(-probs)
+    if np.std(arr) == 0:
+        qq_r = 0.0
+    else:
+        qq_r = float(np.corrcoef(theoretical, arr)[0, 1])
+    fit = fit_exponential(arr)
+    return ExponentialityReport(
+        mean=mean,
+        qq_correlation=qq_r,
+        ks_statistic=fit.ks_statistic,
+        ks_pvalue=fit.ks_pvalue,
+        floor_fraction=float(arr[0] / mean),
+    )

@@ -1,0 +1,113 @@
+"""Speedup curves — the quantity every figure of the paper plots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.simulate import MultiWalkSimulator
+from repro.cluster.topology import Platform
+from repro.util.rng import SeedLike
+
+__all__ = ["SpeedupCurve", "speedup_curve_from_samples"]
+
+
+@dataclass
+class SpeedupCurve:
+    """Speedups of one benchmark on one platform over a core sweep.
+
+    ``speedups[i]`` is the mean-completion-time ratio between
+    ``baseline_cores`` and ``core_counts[i]`` walkers; ``mean_times`` holds
+    the underlying expected parallel times.
+    """
+
+    label: str
+    platform: str
+    core_counts: list[int]
+    mean_times: list[float]
+    speedups: list[float]
+    baseline_cores: int = 1
+    baseline_time: float = 0.0
+    ci_low: list[float] = field(default_factory=list)
+    ci_high: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        lengths = {len(self.core_counts), len(self.mean_times), len(self.speedups)}
+        if len(lengths) != 1:
+            raise ValueError(
+                "core_counts, mean_times and speedups must have equal length"
+            )
+        if self.ci_low and len(self.ci_low) != len(self.core_counts):
+            raise ValueError("ci_low length mismatch")
+        if self.ci_high and len(self.ci_high) != len(self.core_counts):
+            raise ValueError("ci_high length mismatch")
+
+    def efficiency(self) -> list[float]:
+        """Parallel efficiency = speedup / (cores / baseline_cores)."""
+        return [
+            s / (k / self.baseline_cores)
+            for s, k in zip(self.speedups, self.core_counts)
+        ]
+
+    def speedup_at(self, cores: int) -> float:
+        try:
+            return self.speedups[self.core_counts.index(cores)]
+        except ValueError:
+            raise KeyError(f"no measurement at {cores} cores") from None
+
+    def as_rows(self) -> list[list[object]]:
+        """Rows (cores, mean time, speedup, efficiency) for table rendering."""
+        return [
+            [k, t, s, e]
+            for k, t, s, e in zip(
+                self.core_counts, self.mean_times, self.speedups, self.efficiency()
+            )
+        ]
+
+
+def speedup_curve_from_samples(
+    label: str,
+    samples: Sequence[float],
+    platform: Platform,
+    core_counts: Sequence[int],
+    *,
+    n_reps: int = 500,
+    baseline_cores: int = 1,
+    rng: SeedLike = None,
+) -> SpeedupCurve:
+    """Build a speedup curve by min-of-k simulation over measured samples.
+
+    This is the bridge between measured single-core behaviour and the
+    paper's multi-hundred-core figures; see :mod:`repro.cluster.simulate`
+    for the fidelity argument.
+    """
+    sim = MultiWalkSimulator(platform, rng)
+    sweep = sorted({int(k) for k in core_counts} | {int(baseline_cores)})
+    runs = sim.expected_times(samples, sweep, n_reps)
+    base = runs[int(baseline_cores)].mean_time
+    if base <= 0:
+        raise ValueError("baseline mean time must be positive")
+    counts = [int(k) for k in core_counts]
+    means = [runs[k].mean_time for k in counts]
+    speeds = [base / m for m in means]
+    # normal-approximation CI of the mean-time ratio (bootstrap reps drive
+    # the std estimate; adequate for plotting error bars)
+    ci_low, ci_high = [], []
+    for k, m in zip(counts, means):
+        sr = runs[k]
+        half = 1.96 * sr.std_time / max(1, np.sqrt(sr.n_reps))
+        ci_low.append(base / (m + half))
+        ci_high.append(base / max(1e-12, m - half))
+    return SpeedupCurve(
+        label=label,
+        platform=platform.name,
+        core_counts=counts,
+        mean_times=means,
+        speedups=speeds,
+        baseline_cores=int(baseline_cores),
+        baseline_time=base,
+        ci_low=ci_low,
+        ci_high=ci_high,
+    )

@@ -1,0 +1,26 @@
+"""Shared utilities: RNG handling, timing, validation, ASCII plotting.
+
+These helpers are deliberately dependency-light; every other subpackage may
+import :mod:`repro.util` but never the reverse.
+"""
+
+from repro.util.rng import as_generator, spawn_generators, spawn_seeds
+from repro.util.timing import Stopwatch, format_seconds
+from repro.util.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+    require,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "spawn_seeds",
+    "Stopwatch",
+    "format_seconds",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+    "require",
+]

@@ -1,0 +1,221 @@
+"""Terminal rendering of the paper's figures.
+
+The original paper shows matplotlib/gnuplot line charts (Figures 1-3).  We
+have no plotting dependency, so figures are rendered as ASCII line charts —
+good enough to judge curve shape (linear vs saturating speedup) directly in
+benchmark output, plus machine-readable series dumps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["Series", "line_chart", "loglog_chart", "histogram", "render_table"]
+
+_MARKERS = "ox+*#@%&"
+
+
+@dataclass
+class Series:
+    """One labelled line of ``(x, y)`` points."""
+
+    label: str
+    x: Sequence[float]
+    y: Sequence[float]
+    marker: str | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: x and y lengths differ "
+                f"({len(self.x)} vs {len(self.y)})"
+            )
+
+
+def _scale(value: float, lo: float, hi: float, out: int) -> int:
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(out - 1, max(0, round(frac * (out - 1))))
+
+
+def line_chart(
+    series: Iterable[Series],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """Render labelled series as a character-grid line chart.
+
+    Points are plotted with per-series markers and joined by linear
+    interpolation in screen space.  Returns the complete chart as a string.
+    """
+    series = list(series)
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    if width < 16 or height < 6:
+        raise ValueError("chart too small to be legible (min 16x6)")
+
+    def tx(v: float) -> float:
+        if logx:
+            if v <= 0:
+                raise ValueError(f"log-scale x requires positive values, got {v}")
+            return math.log10(v)
+        return v
+
+    def ty(v: float) -> float:
+        if logy:
+            if v <= 0:
+                raise ValueError(f"log-scale y requires positive values, got {v}")
+            return math.log10(v)
+        return v
+
+    xs = [tx(v) for s in series for v in s.x]
+    ys = [ty(v) for s in series for v in s.y]
+    if not xs:
+        raise ValueError("all series are empty")
+    xlo, xhi = min(xs), max(xs)
+    ylo, yhi = min(ys), max(ys)
+    if ylo == yhi:
+        ylo, yhi = ylo - 1.0, yhi + 1.0
+    if xlo == xhi:
+        xlo, xhi = xlo - 1.0, xhi + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, s in enumerate(series):
+        marker = s.marker or _MARKERS[idx % len(_MARKERS)]
+        pts = [
+            (_scale(tx(xv), xlo, xhi, width), _scale(ty(yv), ylo, yhi, height))
+            for xv, yv in zip(s.x, s.y)
+        ]
+        pts.sort()
+        # connect consecutive points with a crude Bresenham walk
+        for (c0, r0), (c1, r1) in zip(pts, pts[1:]):
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for t in range(steps + 1):
+                c = round(c0 + (c1 - c0) * t / steps)
+                r = round(r0 + (r1 - r0) * t / steps)
+                if grid[height - 1 - r][c] == " ":
+                    grid[height - 1 - r][c] = "."
+        for c, r in pts:
+            grid[height - 1 - r][c] = marker
+
+    def fmt_axis(v: float, is_log: bool) -> str:
+        val = 10**v if is_log else v
+        if abs(val) >= 1000 or (abs(val) < 0.01 and val != 0):
+            return f"{val:.2g}"
+        return f"{val:.4g}"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title.center(width + 10))
+    ytop = fmt_axis(yhi, logy)
+    ybot = fmt_axis(ylo, logy)
+    label_w = max(len(ytop), len(ybot), len(ylabel)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = ytop.rjust(label_w)
+        elif i == height - 1:
+            prefix = ybot.rjust(label_w)
+        elif i == height // 2 and ylabel:
+            prefix = ylabel[: label_w - 1].rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * label_w + "+" + "-" * width)
+    xleft = fmt_axis(xlo, logx)
+    xright = fmt_axis(xhi, logx)
+    axis = xleft + xlabel.center(width - len(xleft) - len(xright)) + xright
+    lines.append(" " * (label_w + 1) + axis)
+    legend = "   ".join(
+        f"{s.marker or _MARKERS[i % len(_MARKERS)]} {s.label}"
+        for i, s in enumerate(series)
+    )
+    lines.append(" " * (label_w + 1) + "legend: " + legend)
+    return "\n".join(lines)
+
+
+def loglog_chart(series: Iterable[Series], **kwargs: object) -> str:
+    """Log-log variant (the paper's Figure 3 is log-log)."""
+    kwargs.setdefault("logx", True)  # type: ignore[arg-type]
+    kwargs.setdefault("logy", True)  # type: ignore[arg-type]
+    return line_chart(series, **kwargs)  # type: ignore[arg-type]
+
+
+def histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 12,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal ASCII histogram of a sample.
+
+    One row per bin: ``[lo, hi)  count  bar``; the final bin is closed.
+    """
+    import numpy as np
+
+    arr = np.asarray(list(values), dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("histogram needs a non-empty 1-D sample")
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() or 1
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(
+        len(f"{edges[i]:.4g}..{edges[i + 1]:.4g}") for i in range(len(counts))
+    )
+    for i, count in enumerate(counts):
+        label = f"{edges[i]:.4g}..{edges[i + 1]:.4g}".rjust(label_width)
+        bar = "#" * round(width * count / peak)
+        lines.append(f"{label} | {str(count).rjust(5)} | {bar}")
+    return "\n".join(lines)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render a fixed-width text table (right-aligned numeric cells)."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in str_rows:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        return f"{value:.3g}"
+    return str(value)

@@ -1,0 +1,66 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in :mod:`repro` accepts either a seed-like value or
+a ready :class:`numpy.random.Generator`.  Parallel work derives child streams
+through :class:`numpy.random.SeedSequence` spawning so results are
+reproducible for a fixed master seed regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, Sequence[int], np.random.SeedSequence, np.random.Generator]
+
+__all__ = ["SeedLike", "as_generator", "spawn_seeds", "spawn_generators"]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` gives fresh OS entropy; an existing generator is returned
+    unchanged (not copied), so callers share state intentionally.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(n: int, seed: SeedLike = None) -> list[np.random.SeedSequence]:
+    """Derive ``n`` statistically independent child seed sequences.
+
+    A :class:`numpy.random.Generator` cannot be spawned portably across
+    processes, so when one is passed we draw a fresh 128-bit entropy value
+    from it and seed a new :class:`~numpy.random.SeedSequence` with that.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of seeds: {n}")
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    elif isinstance(seed, np.random.Generator):
+        entropy = seed.integers(0, 2**63, size=4).tolist()
+        root = np.random.SeedSequence(entropy)
+    else:
+        root = np.random.SeedSequence(seed)
+    return root.spawn(n)
+
+
+def spawn_generators(n: int, seed: SeedLike = None) -> list[np.random.Generator]:
+    """``n`` independent generators derived from one master seed."""
+    return [np.random.default_rng(s) for s in spawn_seeds(n, seed)]
+
+
+def generator_state_signature(rng: np.random.Generator) -> int:
+    """A cheap fingerprint of generator state (used by tests only)."""
+    state = rng.bit_generator.state
+    return hash(repr(sorted(state.items(), key=lambda kv: kv[0])))
+
+
+def random_permutation(n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Uniform random permutation of ``0..n-1`` as an int64 array."""
+    gen = as_generator(rng)
+    return gen.permutation(n).astype(np.int64)

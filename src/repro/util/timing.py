@@ -1,0 +1,84 @@
+"""Wall-clock measurement helpers."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "format_seconds"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch around :func:`time.perf_counter`.
+
+    Usage::
+
+        sw = Stopwatch()
+        with sw:
+            do_work()
+        print(sw.elapsed)
+
+    The stopwatch may be entered repeatedly; ``elapsed`` accumulates across
+    all completed intervals plus any interval currently open.
+    """
+
+    _accumulated: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Stopwatch":
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch is not running")
+        self._accumulated += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self._accumulated
+
+    def reset(self) -> None:
+        self._accumulated = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    @property
+    def elapsed(self) -> float:
+        total = self._accumulated
+        if self._started_at is not None:
+            total += time.perf_counter() - self._started_at
+        return total
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-friendly rendering of a duration.
+
+    >>> format_seconds(0.00042)
+    '420.0us'
+    >>> format_seconds(75.3)
+    '1m15.3s'
+    """
+    if seconds < 0:
+        return "-" + format_seconds(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m{rem:.1f}s"
+    hours, minutes = divmod(int(minutes), 60)
+    return f"{hours}h{minutes}m{rem:.0f}s"

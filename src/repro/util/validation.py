@@ -1,0 +1,49 @@
+"""Small argument-validation helpers used across the library.
+
+Centralizing these keeps error messages uniform and the call sites terse.
+All raise :class:`ValueError` (or the provided exception type) with a message
+naming the offending parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+__all__ = ["require", "check_positive", "check_probability", "check_fraction"]
+
+
+def require(condition: bool, message: str, exc: Type[Exception] = ValueError) -> None:
+    """Raise ``exc(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise exc(message)
+
+
+def check_positive(name: str, value: Any, *, strict: bool = True) -> None:
+    """Validate that ``value`` is a positive (or non-negative) number."""
+    try:
+        ok = value > 0 if strict else value >= 0
+    except TypeError as err:
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}") from err
+    if not ok:
+        bound = "> 0" if strict else ">= 0"
+        raise ValueError(f"{name} must be {bound}, got {value!r}")
+
+
+def check_probability(name: str, value: Any) -> None:
+    """Validate ``value`` in the closed interval [0, 1]."""
+    try:
+        ok = 0.0 <= value <= 1.0
+    except TypeError as err:
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}") from err
+    if not ok:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_fraction(name: str, value: Any) -> None:
+    """Validate ``value`` in the half-open interval (0, 1]."""
+    try:
+        ok = 0.0 < value <= 1.0
+    except TypeError as err:
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}") from err
+    if not ok:
+        raise ValueError(f"{name} must be in (0, 1], got {value!r}")

@@ -1,0 +1,123 @@
+"""Tests for the batch-campaign scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.batch import BatchSimulator, CampaignResult, Job, campaign_jobs
+from repro.cluster.topology import Platform
+from repro.errors import SimulationError
+
+MACHINE = Platform(name="mini", nodes=2, cores_per_node=4)  # 8 cores
+
+
+def job(job_id="j", cores=4, duration=10.0) -> Job:
+    return Job(job_id=job_id, cores=cores, duration=duration)
+
+
+class TestJobValidation:
+    def test_bad_cores(self):
+        with pytest.raises(SimulationError, match="cores"):
+            Job("x", cores=0, duration=1.0)
+
+    def test_bad_duration(self):
+        with pytest.raises(SimulationError, match="duration"):
+            Job("x", cores=1, duration=-1.0)
+
+
+class TestScheduling:
+    def test_parallel_fit_runs_concurrently(self):
+        sim = BatchSimulator(MACHINE)
+        result = sim.run_campaign([job("a", 4, 10), job("b", 4, 10)])
+        starts = {e.job.job_id: e.start_time for e in result.executions}
+        assert starts["a"] == 0.0
+        assert starts["b"] == 0.0
+        assert result.makespan == pytest.approx(10.0)
+
+    def test_oversubscription_queues_fcfs(self):
+        sim = BatchSimulator(MACHINE)
+        result = sim.run_campaign(
+            [job("a", 8, 10), job("b", 8, 5), job("c", 8, 5)]
+        )
+        by_id = {e.job.job_id: e for e in result.executions}
+        assert by_id["a"].start_time == 0.0
+        assert by_id["b"].start_time == pytest.approx(10.0)
+        assert by_id["c"].start_time == pytest.approx(15.0)
+        assert result.makespan == pytest.approx(20.0)
+
+    def test_wide_job_blocks_narrow_ones(self):
+        """No backfilling: a blocked wide job holds later narrow jobs."""
+        sim = BatchSimulator(MACHINE)
+        result = sim.run_campaign(
+            [job("long", 6, 10), job("wide", 8, 1), job("tiny", 1, 1)]
+        )
+        by_id = {e.job.job_id: e for e in result.executions}
+        assert by_id["wide"].start_time == pytest.approx(10.0)
+        # FCFS: tiny waits behind wide even though 2 cores are free
+        assert by_id["tiny"].start_time >= by_id["wide"].start_time
+
+    def test_launch_overhead_charged(self):
+        platform = Platform(
+            name="ovh", nodes=1, cores_per_node=4, launch_overhead=2.0
+        )
+        result = BatchSimulator(platform).run_campaign([job("a", 4, 10)])
+        assert result.makespan == pytest.approx(12.0)
+
+    def test_job_too_wide_rejected(self):
+        with pytest.raises(SimulationError, match="offers"):
+            BatchSimulator(MACHINE).run_campaign([job("x", 9, 1)])
+
+    def test_submit_times_respected(self):
+        sim = BatchSimulator(MACHINE)
+        result = sim.run_campaign(
+            [job("a", 2, 5), job("b", 2, 5)], submit_times=[0.0, 100.0]
+        )
+        by_id = {e.job.job_id: e for e in result.executions}
+        assert by_id["b"].start_time == pytest.approx(100.0)
+        assert by_id["b"].wait_time == pytest.approx(0.0)
+
+    def test_submit_times_length_checked(self):
+        with pytest.raises(SimulationError, match="length"):
+            BatchSimulator(MACHINE).run_campaign([job()], submit_times=[0.0, 1.0])
+
+    def test_empty_campaign(self):
+        result = BatchSimulator(MACHINE).run_campaign([])
+        assert result.makespan == 0.0
+        assert result.executions == []
+
+
+class TestCampaignResult:
+    def test_utilization(self):
+        sim = BatchSimulator(MACHINE)
+        # one job holding half the machine for the whole makespan
+        result = sim.run_campaign([job("a", 4, 10)])
+        assert result.utilization == pytest.approx(0.5)
+
+    def test_mean_wait(self):
+        sim = BatchSimulator(MACHINE)
+        result = sim.run_campaign([job("a", 8, 10), job("b", 8, 10)])
+        assert result.mean_wait == pytest.approx(5.0)
+
+    def test_summary_text(self):
+        result = BatchSimulator(MACHINE).run_campaign([job()])
+        assert "makespan" in result.summary()
+        assert "utilization" in result.summary()
+
+
+class TestCampaignJobs:
+    def test_one_job_per_point_and_rep(self, rng):
+        times = {"a": rng.exponential(10, 50), "b": rng.exponential(10, 50)}
+        jobs = campaign_jobs(times, [4, 8], MACHINE, reps_per_point=3, rng=0)
+        assert len(jobs) == 2 * 2 * 3
+        assert all(j.duration >= 0 for j in jobs)
+
+    def test_campaign_runs_end_to_end(self, rng):
+        times = {"bench": rng.exponential(100, 100)}
+        jobs = campaign_jobs(times, [2, 4, 8], MACHINE, reps_per_point=2, rng=1)
+        result = BatchSimulator(MACHINE).run_campaign(jobs)
+        assert isinstance(result, CampaignResult)
+        assert result.makespan > 0
+        assert 0 < result.utilization <= 1.0
+
+    def test_reps_validated(self, rng):
+        with pytest.raises(SimulationError, match="reps_per_point"):
+            campaign_jobs({"a": [1.0]}, [2], MACHINE, reps_per_point=0)

@@ -1,0 +1,75 @@
+"""Tests for the preset platforms (the paper's machines)."""
+
+import pytest
+
+from repro.cluster.platforms import (
+    GRID5000_HELIOS,
+    GRID5000_SUNO,
+    HA8000,
+    LOCAL,
+    PLATFORMS,
+    get_platform,
+)
+from repro.errors import SimulationError
+
+
+class TestPaperTopologies:
+    def test_ha8000_matches_paper(self):
+        # "952 nodes, each ... 4 AMD Opteron 8356 (Quad core)" = 16/node
+        assert HA8000.nodes == 952
+        assert HA8000.cores_per_node == 16
+        assert HA8000.total_cores == 15232
+        # "maximum of 64 nodes (1,024 cores) in normal service"
+        assert HA8000.usable_cores == 1024
+
+    def test_suno_matches_paper(self):
+        # "45 Dell PowerEdge R410 with 8 cores each, thus a total of 360"
+        assert GRID5000_SUNO.nodes == 45
+        assert GRID5000_SUNO.cores_per_node == 8
+        assert GRID5000_SUNO.total_cores == 360
+
+    def test_helios_matches_paper(self):
+        # "56 Sun Fire X4100 with 4 cores each, thus a total of 224"
+        assert GRID5000_HELIOS.nodes == 56
+        assert GRID5000_HELIOS.cores_per_node == 4
+        assert GRID5000_HELIOS.total_cores == 224
+
+    def test_paper_core_sweep_fits_every_machine(self):
+        for cores in (16, 32, 64, 128, 256):
+            HA8000.validate_cores(cores)
+            GRID5000_SUNO.validate_cores(cores)
+        # Helios tops out at 224: 256 must be rejected
+        with pytest.raises(SimulationError):
+            GRID5000_HELIOS.validate_cores(256)
+
+    def test_ha8000_has_heavier_launch_overhead(self):
+        """The modelling choice behind the paper's perfect-square anomaly."""
+        assert HA8000.launch_overhead > GRID5000_SUNO.launch_overhead
+
+    def test_grid_platforms_are_heterogeneous(self):
+        assert GRID5000_SUNO.speed_jitter > 0
+        assert GRID5000_HELIOS.speed_jitter > 0
+        assert HA8000.speed_jitter == 0
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_platform("ha8000") is HA8000
+        assert get_platform("HA8000") is HA8000
+        assert get_platform("grid5000_suno") is GRID5000_SUNO
+
+    def test_unknown(self):
+        with pytest.raises(SimulationError, match="unknown platform"):
+            get_platform("fugaku")
+
+    def test_all_presets_registered(self):
+        assert set(PLATFORMS) == {
+            "ha8000",
+            "grid5000_suno",
+            "grid5000_helios",
+            "local",
+        }
+
+    def test_local_is_idealized(self):
+        assert LOCAL.launch_overhead == 0
+        assert LOCAL.speed_jitter == 0

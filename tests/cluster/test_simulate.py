@@ -1,0 +1,148 @@
+"""Tests for the min-of-k multi-walk simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulate import MultiWalkSimulator
+from repro.cluster.topology import Platform
+from repro.errors import SimulationError
+
+IDEAL = Platform(name="ideal", nodes=1, cores_per_node=512)
+
+
+def simulator(platform=IDEAL, seed=0) -> MultiWalkSimulator:
+    return MultiWalkSimulator(platform, seed)
+
+
+class TestInputValidation:
+    def test_empty_samples(self):
+        with pytest.raises(SimulationError, match="non-empty"):
+            simulator().simulate_run([], 4)
+
+    def test_negative_samples(self):
+        with pytest.raises(SimulationError, match="non-negative"):
+            simulator().simulate_run([1.0, -2.0], 2)
+
+    def test_nan_samples(self):
+        with pytest.raises(SimulationError, match="finite"):
+            simulator().simulate_run([1.0, float("nan")], 2)
+
+    def test_core_count_validated(self):
+        with pytest.raises(SimulationError):
+            simulator().simulate_run([1.0, 2.0], 1000)
+
+    def test_n_reps_validated(self):
+        with pytest.raises(SimulationError, match="n_reps"):
+            simulator().simulate_many([1.0], 2, n_reps=0)
+
+
+class TestMinOfKSemantics:
+    def test_single_core_reproduces_sample_range(self):
+        samples = [2.0, 4.0, 8.0]
+        times = simulator().simulate_many(samples, 1, n_reps=500)
+        assert set(np.unique(times)) <= {2.0, 4.0, 8.0}
+
+    def test_more_cores_never_slower_in_expectation(self):
+        rng = np.random.default_rng(3)
+        samples = rng.exponential(10, 400)
+        sim = simulator()
+        means = [
+            sim.simulate_many(samples, k, n_reps=400).mean() for k in (1, 4, 16, 64)
+        ]
+        assert all(a >= b for a, b in zip(means, means[1:]))
+
+    def test_k_equals_all_samples_approaches_minimum(self):
+        samples = np.array([5.0, 6.0, 7.0, 100.0])
+        times = simulator().simulate_many(samples, 256, n_reps=50)
+        assert times.min() >= 5.0
+        assert times.mean() < 6.0
+
+    def test_constant_samples_give_constant_time(self):
+        times = simulator().simulate_many([3.0] * 10, 8, n_reps=50)
+        assert np.all(times == 3.0)
+
+    def test_launch_overhead_shifts_times(self):
+        platform = Platform(
+            name="ovh", nodes=1, cores_per_node=64, launch_overhead=2.0
+        )
+        times = simulator(platform).simulate_many([1.0] * 5, 4, n_reps=20)
+        assert np.all(times == 3.0)
+
+    def test_core_speed_scales_times(self):
+        platform = Platform(name="fast", nodes=1, cores_per_node=64, core_speed=2.0)
+        times = simulator(platform).simulate_many([8.0] * 5, 4, n_reps=20)
+        assert np.all(times == 4.0)
+
+    def test_speed_jitter_produces_variation(self):
+        platform = Platform(
+            name="jit", nodes=1, cores_per_node=64, speed_jitter=0.2
+        )
+        times = simulator(platform).simulate_many([10.0] * 5, 8, n_reps=100)
+        assert times.std() > 0
+
+    def test_deterministic_given_seed(self):
+        samples = [1.0, 2.0, 3.0]
+        a = simulator(seed=42).simulate_many(samples, 4, n_reps=50)
+        b = simulator(seed=42).simulate_many(samples, 4, n_reps=50)
+        assert np.array_equal(a, b)
+
+
+class TestParametricSource:
+    class FixedDist:
+        def sample(self, size, rng):
+            return rng.exponential(10.0, size)
+
+    def test_parametric_draws_used(self):
+        sim = simulator()
+        times = sim.simulate_many(self.FixedDist(), 4, n_reps=300)
+        assert times.mean() == pytest.approx(10.0 / 4, rel=0.2)
+
+    def test_parametric_negative_draws_clamped(self):
+        class Negative:
+            def sample(self, size, rng):
+                return np.full(size, -1.0)
+
+        times = simulator().simulate_many(Negative(), 2, n_reps=10)
+        assert np.all(times == 0.0)
+
+
+class TestSummaries:
+    def test_summarize_fields(self):
+        sim = simulator()
+        summary = sim.summarize([1.0, 2.0, 3.0], 4, n_reps=100)
+        assert summary.cores == 4
+        assert summary.n_reps == 100
+        assert summary.min_time <= summary.median_time <= summary.max_time
+        assert summary.as_dict()["cores"] == 4
+
+    def test_expected_times_sweep(self):
+        sim = simulator()
+        runs = sim.expected_times([1.0, 5.0, 9.0], [1, 2, 4], n_reps=200)
+        assert set(runs) == {1, 2, 4}
+        assert runs[1].mean_time >= runs[4].mean_time
+
+
+class TestSpeedups:
+    def test_exponential_near_linear(self):
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(100.0, 2000)
+        sim = simulator(seed=1)
+        speedups = sim.speedups(samples, [2, 4, 8], n_reps=3000)
+        for k in (2, 4, 8):
+            assert speedups[k] == pytest.approx(k, rel=0.25)
+
+    def test_constant_runtime_no_speedup(self):
+        sim = simulator()
+        speedups = sim.speedups([7.0] * 20, [2, 16], n_reps=100)
+        assert speedups[2] == pytest.approx(1.0)
+        assert speedups[16] == pytest.approx(1.0)
+
+    def test_baseline_cores_parameter(self):
+        rng = np.random.default_rng(5)
+        samples = rng.exponential(50.0, 3000)
+        sim = simulator(seed=2)
+        speedups = sim.speedups(
+            samples, [64, 128], n_reps=2000, baseline_cores=64
+        )
+        assert speedups[64] == pytest.approx(1.0, rel=0.05)
+        assert speedups[128] > 1.2

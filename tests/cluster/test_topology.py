@@ -1,0 +1,88 @@
+"""Tests for platform descriptions."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import Platform
+from repro.errors import SimulationError
+
+
+def platform(**overrides) -> Platform:
+    defaults = dict(name="test", nodes=4, cores_per_node=8)
+    defaults.update(overrides)
+    return Platform(**defaults)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("nodes", 0),
+            ("cores_per_node", -1),
+            ("core_speed", 0.0),
+            ("launch_overhead", -0.1),
+            ("speed_jitter", 1.0),
+            ("speed_jitter", -0.2),
+            ("max_cores_per_job", -5),
+        ],
+    )
+    def test_invalid_rejected(self, field, value):
+        with pytest.raises(SimulationError):
+            platform(**{field: value})
+
+
+class TestCoreAccounting:
+    def test_total_cores(self):
+        assert platform(nodes=3, cores_per_node=4).total_cores == 12
+
+    def test_usable_cores_without_cap(self):
+        assert platform().usable_cores == 32
+
+    def test_usable_cores_with_cap(self):
+        p = platform(max_cores_per_job=10)
+        assert p.usable_cores == 10
+
+    def test_cap_larger_than_machine(self):
+        p = platform(max_cores_per_job=1000)
+        assert p.usable_cores == 32
+
+    def test_validate_cores_bounds(self):
+        p = platform()
+        p.validate_cores(1)
+        p.validate_cores(32)
+        with pytest.raises(SimulationError, match=">= 1"):
+            p.validate_cores(0)
+        with pytest.raises(SimulationError, match="usable"):
+            p.validate_cores(33)
+
+
+class TestCoreSpeeds:
+    def test_homogeneous_constant(self, rng):
+        p = platform(core_speed=2.0)
+        speeds = p.core_speeds(8, rng)
+        assert np.all(speeds == 2.0)
+
+    def test_jitter_produces_variation_around_mean(self, rng):
+        p = platform(nodes=100, core_speed=1.0, speed_jitter=0.1)
+        speeds = p.core_speeds(500, rng)
+        assert speeds.std() > 0
+        assert abs(speeds.mean() - 1.0) < 0.05
+        assert np.all(speeds > 0)
+
+    def test_jitter_cv_is_roughly_requested(self, rng):
+        p = platform(nodes=1000, core_speed=1.0, speed_jitter=0.2)
+        speeds = p.core_speeds(5000, rng)
+        cv = speeds.std() / speeds.mean()
+        assert 0.15 < cv < 0.25
+
+    def test_validate_inside_core_speeds(self, rng):
+        p = platform()
+        with pytest.raises(SimulationError):
+            p.core_speeds(99, rng)
+
+
+class TestDisplay:
+    def test_str_mentions_counts(self):
+        text = str(platform(max_cores_per_job=16))
+        assert "4 nodes x 8 cores" in text
+        assert "16" in text

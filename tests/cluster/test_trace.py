@@ -1,0 +1,109 @@
+"""Tests for run samples and their persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster.trace import (
+    RunSample,
+    iteration_counts,
+    load_samples,
+    samples_from_results,
+    save_samples,
+    wall_times,
+)
+from repro.core.result import SolveResult, SolveStats
+from repro.core.termination import TerminationReason
+from repro.errors import CacheError
+
+
+def sample(wall_time=1.0, iterations=10, solved=True) -> RunSample:
+    return RunSample(wall_time=wall_time, iterations=iterations, solved=solved)
+
+
+class TestRunSample:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="wall_time"):
+            RunSample(wall_time=-1, iterations=0, solved=False)
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError, match="iterations"):
+            RunSample(wall_time=0, iterations=-1, solved=False)
+
+    def test_frozen(self):
+        s = sample()
+        with pytest.raises(AttributeError):
+            s.wall_time = 2.0  # type: ignore[misc]
+
+
+class TestConversions:
+    def test_samples_from_results(self):
+        results = [
+            SolveResult(
+                solved=True,
+                config=np.array([0]),
+                cost=0,
+                reason=TerminationReason.SOLVED,
+                stats=SolveStats(iterations=5, wall_time=0.25),
+            )
+        ]
+        samples = samples_from_results(results, seeds=[123])
+        assert samples[0].wall_time == 0.25
+        assert samples[0].iterations == 5
+        assert samples[0].solved
+        assert samples[0].seed == "123"
+
+    def test_wall_times_filters_unsolved(self):
+        samples = [sample(1.0), sample(2.0, solved=False), sample(3.0)]
+        assert wall_times(samples).tolist() == [1.0, 3.0]
+        assert wall_times(samples, solved_only=False).tolist() == [1.0, 2.0, 3.0]
+
+    def test_iteration_counts(self):
+        samples = [sample(iterations=4), sample(iterations=6, solved=False)]
+        assert iteration_counts(samples).tolist() == [4.0]
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "samples.json"
+        originals = [sample(0.5, 3), sample(1.5, 9, solved=False)]
+        save_samples(path, originals, meta={"problem": "costas-9"})
+        loaded, meta = load_samples(path)
+        assert loaded == originals
+        assert meta == {"problem": "costas-9"}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "a" / "b" / "samples.json"
+        save_samples(path, [sample()])
+        assert path.exists()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CacheError, match="cannot read"):
+            load_samples(tmp_path / "nope.json")
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(CacheError, match="cannot read"):
+            load_samples(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"version": 99, "samples": []}))
+        with pytest.raises(CacheError, match="unsupported format"):
+            load_samples(path)
+
+    def test_corrupt_record(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(
+            json.dumps({"version": 1, "meta": {}, "samples": [{"bogus": 1}]})
+        )
+        with pytest.raises(CacheError, match="corrupt sample record"):
+            load_samples(path)
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        path = tmp_path / "samples.json"
+        save_samples(path, [sample()])
+        leftovers = list(tmp_path.glob("*.tmp"))
+        assert leftovers == []

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.cache import SampleCache
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers", "slow: long-running test (full solves, process pools)"
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tmp_cache(tmp_path) -> SampleCache:
+    """A sample cache rooted in the test's temporary directory."""
+    return SampleCache(tmp_path / "cache")

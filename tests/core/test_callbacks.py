@@ -1,0 +1,109 @@
+"""Tests for search callbacks."""
+
+import numpy as np
+import pytest
+
+from repro.core.callbacks import CallbackList, CostTraceCallback, IterationInfo
+
+
+def info(iteration=1, cost=5.0) -> IterationInfo:
+    return IterationInfo(
+        iteration=iteration,
+        cost=cost,
+        best_cost=cost,
+        selected_variable=0,
+        selected_swap=1,
+        delta=-1.0,
+        restarts=0,
+        resets=0,
+    )
+
+
+class Recorder:
+    def __init__(self):
+        self.events = []
+
+    def on_start(self, config, cost):
+        self.events.append(("start", cost))
+
+    def on_iteration(self, it):
+        self.events.append(("iter", it.iteration))
+
+    def on_reset(self, iteration, cost):
+        self.events.append(("reset", iteration))
+
+    def on_restart(self, index, cost):
+        self.events.append(("restart", index))
+
+    def on_finish(self, solved, cost):
+        self.events.append(("finish", solved))
+
+
+class TestCallbackList:
+    def test_fan_out(self):
+        a, b = Recorder(), Recorder()
+        cbs = CallbackList([a, b])
+        cbs.on_start(np.array([0]), 3.0)
+        cbs.on_iteration(info())
+        cbs.on_finish(True, 0.0)
+        assert a.events == b.events
+        assert [e[0] for e in a.events] == ["start", "iter", "finish"]
+
+    def test_missing_methods_skipped(self):
+        class OnlyIteration:
+            def on_iteration(self, it):
+                return None
+
+        cbs = CallbackList([OnlyIteration()])
+        cbs.on_start(np.array([0]), 1.0)  # no crash
+        assert cbs.on_iteration(info()) is True
+
+    def test_cancellation_propagates(self):
+        class Canceller:
+            def on_iteration(self, it):
+                return False
+
+        cbs = CallbackList([Recorder(), Canceller()])
+        assert cbs.on_iteration(info()) is False
+
+    def test_none_return_continues(self):
+        cbs = CallbackList([Recorder()])
+        assert cbs.on_iteration(info()) is True
+
+    def test_add(self):
+        cbs = CallbackList()
+        r = Recorder()
+        cbs.add(r)
+        cbs.on_reset(5, 1.0)
+        assert r.events == [("reset", 5)]
+
+    def test_all_members_see_iteration_even_if_one_cancels(self):
+        first = Recorder()
+
+        class Canceller:
+            def on_iteration(self, it):
+                return False
+
+        cbs = CallbackList([Canceller(), first])
+        cbs.on_iteration(info())
+        assert first.events == [("iter", 1)]
+
+
+class TestCostTraceCallback:
+    def test_records_start_and_iterations(self):
+        trace = CostTraceCallback()
+        trace.on_start(np.array([0]), 9.0)
+        trace.on_iteration(info(iteration=1, cost=7.0))
+        trace.on_iteration(info(iteration=2, cost=6.0))
+        assert trace.trace == [(0, 9.0), (1, 7.0), (2, 6.0)]
+        assert trace.costs() == [9.0, 7.0, 6.0]
+
+    def test_every_parameter_subsamples(self):
+        trace = CostTraceCallback(every=2)
+        for it in range(1, 7):
+            trace.on_iteration(info(iteration=it, cost=float(it)))
+        assert [t for t, _ in trace.trace] == [2, 4, 6]
+
+    def test_invalid_every(self):
+        with pytest.raises(ValueError, match="every"):
+            CostTraceCallback(every=0)

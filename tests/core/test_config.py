@@ -1,0 +1,81 @@
+"""Tests for AdaptiveSearchConfig."""
+
+import math
+
+import pytest
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.errors import SolverError
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        cfg = AdaptiveSearchConfig()
+        assert cfg.target_cost == 0.0
+        assert math.isinf(cfg.max_iterations)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("target_cost", -1),
+            ("max_iterations", 0),
+            ("time_limit", 0),
+            ("restart_limit", 0),
+            ("max_restarts", -1),
+            ("prob_select_loc_min", 1.5),
+            ("prob_select_loc_min", -0.1),
+            ("freeze_loc_min", -1),
+            ("freeze_swap", -2),
+            ("reset_limit", 0),
+            ("reset_fraction", 0.0),
+            ("reset_fraction", 1.5),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(SolverError):
+            AdaptiveSearchConfig(**{field: value})
+
+    def test_frozen(self):
+        cfg = AdaptiveSearchConfig()
+        with pytest.raises(AttributeError):
+            cfg.target_cost = 5  # type: ignore[misc]
+
+
+class TestReplace:
+    def test_replace_returns_new_validated_config(self):
+        cfg = AdaptiveSearchConfig()
+        new = cfg.replace(max_iterations=100)
+        assert new.max_iterations == 100
+        assert math.isinf(cfg.max_iterations)
+
+    def test_replace_validates(self):
+        with pytest.raises(SolverError):
+            AdaptiveSearchConfig().replace(reset_limit=0)
+
+
+class TestMergedWith:
+    def test_defaults_filled_from_problem(self):
+        cfg = AdaptiveSearchConfig()
+        merged = cfg.merged_with({"freeze_loc_min": 7, "reset_limit": 3})
+        assert merged.freeze_loc_min == 7
+        assert merged.reset_limit == 3
+
+    def test_explicit_user_choice_wins(self):
+        cfg = AdaptiveSearchConfig(freeze_loc_min=2)
+        merged = cfg.merged_with({"freeze_loc_min": 7})
+        assert merged.freeze_loc_min == 2
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(SolverError, match="unknown solver parameter"):
+            AdaptiveSearchConfig().merged_with({"tabu_tenure": 3})
+
+    def test_empty_defaults_identity(self):
+        cfg = AdaptiveSearchConfig()
+        assert cfg.merged_with({}) is cfg
+
+    def test_merge_preserves_other_explicit_fields(self):
+        cfg = AdaptiveSearchConfig(max_iterations=500, prob_select_loc_min=0.9)
+        merged = cfg.merged_with({"prob_select_loc_min": 0.1, "reset_limit": 9})
+        assert merged.max_iterations == 500
+        assert merged.prob_select_loc_min == 0.9
+        assert merged.reset_limit == 9

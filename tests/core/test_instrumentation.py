@@ -1,0 +1,146 @@
+"""Tests for search instrumentation and landscape probes."""
+
+import numpy as np
+import pytest
+
+from repro.core.callbacks import IterationInfo
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.instrumentation import (
+    BestCostTimeline,
+    MoveHistogram,
+    cost_autocorrelation,
+    improving_move_density,
+)
+from repro.core.solver import AdaptiveSearch
+from repro.problems import CostasProblem, MagicSquareProblem, QueensProblem
+
+
+def info(delta=-1.0, swap=1, iteration=1, best=5.0, cost=5.0) -> IterationInfo:
+    return IterationInfo(
+        iteration=iteration,
+        cost=cost,
+        best_cost=best,
+        selected_variable=0,
+        selected_swap=swap,
+        delta=delta,
+        restarts=0,
+        resets=0,
+    )
+
+
+class TestMoveHistogram:
+    def test_classification(self):
+        hist = MoveHistogram()
+        hist.on_iteration(info(delta=-1.0, swap=1))
+        hist.on_iteration(info(delta=0.0, swap=2))
+        hist.on_iteration(info(delta=3.0, swap=1))
+        hist.on_iteration(info(swap=-1))
+        assert (hist.improving, hist.plateau, hist.worsening, hist.frozen) == (
+            1,
+            1,
+            1,
+            1,
+        )
+        assert hist.total == 4
+
+    def test_fractions_sum_to_one(self):
+        hist = MoveHistogram()
+        for _ in range(3):
+            hist.on_iteration(info(delta=-1.0))
+        hist.on_iteration(info(swap=-1))
+        assert sum(hist.fractions().values()) == pytest.approx(1.0)
+
+    def test_empty_histogram(self):
+        assert MoveHistogram().fractions()["improving"] == 0.0
+
+    def test_attached_to_real_run(self):
+        problem = MagicSquareProblem(5)
+        hist = MoveHistogram()
+        result = AdaptiveSearch(AdaptiveSearchConfig(max_iterations=50_000)).solve(
+            problem, seed=0, callbacks=[hist]
+        )
+        assert hist.total == result.stats.iterations
+        assert hist.improving > 0
+        # executed swaps in the histogram match the solver's counter
+        executed = hist.improving + hist.plateau + hist.worsening
+        assert executed == result.stats.swaps
+
+    def test_summary_text(self):
+        hist = MoveHistogram()
+        hist.on_iteration(info())
+        assert "improving" in hist.summary()
+
+
+class TestBestCostTimeline:
+    def test_records_strict_improvements_only(self):
+        timeline = BestCostTimeline()
+        timeline.on_start(np.array([0]), 10.0)
+        timeline.on_iteration(info(iteration=1, best=8.0))
+        timeline.on_iteration(info(iteration=2, best=8.0))
+        timeline.on_iteration(info(iteration=3, best=5.0))
+        assert timeline.points == [(0, 10.0), (1, 8.0), (3, 5.0)]
+        assert timeline.final_best == 5.0
+
+    def test_iterations_to(self):
+        timeline = BestCostTimeline()
+        timeline.on_start(np.array([0]), 10.0)
+        timeline.on_iteration(info(iteration=4, best=3.0))
+        assert timeline.iterations_to(10.0) == 0
+        assert timeline.iterations_to(3.0) == 4
+        assert timeline.iterations_to(0.0) is None
+
+    def test_on_real_run(self):
+        problem = CostasProblem(9)
+        timeline = BestCostTimeline()
+        result = AdaptiveSearch(AdaptiveSearchConfig(max_iterations=100_000)).solve(
+            problem, seed=1, callbacks=[timeline]
+        )
+        assert timeline.final_best == result.cost
+        bests = [b for _, b in timeline.points]
+        assert all(a > b for a, b in zip(bests, bests[1:]))
+
+
+class TestImprovingMoveDensity:
+    def test_between_zero_and_one(self):
+        density = improving_move_density(QueensProblem(10), n_configs=5, rng=0)
+        assert 0.0 <= density <= 1.0
+
+    def test_random_configs_have_improving_moves(self):
+        density = improving_move_density(MagicSquareProblem(4), n_configs=5, rng=0)
+        assert density > 0.05  # random magic squares are easy to improve
+
+    def test_deterministic(self):
+        a = improving_move_density(QueensProblem(8), n_configs=3, rng=7)
+        b = improving_move_density(QueensProblem(8), n_configs=3, rng=7)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_configs"):
+            improving_move_density(QueensProblem(8), n_configs=0)
+
+
+class TestCostAutocorrelation:
+    def test_rho_zero_is_one(self):
+        rho = cost_autocorrelation(QueensProblem(10), walk_length=500, max_lag=10, rng=0)
+        assert rho[0] == pytest.approx(1.0)
+        assert len(rho) == 11
+
+    def test_correlation_decays(self):
+        rho = cost_autocorrelation(
+            MagicSquareProblem(5), walk_length=2000, max_lag=30, rng=1
+        )
+        assert rho[1] > rho[30]
+        assert rho[1] > 0.3  # one swap barely moves a 25-cell cost
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="walk_length"):
+            cost_autocorrelation(QueensProblem(8), walk_length=10, max_lag=10)
+
+    def test_larger_instances_are_smoother(self):
+        rho_small = cost_autocorrelation(
+            QueensProblem(8), walk_length=1500, max_lag=1, rng=3
+        )
+        rho_large = cost_autocorrelation(
+            QueensProblem(40), walk_length=1500, max_lag=1, rng=3
+        )
+        assert rho_large[1] > rho_small[1]

@@ -1,0 +1,84 @@
+"""Tests for the MinConflicts baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.minconflicts import MinConflicts, MinConflictsConfig
+from repro.core.termination import TerminationReason
+from repro.errors import SolverError
+from repro.problems import QueensProblem, make_problem
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("max_iterations", 0),
+            ("time_limit", -1),
+            ("restart_limit", 0),
+            ("max_restarts", -1),
+            ("target_cost", -0.5),
+            ("noise", 1.2),
+        ],
+    )
+    def test_invalid_rejected(self, field, value):
+        with pytest.raises(SolverError):
+            MinConflictsConfig(**{field: value})
+
+    def test_defaults(self):
+        cfg = MinConflictsConfig()
+        assert cfg.noise == 0.1
+
+
+class TestSolving:
+    def test_solves_queens(self):
+        problem = QueensProblem(20)
+        result = MinConflicts(MinConflictsConfig(max_iterations=100_000)).solve(
+            problem, seed=3
+        )
+        assert result.solved
+        assert problem.is_solution(result.config)
+
+    def test_solves_all_interval(self):
+        problem = make_problem("all_interval", n=8)
+        result = MinConflicts(MinConflictsConfig(max_iterations=100_000)).solve(
+            problem, seed=5
+        )
+        assert result.solved
+
+    def test_deterministic(self):
+        problem = QueensProblem(12)
+        mc = MinConflicts(MinConflictsConfig(max_iterations=50_000))
+        a = mc.solve(problem, seed=9)
+        b = mc.solve(problem, seed=9)
+        assert a.stats.iterations == b.stats.iterations
+        assert np.array_equal(a.config, b.config)
+
+    def test_iteration_budget(self):
+        problem = make_problem("magic_square", n=8)
+        result = MinConflicts(MinConflictsConfig(max_iterations=30)).solve(
+            problem, seed=0
+        )
+        if not result.solved:
+            assert result.reason is TerminationReason.MAX_ITERATIONS
+            assert result.stats.iterations == 30
+
+    def test_zero_noise_pure_min_conflicts(self):
+        problem = QueensProblem(15)
+        result = MinConflicts(
+            MinConflictsConfig(max_iterations=100_000, noise=0.0)
+        ).solve(problem, seed=2)
+        # pure min-conflicts may stall on plateaus, but must stay consistent
+        assert result.cost == problem.cost(result.config)
+
+    def test_solver_name(self):
+        problem = QueensProblem(8)
+        result = MinConflicts().solve(problem, seed=0)
+        assert result.solver_name == "min_conflicts"
+
+    def test_initial_configuration(self):
+        problem = QueensProblem(8)
+        solution = np.array([2, 4, 6, 0, 3, 1, 7, 5])
+        result = MinConflicts().solve(problem, seed=0, initial_configuration=solution)
+        assert result.solved
+        assert result.stats.iterations == 0

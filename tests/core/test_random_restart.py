@@ -1,0 +1,80 @@
+"""Tests for the random-restart hill-climbing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.random_restart import RandomRestartConfig, RandomRestartHillClimbing
+from repro.core.termination import TerminationReason
+from repro.errors import SolverError
+from repro.problems import QueensProblem, make_problem
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("max_iterations", 0),
+            ("time_limit", 0),
+            ("max_restarts", -1),
+            ("target_cost", -1),
+            ("max_probes", -1),
+        ],
+    )
+    def test_invalid_rejected(self, field, value):
+        with pytest.raises(SolverError):
+            RandomRestartConfig(**{field: value})
+
+
+class TestSolving:
+    def test_solves_easy_queens(self):
+        problem = QueensProblem(10)
+        hc = RandomRestartHillClimbing(
+            RandomRestartConfig(max_iterations=200_000)
+        )
+        result = hc.solve(problem, seed=4)
+        assert result.solved
+        assert problem.is_solution(result.config)
+
+    def test_restarts_counted(self):
+        problem = make_problem("magic_square", n=6)
+        hc = RandomRestartHillClimbing(RandomRestartConfig(max_iterations=3000))
+        result = hc.solve(problem, seed=0)
+        if not result.solved:
+            assert result.stats.restarts > 0 or result.stats.local_minima > 0
+
+    def test_deterministic(self):
+        problem = QueensProblem(10)
+        hc = RandomRestartHillClimbing(RandomRestartConfig(max_iterations=50_000))
+        a = hc.solve(problem, seed=6)
+        b = hc.solve(problem, seed=6)
+        assert a.stats.iterations == b.stats.iterations
+        assert np.array_equal(a.config, b.config)
+
+    def test_never_accepts_worsening_moves(self):
+        problem = QueensProblem(12)
+        costs = []
+
+        class Watch:
+            def on_iteration(self, info):
+                costs.append(info.cost)
+
+        hc = RandomRestartHillClimbing(
+            RandomRestartConfig(max_iterations=500, max_restarts=0)
+        )
+        hc.solve(problem, seed=1, callbacks=[Watch()])
+        assert all(b <= a for a, b in zip(costs, costs[1:]))
+
+    def test_budget_is_hard(self):
+        problem = make_problem("magic_square", n=8)
+        hc = RandomRestartHillClimbing(RandomRestartConfig(max_iterations=40))
+        result = hc.solve(problem, seed=0)
+        if not result.solved:
+            assert result.reason in (
+                TerminationReason.MAX_ITERATIONS,
+                TerminationReason.RESTARTS_EXHAUSTED,
+            )
+            assert result.stats.iterations <= 40
+
+    def test_solver_name(self):
+        result = RandomRestartHillClimbing().solve(QueensProblem(8), seed=0)
+        assert result.solver_name == "random_restart_hc"

@@ -1,0 +1,64 @@
+"""Tests for SolveResult / SolveStats."""
+
+import numpy as np
+
+from repro.core.result import SolveResult, SolveStats
+from repro.core.termination import TerminationReason
+
+
+class TestSolveStats:
+    def test_defaults_zero(self):
+        s = SolveStats()
+        assert s.iterations == 0
+        assert s.wall_time == 0.0
+
+    def test_as_dict_round_trip(self):
+        s = SolveStats(iterations=10, swaps=7, resets=1, wall_time=0.5)
+        d = s.as_dict()
+        assert d["iterations"] == 10
+        assert d["swaps"] == 7
+        assert d["resets"] == 1
+        assert d["wall_time"] == 0.5
+        assert set(d) == {
+            "iterations",
+            "swaps",
+            "local_minima",
+            "plateau_moves",
+            "accepted_local_min_moves",
+            "frozen_variables",
+            "resets",
+            "restarts",
+            "wall_time",
+        }
+
+
+class TestSolveResult:
+    def make(self, solved=True) -> SolveResult:
+        return SolveResult(
+            solved=solved,
+            config=np.array([1, 0, 2]),
+            cost=0.0 if solved else 3.0,
+            reason=TerminationReason.SOLVED if solved else TerminationReason.TIME_LIMIT,
+            stats=SolveStats(iterations=42, wall_time=0.1, restarts=1, resets=2),
+            problem_name="toy-3",
+            solver_name="adaptive_search",
+        )
+
+    def test_aliases(self):
+        r = self.make()
+        assert r.wall_time == 0.1
+        assert r.iterations == 42
+
+    def test_summary_solved(self):
+        text = self.make(True).summary()
+        assert "SOLVED" in text
+        assert "toy-3" in text
+        assert "42 iterations" in text
+
+    def test_summary_unsolved_shows_cost_and_reason(self):
+        text = self.make(False).summary()
+        assert "cost=3" in text
+        assert "TIME_LIMIT" in text
+
+    def test_extra_mapping_default(self):
+        assert dict(self.make().extra) == {}

@@ -1,0 +1,79 @@
+"""Tests for random-tie-breaking selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import (
+    argmax_random_tie,
+    argmin_random_tie,
+    masked_argmax_random_tie,
+)
+
+
+class TestArgmaxRandomTie:
+    def test_unique_maximum(self, rng):
+        assert argmax_random_tie(np.array([1, 5, 3]), rng) == 1
+
+    def test_ties_hit_every_candidate(self):
+        rng = np.random.default_rng(0)
+        values = np.array([7, 2, 7, 7])
+        seen = {argmax_random_tie(values, rng) for _ in range(200)}
+        assert seen == {0, 2, 3}
+
+    def test_ties_approximately_uniform(self):
+        rng = np.random.default_rng(1)
+        values = np.array([1.0, 1.0])
+        picks = [argmax_random_tie(values, rng) for _ in range(2000)]
+        assert 800 < sum(picks) < 1200
+
+    def test_empty_raises(self, rng):
+        with pytest.raises(ValueError, match="empty"):
+            argmax_random_tie(np.array([]), rng)
+
+
+class TestArgminRandomTie:
+    def test_unique_minimum(self, rng):
+        assert argmin_random_tie(np.array([4, 0, 9]), rng) == 1
+
+    def test_ties_random(self):
+        rng = np.random.default_rng(2)
+        values = np.array([3, 1, 1, 5])
+        seen = {argmin_random_tie(values, rng) for _ in range(100)}
+        assert seen == {1, 2}
+
+    def test_inf_values_ok(self, rng):
+        values = np.array([np.inf, 2.0, np.inf])
+        assert argmin_random_tie(values, rng) == 1
+
+    def test_empty_raises(self, rng):
+        with pytest.raises(ValueError, match="empty"):
+            argmin_random_tie(np.array([]), rng)
+
+
+class TestMaskedArgmax:
+    def test_respects_mask(self, rng):
+        values = np.array([10, 5, 3])
+        mask = np.array([False, True, True])
+        assert masked_argmax_random_tie(values, mask, rng) == 1
+
+    def test_all_masked_raises(self, rng):
+        with pytest.raises(ValueError, match="no candidate"):
+            masked_argmax_random_tie(
+                np.array([1, 2]), np.array([False, False]), rng
+            )
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="shape"):
+            masked_argmax_random_tie(np.array([1, 2]), np.array([True]), rng)
+
+    def test_masked_ties(self):
+        rng = np.random.default_rng(3)
+        values = np.array([9, 9, 9, 0])
+        mask = np.array([True, False, True, True])
+        seen = {masked_argmax_random_tie(values, mask, rng) for _ in range(100)}
+        assert seen == {0, 2}
+
+    def test_single_candidate(self, rng):
+        mask = np.zeros(5, dtype=bool)
+        mask[3] = True
+        assert masked_argmax_random_tie(np.arange(5), mask, rng) == 3

@@ -1,0 +1,185 @@
+"""Tests for the resumable walk session."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.session import AdaptiveSearchSession
+from repro.core.solver import AdaptiveSearch
+from repro.core.termination import TerminationReason
+from repro.errors import SolverError
+from repro.problems import CostasProblem, MagicSquareProblem, QueensProblem
+
+CFG = AdaptiveSearchConfig()
+
+
+class TestStepping:
+    def test_step_advances_at_most_n_iterations(self):
+        problem = MagicSquareProblem(8)
+        session = AdaptiveSearchSession(problem, CFG, seed=0)
+        out = session.step(10)
+        assert out is None or out is TerminationReason.SOLVED
+        assert session.stats.iterations <= 10
+
+    def test_chunked_equals_monolithic(self):
+        """Stepping 1000 iterations in chunks matches one big step."""
+        problem = CostasProblem(9)
+        a = AdaptiveSearchSession(problem, CFG, seed=5)
+        b = AdaptiveSearchSession(problem, CFG, seed=5)
+        out_a = a.step(1000)
+        out_b = None
+        for _ in range(100):
+            out_b = b.step(10)
+            if out_b is not None:
+                break
+        assert out_a == out_b
+        assert a.stats.iterations == b.stats.iterations
+        assert np.array_equal(a.state.config, b.state.config)
+        assert a.cost == b.cost
+
+    def test_solved_session_is_sticky(self):
+        problem = CostasProblem(8)
+        session = AdaptiveSearchSession(problem, CFG, seed=1)
+        while session.step(100) is None:
+            pass
+        assert session.solved
+        iters = session.stats.iterations
+        assert session.step(100) is TerminationReason.SOLVED
+        assert session.stats.iterations == iters
+
+    def test_step_zero_reports_solved_state(self):
+        problem = QueensProblem(8)
+        solution = np.array([2, 4, 6, 0, 3, 1, 7, 5])
+        session = AdaptiveSearchSession(
+            problem, CFG, seed=0, initial_configuration=solution
+        )
+        assert session.step(0) is TerminationReason.SOLVED
+        assert session.stats.iterations == 0
+
+    def test_negative_step_rejected(self):
+        session = AdaptiveSearchSession(QueensProblem(8), CFG, seed=0)
+        with pytest.raises(SolverError, match=">= 0"):
+            session.step(-1)
+
+    def test_restarts_inside_step(self):
+        cfg = AdaptiveSearchConfig(restart_limit=5, max_restarts=3)
+        problem = MagicSquareProblem(8)
+        session = AdaptiveSearchSession(problem, cfg, seed=0)
+        out = session.step(10_000)
+        if out is TerminationReason.RESTARTS_EXHAUSTED:
+            assert session.stats.restarts == 3
+            assert session.stats.iterations <= 4 * 5
+
+    def test_matches_solver_trajectory(self):
+        """solve() is a thin wrapper: same seed => same outcome."""
+        problem = CostasProblem(9)
+        result = AdaptiveSearch(CFG).solve(problem, seed=7)
+        session = AdaptiveSearchSession(
+            problem, AdaptiveSearch(CFG).effective_config(problem), seed=7
+        )
+        while session.step(64) is None:
+            pass
+        assert session.stats.iterations == result.stats.iterations
+        assert np.array_equal(session.best_config, result.config)
+
+
+class TestInjection:
+    def test_inject_adopts_configuration(self):
+        problem = QueensProblem(8)
+        session = AdaptiveSearchSession(problem, CFG, seed=0)
+        session.step(3)
+        solution = np.array([2, 4, 6, 0, 3, 1, 7, 5])
+        session.inject_configuration(solution)
+        assert session.cost == 0
+        assert session.step(1) is TerminationReason.SOLVED
+
+    def test_inject_validates(self):
+        problem = QueensProblem(8)
+        session = AdaptiveSearchSession(problem, CFG, seed=0)
+        from repro.errors import ProblemError
+
+        with pytest.raises(ProblemError):
+            session.inject_configuration(np.zeros(8, dtype=np.int64))
+
+    def test_inject_clears_marks(self):
+        problem = MagicSquareProblem(6)
+        session = AdaptiveSearchSession(problem, CFG, seed=0)
+        session.step(200)
+        if session.finished:
+            pytest.skip("solved before injection (rare seed)")
+        session.inject_configuration(problem.random_configuration(9))
+        assert np.all(session.marks == 0)
+
+    def test_inject_into_finished_session_rejected(self):
+        problem = CostasProblem(8)
+        session = AdaptiveSearchSession(problem, CFG, seed=1)
+        while session.step(100) is None:
+            pass
+        with pytest.raises(SolverError, match="finished"):
+            session.inject_configuration(problem.random_configuration(0))
+
+    def test_inject_tracks_best(self):
+        problem = QueensProblem(8)
+        session = AdaptiveSearchSession(problem, CFG, seed=0)
+        solution = np.array([2, 4, 6, 0, 3, 1, 7, 5])
+        session.inject_configuration(solution)
+        assert session.best_cost == 0
+
+
+class TestSnapshot:
+    def test_round_trip_resumes_exactly(self):
+        problem = MagicSquareProblem(6)
+        original = AdaptiveSearchSession(problem, CFG, seed=3)
+        original.step(50)
+        snap = original.snapshot()
+        restored = AdaptiveSearchSession.from_snapshot(problem, CFG, snap)
+
+        out_a = original.step(200)
+        out_b = restored.step(200)
+        assert out_a == out_b
+        assert original.stats.iterations == restored.stats.iterations
+        assert np.array_equal(original.state.config, restored.state.config)
+        assert original.cost == restored.cost
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        problem = CostasProblem(8)
+        session = AdaptiveSearchSession(problem, CFG, seed=0)
+        session.step(20)
+        text = json.dumps(session.snapshot())
+        snap = json.loads(text)
+        restored = AdaptiveSearchSession.from_snapshot(problem, CFG, snap)
+        assert restored.stats.iterations == session.stats.iterations
+
+    def test_snapshot_preserves_finished_state(self):
+        problem = CostasProblem(8)
+        session = AdaptiveSearchSession(problem, CFG, seed=1)
+        while session.step(100) is None:
+            pass
+        snap = session.snapshot()
+        restored = AdaptiveSearchSession.from_snapshot(problem, CFG, snap)
+        assert restored.solved
+        assert restored.step(10) is TerminationReason.SOLVED
+
+    def test_snapshot_preserves_best(self):
+        problem = MagicSquareProblem(6)
+        session = AdaptiveSearchSession(problem, CFG, seed=3)
+        session.step(100)
+        snap = session.snapshot()
+        restored = AdaptiveSearchSession.from_snapshot(problem, CFG, snap)
+        assert restored.best_cost == session.best_cost
+        assert np.array_equal(restored.best_config, session.best_config)
+
+
+class TestCancellation:
+    def test_callback_cancels_step(self):
+        class StopAt10:
+            def on_iteration(self, info):
+                return info.iteration < 10
+
+        problem = MagicSquareProblem(8)
+        session = AdaptiveSearchSession(problem, CFG, seed=0, callbacks=[StopAt10()])
+        out = session.step(100)
+        assert out is TerminationReason.CANCELLED
+        assert session.stats.iterations == 10

@@ -1,0 +1,190 @@
+"""Tests for the Adaptive Search engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.callbacks import CostTraceCallback
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.solver import AdaptiveSearch
+from repro.core.termination import TerminationReason
+from repro.problems import (
+    CostasProblem,
+    MagicSquareProblem,
+    QueensProblem,
+    make_problem,
+)
+
+
+class TestSolves:
+    @pytest.mark.parametrize(
+        "family,params",
+        [
+            ("queens", {"n": 20}),
+            ("costas", {"n": 9}),
+            ("all_interval", {"n": 10}),
+            ("magic_square", {"n": 4}),
+            ("langford", {"n": 7}),
+        ],
+    )
+    def test_solves_small_instances(self, family, params):
+        problem = make_problem(family, **params)
+        solver = AdaptiveSearch(AdaptiveSearchConfig(max_iterations=100_000))
+        result = solver.solve(problem, seed=7)
+        assert result.solved
+        assert result.reason is TerminationReason.SOLVED
+        assert problem.is_solution(result.config)
+        assert result.cost == 0
+
+    def test_solution_config_is_valid_permutation(self):
+        problem = QueensProblem(12)
+        result = AdaptiveSearch().solve(problem, seed=1)
+        problem.check_configuration(result.config)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        problem = CostasProblem(8)
+        solver = AdaptiveSearch(AdaptiveSearchConfig(max_iterations=50_000))
+        a = solver.solve(problem, seed=42)
+        b = solver.solve(problem, seed=42)
+        assert a.stats.iterations == b.stats.iterations
+        assert np.array_equal(a.config, b.config)
+
+    def test_different_seeds_usually_differ(self):
+        problem = CostasProblem(9)
+        solver = AdaptiveSearch(AdaptiveSearchConfig(max_iterations=50_000))
+        iters = {solver.solve(problem, seed=s).stats.iterations for s in range(6)}
+        assert len(iters) > 1
+
+
+class TestBudgets:
+    def test_max_iterations_respected(self):
+        problem = MagicSquareProblem(8)
+        solver = AdaptiveSearch(AdaptiveSearchConfig(max_iterations=50))
+        result = solver.solve(problem, seed=0)
+        if not result.solved:
+            assert result.reason is TerminationReason.MAX_ITERATIONS
+            assert result.stats.iterations == 50
+
+    def test_time_limit_respected(self):
+        problem = MagicSquareProblem(12)
+        solver = AdaptiveSearch(
+            AdaptiveSearchConfig(time_limit=0.05, max_iterations=10**9)
+        )
+        result = solver.solve(problem, seed=0)
+        if not result.solved:
+            assert result.reason is TerminationReason.TIME_LIMIT
+            assert result.stats.wall_time < 5.0
+
+    def test_target_cost_partial_solve(self):
+        problem = MagicSquareProblem(6)
+        solver = AdaptiveSearch(
+            AdaptiveSearchConfig(target_cost=20, max_iterations=100_000)
+        )
+        result = solver.solve(problem, seed=3)
+        assert result.solved
+        assert result.cost <= 20
+
+    def test_restarts_exhausted(self):
+        problem = MagicSquareProblem(8)
+        cfg = AdaptiveSearchConfig(restart_limit=5, max_restarts=2)
+        result = AdaptiveSearch(cfg).solve(problem, seed=0)
+        if not result.solved:
+            assert result.reason is TerminationReason.RESTARTS_EXHAUSTED
+            assert result.stats.restarts == 2
+            # 3 windows of 5 iterations each
+            assert result.stats.iterations <= 15 + 3
+
+
+class TestSearchBehaviour:
+    def test_best_config_tracked_even_when_unsolved(self):
+        problem = MagicSquareProblem(8)
+        solver = AdaptiveSearch(AdaptiveSearchConfig(max_iterations=200))
+        result = solver.solve(problem, seed=0)
+        assert result.cost == problem.cost(result.config)
+        # best cost is no worse than a fresh random configuration on average
+        assert result.cost < problem.cost(problem.random_configuration(123)) * 2
+
+    def test_initial_configuration_honoured(self):
+        problem = QueensProblem(8)
+        start = problem.random_configuration(5)
+        trace = CostTraceCallback()
+        solver = AdaptiveSearch(AdaptiveSearchConfig(max_iterations=1000))
+        solver.solve(problem, seed=1, callbacks=[trace], initial_configuration=start)
+        assert trace.trace[0] == (0, problem.cost(start))
+
+    def test_solved_initial_configuration_returns_immediately(self):
+        problem = QueensProblem(8)
+        solution = np.array([2, 4, 6, 0, 3, 1, 7, 5])
+        result = AdaptiveSearch().solve(
+            problem, seed=0, initial_configuration=solution
+        )
+        assert result.solved
+        assert result.stats.iterations == 0
+
+    def test_stats_are_consistent(self):
+        problem = CostasProblem(9)
+        result = AdaptiveSearch(AdaptiveSearchConfig(max_iterations=100_000)).solve(
+            problem, seed=11
+        )
+        s = result.stats
+        assert s.swaps <= s.iterations
+        assert s.accepted_local_min_moves <= s.local_minima
+        assert s.frozen_variables <= s.local_minima
+        assert s.wall_time > 0
+
+    def test_callback_cancellation(self):
+        problem = MagicSquareProblem(8)
+
+        class StopAt100:
+            def on_iteration(self, info):
+                return info.iteration < 100
+
+        result = AdaptiveSearch().solve(problem, seed=0, callbacks=[StopAt100()])
+        if not result.solved:
+            assert result.reason is TerminationReason.CANCELLED
+            assert result.stats.iterations == 100
+
+    def test_cost_trace_is_recorded(self):
+        problem = CostasProblem(8)
+        trace = CostTraceCallback()
+        AdaptiveSearch(AdaptiveSearchConfig(max_iterations=5000)).solve(
+            problem, seed=2, callbacks=[trace]
+        )
+        costs = trace.costs()
+        assert len(costs) >= 2
+        assert costs[-1] <= costs[0]
+
+    def test_resets_fire_under_pressure(self):
+        # tiny reset_limit forces resets on a hard instance
+        problem = make_problem("partition", n=24)
+        cfg = AdaptiveSearchConfig(max_iterations=5000)
+        result = AdaptiveSearch(cfg).solve(problem, seed=1)
+        assert result.stats.resets > 0 or result.solved
+
+    def test_effective_config_merges_problem_defaults(self):
+        problem = CostasProblem(10)
+        solver = AdaptiveSearch()
+        cfg = solver.effective_config(problem)
+        assert cfg.freeze_loc_min == problem.default_solver_parameters()["freeze_loc_min"]
+
+    def test_use_problem_defaults_false(self):
+        problem = CostasProblem(10)
+        solver = AdaptiveSearch(use_problem_defaults=False)
+        assert solver.effective_config(problem) == solver.base_config
+
+
+class TestResultMetadata:
+    def test_provenance_fields(self):
+        problem = QueensProblem(10)
+        result = AdaptiveSearch().solve(problem, seed=0)
+        assert result.problem_name == "queens-10"
+        assert result.solver_name == "adaptive_search"
+
+    def test_summary_mentions_status(self):
+        problem = QueensProblem(10)
+        result = AdaptiveSearch().solve(problem, seed=0)
+        assert "SOLVED" in result.summary()
+        assert "queens-10" in result.summary()

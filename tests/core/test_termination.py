@@ -1,0 +1,55 @@
+"""Tests for termination bookkeeping."""
+
+import math
+import time
+
+from repro.core.termination import Budget, TerminationReason
+
+
+class TestBudget:
+    def test_unbounded_budget_never_exhausts(self):
+        budget = Budget.from_limits()
+        assert budget.exhausted(10**9) is None
+
+    def test_iteration_limit(self):
+        budget = Budget.from_limits(max_iterations=100)
+        assert budget.exhausted(99) is None
+        assert budget.exhausted(100) is TerminationReason.MAX_ITERATIONS
+        assert budget.exhausted(101) is TerminationReason.MAX_ITERATIONS
+
+    def test_time_limit_polls_only_on_check_boundaries(self):
+        budget = Budget.from_limits(time_limit=0.0001)
+        time.sleep(0.01)
+        # non-multiple of check_every: time not polled
+        assert budget.exhausted(budget.check_every + 1) is None
+        assert budget.exhausted(budget.check_every) is TerminationReason.TIME_LIMIT
+
+    def test_expired_deadline(self):
+        budget = Budget.from_limits(time_limit=0.001)
+        time.sleep(0.01)
+        assert budget.exhausted(0) is TerminationReason.TIME_LIMIT
+
+    def test_future_deadline(self):
+        budget = Budget.from_limits(time_limit=60.0)
+        assert budget.exhausted(0) is None
+
+    def test_infinite_time_limit(self):
+        budget = Budget.from_limits(time_limit=math.inf)
+        assert math.isinf(budget.deadline)
+        assert budget.exhausted(0) is None
+
+
+class TestTerminationReason:
+    def test_members(self):
+        names = {r.name for r in TerminationReason}
+        assert names == {
+            "SOLVED",
+            "MAX_ITERATIONS",
+            "TIME_LIMIT",
+            "RESTARTS_EXHAUSTED",
+            "CANCELLED",
+        }
+
+    def test_round_trip_by_name(self):
+        for reason in TerminationReason:
+            assert TerminationReason[reason.name] is reason

@@ -1,0 +1,86 @@
+"""Tests for the parameter grid search."""
+
+import pytest
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.tuning import grid_search
+from repro.errors import SolverError
+from repro.problems import CostasProblem, MagicSquareProblem
+
+
+class TestGridSearch:
+    def test_evaluates_every_combination(self):
+        result = grid_search(
+            CostasProblem(8),
+            {"freeze_loc_min": [1, 3], "prob_select_loc_min": [0.25, 0.5]},
+            seeds=2,
+            max_iterations=20_000,
+            seed=0,
+        )
+        assert len(result.trials) == 4
+        swept = {frozenset(t.parameters.items()) for t in result.trials}
+        assert len(swept) == 4
+
+    def test_best_prefers_solve_rate_then_speed(self):
+        from repro.core.tuning import TuningResult, TuningTrial
+
+        result = TuningResult(
+            "x",
+            [
+                TuningTrial({"a": 1}, median_iterations=10.0, solve_rate=0.5, mean_iterations=10.0),
+                TuningTrial({"a": 2}, median_iterations=500.0, solve_rate=1.0, mean_iterations=500.0),
+                TuningTrial({"a": 3}, median_iterations=100.0, solve_rate=1.0, mean_iterations=100.0),
+            ],
+        )
+        assert result.best.parameters == {"a": 3}
+        assert result.best_parameters() == {"a": 3}
+
+    def test_detects_bad_tenure_on_magic_square(self):
+        """The tuner must re-discover that tenure 1 is bad (see abl2)."""
+        result = grid_search(
+            MagicSquareProblem(5),
+            {"freeze_loc_min": [1, 5]},
+            seeds=4,
+            max_iterations=30_000,
+            seed=1,
+        )
+        by_tenure = {t.parameters["freeze_loc_min"]: t for t in result.trials}
+        assert by_tenure[5].score() < by_tenure[1].score()
+        assert result.best_parameters()["freeze_loc_min"] == 5
+
+    def test_unknown_field_rejected_up_front(self):
+        with pytest.raises(SolverError, match="unknown solver parameter|unexpected"):
+            grid_search(CostasProblem(8), {"tabu_tenure": [1]}, seeds=1)
+
+    def test_invalid_value_rejected_up_front(self):
+        with pytest.raises(SolverError):
+            grid_search(CostasProblem(8), {"reset_limit": [0]}, seeds=1)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(SolverError, match="at least one"):
+            grid_search(CostasProblem(8), {}, seeds=1)
+        with pytest.raises(SolverError, match="empty"):
+            grid_search(CostasProblem(8), {"freeze_loc_min": []}, seeds=1)
+
+    def test_seeds_validated(self):
+        with pytest.raises(SolverError, match="seeds"):
+            grid_search(CostasProblem(8), {"freeze_loc_min": [1]}, seeds=0)
+
+    def test_as_rows_sorted_best_first(self):
+        result = grid_search(
+            CostasProblem(8),
+            {"prob_select_loc_min": [0.0, 0.5]},
+            seeds=2,
+            max_iterations=20_000,
+            seed=2,
+        )
+        rows = result.as_rows()
+        assert len(rows) == 2
+        # first row is the winner: solve rate >=, then faster median
+        assert rows[0][1] >= rows[1][1] or rows[0][2] <= rows[1][2]
+
+    def test_deterministic(self):
+        kwargs = dict(seeds=2, max_iterations=10_000, seed=5)
+        a = grid_search(CostasProblem(8), {"freeze_loc_min": [2, 4]}, **kwargs)
+        b = grid_search(CostasProblem(8), {"freeze_loc_min": [2, 4]}, **kwargs)
+        assert a.trials == b.trials

@@ -1,0 +1,117 @@
+"""Tests for the value-move Adaptive Search engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.termination import TerminationReason
+from repro.core.value_solver import ValueAdaptiveSearch
+from repro.csp.constraints import AllDifferent, LinearConstraint
+from repro.csp.domain import IntegerDomain
+from repro.csp.model import Model
+from repro.problems.golomb import GolombRulerProblem
+from repro.problems.value_base import ValueModelProblem
+
+CFG = AdaptiveSearchConfig(max_iterations=200_000, time_limit=30)
+
+
+def small_model_problem() -> ValueModelProblem:
+    """x,y,z in 0..9, all different, x + y + z == 15, x <= 3."""
+    model = Model("vm")
+    x = model.add_array("x", 3, IntegerDomain(0, 9))
+    model.add_constraint(AllDifferent(x.indices().tolist()))
+    model.add_constraint(LinearConstraint([0, 1, 2], [1, 1, 1], "==", 15))
+    model.add_constraint(LinearConstraint([0], [1], "<=", 3))
+    return ValueModelProblem(model)
+
+
+class TestSolvesGolomb:
+    @pytest.mark.parametrize("order", [4, 5, 6, 7])
+    def test_finds_optimal_rulers(self, order):
+        problem = GolombRulerProblem(order)
+        result = ValueAdaptiveSearch(CFG).solve(problem, seed=3)
+        assert result.solved
+        assert problem.cost(result.config) == 0
+        marks = problem.marks(result.config)
+        assert marks[0] == 0
+        assert marks[-1] <= problem.length
+
+    def test_deterministic(self):
+        problem = GolombRulerProblem(5)
+        solver = ValueAdaptiveSearch(CFG)
+        a = solver.solve(problem, seed=9)
+        b = solver.solve(problem, seed=9)
+        assert a.stats.iterations == b.stats.iterations
+        assert np.array_equal(a.config, b.config)
+
+    def test_solver_name(self):
+        result = ValueAdaptiveSearch(CFG).solve(GolombRulerProblem(4), seed=0)
+        assert result.solver_name == "value_adaptive_search"
+
+
+class TestSolvesDeclarativeModels:
+    def test_model_problem_solved(self):
+        problem = small_model_problem()
+        result = ValueAdaptiveSearch(CFG).solve(problem, seed=2)
+        assert result.solved
+        x, y, z = result.config.tolist()
+        assert x + y + z == 15
+        assert x <= 3
+        assert len({x, y, z}) == 3
+
+    def test_random_configuration_within_domains(self):
+        problem = small_model_problem()
+        config = problem.random_configuration(1)
+        problem.check_configuration(config)
+
+    def test_domain_values_per_variable(self):
+        problem = small_model_problem()
+        assert problem.domain_values(0).tolist() == list(range(10))
+
+
+class TestBudgets:
+    def test_max_iterations(self):
+        problem = GolombRulerProblem(8)  # harder: may not solve in 25
+        result = ValueAdaptiveSearch(
+            AdaptiveSearchConfig(max_iterations=25)
+        ).solve(problem, seed=0)
+        if not result.solved:
+            assert result.reason is TerminationReason.MAX_ITERATIONS
+            assert result.stats.iterations == 25
+
+    def test_initial_configuration(self):
+        problem = GolombRulerProblem(4)
+        solution = np.array([0, 1, 4, 6])
+        result = ValueAdaptiveSearch(CFG).solve(
+            problem, seed=0, initial_configuration=solution
+        )
+        assert result.solved
+        assert result.stats.iterations == 0
+
+    def test_callback_cancellation(self):
+        class StopAt5:
+            def on_iteration(self, info):
+                return info.iteration < 5
+
+        problem = GolombRulerProblem(8)
+        result = ValueAdaptiveSearch(CFG).solve(
+            problem, seed=0, callbacks=[StopAt5()]
+        )
+        if not result.solved:
+            assert result.reason is TerminationReason.CANCELLED
+            assert result.stats.iterations == 5
+
+
+class TestSearchMechanics:
+    def test_pinned_variable_never_moves(self):
+        """Mark 0 has a singleton domain; the solver must cope."""
+        problem = GolombRulerProblem(6)
+        result = ValueAdaptiveSearch(CFG).solve(problem, seed=5)
+        assert result.config[0] == 0
+
+    def test_stats_consistency(self):
+        problem = GolombRulerProblem(7)
+        result = ValueAdaptiveSearch(CFG).solve(problem, seed=1)
+        s = result.stats
+        assert s.swaps <= s.iterations
+        assert s.accepted_local_min_moves <= s.local_minima

@@ -1,0 +1,126 @@
+"""Tests for repro.csp.constraints."""
+
+import numpy as np
+import pytest
+
+from repro.csp.constraints import (
+    AllDifferent,
+    FunctionalConstraint,
+    LinearConstraint,
+    Relation,
+)
+from repro.errors import ModelError
+
+
+class TestRelation:
+    def test_coerce_from_string(self):
+        assert Relation.coerce("<=") is Relation.LE
+        assert Relation.coerce("=") is Relation.EQ
+        assert Relation.coerce("EQ") is Relation.EQ
+
+    def test_coerce_passthrough(self):
+        assert Relation.coerce(Relation.GT) is Relation.GT
+
+    def test_coerce_unknown_raises(self):
+        with pytest.raises(ModelError, match="unknown relation"):
+            Relation.coerce("<>")
+
+
+class TestConstraintBase:
+    def test_empty_variables_raises(self):
+        with pytest.raises(ModelError, match="at least one"):
+            AllDifferent([])
+
+    def test_negative_index_raises(self):
+        with pytest.raises(ModelError, match="negative"):
+            AllDifferent([0, -1])
+
+    def test_duplicate_variable_raises(self):
+        with pytest.raises(ModelError, match="twice"):
+            AllDifferent([1, 1])
+
+    def test_default_projection_broadcasts_error(self):
+        c = AllDifferent([0, 1, 2])
+        # use LinearConstraint to exercise the weighted override separately;
+        # FunctionalConstraint uses the default projection
+        f = FunctionalConstraint([0, 1], lambda v: float(abs(v[0] - v[1])))
+        errors = f.variable_errors(np.array([3, 7]))
+        assert np.array_equal(errors, [4.0, 4.0])
+
+
+class TestLinearConstraint:
+    def test_satisfied_equation(self):
+        c = LinearConstraint([0, 1], [1, 1], "==", 10)
+        assert c.error(np.array([4, 6])) == 0
+        assert c.satisfied(np.array([4, 6]))
+
+    def test_violated_equation_distance(self):
+        c = LinearConstraint([0, 1], [2, -1], "==", 0)
+        assert c.error(np.array([3, 4])) == 2  # 2*3 - 4 = 2
+
+    def test_inequality(self):
+        c = LinearConstraint([0], [1], "<=", 5)
+        assert c.error(np.array([9])) == 4
+        assert c.error(np.array([5])) == 0
+
+    def test_coefficient_count_mismatch(self):
+        with pytest.raises(ModelError, match="coefficients"):
+            LinearConstraint([0, 1], [1], "==", 0)
+
+    def test_lhs(self):
+        c = LinearConstraint([0, 2], [3, -2], "==", 0)
+        assert c.lhs(np.array([1, 99, 4])) == 3 - 8
+
+    def test_variable_errors_zero_when_satisfied(self):
+        c = LinearConstraint([0, 1], [1, 1], "==", 3)
+        assert np.array_equal(c.variable_errors(np.array([1, 2])), [0, 0])
+
+    def test_variable_errors_weighted_by_coefficient(self):
+        c = LinearConstraint([0, 1], [3, 1], "==", 0)
+        errs = c.variable_errors(np.array([1, 1]))  # error = 4
+        assert errs[0] > errs[1] > 0
+        # weights scaled so they average to the raw error
+        assert errs.sum() == pytest.approx(2 * 4.0)
+
+
+class TestAllDifferent:
+    def test_no_duplicates_zero_error(self):
+        c = AllDifferent([0, 1, 2])
+        assert c.error(np.array([3, 1, 2])) == 0
+
+    def test_error_counts_excess_occurrences(self):
+        c = AllDifferent([0, 1, 2, 3])
+        # values 5,5,5,9 -> value 5 has count 3 -> error 2
+        assert c.error(np.array([5, 5, 5, 9])) == 2
+
+    def test_variable_errors_flag_duplicated_positions(self):
+        c = AllDifferent([0, 1, 2, 3])
+        errs = c.variable_errors(np.array([7, 7, 1, 2]))
+        assert np.array_equal(errs, [1, 1, 0, 0])
+
+    def test_subset_of_variables(self):
+        c = AllDifferent([1, 3])
+        assert c.error(np.array([0, 5, 0, 5])) == 1
+
+
+class TestFunctionalConstraint:
+    def test_receives_mentioned_values_in_order(self):
+        seen = {}
+
+        def fn(values):
+            seen["values"] = values.copy()
+            return 0.0
+
+        c = FunctionalConstraint([2, 0], fn)
+        c.error(np.array([10, 20, 30]))
+        assert np.array_equal(seen["values"], [30, 10])
+
+    def test_negative_error_rejected(self):
+        c = FunctionalConstraint([0], lambda v: -1.0)
+        with pytest.raises(ModelError, match="< 0"):
+            c.error(np.array([1]))
+
+    def test_named(self):
+        c = FunctionalConstraint([0], lambda v: 0.0, name="custom")
+        assert c.name == "custom"
+        assert "custom" in repr(c)

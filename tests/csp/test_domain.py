@@ -1,0 +1,93 @@
+"""Tests for repro.csp.domain."""
+
+import numpy as np
+import pytest
+
+from repro.csp.domain import ExplicitDomain, IntegerDomain
+from repro.errors import ModelError
+
+
+class TestIntegerDomain:
+    def test_size_and_values(self):
+        dom = IntegerDomain(3, 7)
+        assert dom.size == 5
+        assert np.array_equal(dom.values(), [3, 4, 5, 6, 7])
+
+    def test_singleton(self):
+        dom = IntegerDomain(4, 4)
+        assert dom.size == 1
+        assert 4 in dom
+
+    def test_empty_raises(self):
+        with pytest.raises(ModelError, match="empty"):
+            IntegerDomain(5, 4)
+
+    def test_contains(self):
+        dom = IntegerDomain(0, 9)
+        assert dom.contains(0) and dom.contains(9)
+        assert not dom.contains(-1) and not dom.contains(10)
+
+    def test_in_operator(self):
+        dom = IntegerDomain(1, 3)
+        assert 2 in dom
+        assert 9 not in dom
+        assert "x" not in dom
+
+    def test_sample_scalar_in_range(self, rng):
+        dom = IntegerDomain(10, 20)
+        for _ in range(50):
+            assert 10 <= dom.sample(rng) <= 20
+
+    def test_sample_array(self, rng):
+        dom = IntegerDomain(-5, 5)
+        arr = dom.sample(rng, size=100)
+        assert arr.shape == (100,)
+        assert arr.min() >= -5 and arr.max() <= 5
+
+    def test_iteration(self):
+        assert list(IntegerDomain(1, 3)) == [1, 2, 3]
+
+    def test_len(self):
+        assert len(IntegerDomain(0, 4)) == 5
+
+    def test_equality_and_hash(self):
+        assert IntegerDomain(1, 5) == IntegerDomain(1, 5)
+        assert IntegerDomain(1, 5) != IntegerDomain(1, 6)
+        assert hash(IntegerDomain(1, 5)) == hash(IntegerDomain(1, 5))
+
+    def test_values_returns_copy(self):
+        dom = IntegerDomain(0, 3)
+        vals = dom.values()
+        vals[0] = 99
+        assert dom.values()[0] == 0
+
+
+class TestExplicitDomain:
+    def test_deduplicates_and_sorts(self):
+        dom = ExplicitDomain([5, 1, 3, 1, 5])
+        assert np.array_equal(dom.values(), [1, 3, 5])
+        assert dom.size == 3
+
+    def test_empty_raises(self):
+        with pytest.raises(ModelError, match="empty"):
+            ExplicitDomain([])
+
+    def test_contains(self):
+        dom = ExplicitDomain([2, 4, 8])
+        assert dom.contains(4)
+        assert not dom.contains(3)
+        assert not dom.contains(9)
+
+    def test_sample_hits_only_members(self, rng):
+        dom = ExplicitDomain([10, 20, 30])
+        draws = set(int(dom.sample(rng)) for _ in range(60))
+        assert draws <= {10, 20, 30}
+
+    def test_equality(self):
+        assert ExplicitDomain([1, 2]) == ExplicitDomain([2, 1])
+        assert ExplicitDomain([1, 2]) != ExplicitDomain([1, 3])
+
+    def test_negative_values_supported(self):
+        dom = ExplicitDomain([-3, 0, 3])
+        assert dom.contains(-3)
+        assert not dom.contains(-2)

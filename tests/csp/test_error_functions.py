@@ -1,0 +1,93 @@
+"""Tests for repro.csp.error_functions (Adaptive Search error semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.csp.error_functions import (
+    ERROR_FUNCTIONS,
+    error_eq,
+    error_ge,
+    error_gt,
+    error_le,
+    error_lt,
+    error_ne,
+)
+
+ints = st.integers(min_value=-10**6, max_value=10**6)
+
+
+class TestScalarSemantics:
+    def test_eq(self):
+        assert error_eq(5, 5) == 0
+        assert error_eq(3, 7) == 4
+        assert error_eq(7, 3) == 4
+
+    def test_ne(self):
+        assert error_ne(5, 5) == 1
+        assert error_ne(5, 6) == 0
+
+    def test_le(self):
+        assert error_le(3, 5) == 0
+        assert error_le(5, 5) == 0
+        assert error_le(7, 5) == 2
+
+    def test_lt(self):
+        assert error_lt(3, 5) == 0
+        assert error_lt(5, 5) == 1
+        assert error_lt(7, 5) == 3
+
+    def test_ge(self):
+        assert error_ge(5, 3) == 0
+        assert error_ge(5, 5) == 0
+        assert error_ge(3, 5) == 2
+
+    def test_gt(self):
+        assert error_gt(5, 3) == 0
+        assert error_gt(5, 5) == 1
+        assert error_gt(3, 5) == 3
+
+
+class TestVectorized:
+    def test_eq_arrays(self):
+        lhs = np.array([1, 2, 3])
+        assert np.array_equal(error_eq(lhs, 2), [1, 0, 1])
+
+    def test_le_broadcast(self):
+        lhs = np.array([[1, 10], [5, 5]])
+        assert np.array_equal(error_le(lhs, 5), [[0, 5], [0, 0]])
+
+
+class TestProperties:
+    @given(ints, ints)
+    def test_all_errors_non_negative(self, a, b):
+        for fn in ERROR_FUNCTIONS.values():
+            assert fn(a, b) >= 0
+
+    @given(ints, ints)
+    def test_zero_iff_satisfied(self, a, b):
+        assert (error_eq(a, b) == 0) == (a == b)
+        assert (error_ne(a, b) == 0) == (a != b)
+        assert (error_le(a, b) == 0) == (a <= b)
+        assert (error_lt(a, b) == 0) == (a < b)
+        assert (error_ge(a, b) == 0) == (a >= b)
+        assert (error_gt(a, b) == 0) == (a > b)
+
+    @given(ints, ints)
+    def test_eq_symmetry(self, a, b):
+        assert error_eq(a, b) == error_eq(b, a)
+
+    @given(ints, ints)
+    def test_le_ge_duality(self, a, b):
+        assert error_le(a, b) == error_ge(b, a)
+        assert error_lt(a, b) == error_gt(b, a)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("symbol", ["==", "=", "!=", "<=", "<", ">=", ">"])
+    def test_all_relations_registered(self, symbol):
+        assert symbol in ERROR_FUNCTIONS
+
+    def test_alias_eq(self):
+        assert ERROR_FUNCTIONS["="] is ERROR_FUNCTIONS["=="]

@@ -1,0 +1,145 @@
+"""Tests for the extended global constraints."""
+
+import numpy as np
+import pytest
+
+from repro.csp.global_constraints import (
+    AbsoluteDifference,
+    ElementConstraint,
+    IncreasingChain,
+    MaximumConstraint,
+    NotAllEqual,
+    SumConstraint,
+)
+from repro.errors import ModelError
+
+
+class TestSumConstraint:
+    def test_equality(self):
+        c = SumConstraint([0, 1, 2], "==", 6)
+        assert c.error(np.array([1, 2, 3])) == 0
+        assert c.error(np.array([1, 2, 5])) == 2
+
+    def test_inequality(self):
+        c = SumConstraint([0, 1], "<=", 5)
+        assert c.error(np.array([2, 2])) == 0
+        assert c.error(np.array([4, 4])) == 3
+
+
+class TestNotAllEqual:
+    def test_all_equal_violates(self):
+        c = NotAllEqual([0, 1, 2])
+        assert c.error(np.array([7, 7, 7])) == 1.0
+
+    def test_any_difference_satisfies(self):
+        c = NotAllEqual([0, 1, 2])
+        assert c.error(np.array([7, 7, 8])) == 0.0
+
+    def test_needs_two_variables(self):
+        with pytest.raises(ModelError, match="at least two"):
+            NotAllEqual([0])
+
+
+class TestElementConstraint:
+    def test_satisfied_lookup(self):
+        c = ElementConstraint(0, 1, table=[10, 20, 30])
+        assert c.error(np.array([1, 20])) == 0
+
+    def test_value_distance(self):
+        c = ElementConstraint(0, 1, table=[10, 20, 30])
+        assert c.error(np.array([2, 25])) == 5
+
+    def test_index_out_of_range_penalized(self):
+        c = ElementConstraint(0, 1, table=[10, 20])
+        below = c.error(np.array([-2, 10]))
+        above = c.error(np.array([5, 10]))
+        assert below > 0 and above > 0
+        # further out of range costs more
+        assert c.error(np.array([-4, 10])) > below
+
+    def test_distinct_variables_required(self):
+        with pytest.raises(ModelError, match="distinct"):
+            ElementConstraint(0, 0, table=[1])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ModelError, match="non-empty"):
+            ElementConstraint(0, 1, table=[])
+
+
+class TestMaximumConstraint:
+    def test_satisfied(self):
+        c = MaximumConstraint([0, 1, 2], value_var=3)
+        assert c.error(np.array([3, 9, 5, 9])) == 0
+
+    def test_distance(self):
+        c = MaximumConstraint([0, 1], value_var=2)
+        assert c.error(np.array([3, 7, 4])) == 3
+
+    def test_value_var_not_in_scope(self):
+        with pytest.raises(ModelError, match="must not be in the scope"):
+            MaximumConstraint([0, 1], value_var=1)
+
+
+class TestIncreasingChain:
+    def test_sorted_satisfies(self):
+        c = IncreasingChain([0, 1, 2])
+        assert c.error(np.array([1, 2, 2])) == 0
+
+    def test_violations_sum(self):
+        c = IncreasingChain([0, 1, 2])
+        # 5 > 2 violated by 3; 2 <= 9 fine
+        assert c.error(np.array([5, 2, 9])) == 3
+
+    def test_strict_mode(self):
+        c = IncreasingChain([0, 1], strict=True)
+        assert c.error(np.array([2, 2])) == 1
+        assert c.error(np.array([2, 3])) == 0
+
+    def test_variable_errors_localized(self):
+        c = IncreasingChain([0, 1, 2])
+        errors = c.variable_errors(np.array([5, 2, 9]))
+        assert errors[0] == 3 and errors[1] == 3 and errors[2] == 0
+
+    def test_needs_two(self):
+        with pytest.raises(ModelError, match="at least two"):
+            IncreasingChain([0])
+
+
+class TestAbsoluteDifference:
+    def test_equality(self):
+        c = AbsoluteDifference(0, 1, "==", 4)
+        assert c.error(np.array([7, 3])) == 0
+        assert c.error(np.array([3, 7])) == 0
+        assert c.error(np.array([7, 5])) == 2
+
+    def test_inequality(self):
+        c = AbsoluteDifference(0, 1, ">=", 3)
+        assert c.error(np.array([1, 5])) == 0
+        assert c.error(np.array([1, 2])) == 2
+
+    def test_distinct_variables(self):
+        with pytest.raises(ModelError, match="distinct"):
+            AbsoluteDifference(2, 2, "==", 0)
+
+
+class TestInsideModel:
+    def test_declarative_model_solvable(self):
+        """A small declarative model using the extended constraints."""
+        from repro import AdaptiveSearch, AdaptiveSearchConfig
+        from repro.csp.domain import IntegerDomain
+        from repro.csp.model import Model
+        from repro.problems.base import ModelProblem
+
+        model = Model("chain")
+        x = model.add_array("x", 6, IntegerDomain(0, 5))
+        model.declare_permutation(x)
+        # ascending first half, |x0 - x5| == 5, sum of last two == 9
+        model.add_constraint(IncreasingChain([0, 1, 2]))
+        model.add_constraint(AbsoluteDifference(0, 5, "==", 5))
+        model.add_constraint(SumConstraint([4, 5], "==", 9))
+        problem = ModelProblem(model)
+        result = AdaptiveSearch(AdaptiveSearchConfig(max_iterations=20000)).solve(
+            problem, seed=5
+        )
+        assert result.solved
+        assert model.is_solution(result.config)

@@ -1,0 +1,125 @@
+"""Tests for repro.csp.model."""
+
+import numpy as np
+import pytest
+
+from repro.csp.constraints import AllDifferent, LinearConstraint
+from repro.csp.domain import IntegerDomain
+from repro.csp.model import Model
+from repro.errors import ModelError
+
+
+def small_model() -> Model:
+    """x[0..2] in 0..2, all different, x0 + x1 == 3."""
+    model = Model("small")
+    x = model.add_array("x", 3, IntegerDomain(0, 2))
+    model.add_constraint(AllDifferent(x.indices().tolist()))
+    model.add_constraint(LinearConstraint([x.index(0), x.index(1)], [1, 1], "==", 3))
+    return model
+
+
+class TestConstruction:
+    def test_counts(self):
+        model = small_model()
+        assert model.n_variables == 3
+        assert model.n_constraints == 2
+
+    def test_duplicate_array_name(self):
+        model = Model()
+        model.add_array("x", 2, IntegerDomain(0, 1))
+        with pytest.raises(ModelError, match="duplicate"):
+            model.add_array("x", 2, IntegerDomain(0, 1))
+
+    def test_constraint_out_of_range(self):
+        model = Model()
+        model.add_array("x", 2, IntegerDomain(0, 1))
+        with pytest.raises(ModelError, match="only 2 variables"):
+            model.add_constraint(AllDifferent([0, 5]))
+
+    def test_add_constraints_bulk(self):
+        model = Model()
+        model.add_array("x", 3, IntegerDomain(0, 2))
+        model.add_constraints([AllDifferent([0, 1]), AllDifferent([1, 2])])
+        assert model.n_constraints == 2
+
+
+class TestEvaluation:
+    def test_cost_zero_on_solution(self):
+        model = small_model()
+        assert model.cost(np.array([1, 2, 0])) == 0
+        assert model.is_solution(np.array([1, 2, 0]))
+
+    def test_cost_sums_constraint_errors(self):
+        model = small_model()
+        # [0,0,0]: alldiff error 2, linear |0-3| = 3
+        assert model.cost(np.array([0, 0, 0])) == 5
+
+    def test_variable_errors_projection(self):
+        model = small_model()
+        errors = model.variable_errors(np.array([0, 0, 1]))
+        # x2 only participates in alldiff (no duplication on x2)
+        assert errors[2] == 0
+        assert errors[0] > 0 and errors[1] > 0
+
+    def test_violated_constraints(self):
+        model = small_model()
+        violated = model.violated_constraints(np.array([1, 2, 0]))
+        assert violated == []
+        violated = model.violated_constraints(np.array([0, 0, 1]))
+        assert len(violated) == 2
+
+    def test_check_assignment_shape(self):
+        model = small_model()
+        with pytest.raises(ModelError, match="shape"):
+            model.check_assignment(np.array([0, 1]))
+
+    def test_check_assignment_domain(self):
+        model = small_model()
+        with pytest.raises(ModelError, match="outside domain"):
+            model.check_assignment(np.array([0, 1, 7]))
+
+    def test_constraints_on(self):
+        model = small_model()
+        assert len(model.constraints_on(0)) == 2
+        assert len(model.constraints_on(2)) == 1
+        with pytest.raises(IndexError):
+            model.constraints_on(9)
+
+
+class TestPermutationDeclaration:
+    def test_declares_and_samples_permutation(self):
+        model = Model()
+        x = model.add_array("x", 5, IntegerDomain(0, 4))
+        model.declare_permutation(x)
+        assert model.is_permutation(x)
+        assignment = model.random_assignment(seed=3)
+        assert sorted(assignment.tolist()) == list(range(5))
+
+    def test_wrong_domain_size_rejected(self):
+        model = Model()
+        x = model.add_array("x", 3, IntegerDomain(0, 4))
+        with pytest.raises(ModelError, match="permutation"):
+            model.declare_permutation(x)
+
+    def test_foreign_array_rejected(self):
+        model = Model()
+        model.add_array("x", 3, IntegerDomain(0, 2))
+        other_model = Model()
+        y = other_model.add_array("y", 3, IntegerDomain(0, 2))
+        with pytest.raises(ModelError, match="belong"):
+            model.declare_permutation(y)
+
+    def test_random_assignment_mixed_arrays(self):
+        model = Model()
+        p = model.add_array("p", 4, IntegerDomain(0, 3))
+        model.add_array("free", 3, IntegerDomain(5, 9))
+        model.declare_permutation(p)
+        assignment = model.random_assignment(seed=1)
+        assert sorted(assignment[:4].tolist()) == [0, 1, 2, 3]
+        assert all(5 <= v <= 9 for v in assignment[4:])
+
+    def test_random_assignment_deterministic(self):
+        model = small_model()
+        a = model.random_assignment(seed=9)
+        b = model.random_assignment(seed=9)
+        assert np.array_equal(a, b)

@@ -1,0 +1,90 @@
+"""Tests for repro.csp.permutation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.csp.permutation import (
+    check_permutation,
+    is_permutation,
+    random_partial_reset,
+    swap_inplace,
+)
+from repro.errors import ProblemError
+
+
+class TestIsPermutation:
+    def test_identity(self):
+        assert is_permutation(np.arange(10))
+
+    def test_shuffled(self, rng):
+        assert is_permutation(rng.permutation(20))
+
+    def test_with_base(self):
+        assert is_permutation(np.array([3, 1, 2]), base=1)
+        assert not is_permutation(np.array([3, 1, 2]), base=0)
+
+    def test_duplicate_rejected(self):
+        assert not is_permutation(np.array([0, 1, 1]))
+
+    def test_out_of_range_rejected(self):
+        assert not is_permutation(np.array([0, 1, 5]))
+
+    def test_wrong_ndim_rejected(self):
+        assert not is_permutation(np.zeros((2, 2), dtype=int))
+
+    @given(st.permutations(list(range(12))))
+    def test_any_permutation_accepted(self, perm):
+        assert is_permutation(np.array(perm))
+
+
+class TestCheckPermutation:
+    def test_raises_on_invalid(self):
+        with pytest.raises(ProblemError, match="not a permutation"):
+            check_permutation(np.array([0, 0, 2]))
+
+    def test_passes_on_valid(self):
+        check_permutation(np.array([2, 0, 1]))
+
+
+class TestSwapInplace:
+    def test_swaps(self):
+        arr = np.array([10, 20, 30])
+        swap_inplace(arr, 0, 2)
+        assert arr.tolist() == [30, 20, 10]
+
+    def test_self_swap_noop(self):
+        arr = np.array([1, 2])
+        swap_inplace(arr, 1, 1)
+        assert arr.tolist() == [1, 2]
+
+
+class TestRandomPartialReset:
+    def test_preserves_permutation(self, rng):
+        arr = np.arange(30)
+        random_partial_reset(arr, 0.5, rng)
+        assert is_permutation(arr)
+
+    def test_swap_count(self, rng):
+        arr = np.arange(20)
+        n_swaps = random_partial_reset(arr, 0.5, rng)
+        assert n_swaps == 5  # ceil(0.5 * 20 / 2)
+
+    def test_minimum_one_swap(self, rng):
+        arr = np.arange(3)
+        assert random_partial_reset(arr, 0.01, rng) == 1
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.5])
+    def test_invalid_fraction(self, fraction, rng):
+        with pytest.raises(ProblemError, match="fraction"):
+            random_partial_reset(np.arange(5), fraction, rng)
+
+    def test_usually_changes_configuration(self, rng):
+        changed = 0
+        for _ in range(20):
+            arr = np.arange(50)
+            random_partial_reset(arr, 0.5, rng)
+            if not np.array_equal(arr, np.arange(50)):
+                changed += 1
+        assert changed >= 19  # identity-restoring swap sequences are rare

@@ -1,0 +1,65 @@
+"""Tests for repro.csp.variables."""
+
+import numpy as np
+import pytest
+
+from repro.csp.domain import IntegerDomain
+from repro.csp.model import Model
+from repro.csp.variables import VariableArray
+from repro.errors import ModelError
+
+
+class TestVariableArray:
+    def test_requires_name(self):
+        with pytest.raises(ModelError, match="name"):
+            VariableArray("", 3, IntegerDomain(0, 2))
+
+    def test_requires_positive_size(self):
+        with pytest.raises(ModelError, match="n > 0"):
+            VariableArray("x", 0, IntegerDomain(0, 2))
+
+    def test_offset_requires_registration(self):
+        arr = VariableArray("x", 3, IntegerDomain(0, 2))
+        assert not arr.registered
+        with pytest.raises(ModelError, match="not registered"):
+            _ = arr.offset
+
+    def test_registration_through_model(self):
+        model = Model()
+        a = model.add_array("a", 3, IntegerDomain(0, 2))
+        b = model.add_array("b", 2, IntegerDomain(0, 1))
+        assert a.offset == 0
+        assert b.offset == 3
+        assert b.registered
+
+    def test_double_registration_raises(self):
+        arr = VariableArray("x", 2, IntegerDomain(0, 1))
+        arr._register(0)
+        with pytest.raises(ModelError, match="already part"):
+            arr._register(5)
+
+    def test_index_bounds(self):
+        model = Model()
+        a = model.add_array("a", 3, IntegerDomain(0, 2))
+        assert a.index(0) == 0
+        assert a.index(2) == 2
+        with pytest.raises(IndexError):
+            a.index(3)
+        with pytest.raises(IndexError):
+            a.index(-1)
+
+    def test_indices_are_global(self):
+        model = Model()
+        model.add_array("a", 4, IntegerDomain(0, 3))
+        b = model.add_array("b", 3, IntegerDomain(0, 2))
+        assert np.array_equal(b.indices(), [4, 5, 6])
+
+    def test_slice_of_assignment(self):
+        model = Model()
+        model.add_array("a", 2, IntegerDomain(0, 9))
+        b = model.add_array("b", 3, IntegerDomain(0, 9))
+        assignment = np.array([1, 2, 7, 8, 9])
+        assert np.array_equal(b.slice_of(assignment), [7, 8, 9])
+
+    def test_len(self):
+        assert len(VariableArray("x", 7, IntegerDomain(0, 6))) == 7

@@ -1,0 +1,67 @@
+"""Tests for the sample cache."""
+
+from repro.cluster.trace import RunSample
+from repro.harness.cache import SampleCache, stable_key
+
+
+def sample(t=1.0) -> RunSample:
+    return RunSample(wall_time=t, iterations=3, solved=True)
+
+
+class TestStableKey:
+    def test_deterministic(self):
+        spec = {"a": 1, "b": [1, 2], "c": {"x": 0.5}}
+        assert stable_key(spec) == stable_key(spec)
+
+    def test_order_insensitive(self):
+        assert stable_key({"a": 1, "b": 2}) == stable_key({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert stable_key({"a": 1}) != stable_key({"a": 2})
+
+    def test_handles_dataclasses(self):
+        from repro.core.config import AdaptiveSearchConfig
+
+        key1 = stable_key({"cfg": AdaptiveSearchConfig()})
+        key2 = stable_key({"cfg": AdaptiveSearchConfig(reset_limit=9)})
+        assert key1 != key2
+
+    def test_handles_infinity(self):
+        assert stable_key({"x": float("inf")}) != stable_key({"x": 1.0})
+
+    def test_key_format(self):
+        key = stable_key({"a": 1})
+        assert len(key) == 16
+        int(key, 16)  # valid hex
+
+
+class TestSampleCache:
+    def test_miss_returns_none(self, tmp_cache):
+        assert tmp_cache.load({"x": 1}) is None
+
+    def test_store_then_load(self, tmp_cache):
+        spec = {"problem": "costas", "n": 9}
+        samples = [sample(0.5), sample(1.5)]
+        tmp_cache.store(spec, samples)
+        assert tmp_cache.load(spec) == samples
+
+    def test_different_spec_different_entry(self, tmp_cache):
+        tmp_cache.store({"n": 1}, [sample(1.0)])
+        tmp_cache.store({"n": 2}, [sample(2.0)])
+        assert tmp_cache.load({"n": 1})[0].wall_time == 1.0
+        assert tmp_cache.load({"n": 2})[0].wall_time == 2.0
+
+    def test_corrupt_entry_is_miss(self, tmp_cache):
+        spec = {"n": 3}
+        path = tmp_cache.store(spec, [sample()])
+        path.write_text("garbage")
+        assert tmp_cache.load(spec) is None
+
+    def test_clear(self, tmp_cache):
+        tmp_cache.store({"n": 1}, [sample()])
+        tmp_cache.store({"n": 2}, [sample()])
+        assert tmp_cache.clear() == 2
+        assert tmp_cache.load({"n": 1}) is None
+
+    def test_clear_empty_dir(self, tmp_cache):
+        assert tmp_cache.clear() == 0

@@ -1,0 +1,103 @@
+"""Tests for experiment definitions."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness.experiment import (
+    EXPERIMENTS,
+    BenchmarkSpec,
+    ExperimentSpec,
+    get_experiment,
+)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert set(EXPERIMENTS) >= {"fig1", "fig2", "fig3", "tab1", "tabA"}
+
+    def test_get_experiment(self):
+        assert get_experiment("fig1").paper_ref == "Figure 1"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            get_experiment("fig9")
+
+
+class TestPaperAlignment:
+    def test_fig1_covers_all_four_benchmarks(self):
+        labels = {b.label for b in get_experiment("fig1").benchmarks}
+        assert labels == {
+            "all-interval",
+            "perfect-square",
+            "magic-square",
+            "costas",
+        }
+
+    def test_fig1_and_fig2_same_workloads_different_platform(self):
+        fig1, fig2 = get_experiment("fig1"), get_experiment("fig2")
+        assert fig1.benchmarks == fig2.benchmarks
+        assert fig1.core_counts == fig2.core_counts
+        assert fig1.platforms == ("ha8000",)
+        assert fig2.platforms == ("grid5000_suno",)
+
+    def test_fig3_is_cap_only_with_32_core_baseline(self):
+        fig3 = get_experiment("fig3")
+        assert [b.label for b in fig3.benchmarks] == ["costas"]
+        assert fig3.baseline_cores == 32
+        assert fig3.core_counts == (32, 64, 128, 256)
+        assert set(fig3.platforms) == {
+            "ha8000",
+            "grid5000_suno",
+            "grid5000_helios",
+        }
+
+    def test_core_sweep_matches_paper(self):
+        assert get_experiment("fig1").core_counts == (16, 32, 64, 128, 256)
+
+    def test_cap_time_calibration_gives_minutes_at_256(self):
+        """CAP mean / 256 should land near 'one minute' (paper Section 2)."""
+        (cap,) = get_experiment("fig3").benchmarks
+        assert cap.target_mean_time is not None
+        assert 30 <= cap.target_mean_time / 256 <= 120
+
+
+class TestValidation:
+    def bench(self):
+        return (BenchmarkSpec("queens", {"n": 8}),)
+
+    def test_no_benchmarks(self):
+        with pytest.raises(ExperimentError, match="no benchmarks"):
+            ExperimentSpec(
+                id="x",
+                title="t",
+                paper_ref="r",
+                description="d",
+                benchmarks=(),
+                core_counts=(1,),
+                platforms=("local",),
+            )
+
+    def test_bad_core_counts(self):
+        with pytest.raises(ExperimentError, match="core counts"):
+            ExperimentSpec(
+                id="x",
+                title="t",
+                paper_ref="r",
+                description="d",
+                benchmarks=self.bench(),
+                core_counts=(0,),
+                platforms=("local",),
+            )
+
+    def test_bad_samples(self):
+        with pytest.raises(ExperimentError, match="n_samples"):
+            ExperimentSpec(
+                id="x",
+                title="t",
+                paper_ref="r",
+                description="d",
+                benchmarks=self.bench(),
+                core_counts=(2,),
+                platforms=("local",),
+                n_samples=1,
+            )

@@ -1,0 +1,95 @@
+"""Tests for figure regeneration."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.platforms import GRID5000_HELIOS, HA8000
+from repro.harness.figures import figure1, figure2, figure3, speedup_source
+from repro.stats.fitting import DistributionFit
+
+
+@pytest.fixture
+def sample_sets(rng):
+    return {
+        "costas": rng.exponential(1000.0, 200),
+        "magic-square": 5.0 + rng.exponential(50.0, 200),
+    }
+
+
+class TestSpeedupSource:
+    def test_small_k_uses_raw_samples(self, rng):
+        times = rng.exponential(1.0, 200)
+        source = speedup_source(times, 16, parametric_tail=True)
+        assert isinstance(source, np.ndarray)
+
+    def test_large_k_switches_to_fit(self, rng):
+        times = rng.exponential(1.0, 100)
+        source = speedup_source(times, 256, parametric_tail=True)
+        assert isinstance(source, DistributionFit)
+
+    def test_parametric_tail_disabled(self, rng):
+        times = rng.exponential(1.0, 100)
+        source = speedup_source(times, 256, parametric_tail=False)
+        assert isinstance(source, np.ndarray)
+
+
+class TestFigure1:
+    def test_produces_curve_per_benchmark(self, sample_sets):
+        fig = figure1(sample_sets, core_counts=(16, 64), sim_reps=100, rng=0)
+        assert fig.id == "fig1"
+        assert {c.label for c in fig.curves} == set(sample_sets)
+        assert all(c.platform == "HA8000" for c in fig.curves)
+
+    def test_chart_contains_legend_and_ideal(self, sample_sets):
+        fig = figure1(sample_sets, core_counts=(16, 64), sim_reps=100, rng=0)
+        assert "ideal" in fig.chart
+        assert "costas" in fig.chart
+
+    def test_render_includes_tables(self, sample_sets):
+        fig = figure1(sample_sets, core_counts=(16, 64), sim_reps=100, rng=0)
+        text = fig.render()
+        assert "cores" in text and "speedup" in text
+        assert "HA8000" in text
+
+    def test_exponential_benchmark_scales_better_than_shifted(self, sample_sets):
+        fig = figure1(
+            sample_sets, core_counts=(16, 64, 256), sim_reps=300, rng=1
+        )
+        by_label = {c.label: c for c in fig.curves}
+        assert by_label["costas"].speedup_at(256) > by_label[
+            "magic-square"
+        ].speedup_at(256)
+
+
+class TestFigure2:
+    def test_runs_on_suno(self, sample_sets):
+        fig = figure2(sample_sets, core_counts=(16, 64), sim_reps=100, rng=0)
+        assert fig.id == "fig2"
+        assert all(c.platform == "Grid5000/Suno" for c in fig.curves)
+
+
+class TestFigure3:
+    def test_normalized_to_32_cores(self, rng):
+        cap = rng.exponential(15000.0, 300)
+        fig = figure3(cap, sim_reps=200, rng=0)
+        for curve in fig.curves:
+            assert curve.baseline_cores == 32
+            assert curve.speedup_at(32) == pytest.approx(1.0, rel=0.1)
+
+    def test_helios_capped_at_224(self, rng):
+        cap = rng.exponential(15000.0, 300)
+        fig = figure3(cap, sim_reps=100, rng=0)
+        helios = next(c for c in fig.curves if "Helios" in c.label)
+        assert max(helios.core_counts) <= GRID5000_HELIOS.usable_cores
+
+    def test_near_ideal_doubling(self, rng):
+        """Exponential CAP runtimes: speedup ~2x per core doubling."""
+        cap = rng.exponential(15000.0, 400)
+        fig = figure3(cap, platforms=(HA8000,), sim_reps=800, rng=1)
+        (curve,) = fig.curves
+        assert curve.speedup_at(256) == pytest.approx(8.0, rel=0.35)
+
+    def test_platform_selection(self, rng):
+        cap = rng.exponential(1000.0, 200)
+        fig = figure3(cap, platforms=("ha8000",), sim_reps=100, rng=0)
+        assert len(fig.curves) == 1

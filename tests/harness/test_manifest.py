@@ -1,0 +1,109 @@
+"""Tests for experiment manifests and drift comparison."""
+
+import json
+
+import pytest
+
+from repro.errors import CacheError
+from repro.harness.manifest import (
+    CurveDrift,
+    compare_curves,
+    curve_payload,
+    figure_payload,
+    load_manifest,
+    save_manifest,
+)
+from repro.stats.speedup import SpeedupCurve
+
+
+def curve(label="bench", speedups=(10.0, 20.0), cores=(16, 64)) -> SpeedupCurve:
+    return SpeedupCurve(
+        label=label,
+        platform="HA8000",
+        core_counts=list(cores),
+        mean_times=[100.0 / s for s in speedups],
+        speedups=list(speedups),
+        baseline_time=100.0,
+    )
+
+
+class TestPayloads:
+    def test_curve_payload_round_trips_through_json(self):
+        payload = curve_payload(curve())
+        restored = json.loads(json.dumps(payload))
+        assert restored["label"] == "bench"
+        assert restored["speedups"] == [10.0, 20.0]
+        assert restored["core_counts"] == [16, 64]
+
+    def test_figure_payload(self):
+        from repro.harness.figures import FigureResult
+
+        fig = FigureResult(
+            id="fig1", title="t", chart="<chart>", curves=[curve()], notes=["n"]
+        )
+        payload = figure_payload(fig)
+        assert payload["id"] == "fig1"
+        assert "chart" not in payload
+        assert len(payload["curves"]) == 1
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "fig1.manifest.json"
+        save_manifest(path, {"curves": [curve_payload(curve())]})
+        payload = load_manifest(path)
+        assert payload["curves"][0]["label"] == "bench"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CacheError, match="cannot read"):
+            load_manifest(tmp_path / "nope.json")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{")
+        with pytest.raises(CacheError):
+            load_manifest(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"version": 99, "payload": {}}))
+        with pytest.raises(CacheError, match="unsupported"):
+            load_manifest(path)
+
+    def test_no_tmp_leftovers(self, tmp_path):
+        save_manifest(tmp_path / "m.json", {"x": 1})
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestCompareCurves:
+    def test_no_drift_within_tolerance(self):
+        old = [curve_payload(curve(speedups=(10.0, 20.0)))]
+        new = [curve_payload(curve(speedups=(11.0, 22.0)))]
+        assert compare_curves(old, new, rel_tol=0.25) == []
+
+    def test_drift_detected(self):
+        old = [curve_payload(curve(speedups=(10.0, 20.0)))]
+        new = [curve_payload(curve(speedups=(10.0, 40.0)))]
+        drifts = compare_curves(old, new, rel_tol=0.25)
+        assert len(drifts) == 1
+        assert drifts[0].cores == 64
+        assert drifts[0].ratio == pytest.approx(2.0)
+
+    def test_unmatched_curves_ignored(self):
+        old = [curve_payload(curve(label="a"))]
+        new = [curve_payload(curve(label="b", speedups=(99.0, 99.0)))]
+        assert compare_curves(old, new) == []
+
+    def test_unmatched_points_ignored(self):
+        old = [curve_payload(curve(cores=(16, 64)))]
+        new = [curve_payload(curve(cores=(16, 256), speedups=(10.0, 99.0)))]
+        assert compare_curves(old, new) == []
+
+    def test_drift_str(self):
+        drift = CurveDrift("x", 64, 10.0, 20.0)
+        assert "x@64" in str(drift)
+        assert "2.00x" in str(drift)
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError, match="rel_tol"):
+            compare_curves([], [], rel_tol=0)

@@ -1,0 +1,63 @@
+"""Tests for end-to-end experiment execution (small sample counts)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness.experiment import BenchmarkSpec, ExperimentSpec
+from repro.harness.report import gather_experiment_times, run_experiment
+
+FAST = ExperimentSpec(
+    id="fig1",
+    title="mini fig1",
+    paper_ref="Figure 1",
+    description="scaled-down smoke experiment",
+    benchmarks=(
+        BenchmarkSpec("costas", {"n": 8}, label="costas", target_mean_time=1000.0),
+        BenchmarkSpec("queens", {"n": 10}, label="queens"),
+    ),
+    core_counts=(4, 16),
+    platforms=("ha8000",),
+    n_samples=6,
+    sim_reps=50,
+)
+
+
+class TestGatherTimes:
+    def test_gathers_per_benchmark(self, tmp_cache):
+        times = gather_experiment_times(FAST, cache=tmp_cache)
+        assert set(times) == {"costas", "queens"}
+        assert len(times["costas"]) == 6
+
+    def test_rescaling_applied(self, tmp_cache):
+        times = gather_experiment_times(FAST, cache=tmp_cache)
+        assert times["costas"].mean() == pytest.approx(1000.0)
+
+    def test_cache_reused(self, tmp_cache):
+        gather_experiment_times(FAST, cache=tmp_cache)
+        n_entries = len(list(tmp_cache.cache_dir.glob("*.json")))
+        gather_experiment_times(FAST, cache=tmp_cache)
+        assert len(list(tmp_cache.cache_dir.glob("*.json"))) == n_entries
+
+
+class TestRunExperiment:
+    def test_fig_style_experiment(self, tmp_cache):
+        report = run_experiment(FAST, cache=tmp_cache)
+        assert len(report.figures) == 1
+        text = report.render()
+        assert "mini fig1" in text
+        assert "costas" in text
+
+    def test_registered_experiment_by_id_small(self, tmp_cache):
+        report = run_experiment(
+            "fig3", cache=tmp_cache, n_samples=8, sim_reps=50
+        )
+        assert report.figures
+        assert "CAP" in report.render()
+
+    def test_unknown_id(self, tmp_cache):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            run_experiment("fig42", cache=tmp_cache)
+
+    def test_overrides_reduce_work(self, tmp_cache):
+        report = run_experiment(FAST, cache=tmp_cache, n_samples=4, sim_reps=20)
+        assert len(report.sample_times["queens"]) == 4

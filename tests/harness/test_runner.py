@@ -1,0 +1,109 @@
+"""Tests for sequential-sample collection."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.errors import ExperimentError
+from repro.harness.runner import BenchmarkSpec, collect_samples, scaled_times
+
+
+class TestBenchmarkSpec:
+    def test_default_label(self):
+        assert BenchmarkSpec("costas", {"n": 9}).label == "costas(n=9)"
+        assert BenchmarkSpec("alpha").label == "alpha"
+
+    def test_explicit_label(self):
+        assert BenchmarkSpec("costas", {"n": 9}, label="cap").label == "cap"
+
+    def test_invalid_target_mean(self):
+        with pytest.raises(ExperimentError, match="target_mean_time"):
+            BenchmarkSpec("costas", target_mean_time=0)
+
+    def test_make_builds_problem(self):
+        assert BenchmarkSpec("queens", {"n": 10}).make().size == 10
+
+
+class TestCollectSamples:
+    SPEC = BenchmarkSpec("costas", {"n": 8})
+    CFG = AdaptiveSearchConfig(max_iterations=100_000)
+
+    def test_collects_requested_count(self):
+        samples = collect_samples(self.SPEC, 5, seed=0, solver_config=self.CFG)
+        assert len(samples) == 5
+        assert all(s.solved for s in samples)
+
+    def test_deterministic_given_seed(self):
+        a = collect_samples(self.SPEC, 4, seed=3, solver_config=self.CFG)
+        b = collect_samples(self.SPEC, 4, seed=3, solver_config=self.CFG)
+        assert [s.iterations for s in a] == [s.iterations for s in b]
+
+    def test_runs_are_independent(self):
+        samples = collect_samples(self.SPEC, 8, seed=1, solver_config=self.CFG)
+        assert len({s.iterations for s in samples}) > 1
+
+    def test_cache_round_trip(self, tmp_cache):
+        a = collect_samples(
+            self.SPEC, 3, seed=5, solver_config=self.CFG, cache=tmp_cache
+        )
+        b = collect_samples(
+            self.SPEC, 3, seed=5, solver_config=self.CFG, cache=tmp_cache
+        )
+        assert a == b
+        assert len(list(tmp_cache.cache_dir.glob("*.json"))) == 1
+
+    def test_cache_key_distinguishes_seeds(self, tmp_cache):
+        collect_samples(self.SPEC, 2, seed=1, solver_config=self.CFG, cache=tmp_cache)
+        collect_samples(self.SPEC, 2, seed=2, solver_config=self.CFG, cache=tmp_cache)
+        assert len(list(tmp_cache.cache_dir.glob("*.json"))) == 2
+
+    def test_invalid_n_runs(self):
+        with pytest.raises(ExperimentError, match="n_runs"):
+            collect_samples(self.SPEC, 0)
+
+    def test_per_run_budget_caps_iterations(self):
+        hard = BenchmarkSpec("magic_square", {"n": 8})
+        samples = collect_samples(
+            hard, 2, seed=0, max_iterations=100, time_limit=60
+        )
+        assert all(s.iterations <= 100 for s in samples)
+
+
+class TestScaledTimes:
+    def test_no_target_returns_raw(self):
+        from repro.cluster.trace import RunSample
+
+        samples = [
+            RunSample(wall_time=1.0, iterations=1, solved=True),
+            RunSample(wall_time=3.0, iterations=1, solved=True),
+        ]
+        assert scaled_times(samples).tolist() == [1.0, 3.0]
+
+    def test_rescaling_sets_mean(self):
+        from repro.cluster.trace import RunSample
+
+        samples = [
+            RunSample(wall_time=1.0, iterations=1, solved=True),
+            RunSample(wall_time=3.0, iterations=1, solved=True),
+        ]
+        scaled = scaled_times(samples, target_mean_time=100.0)
+        assert scaled.mean() == pytest.approx(100.0)
+        # shape preserved: ratio of values unchanged
+        assert scaled[1] / scaled[0] == pytest.approx(3.0)
+
+    def test_unsolved_excluded(self):
+        from repro.cluster.trace import RunSample
+
+        samples = [
+            RunSample(wall_time=1.0, iterations=1, solved=True),
+            RunSample(wall_time=9.0, iterations=1, solved=False),
+            RunSample(wall_time=2.0, iterations=1, solved=True),
+        ]
+        assert scaled_times(samples).tolist() == [1.0, 2.0]
+
+    def test_too_few_solved_raises(self):
+        from repro.cluster.trace import RunSample
+
+        samples = [RunSample(wall_time=1.0, iterations=1, solved=False)]
+        with pytest.raises(ExperimentError, match="solved runs"):
+            scaled_times(samples)

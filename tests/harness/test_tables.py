@@ -1,0 +1,95 @@
+"""Tests for table regeneration."""
+
+import numpy as np
+import pytest
+
+from repro.harness.tables import headline_table, times_table
+from repro.stats.speedup import SpeedupCurve
+
+
+@pytest.fixture
+def sample_sets(rng):
+    return {
+        "all-interval": 2.0 + rng.exponential(20.0, 150),
+        "costas": rng.exponential(500.0, 150),
+    }
+
+
+def curve(label, speedups, cores=(64, 128, 256)) -> SpeedupCurve:
+    return SpeedupCurve(
+        label=label,
+        platform="HA8000",
+        core_counts=list(cores),
+        mean_times=[100.0 / s for s in speedups],
+        speedups=list(speedups),
+        baseline_time=100.0,
+    )
+
+
+class TestTimesTable:
+    def test_one_row_per_benchmark(self, sample_sets):
+        table = times_table(sample_sets, "ha8000", (16, 64), sim_reps=100, rng=0)
+        assert len(table.rows) == 2
+        assert table.headers[0] == "benchmark"
+        assert "16 cores" in table.headers
+
+    def test_sequential_mean_is_sample_mean(self, sample_sets):
+        table = times_table(sample_sets, "ha8000", (16,), sim_reps=100, rng=0)
+        row = next(r for r in table.rows if r[0] == "costas")
+        assert row[1] == pytest.approx(np.mean(sample_sets["costas"]))
+
+    def test_times_decrease_with_cores(self, sample_sets):
+        table = times_table(
+            sample_sets, "ha8000", (16, 64, 256), sim_reps=300, rng=0
+        )
+        for row in table.rows:
+            times = row[2:]
+            assert times[0] > times[-1]
+
+    def test_render(self, sample_sets):
+        table = times_table(sample_sets, "ha8000", (16,), sim_reps=50, rng=0)
+        text = table.render()
+        assert "HA8000" in text
+        assert "costas" in text
+
+    def test_drops_core_counts_beyond_platform(self, sample_sets):
+        table = times_table(
+            sample_sets, "grid5000_helios", (128, 256), sim_reps=50, rng=0
+        )
+        assert "256 cores" not in table.headers
+        assert "128 cores" in table.headers
+
+
+class TestHeadlineTable:
+    def test_csplib_average_row(self):
+        table = headline_table(
+            [curve("a", [30, 40, 50]), curve("b", [20, 30, 40])]
+        )
+        avg_row = next(r for r in table.rows if "average" in r[0])
+        assert avg_row[1] == pytest.approx(25.0)
+        assert avg_row[3] == pytest.approx(45.0)
+
+    def test_cap_doubling_ratios(self):
+        cap = SpeedupCurve(
+            label="costas",
+            platform="HA8000",
+            core_counts=[32, 64, 128],
+            mean_times=[40.0, 20.0, 10.0],
+            speedups=[1.0, 2.0, 4.0],
+            baseline_cores=32,
+            baseline_time=40.0,
+        )
+        table = headline_table([curve("a", [30, 40, 50])], cap)
+        ratio_row = next(r for r in table.rows if "doubling" in str(r[0]))
+        assert "2.00x" in str(ratio_row[-1])
+
+    def test_paper_claims_quoted_in_notes(self):
+        table = headline_table([curve("a", [30, 40, 50])])
+        notes = " ".join(table.notes)
+        assert "about 30 with 64 cores" in notes
+
+    def test_missing_checkpoint_rendered_as_dash(self):
+        partial = curve("p", [10.0], cores=(64,))
+        table = headline_table([partial])
+        row = next(r for r in table.rows if r[0] == "speedup p")
+        assert row[2] == "-"

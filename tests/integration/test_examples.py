@@ -1,0 +1,92 @@
+"""The example scripts must run end-to-end (import-and-call, no subprocess).
+
+Each example exposes ``main``; we call it with reduced workloads where the
+script supports it.  stdout is captured by pytest.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    """Import an example file as a throwaway module namespace."""
+    return runpy.run_path(str(EXAMPLES / name), run_name="not_main")
+
+
+class TestExamplesExist:
+    def test_at_least_three_examples(self):
+        scripts = sorted(EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 3
+        names = {s.name for s in scripts}
+        assert "quickstart.py" in names
+
+
+@pytest.mark.slow
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        module = load_example("quickstart.py")
+        module["main"]()
+        out = capsys.readouterr().out
+        assert "SOLVED" in out
+        assert "multi-walk" in out
+
+    def test_costas_array_small(self, capsys):
+        module = load_example("costas_array.py")
+        module["main"](9)
+        out = capsys.readouterr().out
+        assert "best-fitting family" in out
+        assert "256 cores" in out
+
+    def test_parallel_multiwalk(self, capsys):
+        module = load_example("parallel_multiwalk.py")
+        module["main"]()
+        out = capsys.readouterr().out
+        assert "walkers" in out
+        assert "speedup" in out
+
+    def test_speedup_study_quick(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # keep the cache out of the repo
+        module = load_example("speedup_study.py")
+        module["main"](quick=True)
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert "fig3" in out
+        assert "costas" in out
+
+
+@pytest.mark.slow
+class TestNewerExamplesRun:
+    def test_golomb_ruler_small(self, capsys):
+        module = load_example("golomb_ruler.py")
+        module["main"](5)
+        out = capsys.readouterr().out
+        assert "marks:" in out
+        assert "pairwise distances" in out
+
+    def test_declarative_model(self, capsys):
+        module = load_example("declarative_model.py")
+        module["main"](4)
+        out = capsys.readouterr().out
+        assert "declarative model" in out
+        assert "native incremental" in out
+
+    def test_cooperative_search_has_main(self):
+        module = load_example("cooperative_search.py")
+        assert callable(module["main"])
+
+    def test_landscape_analysis_has_main(self):
+        module = load_example("landscape_analysis.py")
+        assert callable(module["main"])
+
+    def test_runtime_distributions_quick(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        module = load_example("runtime_distributions.py")
+        module["main"](n_runs=12)
+        out = capsys.readouterr().out
+        assert "exponentiality" in out
+        assert "costas" in out

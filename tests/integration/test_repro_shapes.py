@@ -1,0 +1,97 @@
+"""Shape-level integration: the paper's qualitative results from fresh
+measurements (miniature versions of what the benchmarks assert at scale)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.cluster.topology import Platform
+from repro.harness.figures import speedup_source
+from repro.harness.runner import BenchmarkSpec, collect_samples, scaled_times
+from repro.stats.rtd import exponentiality, parallel_rtd_points
+from repro.stats.speedup import speedup_curve_from_samples
+
+IDEAL = Platform(name="ideal", nodes=1, cores_per_node=512)
+CFG = AdaptiveSearchConfig(max_iterations=2_000_000, time_limit=60)
+
+
+@pytest.fixture(scope="module")
+def iteration_samples(tmp_path_factory):
+    from repro.harness.cache import SampleCache
+
+    cache = SampleCache(tmp_path_factory.mktemp("cache"))
+
+    def collect(family, params, n):
+        spec = BenchmarkSpec(family, params, metric="iterations")
+        samples = collect_samples(
+            spec, n, seed=(99, n), solver_config=CFG, cache=cache
+        )
+        return scaled_times(samples, metric="iterations")
+
+    return {
+        "costas": collect("costas", {"n": 11}, 80),
+        "all_interval": collect("all_interval", {"n": 12}, 60),
+    }
+
+
+class TestCostasRegime:
+    """The mechanism behind the paper's Figure 3."""
+
+    def test_costas_iterations_look_memoryless(self, iteration_samples):
+        report = exponentiality(iteration_samples["costas"])
+        assert report.qq_correlation > 0.9
+        assert report.floor_fraction < 0.2
+
+    def test_costas_speedup_near_linear_to_64(self, iteration_samples):
+        times = iteration_samples["costas"]
+        source = speedup_source(times, 64, parametric_tail=True)
+        curve = speedup_curve_from_samples(
+            "cap", source, IDEAL, [4, 16, 64], n_reps=1500, rng=0
+        )
+        assert curve.speedup_at(4) == pytest.approx(4, rel=0.5)
+        assert curve.speedup_at(64) > 20
+
+    def test_multi_walk_rtd_dominates_sequential(self, iteration_samples):
+        times = iteration_samples["costas"]
+        _, f1 = parallel_rtd_points(times, 1)
+        _, f32 = parallel_rtd_points(times, 32)
+        assert np.all(f32 >= f1)
+        assert f32[len(f32) // 4] > 0.9  # 32 walkers solve early w.h.p.
+
+
+class TestOrderingAcrossBenchmarks:
+    def test_speedups_grow_with_cores_everywhere(self, iteration_samples):
+        for label, times in iteration_samples.items():
+            source = speedup_source(times, 64, parametric_tail=True)
+            curve = speedup_curve_from_samples(
+                label, source, IDEAL, [2, 8, 64], n_reps=800, rng=1
+            )
+            s = curve.speedups
+            assert s[0] < s[1] < s[2], (label, s)
+
+    def test_mean_work_reflects_problem_hardness(self, iteration_samples):
+        # all-interval-12 walks longer than costas-11 per solve on average
+        assert (
+            iteration_samples["all_interval"].mean()
+            > iteration_samples["costas"].mean() * 0.2
+        )
+
+
+class TestSimulationConsistency:
+    def test_bootstrap_and_parametric_sources_agree_at_low_k(
+        self, iteration_samples
+    ):
+        """Where the bootstrap is still valid (k << m), both simulation
+        sources must produce the same expected parallel time."""
+        from repro.cluster.simulate import MultiWalkSimulator
+        from repro.stats.fitting import best_fit
+
+        times = iteration_samples["costas"]
+        sim = MultiWalkSimulator(IDEAL, 3)
+        empirical = sim.simulate_many(times, 4, n_reps=4000).mean()
+        parametric = sim.simulate_many(
+            best_fit(times, candidates=("exponential", "shifted_exponential")),
+            4,
+            n_reps=4000,
+        ).mean()
+        assert empirical == pytest.approx(parametric, rel=0.3)

@@ -1,0 +1,66 @@
+"""Tests for multi-walk result types."""
+
+import numpy as np
+
+from repro.core.termination import TerminationReason
+from repro.parallel.results import ParallelResult, WalkOutcome
+
+
+def outcome(walk_id=0, solved=True, wall_time=1.0, iterations=10) -> WalkOutcome:
+    return WalkOutcome(
+        walk_id=walk_id,
+        solved=solved,
+        cost=0.0 if solved else 4.0,
+        iterations=iterations,
+        wall_time=wall_time,
+        reason=TerminationReason.SOLVED if solved else TerminationReason.CANCELLED,
+        config=np.array([0, 1]) if solved else None,
+    )
+
+
+class TestWalkOutcome:
+    def test_as_dict(self):
+        d = outcome(3).as_dict()
+        assert d["walk_id"] == 3
+        assert d["solved"] is True
+        assert d["reason"] == "SOLVED"
+
+
+class TestParallelResult:
+    def test_config_from_winner(self):
+        winner = outcome(1)
+        result = ParallelResult(
+            solved=True, n_walkers=2, winner=winner, walks=[outcome(0, False), winner]
+        )
+        assert np.array_equal(result.config, [0, 1])
+
+    def test_config_none_when_unsolved(self):
+        result = ParallelResult(solved=False, n_walkers=1, winner=None)
+        assert result.config is None
+
+    def test_total_iterations_sums_walks(self):
+        result = ParallelResult(
+            solved=True,
+            n_walkers=3,
+            winner=outcome(0),
+            walks=[outcome(0, iterations=5), outcome(1, iterations=7), outcome(2, iterations=9)],
+        )
+        assert result.total_iterations == 21
+
+    def test_summary_solved(self):
+        result = ParallelResult(
+            solved=True,
+            n_walkers=4,
+            winner=outcome(2),
+            walks=[outcome(2)],
+            wall_time=0.5,
+            executor="inline",
+        )
+        text = result.summary()
+        assert "SOLVED by walk 2" in text
+        assert "x4" in text
+        assert "inline" in text
+
+    def test_summary_unsolved(self):
+        result = ParallelResult(solved=False, n_walkers=2, winner=None)
+        assert "UNSOLVED" in result.summary()

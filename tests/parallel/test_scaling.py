@@ -1,0 +1,99 @@
+"""Tests for measured scaling studies."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.errors import ParallelError
+from repro.parallel.scaling import ScalingPoint, measure_scaling
+from repro.problems import CostasProblem, make_problem
+
+CFG = AdaptiveSearchConfig(max_iterations=200_000)
+
+
+class TestMeasureScaling:
+    def test_sweep_structure(self):
+        study = measure_scaling(
+            CostasProblem(9), [1, 2, 4], repetitions=3, config=CFG, seed=0
+        )
+        assert [p.walkers for p in study.points] == [1, 2, 4]
+        assert all(p.repetitions == 3 for p in study.points)
+        assert study.problem_name == "costas-9"
+
+    def test_solve_rate_full_on_easy_instance(self):
+        study = measure_scaling(
+            CostasProblem(8), [1, 4], repetitions=4, config=CFG, seed=1
+        )
+        assert all(p.solve_rate == 1.0 for p in study.points)
+
+    def test_more_walkers_do_not_hurt_in_expectation(self):
+        study = measure_scaling(
+            CostasProblem(9), [1, 8], repetitions=8, config=CFG, seed=2
+        )
+        by_k = {p.walkers: p for p in study.points}
+        assert (
+            by_k[8].mean_parallel_iterations
+            <= by_k[1].mean_parallel_iterations * 1.25
+        )
+
+    def test_speedups_relative_to_one_walker(self):
+        study = measure_scaling(
+            CostasProblem(9), [1, 4], repetitions=6, config=CFG, seed=3
+        )
+        speedups = study.speedups()
+        assert speedups[1] == pytest.approx(1.0)
+        assert speedups[4] > 0
+
+    def test_speedups_need_baseline(self):
+        study = measure_scaling(
+            CostasProblem(8), [2, 4], repetitions=2, config=CFG, seed=0
+        )
+        with pytest.raises(ParallelError, match="baseline"):
+            study.speedups()
+
+    def test_deterministic(self):
+        a = measure_scaling(CostasProblem(8), [2], repetitions=3, config=CFG, seed=5)
+        b = measure_scaling(CostasProblem(8), [2], repetitions=3, config=CFG, seed=5)
+        assert a.points == b.points
+
+    def test_unsolved_runs_counted(self):
+        tiny = AdaptiveSearchConfig(max_iterations=5)
+        study = measure_scaling(
+            make_problem("magic_square", n=8), [2], repetitions=2,
+            config=tiny, seed=0,
+        )
+        point = study.points[0]
+        assert point.solve_rate < 1.0
+        assert point.mean_parallel_iterations <= 5
+
+    def test_validation(self):
+        with pytest.raises(ParallelError, match="repetitions"):
+            measure_scaling(CostasProblem(8), [1], repetitions=0)
+        with pytest.raises(ParallelError, match="walker counts"):
+            measure_scaling(CostasProblem(8), [], repetitions=1)
+
+    def test_as_rows(self):
+        study = measure_scaling(
+            CostasProblem(8), [1, 2], repetitions=2, config=CFG, seed=7
+        )
+        rows = study.as_rows()
+        assert len(rows) == 2
+        assert rows[0][0] == 1
+
+
+class TestWorkEfficiency:
+    def test_bounds(self):
+        point = ScalingPoint(
+            walkers=4,
+            mean_parallel_iterations=100.0,
+            median_parallel_iterations=90.0,
+            mean_total_iterations=450.0,
+            solve_rate=1.0,
+            repetitions=5,
+        )
+        # 100*4/450 ~ 0.89
+        assert 0 < point.work_efficiency < 1.0
+
+    def test_zero_total(self):
+        point = ScalingPoint(1, 0.0, 0.0, 0.0, 1.0, 1)
+        assert point.work_efficiency == 0.0

@@ -1,0 +1,105 @@
+"""Tests for the All Interval Series problem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProblemError
+from repro.problems.all_interval import AllIntervalProblem
+
+# n=4: 2,0,3,1 has diffs |{-2,3,-2}|... check: |0-2|=2,|3-0|=3,|1-3|=2 dup.
+# A valid series: 0,3,1,2 -> diffs 3,2,1
+AIS_4 = np.array([0, 3, 1, 2])
+
+# the trivial zig-zag construction is all-interval for every n
+def zigzag(n: int) -> np.ndarray:
+    out = []
+    lo, hi = 0, n - 1
+    while lo <= hi:
+        out.append(lo)
+        if lo != hi:
+            out.append(hi)
+        lo, hi = lo + 1, hi - 1
+    return np.array(out)
+
+
+class TestCost:
+    def test_known_solution(self):
+        p = AllIntervalProblem(4)
+        assert p.cost(AIS_4) == 0
+
+    def test_zigzag_is_solution(self):
+        for n in (5, 8, 13):
+            p = AllIntervalProblem(n)
+            assert p.cost(zigzag(n)) == 0, n
+
+    def test_identity_has_maximal_duplication(self):
+        p = AllIntervalProblem(6)
+        # identity diffs: 1,1,1,1,1 -> value 1 count 5 -> cost 4
+        assert p.cost(np.arange(6)) == 4
+
+    def test_cost_zero_iff_diffs_distinct(self, rng):
+        p = AllIntervalProblem(6)
+        for _ in range(50):
+            perm = rng.permutation(6)
+            diffs = np.abs(np.diff(perm))
+            expected = len(diffs) - len(set(diffs.tolist()))
+            assert p.cost(perm) == expected
+
+
+class TestInstance:
+    def test_size(self):
+        assert AllIntervalProblem(14).size == 14
+
+    def test_too_small(self):
+        with pytest.raises(ProblemError, match="n >= 2"):
+            AllIntervalProblem(1)
+
+    def test_n2_trivially_solved(self):
+        p = AllIntervalProblem(2)
+        assert p.cost(np.array([0, 1])) == 0
+
+
+class TestSeriesDifferences:
+    def test_solution_diffs_are_permutation_of_1_to_n_minus_1(self):
+        p = AllIntervalProblem(8)
+        diffs = p.series_differences(zigzag(8))
+        assert sorted(diffs.tolist()) == list(range(1, 8))
+
+
+class TestVariableErrors:
+    def test_solution_zero_errors(self):
+        p = AllIntervalProblem(8)
+        state = p.init_state(zigzag(8))
+        assert np.all(p.variable_errors(state) == 0)
+
+    def test_identity_all_positions_erroneous(self):
+        p = AllIntervalProblem(5)
+        state = p.init_state(np.arange(5))
+        errors = p.variable_errors(state)
+        assert np.all(errors > 0)
+
+    def test_error_is_adjacent_duplicate_count(self):
+        p = AllIntervalProblem(5)
+        state = p.init_state(np.arange(5))
+        errors = p.variable_errors(state)
+        # interior positions touch two duplicated diffs, endpoints one
+        assert errors[0] == 1 and errors[-1] == 1
+        assert np.all(errors[1:-1] == 2)
+
+
+class TestCounts:
+    def test_count_table_maintained_across_walk(self, rng):
+        p = AllIntervalProblem(10)
+        state = p.init_state(p.random_configuration(rng))
+        for _ in range(40):
+            i, j = rng.integers(0, 10, 2)
+            p.apply_swap(state, int(i), int(j))
+        expected = np.zeros(10, dtype=np.int64)
+        np.add.at(expected, np.abs(np.diff(state.config)), 1)
+        assert np.array_equal(state.counts, expected)
+
+    def test_adjacent_swap_affected_positions(self):
+        p = AllIntervalProblem(6)
+        assert p._affected_diff_positions(2, 3) == [1, 2, 3]
+        assert p._affected_diff_positions(0, 5) == [0, 4]
+        assert p._affected_diff_positions(0, 1) == [0, 1]

@@ -1,0 +1,90 @@
+"""Tests for the alpha cryptarithm."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProblemError
+from repro.problems.alpha import ALPHA_EQUATIONS, AlphaProblem
+
+# the known solution of the classic instance (letter values a..z)
+ALPHA_SOLUTION = {
+    "a": 5, "b": 13, "c": 9, "d": 16, "e": 20, "f": 4, "g": 24, "h": 21,
+    "i": 25, "j": 17, "k": 23, "l": 2, "m": 8, "n": 12, "o": 10, "p": 19,
+    "q": 7, "r": 11, "s": 15, "t": 3, "u": 1, "v": 26, "w": 6, "x": 22,
+    "y": 14, "z": 18,
+}
+
+
+def solution_vector() -> np.ndarray:
+    return np.array([ALPHA_SOLUTION[chr(ord("a") + k)] for k in range(26)])
+
+
+class TestInstanceData:
+    def test_twenty_equations(self):
+        assert len(ALPHA_EQUATIONS) == 20
+
+    def test_known_solution_satisfies_every_word(self):
+        values = solution_vector()
+        for word, total in ALPHA_EQUATIONS:
+            s = sum(int(values[ord(c) - ord("a")]) for c in word)
+            assert s == total, f"{word}: {s} != {total}"
+
+    def test_solution_is_permutation_of_1_26(self):
+        assert sorted(ALPHA_SOLUTION.values()) == list(range(1, 27))
+
+
+class TestCost:
+    def test_solution_has_zero_cost(self):
+        p = AlphaProblem()
+        assert p.cost(solution_vector()) == 0
+
+    def test_cost_is_sum_of_absolute_residuals(self):
+        p = AlphaProblem((("ab", 5), ("bc", 7)))
+        # a=1,b=2,c=3: ab=3 (err 2), bc=5 (err 2)
+        config = np.arange(1, 27)
+        assert p.cost(config) == 4
+
+    def test_word_with_repeated_letter_counts_multiplicity(self):
+        p = AlphaProblem((("aa", 10),))
+        config = np.arange(1, 27)  # a=1 -> aa=2 -> err 8
+        assert p.cost(config) == 8
+
+
+class TestValidation:
+    def test_empty_equations_rejected(self):
+        with pytest.raises(ProblemError, match="at least one"):
+            AlphaProblem(())
+
+    def test_non_letter_rejected(self):
+        with pytest.raises(ProblemError, match="non-letter"):
+            AlphaProblem((("a1b", 5),))
+
+    def test_size_is_26(self):
+        assert AlphaProblem().size == 26
+
+
+class TestResiduals:
+    def test_residuals_maintained_across_walk(self, rng):
+        p = AlphaProblem()
+        state = p.init_state(p.random_configuration(rng))
+        for _ in range(50):
+            i, j = rng.integers(0, 26, 2)
+            p.apply_swap(state, int(i), int(j))
+        assert np.array_equal(state.residuals, p._residuals(state.config))
+
+    def test_variable_errors_weighted_by_membership(self):
+        p = AlphaProblem((("abc", 100),))
+        state = p.init_state(np.arange(1, 27))
+        errors = p.variable_errors(state)
+        # only a, b, c are mentioned
+        assert np.all(errors[3:] == 0)
+        assert np.all(errors[:3] > 0)
+
+
+class TestAssignmentTable:
+    def test_table_round_trip(self):
+        p = AlphaProblem()
+        table = p.assignment_table(solution_vector())
+        assert table["a"] == 5
+        assert table["z"] == 18
+        assert len(table) == 26

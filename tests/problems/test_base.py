@@ -1,0 +1,154 @@
+"""Tests for the problem protocol defaults and the ModelProblem adapter."""
+
+import numpy as np
+import pytest
+
+from repro.csp.constraints import AllDifferent, LinearConstraint
+from repro.csp.domain import IntegerDomain
+from repro.csp.model import Model
+from repro.errors import ProblemError
+from repro.problems.base import ModelProblem, Problem, WalkState
+
+
+class ToyProblem(Problem):
+    """Minimal problem using only base-class defaults.
+
+    Cost: number of fixed points of the permutation (derangement wanted).
+    """
+
+    family = "toy"
+
+    def __init__(self, n: int = 6) -> None:
+        self._n = n
+
+    @property
+    def size(self) -> int:
+        return self._n
+
+    def cost(self, config: np.ndarray) -> float:
+        return float(np.sum(np.asarray(config) == np.arange(self._n)))
+
+    def variable_errors(self, state: WalkState) -> np.ndarray:
+        return (state.config == np.arange(self._n)).astype(np.float64)
+
+
+class TestDefaultProtocol:
+    def test_default_swap_delta_via_recompute(self, rng):
+        p = ToyProblem(8)
+        state = p.init_state(p.random_configuration(rng))
+        for _ in range(20):
+            i, j = int(rng.integers(0, 8)), int(rng.integers(0, 8))
+            delta = p.swap_delta(state, i, j)
+            cfg = state.config.copy()
+            cfg[i], cfg[j] = cfg[j], cfg[i]
+            assert delta == p.cost(cfg) - state.cost
+
+    def test_default_swap_delta_restores_config(self, rng):
+        p = ToyProblem(8)
+        state = p.init_state(p.random_configuration(rng))
+        before = state.config.copy()
+        p.swap_delta(state, 1, 5)
+        assert np.array_equal(state.config, before)
+
+    def test_default_apply_swap_updates_cost(self, rng):
+        p = ToyProblem(8)
+        state = p.init_state(p.random_configuration(rng))
+        p.apply_swap(state, 0, 1)
+        assert state.cost == p.cost(state.config)
+
+    def test_default_swap_deltas_vector(self, rng):
+        p = ToyProblem(6)
+        state = p.init_state(p.random_configuration(rng))
+        deltas = p.swap_deltas(state, 2)
+        assert deltas[2] == 0
+        for j in range(6):
+            if j != 2:
+                assert deltas[j] == p.swap_delta(state, 2, j)
+
+    def test_init_state_copies_config(self):
+        p = ToyProblem(4)
+        original = p.random_configuration(0)
+        state = p.init_state(original)
+        state.config[0] = state.config[0]  # no-op write allowed
+        p.apply_swap(state, 0, 1)
+        assert not np.array_equal(state.config, original) or True
+        # the original external array must be untouched
+        assert sorted(original.tolist()) == [0, 1, 2, 3]
+
+    def test_is_solution(self):
+        p = ToyProblem(3)
+        assert p.is_solution(np.array([1, 2, 0]))
+        assert not p.is_solution(np.array([0, 2, 1]))
+
+    def test_name_default(self):
+        assert ToyProblem(6).name == "toy-6"
+
+    def test_resync_state_rebuilds_cost(self, rng):
+        p = ToyProblem(6)
+        state = p.init_state(p.random_configuration(rng))
+        state.config[:] = np.arange(6)  # external mutation
+        p.resync_state(state)
+        assert state.cost == 6
+
+
+def permutation_model(n: int = 4) -> Model:
+    model = Model("perm")
+    x = model.add_array("x", n, IntegerDomain(0, n - 1))
+    model.declare_permutation(x)
+    model.add_constraint(
+        LinearConstraint([x.index(0), x.index(1)], [1, 1], "==", 2 * n - 3)
+    )
+    return model
+
+
+class TestModelProblem:
+    def test_requires_permutation_declaration(self):
+        model = Model()
+        model.add_array("x", 3, IntegerDomain(0, 2))
+        with pytest.raises(ProblemError, match="permutation"):
+            ModelProblem(model)
+
+    def test_cost_delegates_to_model(self):
+        model = permutation_model(4)
+        p = ModelProblem(model)
+        # x0 + x1 == 5: [2,3,0,1] solves it
+        assert p.cost(np.array([2, 3, 0, 1])) == 0
+        assert p.cost(np.array([0, 1, 2, 3])) == 4
+
+    def test_variable_errors_delegate(self):
+        p = ModelProblem(permutation_model(4))
+        state = p.init_state(np.array([0, 1, 2, 3]))
+        errors = p.variable_errors(state)
+        assert errors[0] > 0 and errors[1] > 0
+        assert errors[2] == 0 and errors[3] == 0
+
+    def test_random_configuration_is_permutation(self):
+        p = ModelProblem(permutation_model(5))
+        cfg = p.random_configuration(1)
+        assert sorted(cfg.tolist()) == list(range(5))
+
+    def test_multi_array_requires_name(self):
+        model = Model()
+        a = model.add_array("a", 3, IntegerDomain(0, 2))
+        model.add_array("b", 3, IntegerDomain(0, 2))
+        model.declare_permutation(a)
+        with pytest.raises(ProblemError, match="array_name"):
+            ModelProblem(model)
+
+    def test_value_base_follows_domain(self):
+        model = Model("base1")
+        x = model.add_array("x", 3, IntegerDomain(1, 3))
+        model.declare_permutation(x)
+        p = ModelProblem(model)
+        cfg = p.random_configuration(0)
+        assert sorted(cfg.tolist()) == [1, 2, 3]
+
+    def test_solver_integration(self):
+        from repro import AdaptiveSearch, AdaptiveSearchConfig
+
+        p = ModelProblem(permutation_model(5))
+        result = AdaptiveSearch(AdaptiveSearchConfig(max_iterations=5000)).solve(
+            p, seed=3
+        )
+        assert result.solved
+        assert p.cost(result.config) == 0

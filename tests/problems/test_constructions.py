@@ -1,0 +1,123 @@
+"""Tests for known-solution constructions, including paper-scale checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProblemError
+from repro.problems.all_interval import AllIntervalProblem
+from repro.problems.constructions import (
+    doubly_even_magic_square,
+    explicit_queens,
+    is_prime,
+    magic_square,
+    primitive_root,
+    siamese_magic_square,
+    welch_costas,
+    zigzag_all_interval,
+)
+from repro.problems.costas import CostasProblem
+from repro.problems.magic_square import MagicSquareProblem
+from repro.problems.queens import QueensProblem
+
+
+class TestNumberTheory:
+    def test_is_prime(self):
+        primes = {2, 3, 5, 7, 11, 13, 17, 19, 23}
+        for p in range(2, 25):
+            assert is_prime(p) == (p in primes)
+        assert not is_prime(1)
+        assert not is_prime(0)
+
+    def test_primitive_root_generates_group(self):
+        for p in (5, 7, 11, 13, 19, 23):
+            g = primitive_root(p)
+            powers = {pow(g, k, p) for k in range(1, p)}
+            assert powers == set(range(1, p))
+
+    def test_primitive_root_needs_prime(self):
+        with pytest.raises(ProblemError, match="not prime"):
+            primitive_root(8)
+
+
+class TestWelchCostas:
+    @pytest.mark.parametrize("order", [4, 6, 10, 12, 16, 18, 22])
+    def test_welch_arrays_are_costas(self, order):
+        perm = welch_costas(order)
+        problem = CostasProblem(order)
+        problem.check_configuration(perm)
+        assert problem.cost(perm) == 0
+
+    def test_paper_scale_order_22(self):
+        """The paper's flagship instance, validated without any search."""
+        perm = welch_costas(22)
+        assert CostasProblem(22).cost(perm) == 0
+
+    def test_non_prime_order_rejected(self):
+        with pytest.raises(ProblemError, match="prime"):
+            welch_costas(7)  # 8 is not prime
+
+
+class TestMagicSquares:
+    @pytest.mark.parametrize("n", [3, 5, 7, 9, 15])
+    def test_siamese_squares_are_magic(self, n):
+        config = siamese_magic_square(n)
+        problem = MagicSquareProblem(n)
+        problem.check_configuration(config)
+        assert problem.cost(config) == 0
+
+    @pytest.mark.parametrize("n", [4, 8, 12, 16])
+    def test_doubly_even_squares_are_magic(self, n):
+        config = doubly_even_magic_square(n)
+        problem = MagicSquareProblem(n)
+        problem.check_configuration(config)
+        assert problem.cost(config) == 0
+
+    def test_dispatcher(self):
+        assert MagicSquareProblem(5).cost(magic_square(5)) == 0
+        assert MagicSquareProblem(8).cost(magic_square(8)) == 0
+        with pytest.raises(ProblemError, match="singly-even"):
+            magic_square(6)
+
+    @pytest.mark.slow
+    def test_paper_scale_order_101(self):
+        """Validates the cost function at the paper's 100x100-class scale."""
+        n = 101
+        config = siamese_magic_square(n)
+        problem = MagicSquareProblem(n)
+        assert problem.cost(config) == 0
+        # and the incremental state agrees at scale
+        state = problem.init_state(config)
+        assert state.cost == 0
+        problem.apply_swap(state, 0, n * n - 1)
+        assert state.cost == problem.cost(state.config)
+
+    def test_invalid_orders(self):
+        with pytest.raises(ProblemError):
+            siamese_magic_square(4)
+        with pytest.raises(ProblemError):
+            doubly_even_magic_square(6)
+
+
+class TestZigzagAllInterval:
+    @pytest.mark.parametrize("n", [2, 5, 12, 51, 200])
+    def test_zigzag_is_all_interval(self, n):
+        config = zigzag_all_interval(n)
+        problem = AllIntervalProblem(n)
+        problem.check_configuration(config)
+        assert problem.cost(config) == 0
+
+    def test_paper_scale_order_700(self):
+        assert AllIntervalProblem(700).cost(zigzag_all_interval(700)) == 0
+
+
+class TestExplicitQueens:
+    @pytest.mark.parametrize("n", list(range(4, 40)) + [100, 101])
+    def test_explicit_solutions_valid(self, n):
+        config = explicit_queens(n)
+        problem = QueensProblem(n)
+        problem.check_configuration(config)
+        assert problem.cost(config) == 0, f"n={n}"
+
+    def test_too_small(self):
+        with pytest.raises(ProblemError, match="n >= 4"):
+            explicit_queens(3)

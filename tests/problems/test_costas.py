@@ -1,0 +1,127 @@
+"""Tests for the Costas Array Problem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProblemError
+from repro.problems.costas import CostasProblem
+
+# A known Costas array of order 5 (from the paper's example [3,4,2,1,5],
+# 1-based rows per column -> 0-based permutation):
+COSTAS_5 = np.array([2, 3, 1, 0, 4])
+
+
+def brute_force_is_costas(perm: np.ndarray) -> bool:
+    n = len(perm)
+    for d in range(1, n):
+        diffs = [perm[i + d] - perm[i] for i in range(n - d)]
+        if len(set(diffs)) != len(diffs):
+            return False
+    return True
+
+
+class TestCost:
+    def test_paper_example_is_solution(self):
+        p = CostasProblem(5)
+        assert p.cost(COSTAS_5) == 0
+        assert p.is_solution(COSTAS_5)
+
+    def test_identity_is_not_costas_for_n_ge_3(self):
+        p = CostasProblem(6)
+        assert p.cost(np.arange(6)) > 0
+
+    def test_cost_matches_brute_force_classification(self, rng):
+        p = CostasProblem(7)
+        for _ in range(40):
+            perm = rng.permutation(7)
+            assert (p.cost(perm) == 0) == brute_force_is_costas(perm)
+
+    def test_cost_counts_duplicate_differences(self):
+        # identity on 3 elements: d=1 diffs (1,1) dup -> 1; d=2 fine
+        p = CostasProblem(3)
+        assert p.cost(np.array([0, 1, 2])) == 1.0
+
+    def test_symmetry_reversal(self, rng):
+        """Reversing a Costas array yields a Costas array."""
+        p = CostasProblem(5)
+        assert p.cost(COSTAS_5[::-1].copy()) == 0
+
+    def test_symmetry_vertical_flip(self):
+        p = CostasProblem(5)
+        flipped = (4 - COSTAS_5).copy()
+        assert p.cost(flipped) == 0
+
+
+class TestInstance:
+    def test_too_small_rejected(self):
+        with pytest.raises(ProblemError, match="n >= 2"):
+            CostasProblem(1)
+
+    def test_size_and_name(self):
+        p = CostasProblem(12)
+        assert p.size == 12
+        assert p.name == "costas-12"
+
+    def test_pair_tables_cover_all_pairs(self):
+        p = CostasProblem(6)
+        assert len(p._pair_a) == 6 * 5 // 2
+        assert np.all(p._pair_d == p._pair_b - p._pair_a)
+        assert p._pair_d.min() == 1 and p._pair_d.max() == 5
+
+
+class TestVariableErrors:
+    def test_solution_has_zero_errors(self):
+        p = CostasProblem(5)
+        state = p.init_state(COSTAS_5)
+        assert np.all(p.variable_errors(state) == 0)
+
+    def test_errors_localized_to_duplicated_pairs(self):
+        p = CostasProblem(4)
+        # identity: d=1 diffs all equal 1 -> every position touches a dup pair
+        state = p.init_state(np.arange(4))
+        errors = p.variable_errors(state)
+        assert errors.sum() > 0
+
+
+class TestRender:
+    def test_render_shows_one_mark_per_column(self):
+        p = CostasProblem(5)
+        picture = p.render(COSTAS_5)
+        lines = picture.splitlines()
+        assert len(lines) == 5
+        total_marks = sum(line.count("X") for line in lines)
+        assert total_marks == 5
+        for col in range(5):
+            column = [line.split(" ")[col] for line in lines]
+            assert column.count("X") == 1
+
+
+class TestEnumeration:
+    """Exhaustive enumeration against published Costas-array counts."""
+
+    # total number of Costas arrays (all symmetries counted), n = 2..7
+    KNOWN_COUNTS = {2: 2, 3: 4, 4: 12, 5: 40, 6: 116, 7: 200}
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_counts_match_literature(self, n):
+        from itertools import permutations
+
+        p = CostasProblem(n)
+        count = sum(
+            1
+            for perm in permutations(range(n))
+            if p.cost(np.asarray(perm, dtype=np.int64)) == 0
+        )
+        assert count == self.KNOWN_COUNTS[n]
+
+    @pytest.mark.slow
+    def test_count_n7(self):
+        from itertools import permutations
+
+        p = CostasProblem(7)
+        count = sum(
+            1
+            for perm in permutations(range(7))
+            if p.cost(np.asarray(perm, dtype=np.int64)) == 0
+        )
+        assert count == self.KNOWN_COUNTS[7]

@@ -1,0 +1,131 @@
+"""Tests for the Golomb Ruler problem (value-move mode)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProblemError
+from repro.problems.golomb import OPTIMAL_LENGTHS, GolombRulerProblem
+
+# known optimal rulers
+OPTIMAL_RULERS = {
+    4: [0, 1, 4, 6],
+    5: [0, 1, 4, 9, 11],
+    6: [0, 1, 4, 10, 12, 17],
+    7: [0, 1, 4, 10, 18, 23, 25],
+}
+
+
+class TestInstance:
+    def test_default_length_is_optimal(self):
+        assert GolombRulerProblem(5).length == 11
+        assert GolombRulerProblem(7).length == 25
+
+    def test_custom_length(self):
+        assert GolombRulerProblem(4, length=10).length == 10
+
+    def test_too_short_ruler_rejected(self):
+        with pytest.raises(ProblemError, match="cannot host"):
+            GolombRulerProblem(5, length=3)
+
+    def test_unknown_order_needs_explicit_length(self):
+        with pytest.raises(ProblemError, match="optimal length"):
+            GolombRulerProblem(15)
+
+    def test_too_few_marks(self):
+        with pytest.raises(ProblemError, match="order >= 2"):
+            GolombRulerProblem(1)
+
+    def test_name(self):
+        assert GolombRulerProblem(5).name == "golomb-5x11"
+
+
+class TestCost:
+    @pytest.mark.parametrize("order", [4, 5, 6, 7])
+    def test_optimal_rulers_have_zero_cost(self, order):
+        p = GolombRulerProblem(order)
+        assert p.cost(np.asarray(OPTIMAL_RULERS[order])) == 0
+
+    def test_mirrored_ruler_also_solves(self):
+        p = GolombRulerProblem(4)
+        # the mirror of [0,1,4,6] is [0,2,5,6]
+        assert p.cost(np.array([0, 2, 5, 6])) == 0
+
+    def test_duplicate_distance_counted(self):
+        p = GolombRulerProblem(4, length=6)
+        # [0,1,2,4]: distances 1,2,4,1,3,2 -> 1 and 2 duplicated once each
+        assert p.cost(np.array([0, 1, 2, 4])) == 2
+
+    def test_coinciding_marks_penalized_strongly(self):
+        p = GolombRulerProblem(3, length=3)
+        cost_collide = p.cost(np.array([0, 2, 2]))
+        cost_dup = p.cost(np.array([0, 1, 2]))  # distances 1,2,1
+        assert cost_collide > cost_dup
+
+
+class TestDomains:
+    def test_first_mark_pinned_to_zero(self):
+        p = GolombRulerProblem(5)
+        assert p.domain_values(0).tolist() == [0]
+
+    def test_other_marks_full_range(self):
+        p = GolombRulerProblem(4)
+        values = p.domain_values(2)
+        assert values[0] == 0 and values[-1] == 6
+
+    def test_random_configuration_respects_domains(self, rng):
+        p = GolombRulerProblem(6)
+        for _ in range(10):
+            config = p.random_configuration(rng)
+            p.check_configuration(config)
+            assert config[0] == 0
+
+
+class TestIncremental:
+    def test_value_deltas_match_recompute(self, rng):
+        p = GolombRulerProblem(5)
+        state = p.init_state(p.random_configuration(rng))
+        for _ in range(30):
+            var = int(rng.integers(1, 5))
+            values = p.domain_values(var)
+            deltas = p.value_deltas(state, var)
+            k = int(rng.integers(0, len(values)))
+            cfg = state.config.copy()
+            cfg[var] = values[k]
+            assert deltas[k] == pytest.approx(p.cost(cfg) - state.cost)
+
+    def test_apply_assign_keeps_cost_consistent(self, rng):
+        p = GolombRulerProblem(6)
+        state = p.init_state(p.random_configuration(rng))
+        for _ in range(50):
+            var = int(rng.integers(1, 6))
+            values = p.domain_values(var)
+            value = int(values[rng.integers(0, len(values))])
+            p.apply_assign(state, var, value)
+            assert state.cost == pytest.approx(p.cost(state.config))
+
+    def test_partial_reset_resyncs(self, rng):
+        p = GolombRulerProblem(5)
+        state = p.init_state(p.random_configuration(rng))
+        p.partial_reset(state, 0.5, rng)
+        assert state.cost == pytest.approx(p.cost(state.config))
+        assert state.config[0] == 0  # mark 0 can only be reassigned to 0
+        p.check_configuration(state.config)
+
+
+class TestVariableErrors:
+    def test_zero_on_solution(self):
+        p = GolombRulerProblem(5)
+        state = p.init_state(np.asarray(OPTIMAL_RULERS[5]))
+        assert np.all(p.variable_errors(state) == 0)
+
+    def test_duplicated_pairs_flagged(self):
+        p = GolombRulerProblem(4, length=6)
+        state = p.init_state(np.array([0, 1, 2, 4]))
+        errors = p.variable_errors(state)
+        assert errors.max() > 0
+
+
+class TestMarks:
+    def test_sorted_positions(self):
+        p = GolombRulerProblem(4)
+        assert p.marks(np.array([0, 6, 1, 4])) == [0, 1, 4, 6]

@@ -1,0 +1,187 @@
+"""Tests for Langford's problem L(2, n)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProblemError
+from repro.problems.langford import LangfordProblem
+
+
+def config_from_sequence(seq: list[int]) -> np.ndarray:
+    """Build the occurrence->position encoding from a number sequence."""
+    n = max(seq)
+    config = np.zeros(2 * n, dtype=np.int64)
+    seen: dict[int, int] = {}
+    for pos, number in enumerate(seq):
+        occ = seen.get(number, 0)
+        config[2 * (number - 1) + occ] = pos
+        seen[number] = occ + 1
+    return config
+
+
+# the classic L(2,3) solution: 2 3 1 2 1 3
+L23 = config_from_sequence([2, 3, 1, 2, 1, 3])
+# L(2,4) solution: 4 1 3 1 2 4 3 2
+L24 = config_from_sequence([4, 1, 3, 1, 2, 4, 3, 2])
+
+
+class TestCost:
+    def test_known_l23_solution(self):
+        p = LangfordProblem(3)
+        assert p.cost(L23) == 0
+
+    def test_known_l24_solution(self):
+        p = LangfordProblem(4)
+        assert p.cost(L24) == 0
+
+    def test_error_measures_gap_deviation(self):
+        p = LangfordProblem(3)
+        # sequence 1 1 2 2 3 3: gaps all 1; required 2,3,4 -> errors 1,2,3
+        cfg = config_from_sequence([1, 1, 2, 2, 3, 3])
+        assert p.cost(cfg) == 1 + 2 + 3
+
+
+class TestSolvability:
+    @pytest.mark.parametrize("n", [3, 4, 7, 8, 11, 12])
+    def test_solvable_orders_accepted(self, n):
+        assert LangfordProblem(n).order == n
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 6, 9, 10])
+    def test_unsolvable_orders_rejected_by_default(self, n):
+        with pytest.raises(ProblemError, match="no solution"):
+            LangfordProblem(n)
+
+    def test_unsolvable_allowed_when_requested(self):
+        p = LangfordProblem(5, require_solvable=False)
+        assert p.size == 10
+
+
+class TestInstance:
+    def test_size_is_2n(self):
+        assert LangfordProblem(8).size == 16
+
+    def test_same_number_occurrence_swap_is_free(self):
+        p = LangfordProblem(3)
+        state = p.init_state(L23)
+        assert p.swap_delta(state, 0, 1) == 0.0
+
+
+class TestVariableErrors:
+    def test_solution_zero(self):
+        p = LangfordProblem(3)
+        state = p.init_state(L23)
+        assert np.all(p.variable_errors(state) == 0)
+
+    def test_both_occurrences_inherit_error(self):
+        p = LangfordProblem(3)
+        cfg = config_from_sequence([1, 1, 2, 2, 3, 3])
+        state = p.init_state(cfg)
+        errors = p.variable_errors(state)
+        assert errors[0] == errors[1] == 1
+        assert errors[2] == errors[3] == 2
+        assert errors[4] == errors[5] == 3
+
+
+class TestSequence:
+    def test_round_trip(self):
+        p = LangfordProblem(3)
+        assert p.sequence(L23) == [2, 3, 1, 2, 1, 3]
+
+    def test_number_errors_maintained(self, rng):
+        p = LangfordProblem(4)
+        state = p.init_state(p.random_configuration(rng))
+        for _ in range(40):
+            i, j = rng.integers(0, 8, 2)
+            p.apply_swap(state, int(i), int(j))
+        assert np.array_equal(state.number_errors, p._number_errors(state.config))
+
+
+class TestGeneralizedMultiplicity:
+    def test_size_is_s_times_n(self):
+        p = LangfordProblem(9, s=3)
+        assert p.size == 27
+        assert p.multiplicity == 3
+        assert p.order == 9
+
+    def test_name_includes_multiplicity(self):
+        assert LangfordProblem(9, s=3).name == "langford-L(3,9)"
+        assert LangfordProblem(8).name == "langford-8"
+
+    def test_invalid_multiplicity(self):
+        with pytest.raises(ProblemError, match="s >= 2"):
+            LangfordProblem(8, s=1)
+
+    def test_no_solvability_gate_for_higher_s(self):
+        # L(3, 5) has no known solution, but the instance may be built
+        assert LangfordProblem(5, s=3).size == 15
+
+    def test_cost_semantics_for_triples(self):
+        """L(3, 2) sequence 2 _ _ 2 _ _ 2 style gap accounting."""
+        p = LangfordProblem(2, s=3, require_solvable=False)
+        # number 1 at positions 0, 2, 4 (gaps 2,2: required 2 -> error 0)
+        # number 2 at positions 1, 3, 5 (gaps 2,2: required 3 -> error 2)
+        config = np.array([0, 2, 4, 1, 3, 5])
+        assert p.cost(config) == 2
+
+    def test_consecutive_gap_uses_sorted_positions(self):
+        p = LangfordProblem(2, s=3, require_solvable=False)
+        shuffled = np.array([4, 0, 2, 5, 1, 3])  # same sets, different order
+        assert p.cost(shuffled) == 2
+
+    def test_incremental_consistency_s3(self, rng):
+        p = LangfordProblem(4, s=3, require_solvable=False)
+        state = p.init_state(p.random_configuration(rng))
+        for _ in range(40):
+            i, j = rng.integers(0, 12, 2)
+            delta = p.swap_delta(state, int(i), int(j))
+            before = state.cost
+            p.apply_swap(state, int(i), int(j))
+            assert state.cost == pytest.approx(p.cost(state.config))
+            assert state.cost == pytest.approx(before + delta)
+
+    def test_variable_errors_repeat_per_occurrence(self, rng):
+        p = LangfordProblem(3, s=3, require_solvable=False)
+        state = p.init_state(p.random_configuration(rng))
+        errors = p.variable_errors(state)
+        assert errors.shape == (9,)
+        for k in range(3):
+            group = errors[3 * k : 3 * k + 3]
+            assert np.all(group == group[0])
+
+
+class TestKnownTripleSolution:
+    # a valid L(3, 9) sequence (verified by construction):
+    L39_SEQUENCE = [1, 9, 1, 2, 1, 8, 2, 4, 6, 2, 7, 9, 4, 5, 8, 6, 3, 4, 7,
+                    5, 3, 9, 6, 8, 3, 5, 7]
+
+    def config_from(self, seq):
+        n, s = max(seq), 3
+        config = np.zeros(s * n, dtype=np.int64)
+        seen = {}
+        for position, number in enumerate(seq):
+            occ = seen.get(number, 0)
+            config[s * (number - 1) + occ] = position
+            seen[number] = occ + 1
+        return config
+
+    def test_l39_solution_has_zero_cost(self):
+        p = LangfordProblem(9, s=3)
+        config = self.config_from(self.L39_SEQUENCE)
+        assert p.cost(config) == 0
+
+    def test_sequence_round_trip(self):
+        p = LangfordProblem(9, s=3)
+        config = self.config_from(self.L39_SEQUENCE)
+        assert p.sequence(config) == self.L39_SEQUENCE
+
+    def test_solver_repairs_small_damage(self, rng):
+        """From a lightly perturbed L(3,9), the engine restores a solution."""
+        from repro import AdaptiveSearch, AdaptiveSearchConfig
+
+        p = LangfordProblem(9, s=3)
+        config = self.config_from(self.L39_SEQUENCE)
+        config[0], config[5] = config[5], config[0]  # break two numbers
+        result = AdaptiveSearch(
+            AdaptiveSearchConfig(max_iterations=100_000)
+        ).solve(p, seed=4, initial_configuration=config)
+        assert result.solved

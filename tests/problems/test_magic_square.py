@@ -1,0 +1,103 @@
+"""Tests for the Magic Square problem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProblemError
+from repro.problems.magic_square import MagicSquareProblem
+
+# the classic Lo Shu 3x3 magic square
+LO_SHU = np.array([2, 7, 6, 9, 5, 1, 4, 3, 8])
+
+# a 4x4 magic square (Dürer's Melencolia I)
+DURER = np.array([16, 3, 2, 13, 5, 10, 11, 8, 9, 6, 7, 12, 4, 15, 14, 1])
+
+
+class TestCost:
+    def test_lo_shu_is_magic(self):
+        p = MagicSquareProblem(3)
+        assert p.magic_constant == 15
+        assert p.cost(LO_SHU) == 0
+
+    def test_durer_is_magic(self):
+        p = MagicSquareProblem(4)
+        assert p.magic_constant == 34
+        assert p.cost(DURER) == 0
+
+    def test_row_major_identity_is_not_magic(self):
+        p = MagicSquareProblem(3)
+        assert p.cost(np.arange(1, 10)) > 0
+
+    def test_cost_is_sum_of_line_deviations(self):
+        p = MagicSquareProblem(3)
+        # swap two cells of Lo Shu in the same row: that row unchanged? no:
+        # swapping within a row keeps the row sum but breaks two columns
+        cfg = LO_SHU.copy()
+        cfg[0], cfg[1] = cfg[1], cfg[0]  # row 0: 7,2,6 (sum still 15)
+        # columns 0 and 1 each off by 5; cell (0,0) sits on the main
+        # diagonal, which also drifts by 5
+        assert p.cost(cfg) == 15
+
+    def test_magic_constant_formula(self):
+        for n in (3, 4, 5, 10):
+            p = MagicSquareProblem(n)
+            assert p.magic_constant == n * (n * n + 1) // 2
+
+
+class TestInstance:
+    def test_size_is_n_squared(self):
+        assert MagicSquareProblem(5).size == 25
+
+    def test_order_property(self):
+        assert MagicSquareProblem(5).order == 5
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ProblemError, match="n >= 3"):
+            MagicSquareProblem(2)
+
+    def test_value_base_is_one(self):
+        p = MagicSquareProblem(3)
+        config = p.random_configuration(0)
+        assert config.min() == 1 and config.max() == 9
+
+
+class TestVariableErrors:
+    def test_magic_square_has_zero_errors(self):
+        p = MagicSquareProblem(3)
+        state = p.init_state(LO_SHU)
+        assert np.all(p.variable_errors(state) == 0)
+
+    def test_errors_reflect_line_membership(self):
+        p = MagicSquareProblem(3)
+        cfg = LO_SHU.copy()
+        cfg[0], cfg[1] = cfg[1], cfg[0]  # breaks columns 0 and 1
+        state = p.init_state(cfg)
+        errors = p.variable_errors(state)
+        # all six cells in columns 0 and 1 have errors; column 2 cells get
+        # error only through diagonals (which are intact here except center)
+        grid_errors = errors.reshape(3, 3)
+        assert np.all(grid_errors[:, 0] > 0)
+        assert np.all(grid_errors[:, 1] > 0)
+
+
+class TestStateMaintenance:
+    def test_line_sums_after_swaps(self, rng):
+        p = MagicSquareProblem(4)
+        state = p.init_state(p.random_configuration(rng))
+        for _ in range(30):
+            i, j = rng.integers(0, 16, 2)
+            p.apply_swap(state, int(i), int(j))
+        grid = state.config.reshape(4, 4)
+        assert np.array_equal(state.row_sums, grid.sum(axis=1))
+        assert np.array_equal(state.col_sums, grid.sum(axis=0))
+        assert state.diag_sum == np.trace(grid)
+        assert state.anti_sum == np.trace(np.fliplr(grid))
+
+
+class TestRender:
+    def test_render_grid(self):
+        p = MagicSquareProblem(3)
+        text = p.render(LO_SHU)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].split() == ["2", "7", "6"]

@@ -1,0 +1,83 @@
+"""Tests for the Number Partitioning problem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProblemError
+from repro.problems.partition import PartitionProblem
+
+
+class TestInstance:
+    def test_targets(self):
+        p = PartitionProblem(8)
+        assert p.target_sum == 18  # 36 / 2
+        assert p.target_sumsq == 102  # 204 / 2
+
+    @pytest.mark.parametrize("n", [7, 10, 13, 2])
+    def test_invalid_orders_rejected(self, n):
+        with pytest.raises(ProblemError, match="n % 4 == 0|n >= 8"):
+            PartitionProblem(n)
+
+    def test_size(self):
+        assert PartitionProblem(16).size == 16
+
+
+class TestCost:
+    def test_known_solution_n8(self):
+        # {1,4,6,7} and {2,3,5,8}: sums 18/18, sumsq 102/102
+        p = PartitionProblem(8)
+        config = np.array([1, 4, 6, 7, 2, 3, 5, 8])
+        assert p.cost(config) == 0
+
+    def test_cost_combines_sum_and_sumsq_imbalance(self):
+        p = PartitionProblem(8)
+        config = np.array([1, 2, 3, 4, 5, 6, 7, 8])
+        # sumA=10 -> |2*10-36| = 16 ; sumsqA=30 -> |60 - 204| = 144
+        assert p.cost(config) == 160
+
+    def test_within_half_order_is_irrelevant(self):
+        p = PartitionProblem(8)
+        a = np.array([1, 4, 6, 7, 2, 3, 5, 8])
+        b = np.array([7, 6, 4, 1, 8, 5, 3, 2])
+        assert p.cost(a) == p.cost(b)
+
+
+class TestPartitionSets:
+    def test_sets_returned_sorted(self):
+        p = PartitionProblem(8)
+        a, b = p.partition_sets(np.array([7, 1, 6, 4, 8, 2, 5, 3]))
+        assert a == [1, 4, 6, 7]
+        assert b == [2, 3, 5, 8]
+
+
+class TestIncremental:
+    def test_cross_half_swap_updates_sums(self, rng):
+        p = PartitionProblem(12)
+        state = p.init_state(p.random_configuration(rng))
+        for _ in range(40):
+            i, j = rng.integers(0, 12, 2)
+            p.apply_swap(state, int(i), int(j))
+        a = state.config[:6]
+        assert state.sum_a == a.sum()
+        assert state.sumsq_a == (a * a).sum()
+
+    def test_same_half_swap_zero_delta(self, rng):
+        p = PartitionProblem(8)
+        state = p.init_state(p.random_configuration(rng))
+        assert p.swap_delta(state, 0, 3) == 0.0
+        assert p.swap_delta(state, 4, 7) == 0.0
+
+
+class TestVariableErrors:
+    def test_zero_on_solution(self):
+        p = PartitionProblem(8)
+        state = p.init_state(np.array([1, 4, 6, 7, 2, 3, 5, 8]))
+        assert np.all(p.variable_errors(state) == 0)
+
+    def test_nonzero_when_imbalanced(self, rng):
+        p = PartitionProblem(8)
+        state = p.init_state(np.array([5, 6, 7, 8, 1, 2, 3, 4]))
+        errors = p.variable_errors(state)
+        assert errors.max() > 0
+        # heavy side (first half) carries value-weighted errors
+        assert errors[:4].max() == 8

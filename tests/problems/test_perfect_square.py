@@ -1,0 +1,132 @@
+"""Tests for the Perfect Square placement problem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProblemError
+from repro.problems.perfect_square import (
+    PerfectSquareProblem,
+    SquarePackingInstance,
+)
+
+
+class TestInstanceValidation:
+    def test_classic21_is_valid(self):
+        inst = SquarePackingInstance.classic21()
+        assert inst.width == inst.height == 112
+        assert len(inst.sizes) == 21
+
+    def test_moron_is_valid(self):
+        inst = SquarePackingInstance.moron()
+        assert (inst.width, inst.height) == (33, 32)
+        assert len(inst.sizes) == 9
+
+    def test_grid_instances(self):
+        inst = SquarePackingInstance.grid(3, 2)
+        assert inst.width == inst.height == 6
+        assert inst.sizes == (2,) * 9
+
+    def test_area_mismatch_rejected(self):
+        with pytest.raises(ProblemError, match="exact packing impossible"):
+            SquarePackingInstance(10, 10, (5, 5))
+
+    def test_oversized_square_rejected(self):
+        with pytest.raises(ProblemError, match="cannot fit"):
+            SquarePackingInstance(4, 9, (6,) + (0,) * 0)
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ProblemError, match="at least one"):
+            SquarePackingInstance(4, 4, ())
+
+    def test_nonpositive_master_rejected(self):
+        with pytest.raises(ProblemError, match="positive"):
+            SquarePackingInstance(0, 4, (2,))
+
+
+class TestProblemConstruction:
+    def test_default_is_moron(self):
+        p = PerfectSquareProblem()
+        assert p.instance.name == "moron"
+        assert p.size == 9
+
+    def test_named_instances(self):
+        assert PerfectSquareProblem("classic21").size == 21
+        assert PerfectSquareProblem("moron").size == 9
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ProblemError, match="unknown named instance"):
+            PerfectSquareProblem("nope")
+
+
+class TestDecoder:
+    def test_grid_instance_any_order_is_perfect(self, rng):
+        p = PerfectSquareProblem(SquarePackingInstance.grid(3, 2))
+        for _ in range(10):
+            assert p.cost(rng.permutation(9)) == 0
+
+    def test_moron_solution_order_exists(self):
+        """Feeding squares sorted by (y, x) of the known tiling solves it."""
+        p = PerfectSquareProblem()
+        # Moron 33x32 tiling, squares with bottom-left (x, y):
+        # 18@(0,0) 15@(18,0) 14@(0,18) 4@(14,18) 10@(23,15) 7@(14,22)
+        # 1@(14,21)... use local search instead: verified separately; here we
+        # simply assert at least one zero-cost permutation exists among many
+        # random ones after short descent (smoke-level reachability).
+        from repro import AdaptiveSearch, AdaptiveSearchConfig
+
+        cfg = AdaptiveSearchConfig(max_iterations=30000)
+        result = AdaptiveSearch(cfg).solve(p, seed=2)
+        assert result.solved
+        assert p.cost(result.config) == 0
+
+    def test_cost_zero_certifies_exact_packing(self):
+        """Zero cost means every cell covered exactly once (area argument)."""
+        p = PerfectSquareProblem(SquarePackingInstance.grid(2, 3))
+        decode = p.decode(np.arange(4))
+        assert decode.cost == 0
+        xs = sorted((pl.x, pl.y) for pl in decode.placements)
+        assert xs == [(0, 0), (0, 3), (3, 0), (3, 3)]
+
+    def test_decode_reports_waste_and_overflow(self):
+        # 1x1 squares cannot mispack; use moron with a bad order
+        p = PerfectSquareProblem()
+        decode = p.decode(np.arange(9))  # sizes descending 18,15,14,...
+        assert decode.cost == decode.waste + decode.overflow
+        assert decode.cost > 0
+
+    def test_placements_cover_total_area_or_overflow(self):
+        p = PerfectSquareProblem()
+        decode = p.decode(np.arange(9))
+        placed_area = sum(pl.size * pl.size for pl in decode.placements)
+        assert placed_area == 33 * 32
+
+    def test_decode_deterministic(self):
+        p = PerfectSquareProblem()
+        c = np.array([8, 7, 6, 5, 4, 3, 2, 1, 0])
+        assert p.decode(c).cost == p.decode(c).cost
+
+
+class TestStateProtocol:
+    def test_apply_swap_redecodes(self, rng):
+        p = PerfectSquareProblem()
+        state = p.init_state(p.random_configuration(rng))
+        before = state.cost
+        p.apply_swap(state, 0, 8)
+        assert state.cost == p.cost(state.config)
+
+    def test_variable_errors_follow_per_square_charges(self, rng):
+        p = PerfectSquareProblem()
+        state = p.init_state(p.random_configuration(rng))
+        errors = p.variable_errors(state)
+        assert errors.shape == (9,)
+        assert errors.sum() == pytest.approx(state.cost)
+
+
+class TestRender:
+    def test_render_dimensions(self):
+        p = PerfectSquareProblem(SquarePackingInstance.grid(2, 2))
+        text = p.render(np.arange(4))
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == 4 for line in lines)
+        assert "." not in text  # perfect packing covers everything

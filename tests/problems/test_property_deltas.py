@@ -1,0 +1,169 @@
+"""Cross-problem property tests: incremental protocol ≡ reference semantics.
+
+Every problem's incremental machinery (cached state, swap deltas, in-place
+swap application) must agree exactly with stateless full re-evaluation.
+These invariants are what make the solver's O(n)-per-iteration loop sound.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.problems import (
+    AllIntervalProblem,
+    AlphaProblem,
+    CostasProblem,
+    LangfordProblem,
+    MagicSquareProblem,
+    PartitionProblem,
+    PerfectSquareProblem,
+    QueensProblem,
+)
+
+PROBLEMS = [
+    pytest.param(CostasProblem(8), id="costas-8"),
+    pytest.param(MagicSquareProblem(4), id="magic_square-4"),
+    pytest.param(AllIntervalProblem(9), id="all_interval-9"),
+    pytest.param(PerfectSquareProblem(), id="perfect_square-moron"),
+    pytest.param(QueensProblem(9), id="queens-9"),
+    pytest.param(AlphaProblem(), id="alpha"),
+    pytest.param(LangfordProblem(7), id="langford-7"),
+    pytest.param(PartitionProblem(12), id="partition-12"),
+]
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+prop_settings = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@pytest.mark.parametrize("problem", PROBLEMS)
+class TestIncrementalInvariants:
+    @given(seed=seeds)
+    @prop_settings
+    def test_init_state_cost_matches_reference(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        config = problem.random_configuration(rng)
+        state = problem.init_state(config)
+        assert state.cost == problem.cost(config)
+
+    @given(seed=seeds)
+    @prop_settings
+    def test_swap_delta_matches_recomputation(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        state = problem.init_state(problem.random_configuration(rng))
+        n = problem.size
+        for _ in range(6):
+            i, j = int(rng.integers(0, n)), int(rng.integers(0, n))
+            delta = problem.swap_delta(state, i, j)
+            cfg = state.config.copy()
+            cfg[i], cfg[j] = cfg[j], cfg[i]
+            assert delta == pytest.approx(problem.cost(cfg) - state.cost)
+
+    @given(seed=seeds)
+    @prop_settings
+    def test_swap_delta_probe_does_not_mutate(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        state = problem.init_state(problem.random_configuration(rng))
+        before_cfg = state.config.copy()
+        before_cost = state.cost
+        n = problem.size
+        for _ in range(4):
+            i, j = int(rng.integers(0, n)), int(rng.integers(0, n))
+            problem.swap_delta(state, i, j)
+        assert np.array_equal(state.config, before_cfg)
+        assert state.cost == before_cost
+        # caches intact: fresh deltas still agree with recomputation
+        i, j = 0, n - 1
+        delta = problem.swap_delta(state, i, j)
+        cfg = state.config.copy()
+        cfg[i], cfg[j] = cfg[j], cfg[i]
+        assert delta == pytest.approx(problem.cost(cfg) - before_cost)
+
+    @given(seed=seeds)
+    @prop_settings
+    def test_apply_swap_walk_stays_consistent(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        state = problem.init_state(problem.random_configuration(rng))
+        n = problem.size
+        for _ in range(10):
+            i, j = int(rng.integers(0, n)), int(rng.integers(0, n))
+            problem.apply_swap(state, i, j)
+            assert state.cost == pytest.approx(problem.cost(state.config))
+
+    @given(seed=seeds)
+    @prop_settings
+    def test_swap_deltas_vector_matches_pointwise(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        state = problem.init_state(problem.random_configuration(rng))
+        i = int(rng.integers(0, problem.size))
+        deltas = problem.swap_deltas(state, i)
+        assert deltas.shape == (problem.size,)
+        assert deltas[i] == 0.0
+        for j in range(problem.size):
+            if j != i:
+                assert deltas[j] == pytest.approx(problem.swap_delta(state, i, j))
+
+    @given(seed=seeds)
+    @prop_settings
+    def test_variable_errors_shape_and_sign(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        state = problem.init_state(problem.random_configuration(rng))
+        errors = problem.variable_errors(state)
+        assert errors.shape == (problem.size,)
+        assert np.all(errors >= 0)
+
+    @given(seed=seeds)
+    @prop_settings
+    def test_zero_cost_iff_zero_errors(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        state = problem.init_state(problem.random_configuration(rng))
+        errors = problem.variable_errors(state)
+        if state.cost == 0:
+            assert np.all(errors == 0)
+        else:
+            assert errors.max() > 0
+
+    @given(seed=seeds)
+    @prop_settings
+    def test_partial_reset_keeps_state_valid(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        state = problem.init_state(problem.random_configuration(rng))
+        problem.partial_reset(state, 0.4, rng)
+        problem.check_configuration(state.config)
+        assert state.cost == pytest.approx(problem.cost(state.config))
+        # deltas still consistent after a reset resyncs the caches
+        delta = problem.swap_delta(state, 0, problem.size - 1)
+        cfg = state.config.copy()
+        cfg[0], cfg[-1] = cfg[-1], cfg[0]
+        assert delta == pytest.approx(problem.cost(cfg) - state.cost)
+
+
+@pytest.mark.parametrize("problem", PROBLEMS)
+class TestConfigurationBasics:
+    def test_random_configuration_is_valid(self, problem):
+        config = problem.random_configuration(5)
+        problem.check_configuration(config)
+
+    def test_random_configuration_deterministic(self, problem):
+        a = problem.random_configuration(17)
+        b = problem.random_configuration(17)
+        assert np.array_equal(a, b)
+
+    def test_wrong_shape_rejected(self, problem):
+        from repro.errors import ProblemError
+
+        with pytest.raises(ProblemError):
+            problem.check_configuration(np.arange(problem.size + 1))
+
+    def test_name_and_spec(self, problem):
+        assert problem.name
+        spec = problem.spec()
+        assert spec["family"] == problem.family
+
+    def test_default_solver_parameters_are_known_fields(self, problem):
+        from repro.core.config import AdaptiveSearchConfig
+
+        # merged_with validates key names
+        AdaptiveSearchConfig().merged_with(problem.default_solver_parameters())

@@ -1,0 +1,77 @@
+"""Tests for the N-Queens problem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProblemError
+from repro.problems.queens import QueensProblem
+
+# a solution for n=8
+QUEENS_8 = np.array([2, 4, 6, 0, 3, 1, 7, 5])
+
+
+def brute_force_attacks(perm: np.ndarray) -> int:
+    n = len(perm)
+    pairs = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if abs(perm[i] - perm[j]) == j - i:
+                pairs += 1
+    return pairs
+
+
+class TestCost:
+    def test_known_solution(self):
+        p = QueensProblem(8)
+        assert p.cost(QUEENS_8) == 0
+
+    def test_identity_is_fully_attacked(self):
+        p = QueensProblem(5)
+        # identity: all on main diagonal -> diag count 5 -> cost 4
+        assert p.cost(np.arange(5)) == 4
+
+    def test_zero_cost_iff_no_attacks(self, rng):
+        p = QueensProblem(7)
+        for _ in range(60):
+            perm = rng.permutation(7)
+            assert (p.cost(perm) == 0) == (brute_force_attacks(perm) == 0)
+
+    def test_attacked_pairs_matches_brute_force(self, rng):
+        p = QueensProblem(8)
+        for _ in range(40):
+            perm = rng.permutation(8)
+            assert p.attacked_pairs(perm) == brute_force_attacks(perm)
+
+
+class TestInstance:
+    def test_too_small(self):
+        with pytest.raises(ProblemError, match="n >= 4"):
+            QueensProblem(3)
+
+    def test_size(self):
+        assert QueensProblem(50).size == 50
+
+
+class TestVariableErrors:
+    def test_solution_zero(self):
+        p = QueensProblem(8)
+        state = p.init_state(QUEENS_8)
+        assert np.all(p.variable_errors(state) == 0)
+
+    def test_diagonal_queens_all_flagged(self):
+        p = QueensProblem(5)
+        state = p.init_state(np.arange(5))
+        errors = p.variable_errors(state)
+        assert np.all(errors > 0)
+
+
+class TestDiagonalCounts:
+    def test_counts_maintained_across_walk(self, rng):
+        p = QueensProblem(12)
+        state = p.init_state(p.random_configuration(rng))
+        for _ in range(50):
+            i, j = rng.integers(0, 12, 2)
+            p.apply_swap(state, int(i), int(j))
+        diag, anti = p._tables(state.config)
+        assert np.array_equal(state.diag_counts, diag)
+        assert np.array_equal(state.anti_counts, anti)

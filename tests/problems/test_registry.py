@@ -1,0 +1,59 @@
+"""Tests for the problem registry."""
+
+import pytest
+
+from repro.errors import ProblemError
+from repro.problems import available_problems, make_problem
+from repro.problems.registry import register_problem
+
+
+class TestMakeProblem:
+    def test_all_families_registered(self):
+        families = available_problems()
+        for expected in (
+            "costas",
+            "magic_square",
+            "all_interval",
+            "perfect_square",
+            "queens",
+            "alpha",
+            "langford",
+            "partition",
+        ):
+            assert expected in families
+
+    def test_make_with_params(self):
+        p = make_problem("costas", n=9)
+        assert p.size == 9
+
+    def test_make_default_params(self):
+        assert make_problem("alpha").size == 26
+
+    def test_unknown_family(self):
+        with pytest.raises(ProblemError, match="unknown problem family"):
+            make_problem("sudoku")
+
+    def test_unknown_family_lists_known(self):
+        with pytest.raises(ProblemError, match="costas"):
+            make_problem("nope")
+
+    def test_bad_params_propagate(self):
+        with pytest.raises(TypeError):
+            make_problem("costas", bogus=True)
+
+
+class TestRegisterProblem:
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ProblemError, match="already registered"):
+
+            @register_problem("costas")
+            class Dup:  # pragma: no cover - never instantiated
+                pass
+
+    def test_new_registration_roundtrip(self):
+        @register_problem("test_only_family")
+        def factory(n=3):
+            return make_problem("queens", n=max(4, n))
+
+        p = make_problem("test_only_family", n=6)
+        assert p.size == 6

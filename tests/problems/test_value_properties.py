@@ -1,0 +1,111 @@
+"""Cross-problem property tests for the value-move protocol.
+
+Mirror of ``test_property_deltas`` for :class:`ValueProblem`
+implementations: incremental machinery ≡ stateless re-evaluation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.csp.constraints import AllDifferent, LinearConstraint
+from repro.csp.domain import IntegerDomain
+from repro.csp.model import Model
+from repro.problems.golomb import GolombRulerProblem
+from repro.problems.value_base import ValueModelProblem
+
+
+def model_problem() -> ValueModelProblem:
+    model = Model("prop")
+    x = model.add_array("x", 4, IntegerDomain(0, 6))
+    model.add_constraint(AllDifferent(x.indices().tolist()))
+    model.add_constraint(LinearConstraint([0, 1, 2, 3], [1, 1, 1, 1], "==", 12))
+    return ValueModelProblem(model)
+
+
+VALUE_PROBLEMS = [
+    pytest.param(GolombRulerProblem(5), id="golomb-5"),
+    pytest.param(GolombRulerProblem(6, length=20), id="golomb-6x20"),
+    pytest.param(model_problem(), id="value-model"),
+]
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+prop_settings = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@pytest.mark.parametrize("problem", VALUE_PROBLEMS)
+class TestValueProtocolInvariants:
+    @given(seed=seeds)
+    @prop_settings
+    def test_init_state_cost_matches_reference(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        config = problem.random_configuration(rng)
+        state = problem.init_state(config)
+        assert state.cost == problem.cost(config)
+
+    @given(seed=seeds)
+    @prop_settings
+    def test_value_deltas_match_recomputation(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        state = problem.init_state(problem.random_configuration(rng))
+        for _ in range(4):
+            var = int(rng.integers(0, problem.size))
+            values = problem.domain_values(var)
+            deltas = problem.value_deltas(state, var)
+            assert deltas.shape == (len(values),)
+            k = int(rng.integers(0, len(values)))
+            cfg = state.config.copy()
+            cfg[var] = values[k]
+            assert deltas[k] == pytest.approx(problem.cost(cfg) - state.cost)
+
+    @given(seed=seeds)
+    @prop_settings
+    def test_current_value_delta_is_zero(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        state = problem.init_state(problem.random_configuration(rng))
+        var = int(rng.integers(0, problem.size))
+        values = problem.domain_values(var)
+        deltas = problem.value_deltas(state, var)
+        current_idx = int(np.flatnonzero(values == state.config[var])[0])
+        assert deltas[current_idx] == 0.0
+
+    @given(seed=seeds)
+    @prop_settings
+    def test_apply_assign_walk_stays_consistent(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        state = problem.init_state(problem.random_configuration(rng))
+        for _ in range(8):
+            var = int(rng.integers(0, problem.size))
+            values = problem.domain_values(var)
+            value = int(values[rng.integers(0, len(values))])
+            problem.apply_assign(state, var, value)
+            assert state.cost == pytest.approx(problem.cost(state.config))
+
+    @given(seed=seeds)
+    @prop_settings
+    def test_variable_errors_sign_and_zero_iff(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        state = problem.init_state(problem.random_configuration(rng))
+        errors = problem.variable_errors(state)
+        assert errors.shape == (problem.size,)
+        assert np.all(errors >= 0)
+        if state.cost == 0:
+            assert np.all(errors == 0)
+        else:
+            assert errors.max() > 0
+
+    @given(seed=seeds)
+    @prop_settings
+    def test_partial_reset_stays_valid(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        state = problem.init_state(problem.random_configuration(rng))
+        problem.partial_reset(state, 0.5, rng)
+        problem.check_configuration(state.config)
+        assert state.cost == pytest.approx(problem.cost(state.config))
+
+    def test_random_configuration_valid(self, problem):
+        config = problem.random_configuration(3)
+        problem.check_configuration(config)

@@ -1,0 +1,58 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.stats.bootstrap import bootstrap_ci
+
+
+class TestBootstrapCI:
+    def test_point_estimate_is_statistic_of_sample(self):
+        point, lo, hi = bootstrap_ci([1.0, 2.0, 3.0], np.mean, rng=0)
+        assert point == pytest.approx(2.0)
+        assert lo <= point <= hi
+
+    def test_interval_narrows_with_sample_size(self):
+        rng = np.random.default_rng(1)
+        small = rng.normal(10, 2, 20)
+        large = rng.normal(10, 2, 2000)
+        _, lo_s, hi_s = bootstrap_ci(small, np.mean, n_boot=500, rng=2)
+        _, lo_l, hi_l = bootstrap_ci(large, np.mean, n_boot=500, rng=2)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_coverage_roughly_nominal(self):
+        rng = np.random.default_rng(3)
+        hits = 0
+        trials = 60
+        for _ in range(trials):
+            sample = rng.exponential(5.0, 60)
+            _, lo, hi = bootstrap_ci(sample, np.mean, n_boot=300, rng=rng)
+            if lo <= 5.0 <= hi:
+                hits += 1
+        assert hits >= trials * 0.8  # 95% nominal, loose check
+
+    def test_custom_statistic(self):
+        point, lo, hi = bootstrap_ci([1.0, 9.0], np.median, n_boot=200, rng=4)
+        assert lo <= point <= hi
+
+    def test_deterministic_given_seed(self):
+        sample = [1.0, 2.0, 5.0, 9.0]
+        a = bootstrap_ci(sample, np.mean, rng=7)
+        b = bootstrap_ci(sample, np.mean, rng=7)
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"n_boot": 0}, "n_boot"),
+            ({"alpha": 0.0}, "alpha"),
+            ({"alpha": 1.0}, "alpha"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            bootstrap_ci([1.0, 2.0], np.mean, **kwargs)
+
+    def test_empty_sample(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            bootstrap_ci([], np.mean)

@@ -1,0 +1,79 @@
+"""Tests for solver-comparison statistics."""
+
+import numpy as np
+import pytest
+
+from repro.stats.comparison import compare_runtimes, paired_win_rate
+
+
+class TestCompareRuntimes:
+    def test_clear_separation_detected(self):
+        rng = np.random.default_rng(0)
+        fast = rng.exponential(1.0, 80)
+        slow = rng.exponential(10.0, 80)
+        result = compare_runtimes(fast, slow, rng=1)
+        assert result.significant
+        assert result.median_ratio < 0.5
+        assert result.ratio_ci_high < 1.0
+        assert "beats" in result.verdict("fast", "slow")
+        assert result.verdict("fast", "slow").startswith("fast")
+
+    def test_identical_distributions_tie(self):
+        rng = np.random.default_rng(2)
+        a = rng.exponential(5.0, 60)
+        b = rng.exponential(5.0, 60)
+        result = compare_runtimes(a, b, rng=3)
+        assert not result.significant
+        assert "tie" in result.verdict()
+        assert result.ratio_ci_low < 1.0 < result.ratio_ci_high
+
+    def test_ci_brackets_point_estimate(self):
+        rng = np.random.default_rng(4)
+        a = rng.exponential(2.0, 50)
+        b = rng.exponential(3.0, 50)
+        result = compare_runtimes(a, b, rng=5)
+        assert result.ratio_ci_low <= result.median_ratio <= result.ratio_ci_high
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(6)
+        a, b = rng.exponential(1, 30), rng.exponential(1, 30)
+        r1 = compare_runtimes(a, b, rng=7)
+        r2 = compare_runtimes(a, b, rng=7)
+        assert r1 == r2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            compare_runtimes([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            compare_runtimes([1.0, -1.0], [1.0, 2.0])
+
+    def test_sample_sizes_recorded(self):
+        result = compare_runtimes([1.0, 2.0, 3.0], [4.0, 5.0], rng=0)
+        assert result.n_a == 3 and result.n_b == 2
+
+    def test_winner_direction_b_faster(self):
+        rng = np.random.default_rng(8)
+        a = rng.exponential(10.0, 80)
+        b = rng.exponential(1.0, 80)
+        result = compare_runtimes(a, b, rng=9)
+        verdict = result.verdict("indep", "coop")
+        assert verdict.startswith("coop beats indep")
+
+
+class TestPairedWinRate:
+    def test_all_wins(self):
+        rate, wins, losses, ties = paired_win_rate([1, 1, 1], [2, 2, 2])
+        assert rate == 1.0 and wins == 3 and losses == 0 and ties == 0
+
+    def test_ties_count_half(self):
+        rate, wins, losses, ties = paired_win_rate([1, 2], [1, 3])
+        assert ties == 1 and wins == 1
+        assert rate == pytest.approx(0.75)
+
+    def test_balanced(self):
+        rate, *_ = paired_win_rate([1, 3], [2, 2])
+        assert rate == pytest.approx(0.5)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            paired_win_rate([1, 2], [1, 2, 3])

@@ -1,0 +1,103 @@
+"""Tests for the ECDF."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.ecdf import ECDF
+
+finite_samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=80,
+)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ECDF([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            ECDF([1.0, float("nan")])
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(ValueError):
+            ECDF(np.zeros((2, 2)))
+
+
+class TestEvaluation:
+    def test_step_values(self):
+        ecdf = ECDF([1.0, 2.0, 3.0, 4.0])
+        assert ecdf(0.5) == 0.0
+        assert ecdf(1.0) == 0.25
+        assert ecdf(2.5) == 0.5
+        assert ecdf(4.0) == 1.0
+        assert ecdf(99.0) == 1.0
+
+    def test_vectorized(self):
+        ecdf = ECDF([1.0, 2.0])
+        out = ecdf(np.array([0.0, 1.5, 3.0]))
+        assert out.tolist() == [0.0, 0.5, 1.0]
+
+    def test_survival_complement(self):
+        ecdf = ECDF([1.0, 2.0, 3.0])
+        assert ecdf.survival(1.5) == pytest.approx(1 - ecdf(1.5))
+
+    def test_duplicates_handled(self):
+        ecdf = ECDF([2.0, 2.0, 2.0, 5.0])
+        assert ecdf(2.0) == 0.75
+
+
+class TestQuantiles:
+    def test_median_of_odd_sample(self):
+        assert ECDF([3.0, 1.0, 2.0]).quantile(0.5) == 2.0
+
+    def test_extremes(self):
+        ecdf = ECDF([10.0, 20.0, 30.0])
+        assert ecdf.quantile(0.0) == 10.0
+        assert ecdf.quantile(1.0) == 30.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="quantiles"):
+            ECDF([1.0]).quantile(1.5)
+
+    def test_vectorized_quantiles(self):
+        ecdf = ECDF(list(range(1, 11)))
+        out = ecdf.quantile(np.array([0.1, 0.5, 1.0]))
+        assert out.tolist() == [1.0, 5.0, 10.0]
+
+
+class TestSummaries:
+    def test_basic_stats(self):
+        ecdf = ECDF([4.0, 1.0, 7.0])
+        assert ecdf.mean == pytest.approx(4.0)
+        assert ecdf.median == 4.0
+        assert ecdf.min == 1.0
+        assert ecdf.max == 7.0
+        assert len(ecdf) == 3
+
+    def test_std_single_sample(self):
+        assert ECDF([5.0]).std() == 0.0
+
+
+class TestProperties:
+    @given(finite_samples)
+    def test_monotone_non_decreasing(self, samples):
+        ecdf = ECDF(samples)
+        xs = np.linspace(min(samples) - 1, max(samples) + 1, 25)
+        vals = ecdf(xs)
+        assert np.all(np.diff(vals) >= 0)
+
+    @given(finite_samples)
+    def test_range_zero_one(self, samples):
+        ecdf = ECDF(samples)
+        assert ecdf(min(samples) - 1) == 0.0
+        assert ecdf(max(samples)) == 1.0
+
+    @given(finite_samples, st.floats(min_value=0, max_value=1))
+    def test_quantile_cdf_galois(self, samples, q):
+        ecdf = ECDF(samples)
+        assert ecdf(ecdf.quantile(q)) >= q - 1e-12

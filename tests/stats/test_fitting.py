@@ -1,0 +1,116 @@
+"""Tests for parametric runtime-distribution fits."""
+
+import numpy as np
+import pytest
+
+from repro.stats.fitting import (
+    best_fit,
+    fit_exponential,
+    fit_lognormal,
+    fit_shifted_exponential,
+)
+
+
+@pytest.fixture
+def exp_samples():
+    return np.random.default_rng(0).exponential(5.0, 800)
+
+
+@pytest.fixture
+def shifted_samples():
+    rng = np.random.default_rng(1)
+    return 3.0 + rng.exponential(4.0, 800)
+
+
+@pytest.fixture
+def lognormal_samples():
+    rng = np.random.default_rng(2)
+    return rng.lognormal(mean=1.0, sigma=0.5, size=800)
+
+
+class TestValidation:
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            fit_exponential([1.0])
+
+    def test_negative_samples(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            fit_exponential([1.0, -1.0])
+
+    def test_lognormal_needs_positive(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            fit_lognormal([0.0, 1.0])
+
+    def test_all_zero_exponential(self):
+        with pytest.raises(ValueError, match="all-zero"):
+            fit_exponential([0.0, 0.0])
+
+
+class TestExponentialFit:
+    def test_recovers_mean(self, exp_samples):
+        fit = fit_exponential(exp_samples)
+        assert fit.mean == pytest.approx(exp_samples.mean())
+        assert fit.name == "exponential"
+
+    def test_good_ks_on_true_family(self, exp_samples):
+        fit = fit_exponential(exp_samples)
+        assert fit.ks_pvalue > 0.01
+
+    def test_survival_at_zero(self, exp_samples):
+        fit = fit_exponential(exp_samples)
+        assert fit.survival(0.0) == pytest.approx(1.0)
+
+    def test_sampling_matches_mean(self, exp_samples, rng):
+        fit = fit_exponential(exp_samples)
+        draws = fit.sample(4000, rng)
+        assert draws.mean() == pytest.approx(fit.mean, rel=0.1)
+
+
+class TestShiftedExponentialFit:
+    def test_recovers_location(self, shifted_samples):
+        fit = fit_shifted_exponential(shifted_samples)
+        loc, scale = fit.params
+        assert loc == pytest.approx(3.0, abs=0.3)
+        assert scale == pytest.approx(4.0, rel=0.25)
+
+    def test_constant_samples_degenerate(self):
+        fit = fit_shifted_exponential([5.0, 5.0, 5.0])
+        assert fit.mean == pytest.approx(5.0, rel=1e-6)
+
+    def test_beats_plain_exponential_on_shifted_data(self, shifted_samples):
+        shifted = fit_shifted_exponential(shifted_samples)
+        plain = fit_exponential(shifted_samples)
+        assert shifted.ks_statistic < plain.ks_statistic
+
+
+class TestLognormalFit:
+    def test_recovers_parameters(self, lognormal_samples):
+        fit = fit_lognormal(lognormal_samples)
+        shape, loc, scale = fit.params
+        assert loc == 0.0
+        assert shape == pytest.approx(0.5, rel=0.15)
+        assert np.log(scale) == pytest.approx(1.0, rel=0.15)
+
+    def test_ks_reasonable(self, lognormal_samples):
+        assert fit_lognormal(lognormal_samples).ks_pvalue > 0.01
+
+
+class TestBestFit:
+    def test_selects_true_family_exponential(self, exp_samples):
+        assert best_fit(exp_samples).name in ("exponential", "shifted_exponential")
+
+    def test_selects_lognormal_for_lognormal(self, lognormal_samples):
+        assert best_fit(lognormal_samples).name == "lognormal"
+
+    def test_unknown_candidate_rejected(self, exp_samples):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            best_fit(exp_samples, candidates=("weibull",))
+
+    def test_skips_failing_candidates(self):
+        samples = np.array([0.0, 1.0, 2.0, 3.0] * 10, dtype=float)
+        fit = best_fit(samples)  # lognormal fails (zero), others fine
+        assert fit.name in ("exponential", "shifted_exponential")
+
+    def test_summary_text(self, exp_samples):
+        text = best_fit(exp_samples).summary()
+        assert "mean=" in text and "KS=" in text

@@ -1,0 +1,119 @@
+"""Tests for expected-minimum order statistics and predicted speedups."""
+
+import numpy as np
+import pytest
+
+from repro.stats.fitting import (
+    fit_exponential,
+    fit_lognormal,
+    fit_shifted_exponential,
+)
+from repro.stats.order_stats import (
+    empirical_expected_min,
+    expected_min,
+    predicted_speedup,
+)
+
+
+@pytest.fixture
+def exp_fit():
+    return fit_exponential(np.random.default_rng(0).exponential(10.0, 500))
+
+
+class TestExpectedMinClosedForms:
+    def test_exponential_memoryless(self, exp_fit):
+        """E[min of k] = mean / k — the linear-speedup identity."""
+        for k in (1, 2, 16, 256):
+            assert expected_min(exp_fit, k) == pytest.approx(exp_fit.mean / k)
+
+    def test_shifted_exponential_floor(self):
+        samples = 5.0 + np.random.default_rng(1).exponential(10.0, 500)
+        fit = fit_shifted_exponential(samples)
+        loc, scale = fit.params
+        assert expected_min(fit, 1) == pytest.approx(loc + scale)
+        # saturates at the location as k grows
+        assert expected_min(fit, 10**6) == pytest.approx(loc, rel=1e-3)
+
+    def test_invalid_k(self, exp_fit):
+        with pytest.raises(ValueError, match="k must be"):
+            expected_min(exp_fit, 0)
+
+
+class TestExpectedMinNumeric:
+    def test_lognormal_matches_monte_carlo(self):
+        rng = np.random.default_rng(2)
+        samples = rng.lognormal(2.0, 0.7, 1000)
+        fit = fit_lognormal(samples)
+        for k in (1, 8, 64):
+            numeric = expected_min(fit, k)
+            mc = fit.frozen.rvs(size=(4000, k), random_state=rng).min(axis=1).mean()
+            assert numeric == pytest.approx(mc, rel=0.05)
+
+    def test_k1_equals_mean(self):
+        samples = np.random.default_rng(3).lognormal(1.0, 0.4, 500)
+        fit = fit_lognormal(samples)
+        assert expected_min(fit, 1) == pytest.approx(fit.mean, rel=1e-3)
+
+
+class TestEmpiricalExpectedMin:
+    def test_k1_recovers_mean(self):
+        samples = np.array([2.0, 4.0, 6.0])
+        est = empirical_expected_min(samples, 1, n_reps=20000, rng=1)
+        assert est == pytest.approx(4.0, rel=0.05)
+
+    def test_monotone_in_k(self):
+        samples = np.random.default_rng(4).exponential(10, 200)
+        estimates = [
+            empirical_expected_min(samples, k, n_reps=3000, rng=5)
+            for k in (1, 2, 8, 32)
+        ]
+        assert all(a > b for a, b in zip(estimates, estimates[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must be"):
+            empirical_expected_min([1.0], 0)
+        with pytest.raises(ValueError, match="non-empty"):
+            empirical_expected_min([], 2)
+        with pytest.raises(ValueError, match="n_reps"):
+            empirical_expected_min([1.0], 1, n_reps=0)
+
+
+class TestPredictedSpeedup:
+    def test_exponential_predicts_linear(self, exp_fit):
+        speedups = predicted_speedup(exp_fit, [16, 64, 256])
+        for k in (16, 64, 256):
+            assert speedups[k] == pytest.approx(k, rel=1e-6)
+
+    def test_shifted_exponential_saturates(self):
+        samples = 5.0 + np.random.default_rng(6).exponential(10.0, 500)
+        fit = fit_shifted_exponential(samples)
+        speedups = predicted_speedup(fit, [4, 64, 4096])
+        loc, scale = fit.params
+        ceiling = (loc + scale) / loc
+        assert speedups[4] < speedups[64] < speedups[4096] < ceiling * 1.01
+        assert speedups[4096] == pytest.approx(ceiling, rel=0.05)
+
+
+class TestNumericalRobustness:
+    def test_tiny_scale_lognormal(self):
+        """Regression: quantile-space integration must not lose the mass
+        when the distribution is narrow (mean ~ 1e-3)."""
+        from repro.stats.fitting import fit_lognormal
+
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(np.log(2e-3), 1.0, 400)
+        fit = fit_lognormal(samples)
+        for k in (1, 16, 256):
+            numeric = expected_min(fit, k)
+            mc = fit.frozen.rvs(size=(5000, k), random_state=rng).min(axis=1).mean()
+            assert numeric == pytest.approx(mc, rel=0.1), k
+
+    def test_huge_scale_lognormal(self):
+        from repro.stats.fitting import fit_lognormal
+
+        rng = np.random.default_rng(8)
+        samples = rng.lognormal(np.log(2e6), 0.8, 400)
+        fit = fit_lognormal(samples)
+        numeric = expected_min(fit, 64)
+        mc = fit.frozen.rvs(size=(5000, 64), random_state=rng).min(axis=1).mean()
+        assert numeric == pytest.approx(mc, rel=0.1)

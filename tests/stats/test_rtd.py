@@ -1,0 +1,108 @@
+"""Tests for runtime-distribution analysis."""
+
+import numpy as np
+import pytest
+
+from repro.stats.rtd import (
+    exponentiality,
+    parallel_rtd_points,
+    rtd_chart,
+    rtd_points,
+)
+
+
+class TestRTDPoints:
+    def test_cdf_range_and_monotonicity(self, rng):
+        samples = rng.exponential(5.0, 200)
+        t, f = rtd_points(samples)
+        assert len(t) == len(f) == 50
+        assert np.all(np.diff(f) >= 0)
+        assert f[0] <= 0.05
+        assert f[-1] == 1.0
+
+    def test_n_points_validated(self):
+        with pytest.raises(ValueError, match="n_points"):
+            rtd_points([1.0, 2.0], n_points=1)
+
+    def test_constant_sample(self):
+        t, f = rtd_points([3.0, 3.0, 3.0])
+        assert f[-1] == 1.0
+
+
+class TestParallelRTD:
+    def test_k1_equals_sequential(self, rng):
+        samples = rng.exponential(1.0, 100)
+        t1, f1 = rtd_points(samples)
+        tk, fk = parallel_rtd_points(samples, 1)
+        assert np.allclose(f1, fk)
+
+    def test_more_walkers_dominate(self, rng):
+        samples = rng.exponential(1.0, 100)
+        _, f1 = parallel_rtd_points(samples, 1)
+        _, f16 = parallel_rtd_points(samples, 16)
+        assert np.all(f16 >= f1)
+        # and strictly better somewhere in the body
+        assert f16[10] > f1[10]
+
+    def test_identity_formula(self, rng):
+        samples = rng.exponential(1.0, 50)
+        t, f1 = rtd_points(samples)
+        _, f4 = parallel_rtd_points(samples, 4)
+        assert np.allclose(f4, 1 - (1 - f1) ** 4)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match="k must be"):
+            parallel_rtd_points([1.0, 2.0], 0)
+
+
+class TestRTDChart:
+    def test_renders_all_labels(self, rng):
+        chart = rtd_chart(
+            {
+                "costas": rng.exponential(3.0, 50),
+                "magic": 1.0 + rng.exponential(1.0, 50),
+            },
+            walkers=(1, 8),
+        )
+        assert "costas" in chart
+        assert "costas x8" in chart
+        assert "magic x8" in chart
+        assert "P(solved)" in chart
+
+
+class TestExponentiality:
+    def test_exponential_sample_scores_high(self):
+        samples = np.random.default_rng(0).exponential(10.0, 500)
+        report = exponentiality(samples)
+        assert report.qq_correlation > 0.97
+        assert report.ks_pvalue > 0.01
+        assert report.floor_fraction < 0.05
+        assert report.speedup_ceiling > 20
+
+    def test_shifted_sample_reports_floor(self):
+        rng = np.random.default_rng(1)
+        samples = 5.0 + rng.exponential(5.0, 500)
+        report = exponentiality(samples)
+        # floor at 5 of mean 10 => ceiling ~2
+        assert report.floor_fraction == pytest.approx(0.5, rel=0.1)
+        assert report.speedup_ceiling == pytest.approx(2.0, rel=0.1)
+
+    def test_uniform_sample_scores_lower_than_exponential(self):
+        rng = np.random.default_rng(2)
+        uniform = rng.uniform(5, 6, 500)
+        exponential = rng.exponential(10.0, 500)
+        assert (
+            exponentiality(uniform).qq_correlation
+            < exponentiality(exponential).qq_correlation
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            exponentiality([1.0, 2.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            exponentiality([1.0, -1.0, 2.0])
+
+    def test_summary_text(self):
+        report = exponentiality(np.random.default_rng(3).exponential(1.0, 100))
+        assert "QQ-r=" in report.summary()
+        assert "ceiling" in report.summary()

@@ -1,0 +1,93 @@
+"""Tests for speedup curves."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import Platform
+from repro.stats.speedup import SpeedupCurve, speedup_curve_from_samples
+
+IDEAL = Platform(name="ideal", nodes=1, cores_per_node=1024)
+
+
+class TestSpeedupCurve:
+    def curve(self) -> SpeedupCurve:
+        return SpeedupCurve(
+            label="bench",
+            platform="ideal",
+            core_counts=[16, 64, 256],
+            mean_times=[10.0, 2.5, 1.0],
+            speedups=[16.0, 64.0, 160.0],
+            baseline_time=160.0,
+        )
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            SpeedupCurve("x", "p", [1, 2], [1.0], [1.0, 2.0])
+
+    def test_ci_length_validation(self):
+        with pytest.raises(ValueError, match="ci_low"):
+            SpeedupCurve("x", "p", [1], [1.0], [1.0], ci_low=[1.0, 2.0])
+
+    def test_speedup_at(self):
+        assert self.curve().speedup_at(64) == 64.0
+        with pytest.raises(KeyError, match="no measurement"):
+            self.curve().speedup_at(32)
+
+    def test_efficiency(self):
+        eff = self.curve().efficiency()
+        assert eff[0] == pytest.approx(1.0)
+        assert eff[2] == pytest.approx(160.0 / 256)
+
+    def test_as_rows(self):
+        rows = self.curve().as_rows()
+        assert rows[0][0] == 16
+        assert len(rows) == 3
+
+
+class TestBuildFromSamples:
+    def test_exponential_samples_near_ideal(self):
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(100.0, 4000)
+        curve = speedup_curve_from_samples(
+            "exp", samples, IDEAL, [2, 4, 8], n_reps=2500, rng=1
+        )
+        for k, s in zip(curve.core_counts, curve.speedups):
+            assert s == pytest.approx(k, rel=0.2)
+
+    def test_baseline_time_recorded(self):
+        samples = [10.0] * 50
+        curve = speedup_curve_from_samples(
+            "const", samples, IDEAL, [2], n_reps=100, rng=0
+        )
+        assert curve.baseline_time == pytest.approx(10.0)
+        assert curve.speedups[0] == pytest.approx(1.0)
+
+    def test_baseline_cores_normalization(self):
+        rng = np.random.default_rng(2)
+        samples = rng.exponential(50.0, 3000)
+        curve = speedup_curve_from_samples(
+            "cap",
+            samples,
+            IDEAL,
+            [32, 64],
+            n_reps=2500,
+            baseline_cores=32,
+            rng=3,
+        )
+        assert curve.speedup_at(32) == pytest.approx(1.0, rel=0.05)
+        assert curve.speedup_at(64) == pytest.approx(2.0, rel=0.2)
+
+    def test_confidence_bounds_bracket_speedup(self):
+        rng = np.random.default_rng(4)
+        samples = rng.exponential(10.0, 500)
+        curve = speedup_curve_from_samples(
+            "ci", samples, IDEAL, [4, 16], n_reps=400, rng=5
+        )
+        for lo, s, hi in zip(curve.ci_low, curve.speedups, curve.ci_high):
+            assert lo <= s <= hi
+
+    def test_platform_recorded(self):
+        curve = speedup_curve_from_samples(
+            "x", [1.0, 2.0], IDEAL, [2], n_reps=50, rng=0
+        )
+        assert curve.platform == "ideal"

@@ -1,0 +1,206 @@
+"""Tests for the command-line interface (in-process, via main())."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestProblemsCommand:
+    def test_lists_families(self, capsys):
+        assert main(["problems"]) == 0
+        out = capsys.readouterr().out
+        assert "costas" in out
+        assert "magic_square" in out
+
+
+class TestPlatformsCommand:
+    def test_lists_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "HA8000" in out
+        assert "952 nodes" in out
+
+
+class TestSolveCommand:
+    def test_sequential_solve(self, capsys):
+        code = main(["solve", "costas", "--set", "n=9", "--seed", "1"])
+        assert code == 0
+        assert "SOLVED" in capsys.readouterr().out
+
+    def test_render_flag(self, capsys):
+        main(["solve", "costas", "--set", "n=8", "--seed", "1", "--render"])
+        assert "X" in capsys.readouterr().out
+
+    def test_unsolved_returns_one(self, capsys):
+        code = main(
+            [
+                "solve",
+                "magic_square",
+                "--set",
+                "n=8",
+                "--seed",
+                "0",
+                "--max-iterations",
+                "10",
+            ]
+        )
+        assert code == 1
+
+    def test_inline_multiwalk(self, capsys):
+        code = main(
+            [
+                "solve",
+                "costas",
+                "--set",
+                "n=9",
+                "--seed",
+                "3",
+                "--walkers",
+                "3",
+                "--executor",
+                "inline",
+            ]
+        )
+        assert code == 0
+        assert "multi-walk x3" in capsys.readouterr().out
+
+    def test_cooperative_multiwalk(self, capsys):
+        code = main(
+            [
+                "solve",
+                "all_interval",
+                "--set",
+                "n=10",
+                "--seed",
+                "3",
+                "--walkers",
+                "3",
+                "--executor",
+                "cooperative",
+            ]
+        )
+        assert code == 0
+        assert "cooperative multi-walk x3" in capsys.readouterr().out
+
+    def test_unknown_family_exits_two(self, capsys):
+        assert main(["solve", "sudoku"]) == 2
+        assert "unknown problem family" in capsys.readouterr().err
+
+    def test_bad_set_syntax(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "costas", "--set", "n12"])
+
+
+class TestSampleCommand:
+    def test_collect_and_fit(self, capsys):
+        code = main(
+            ["sample", "queens", "--set", "n=15", "--runs", "8", "--seed", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "8/8 runs solved" in out
+        assert "iterations fit" in out
+
+    def test_write_output_file(self, tmp_path, capsys):
+        out_file = tmp_path / "samples.json"
+        code = main(
+            [
+                "sample",
+                "queens",
+                "--set",
+                "n=12",
+                "--runs",
+                "5",
+                "--seed",
+                "1",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        assert out_file.exists()
+        from repro.cluster.trace import load_samples
+
+        samples, meta = load_samples(out_file)
+        assert len(samples) == 5
+
+
+class TestExperimentCommand:
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig42", "--cache", "/tmp/nonexistent-x"]) == 2
+
+    @pytest.mark.slow
+    def test_small_fig3(self, tmp_path, capsys):
+        code = main(
+            [
+                "experiment",
+                "fig3",
+                "--samples",
+                "30",
+                "--reps",
+                "50",
+                "--cache",
+                str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        assert "CAP" in capsys.readouterr().out
+
+
+class TestValueModeSolve:
+    def test_golomb_solves(self, capsys):
+        code = main(["solve", "golomb", "--set", "order=5", "--seed", "1"])
+        assert code == 0
+        assert "golomb-5x11" in capsys.readouterr().out
+
+    def test_golomb_rejects_walkers(self, capsys):
+        code = main(["solve", "golomb", "--set", "order=5", "--walkers", "4"])
+        assert code == 2
+        assert "permutation problems" in capsys.readouterr().err
+
+    def test_golomb_sampling(self, capsys):
+        code = main(
+            ["sample", "golomb", "--set", "order=4", "--runs", "6", "--seed", "0"]
+        )
+        assert code == 0
+        assert "6/6 runs solved" in capsys.readouterr().out
+
+
+class TestExperimentAll:
+    @pytest.mark.slow
+    def test_all_with_report_file(self, tmp_path, capsys):
+        out = tmp_path / "REPORT.md"
+        code = main(
+            [
+                "experiment",
+                "all",
+                "--samples",
+                "20",
+                "--reps",
+                "40",
+                "--cache",
+                str(tmp_path / "cache"),
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        text = out.read_text()
+        for marker in ("fig1", "fig2", "fig3", "tab1", "tabA"):
+            assert marker in text

@@ -1,0 +1,142 @@
+"""Tests for repro.util.ascii_plot."""
+
+import pytest
+
+from repro.util.ascii_plot import Series, line_chart, loglog_chart, render_table
+
+
+class TestSeries:
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            Series("bad", [1, 2, 3], [1, 2])
+
+    def test_valid_series(self):
+        s = Series("ok", [1, 2], [3, 4])
+        assert s.label == "ok"
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = line_chart(
+            [Series("alpha", [1, 2, 3], [1, 4, 9], marker="o")],
+            width=40,
+            height=10,
+        )
+        assert "o" in chart
+        assert "legend: o alpha" in chart
+
+    def test_title_and_labels(self):
+        chart = line_chart(
+            [Series("s", [0, 10], [0, 5])],
+            title="My Chart",
+            xlabel="cores",
+            ylabel="speedup",
+            width=40,
+            height=10,
+        )
+        assert "My Chart" in chart
+        assert "cores" in chart
+        assert "speedup" in chart
+
+    def test_axis_extremes_shown(self):
+        chart = line_chart(
+            [Series("s", [1, 100], [2, 50])], width=40, height=10
+        )
+        assert "100" in chart
+        assert "50" in chart
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = line_chart(
+            [Series("a", [0, 1], [0, 1]), Series("b", [0, 1], [1, 0])],
+            width=30,
+            height=8,
+        )
+        assert "o a" in chart
+        assert "x b" in chart
+
+    def test_empty_series_list_raises(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            line_chart([])
+
+    def test_too_small_chart_raises(self):
+        with pytest.raises(ValueError, match="too small"):
+            line_chart([Series("s", [0, 1], [0, 1])], width=4, height=2)
+
+    def test_constant_series_does_not_crash(self):
+        chart = line_chart([Series("flat", [1, 2, 3], [5, 5, 5])], width=30, height=8)
+        assert "flat" in chart
+
+    def test_single_point(self):
+        chart = line_chart([Series("dot", [3], [7])], width=30, height=8)
+        assert "dot" in chart
+
+
+class TestLogLogChart:
+    def test_log_axes_render(self):
+        chart = loglog_chart(
+            [Series("cap", [32, 64, 128, 256], [1, 2, 4, 8])],
+            width=40,
+            height=10,
+        )
+        assert "cap" in chart
+
+    def test_nonpositive_values_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            loglog_chart([Series("bad", [0, 1], [1, 2])], width=40, height=10)
+
+
+class TestRenderTable:
+    def test_basic_rendering(self):
+        text = render_table(["name", "value"], [["a", 1], ["bb", 2.5]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "-+-" in lines[1]
+        assert "a" in lines[2]
+
+    def test_title(self):
+        text = render_table(["c"], [["x"]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[1234.5678], [0.123456], [float("nan")]])
+        assert "1235" in text
+        assert "0.123" in text
+        assert "nan" in text
+
+
+class TestHistogram:
+    def test_basic_rendering(self):
+        from repro.util.ascii_plot import histogram
+
+        text = histogram([1, 1, 1, 2, 3, 9], bins=4, width=20, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 5  # title + 4 bins
+        assert "#" in text
+
+    def test_counts_sum_to_sample_size(self):
+        from repro.util.ascii_plot import histogram
+        import re
+
+        text = histogram(list(range(100)), bins=10)
+        counts = [int(m) for m in re.findall(r"\|\s+(\d+)\s+\|", text)]
+        assert sum(counts) == 100
+
+    def test_peak_bar_spans_width(self):
+        from repro.util.ascii_plot import histogram
+
+        text = histogram([5.0] * 30 + [1.0], bins=2, width=40)
+        assert "#" * 40 in text
+
+    def test_validation(self):
+        from repro.util.ascii_plot import histogram
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="non-empty"):
+            histogram([])
+        with _pytest.raises(ValueError, match="bins"):
+            histogram([1.0], bins=0)

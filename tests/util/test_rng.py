@@ -1,0 +1,94 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import (
+    as_generator,
+    random_permutation,
+    spawn_generators,
+    spawn_seeds,
+)
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, 10)
+        b = as_generator(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 2**31, 16)
+        b = as_generator(2).integers(0, 2**31, 16)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough_is_identity(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        gen = as_generator(ss)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_sequence_of_ints_accepted(self):
+        gen = as_generator([1, 2, 3])
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnSeeds:
+    def test_count(self):
+        assert len(spawn_seeds(5, 0)) == 5
+
+    def test_zero_count_is_empty(self):
+        assert spawn_seeds(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError, match="negative"):
+            spawn_seeds(-1, 0)
+
+    def test_deterministic_for_same_master(self):
+        a = [s.entropy for s in spawn_seeds(4, 99)]
+        b = [s.entropy for s in spawn_seeds(4, 99)]
+        assert a == b
+
+    def test_children_are_distinct_streams(self):
+        gens = spawn_generators(8, 0)
+        draws = [g.integers(0, 2**63) for g in gens]
+        assert len(set(draws)) == len(draws)
+
+    def test_prefix_property(self):
+        """Walk i of a k-walk spawn equals walk i of a larger spawn."""
+        small = spawn_seeds(3, 5)
+        large = spawn_seeds(10, 5)
+        for a, b in zip(small, large):
+            assert np.random.default_rng(a).integers(0, 2**63) == np.random.default_rng(
+                b
+            ).integers(0, 2**63)
+
+    def test_generator_master_accepted(self):
+        gen = np.random.default_rng(3)
+        seeds = spawn_seeds(2, gen)
+        assert len(seeds) == 2
+
+    def test_seed_sequence_master(self):
+        root = np.random.SeedSequence(11)
+        seeds = spawn_seeds(2, root)
+        assert len(seeds) == 2
+
+
+class TestRandomPermutation:
+    def test_is_permutation(self, rng):
+        perm = random_permutation(20, rng)
+        assert sorted(perm.tolist()) == list(range(20))
+
+    def test_dtype(self, rng):
+        assert random_permutation(5, rng).dtype == np.int64
+
+    def test_uses_given_rng(self):
+        a = random_permutation(30, np.random.default_rng(1))
+        b = random_permutation(30, np.random.default_rng(1))
+        assert np.array_equal(a, b)

@@ -1,0 +1,77 @@
+"""Tests for repro.util.timing."""
+
+import time
+
+import pytest
+
+from repro.util.timing import Stopwatch, format_seconds
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        sw = Stopwatch().start()
+        time.sleep(0.02)
+        elapsed = sw.stop()
+        assert 0.015 <= elapsed < 1.0
+
+    def test_context_manager(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.008
+
+    def test_accumulates_across_intervals(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.01)
+        first = sw.elapsed
+        with sw:
+            time.sleep(0.01)
+        assert sw.elapsed > first
+
+    def test_elapsed_while_running(self):
+        sw = Stopwatch().start()
+        time.sleep(0.01)
+        mid = sw.elapsed
+        assert mid > 0
+        assert sw.running
+        sw.stop()
+
+    def test_double_start_raises(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError, match="already running"):
+            sw.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.005)
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert not sw.running
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0.00042, "420.0us"),
+            (0.042, "42.0ms"),
+            (1.5, "1.50s"),
+            (59.99, "59.99s"),
+            (75.3, "1m15.3s"),
+            (3725.0, "1h2m5s"),
+        ],
+    )
+    def test_rendering(self, seconds, expected):
+        assert format_seconds(seconds) == expected
+
+    def test_negative(self):
+        assert format_seconds(-1.5) == "-1.50s"
+
+    def test_zero(self):
+        assert format_seconds(0.0) == "0.0us"

@@ -1,0 +1,70 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "never raised")
+
+    def test_raises_value_error_by_default(self):
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+    def test_custom_exception_type(self):
+        with pytest.raises(KeyError):
+            require(False, "missing", exc=KeyError)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 0.5)
+        check_positive("x", 10)
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_accepts_zero_when_not_strict(self):
+        check_positive("x", 0, strict=False)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="-3"):
+            check_positive("x", -3)
+
+    def test_type_error_for_non_number(self):
+        with pytest.raises(TypeError, match="must be a number"):
+            check_positive("x", "nope")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        check_probability("p", value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError, match="p must be in"):
+            check_probability("p", value)
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            check_probability("p", None)
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("value", [0.001, 0.5, 1.0])
+    def test_accepts_half_open(self, value):
+        check_fraction("f", value)
+
+    @pytest.mark.parametrize("value", [0.0, -0.1, 1.5])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError, match="f must be in"):
+            check_fraction("f", value)
