@@ -16,6 +16,11 @@ KERNEL_PROBLEMS = [
     ("all_interval", {"n": 20}),
     ("alpha", {}),
     ("queens", {"n": 100}),
+    # declarative model path: exercises the incremental constraint-delta
+    # engine (CSR incidence + vectorized swap_errors kernels) instead of
+    # hand-written per-problem delta code
+    ("magic_square_model", {"n": 7}),
+    ("queens_model", {"n": 50}),
 ]
 
 
@@ -59,6 +64,23 @@ def bench_solver_iteration_rate(benchmark):
     def run():
         # magic-12 needs thousands of iterations: the 300-iteration budget
         # is always exhausted, so this times exactly 300 engine iterations
+        return AdaptiveSearch(cfg).solve(problem, seed=3)
+
+    result = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert result.stats.iterations == 300
+
+
+def bench_model_solver_iteration_rate(benchmark):
+    """End-to-end iteration rate of the declarative (model-defined) path.
+
+    Same engine as above, but every per-iteration quantity flows through the
+    incremental constraint-delta engine rather than hand-written deltas —
+    this is the regression guard for the model path's iteration rate.
+    """
+    problem = make_problem("magic_square_model", n=7)
+    cfg = AdaptiveSearchConfig(max_iterations=300)
+
+    def run():
         return AdaptiveSearch(cfg).solve(problem, seed=3)
 
     result = benchmark.pedantic(run, rounds=5, iterations=1)

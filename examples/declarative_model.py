@@ -7,9 +7,14 @@ The paper's benchmarks ship hand-written incremental cost functions (as the
 C library's benchmarks do).  This example shows the other way in: declare
 the magic square as a permutation array plus ``2n + 2`` linear equations,
 wrap the model in :class:`ModelProblem`, and hand it to the same engine.
-It then compares against the native incremental implementation — same
-search behaviour, different evaluation cost — which is exactly the
-trade-off between the C library's generic and plugged-in modes.
+
+Declarative models now run *incrementally* with no user code change:
+``ModelProblem`` caches every constraint's error and evaluates candidate
+swaps through vectorized per-constraint ``swap_errors`` kernels over a
+compiled incidence index, touching only the constraints incident to the
+swapped cells.  The comparison against the native implementation below
+shows what remains of the generic-vs-plugged-in gap of the C library once
+the generic mode is incremental too.
 """
 
 import sys
@@ -80,8 +85,10 @@ def main(n: int = 4) -> None:
     dt_native = time.perf_counter() - t
     print(f"native incremental: solved={result2.solved} "
           f"iterations={result2.iterations} time={dt_native:.2f}s")
-    print(f"-> same engine, same landscape; incremental deltas make each "
-          f"iteration ~{dt_decl / result.iterations / (dt_native / result2.iterations):.0f}x cheaper")
+    per_iter_ratio = (dt_decl / result.iterations) / (dt_native / result2.iterations)
+    print(f"-> same engine, same landscape; both paths are incremental — "
+          f"hand-written deltas keep a ~{per_iter_ratio:.1f}x per-iteration edge "
+          f"over the generic constraint kernels")
     print()
     print(native.render(result2.config))
 

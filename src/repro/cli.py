@@ -111,9 +111,13 @@ def cmd_solve(args: argparse.Namespace) -> int:
         print(coop.summary())
         solved, config_vec = coop.solved, coop.config
     else:
-        parallel = MultiWalkSolver(config, executor=args.executor).solve(
-            problem, args.walkers, seed=args.seed
-        )
+        parallel = MultiWalkSolver(
+            config,
+            executor=args.executor,
+            poll_every=args.poll_every,
+            launch_overhead=args.launch_overhead,
+            mp_context=args.mp_context,
+        ).solve(problem, args.walkers, seed=args.seed)
         print(parallel.summary())
         solved, config_vec = parallel.solved, parallel.config
     if solved and args.render and hasattr(problem, "render"):
@@ -226,6 +230,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_solve.add_argument(
         "--render", action="store_true", help="pretty-print the solution"
+    )
+    p_solve.add_argument(
+        "--poll-every",
+        type=int,
+        default=128,
+        help="process executor: iterations between cancel-event polls",
+    )
+    p_solve.add_argument(
+        "--launch-overhead",
+        type=float,
+        default=0.0,
+        help="inline executor: modelled job-launch latency in seconds",
+    )
+    p_solve.add_argument(
+        "--mp-context",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for the process executor",
     )
     p_solve.set_defaults(func=cmd_solve)
 

@@ -80,6 +80,34 @@ class Constraint(ABC):
         """
         return np.full(len(self.variables), self.error(assignment), dtype=np.float64)
 
+    def swap_errors(
+        self, assignment: np.ndarray, i: int, js: np.ndarray
+    ) -> np.ndarray:
+        """Batch kernel: this constraint's error after swapping ``i`` ↔ ``j``.
+
+        For each global position ``j`` in ``js``, returns the error the
+        constraint would have if the values at global positions ``i`` and
+        ``j`` were exchanged (``j == i`` entries hold the current error).
+        ``assignment`` is left unmodified on return.
+
+        This is the hot call of the incremental model path
+        (:meth:`repro.csp.model.Model.swap_cost_deltas`); subclasses provide
+        vectorized overrides, while this fallback — swap, re-evaluate,
+        swap back — is correct for any :meth:`error` by construction.
+        """
+        js = np.asarray(js, dtype=np.int64)
+        out = np.empty(js.shape, dtype=np.float64)
+        for k, j in enumerate(js.tolist()):
+            assignment[i], assignment[j] = assignment[j], assignment[i]
+            try:
+                out[k] = self.error(assignment)
+            finally:
+                assignment[i], assignment[j] = assignment[j], assignment[i]
+        return out
+
+    def _mentions(self, i: int) -> bool:
+        return bool(np.any(self.variables == i))
+
     def satisfied(self, assignment: np.ndarray) -> bool:
         return self.error(assignment) == 0
 
@@ -108,12 +136,41 @@ class LinearConstraint(Constraint):
         self.coefficients = coeffs
         self.relation = Relation.coerce(relation)
         self.rhs = float(rhs)
+        order = np.argsort(self.variables)
+        self._sorted_vars = self.variables[order]
+        self._sorted_coeffs = coeffs[order]
+        self._coef_map = dict(zip(self.variables.tolist(), coeffs.tolist()))
+        self._error_fn = self.relation.error_fn
 
     def lhs(self, assignment: np.ndarray) -> float:
         return float(self.coefficients @ assignment[self.variables])
 
     def error(self, assignment: np.ndarray) -> float:
         return float(self.relation.error_fn(self.lhs(assignment), self.rhs))
+
+    def _coef_of(self, positions: np.ndarray) -> np.ndarray:
+        """Coefficient of each global position (0 for unmentioned ones)."""
+        if positions is self.variables:
+            return self.coefficients
+        idx = np.searchsorted(self._sorted_vars, positions)
+        idx = np.minimum(idx, len(self._sorted_vars) - 1)
+        return np.where(
+            self._sorted_vars[idx] == positions, self._sorted_coeffs[idx], 0.0
+        )
+
+    def swap_errors(
+        self, assignment: np.ndarray, i: int, js: np.ndarray
+    ) -> np.ndarray:
+        # Swapping i <-> j shifts the sum by (c_i - c_j) * (x_j - x_i); both
+        # coefficients are 0 for unmentioned positions, so one formula covers
+        # every case (including j == i, where the shift vanishes).
+        ci = self._coef_map.get(int(i), 0.0)
+        cjs = self._coef_of(js)
+        shift = (ci - cjs) * (assignment[js] - assignment[i])
+        return np.asarray(
+            self._error_fn(self.lhs(assignment) + shift, self.rhs),
+            dtype=np.float64,
+        )
 
     def variable_errors(self, assignment: np.ndarray) -> np.ndarray:
         # Attribute the violation to every variable, weighted by |coefficient|
@@ -148,6 +205,37 @@ class AllDifferent(Constraint):
         # a variable is "in error" when its value is shared
         dup = counts[inverse] > 1
         return dup.astype(np.float64)
+
+    def swap_errors(
+        self, assignment: np.ndarray, i: int, js: np.ndarray
+    ) -> np.ndarray:
+        # A swap with both endpoints inside (or both outside) the scope only
+        # permutes the multiset of scope values: error unchanged.  A crossing
+        # swap removes one occurrence of the inside value and adds the
+        # outside one; the error moves by -1 per collision dissolved and +1
+        # per collision created.
+        js = np.asarray(js, dtype=np.int64)
+        values = assignment[self.variables]
+        uniq, counts = np.unique(values, return_counts=True)
+        e0 = float(np.sum(counts - 1))
+        in_i = self._mentions(i)
+        in_js = np.isin(js, self.variables)
+        cross = in_js != in_i
+        if not np.any(cross):
+            return np.full(js.shape, e0)
+        vi = assignment[i]
+        vjs = assignment[js]
+        out_vals = np.where(in_i, vi, vjs)  # value leaving the scope
+        in_vals = np.where(in_i, vjs, vi)  # value entering the scope
+
+        def count_of(vals: np.ndarray) -> np.ndarray:
+            idx = np.minimum(np.searchsorted(uniq, vals), len(uniq) - 1)
+            return np.where(uniq[idx] == vals, counts[idx], 0)
+
+        cnt_out = count_of(out_vals)
+        cnt_in = count_of(in_vals) - (in_vals == out_vals)
+        delta = (cnt_in >= 1).astype(np.float64) - (cnt_out >= 2)
+        return np.where(cross, e0 + delta, e0)
 
 
 class FunctionalConstraint(Constraint):

@@ -34,6 +34,15 @@ class Domain(ABC):
     def contains(self, value: int) -> bool:
         """Membership test for a single value."""
 
+    def contains_many(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized membership: a boolean array aligned with ``values``.
+
+        Default is an array-level set lookup against :meth:`values`;
+        subclasses with structure (e.g. contiguous ranges) override with
+        O(1)-per-element logic.
+        """
+        return np.isin(np.asarray(values), self.values())
+
     def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray | int:
         """Uniform sample (a scalar when ``size`` is None)."""
         vals = self.values()
@@ -69,6 +78,10 @@ class IntegerDomain(Domain):
 
     def contains(self, value: int) -> bool:
         return self.lo <= value <= self.hi
+
+    def contains_many(self, values: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values)
+        return (arr >= self.lo) & (arr <= self.hi)
 
     def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray | int:
         if size is None:
@@ -108,6 +121,13 @@ class ExplicitDomain(Domain):
     def contains(self, value: int) -> bool:
         idx = int(np.searchsorted(self._values, value))
         return idx < self._values.size and int(self._values[idx]) == value
+
+    def contains_many(self, values: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values)
+        idx = np.minimum(
+            np.searchsorted(self._values, arr), self._values.size - 1
+        )
+        return self._values[idx] == arr
 
     def __repr__(self) -> str:
         return f"ExplicitDomain({self._values.tolist()!r})"

@@ -60,6 +60,40 @@ class NotAllEqual(Constraint):
         values = assignment[self.variables]
         return 1.0 if np.all(values == values[0]) else 0.0
 
+    def swap_errors(
+        self, assignment: np.ndarray, i: int, js: np.ndarray
+    ) -> np.ndarray:
+        # Swaps inside (or outside) the scope permute its values: no change.
+        # A crossing swap replaces one occurrence of ``out_val`` with
+        # ``in_val``; the scope becomes all-equal only when the remaining
+        # values are already constant and ``in_val`` matches them.
+        js = np.asarray(js, dtype=np.int64)
+        values = assignment[self.variables]
+        uniq, counts = np.unique(values, return_counts=True)
+        e0 = 1.0 if len(uniq) == 1 else 0.0
+        in_i = self._mentions(i)
+        in_js = np.isin(js, self.variables)
+        cross = in_js != in_i
+        if not np.any(cross):
+            return np.full(js.shape, e0)
+        vi = assignment[i]
+        vjs = assignment[js]
+        out_vals = np.where(in_i, vi, vjs)
+        in_vals = np.where(in_i, vjs, vi)
+        if len(uniq) == 1:
+            all_eq = in_vals == uniq[0]
+        elif len(uniq) == 2:
+            # rest is constant only when the leaving value was the lone
+            # occurrence of its kind; it must then match the other value
+            other = np.where(out_vals == uniq[0], uniq[1], uniq[0])
+            # out_vals at non-crossing entries may lie outside uniq; clip the
+            # lookup — those entries are masked out below anyway
+            idx = np.minimum(np.searchsorted(uniq, out_vals), len(uniq) - 1)
+            all_eq = (counts[idx] == 1) & (uniq[idx] == out_vals) & (in_vals == other)
+        else:
+            all_eq = np.zeros(js.shape, dtype=bool)
+        return np.where(cross, all_eq.astype(np.float64), e0)
+
 
 class ElementConstraint(Constraint):
     """``table[x[index_var]] == x[value_var]``.
@@ -93,6 +127,30 @@ class ElementConstraint(Constraint):
             return float(idx - self.table.size + 1) + self._spread
         return abs(float(self.table[idx]) - value)
 
+    def swap_errors(
+        self, assignment: np.ndarray, i: int, js: np.ndarray
+    ) -> np.ndarray:
+        js = np.asarray(js, dtype=np.int64)
+        index_var = int(self.variables[0])
+        value_var = int(self.variables[1])
+        vi = assignment[i]
+        vjs = assignment[js]
+        idx = np.where(index_var == i, vjs, np.where(js == index_var, vi, assignment[index_var]))
+        val = np.where(value_var == i, vjs, np.where(js == value_var, vi, assignment[value_var]))
+        idx = idx.astype(np.int64)
+        val = val.astype(np.float64)
+        size = self.table.size
+        in_range = np.abs(self.table[np.clip(idx, 0, size - 1)] - val)
+        return np.where(
+            idx < 0,
+            -idx.astype(np.float64) + self._spread,
+            np.where(
+                idx >= size,
+                (idx - size + 1).astype(np.float64) + self._spread,
+                in_range,
+            ),
+        )
+
 
 class MaximumConstraint(Constraint):
     """``max(x[vars]) == x[value_var]``."""
@@ -113,6 +171,36 @@ class MaximumConstraint(Constraint):
         target = float(assignment[self.variables[-1]])
         return abs(float(values.max()) - target)
 
+    def swap_errors(
+        self, assignment: np.ndarray, i: int, js: np.ndarray
+    ) -> np.ndarray:
+        # After a crossing swap the scope maximum is max(in_val, base) where
+        # base is the old maximum — demoted to the runner-up when the leaving
+        # value was its unique witness.
+        js = np.asarray(js, dtype=np.int64)
+        scope = self.variables[: self._n_scope]
+        value_var = int(self.variables[-1])
+        values = assignment[scope].astype(np.float64)
+        top = float(values.max())
+        unique_top = int(np.sum(values == top)) == 1
+        lower = values[values < top]
+        runner_up = float(lower.max()) if lower.size else -np.inf
+        vi = float(assignment[i])
+        vjs = assignment[js].astype(np.float64)
+        target = np.where(
+            value_var == i,
+            vjs,
+            np.where(js == value_var, vi, float(assignment[value_var])),
+        )
+        in_i = bool(np.isin(i, scope))
+        in_js = np.isin(js, scope)
+        cross = in_js != in_i
+        out_vals = np.where(in_i, vi, vjs)
+        in_vals = np.where(in_i, vjs, vi)
+        base = np.where((out_vals == top) & unique_top, runner_up, top)
+        new_max = np.where(cross, np.maximum(base, in_vals), top)
+        return np.abs(new_max - target)
+
 
 class IncreasingChain(Constraint):
     """``x[v0] <= x[v1] <= ... <= x[vk]`` (sum of pairwise violations)."""
@@ -124,6 +212,7 @@ class IncreasingChain(Constraint):
         if len(self.variables) < 2:
             raise ModelError("IncreasingChain needs at least two variables")
         self.strict = strict
+        self._chain_pos = {int(v): k for k, v in enumerate(self.variables)}
 
     def error(self, assignment: np.ndarray) -> float:
         values = assignment[self.variables].astype(np.float64)
@@ -143,6 +232,60 @@ class IncreasingChain(Constraint):
         errors[1:] += violation
         return errors
 
+    def swap_errors(
+        self, assignment: np.ndarray, i: int, js: np.ndarray
+    ) -> np.ndarray:
+        # A swap only disturbs the (at most four) gaps adjacent to the chain
+        # positions it touches, so each candidate is an O(1) local repair on
+        # top of the cached total; candidates outside the chain vectorize.
+        js = np.asarray(js, dtype=np.int64)
+        vals = assignment[self.variables].astype(np.float64)
+        shift = 1.0 if self.strict else 0.0
+        gaps = np.maximum(vals[:-1] - vals[1:] + shift, 0.0)
+        e0 = float(gaps.sum())
+        out = np.full(js.shape, e0)
+        last = len(vals) - 2  # highest gap index
+        pos_i = self._chain_pos.get(int(i), -1)
+        in_js = np.isin(js, self.variables)
+
+        if pos_i >= 0:
+            # i in chain, j outside: position pos_i takes value x_j
+            outside = ~in_js
+            if np.any(outside):
+                u = assignment[js[outside]].astype(np.float64)
+                old_local = np.zeros(u.shape)
+                new_local = np.zeros(u.shape)
+                if pos_i > 0:
+                    old_local += gaps[pos_i - 1]
+                    new_local += np.maximum(vals[pos_i - 1] - u + shift, 0.0)
+                if pos_i <= last:
+                    old_local += gaps[pos_i]
+                    new_local += np.maximum(u - vals[pos_i + 1] + shift, 0.0)
+                out[outside] = e0 - old_local + new_local
+
+        for k in np.nonzero(in_js)[0].tolist():
+            j = int(js[k])
+            if j == i:
+                continue
+            q = self._chain_pos[j]
+            if pos_i >= 0:
+                replaced = {pos_i: vals[q], q: vals[pos_i]}
+                touched = (pos_i - 1, pos_i, q - 1, q)
+            else:
+                replaced = {q: float(assignment[i])}
+                touched = (q - 1, q)
+            affected = {g for g in touched if 0 <= g <= last}
+
+            def val_at(p: int) -> float:
+                return replaced.get(p, vals[p])
+
+            old_sum = sum(gaps[g] for g in affected)
+            new_sum = sum(
+                max(0.0, val_at(g) - val_at(g + 1) + shift) for g in affected
+            )
+            out[k] = e0 - old_sum + new_sum
+        return out
+
 
 class AbsoluteDifference(Constraint):
     """``|x[a] - x[b]| REL rhs`` (e.g. the all-interval building block)."""
@@ -160,6 +303,7 @@ class AbsoluteDifference(Constraint):
         super().__init__([var_a, var_b], name or "AbsoluteDifference")
         self.relation = Relation.coerce(relation)
         self.rhs = float(rhs)
+        self._error_fn = self.relation.error_fn
 
     def error(self, assignment: np.ndarray) -> float:
         lhs = abs(
@@ -167,3 +311,16 @@ class AbsoluteDifference(Constraint):
             - float(assignment[self.variables[1]])
         )
         return float(self.relation.error_fn(lhs, self.rhs))
+
+    def swap_errors(
+        self, assignment: np.ndarray, i: int, js: np.ndarray
+    ) -> np.ndarray:
+        js = np.asarray(js, dtype=np.int64)
+        var_a = int(self.variables[0])
+        var_b = int(self.variables[1])
+        vi = assignment[i]
+        vjs = assignment[js]
+        va = np.where(var_a == i, vjs, np.where(js == var_a, vi, assignment[var_a]))
+        vb = np.where(var_b == i, vjs, np.where(js == var_b, vi, assignment[var_b]))
+        lhs = np.abs(va.astype(np.float64) - vb.astype(np.float64))
+        return np.asarray(self._error_fn(lhs, self.rhs), dtype=np.float64)

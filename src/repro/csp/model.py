@@ -36,7 +36,7 @@ class Model:
         self.constraints: list[Constraint] = []
         self._n_variables = 0
         self._permutation_arrays: set[str] = set()
-        self._incidence: list[list[tuple[int, int]]] | None = None
+        self._incidence: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -98,23 +98,39 @@ class Model:
     def n_constraints(self) -> int:
         return len(self.constraints)
 
-    def _incidence_lists(self) -> list[list[tuple[int, int]]]:
-        """For each global variable: list of (constraint idx, position)."""
+    def incidence_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """Compiled variable→constraint incidence in CSR form.
+
+        Returns ``(indptr, constraint_ids)``: the constraints mentioning
+        global variable ``v`` are ``constraint_ids[indptr[v]:indptr[v+1]]``.
+        Built once per model mutation; this replaces the former Python
+        list-of-lists and is what makes the incremental swap kernels touch
+        only the constraints incident to the swapped positions.
+        """
         if self._incidence is None:
-            incidence: list[list[tuple[int, int]]] = [
-                [] for _ in range(self._n_variables)
-            ]
+            counts = np.zeros(self._n_variables + 1, dtype=np.int64)
+            for constraint in self.constraints:
+                counts[constraint.variables + 1] += 1
+            indptr = np.cumsum(counts)
+            constraint_ids = np.empty(int(indptr[-1]), dtype=np.int64)
+            cursor = indptr[:-1].copy()
             for ci, constraint in enumerate(self.constraints):
-                for pos, v in enumerate(constraint.variables.tolist()):
-                    incidence[v].append((ci, pos))
-            self._incidence = incidence
+                v = constraint.variables
+                constraint_ids[cursor[v]] = ci
+                cursor[v] += 1
+            self._incidence = (indptr, constraint_ids)
         return self._incidence
+
+    def constraint_ids_on(self, variable: int) -> np.ndarray:
+        """Indices (into ``self.constraints``) incident to ``variable``."""
+        if not 0 <= variable < self._n_variables:
+            raise IndexError(f"variable index {variable} out of range")
+        indptr, constraint_ids = self.incidence_index()
+        return constraint_ids[indptr[variable] : indptr[variable + 1]]
 
     def constraints_on(self, variable: int) -> list[Constraint]:
         """All constraints mentioning global variable ``variable``."""
-        if not 0 <= variable < self._n_variables:
-            raise IndexError(f"variable index {variable} out of range")
-        return [self.constraints[ci] for ci, _ in self._incidence_lists()[variable]]
+        return [self.constraints[ci] for ci in self.constraint_ids_on(variable)]
 
     # ------------------------------------------------------------------
     # evaluation
@@ -128,23 +144,120 @@ class Model:
             )
         for array in self.arrays:
             values = array.slice_of(arr)
-            for v in np.unique(values).tolist():
-                if not array.domain.contains(int(v)):
-                    raise ModelError(
-                        f"value {v} outside domain of array {array.name!r}"
-                    )
+            inside = array.domain.contains_many(values)
+            if not inside.all():
+                bad = int(values[~inside][0])
+                raise ModelError(
+                    f"value {bad} outside domain of array {array.name!r}"
+                )
 
     def cost(self, assignment: np.ndarray) -> float:
         """Total cost = sum of constraint errors (0 iff all satisfied)."""
-        return float(sum(c.error(assignment) for c in self.constraints))
+        return float(self.constraint_errors(assignment).sum())
 
-    def variable_errors(self, assignment: np.ndarray) -> np.ndarray:
-        """Project constraint errors onto the variables they mention."""
+    def constraint_errors(self, assignment: np.ndarray) -> np.ndarray:
+        """Error of every constraint, aligned with ``self.constraints``.
+
+        This vector is the per-constraint error cache of the incremental
+        path: :meth:`swap_cost_deltas`, :meth:`swap_cost_delta` and
+        :meth:`apply_swap_update` take it as the current-state baseline and
+        only re-evaluate constraints incident to the swapped positions.
+        """
+        return np.fromiter(
+            (c.error(assignment) for c in self.constraints),
+            dtype=np.float64,
+            count=len(self.constraints),
+        )
+
+    def variable_errors(
+        self,
+        assignment: np.ndarray,
+        constraint_errors: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Project constraint errors onto the variables they mention.
+
+        When the caller already holds the per-constraint error vector
+        (``constraint_errors``), satisfied constraints are skipped: the
+        error/``variable_errors`` contract makes their projection all-zero.
+        """
         errors = np.zeros(self._n_variables, dtype=np.float64)
-        for constraint in self.constraints:
+        for ci, constraint in enumerate(self.constraints):
+            if constraint_errors is not None and constraint_errors[ci] == 0.0:
+                continue
             contrib = constraint.variable_errors(assignment)
             errors[constraint.variables] += contrib
         return errors
+
+    # ------------------------------------------------------------------
+    # incremental swap kernels
+    # ------------------------------------------------------------------
+    def swap_cost_deltas(
+        self, assignment: np.ndarray, constraint_errors: np.ndarray, i: int
+    ) -> np.ndarray:
+        """Cost delta of swapping global position ``i`` with every position.
+
+        ``constraint_errors`` must be :meth:`constraint_errors` of
+        ``assignment``.  Constraints incident to ``i`` are re-evaluated for
+        all candidates with one vectorized :meth:`Constraint.swap_errors`
+        call each; every other constraint changes only for candidates inside
+        its own scope, so it is probed just at those positions.  Total work
+        is one batched kernel call per constraint instead of the O(n·C)
+        full-model evaluations of the generic fallback.
+        """
+        n = self._n_variables
+        deltas = np.zeros(n, dtype=np.float64)
+        on_i = set(self.constraint_ids_on(i).tolist())
+        all_js = np.arange(n, dtype=np.int64)
+        for ci in on_i:
+            constraint = self.constraints[ci]
+            deltas += (
+                constraint.swap_errors(assignment, i, all_js)
+                - constraint_errors[ci]
+            )
+        for ci, constraint in enumerate(self.constraints):
+            if ci in on_i:
+                continue
+            scope = constraint.variables
+            new_errors = constraint.swap_errors(assignment, i, scope)
+            deltas[scope] += new_errors - constraint_errors[ci]
+        return deltas
+
+    def swap_cost_delta(
+        self,
+        assignment: np.ndarray,
+        constraint_errors: np.ndarray,
+        i: int,
+        j: int,
+    ) -> float:
+        """Cost delta of swapping positions ``i`` and ``j`` (not applied)."""
+        if i == j:
+            return 0.0
+        touched = np.union1d(self.constraint_ids_on(i), self.constraint_ids_on(j))
+        js = np.asarray([j], dtype=np.int64)
+        delta = 0.0
+        for ci in touched.tolist():
+            new_error = float(self.constraints[ci].swap_errors(assignment, i, js)[0])
+            delta += new_error - float(constraint_errors[ci])
+        return delta
+
+    def apply_swap_update(
+        self,
+        assignment: np.ndarray,
+        constraint_errors: np.ndarray,
+        i: int,
+        j: int,
+    ) -> None:
+        """Commit swap ``i`` ↔ ``j``: update ``assignment`` *and* the cached
+        ``constraint_errors`` in place, touching only incident constraints."""
+        if i == j:
+            return
+        touched = np.union1d(self.constraint_ids_on(i), self.constraint_ids_on(j))
+        js = np.asarray([j], dtype=np.int64)
+        for ci in touched.tolist():
+            constraint_errors[ci] = self.constraints[ci].swap_errors(
+                assignment, i, js
+            )[0]
+        assignment[i], assignment[j] = assignment[j], assignment[i]
 
     def violated_constraints(self, assignment: np.ndarray) -> list[Constraint]:
         return [c for c in self.constraints if c.error(assignment) > 0]

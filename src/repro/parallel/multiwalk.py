@@ -252,7 +252,21 @@ def solve_parallel(
     config: AdaptiveSearchConfig | None = None,
     executor: str = "process",
     time_limit: float | None = None,
+    poll_every: int = 128,
+    launch_overhead: float = 0.0,
+    mp_context: str | None = None,
 ) -> ParallelResult:
-    """One-shot convenience wrapper around :class:`MultiWalkSolver`."""
-    solver = MultiWalkSolver(config, executor=executor)
+    """One-shot convenience wrapper around :class:`MultiWalkSolver`.
+
+    All executor tunables (``poll_every``, ``launch_overhead``,
+    ``mp_context``) are forwarded; see :class:`MultiWalkSolver` for their
+    meaning.
+    """
+    solver = MultiWalkSolver(
+        config,
+        executor=executor,
+        poll_every=poll_every,
+        launch_overhead=launch_overhead,
+        mp_context=mp_context,
+    )
     return solver.solve(problem, n_walkers, seed, time_limit=time_limit)

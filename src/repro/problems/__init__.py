@@ -16,8 +16,13 @@ Each problem implements the incremental walk-state protocol of
 application, and per-variable error projection.
 """
 
-from repro.problems.base import ModelProblem, Problem, WalkState
+from repro.problems.base import ModelProblem, ModelWalkState, Problem, WalkState
 from repro.problems.value_base import ValueModelProblem, ValueProblem
+from repro.problems.declarative import (
+    declarative_all_interval,
+    declarative_magic_square,
+    declarative_queens,
+)
 from repro.problems.golomb import GolombRulerProblem
 from repro.problems.registry import available_problems, make_problem, register_problem
 from repro.problems.costas import CostasProblem
@@ -33,6 +38,10 @@ __all__ = [
     "Problem",
     "WalkState",
     "ModelProblem",
+    "ModelWalkState",
+    "declarative_magic_square",
+    "declarative_queens",
+    "declarative_all_interval",
     "ValueProblem",
     "ValueModelProblem",
     "GolombRulerProblem",

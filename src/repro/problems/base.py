@@ -189,18 +189,42 @@ class Problem(ABC):
         return f"{type(self).__name__}({params})"
 
 
+class ModelWalkState(WalkState):
+    """Walk state for :class:`ModelProblem`: adds the per-constraint error
+    cache that the model's incremental swap kernels are built on."""
+
+    __slots__ = ("constraint_errors",)
+
+    def __init__(
+        self, config: np.ndarray, cost: float, constraint_errors: np.ndarray
+    ) -> None:
+        super().__init__(config, cost)
+        self.constraint_errors = constraint_errors
+
+
 class ModelProblem(Problem):
     """Adapter exposing a declarative :class:`~repro.csp.model.Model` (with a
     single permutation array) through the problem protocol.
 
-    This is the generic, non-incremental path: costs are recomputed from the
-    model's constraints on every evaluation.  Useful for prototyping new
-    benchmarks declaratively before writing an incremental implementation.
+    The walk protocol is incremental: the state caches every constraint's
+    current error, swap deltas re-evaluate only constraints incident to the
+    swapped positions through the vectorized
+    :meth:`~repro.csp.constraints.Constraint.swap_errors` kernels, and
+    committed swaps refresh just the touched cache entries.  Declarative
+    models therefore run within a constant factor of the hand-written
+    incremental problems instead of paying a full-model evaluation per
+    candidate move.
     """
 
     family = "model"
 
-    def __init__(self, model: Model, array_name: str | None = None) -> None:
+    def __init__(
+        self,
+        model: Model,
+        array_name: str | None = None,
+        *,
+        solver_defaults: Mapping[str, Any] | None = None,
+    ) -> None:
         if model.n_variables == 0:
             raise ProblemError("model has no variables")
         if array_name is None:
@@ -232,6 +256,10 @@ class ModelProblem(Problem):
             raise ProblemError(
                 "permutation array domain must be a contiguous integer range"
             )
+        self._solver_defaults = dict(solver_defaults or {})
+
+    def default_solver_parameters(self) -> dict[str, Any]:
+        return dict(self._solver_defaults)
 
     @property
     def value_base(self) -> int:  # type: ignore[override]
@@ -255,5 +283,31 @@ class ModelProblem(Problem):
     def cost(self, config: np.ndarray) -> float:
         return self.model.cost(np.asarray(config, dtype=np.int64))
 
+    # ------------------------------------------------------------------
+    # incremental walk protocol, backed by the model's swap kernels
+    # ------------------------------------------------------------------
+    def init_state(self, config: np.ndarray) -> ModelWalkState:
+        self.check_configuration(config)
+        cfg = np.array(config, dtype=np.int64, copy=True)
+        errors = self.model.constraint_errors(cfg)
+        return ModelWalkState(cfg, float(errors.sum()), errors)
+
+    def swap_delta(self, state: ModelWalkState, i: int, j: int) -> float:
+        return self.model.swap_cost_delta(
+            state.config, state.constraint_errors, i, j
+        )
+
+    def swap_deltas(self, state: ModelWalkState, i: int) -> np.ndarray:
+        return self.model.swap_cost_deltas(
+            state.config, state.constraint_errors, i
+        )
+
+    def apply_swap(self, state: ModelWalkState, i: int, j: int) -> None:
+        self.model.apply_swap_update(
+            state.config, state.constraint_errors, i, j
+        )
+        state.cost = float(state.constraint_errors.sum())
+
     def variable_errors(self, state: WalkState) -> np.ndarray:
-        return self.model.variable_errors(state.config)
+        cached = getattr(state, "constraint_errors", None)
+        return self.model.variable_errors(state.config, cached)

@@ -91,3 +91,50 @@ class TestExplicitDomain:
         dom = ExplicitDomain([-3, 0, 3])
         assert dom.contains(-3)
         assert not dom.contains(-2)
+
+
+class TestContainsMany:
+    def test_integer_domain_range_logic(self):
+        dom = IntegerDomain(2, 6)
+        values = np.asarray([1, 2, 4, 6, 7, -3])
+        assert np.array_equal(
+            dom.contains_many(values), [False, True, True, True, False, False]
+        )
+
+    def test_explicit_domain(self):
+        dom = ExplicitDomain([2, 4, 8])
+        values = np.asarray([2, 3, 4, 8, 9, -1])
+        assert np.array_equal(
+            dom.contains_many(values), [True, False, True, True, False, False]
+        )
+
+    def test_matches_scalar_contains(self):
+        for dom in (IntegerDomain(-2, 5), ExplicitDomain([0, 3, 7, 11])):
+            values = np.arange(-5, 15)
+            expected = [dom.contains(int(v)) for v in values]
+            assert np.array_equal(dom.contains_many(values), expected)
+
+    def test_empty_input(self):
+        dom = IntegerDomain(0, 3)
+        out = dom.contains_many(np.asarray([], dtype=np.int64))
+        assert out.shape == (0,)
+
+    def test_default_fallback_on_base_class(self):
+        # a Domain subclass that only implements the abstract interface
+        from repro.csp.domain import Domain
+
+        class OddDomain(Domain):
+            @property
+            def size(self):
+                return 3
+
+            def values(self):
+                return np.asarray([1, 3, 5], dtype=np.int64)
+
+            def contains(self, value):
+                return value in (1, 3, 5)
+
+        dom = OddDomain()
+        assert np.array_equal(
+            dom.contains_many(np.asarray([1, 2, 5])), [True, False, True]
+        )

@@ -85,6 +85,69 @@ class TestEvaluation:
         with pytest.raises(IndexError):
             model.constraints_on(9)
 
+    def test_constraint_errors_vector(self):
+        model = small_model()
+        errors = model.constraint_errors(np.array([0, 0, 0]))
+        assert np.array_equal(errors, [2.0, 3.0])
+        assert model.cost(np.array([0, 0, 0])) == errors.sum()
+
+
+class TestIncidenceIndex:
+    def test_csr_structure(self):
+        model = small_model()
+        indptr, constraint_ids = model.incidence_index()
+        assert indptr.shape == (model.n_variables + 1,)
+        # x0, x1 sit in both constraints; x2 only in the alldiff
+        assert np.array_equal(model.constraint_ids_on(0), [0, 1])
+        assert np.array_equal(model.constraint_ids_on(1), [0, 1])
+        assert np.array_equal(model.constraint_ids_on(2), [0])
+        assert constraint_ids.size == 5
+
+    def test_index_invalidated_on_mutation(self):
+        model = small_model()
+        model.incidence_index()
+        model.add_constraint(AllDifferent([1, 2]))
+        assert np.array_equal(model.constraint_ids_on(2), [0, 2])
+
+    def test_out_of_range(self):
+        model = small_model()
+        with pytest.raises(IndexError):
+            model.constraint_ids_on(3)
+
+
+class TestSwapKernels:
+    def test_swap_cost_deltas_match_full_recomputation(self):
+        model = small_model()
+        assignment = np.array([0, 0, 1], dtype=np.int64)
+        errors = model.constraint_errors(assignment)
+        cost = model.cost(assignment)
+        for i in range(3):
+            deltas = model.swap_cost_deltas(assignment, errors, i)
+            for j in range(3):
+                swapped = assignment.copy()
+                swapped[i], swapped[j] = swapped[j], swapped[i]
+                assert deltas[j] == pytest.approx(model.cost(swapped) - cost)
+                assert model.swap_cost_delta(
+                    assignment, errors, i, j
+                ) == pytest.approx(model.cost(swapped) - cost)
+
+    def test_apply_swap_update_refreshes_cache_in_place(self):
+        model = small_model()
+        assignment = np.array([0, 0, 1], dtype=np.int64)
+        errors = model.constraint_errors(assignment)
+        model.apply_swap_update(assignment, errors, 0, 2)
+        assert np.array_equal(assignment, [1, 0, 0])
+        assert np.array_equal(errors, model.constraint_errors(assignment))
+
+    def test_variable_errors_with_cache_matches_full(self):
+        model = small_model()
+        assignment = np.array([0, 0, 1], dtype=np.int64)
+        errors = model.constraint_errors(assignment)
+        np.testing.assert_allclose(
+            model.variable_errors(assignment, errors),
+            model.variable_errors(assignment),
+        )
+
 
 class TestPermutationDeclaration:
     def test_declares_and_samples_permutation(self):

@@ -91,6 +91,50 @@ class TestInlineExecutor:
             assert w.wall_time < 5.0
 
 
+class TestSolveParallelForwarding:
+    def test_executor_tunables_reach_the_solver(self, monkeypatch):
+        import repro.parallel.multiwalk as mw
+
+        captured = {}
+
+        class RecordingSolver(MultiWalkSolver):
+            def __init__(self, config=None, **kwargs):
+                captured.update(kwargs)
+                super().__init__(config, **kwargs)
+
+            def solve(self, problem, n_walkers, seed=None, *, time_limit=None):
+                captured["time_limit"] = time_limit
+                return "sentinel"
+
+        monkeypatch.setattr(mw, "MultiWalkSolver", RecordingSolver)
+        out = solve_parallel(
+            CostasProblem(8),
+            2,
+            seed=0,
+            executor="inline",
+            time_limit=9.0,
+            poll_every=77,
+            launch_overhead=1.5,
+            mp_context="spawn",
+        )
+        assert out == "sentinel"
+        assert captured["executor"] == "inline"
+        assert captured["poll_every"] == 77
+        assert captured["launch_overhead"] == 1.5
+        assert captured["mp_context"] == "spawn"
+        assert captured["time_limit"] == 9.0
+
+    def test_launch_overhead_affects_inline_wall_time(self):
+        problem = CostasProblem(8)
+        plain = solve_parallel(
+            problem, 2, seed=2, config=CFG, executor="inline"
+        )
+        bumped = solve_parallel(
+            problem, 2, seed=2, config=CFG, executor="inline", launch_overhead=5.0
+        )
+        assert bumped.wall_time == pytest.approx(plain.wall_time + 5.0, abs=1.0)
+
+
 @pytest.mark.slow
 class TestProcessExecutor:
     def test_solves_and_verifies(self):

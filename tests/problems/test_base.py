@@ -108,6 +108,17 @@ class TestModelProblem:
         with pytest.raises(ProblemError, match="permutation"):
             ModelProblem(model)
 
+    def test_solver_defaults_exposed(self):
+        p = ModelProblem(permutation_model(4))
+        assert p.default_solver_parameters() == {}
+        tuned = ModelProblem(
+            permutation_model(4), solver_defaults={"reset_limit": 7}
+        )
+        assert tuned.default_solver_parameters() == {"reset_limit": 7}
+        # a copy each call: callers may mutate the dict freely
+        tuned.default_solver_parameters()["reset_limit"] = 0
+        assert tuned.default_solver_parameters() == {"reset_limit": 7}
+
     def test_cost_delegates_to_model(self):
         model = permutation_model(4)
         p = ModelProblem(model)

@@ -1,0 +1,173 @@
+"""Property tests: the incremental ModelProblem path ≡ stateless reference.
+
+Random declarative models mixing every shipped constraint type are driven
+through random swap sequences with interleaved ``partial_reset`` /
+``resync_state`` calls; after every operation the incremental state
+(``state.cost``, ``swap_deltas``, ``variable_errors``) must agree with full
+stateless re-evaluation of the model.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.csp.constraints import (
+    AllDifferent,
+    FunctionalConstraint,
+    LinearConstraint,
+)
+from repro.csp.domain import IntegerDomain
+from repro.csp.global_constraints import (
+    AbsoluteDifference,
+    ElementConstraint,
+    IncreasingChain,
+    MaximumConstraint,
+    NotAllEqual,
+    SumConstraint,
+)
+from repro.csp.model import Model
+from repro.problems.base import ModelProblem, ModelWalkState
+
+prop_settings = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _random_constraint(rng: np.random.Generator, n: int):
+    relations = ["==", "!=", "<=", "<", ">=", ">"]
+    kind = rng.integers(0, 9)
+    scope_size = int(rng.integers(2, min(n, 5) + 1))
+    scope = rng.choice(n, size=scope_size, replace=False).tolist()
+    rel = relations[int(rng.integers(len(relations)))]
+    rhs = int(rng.integers(-5, 3 * n))
+    if kind == 0:
+        coeffs = rng.integers(-3, 4, size=scope_size).astype(float).tolist()
+        return LinearConstraint(scope, coeffs, rel, rhs)
+    if kind == 1:
+        return AllDifferent(scope)
+    if kind == 2:
+        return SumConstraint(scope, rel, rhs)
+    if kind == 3:
+        return NotAllEqual(scope)
+    if kind == 4:
+        table = rng.integers(0, 2 * n, size=int(rng.integers(1, n))).tolist()
+        return ElementConstraint(scope[0], scope[1], table)
+    if kind == 5:
+        return MaximumConstraint(scope[:-1], scope[-1])
+    if kind == 6:
+        return IncreasingChain(scope, strict=bool(rng.integers(2)))
+    if kind == 7:
+        return AbsoluteDifference(scope[0], scope[1], rel, rhs)
+    return FunctionalConstraint(
+        scope, lambda v: float(int(np.abs(v).sum()) % 5)
+    )
+
+
+def random_model_problem(seed: int) -> ModelProblem:
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(6, 13))
+    base = int(rng.integers(0, 2))
+    model = Model(f"random-{seed}")
+    array = model.add_array("x", n, IntegerDomain(base, base + n - 1))
+    model.declare_permutation(array)
+    for _ in range(int(rng.integers(2, 9))):
+        model.add_constraint(_random_constraint(rng, n))
+    return ModelProblem(model)
+
+
+def assert_state_consistent(problem: ModelProblem, state: ModelWalkState):
+    """Incremental caches ≡ stateless evaluation of the current config."""
+    model = problem.model
+    cfg = state.config
+    np.testing.assert_allclose(
+        state.constraint_errors, model.constraint_errors(cfg)
+    )
+    assert state.cost == pytest.approx(problem.cost(cfg))
+    np.testing.assert_allclose(
+        problem.variable_errors(state), model.variable_errors(cfg)
+    )
+
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestModelIncrementalInvariants:
+    @given(seed=seeds)
+    @prop_settings
+    def test_init_state_matches_reference(self, seed):
+        problem = random_model_problem(seed)
+        state = problem.init_state(problem.random_configuration(seed))
+        assert isinstance(state, ModelWalkState)
+        assert_state_consistent(problem, state)
+
+    @given(seed=seeds)
+    @prop_settings
+    def test_swap_deltas_match_stateless_recomputation(self, seed):
+        problem = random_model_problem(seed)
+        rng = np.random.default_rng(seed)
+        state = problem.init_state(problem.random_configuration(rng))
+        n = problem.size
+        for i in rng.integers(0, n, size=3).tolist():
+            deltas = problem.swap_deltas(state, int(i))
+            assert deltas.shape == (n,)
+            assert deltas[i] == 0.0
+            for j in range(n):
+                cfg = state.config.copy()
+                cfg[i], cfg[j] = cfg[j], cfg[i]
+                assert deltas[j] == pytest.approx(
+                    problem.cost(cfg) - state.cost
+                ), (i, j)
+
+    @given(seed=seeds)
+    @prop_settings
+    def test_random_walk_with_resets_stays_consistent(self, seed):
+        problem = random_model_problem(seed)
+        rng = np.random.default_rng(seed)
+        state = problem.init_state(problem.random_configuration(rng))
+        n = problem.size
+        for step in range(12):
+            op = int(rng.integers(0, 10))
+            if op < 7:
+                i, j = int(rng.integers(n)), int(rng.integers(n))
+                problem.apply_swap(state, i, j)
+            elif op < 9:
+                problem.partial_reset(state, float(rng.uniform(0.1, 0.9)), rng)
+            else:
+                # external mutation followed by an explicit resync
+                i, j = int(rng.integers(n)), int(rng.integers(n))
+                state.config[i], state.config[j] = (
+                    state.config[j],
+                    state.config[i],
+                )
+                problem.resync_state(state)
+            assert_state_consistent(problem, state)
+
+    @given(seed=seeds)
+    @prop_settings
+    def test_swap_delta_probe_does_not_mutate(self, seed):
+        problem = random_model_problem(seed)
+        rng = np.random.default_rng(seed)
+        state = problem.init_state(problem.random_configuration(rng))
+        before_cfg = state.config.copy()
+        before_errors = state.constraint_errors.copy()
+        n = problem.size
+        for _ in range(4):
+            problem.swap_delta(
+                state, int(rng.integers(n)), int(rng.integers(n))
+            )
+            problem.swap_deltas(state, int(rng.integers(n)))
+        assert np.array_equal(state.config, before_cfg)
+        assert np.array_equal(state.constraint_errors, before_errors)
+
+    @given(seed=seeds)
+    @prop_settings
+    def test_variable_errors_skip_satisfied_constraints(self, seed):
+        # the cached-errors fast path must equal the full projection
+        problem = random_model_problem(seed)
+        state = problem.init_state(problem.random_configuration(seed))
+        fast = problem.model.variable_errors(
+            state.config, state.constraint_errors
+        )
+        full = problem.model.variable_errors(state.config)
+        np.testing.assert_allclose(fast, full)

@@ -19,6 +19,9 @@ from repro.problems import (
     PartitionProblem,
     PerfectSquareProblem,
     QueensProblem,
+    declarative_all_interval,
+    declarative_magic_square,
+    declarative_queens,
 )
 
 PROBLEMS = [
@@ -30,6 +33,10 @@ PROBLEMS = [
     pytest.param(AlphaProblem(), id="alpha"),
     pytest.param(LangfordProblem(7), id="langford-7"),
     pytest.param(PartitionProblem(12), id="partition-12"),
+    # declarative model path (incremental constraint-delta engine)
+    pytest.param(declarative_magic_square(4), id="magic_square_model-4"),
+    pytest.param(declarative_queens(8), id="queens_model-8"),
+    pytest.param(declarative_all_interval(9), id="all_interval_model-9"),
 ]
 
 seeds = st.integers(min_value=0, max_value=2**32 - 1)
