@@ -6,6 +6,8 @@ Usage (after ``pip install -e .``)::
     python -m repro solve magic_square --set n=8 --walkers 4 --executor process
     python -m repro sample costas --set n=10 --runs 50
     python -m repro experiment fig1 --samples 40 --reps 200
+    python -m repro service jobs.json --workers 4
+    python -m repro service --family costas --set n=9 --jobs 8 --walkers 4
     python -m repro problems
     python -m repro platforms
 
@@ -126,15 +128,25 @@ def cmd_solve(args: argparse.Namespace) -> int:
 
 
 def cmd_sample(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     spec = BenchmarkSpec(args.family, _parse_params(args.set))
     cache = SampleCache(args.cache) if args.cache else None
-    samples = collect_samples(
-        spec,
-        args.runs,
-        seed=args.seed,
-        solver_config=_solver_config(args),
-        cache=cache,
-    )
+    if args.service_workers:
+        from repro.service import SolverService
+
+        service_cm = SolverService(n_workers=args.service_workers)
+    else:
+        service_cm = nullcontext()
+    with service_cm as service:
+        samples = collect_samples(
+            spec,
+            args.runs,
+            seed=args.seed,
+            solver_config=_solver_config(args),
+            cache=cache,
+            service=service,
+        )
     solved = [s for s in samples if s.solved]
     print(
         f"{spec.label}: {len(solved)}/{len(samples)} runs solved"
@@ -151,6 +163,49 @@ def cmd_sample(args: argparse.Namespace) -> int:
         save_samples(args.out, samples, meta={"spec": spec.label, "runs": args.runs})
         print(f"samples written to {args.out}")
     return 0
+
+
+def cmd_service(args: argparse.Namespace) -> int:
+    """Batch front-end: run many solve jobs on one warm worker pool."""
+    from repro.service import (
+        JobSpec,
+        SolverService,
+        format_results_table,
+        load_jobs_file,
+        run_specs,
+    )
+
+    if args.jobs_file is not None:
+        specs = load_jobs_file(args.jobs_file)
+    elif args.family is not None:
+        specs = [
+            JobSpec(
+                family=args.family,
+                params=_parse_params(args.set),
+                walkers=args.walkers,
+                seed=args.seed,
+                deadline=args.deadline,
+                repeat=args.jobs,
+            )
+        ]
+    else:
+        print(
+            "error: pass a jobs file or --family (see `repro service -h`)",
+            file=sys.stderr,
+        )
+        return 2
+    with SolverService(
+        n_workers=args.workers,
+        mp_context=args.mp_context,
+        poll_every=args.poll_every,
+    ) as service:
+        rows = run_specs(service, specs, config=_solver_config(args))
+        print(format_results_table(rows, service.snapshot()))
+    failed = [r for _, r in rows if r.status.value in ("failed", "timed_out")]
+    unsolved = [r for _, r in rows if not r.solved]
+    if failed:
+        return 1
+    return 0 if not unsolved else 1
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -258,7 +313,71 @@ def build_parser() -> argparse.ArgumentParser:
     p_sample.add_argument("--runs", type=int, default=50, help="number of runs")
     p_sample.add_argument("--out", default=None, help="write samples JSON here")
     p_sample.add_argument("--cache", default=None, help="sample cache directory")
+    p_sample.add_argument(
+        "--service-workers",
+        type=int,
+        default=0,
+        help="collect runs concurrently on a warm pool of this many workers "
+        "(0 = sequential in-process)",
+    )
     p_sample.set_defaults(func=cmd_sample)
+
+    p_service = sub.add_parser(
+        "service",
+        help="run a batch of solve jobs concurrently on a warm worker pool",
+    )
+    p_service.add_argument(
+        "jobs_file",
+        nargs="?",
+        default=None,
+        help="JSON jobs file (list of {family, params, walkers, seed, "
+        "priority, deadline, repeat} objects)",
+    )
+    p_service.add_argument(
+        "--family", default=None, help="problem family (instead of a jobs file)"
+    )
+    p_service.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="problem parameter for --family, repeatable",
+    )
+    p_service.add_argument(
+        "--jobs", type=int, default=1, help="copies of the --family job"
+    )
+    p_service.add_argument(
+        "--walkers", type=int, default=1, help="walkers per job"
+    )
+    p_service.add_argument("--seed", type=int, default=None, help="master seed")
+    p_service.add_argument(
+        "--workers", type=int, default=4, help="persistent pool size"
+    )
+    p_service.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-job deadline in seconds",
+    )
+    p_service.add_argument(
+        "--max-iterations", type=float, default=None, help="iteration budget"
+    )
+    p_service.add_argument(
+        "--time-limit", type=float, default=None, help="per-walk seconds budget"
+    )
+    p_service.add_argument(
+        "--poll-every",
+        type=int,
+        default=64,
+        help="iterations between cancel-token polls inside walks",
+    )
+    p_service.add_argument(
+        "--mp-context",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for the pool",
+    )
+    p_service.set_defaults(func=cmd_service)
 
     p_exp = sub.add_parser("experiment", help="run a registered experiment")
     p_exp.add_argument(

@@ -86,7 +86,14 @@ class BestCostTimeline:
         self.points.append((0, cost))
 
     def on_iteration(self, info: IterationInfo) -> None:
-        if not self.points or info.best_cost < self.points[-1][1]:
+        # a timeline attached mid-run (``on_start`` never called) seeds
+        # itself from the first iteration it sees; the empty check is
+        # explicit so recording does not depend on short-circuit ordering
+        # against the improvement comparison below
+        if not self.points:
+            self.points.append((info.iteration, info.best_cost))
+            return
+        if info.best_cost < self.points[-1][1]:
             self.points.append((info.iteration, info.best_cost))
 
     @property

@@ -2,7 +2,11 @@
 
 ``collect_samples`` runs one benchmark many times with independent seeds —
 the measurement step feeding the platform simulation — with transparent
-on-disk caching.
+on-disk caching.  Passing a started :class:`repro.service.SolverService`
+runs the samples concurrently on its warm worker pool: each run becomes a
+one-walk job carrying the exact per-run seed, so iteration counts (the Las
+Vegas cost measure used by the paper experiments) are bit-identical to the
+sequential path and the sample cache stays executor-agnostic.
 """
 
 from __future__ import annotations
@@ -88,12 +92,15 @@ def collect_samples(
     cache: SampleCache | None = None,
     max_iterations: float = 2_000_000,
     time_limit: float = 120.0,
+    service: Any = None,
 ) -> list[RunSample]:
     """``n_runs`` independent sequential solves of ``spec``.
 
     Every run gets its own spawned seed; per-run budgets guard against the
     rare pathological walk (unsolved runs are kept in the sample list but
-    excluded from time statistics by default).
+    excluded from time statistics by default).  ``service`` (a started
+    :class:`repro.service.SolverService`) collects the runs concurrently on
+    its warm pool instead of one after another in this process.
     """
     if n_runs <= 0:
         raise ExperimentError(f"n_runs must be >= 1, got {n_runs}")
@@ -121,23 +128,67 @@ def collect_samples(
     from repro.core.value_solver import ValueAdaptiveSearch
     from repro.problems.value_base import ValueProblem
 
-    if isinstance(problem, ValueProblem):
-        solver: Any = ValueAdaptiveSearch(config)
+    run_seeds = spawn_seeds(n_runs, seed)
+    if service is not None:
+        if isinstance(problem, ValueProblem):
+            raise ExperimentError(
+                "service-backed sampling supports permutation problems only; "
+                "collect value-mode samples sequentially"
+            )
+        samples = _collect_via_service(service, problem, config, run_seeds)
     else:
-        solver = AdaptiveSearch(config)
+        if isinstance(problem, ValueProblem):
+            solver: Any = ValueAdaptiveSearch(config)
+        else:
+            solver = AdaptiveSearch(config)
+        samples = []
+        for walk_seed in run_seeds:
+            result = solver.solve(problem, seed=walk_seed)
+            samples.append(
+                RunSample(
+                    wall_time=result.stats.wall_time,
+                    iterations=result.stats.iterations,
+                    solved=result.solved,
+                    seed=str(walk_seed.entropy),
+                )
+            )
+    if cache is not None:
+        cache.store(cache_spec, samples)
+    return samples
+
+
+def _collect_via_service(
+    service: Any,
+    problem: Any,
+    config: AdaptiveSearchConfig,
+    run_seeds: Sequence[np.random.SeedSequence],
+) -> list[RunSample]:
+    """One single-walk job per run, all in flight at once on the warm pool.
+
+    Each job carries its run's exact seed sequence, so every walk is
+    trajectory-identical to the sequential path; only wall times differ
+    (by host scheduling noise, as with any measurement).
+    """
+    handles = [
+        service.submit(problem, 1, config=config, seeds=[walk_seed])
+        for walk_seed in run_seeds
+    ]
     samples: list[RunSample] = []
-    for walk_seed in spawn_seeds(n_runs, seed):
-        result = solver.solve(problem, seed=walk_seed)
+    for walk_seed, handle in zip(run_seeds, handles):
+        job = handle.result()
+        if not job.walks:
+            raise ExperimentError(
+                f"service sample run failed ({job.status.value}): {job.error}"
+            )
+        walk = job.walks[0]
         samples.append(
             RunSample(
-                wall_time=result.stats.wall_time,
-                iterations=result.stats.iterations,
-                solved=result.solved,
+                wall_time=walk.wall_time,
+                iterations=walk.iterations,
+                solved=walk.solved,
                 seed=str(walk_seed.entropy),
             )
         )
-    if cache is not None:
-        cache.store(cache_spec, samples)
     return samples
 
 

@@ -14,6 +14,11 @@ Two executors are provided:
   the parallel wall time is *computed* as the minimum across walks.  For
   zero-communication multi-walks this is semantically exact, determinstic,
   and is what the simulated-platform experiments build on.
+
+A third executor, ``"pool"``, delegates the walks to the persistent
+warm-worker pool of :mod:`repro.service` — same first-finisher semantics,
+but the processes are spawned once and shared across solves (and across
+concurrent jobs), so per-call launch overhead disappears.
 """
 
 from repro.parallel.cooperative import (

@@ -2,8 +2,11 @@
 
 ``MultiWalkSolver.solve(problem, n_walkers)`` runs ``k`` independent
 Adaptive Search engines and returns as soon as one solves (process executor)
-or computes the equivalent outcome exactly (inline executor).  See the
-package docstring for when to use which.
+or computes the equivalent outcome exactly (inline executor).  A third
+executor, ``"pool"``, borrows long-lived workers from a shared
+:class:`repro.service.SolverService` instead of spawning processes per
+call, amortizing start-up across solves.  See the package docstring for
+when to use which.
 """
 
 from __future__ import annotations
@@ -16,6 +19,8 @@ from typing import Optional
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.core.config import AdaptiveSearchConfig
 from repro.core.solver import AdaptiveSearch
 from repro.core.termination import TerminationReason
@@ -27,9 +32,12 @@ from repro.problems.base import Problem
 from repro.util.rng import SeedLike
 from repro.util.timing import Stopwatch
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service -> parallel)
+    from repro.service.scheduler import SolverService
+
 __all__ = ["MultiWalkSolver", "solve_parallel"]
 
-_EXECUTORS = ("inline", "process")
+_EXECUTORS = ("inline", "process", "pool")
 
 
 class MultiWalkSolver:
@@ -42,13 +50,19 @@ class MultiWalkSolver:
         are merged per walk exactly as in the sequential engine).
     executor:
         ``"process"`` for real multi-core execution, ``"inline"`` for exact
-        sequential emulation (deterministic; used by tests and experiments).
+        sequential emulation (deterministic; used by tests and experiments),
+        ``"pool"`` to borrow warm workers from a shared solver service
+        (requires ``pool``).
     poll_every:
         process executor: how many iterations between cancel-event polls.
     launch_overhead:
         inline executor: constant added to the computed parallel wall time,
         modelling job-launch latency (the process executor pays the real
         cost instead).
+    pool:
+        a started :class:`repro.service.SolverService` whose worker pool
+        executes the walks when ``executor="pool"``; the caller owns its
+        lifecycle, so many solvers (and concurrent solves) may share it.
     """
 
     def __init__(
@@ -59,6 +73,7 @@ class MultiWalkSolver:
         poll_every: int = 128,
         launch_overhead: float = 0.0,
         mp_context: str | None = None,
+        pool: Optional["SolverService"] = None,
     ) -> None:
         if executor not in _EXECUTORS:
             raise ParallelError(
@@ -70,11 +85,16 @@ class MultiWalkSolver:
             raise ParallelError(
                 f"launch_overhead must be >= 0, got {launch_overhead}"
             )
+        if executor == "pool" and pool is None:
+            raise ParallelError(
+                'executor="pool" needs a SolverService via the pool argument'
+            )
         self.config = config or AdaptiveSearchConfig()
         self.executor = executor
         self.poll_every = poll_every
         self.launch_overhead = launch_overhead
         self.mp_context = mp_context
+        self.pool = pool
 
     # ------------------------------------------------------------------
     def solve(
@@ -92,7 +112,27 @@ class MultiWalkSolver:
             config = config.replace(time_limit=min(config.time_limit, time_limit))
         if self.executor == "inline":
             return self._solve_inline(problem, config, seeds)
+        if self.executor == "pool":
+            return self._solve_pool(problem, config, seeds)
         return self._solve_process(problem, config, seeds)
+
+    # ------------------------------------------------------------------
+    def _solve_pool(
+        self,
+        problem: Problem,
+        config: AdaptiveSearchConfig,
+        seeds: list[np.random.SeedSequence],
+    ) -> ParallelResult:
+        """Run the walks as one job on the shared warm-worker service.
+
+        The explicit seed list keeps trajectories identical to the other
+        executors (walk ``i`` is the same walk under every executor).
+        """
+        assert self.pool is not None
+        handle = self.pool.submit(
+            problem, len(seeds), config=config, seeds=seeds
+        )
+        return handle.result().to_parallel_result()
 
     # ------------------------------------------------------------------
     def _solve_inline(
@@ -203,6 +243,11 @@ class MultiWalkSolver:
                 payloads[walk_id] = payload
                 if payload["solved"] and first_solve_time is None:
                     first_solve_time = stopwatch.elapsed
+                    # broadcast completion as soon as the winner reports:
+                    # the workers set the event themselves, but if a winner
+                    # raced past an unset event (solved before any poll) the
+                    # losers would otherwise run to their full budget
+                    cancel_event.set()
         finally:
             cancel_event.set()
             for proc in processes:
@@ -255,12 +300,13 @@ def solve_parallel(
     poll_every: int = 128,
     launch_overhead: float = 0.0,
     mp_context: str | None = None,
+    pool: Optional["SolverService"] = None,
 ) -> ParallelResult:
     """One-shot convenience wrapper around :class:`MultiWalkSolver`.
 
     All executor tunables (``poll_every``, ``launch_overhead``,
-    ``mp_context``) are forwarded; see :class:`MultiWalkSolver` for their
-    meaning.
+    ``mp_context``, ``pool``) are forwarded; see :class:`MultiWalkSolver`
+    for their meaning.
     """
     solver = MultiWalkSolver(
         config,
@@ -268,5 +314,6 @@ def solve_parallel(
         poll_every=poll_every,
         launch_overhead=launch_overhead,
         mp_context=mp_context,
+        pool=pool,
     )
     return solver.solve(problem, n_walkers, seed, time_limit=time_limit)

@@ -1,0 +1,171 @@
+"""Batch front-end: jobs files and result tables for ``repro service``.
+
+A jobs file is JSON — either a list of job objects or ``{"jobs": [...]}``:
+
+.. code-block:: json
+
+    [
+      {"family": "costas", "params": {"n": 9}, "walkers": 4, "seed": 1},
+      {"family": "magic_square", "params": {"n": 5}, "repeat": 4,
+       "priority": 1, "deadline": 30.0}
+    ]
+
+``repeat`` expands one spec into that many identical jobs (seeds shift by
+the repeat index so the copies are independent).  Specs of the same family
+and parameters share one :class:`Problem` instance, so the pool serializes
+each distinct instance to each worker only once no matter how many jobs
+reference it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.errors import ParallelError
+from repro.service.jobs import Job, JobResult
+from repro.service.metrics import MetricsSnapshot
+from repro.service.scheduler import SolverService
+from repro.problems.registry import make_problem
+
+__all__ = [
+    "JobSpec",
+    "load_jobs_file",
+    "build_jobs",
+    "run_specs",
+    "format_results_table",
+]
+
+_SPEC_KEYS = {
+    "family", "params", "walkers", "seed", "priority", "deadline", "repeat",
+}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One line of a jobs file (before expansion into jobs)."""
+
+    family: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    walkers: int = 1
+    seed: int | None = None
+    priority: int = 0
+    deadline: float | None = None
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        if self.walkers < 1:
+            raise ParallelError(f"walkers must be >= 1, got {self.walkers}")
+        if self.repeat < 1:
+            raise ParallelError(f"repeat must be >= 1, got {self.repeat}")
+        object.__setattr__(self, "params", dict(self.params))
+
+    @property
+    def label(self) -> str:
+        if not self.params:
+            return self.family
+        inner = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.family}({inner})"
+
+
+def load_jobs_file(path: str | Path) -> list[JobSpec]:
+    """Parse a jobs file; raises :class:`ParallelError` on malformed input."""
+    try:
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as err:
+        raise ParallelError(f"cannot read jobs file {path}: {err}") from None
+    except json.JSONDecodeError as err:
+        raise ParallelError(f"jobs file {path} is not valid JSON: {err}") from None
+    if isinstance(raw, Mapping):
+        raw = raw.get("jobs")
+    if not isinstance(raw, list) or not raw:
+        raise ParallelError(
+            f"jobs file {path} must hold a non-empty list of job objects"
+        )
+    specs = []
+    for index, entry in enumerate(raw):
+        if not isinstance(entry, Mapping):
+            raise ParallelError(f"job #{index} is not an object: {entry!r}")
+        if "family" not in entry:
+            raise ParallelError(f"job #{index} is missing 'family'")
+        unknown = set(entry) - _SPEC_KEYS
+        if unknown:
+            raise ParallelError(
+                f"job #{index} has unknown key(s): {sorted(unknown)}"
+            )
+        specs.append(JobSpec(**entry))
+    return specs
+
+
+def build_jobs(
+    specs: Sequence[JobSpec],
+    *,
+    config: AdaptiveSearchConfig | None = None,
+) -> list[tuple[JobSpec, Job]]:
+    """Expand specs into jobs, sharing problem instances across duplicates."""
+    problems: dict[tuple[str, tuple[tuple[str, Any], ...]], Any] = {}
+    jobs: list[tuple[JobSpec, Job]] = []
+    for spec in specs:
+        key = (spec.family, tuple(sorted(spec.params.items())))
+        problem = problems.get(key)
+        if problem is None:
+            problem = make_problem(spec.family, **spec.params)
+            problems[key] = problem
+        for copy in range(spec.repeat):
+            seed = None if spec.seed is None else spec.seed + copy
+            jobs.append(
+                (
+                    spec,
+                    Job(
+                        problem=problem,
+                        n_walkers=spec.walkers,
+                        seed=seed,
+                        config=config,
+                        priority=spec.priority,
+                        deadline=spec.deadline,
+                    ),
+                )
+            )
+    return jobs
+
+
+def run_specs(
+    service: SolverService,
+    specs: Sequence[JobSpec],
+    *,
+    config: AdaptiveSearchConfig | None = None,
+    timeout: float | None = None,
+) -> list[tuple[JobSpec, JobResult]]:
+    """Run every expanded job concurrently on ``service``."""
+    pairs = build_jobs(specs, config=config)
+    results = service.run_jobs([job for _, job in pairs], timeout=timeout)
+    return [(spec, result) for (spec, _), result in zip(pairs, results)]
+
+
+def format_results_table(
+    rows: Sequence[tuple[JobSpec, JobResult]],
+    snapshot: MetricsSnapshot | None = None,
+) -> str:
+    """Human-readable per-job table plus the service summary line."""
+    header = (
+        f"{'job':>4}  {'problem':<26} {'walkers':>7}  {'status':<9} "
+        f"{'winner':>6}  {'queue ms':>9}  {'latency ms':>10}  {'retries':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for spec, result in rows:
+        winner = (
+            str(result.winner.walk_id) if result.winner is not None else "-"
+        )
+        lines.append(
+            f"{result.job_id:>4}  {spec.label:<26.26} "
+            f"{result.n_walkers:>7}  {result.status.value:<9} "
+            f"{winner:>6}  {result.queue_wait * 1e3:>9.1f}  "
+            f"{result.latency * 1e3:>10.1f}  {result.retries:>7}"
+        )
+    if snapshot is not None:
+        lines.append("")
+        lines.append(snapshot.summary())
+    return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Service metrics: throughput, latency, queue wait, utilization, crashes.
+
+``ServiceMetrics`` is the mutable collector owned by the scheduler thread;
+``snapshot()`` freezes it into an immutable :class:`MetricsSnapshot` that
+can be read from any thread (a lock guards the handful of mutation points —
+they are all O(1), so contention is irrelevant at solver time scales).
+
+Worker utilization is measured as busy-time integral over wall time:
+every dispatch->result interval adds to a busy-seconds accumulator, and
+``utilization = busy_seconds / (n_workers * uptime)``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.service.jobs import JobStatus
+
+__all__ = ["MetricsSnapshot", "ServiceMetrics"]
+
+#: retain at most this many per-job latency observations (ring buffer)
+_MAX_OBSERVATIONS = 16_384
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable point-in-time view of the service counters."""
+
+    uptime: float
+    n_workers: int
+    jobs_submitted: int
+    jobs_completed: int
+    jobs_solved: int
+    jobs_unsolved: int
+    jobs_failed: int
+    jobs_cancelled: int
+    jobs_timed_out: int
+    jobs_in_flight: int
+    peak_jobs_in_flight: int
+    tasks_dispatched: int
+    walks_completed: int
+    stale_walks: int
+    crashes: int
+    retries: int
+    worker_respawns: int
+    throughput_jobs_per_s: float
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+    queue_wait_mean: float
+    worker_utilization: float
+
+    def summary(self) -> str:
+        return (
+            f"service: {self.jobs_completed}/{self.jobs_submitted} jobs done "
+            f"({self.jobs_solved} solved, {self.jobs_failed} failed, "
+            f"{self.jobs_timed_out} timed out) in {self.uptime:.2f}s | "
+            f"{self.throughput_jobs_per_s:.2f} jobs/s, "
+            f"latency mean {self.latency_mean * 1e3:.1f}ms "
+            f"p50 {self.latency_p50 * 1e3:.1f}ms "
+            f"p95 {self.latency_p95 * 1e3:.1f}ms, "
+            f"queue wait {self.queue_wait_mean * 1e3:.1f}ms | "
+            f"{self.n_workers} workers at "
+            f"{self.worker_utilization:.0%} utilization, "
+            f"{self.crashes} crash(es), {self.retries} retried, "
+            f"{self.worker_respawns} respawn(s)"
+        )
+
+
+class ServiceMetrics:
+    """Mutable counters behind :class:`MetricsSnapshot` (thread-safe)."""
+
+    def __init__(self, n_workers: int) -> None:
+        self._lock = threading.Lock()
+        self._started_at = time.monotonic()
+        self.n_workers = n_workers
+        self.jobs_submitted = 0
+        self.jobs_in_flight = 0
+        self.peak_jobs_in_flight = 0
+        self.tasks_dispatched = 0
+        self.walks_completed = 0
+        self.stale_walks = 0
+        self.crashes = 0
+        self.retries = 0
+        self.worker_respawns = 0
+        self.busy_seconds = 0.0
+        self._by_status: dict[JobStatus, int] = {s: 0 for s in JobStatus}
+        self._latencies: list[float] = []
+        self._queue_waits: list[float] = []
+
+    # ------------------------------------------------------------------
+    # recording (called from the scheduler thread)
+    # ------------------------------------------------------------------
+    def record_submit(self) -> None:
+        with self._lock:
+            self.jobs_submitted += 1
+            self.jobs_in_flight += 1
+            self.peak_jobs_in_flight = max(
+                self.peak_jobs_in_flight, self.jobs_in_flight
+            )
+
+    def record_dispatch(self) -> None:
+        with self._lock:
+            self.tasks_dispatched += 1
+
+    def record_walk_completed(self, busy_time: float, stale: bool) -> None:
+        with self._lock:
+            self.walks_completed += 1
+            self.busy_seconds += busy_time
+            if stale:
+                self.stale_walks += 1
+
+    def record_crash(self, busy_time: float, retried: bool) -> None:
+        with self._lock:
+            self.crashes += 1
+            self.busy_seconds += busy_time
+            if retried:
+                self.retries += 1
+
+    def record_respawn(self) -> None:
+        with self._lock:
+            self.worker_respawns += 1
+
+    def record_job_finished(
+        self, status: JobStatus, latency: float, queue_wait: float
+    ) -> None:
+        with self._lock:
+            self.jobs_in_flight = max(0, self.jobs_in_flight - 1)
+            self._by_status[status] += 1
+            if len(self._latencies) >= _MAX_OBSERVATIONS:
+                self._latencies.pop(0)
+                self._queue_waits.pop(0)
+            self._latencies.append(latency)
+            self._queue_waits.append(queue_wait)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            uptime = max(time.monotonic() - self._started_at, 1e-9)
+            completed = sum(
+                self._by_status[s] for s in JobStatus if s.finished
+            )
+            latencies = np.asarray(self._latencies, dtype=np.float64)
+            waits = np.asarray(self._queue_waits, dtype=np.float64)
+            return MetricsSnapshot(
+                uptime=uptime,
+                n_workers=self.n_workers,
+                jobs_submitted=self.jobs_submitted,
+                jobs_completed=completed,
+                jobs_solved=self._by_status[JobStatus.SOLVED],
+                jobs_unsolved=self._by_status[JobStatus.UNSOLVED],
+                jobs_failed=self._by_status[JobStatus.FAILED],
+                jobs_cancelled=self._by_status[JobStatus.CANCELLED],
+                jobs_timed_out=self._by_status[JobStatus.TIMED_OUT],
+                jobs_in_flight=self.jobs_in_flight,
+                peak_jobs_in_flight=self.peak_jobs_in_flight,
+                tasks_dispatched=self.tasks_dispatched,
+                walks_completed=self.walks_completed,
+                stale_walks=self.stale_walks,
+                crashes=self.crashes,
+                retries=self.retries,
+                worker_respawns=self.worker_respawns,
+                throughput_jobs_per_s=completed / uptime,
+                latency_mean=float(latencies.mean()) if latencies.size else 0.0,
+                latency_p50=(
+                    float(np.percentile(latencies, 50)) if latencies.size else 0.0
+                ),
+                latency_p95=(
+                    float(np.percentile(latencies, 95)) if latencies.size else 0.0
+                ),
+                queue_wait_mean=float(waits.mean()) if waits.size else 0.0,
+                worker_utilization=min(
+                    1.0, self.busy_seconds / (self.n_workers * uptime)
+                ),
+            )

@@ -1,0 +1,575 @@
+"""The concurrent solve-job scheduler.
+
+``SolverService`` multiplexes many concurrent multi-walk solve jobs over
+one shared :class:`~repro.service.pool.WorkerPool`:
+
+- every submitted :class:`~repro.service.jobs.Job` is expanded into
+  per-walk tasks tagged with the job's cancel token;
+- tasks are dispatched to idle workers in priority order, interleaved by
+  walk index within a priority class, so when jobs outnumber workers every
+  job keeps at least its first walk moving instead of head-of-line blocking
+  (the oversubscription policy: queueing is unbounded, width is
+  time-shared);
+- the first solved walk of a job wins: the scheduler raises that job's
+  cancel generation (other jobs' walks are untouched — see
+  :mod:`repro.service.worker`), completes the job immediately and recycles
+  the slot while losing walks drain in the background;
+- a crashed walk (exception payload or dead worker process) is retried
+  with exponential backoff under the job's :class:`RetryPolicy`; dead
+  workers are respawned; when the retry budget runs out the job fails;
+- per-job deadlines force-cancel overdue jobs.
+
+All scheduling state is owned by one background thread; clients interact
+through thread-safe :class:`JobHandle` futures.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.termination import TerminationReason
+from repro.errors import ParallelError
+from repro.parallel.results import WalkOutcome
+from repro.problems.base import Problem
+from repro.service.jobs import Job, JobResult, JobStatus, RetryPolicy
+from repro.service.metrics import MetricsSnapshot, ServiceMetrics
+from repro.service.pool import CancelToken, WorkerPool
+from repro.service.worker import WalkTask
+from repro.util.rng import SeedLike
+
+__all__ = ["JobHandle", "SolverService"]
+
+
+class JobHandle:
+    """Future-style handle on a submitted job (thread-safe)."""
+
+    def __init__(self, job_id: int, service: "SolverService") -> None:
+        self.job_id = job_id
+        self._service = service
+        self._event = threading.Event()
+        self._result: Optional[JobResult] = None
+        self._status = JobStatus.PENDING
+
+    @property
+    def status(self) -> JobStatus:
+        return self._status
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> JobResult:
+        """Block until the job completes; raises on timeout."""
+        if not self._event.wait(timeout):
+            raise ParallelError(
+                f"timed out after {timeout}s waiting for job {self.job_id}"
+            )
+        assert self._result is not None
+        return self._result
+
+    def cancel(self) -> None:
+        """Request cancellation (no-op if the job already finished)."""
+        self._service._request_cancel(self.job_id)
+
+    # called from the scheduler thread only
+    def _complete(self, result: JobResult) -> None:
+        self._result = result
+        self._status = result.status
+        self._event.set()
+
+
+class _JobState:
+    """Scheduler-thread-private bookkeeping for one job."""
+
+    __slots__ = (
+        "job", "job_id", "seq", "handle", "problem_id", "token", "retry",
+        "seeds", "submitted_at", "first_dispatch_at", "deadline_at",
+        "outcomes", "outstanding", "winner", "retries", "crashes", "error",
+    )
+
+    def __init__(
+        self,
+        job: Job,
+        job_id: int,
+        seq: int,
+        handle: JobHandle,
+        retry: RetryPolicy,
+        submitted_at: float,
+    ) -> None:
+        self.job = job
+        self.job_id = job_id
+        self.seq = seq
+        self.handle = handle
+        self.retry = retry
+        self.problem_id: int | None = None
+        self.token: CancelToken | None = None
+        self.seeds = job.walk_seed_sequences()
+        self.submitted_at = submitted_at
+        self.first_dispatch_at: float | None = None
+        self.deadline_at = (
+            submitted_at + job.deadline if job.deadline is not None else None
+        )
+        self.outcomes: dict[int, WalkOutcome] = {}
+        self.outstanding: set[int] = set(range(len(self.seeds)))
+        self.winner: WalkOutcome | None = None
+        self.retries = 0
+        self.crashes = 0
+        self.error: str | None = None
+
+
+def _outcome_from_payload(walk_id: int, payload: dict[str, Any]) -> WalkOutcome:
+    return WalkOutcome(
+        walk_id=walk_id,
+        solved=payload["solved"],
+        cost=payload["cost"],
+        iterations=payload["iterations"],
+        wall_time=payload["wall_time"],
+        reason=TerminationReason[payload["reason"]],
+        config=(
+            np.asarray(payload["config"], dtype=np.int64)
+            if payload["config"] is not None
+            else None
+        ),
+    )
+
+
+class SolverService:
+    """Schedules concurrent solve jobs over a persistent worker pool.
+
+    Parameters
+    ----------
+    n_workers:
+        size of the owned pool (ignored when ``pool`` is given).
+    pool:
+        an existing :class:`WorkerPool` to borrow; the caller keeps
+        ownership (and shuts it down) in that case.
+    mp_context / cancel_slots:
+        forwarded to the owned pool.
+    poll_every:
+        iterations between cancel-token polls inside walks.
+    retry_policy:
+        default crash policy for jobs that do not carry their own.
+    tick:
+        scheduler heartbeat in seconds: the granularity of deadline
+        enforcement, crash detection and backoff wake-ups (results are
+        reaped as fast as they arrive regardless).
+    """
+
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        *,
+        pool: WorkerPool | None = None,
+        mp_context: str | None = None,
+        cancel_slots: int = 64,
+        poll_every: int = 64,
+        retry_policy: RetryPolicy | None = None,
+        tick: float = 0.005,
+    ) -> None:
+        if pool is None and (n_workers is None or n_workers < 1):
+            raise ParallelError(
+                f"n_workers must be >= 1 when no pool is given, got {n_workers}"
+            )
+        if poll_every < 1:
+            raise ParallelError(f"poll_every must be >= 1, got {poll_every}")
+        if tick <= 0:
+            raise ParallelError(f"tick must be > 0, got {tick}")
+        self._pool = pool
+        self._owns_pool = pool is None
+        self._pool_kwargs = {
+            "mp_context": mp_context, "cancel_slots": cancel_slots,
+        }
+        self.n_workers = pool.n_workers if pool is not None else int(n_workers)  # type: ignore[arg-type]
+        self.poll_every = poll_every
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.tick = tick
+
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._inbox: deque[tuple[Any, ...]] = deque()
+        self._job_counter = itertools.count()
+        self._started = False
+        self._shutdown_requested = False
+        self._closed = False
+        self.metrics = ServiceMetrics(self.n_workers)
+
+        # scheduler-thread-private state
+        self._jobs: dict[int, _JobState] = {}
+        self._pending: list[tuple[tuple[int, int], int]] = []  # (key, job_id)
+        self._ready: list[tuple[tuple[int, int, int], int, int]] = []
+        self._delayed: list[tuple[float, tuple[int, int, int], int, int]] = []
+        self._idle: set[int] = set()
+        self._in_flight: dict[int, tuple[int, int, float]] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SolverService":
+        """Spawn the pool (if owned) and the scheduler thread (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise ParallelError("service is shut down")
+            if self._started:
+                return self
+            if self._pool is None:
+                self._pool = WorkerPool(self.n_workers, **self._pool_kwargs)
+            self._idle = set(self._pool.worker_ids)
+            self._thread = threading.Thread(
+                target=self._run, name="repro-solver-service", daemon=True
+            )
+            self._started = True
+            self._thread.start()
+        return self
+
+    def shutdown(
+        self, *, wait_jobs: bool = True, timeout: float | None = 60.0
+    ) -> None:
+        """Stop the service; with ``wait_jobs`` outstanding jobs finish
+        first, otherwise they complete as CANCELLED (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            started = self._started
+        if started:
+            self._shutdown_requested = True
+            self._inbox.append(("shutdown", wait_jobs))
+            assert self._thread is not None
+            self._thread.join(timeout=timeout)
+            if self._thread.is_alive():  # pragma: no cover - defensive
+                raise ParallelError("scheduler thread failed to stop in time")
+        if self._owns_pool and self._pool is not None:
+            self._pool.shutdown()
+
+    def __enter__(self) -> "SolverService":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # client surface
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        problem: Problem,
+        n_walkers: int = 1,
+        seed: SeedLike = None,
+        *,
+        config: AdaptiveSearchConfig | None = None,
+        priority: int = 0,
+        deadline: float | None = None,
+        retry: RetryPolicy | None = None,
+        seeds: Sequence[np.random.SeedSequence] | None = None,
+    ) -> JobHandle:
+        """Submit one solve job; returns immediately with a handle."""
+        return self.submit_job(
+            Job(
+                problem=problem,
+                n_walkers=n_walkers,
+                seed=seed,
+                seeds=seeds,
+                config=config,
+                priority=priority,
+                deadline=deadline,
+                retry=retry,
+            )
+        )
+
+    def submit_job(self, job: Job) -> JobHandle:
+        with self._lock:
+            if self._closed:
+                raise ParallelError("service is shut down")
+        if not self._started:
+            self.start()
+        job_id = next(self._job_counter)
+        handle = JobHandle(job_id, self)
+        self.metrics.record_submit()
+        self._inbox.append(("submit", job, job_id, handle, time.monotonic()))
+        return handle
+
+    def solve(
+        self,
+        problem: Problem,
+        n_walkers: int = 1,
+        seed: SeedLike = None,
+        *,
+        timeout: float | None = None,
+        **kwargs: Any,
+    ) -> JobResult:
+        """Submit and block until the job completes."""
+        return self.submit(problem, n_walkers, seed, **kwargs).result(timeout)
+
+    def run_jobs(
+        self, jobs: Sequence[Job], *, timeout: float | None = None
+    ) -> list[JobResult]:
+        """Run many jobs concurrently; results in submission order."""
+        handles = [self.submit_job(job) for job in jobs]
+        return [handle.result(timeout) for handle in handles]
+
+    def snapshot(self) -> MetricsSnapshot:
+        return self.metrics.snapshot()
+
+    def _request_cancel(self, job_id: int) -> None:
+        self._inbox.append(("cancel", job_id))
+
+    # ------------------------------------------------------------------
+    # scheduler thread
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        draining = False
+        try:
+            while True:
+                draining = self._drain_inbox() or draining
+                now = time.monotonic()
+                self._promote_delayed(now)
+                self._activate_pending()
+                self._check_deadlines(now)
+                self._check_workers()
+                self._dispatch()
+                if draining and not self._jobs and not self._inbox:
+                    return
+                self._reap()
+        except Exception:  # pragma: no cover - defensive: fail fast, loudly
+            import traceback
+
+            error = traceback.format_exc()
+            for state in list(self._jobs.values()):
+                state.error = error
+                self._finish_job(state, JobStatus.FAILED, time.monotonic())
+            raise
+
+    def _drain_inbox(self) -> bool:
+        """Process client messages; returns True once shutdown was seen."""
+        draining = False
+        while self._inbox:
+            message = self._inbox.popleft()
+            kind = message[0]
+            if kind == "submit":
+                _, job, job_id, handle, submitted_at = message
+                state = _JobState(
+                    job, job_id, job_id, handle,
+                    job.retry or self.retry_policy, submitted_at,
+                )
+                self._jobs[job_id] = state
+                heapq.heappush(
+                    self._pending, ((-job.priority, state.seq), job_id)
+                )
+            elif kind == "cancel":
+                state = self._jobs.get(message[1])
+                if state is not None:
+                    if state.token is not None:
+                        self._pool.cancel(state.token)  # type: ignore[union-attr]
+                    self._finish_job(
+                        state, JobStatus.CANCELLED, time.monotonic()
+                    )
+            elif kind == "shutdown":
+                draining = True
+                if not message[1]:  # wait_jobs=False: cancel everything
+                    for state in list(self._jobs.values()):
+                        if state.token is not None:
+                            self._pool.cancel(state.token)  # type: ignore[union-attr]
+                        self._finish_job(
+                            state, JobStatus.CANCELLED, time.monotonic()
+                        )
+        return draining
+
+    def _activate_pending(self) -> None:
+        """Give queued jobs a cancel slot and enqueue their walk tasks."""
+        pool = self._pool
+        assert pool is not None
+        while self._pending:
+            (key, job_id) = self._pending[0]
+            state = self._jobs.get(job_id)
+            if state is None or state.token is not None:
+                heapq.heappop(self._pending)  # cancelled or already active
+                continue
+            token = pool.acquire_slot()
+            if token is None:
+                return  # every slot busy; stay queued
+            heapq.heappop(self._pending)
+            state.token = token
+            state.problem_id = pool.register_problem(state.job.problem)
+            priority = -state.job.priority
+            for walk_id in range(len(state.seeds)):
+                heapq.heappush(
+                    self._ready,
+                    ((priority, walk_id, state.seq), job_id, walk_id),
+                )
+
+    def _promote_delayed(self, now: float) -> None:
+        while self._delayed and self._delayed[0][0] <= now:
+            _, key, job_id, walk_id = heapq.heappop(self._delayed)
+            heapq.heappush(self._ready, (key, job_id, walk_id))
+
+    def _dispatch(self) -> None:
+        pool = self._pool
+        assert pool is not None
+        while self._idle and self._ready:
+            key, job_id, walk_id = heapq.heappop(self._ready)
+            state = self._jobs.get(job_id)
+            if state is None or state.token is None:
+                continue  # job finished while this task was queued
+            worker_id = self._idle.pop()
+            now = time.monotonic()
+            pool.send_task(
+                worker_id,
+                WalkTask(
+                    job_id=job_id,
+                    walk_id=walk_id,
+                    problem_id=state.problem_id,  # type: ignore[arg-type]
+                    config=state.job.config,
+                    seed=state.seeds[walk_id],
+                    slot=state.token.slot,
+                    generation=state.token.generation,
+                    poll_every=self.poll_every,
+                ),
+            )
+            self._in_flight[worker_id] = (job_id, walk_id, now)
+            if state.first_dispatch_at is None:
+                state.first_dispatch_at = now
+            self.metrics.record_dispatch()
+
+    def _check_deadlines(self, now: float) -> None:
+        for state in list(self._jobs.values()):
+            if state.deadline_at is not None and now >= state.deadline_at:
+                if state.token is not None:
+                    self._pool.cancel(state.token)  # type: ignore[union-attr]
+                self._finish_job(state, JobStatus.TIMED_OUT, now)
+
+    def _check_workers(self) -> None:
+        pool = self._pool
+        assert pool is not None
+        for worker_id in pool.worker_ids:
+            if pool.is_alive(worker_id):
+                continue
+            entry = self._in_flight.pop(worker_id, None)
+            self._idle.discard(worker_id)
+            pool.respawn(worker_id)
+            self.metrics.record_respawn()
+            self._idle.add(worker_id)
+            if entry is None:
+                continue  # died idle: nothing to retry
+            job_id, walk_id, dispatched_at = entry
+            self._handle_crash(
+                job_id,
+                walk_id,
+                busy_time=time.monotonic() - dispatched_at,
+                error=f"worker process {worker_id} died while running "
+                f"walk {walk_id} of job {job_id}",
+            )
+
+    def _reap(self) -> None:
+        """Pull walk reports from the pool outbox (one blocking poll, then
+        everything already queued)."""
+        import queue as queue_mod
+
+        pool = self._pool
+        assert pool is not None
+        block = True
+        while True:
+            try:
+                message = pool.outbox.get(timeout=self.tick if block else 0)
+            except queue_mod.Empty:
+                return
+            block = False
+            kind, worker_id, job_id, walk_id, payload = message
+            if kind != "result":  # pragma: no cover - protocol guard
+                continue
+            entry = self._in_flight.pop(worker_id, None)
+            busy_time = (
+                time.monotonic() - entry[2] if entry is not None else 0.0
+            )
+            self._idle.add(worker_id)
+            if "error" in payload:
+                self._handle_crash(
+                    job_id, walk_id, busy_time=busy_time,
+                    error=payload["error"],
+                )
+                continue
+            state = self._jobs.get(job_id)
+            stale = state is None or walk_id not in state.outstanding
+            self.metrics.record_walk_completed(busy_time, stale=stale)
+            if stale:
+                continue
+            assert state is not None
+            outcome = _outcome_from_payload(walk_id, payload)
+            state.outcomes[walk_id] = outcome
+            state.outstanding.discard(walk_id)
+            now = time.monotonic()
+            if outcome.solved and state.winner is None:
+                state.winner = outcome
+                self._pool.cancel(state.token)  # type: ignore[arg-type,union-attr]
+                self._finish_job(state, JobStatus.SOLVED, now)
+            elif not state.outstanding:
+                self._finish_job(state, JobStatus.UNSOLVED, now)
+
+    # ------------------------------------------------------------------
+    def _handle_crash(
+        self, job_id: int, walk_id: int, *, busy_time: float, error: str
+    ) -> None:
+        state = self._jobs.get(job_id)
+        if state is None:
+            self.metrics.record_crash(busy_time, retried=False)
+            return
+        state.crashes += 1
+        if state.retries < state.retry.max_retries:
+            state.retries += 1
+            self.metrics.record_crash(busy_time, retried=True)
+            due = time.monotonic() + state.retry.delay(state.retries)
+            key = (-state.job.priority, walk_id, state.seq)
+            heapq.heappush(self._delayed, (due, key, job_id, walk_id))
+        else:
+            self.metrics.record_crash(busy_time, retried=False)
+            state.error = error
+            if state.token is not None:
+                self._pool.cancel(state.token)  # type: ignore[union-attr]
+            self._finish_job(state, JobStatus.FAILED, time.monotonic())
+
+    def _finish_job(
+        self, state: _JobState, status: JobStatus, now: float
+    ) -> None:
+        """Complete the handle, free the slot, forget the job.
+
+        Losing walks may still be draining on workers; their late reports
+        are counted as stale.  Slot recycling is immediately safe thanks to
+        the generation tokens.
+        """
+        if state.job_id not in self._jobs:
+            return  # already finished through another path
+        del self._jobs[state.job_id]
+        if state.token is not None:
+            self._pool.release_slot(state.token)  # type: ignore[union-attr]
+        queue_wait = (
+            state.first_dispatch_at - state.submitted_at
+            if state.first_dispatch_at is not None
+            else now - state.submitted_at
+        )
+        solve_time = (
+            now - state.first_dispatch_at
+            if state.first_dispatch_at is not None
+            else 0.0
+        )
+        latency = now - state.submitted_at
+        result = JobResult(
+            job_id=state.job_id,
+            status=status,
+            n_walkers=len(state.seeds),
+            walks=[state.outcomes[k] for k in sorted(state.outcomes)],
+            winner=state.winner,
+            error=state.error,
+            queue_wait=queue_wait,
+            solve_time=solve_time,
+            latency=latency,
+            retries=state.retries,
+            crashes=state.crashes,
+        )
+        self.metrics.record_job_finished(status, latency, queue_wait)
+        state.handle._complete(result)

@@ -1,0 +1,136 @@
+"""Child-process side of the persistent worker pool.
+
+A service worker is a long-lived process running :func:`service_worker_main`:
+it blocks on its private inbox queue and reacts to three message kinds,
+
+``("problem", problem_id, problem)``
+    cache the (already unpickled) problem instance — each problem crosses
+    the process boundary once per worker, not once per walk;
+``("walk", task)``
+    run one Adaptive Search walk and report
+    ``("result", worker_id, job_id, walk_id, payload)`` on the shared
+    outbox;
+``("shutdown",)``
+    exit the loop.
+
+Cancellation uses a shared *generation* array instead of the one-shot event
+of the plain process executor: every job holds a ``(slot, generation)``
+token, a walk polls ``cancel_generations[slot] >= generation`` between
+iterations, and cancelling a job raises the slot to that job's generation.
+Generations only grow, so a slot can be handed to the next job immediately —
+a stale walk of the previous tenant still sees itself cancelled while the
+new tenant (holding a strictly larger generation) keeps running.  One job's
+win therefore never kills another job's walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.solver import AdaptiveSearch
+
+__all__ = [
+    "WalkTask",
+    "GenerationCancelCallback",
+    "walk_payload",
+    "service_worker_main",
+]
+
+
+@dataclass(frozen=True)
+class WalkTask:
+    """One unit of pool work: a single walk of one job."""
+
+    job_id: int
+    walk_id: int
+    problem_id: int
+    config: Optional[AdaptiveSearchConfig]
+    seed: np.random.SeedSequence
+    slot: int
+    generation: int
+    poll_every: int = 64
+
+
+class GenerationCancelCallback:
+    """Cancels a walk when its job's cancel slot reaches its generation.
+
+    The shared array is only polled every ``poll_every`` iterations — the
+    scheme needs completion detection, not instantaneous preemption
+    (same trade-off as the process executor's event poll).
+    """
+
+    def __init__(
+        self, cancel_generations: Any, slot: int, generation: int,
+        poll_every: int = 64,
+    ) -> None:
+        if poll_every < 1:
+            raise ValueError(f"poll_every must be >= 1, got {poll_every}")
+        self.cancel_generations = cancel_generations
+        self.slot = slot
+        self.generation = generation
+        self.poll_every = poll_every
+
+    def on_iteration(self, info: Any) -> bool | None:
+        if (
+            info.iteration % self.poll_every == 0
+            and self.cancel_generations[self.slot] >= self.generation
+        ):
+            return False
+        return None
+
+
+def walk_payload(result: Any) -> dict[str, Any]:
+    """Reduce a :class:`SolveResult` to the picklable walk-report dict."""
+    return {
+        "solved": result.solved,
+        "cost": result.cost,
+        "iterations": result.stats.iterations,
+        "wall_time": result.stats.wall_time,
+        "reason": result.reason.name,
+        "config": result.config.tolist() if result.solved else None,
+    }
+
+
+def service_worker_main(
+    worker_id: int,
+    inbox: Any,
+    outbox: Any,
+    cancel_generations: Any,
+) -> None:
+    """Run the worker loop until a shutdown message arrives.
+
+    Every walk task produces exactly one result message; a walk that raises
+    reports an ``{"error": traceback}`` payload and the worker *survives* —
+    the retry decision belongs to the scheduler.  Only killing the process
+    (or shutdown) ends the loop.
+    """
+    problems: dict[int, Any] = {}
+    while True:
+        message = inbox.get()
+        kind = message[0]
+        if kind == "shutdown":
+            break
+        if kind == "problem":
+            _, problem_id, problem = message
+            problems[problem_id] = problem
+            continue
+        if kind != "walk":  # pragma: no cover - protocol guard
+            continue
+        task: WalkTask = message[1]
+        try:
+            problem = problems[task.problem_id]
+            solver = AdaptiveSearch(task.config)
+            callback = GenerationCancelCallback(
+                cancel_generations, task.slot, task.generation, task.poll_every
+            )
+            result = solver.solve(problem, seed=task.seed, callbacks=[callback])
+            payload = walk_payload(result)
+        except Exception:
+            import traceback
+
+            payload = {"error": traceback.format_exc()}
+        outbox.put(("result", worker_id, task.job_id, task.walk_id, payload))

@@ -51,7 +51,16 @@ class TestMoveHistogram:
         assert sum(hist.fractions().values()) == pytest.approx(1.0)
 
     def test_empty_histogram(self):
-        assert MoveHistogram().fractions()["improving"] == 0.0
+        fractions = MoveHistogram().fractions()
+        assert fractions == {
+            "improving": 0.0,
+            "plateau": 0.0,
+            "worsening": 0.0,
+            "frozen": 0.0,
+        }
+        assert MoveHistogram().total == 0
+        # the summary must render without dividing by zero
+        assert "0 iterations" in MoveHistogram().summary()
 
     def test_attached_to_real_run(self):
         problem = MagicSquareProblem(5)
@@ -87,6 +96,20 @@ class TestBestCostTimeline:
         timeline.on_iteration(info(iteration=4, best=3.0))
         assert timeline.iterations_to(10.0) == 0
         assert timeline.iterations_to(3.0) == 4
+        assert timeline.iterations_to(0.0) is None
+
+    def test_without_on_start_seeds_from_first_iteration(self):
+        """A timeline attached mid-run records from its first observation."""
+        timeline = BestCostTimeline()
+        timeline.on_iteration(info(iteration=7, best=9.0))
+        timeline.on_iteration(info(iteration=8, best=9.0))
+        timeline.on_iteration(info(iteration=9, best=4.0))
+        assert timeline.points == [(7, 9.0), (9, 4.0)]
+        assert timeline.final_best == 4.0
+
+    def test_empty_timeline(self):
+        timeline = BestCostTimeline()
+        assert timeline.final_best == float("inf")
         assert timeline.iterations_to(0.0) is None
 
     def test_on_real_run(self):

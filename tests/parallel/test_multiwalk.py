@@ -1,5 +1,7 @@
 """Tests for the independent multi-walk driver."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -7,6 +9,7 @@ from repro.core.config import AdaptiveSearchConfig
 from repro.errors import ParallelError
 from repro.parallel.multiwalk import MultiWalkSolver, solve_parallel
 from repro.problems import CostasProblem, make_problem
+from repro.problems.base import Problem, WalkState
 
 CFG = AdaptiveSearchConfig(max_iterations=200_000)
 
@@ -168,6 +171,87 @@ class TestProcessExecutor:
         assert result.solved
         # all walks reported (solved, cancelled, or budget-exhausted)
         assert len(result.walks) == 4
+
+
+class CountdownState(WalkState):
+    """Adds the tick counter and speed class driving CountdownProblem."""
+
+    __slots__ = ("ticks", "fast")
+
+
+class CountdownProblem(Problem):
+    """Solvable only by walks whose *initial* ``config[0]`` is even.
+
+    Every iteration executes one always-improving swap and advances a tick
+    counter; "fast" walks reach cost 0 after ``FAST`` ticks, the others
+    never do.  The per-iteration sleep bounds the iteration rate, so a
+    loser's iteration count measures cancellation latency (in poll windows)
+    rather than raw loop speed.
+    """
+
+    family = "countdown"
+    FAST = 40
+
+    def __init__(self, n: int = 8, sleep: float = 0.0005) -> None:
+        self._n = n
+        self.sleep = sleep
+
+    @property
+    def size(self) -> int:
+        return self._n
+
+    def cost(self, config):
+        return 1.0
+
+    def init_state(self, config):
+        self.check_configuration(config)
+        cfg = np.array(config, dtype=np.int64, copy=True)
+        state = CountdownState(cfg, 1.0)
+        state.ticks = 0
+        state.fast = int(cfg[0]) % 2 == 0
+        return state
+
+    def variable_errors(self, state):
+        state.ticks += 1
+        if self.sleep:
+            time.sleep(self.sleep)
+        return np.ones(self._n, dtype=np.float64)
+
+    def swap_delta(self, state, i, j):
+        return -1.0 if i != j else 0.0
+
+    def swap_deltas(self, state, i):
+        deltas = np.full(self._n, -1.0)
+        deltas[i] = 0.0
+        return deltas
+
+    def apply_swap(self, state, i, j):
+        cfg = state.config
+        cfg[i], cfg[j] = cfg[j], cfg[i]
+        state.cost = 0.0 if state.fast and state.ticks >= self.FAST else 1.0
+
+
+@pytest.mark.slow
+class TestLoserCancellation:
+    """Regression: a fast winner must promptly cancel the losing walks."""
+
+    def test_losers_bounded_after_fast_winner(self):
+        problem = CountdownProblem(8)
+        budget = AdaptiveSearchConfig(max_iterations=200_000)
+        result = MultiWalkSolver(budget, executor="process", poll_every=16).solve(
+            problem, 3, seed=3, time_limit=60.0
+        )
+        # seed 3 deals walk 0 an even config[0] (fast); walks 1-2 are odd
+        # and would otherwise sleep through the whole 200k-iteration budget
+        assert result.solved
+        assert result.winner.walk_id == 0
+        assert result.winner.iterations <= CountdownProblem.FAST + 2
+        losers = [w for w in result.walks if w.walk_id != result.winner.walk_id]
+        assert len(losers) == 2
+        for walk in losers:
+            assert not walk.solved
+            assert walk.iterations < 5_000
+        assert result.elapsed_time < 20.0
 
 
 class CrashingProblem(CostasProblem):

@@ -1,0 +1,131 @@
+"""Tests for jobs files and the batch result table (no processes)."""
+
+import json
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.service import JobResult, JobStatus
+from repro.service.batch import (
+    JobSpec,
+    build_jobs,
+    format_results_table,
+    load_jobs_file,
+)
+
+
+def write_jobs(tmp_path, payload):
+    path = tmp_path / "jobs.json"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+class TestJobSpec:
+    def test_label(self):
+        assert JobSpec(family="costas", params={"n": 9}).label == "costas(n=9)"
+        assert JobSpec(family="costas").label == "costas"
+
+    def test_validation(self):
+        with pytest.raises(ParallelError, match="walkers"):
+            JobSpec(family="costas", walkers=0)
+        with pytest.raises(ParallelError, match="repeat"):
+            JobSpec(family="costas", repeat=0)
+
+
+class TestLoadJobsFile:
+    def test_plain_list(self, tmp_path):
+        path = write_jobs(
+            tmp_path,
+            [
+                {"family": "costas", "params": {"n": 9}, "walkers": 4},
+                {"family": "queens", "repeat": 2},
+            ],
+        )
+        specs = load_jobs_file(path)
+        assert len(specs) == 2
+        assert specs[0].walkers == 4
+        assert specs[1].repeat == 2
+
+    def test_jobs_wrapper_object(self, tmp_path):
+        path = write_jobs(tmp_path, {"jobs": [{"family": "costas"}]})
+        assert load_jobs_file(path)[0].family == "costas"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ParallelError, match="cannot read"):
+            load_jobs_file(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ParallelError, match="not valid JSON"):
+            load_jobs_file(path)
+
+    def test_empty_list(self, tmp_path):
+        with pytest.raises(ParallelError, match="non-empty list"):
+            load_jobs_file(write_jobs(tmp_path, []))
+
+    def test_missing_family(self, tmp_path):
+        with pytest.raises(ParallelError, match="missing 'family'"):
+            load_jobs_file(write_jobs(tmp_path, [{"walkers": 2}]))
+
+    def test_unknown_key(self, tmp_path):
+        path = write_jobs(tmp_path, [{"family": "costas", "walkerz": 2}])
+        with pytest.raises(ParallelError, match="walkerz"):
+            load_jobs_file(path)
+
+    def test_non_object_entry(self, tmp_path):
+        with pytest.raises(ParallelError, match="not an object"):
+            load_jobs_file(write_jobs(tmp_path, ["costas"]))
+
+
+class TestBuildJobs:
+    def test_repeat_expands_with_shifted_seeds(self):
+        spec = JobSpec(family="costas", params={"n": 8}, seed=10, repeat=3)
+        jobs = build_jobs([spec])
+        assert [job.seed for _, job in jobs] == [10, 11, 12]
+
+    def test_repeat_without_seed_stays_unseeded(self):
+        jobs = build_jobs([JobSpec(family="costas", params={"n": 8}, repeat=2)])
+        assert [job.seed for _, job in jobs] == [None, None]
+
+    def test_same_instance_shared_across_specs(self):
+        """Equal (family, params) specs share one problem object, so the
+        pool serializes the instance to each worker only once."""
+        specs = [
+            JobSpec(family="costas", params={"n": 8}, seed=0),
+            JobSpec(family="costas", params={"n": 8}, seed=1),
+            JobSpec(family="costas", params={"n": 9}, seed=0),
+        ]
+        jobs = [job for _, job in build_jobs(specs)]
+        assert jobs[0].problem is jobs[1].problem
+        assert jobs[0].problem is not jobs[2].problem
+
+    def test_scheduling_attributes_forwarded(self):
+        spec = JobSpec(family="costas", walkers=4, priority=2, deadline=30.0)
+        _, job = build_jobs([spec])[0]
+        assert job.n_walkers == 4
+        assert job.priority == 2
+        assert job.deadline == 30.0
+
+
+class TestFormatResultsTable:
+    def test_renders_rows_and_summary(self):
+        spec = JobSpec(family="costas", params={"n": 9}, walkers=2)
+        result = JobResult(
+            job_id=0, status=JobStatus.UNSOLVED, n_walkers=2,
+            queue_wait=0.001, latency=0.25,
+        )
+        from repro.service.metrics import ServiceMetrics
+
+        table = format_results_table(
+            [(spec, result)], ServiceMetrics(n_workers=2).snapshot()
+        )
+        assert "costas(n=9)" in table
+        assert "unsolved" in table
+        assert "workers" in table  # the snapshot summary line
+
+    def test_without_snapshot(self):
+        spec = JobSpec(family="queens")
+        result = JobResult(job_id=1, status=JobStatus.CANCELLED, n_walkers=1)
+        table = format_results_table([(spec, result)])
+        assert "cancelled" in table

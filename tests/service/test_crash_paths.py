@@ -1,0 +1,138 @@
+"""Crash-path coverage: raising walks, dying workers, retry exhaustion.
+
+The service must convert worker failures into per-job retries (soft crash:
+the walk raises, the worker survives; hard crash: the worker process dies
+and is respawned) and must never leave orphaned processes behind.
+"""
+
+import multiprocessing as mp
+import os
+
+import pytest
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.problems import CostasProblem
+from repro.service import JobStatus, RetryPolicy, SolverService
+
+CFG = AdaptiveSearchConfig(max_iterations=200_000)
+FAST_RETRY = RetryPolicy(max_retries=2, backoff=0.01)
+
+
+class AlwaysRaiseProblem(CostasProblem):
+    """Every evaluation raises inside the worker (soft crash)."""
+
+    def variable_errors(self, state):
+        raise RuntimeError("injected failure")
+
+
+class HardExitProblem(CostasProblem):
+    """Every evaluation kills the worker process outright (hard crash)."""
+
+    def variable_errors(self, state):
+        os._exit(3)
+
+
+class CrashOnceProblem(CostasProblem):
+    """Raises on the first attempt only (flagged through the filesystem),
+    so the retried walk succeeds."""
+
+    def __init__(self, n, flag_path):
+        super().__init__(n)
+        self.flag_path = str(flag_path)
+
+    def variable_errors(self, state):
+        if not os.path.exists(self.flag_path):
+            with open(self.flag_path, "w", encoding="utf-8") as fh:
+                fh.write("crashed")
+            raise RuntimeError("transient failure")
+        return super().variable_errors(state)
+
+
+def no_service_orphans():
+    return not [
+        p for p in mp.active_children() if p.name.startswith("repro-service")
+    ]
+
+
+@pytest.mark.slow
+class TestSoftCrash:
+    def test_retry_budget_exhaustion_fails_the_job(self):
+        problem = AlwaysRaiseProblem(8)
+        service = SolverService(1)
+        with service:
+            result = service.solve(
+                problem, 1, seed=0, config=CFG, retry=FAST_RETRY, timeout=120
+            )
+            snapshot = service.snapshot()
+        assert result.status is JobStatus.FAILED
+        assert "injected failure" in result.error
+        assert result.crashes == FAST_RETRY.max_retries + 1
+        assert result.retries == FAST_RETRY.max_retries
+        # the worker caught the exception and survived: no respawns
+        assert snapshot.worker_respawns == 0
+        assert no_service_orphans()
+
+    def test_crash_then_retry_succeeds(self, tmp_path):
+        problem = CrashOnceProblem(8, tmp_path / "crashed.flag")
+        with SolverService(1) as service:
+            result = service.solve(
+                problem, 1, seed=0, config=CFG, retry=FAST_RETRY, timeout=120
+            )
+        assert result.status is JobStatus.SOLVED
+        assert problem.is_solution(result.config)
+        assert result.crashes == 1
+        assert result.retries == 1
+
+    def test_crash_does_not_poison_other_jobs(self):
+        """A failing job shares the pool with a healthy one; only the
+        failing job is affected."""
+        bad = AlwaysRaiseProblem(8)
+        good = CostasProblem(8)
+        with SolverService(2) as service:
+            bad_handle = service.submit(
+                bad, 1, seed=0, config=CFG, retry=FAST_RETRY
+            )
+            good_handle = service.submit(good, 2, seed=1, config=CFG)
+            bad_result = bad_handle.result(timeout=120)
+            good_result = good_handle.result(timeout=120)
+        assert bad_result.status is JobStatus.FAILED
+        assert good_result.status is JobStatus.SOLVED
+        assert good.is_solution(good_result.config)
+
+
+@pytest.mark.slow
+class TestHardCrash:
+    def test_dead_worker_is_respawned_and_job_fails(self):
+        problem = HardExitProblem(8)
+        policy = RetryPolicy(max_retries=1, backoff=0.01)
+        service = SolverService(1, tick=0.002)
+        with service:
+            result = service.solve(
+                problem, 1, seed=0, config=CFG, retry=policy, timeout=120
+            )
+            snapshot = service.snapshot()
+            # the pool healed itself: the worker slot is alive again
+            assert service._pool.is_alive(0)
+        assert result.status is JobStatus.FAILED
+        assert "died" in result.error
+        assert result.crashes == 2
+        assert result.retries == 1
+        assert snapshot.worker_respawns >= 2
+        assert service._pool.live_processes() == []
+        assert no_service_orphans()
+
+    def test_pool_keeps_serving_after_a_hard_crash(self, tmp_path):
+        """After a worker death the respawned worker still knows every
+        registered problem and solves follow-up jobs."""
+        killer = HardExitProblem(8)
+        healthy = CostasProblem(8)
+        policy = RetryPolicy(max_retries=0)
+        with SolverService(1, tick=0.002) as service:
+            first = service.solve(
+                killer, 1, seed=0, config=CFG, retry=policy, timeout=120
+            )
+            assert first.status is JobStatus.FAILED
+            second = service.solve(healthy, 1, seed=1, config=CFG, timeout=120)
+        assert second.status is JobStatus.SOLVED
+        assert healthy.is_solution(second.config)
+        assert no_service_orphans()

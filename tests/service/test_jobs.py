@@ -1,0 +1,115 @@
+"""Tests for the service's job and result types (no processes involved)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel.results import WalkOutcome
+from repro.parallel.seeding import walk_seeds
+from repro.core.termination import TerminationReason
+from repro.problems import CostasProblem
+from repro.service import Job, JobResult, JobStatus, RetryPolicy
+
+
+class TestJobStatus:
+    def test_finished_partition(self):
+        unfinished = {JobStatus.PENDING, JobStatus.RUNNING}
+        for status in JobStatus:
+            assert status.finished == (status not in unfinished)
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 2
+        assert policy.backoff > 0
+
+    def test_exponential_delay(self):
+        policy = RetryPolicy(max_retries=3, backoff=0.1, backoff_factor=2.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ParallelError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ParallelError, match="backoff "):
+            RetryPolicy(backoff=-0.1)
+        with pytest.raises(ParallelError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ParallelError, match="retry"):
+            RetryPolicy().delay(0)
+
+
+class TestJob:
+    def test_validation(self):
+        problem = CostasProblem(7)
+        with pytest.raises(ParallelError, match="n_walkers"):
+            Job(problem=problem, n_walkers=0)
+        with pytest.raises(ParallelError, match="deadline"):
+            Job(problem=problem, deadline=0.0)
+        with pytest.raises(ParallelError, match="seeds"):
+            Job(problem=problem, n_walkers=2, seeds=walk_seeds(3, 0))
+
+    def test_seed_sequences_match_multiwalk_seeding(self):
+        """A pool job spawns walk seeds exactly like the other executors."""
+        job = Job(problem=CostasProblem(7), n_walkers=3, seed=42)
+        ours = job.walk_seed_sequences()
+        reference = walk_seeds(3, 42)
+        assert [s.entropy for s in ours] == [s.entropy for s in reference]
+
+    def test_explicit_seeds_override(self):
+        seeds = walk_seeds(2, 7)
+        job = Job(problem=CostasProblem(7), n_walkers=2, seeds=seeds)
+        assert job.walk_seed_sequences() == list(seeds)
+
+
+def _solved_walk(walk_id=0, wall_time=0.01):
+    return WalkOutcome(
+        walk_id=walk_id,
+        solved=True,
+        cost=0.0,
+        iterations=10,
+        wall_time=wall_time,
+        reason=TerminationReason.SOLVED,
+        config=np.arange(5, dtype=np.int64),
+    )
+
+
+class TestJobResult:
+    def test_solved_and_config(self):
+        winner = _solved_walk()
+        result = JobResult(
+            job_id=0, status=JobStatus.SOLVED, n_walkers=1,
+            walks=[winner], winner=winner,
+        )
+        assert result.solved
+        assert np.array_equal(result.config, winner.config)
+
+    def test_unsolved_has_no_config(self):
+        result = JobResult(job_id=0, status=JobStatus.UNSOLVED, n_walkers=1)
+        assert not result.solved
+        assert result.config is None
+
+    def test_to_parallel_result_maps_timing(self):
+        winner = _solved_walk()
+        result = JobResult(
+            job_id=3, status=JobStatus.SOLVED, n_walkers=2,
+            walks=[winner], winner=winner,
+            queue_wait=0.5, solve_time=1.0, latency=1.5,
+        )
+        parallel = result.to_parallel_result()
+        assert parallel.executor == "pool"
+        assert parallel.solved
+        assert parallel.wall_time == pytest.approx(1.0)
+        assert parallel.elapsed_time == pytest.approx(1.5)
+        assert parallel.n_walkers == 2
+
+    def test_summary_mentions_crashes(self):
+        result = JobResult(
+            job_id=1, status=JobStatus.FAILED, n_walkers=1,
+            retries=2, crashes=3,
+        )
+        text = result.summary()
+        assert "FAILED" in text
+        assert "3 crash(es)" in text

@@ -1,0 +1,113 @@
+"""Tests for the service metrics collector (no processes involved)."""
+
+import pytest
+
+from repro.service import JobStatus
+from repro.service.metrics import MetricsSnapshot, ServiceMetrics
+
+
+class TestEmptySnapshot:
+    def test_all_zero(self):
+        snap = ServiceMetrics(n_workers=4).snapshot()
+        assert snap.jobs_submitted == 0
+        assert snap.jobs_completed == 0
+        assert snap.latency_mean == 0.0
+        assert snap.latency_p95 == 0.0
+        assert snap.queue_wait_mean == 0.0
+        assert snap.worker_utilization == 0.0
+        assert snap.uptime > 0
+
+    def test_summary_renders(self):
+        text = ServiceMetrics(n_workers=2).snapshot().summary()
+        assert "0/0 jobs done" in text
+        assert "2 workers" in text
+
+
+class TestCounters:
+    def test_job_lifecycle(self):
+        metrics = ServiceMetrics(n_workers=2)
+        metrics.record_submit()
+        metrics.record_submit()
+        metrics.record_dispatch()
+        metrics.record_walk_completed(0.2, stale=False)
+        metrics.record_job_finished(JobStatus.SOLVED, latency=1.0, queue_wait=0.1)
+        snap = metrics.snapshot()
+        assert snap.jobs_submitted == 2
+        assert snap.jobs_completed == 1
+        assert snap.jobs_solved == 1
+        assert snap.jobs_in_flight == 1
+        assert snap.peak_jobs_in_flight == 2
+        assert snap.tasks_dispatched == 1
+        assert snap.walks_completed == 1
+        assert snap.latency_mean == pytest.approx(1.0)
+        assert snap.queue_wait_mean == pytest.approx(0.1)
+        assert snap.throughput_jobs_per_s > 0
+
+    def test_crash_and_retry_counters(self):
+        metrics = ServiceMetrics(n_workers=1)
+        metrics.record_crash(0.0, retried=True)
+        metrics.record_crash(0.0, retried=False)
+        metrics.record_respawn()
+        snap = metrics.snapshot()
+        assert snap.crashes == 2
+        assert snap.retries == 1
+        assert snap.worker_respawns == 1
+
+    def test_stale_walks_counted_separately(self):
+        metrics = ServiceMetrics(n_workers=1)
+        metrics.record_walk_completed(0.0, stale=False)
+        metrics.record_walk_completed(0.0, stale=True)
+        snap = metrics.snapshot()
+        assert snap.walks_completed == 2
+        assert snap.stale_walks == 1
+
+    def test_every_status_has_a_bucket(self):
+        metrics = ServiceMetrics(n_workers=1)
+        for status in JobStatus:
+            if status.finished:
+                metrics.record_submit()
+                metrics.record_job_finished(status, latency=0.1, queue_wait=0.0)
+        snap = metrics.snapshot()
+        assert snap.jobs_completed == sum(1 for s in JobStatus if s.finished)
+        assert snap.jobs_solved == 1
+        assert snap.jobs_failed == 1
+        assert snap.jobs_cancelled == 1
+        assert snap.jobs_timed_out == 1
+        assert snap.jobs_unsolved == 1
+
+
+class TestUtilization:
+    def test_bounded_to_one(self):
+        metrics = ServiceMetrics(n_workers=1)
+        # busy time far above uptime (pathological clock skew) stays clamped
+        metrics.record_walk_completed(1e9, stale=False)
+        assert metrics.snapshot().worker_utilization == 1.0
+
+    def test_busy_integral(self):
+        metrics = ServiceMetrics(n_workers=4)
+        # busy times far below uptime so the 1.0 clamp stays out of play
+        metrics.record_walk_completed(1e-9, stale=False)
+        metrics.record_crash(1e-9, retried=False)
+        snap = metrics.snapshot()
+        expected = 2e-9 / (4 * snap.uptime)
+        assert 0.0 < snap.worker_utilization <= expected
+
+
+class TestLatencyPercentiles:
+    def test_percentiles_ordered(self):
+        metrics = ServiceMetrics(n_workers=1)
+        for latency in (0.1, 0.2, 0.3, 0.4, 10.0):
+            metrics.record_submit()
+            metrics.record_job_finished(
+                JobStatus.SOLVED, latency=latency, queue_wait=0.0
+            )
+        snap = metrics.snapshot()
+        assert snap.latency_p50 <= snap.latency_p95
+        assert snap.latency_p50 == pytest.approx(0.3)
+        assert snap.latency_mean == pytest.approx(2.2)
+
+    def test_snapshot_is_frozen(self):
+        snap = ServiceMetrics(n_workers=1).snapshot()
+        assert isinstance(snap, MetricsSnapshot)
+        with pytest.raises(AttributeError):
+            snap.jobs_submitted = 99

@@ -141,6 +141,105 @@ class TestSampleCommand:
         assert len(samples) == 5
 
 
+@pytest.mark.slow
+class TestServiceCommand:
+    def test_family_shorthand_runs_concurrent_jobs(self, capsys):
+        code = main(
+            [
+                "service",
+                "--family",
+                "costas",
+                "--set",
+                "n=8",
+                "--jobs",
+                "2",
+                "--walkers",
+                "2",
+                "--seed",
+                "1",
+                "--workers",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "costas(n=8)" in out
+        assert "solved" in out
+        assert "jobs done" in out  # the metrics summary line
+
+    def test_jobs_file(self, tmp_path, capsys):
+        import json
+
+        jobs_file = tmp_path / "jobs.json"
+        jobs_file.write_text(
+            json.dumps(
+                [
+                    {"family": "costas", "params": {"n": 8}, "walkers": 2,
+                     "seed": 1, "repeat": 2},
+                ]
+            ),
+            encoding="utf-8",
+        )
+        code = main(["service", str(jobs_file), "--workers", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("solved") >= 2
+
+    def test_no_jobs_file_or_family_exits_two(self, capsys):
+        assert main(["service"]) == 2
+        assert "jobs file or --family" in capsys.readouterr().err
+
+    def test_unsolved_jobs_exit_one(self, capsys):
+        code = main(
+            [
+                "service",
+                "--family",
+                "magic_square",
+                "--set",
+                "n=8",
+                "--seed",
+                "0",
+                "--workers",
+                "1",
+                "--max-iterations",
+                "10",
+            ]
+        )
+        assert code == 1
+        assert "unsolved" in capsys.readouterr().out
+
+    def test_sample_via_service_matches_sequential(self, capsys):
+        """--service-workers collects the same iteration counts as the
+        sequential path (trajectory determinism), concurrently."""
+        sequential = main(
+            ["sample", "queens", "--set", "n=12", "--runs", "4", "--seed", "3"]
+        )
+        seq_out = capsys.readouterr().out
+        assert sequential == 0
+        concurrent = main(
+            [
+                "sample",
+                "queens",
+                "--set",
+                "n=12",
+                "--runs",
+                "4",
+                "--seed",
+                "3",
+                "--service-workers",
+                "2",
+            ]
+        )
+        svc_out = capsys.readouterr().out
+        assert concurrent == 0
+        assert "4/4 runs solved" in svc_out
+
+        def fit_line(text):
+            return next(l for l in text.splitlines() if "iterations fit" in l)
+
+        assert fit_line(svc_out) == fit_line(seq_out)
+
+
 class TestExperimentCommand:
     def test_unknown_experiment(self, capsys):
         assert main(["experiment", "fig42", "--cache", "/tmp/nonexistent-x"]) == 2
