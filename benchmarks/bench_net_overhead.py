@@ -1,0 +1,212 @@
+"""Distributed-backend overhead benchmark (standalone script).
+
+Quantifies what the TCP coordinator path costs over the warm local pool it
+wraps, using a localhost :class:`~repro.net.LocalCluster`:
+
+1. **Per-job round-trip overhead.**  The same tiny budget-capped job
+   (magic-square 10, fixed iteration budget, so solver work is
+   deterministic and negligible) is solved repeatedly
+
+   - *local*: directly on a warm :class:`~repro.service.SolverService`;
+   - *net*: through coordinator + node agents (framing, pickling, two TCP
+     hops, coordinator dispatch, result aggregation).
+
+   The median net-minus-local gap must stay under ``--max-overhead-ms``
+   (default 250 ms) — the distributed layer may cost milliseconds, not
+   process-spawn-scale time.
+
+2. **Cluster throughput.**  A burst of distinct single-walk jobs is
+   submitted concurrently; every job must solve, work must spread over
+   every node, and the coordinator counters must balance
+   (``walk_results`` >= ``walks_dispatched`` - in-flight losses).
+
+Run as a script (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_net_overhead.py
+    PYTHONPATH=src python benchmarks/bench_net_overhead.py --smoke
+
+Exit code 0 iff both acceptance checks pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.net import LocalCluster
+from repro.problems import make_problem
+from repro.service import SolverService
+
+ARTIFACT = Path(__file__).parent / "out" / "net_overhead.txt"
+
+#: per-walk iteration budget of the latency probe: solver work is
+#: deterministic and tiny, so the measured latency is orchestration cost
+PROBE_ITERATIONS = 4
+PROBE_WALKERS = 2
+
+
+def measure_local(service, problem, n_jobs: int, config) -> list[float]:
+    latencies = []
+    for index in range(n_jobs):
+        start = time.perf_counter()
+        service.solve(
+            problem, PROBE_WALKERS, seed=index, config=config, timeout=600
+        )
+        latencies.append(time.perf_counter() - start)
+    return latencies
+
+
+def measure_net(client, problem, n_jobs: int, config) -> list[float]:
+    latencies = []
+    for index in range(n_jobs):
+        start = time.perf_counter()
+        client.solve(
+            problem, PROBE_WALKERS, seed=index, config=config, timeout=600
+        )
+        latencies.append(time.perf_counter() - start)
+    return latencies
+
+
+def run_throughput_phase(cluster, client, n_jobs: int, budget):
+    """Burst of distinct single-walk jobs; returns (n_solved, elapsed,
+    node_spread, failures)."""
+    problem = make_problem("queens", n=25)
+    start = time.perf_counter()
+    handles = [
+        client.submit(problem, 1, seed=index, config=budget)
+        for index in range(n_jobs)
+    ]
+    results = [handle.result(timeout=600) for handle in handles]
+    elapsed = time.perf_counter() - start
+    failures = []
+    n_solved = 0
+    spread = set()
+    for index, result in enumerate(results):
+        if not result.solved:
+            failures.append(f"job {index}: {result.status.value}")
+            continue
+        if not problem.is_solution(result.config):
+            failures.append(f"job {index}: winner config is not a solution")
+            continue
+        n_solved += 1
+        spread.update(result.nodes.values())
+    return n_solved, elapsed, spread, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fast run for CI (fewer jobs, same checks)",
+    )
+    parser.add_argument("--nodes", type=int, default=2, help="node agents")
+    parser.add_argument(
+        "--workers-per-node", type=int, default=2, help="pool size per node"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="latency-probe jobs per path (default 12, smoke 5)",
+    )
+    parser.add_argument(
+        "--burst", type=int, default=None,
+        help="concurrent jobs in the throughput phase (default 16, smoke 8)",
+    )
+    parser.add_argument(
+        "--max-overhead-ms", type=float, default=250.0,
+        help="allowed median net-minus-local per-job overhead",
+    )
+    args = parser.parse_args(argv)
+    n_jobs = args.jobs or (5 if args.smoke else 12)
+    n_burst = args.burst or (8 if args.smoke else 16)
+
+    probe_problem = make_problem("magic_square", n=10)
+    probe_config = AdaptiveSearchConfig(max_iterations=PROBE_ITERATIONS)
+    solve_budget = AdaptiveSearchConfig(max_iterations=500_000, time_limit=60.0)
+
+    lines = [
+        f"net overhead bench: {args.nodes} nodes x "
+        f"{args.workers_per_node} workers, {n_jobs} probe jobs/path, "
+        f"burst of {n_burst}" + (" [smoke]" if args.smoke else ""),
+        "",
+    ]
+
+    print("measuring warm local baseline ...", flush=True)
+    with SolverService(args.workers_per_node, poll_every=16) as service:
+        service.solve(
+            probe_problem, PROBE_WALKERS, seed=0, config=probe_config,
+            timeout=600,
+        )  # warm-up ships the problem to the workers
+        local = measure_local(service, probe_problem, n_jobs, probe_config)
+
+    with LocalCluster(
+        n_nodes=args.nodes, workers_per_node=args.workers_per_node
+    ) as cluster:
+        client = cluster.client()
+        print("measuring cluster round-trip latency ...", flush=True)
+        client.solve(
+            probe_problem, PROBE_WALKERS, seed=0, config=probe_config,
+            timeout=600,
+        )  # warm-up
+        net = measure_net(client, probe_problem, n_jobs, probe_config)
+
+        print("bursting concurrent jobs across the cluster ...", flush=True)
+        n_solved, elapsed, spread, failures = run_throughput_phase(
+            cluster, client, n_burst, solve_budget
+        )
+        counters = dict(cluster.coordinator.counters)
+
+    local_med = statistics.median(local)
+    net_med = statistics.median(net)
+    overhead_ms = (net_med - local_med) * 1e3
+    lines += [
+        "per-job latency, identical budget-capped "
+        f"{PROBE_WALKERS}-walk job "
+        f"(magic-square 10, {PROBE_ITERATIONS} iterations/walk):",
+        f"  warm local pool  : median {local_med * 1e3:8.1f} ms  "
+        f"(min {min(local) * 1e3:.1f}, max {max(local) * 1e3:.1f})",
+        f"  localhost cluster: median {net_med * 1e3:8.1f} ms  "
+        f"(min {min(net) * 1e3:.1f}, max {max(net) * 1e3:.1f})",
+        f"  dispatch overhead: {overhead_ms:+.1f} ms/job  "
+        f"(allowed <= {args.max_overhead_ms:.0f} ms)",
+        "",
+        f"throughput phase: {n_solved}/{n_burst} jobs solved+verified in "
+        f"{elapsed:.2f}s ({n_solved / max(elapsed, 1e-9):.1f} jobs/s) "
+        f"across nodes {sorted(spread)}",
+        f"coordinator counters: {counters['walks_dispatched']} walks "
+        f"dispatched, {counters['walk_results']} results, "
+        f"{counters['stale_results']} stale, "
+        f"{counters['redispatches']} re-dispatches",
+    ]
+
+    ok = True
+    if overhead_ms > args.max_overhead_ms:
+        ok = False
+        lines.append(
+            f"FAIL: median dispatch overhead {overhead_ms:.1f} ms above "
+            f"{args.max_overhead_ms:.0f} ms"
+        )
+    if n_solved < n_burst:
+        ok = False
+        lines += [f"FAIL: {f}" for f in failures]
+    if len(spread) < args.nodes:
+        ok = False
+        lines.append(
+            f"FAIL: work only reached nodes {sorted(spread)} of {args.nodes}"
+        )
+    if ok:
+        lines.append("PASS")
+
+    text = "\n".join(lines)
+    print(text)
+    ARTIFACT.parent.mkdir(exist_ok=True)
+    ARTIFACT.write_text(text + "\n", encoding="utf-8")
+    print(f"[artifact written to {ARTIFACT}]")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

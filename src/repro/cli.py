@@ -8,6 +8,10 @@ Usage (after ``pip install -e .``)::
     python -m repro experiment fig1 --samples 40 --reps 200
     python -m repro service jobs.json --workers 4
     python -m repro service --family costas --set n=9 --jobs 8 --walkers 4
+    python -m repro coordinator --port 7710
+    python -m repro node --connect localhost:7710 --workers 8
+    python -m repro submit --connect localhost:7710 magic_square --set n=20 \
+        --walkers 16 --stats
     python -m repro problems
     python -m repro platforms
 
@@ -66,6 +70,26 @@ def _solver_config(args: argparse.Namespace) -> AdaptiveSearchConfig:
     if args.time_limit is not None:
         kwargs["time_limit"] = args.time_limit
     return AdaptiveSearchConfig(**kwargs)  # type: ignore[arg-type]
+
+
+def _forward_termination_signals() -> None:
+    """Make SIGTERM (and SIGINT explicitly) raise ``KeyboardInterrupt``.
+
+    Long-running commands (``service``, ``coordinator``, ``node``) get one
+    cleanup path for both signals: Ctrl-C and ``kill <pid>`` both unwind
+    through the command's ``except KeyboardInterrupt`` handler, which shuts
+    pools down and reaps worker processes instead of orphaning them.
+    """
+    import signal
+
+    def _raise(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _raise)
+        signal.signal(signal.SIGINT, _raise)
+    except ValueError:  # pragma: no cover - not the main thread (tests)
+        pass
 
 
 # ----------------------------------------------------------------------
@@ -194,18 +218,159 @@ def cmd_service(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    with SolverService(
+    _forward_termination_signals()
+    service = SolverService(
         n_workers=args.workers,
         mp_context=args.mp_context,
         poll_every=args.poll_every,
-    ) as service:
+    ).start()
+    if args.pid_file:
+        from pathlib import Path
+
+        pids = service.pool.worker_pids() if service.pool is not None else []
+        Path(args.pid_file).write_text(
+            "".join(f"{pid}\n" for pid in pids), encoding="utf-8"
+        )
+    try:
         rows = run_specs(service, specs, config=_solver_config(args))
         print(format_results_table(rows, service.snapshot()))
+    except KeyboardInterrupt:
+        # Ctrl-C / SIGTERM: cancel outstanding jobs and reap every worker
+        # process before exiting — no orphans survive this path
+        print(
+            "\ninterrupted: cancelling jobs and shutting the pool down",
+            file=sys.stderr,
+        )
+        service.shutdown(wait_jobs=False)
+        return 130
+    finally:
+        service.shutdown()  # idempotent; covers error exits too
     failed = [r for _, r in rows if r.status.value in ("failed", "timed_out")]
     unsolved = [r for _, r in rows if not r.solved]
     if failed:
         return 1
     return 0 if not unsolved else 1
+
+
+def cmd_coordinator(args: argparse.Namespace) -> int:
+    """Run the cluster coordinator until interrupted."""
+    import asyncio
+
+    from repro.net import Coordinator
+
+    _forward_termination_signals()
+    coordinator = Coordinator(
+        args.host,
+        args.port,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_redispatch=args.max_redispatch,
+    )
+
+    async def _serve() -> None:
+        host, port = await coordinator.start()
+        print(f"coordinator listening on {host}:{port}", flush=True)
+        try:
+            await coordinator.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await coordinator.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("coordinator stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_node(args: argparse.Namespace) -> int:
+    """Run one node agent against a coordinator until interrupted."""
+    import asyncio
+
+    from repro.net import NodeAgent, parse_address
+
+    _forward_termination_signals()
+    host, port = parse_address(args.connect)
+    agent = NodeAgent(
+        host,
+        port,
+        n_workers=args.workers,
+        name=args.name,
+        heartbeat_interval=args.heartbeat_interval,
+        poll_every=args.poll_every,
+        mp_context=args.mp_context,
+    )
+
+    async def _run() -> None:
+        try:
+            await agent.start()
+            print(
+                f"node {agent.name} connected to {host}:{port} "
+                f"({agent.n_workers} workers)",
+                flush=True,
+            )
+            await agent.closed.wait()
+        finally:
+            await agent.stop()
+
+    try:
+        asyncio.run(_run())
+        print("node disconnected", file=sys.stderr)
+    except KeyboardInterrupt:
+        print("node stopped", file=sys.stderr)
+    return 0
+
+
+def _format_cluster_stats(stats: dict) -> str:
+    """Cluster-wide throughput/latency table for ``repro submit --stats``."""
+    coord = stats["coordinator"]
+    lines = [
+        "cluster: "
+        f"{coord['jobs_completed']}/{coord['jobs_submitted']} jobs done "
+        f"({coord['jobs_solved']} solved, {coord['jobs_failed']} failed), "
+        f"{coord['walks_dispatched']} walks dispatched, "
+        f"{coord['redispatches']} re-dispatch(es), "
+        f"{coord['nodes_connected']} node(s) connected "
+        f"({coord['nodes_lost']} lost)",
+    ]
+    header = (
+        f"{'node':<16} {'cap':>4}  {'walks':>6}  {'jobs/s':>7}  "
+        f"{'p50 ms':>7}  {'p95 ms':>7}  {'util':>5}"
+    )
+    lines += [header, "-" * len(header)]
+    for node in stats["nodes"]:
+        load = node.get("load") or {}
+        lines.append(
+            f"{node['name']:<16.16} {node['capacity']:>4}  "
+            f"{load.get('walks_completed', 0):>6}  "
+            f"{load.get('throughput_jobs_per_s', 0.0):>7.2f}  "
+            f"{load.get('latency_p50', 0.0) * 1e3:>7.1f}  "
+            f"{load.get('latency_p95', 0.0) * 1e3:>7.1f}  "
+            f"{load.get('worker_utilization', 0.0):>5.0%}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one multi-walk job to a running cluster and wait."""
+    from repro.net import ClusterClient
+
+    problem = make_problem(args.family, **_parse_params(args.set))
+    config = _solver_config(args)
+    with ClusterClient(args.connect) as client:
+        result = client.solve(
+            problem,
+            args.walkers,
+            seed=args.seed,
+            config=config,
+            timeout=args.timeout,
+        )
+        print(result.summary())
+        if args.stats:
+            print(_format_cluster_stats(client.stats()))
+        if result.solved and args.render and hasattr(problem, "render"):
+            print(problem.render(result.config))
+    return 0 if result.solved else 1
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -377,7 +542,98 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="multiprocessing start method for the pool",
     )
+    p_service.add_argument(
+        "--pid-file",
+        default=None,
+        help="write the worker process pids here after the pool starts "
+        "(one per line; ops/testing hook)",
+    )
     p_service.set_defaults(func=cmd_service)
+
+    p_coord = sub.add_parser(
+        "coordinator", help="run the distributed-solve coordinator"
+    )
+    p_coord.add_argument("--host", default="0.0.0.0", help="bind address")
+    p_coord.add_argument(
+        "--port", type=int, default=7710, help="TCP port (0 = pick a free one)"
+    )
+    p_coord.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=5.0,
+        help="seconds of silence after which a node is declared dead",
+    )
+    p_coord.add_argument(
+        "--max-redispatch",
+        type=int,
+        default=2,
+        help="re-dispatches of a job's walks off dead nodes before it fails",
+    )
+    p_coord.set_defaults(func=cmd_coordinator)
+
+    p_node = sub.add_parser(
+        "node", help="run one node agent against a coordinator"
+    )
+    p_node.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address",
+    )
+    p_node.add_argument(
+        "--workers", type=int, default=2, help="local warm-pool size"
+    )
+    p_node.add_argument(
+        "--name", default=None, help="node name shown in cluster stats"
+    )
+    p_node.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        help="seconds between heartbeat frames",
+    )
+    p_node.add_argument(
+        "--poll-every",
+        type=int,
+        default=32,
+        help="iterations between cancel-token polls inside walks",
+    )
+    p_node.add_argument(
+        "--mp-context",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for the local pool",
+    )
+    p_node.set_defaults(func=cmd_node)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one multi-walk job to a running cluster"
+    )
+    add_common(p_submit)
+    p_submit.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address",
+    )
+    p_submit.add_argument(
+        "--walkers", type=int, default=1, help="walks raced across the cluster"
+    )
+    p_submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="seconds to wait for the cluster answer",
+    )
+    p_submit.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cluster-wide throughput/latency stats after the solve",
+    )
+    p_submit.add_argument(
+        "--render", action="store_true", help="pretty-print the solution"
+    )
+    p_submit.set_defaults(func=cmd_submit)
 
     p_exp = sub.add_parser("experiment", help="run a registered experiment")
     p_exp.add_argument(

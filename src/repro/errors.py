@@ -13,6 +13,7 @@ __all__ = [
     "ProblemError",
     "SolverError",
     "ParallelError",
+    "NetError",
     "SimulationError",
     "ExperimentError",
     "CacheError",
@@ -37,6 +38,10 @@ class SolverError(ReproError):
 
 class ParallelError(ReproError):
     """Failures of the multi-walk parallel runtime."""
+
+
+class NetError(ReproError):
+    """Failures of the distributed coordinator/node backend."""
 
 
 class SimulationError(ReproError):

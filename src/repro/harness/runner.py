@@ -93,6 +93,7 @@ def collect_samples(
     max_iterations: float = 2_000_000,
     time_limit: float = 120.0,
     service: Any = None,
+    cluster: Any = None,
 ) -> list[RunSample]:
     """``n_runs`` independent sequential solves of ``spec``.
 
@@ -100,10 +101,18 @@ def collect_samples(
     rare pathological walk (unsolved runs are kept in the sample list but
     excluded from time statistics by default).  ``service`` (a started
     :class:`repro.service.SolverService`) collects the runs concurrently on
-    its warm pool instead of one after another in this process.
+    its warm pool instead of one after another in this process; ``cluster``
+    (a :class:`repro.net.ClusterClient` or a coordinator address) spreads
+    them across a whole multi-node cluster instead.  Both keep per-run
+    seeds bit-identical to the sequential path, so the sample cache stays
+    executor-agnostic.
     """
     if n_runs <= 0:
         raise ExperimentError(f"n_runs must be >= 1, got {n_runs}")
+    if service is not None and cluster is not None:
+        raise ExperimentError(
+            "pass either service= or cluster=, not both"
+        )
     base_config = solver_config or AdaptiveSearchConfig()
     config = base_config.replace(
         max_iterations=min(base_config.max_iterations, max_iterations),
@@ -129,13 +138,16 @@ def collect_samples(
     from repro.problems.value_base import ValueProblem
 
     run_seeds = spawn_seeds(n_runs, seed)
-    if service is not None:
+    if service is not None or cluster is not None:
         if isinstance(problem, ValueProblem):
             raise ExperimentError(
-                "service-backed sampling supports permutation problems only; "
-                "collect value-mode samples sequentially"
+                "service/cluster-backed sampling supports permutation "
+                "problems only; collect value-mode samples sequentially"
             )
-        samples = _collect_via_service(service, problem, config, run_seeds)
+        if cluster is not None:
+            samples = _collect_via_cluster(cluster, problem, config, run_seeds)
+        else:
+            samples = _collect_via_service(service, problem, config, run_seeds)
     else:
         if isinstance(problem, ValueProblem):
             solver: Any = ValueAdaptiveSearch(config)
@@ -190,6 +202,51 @@ def _collect_via_service(
             )
         )
     return samples
+
+
+def _collect_via_cluster(
+    cluster: Any,
+    problem: Any,
+    config: AdaptiveSearchConfig,
+    run_seeds: Sequence[np.random.SeedSequence],
+) -> list[RunSample]:
+    """One single-walk job per run, fanned out across the whole cluster.
+
+    Accepts a connected :class:`repro.net.ClusterClient` (caller-owned) or
+    a coordinator address (a client is opened for the duration).  Seeds are
+    explicit per job, so iteration counts stay bit-identical to the
+    sequential path no matter which node executed which run.
+    """
+    from repro.net.client import ClusterClient
+
+    owned = not isinstance(cluster, ClusterClient)
+    client = ClusterClient(cluster).connect() if owned else cluster
+    try:
+        handles = [
+            client.submit(problem, 1, config=config, seeds=[walk_seed])
+            for walk_seed in run_seeds
+        ]
+        samples: list[RunSample] = []
+        for walk_seed, handle in zip(run_seeds, handles):
+            job = handle.result()
+            if not job.walks:
+                raise ExperimentError(
+                    f"cluster sample run failed ({job.status.value}): "
+                    f"{job.error}"
+                )
+            walk = job.walks[0]
+            samples.append(
+                RunSample(
+                    wall_time=walk.wall_time,
+                    iterations=walk.iterations,
+                    solved=walk.solved,
+                    seed=str(walk_seed.entropy),
+                )
+            )
+        return samples
+    finally:
+        if owned:
+            client.close()
 
 
 def scaled_times(

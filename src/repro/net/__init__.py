@@ -1,0 +1,64 @@
+"""Distributed multi-node solve backend.
+
+The paper ran its independent multi-walk experiments across cluster nodes
+through an OpenMPI launcher: ``k`` sequential engines spread over machines,
+no communication except termination detection.  This package is that
+launcher rebuilt as a long-lived service on plain TCP:
+
+- :class:`Coordinator` — asyncio control plane: node registry with
+  heartbeat failure detection, job registry, round-robin seed-slice
+  partitioning across nodes, cross-node first-finisher-wins cancel
+  broadcast, re-dispatch of a dead node's unfinished walks (capped), and
+  cluster-wide stats aggregation;
+- :class:`NodeAgent` — one per machine: dials the coordinator and executes
+  its assigned walk slices warm on a local
+  :class:`~repro.service.SolverService` pool, streaming walk completions
+  and heartbeat load frames back;
+- :class:`ClusterClient` — blocking, thread-safe submission client (what
+  ``MultiWalkSolver(executor="net")``, ``collect_samples(cluster=...)``
+  and ``repro submit`` use);
+- :class:`LocalCluster` — the whole topology in one process on localhost
+  for tests, demos and failure injection;
+- :mod:`~repro.net.protocol` — the shared length-prefixed JSON/binary
+  frame layer with protocol-version handshake.
+
+Quickstart (three shells)::
+
+    repro coordinator --port 7710
+    repro node --connect HOST:7710 --workers 8
+    repro submit --connect HOST:7710 magic_square --set n=20 --walkers 16
+
+Or in one process::
+
+    from repro.net import LocalCluster
+
+    with LocalCluster(n_nodes=2, workers_per_node=2) as cluster:
+        result = cluster.client().solve(problem, n_walkers=8, seed=42)
+        print(result.summary())
+"""
+
+from repro.net.agent import NodeAgent
+from repro.net.client import ClusterClient, NetJobHandle, parse_address
+from repro.net.coordinator import Coordinator
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Message,
+    encode_message,
+)
+from repro.net.results import NetJobResult
+from repro.net.testing import LocalCluster
+
+__all__ = [
+    "ClusterClient",
+    "Coordinator",
+    "LocalCluster",
+    "MAX_FRAME_BYTES",
+    "Message",
+    "NetJobHandle",
+    "NetJobResult",
+    "NodeAgent",
+    "PROTOCOL_VERSION",
+    "encode_message",
+    "parse_address",
+]

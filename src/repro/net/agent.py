@@ -1,0 +1,348 @@
+"""The node agent: one cluster member's execution engine.
+
+A :class:`NodeAgent` dials out to the coordinator, introduces itself with a
+versioned handshake, and then turns ``assign`` frames into real work on its
+local warm :class:`~repro.service.SolverService` (the PR 2 persistent
+worker pool — workers are spawned once per agent, problems are shipped to
+each worker once per job, and walks start warm).  Each assigned walk
+becomes one single-walk local job carrying its exact
+:class:`~numpy.random.SeedSequence`, so a walk executes the identical
+trajectory it would have executed on any other node or on a single host.
+
+Back-traffic is two streams multiplexed on the one connection:
+
+- ``walk_result`` frames as individual walks finish (streamed, not
+  batched — the coordinator's first-finisher-wins decision needs the
+  earliest solve as soon as it exists), and
+- periodic ``heartbeat`` frames carrying the local service's
+  :meth:`~repro.service.metrics.MetricsSnapshot.to_json` load snapshot,
+  which double as the liveness signal for the coordinator's failure
+  detector.
+
+Cancellation: a ``cancel(job_id, generation)`` frame cancels every local
+walk of that job with assignment generation ``<= generation`` (the
+job-generation token at cluster scope); results of walks that were
+cancelled locally are *not* reported — and should one slip out anyway the
+coordinator discards it as stale.  Crash handling is layered: a walk that
+crashes locally is retried by the local service's
+:class:`~repro.service.jobs.RetryPolicy`; only when that budget is spent
+does the agent report the walk as failed, and only the *node* dying moves
+work to another machine (the coordinator's re-dispatch).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Optional
+
+from repro.errors import NetError
+from repro.net.protocol import (
+    PROTOCOL_VERSION,
+    Message,
+    read_message,
+    unpickle_blob,
+    write_message,
+)
+from repro.net.results import outcome_to_message
+from repro.service.jobs import JobStatus
+from repro.service.scheduler import SolverService
+
+__all__ = ["NodeAgent"]
+
+
+class _Slice:
+    """One assignment of walk ids for one (job, generation)."""
+
+    def __init__(self, job_id: int, generation: int) -> None:
+        self.job_id = job_id
+        self.generation = generation
+        self.handles: dict[int, Any] = {}  # walk_id -> local JobHandle
+        self.reported: set[int] = set()
+        self.cancelled = False
+
+
+class NodeAgent:
+    """Connects a warm worker pool to a coordinator.
+
+    Parameters
+    ----------
+    host / port:
+        coordinator address to dial.
+    n_workers:
+        size of the local warm pool (reported as capacity in the
+        handshake; ignored when ``service`` is supplied).
+    name:
+        node name shown in coordinator stats and result attribution.
+    heartbeat_interval:
+        seconds between heartbeat frames (keep well under the
+        coordinator's ``heartbeat_timeout``).
+    poll_every / mp_context:
+        forwarded to the owned local service.
+    service:
+        an existing started :class:`SolverService` to borrow instead of
+        owning one (tests share a pool across in-process agents).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        n_workers: int = 2,
+        name: Optional[str] = None,
+        heartbeat_interval: float = 1.0,
+        poll_every: int = 32,
+        mp_context: str | None = None,
+        pump_interval: float = 0.01,
+        service: SolverService | None = None,
+    ) -> None:
+        if heartbeat_interval <= 0:
+            raise NetError(
+                f"heartbeat_interval must be > 0, got {heartbeat_interval}"
+            )
+        self.host = host
+        self.port = port
+        self.name = name or f"agent-{id(self) & 0xFFFF:04x}"
+        self.heartbeat_interval = heartbeat_interval
+        self.pump_interval = pump_interval
+        self._service = service
+        self._owns_service = service is None
+        self._service_kwargs = {
+            "n_workers": n_workers,
+            "poll_every": poll_every,
+            "mp_context": mp_context,
+        }
+        self.n_workers = service.n_workers if service is not None else n_workers
+
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._send_lock = asyncio.Lock()
+        self._tasks: list[asyncio.Task] = []
+        self._slices: dict[tuple[int, int], _Slice] = {}
+        self._cancelled: dict[int, int] = {}  # job_id -> max cancelled gen
+        self._stopped = False
+        self.closed = asyncio.Event()
+        self.node_id: int | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Connect, handshake, start the worker pool and the agent tasks."""
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        except OSError as err:
+            raise NetError(
+                f"cannot reach coordinator at {self.host}:{self.port}: {err}"
+            ) from None
+        await write_message(
+            self._writer,
+            Message(
+                "hello",
+                {
+                    "role": "node",
+                    "name": self.name,
+                    "capacity": self.n_workers,
+                    "protocol": PROTOCOL_VERSION,
+                },
+            ),
+        )
+        welcome = await read_message(self._reader)
+        if welcome is None or welcome.type != "welcome":
+            detail = welcome.get("error") if welcome is not None else "EOF"
+            self._writer.close()
+            raise NetError(f"coordinator rejected node {self.name}: {detail}")
+        self.node_id = welcome.get("node_id")
+        if self._service is None:
+            self._service = await asyncio.to_thread(
+                lambda: SolverService(**self._service_kwargs).start()
+            )
+        self._tasks = [
+            asyncio.ensure_future(self._read_loop()),
+            asyncio.ensure_future(self._heartbeat_loop()),
+            asyncio.ensure_future(self._pump_loop()),
+        ]
+
+    async def run(self) -> None:
+        """Convenience for the CLI: start, then serve until disconnected."""
+        await self.start()
+        await self.closed.wait()
+
+    async def stop(self) -> None:
+        """Graceful teardown: close the connection, shut the pool down."""
+        await self._teardown(abort=False)
+
+    async def kill(self) -> None:
+        """Abrupt death for failure-injection tests: the connection is
+        aborted without a goodbye and in-flight walks are cancelled, so the
+        coordinator sees exactly what a crashed host looks like."""
+        await self._teardown(abort=True)
+
+    async def _teardown(self, *, abort: bool) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+        if self._writer is not None:
+            if abort and self._writer.transport is not None:
+                self._writer.transport.abort()
+            else:
+                self._writer.close()
+        for slice_state in self._slices.values():
+            for handle in slice_state.handles.values():
+                handle.cancel()
+        self._slices.clear()
+        if self._owns_service and self._service is not None:
+            await asyncio.to_thread(
+                self._service.shutdown, wait_jobs=False
+            )
+        self.closed.set()
+
+    # ------------------------------------------------------------------
+    # coordinator -> node
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                message = await read_message(self._reader)
+                if message is None:
+                    break
+                if message.type == "assign":
+                    self._on_assign(message)
+                elif message.type == "cancel":
+                    self._on_cancel(message)
+                elif message.type == "shutdown":
+                    break
+        except (NetError, ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            raise
+        finally:
+            if not self._stopped:
+                asyncio.ensure_future(self.stop())
+
+    def _on_assign(self, message: Message) -> None:
+        job_id = message["job_id"]
+        generation = message["generation"]
+        if self._cancelled.get(job_id, -1) >= generation:
+            return  # assignment raced a cancel we already processed
+        payload = unpickle_blob(message.blob)
+        problem = payload["problem"]
+        config = payload.get("config")
+        seeds = payload["seeds"]
+        slice_state = self._slices.setdefault(
+            (job_id, generation), _Slice(job_id, generation)
+        )
+        assert self._service is not None
+        for walk_id in message["walk_ids"]:
+            if walk_id in slice_state.handles:
+                continue  # duplicate assign (idempotent)
+            # each walk is its own single-walk local job: completions
+            # stream out individually and cancellation stays per-walk
+            slice_state.handles[walk_id] = self._service.submit(
+                problem, 1, config=config, seeds=[seeds[walk_id]]
+            )
+
+    def _on_cancel(self, message: Message) -> None:
+        job_id = message["job_id"]
+        generation = message["generation"]
+        previous = self._cancelled.get(job_id, -1)
+        self._cancelled[job_id] = max(previous, generation)
+        for (slice_job, slice_gen), slice_state in self._slices.items():
+            if slice_job == job_id and slice_gen <= generation:
+                slice_state.cancelled = True
+                for walk_id, handle in slice_state.handles.items():
+                    if walk_id not in slice_state.reported:
+                        handle.cancel()
+
+    # ------------------------------------------------------------------
+    # node -> coordinator
+    # ------------------------------------------------------------------
+    async def _send(self, message: Message) -> None:
+        assert self._writer is not None
+        async with self._send_lock:
+            await write_message(self._writer, message)
+
+    async def _heartbeat_loop(self) -> None:
+        assert self._service is not None
+        while True:
+            try:
+                await self._send(
+                    Message(
+                        "heartbeat",
+                        {
+                            "load": self._service.metrics.to_json(),
+                            "running_walks": self._outstanding_walks(),
+                        },
+                    )
+                )
+            except (ConnectionError, OSError):
+                return
+            await asyncio.sleep(self.heartbeat_interval)
+
+    def _outstanding_walks(self) -> int:
+        return sum(
+            1
+            for s in self._slices.values()
+            if not s.cancelled
+            for walk_id, handle in s.handles.items()
+            if walk_id not in s.reported and not handle.done()
+        )
+
+    async def _pump_loop(self) -> None:
+        """Stream finished walks to the coordinator as they complete."""
+        while True:
+            for key in list(self._slices):
+                slice_state = self._slices.get(key)
+                if slice_state is None:
+                    continue
+                for walk_id, handle in list(slice_state.handles.items()):
+                    if walk_id in slice_state.reported or not handle.done():
+                        continue
+                    slice_state.reported.add(walk_id)
+                    if slice_state.cancelled:
+                        continue
+                    await self._report_walk(slice_state, walk_id, handle)
+                if len(slice_state.reported) == len(slice_state.handles):
+                    del self._slices[key]
+            await asyncio.sleep(self.pump_interval)
+
+    async def _report_walk(
+        self, slice_state: _Slice, walk_id: int, handle: Any
+    ) -> None:
+        result = handle.result(timeout=0)
+        if result.status is JobStatus.CANCELLED:
+            return  # a local cancel raced the completion; nothing to say
+        try:
+            if result.walks:
+                outcome = result.walks[0]
+                # the local job ran exactly one walk, so its local walk id
+                # is 0; re-tag it with the cluster-wide walk id
+                outcome.walk_id = walk_id
+                message = outcome_to_message(
+                    slice_state.job_id, slice_state.generation, outcome
+                )
+            else:
+                message = Message(
+                    "walk_result",
+                    {
+                        "job_id": slice_state.job_id,
+                        "generation": slice_state.generation,
+                        "walk_id": walk_id,
+                        "error": result.error
+                        or f"walk ended {result.status.value} with no outcome",
+                    },
+                )
+            await self._send(message)
+        except (ConnectionError, OSError):
+            pass  # the read loop will notice and tear the agent down

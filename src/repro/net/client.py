@@ -1,0 +1,326 @@
+"""Synchronous cluster client.
+
+:class:`ClusterClient` is the blocking, thread-safe front door to a running
+coordinator — the piece that ``MultiWalkSolver(executor="net")``,
+``collect_samples(cluster=...)`` and ``repro submit`` build on.  It speaks
+the same framed protocol as the asyncio side but over a plain socket: one
+daemon reader thread demultiplexes ``job_accepted`` / ``job_result`` /
+``stats`` frames into per-request futures, so any number of jobs can be in
+flight concurrently from any number of caller threads.
+
+Seed handling mirrors the other executors exactly: ``submit`` derives the
+per-walk :class:`~numpy.random.SeedSequence` list with
+:func:`repro.parallel.seeding.walk_seeds` (or takes an explicit list) and
+ships it whole; the *coordinator* partitions walk indices across nodes.
+A cluster solve with job seed ``s`` therefore races the identical walk
+trajectories as ``solve_parallel(..., seed=s)`` on one host.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.errors import NetError
+from repro.net.protocol import (
+    PROTOCOL_VERSION,
+    Message,
+    pickle_blob,
+    recv_message,
+    send_message,
+)
+from repro.net.results import NetJobResult, job_result_from_message
+from repro.parallel.seeding import walk_seeds
+from repro.problems.base import Problem
+from repro.util.rng import SeedLike
+
+__all__ = ["ClusterClient", "NetJobHandle", "parse_address"]
+
+
+def parse_address(address: Any) -> tuple[str, int]:
+    """Coerce ``"host:port"`` strings or 2-tuples into ``(host, port)``."""
+    if isinstance(address, str):
+        host, sep, port_text = address.rpartition(":")
+        if not sep or not host or not port_text.isdigit():
+            raise NetError(
+                f"expected an address like 'host:port', got {address!r}"
+            )
+        return (host, int(port_text))
+    try:
+        host, port = address
+        return (str(host), int(port))
+    except (TypeError, ValueError):
+        raise NetError(f"not a cluster address: {address!r}") from None
+
+
+class NetJobHandle:
+    """Future-style handle on one submitted cluster job (thread-safe)."""
+
+    def __init__(self, request_id: int) -> None:
+        self.request_id = request_id
+        self.job_id: Optional[int] = None
+        self._event = threading.Event()
+        self._result: Optional[NetJobResult] = None
+        self._error: Optional[str] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> NetJobResult:
+        """Block until the coordinator answers; raises on timeout/failure."""
+        if not self._event.wait(timeout):
+            raise NetError(
+                f"timed out after {timeout}s waiting for cluster job "
+                f"(request {self.request_id})"
+            )
+        if self._result is None:
+            raise NetError(self._error or "cluster job failed")
+        return self._result
+
+    def _complete(self, result: NetJobResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: str) -> None:
+        self._error = error
+        self._event.set()
+
+
+class ClusterClient:
+    """Blocking client connection to a coordinator.
+
+    Usable as a context manager; ``connect()`` is implicit on first use.
+
+    Parameters
+    ----------
+    address:
+        coordinator endpoint — ``(host, port)`` or ``"host:port"``.
+    connect_timeout:
+        seconds allowed for TCP connect + handshake.
+    """
+
+    def __init__(
+        self, address: Any, *, connect_timeout: float = 10.0
+    ) -> None:
+        self.address = parse_address(address)
+        self.connect_timeout = connect_timeout
+        self._sock: socket.socket | None = None
+        self._reader: threading.Thread | None = None
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._request_ids = itertools.count()
+        self._by_request: dict[int, NetJobHandle] = {}
+        self._stats_waiters: dict[int, tuple[threading.Event, list]] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def connect(self) -> "ClusterClient":
+        """Dial and handshake (idempotent)."""
+        if self._sock is not None:
+            return self
+        if self._closed:
+            raise NetError("cluster client is closed")
+        host, port = self.address
+        try:
+            sock = socket.create_connection(
+                self.address, timeout=self.connect_timeout
+            )
+        except OSError as err:
+            raise NetError(
+                f"cannot reach coordinator at {host}:{port}: {err}"
+            ) from None
+        try:
+            send_message(
+                sock,
+                Message(
+                    "hello",
+                    {"role": "client", "protocol": PROTOCOL_VERSION},
+                ),
+            )
+            welcome = recv_message(sock)
+        except NetError:
+            sock.close()
+            raise
+        except OSError as err:
+            sock.close()
+            raise NetError(
+                f"handshake with coordinator at {host}:{port} failed: {err}"
+            ) from None
+        if welcome is None or welcome.type != "welcome":
+            detail = welcome.get("error") if welcome is not None else "EOF"
+            sock.close()
+            raise NetError(f"coordinator rejected client: {detail}")
+        sock.settimeout(None)
+        self._sock = sock
+        self._reader = threading.Thread(
+            target=self._read_loop, name="repro-net-client", daemon=True
+        )
+        self._reader.start()
+        return self
+
+    def close(self) -> None:
+        """Drop the connection; outstanding handles fail (idempotent)."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            sock = self._sock
+            self._sock = None
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            sock.close()
+        if self._reader is not None and self._reader is not threading.current_thread():
+            self._reader.join(timeout=5.0)
+        self._fail_all("client closed")
+
+    def __enter__(self) -> "ClusterClient":
+        return self.connect()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # client surface
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        problem: Problem,
+        n_walkers: int = 1,
+        seed: SeedLike = None,
+        *,
+        config: AdaptiveSearchConfig | None = None,
+        seeds: Sequence[np.random.SeedSequence] | None = None,
+    ) -> NetJobHandle:
+        """Submit one multi-walk job to the cluster; returns immediately."""
+        self.connect()
+        if seeds is not None:
+            seed_list = list(seeds)
+            if len(seed_list) != n_walkers:
+                raise NetError(
+                    f"got {len(seed_list)} explicit seeds for "
+                    f"{n_walkers} walkers"
+                )
+        else:
+            seed_list = walk_seeds(n_walkers, seed)
+        with self._state_lock:
+            request_id = next(self._request_ids)
+            handle = NetJobHandle(request_id)
+            self._by_request[request_id] = handle
+        self._send(
+            Message(
+                "submit",
+                {"request_id": request_id, "n_walkers": n_walkers},
+                blob=pickle_blob(
+                    {
+                        "problem": problem,
+                        "config": config,
+                        "seeds": seed_list,
+                    }
+                ),
+            )
+        )
+        return handle
+
+    def solve(
+        self,
+        problem: Problem,
+        n_walkers: int = 1,
+        seed: SeedLike = None,
+        *,
+        timeout: float | None = None,
+        **kwargs: Any,
+    ) -> NetJobResult:
+        """Submit and block until the cluster answers."""
+        return self.submit(problem, n_walkers, seed, **kwargs).result(timeout)
+
+    def stats(self, timeout: float | None = 10.0) -> dict[str, Any]:
+        """Cluster-wide stats: coordinator counters + per-node load."""
+        self.connect()
+        with self._state_lock:
+            request_id = next(self._request_ids)
+            event = threading.Event()
+            box: list = []
+            self._stats_waiters[request_id] = (event, box)
+        self._send(Message("stats", {"request_id": request_id}))
+        if not event.wait(timeout):
+            with self._state_lock:
+                self._stats_waiters.pop(request_id, None)
+            raise NetError(f"stats request timed out after {timeout}s")
+        if not box:
+            raise NetError("connection lost before the stats reply arrived")
+        return box[0]
+
+    # ------------------------------------------------------------------
+    def _send(self, message: Message) -> None:
+        sock = self._sock
+        if sock is None:
+            raise NetError("cluster client is not connected")
+        try:
+            with self._send_lock:
+                send_message(sock, message)
+        except OSError as err:
+            raise NetError(f"lost coordinator connection: {err}") from None
+
+    def _read_loop(self) -> None:
+        sock = self._sock
+        error = "coordinator closed the connection"
+        try:
+            while sock is not None:
+                message = recv_message(sock)
+                if message is None:
+                    break
+                self._on_message(message)
+        except (OSError, NetError) as err:
+            if not self._closed:
+                error = f"coordinator connection failed: {err}"
+        self._fail_all(error)
+
+    def _on_message(self, message: Message) -> None:
+        if message.type == "job_accepted":
+            with self._state_lock:
+                handle = self._by_request.get(message["request_id"])
+            if handle is not None:
+                handle.job_id = message["job_id"]
+        elif message.type == "job_result":
+            with self._state_lock:
+                handle = self._by_request.pop(message["request_id"], None)
+            if handle is not None:
+                handle._complete(job_result_from_message(message))
+        elif message.type == "stats":
+            with self._state_lock:
+                waiter = self._stats_waiters.pop(message.get("request_id"), None)
+            if waiter is not None:
+                event, box = waiter
+                box.append(
+                    {
+                        "coordinator": message["coordinator"],
+                        "nodes": message["nodes"],
+                    }
+                )
+                event.set()
+        elif message.type == "error":
+            with self._state_lock:
+                handle = self._by_request.pop(message.get("request_id"), None)
+            if handle is not None:
+                handle._fail(message.get("error") or "coordinator error")
+
+    def _fail_all(self, error: str) -> None:
+        with self._state_lock:
+            handles = list(self._by_request.values())
+            self._by_request.clear()
+            stats_waiters = list(self._stats_waiters.values())
+            self._stats_waiters.clear()
+        for handle in handles:
+            handle._fail(error)
+        for event, _ in stats_waiters:
+            event.set()

@@ -1,0 +1,598 @@
+"""The cluster coordinator.
+
+One asyncio TCP server owning all cluster-wide policy:
+
+- **node registry** — agents connect in (``hello role=node``), carry a
+  worker capacity, and prove liveness with periodic heartbeat frames; a
+  node is declared dead on connection loss *or* heartbeat silence beyond
+  ``heartbeat_timeout`` (the slow path catches hung-but-connected hosts);
+- **job registry** — clients submit multi-walk jobs (problem + explicit
+  per-walk seed list); walk indices are partitioned round-robin across the
+  live nodes with :func:`repro.parallel.seeding.partition_walks`, so a
+  cluster run is walk-for-walk the same set of trajectories as a
+  single-host run with the same job seed;
+- **first-finisher-wins across nodes** — the first solved walk report wins
+  the job; the coordinator broadcasts ``cancel`` to every node holding a
+  slice (the cluster-scope version of the PR 2 in-pool generation tokens)
+  and answers the client immediately while losing walks drain remotely;
+- **re-dispatch** — a dead node's unfinished walk indices are re-assigned
+  to the survivors under a bumped job generation, at most
+  ``max_redispatch`` times per job, after which the job fails loudly;
+- **aggregation & stats** — walk outcomes are folded into one
+  :class:`~repro.net.results.NetJobResult`; a ``stats`` request returns
+  coordinator counters plus every node's last heartbeat load (the
+  per-node :meth:`MetricsSnapshot.to_json` snapshot).
+
+The coordinator executes no walks itself — like the paper's OpenMPI
+launcher it is pure control plane, which is why a single asyncio task per
+connection is plenty even at large node counts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from typing import Any, Optional
+
+from repro.errors import NetError
+from repro.net.protocol import (
+    PROTOCOL_VERSION,
+    Message,
+    pickle_blob,
+    read_message,
+    unpickle_blob,
+    write_message,
+)
+from repro.net.results import (
+    NetJobResult,
+    job_result_to_message,
+    outcome_from_message,
+)
+from repro.parallel.seeding import partition_walks
+from repro.service.jobs import JobStatus
+
+__all__ = ["Coordinator"]
+
+
+class _Conn:
+    """One connection with write serialization (many tasks may send)."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self._send_lock = asyncio.Lock()
+        self.closed = False
+
+    async def send(self, message: Message) -> None:
+        if self.closed:
+            return
+        async with self._send_lock:
+            await write_message(self.writer, message)
+
+    def abort(self) -> None:
+        if not self.closed:
+            self.closed = True
+            transport = self.writer.transport
+            if transport is not None:
+                transport.abort()
+
+
+class _Node:
+    """Registry entry for one connected node agent."""
+
+    def __init__(self, node_id: int, name: str, capacity: int, conn: _Conn) -> None:
+        self.node_id = node_id
+        self.name = name
+        self.capacity = capacity
+        self.conn = conn
+        self.last_heartbeat = time.monotonic()
+        self.load: dict[str, Any] = {}
+        #: job_id -> walk ids currently assigned to this node
+        self.assigned: dict[int, set[int]] = {}
+        self.lost = False
+
+
+class _NetJob:
+    """Registry entry for one in-flight cluster job."""
+
+    def __init__(
+        self,
+        job_id: int,
+        request_id: int,
+        client: _Conn,
+        problem: Any,
+        config: Any,
+        seeds: list[Any],
+        submitted_at: float,
+    ) -> None:
+        self.job_id = job_id
+        self.request_id = request_id
+        self.client = client
+        self.problem = problem
+        self.config = config
+        self.seeds = seeds
+        self.submitted_at = submitted_at
+        self.generation = 0
+        self.outstanding: set[int] = set(range(len(seeds)))
+        self.outcomes: dict[int, Any] = {}
+        self.nodes: dict[int, str] = {}
+        self.winner: Any = None
+        self.winner_node: Optional[str] = None
+        self.redispatches = 0
+        self.error: Optional[str] = None
+
+
+class Coordinator:
+    """Asyncio TCP coordinator for distributed multi-walk solving.
+
+    Parameters
+    ----------
+    host / port:
+        bind address; ``port=0`` picks a free port (read it back from
+        :attr:`address` after :meth:`start` — how every test wires up).
+    heartbeat_timeout:
+        seconds of heartbeat silence after which a connected node is
+        declared dead (connection loss is detected immediately regardless).
+    check_interval:
+        watchdog period for heartbeat scanning.
+    max_redispatch:
+        how many times one job's slices may be moved off dead nodes before
+        the job fails.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        heartbeat_timeout: float = 5.0,
+        check_interval: float = 0.25,
+        max_redispatch: int = 2,
+    ) -> None:
+        if heartbeat_timeout <= 0:
+            raise NetError(
+                f"heartbeat_timeout must be > 0, got {heartbeat_timeout}"
+            )
+        if max_redispatch < 0:
+            raise NetError(
+                f"max_redispatch must be >= 0, got {max_redispatch}"
+            )
+        self.host = host
+        self.port = port
+        self.heartbeat_timeout = heartbeat_timeout
+        self.check_interval = check_interval
+        self.max_redispatch = max_redispatch
+
+        self._server: asyncio.AbstractServer | None = None
+        self._watchdog: asyncio.Task | None = None
+        self._node_ids = itertools.count()
+        self._job_ids = itertools.count()
+        self._nodes: dict[int, _Node] = {}
+        self._jobs: dict[int, _NetJob] = {}
+        self._dispatch_offset = 0  # rotates the first node across dispatches
+        self._pending: list[int] = []  # job ids waiting for a first node
+        self._clients: set[_Conn] = set()
+        self.counters = {
+            "jobs_submitted": 0,
+            "jobs_completed": 0,
+            "jobs_solved": 0,
+            "jobs_failed": 0,
+            "jobs_cancelled": 0,
+            "walks_dispatched": 0,
+            "walk_results": 0,
+            "stale_results": 0,
+            "redispatches": 0,
+            "nodes_joined": 0,
+            "nodes_lost": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the actual (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._watchdog = asyncio.ensure_future(self._watch_heartbeats())
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def node_names(self) -> list[str]:
+        return sorted(n.name for n in self._nodes.values() if not n.lost)
+
+    async def stop(self) -> None:
+        """Close the server and every connection (idempotent)."""
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            self._watchdog = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for node in list(self._nodes.values()):
+            node.conn.abort()
+        for client in list(self._clients):
+            client.abort()
+        self._nodes.clear()
+        self._clients.clear()
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (the ``repro coordinator`` CLI loop)."""
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Conn(reader, writer)
+        try:
+            hello = await read_message(reader)
+        except NetError:
+            conn.abort()
+            return
+        if hello is None or hello.type != "hello":
+            conn.abort()
+            return
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            await conn.send(
+                Message(
+                    "reject",
+                    {
+                        "protocol": PROTOCOL_VERSION,
+                        "error": (
+                            f"protocol version mismatch: coordinator speaks "
+                            f"{PROTOCOL_VERSION}, peer sent "
+                            f"{hello.get('protocol')!r}"
+                        ),
+                    },
+                )
+            )
+            # graceful FIN, not abort(): an RST may discard the buffered
+            # reject frame before the peer reads it
+            conn.closed = True
+            writer.close()
+            return
+        role = hello.get("role")
+        if role == "node":
+            await self._run_node(conn, hello)
+        elif role == "client":
+            await self._run_client(conn, hello)
+        else:
+            conn.abort()
+
+    async def _run_node(self, conn: _Conn, hello: Message) -> None:
+        node_id = next(self._node_ids)
+        node = _Node(
+            node_id=node_id,
+            name=hello.get("name") or f"node-{node_id}",
+            capacity=int(hello.get("capacity", 1)),
+            conn=conn,
+        )
+        self._nodes[node_id] = node
+        self.counters["nodes_joined"] += 1
+        await conn.send(
+            Message("welcome", {"protocol": PROTOCOL_VERSION, "node_id": node_id})
+        )
+        await self._flush_pending()
+        try:
+            while True:
+                message = await read_message(conn.reader)
+                if message is None:
+                    break
+                if message.type == "heartbeat":
+                    node.last_heartbeat = time.monotonic()
+                    node.load = message.get("load") or {}
+                elif message.type == "walk_result":
+                    node.last_heartbeat = time.monotonic()
+                    await self._on_walk_result(node, message)
+        except (NetError, ConnectionError, OSError):
+            pass
+        finally:
+            await self._node_lost(node, "connection lost")
+
+    async def _run_client(self, conn: _Conn, hello: Message) -> None:
+        self._clients.add(conn)
+        await conn.send(Message("welcome", {"protocol": PROTOCOL_VERSION}))
+        try:
+            while True:
+                message = await read_message(conn.reader)
+                if message is None:
+                    break
+                if message.type == "submit":
+                    await self._on_submit(conn, message)
+                elif message.type == "stats":
+                    await conn.send(self._stats_message(message.get("request_id")))
+        except (NetError, ConnectionError, OSError):
+            pass
+        finally:
+            self._clients.discard(conn)
+            conn.closed = True
+            await self._abandon_client_jobs(conn)
+
+    # ------------------------------------------------------------------
+    # submission and dispatch
+    # ------------------------------------------------------------------
+    async def _on_submit(self, client: _Conn, message: Message) -> None:
+        payload = unpickle_blob(message.blob)
+        seeds = list(payload["seeds"])
+        if not seeds:
+            await client.send(
+                Message(
+                    "error",
+                    {
+                        "request_id": message.get("request_id"),
+                        "error": "submit carries no walk seeds",
+                    },
+                )
+            )
+            return
+        job_id = next(self._job_ids)
+        job = _NetJob(
+            job_id=job_id,
+            request_id=message.get("request_id", 0),
+            client=client,
+            problem=payload["problem"],
+            config=payload.get("config"),
+            seeds=seeds,
+            submitted_at=time.monotonic(),
+        )
+        self._jobs[job_id] = job
+        self.counters["jobs_submitted"] += 1
+        await client.send(
+            Message(
+                "job_accepted",
+                {"request_id": job.request_id, "job_id": job_id},
+            )
+        )
+        live = self._live_nodes()
+        if not live:
+            self._pending.append(job_id)
+            return
+        await self._dispatch(job, sorted(job.outstanding), live)
+
+    def _live_nodes(self) -> list[_Node]:
+        return [
+            n for n in self._nodes.values() if not n.lost and not n.conn.closed
+        ]
+
+    async def _flush_pending(self) -> None:
+        """Dispatch jobs that were waiting for a first node to join."""
+        if not self._pending:
+            return
+        live = self._live_nodes()
+        if not live:
+            return
+        pending, self._pending = self._pending, []
+        for job_id in pending:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                await self._dispatch(job, sorted(job.outstanding), live)
+
+    async def _dispatch(
+        self, job: _NetJob, walk_ids: list[int], nodes: list[_Node]
+    ) -> None:
+        """Partition ``walk_ids`` round-robin over ``nodes`` and ship slices.
+
+        The starting node rotates across dispatch calls so a stream of
+        jobs smaller than the cluster (e.g. the single-walk jobs of
+        ``collect_samples(cluster=...)``) spreads over every node instead
+        of piling onto the first one.  Rotation moves only *where* a walk
+        runs; its seed — and hence trajectory — travels with the walk id.
+        """
+        start = self._dispatch_offset % len(nodes)
+        self._dispatch_offset += 1
+        nodes = nodes[start:] + nodes[:start]
+        slices = partition_walks(len(walk_ids), len(nodes))
+        for node, index_slice in zip(nodes, slices):
+            slice_ids = [walk_ids[i] for i in index_slice]
+            if not slice_ids:
+                continue
+            node.assigned.setdefault(job.job_id, set()).update(slice_ids)
+            self.counters["walks_dispatched"] += len(slice_ids)
+            try:
+                await node.conn.send(
+                    Message(
+                        "assign",
+                        {
+                            "job_id": job.job_id,
+                            "generation": job.generation,
+                            "walk_ids": slice_ids,
+                        },
+                        blob=pickle_blob(
+                            {
+                                "problem": job.problem,
+                                "config": job.config,
+                                "seeds": {
+                                    walk_id: job.seeds[walk_id]
+                                    for walk_id in slice_ids
+                                },
+                            }
+                        ),
+                    )
+                )
+            except (ConnectionError, OSError):
+                # the node died mid-assign; the reader task notices the
+                # same broken pipe and re-dispatch happens there
+                node.conn.abort()
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    async def _on_walk_result(self, node: _Node, message: Message) -> None:
+        self.counters["walk_results"] += 1
+        job = self._jobs.get(message["job_id"])
+        walk_id = message["walk_id"]
+        if job is None or walk_id not in job.outstanding:
+            # late loser after a cancel, or a zombie assignment generation:
+            # the job-generation token scheme means stale reports are simply
+            # dropped here, never double-counted
+            self.counters["stale_results"] += 1
+            return
+        node.assigned.get(job.job_id, set()).discard(walk_id)
+        job.outstanding.discard(walk_id)
+        job.nodes[walk_id] = node.name
+        if message.get("error") is not None:
+            # the walk failed remotely even after the node's local retries
+            job.error = message["error"]
+            if not job.outstanding and job.winner is None:
+                await self._finish(job, JobStatus.FAILED)
+            return
+        outcome = outcome_from_message(message)
+        job.outcomes[walk_id] = outcome
+        if outcome.solved and job.winner is None:
+            job.winner = outcome
+            job.winner_node = node.name
+            await self._broadcast_cancel(job)
+            await self._finish(job, JobStatus.SOLVED)
+        elif not job.outstanding:
+            await self._finish(
+                job, JobStatus.FAILED if job.error else JobStatus.UNSOLVED
+            )
+
+    async def _broadcast_cancel(self, job: _NetJob) -> None:
+        """Tell every node holding a slice of ``job`` to stop its walks."""
+        cancel = Message(
+            "cancel", {"job_id": job.job_id, "generation": job.generation}
+        )
+        for node in self._live_nodes():
+            if node.assigned.pop(job.job_id, None):
+                try:
+                    await node.conn.send(cancel)
+                except (ConnectionError, OSError):
+                    node.conn.abort()
+
+    async def _finish(self, job: _NetJob, status: JobStatus) -> None:
+        if self._jobs.pop(job.job_id, None) is None:
+            return  # already finished through another path
+        self.counters["jobs_completed"] += 1
+        if status is JobStatus.SOLVED:
+            self.counters["jobs_solved"] += 1
+        elif status is JobStatus.FAILED:
+            self.counters["jobs_failed"] += 1
+        elif status is JobStatus.CANCELLED:
+            self.counters["jobs_cancelled"] += 1
+        result = NetJobResult(
+            job_id=job.job_id,
+            status=status,
+            n_walkers=len(job.seeds),
+            walks=[job.outcomes[k] for k in sorted(job.outcomes)],
+            winner=job.winner,
+            winner_node=job.winner_node,
+            nodes=dict(job.nodes),
+            error=job.error,
+            redispatches=job.redispatches,
+            wall_time=time.monotonic() - job.submitted_at,
+        )
+        if not job.client.closed:
+            try:
+                await job.client.send(
+                    job_result_to_message(result, job.request_id)
+                )
+            except (ConnectionError, OSError):
+                job.client.abort()
+
+    async def _abandon_client_jobs(self, client: _Conn) -> None:
+        """A disconnected client's jobs are cancelled cluster-wide."""
+        for job in [j for j in self._jobs.values() if j.client is client]:
+            await self._broadcast_cancel(job)
+            await self._finish(job, JobStatus.CANCELLED)
+
+    # ------------------------------------------------------------------
+    # node failure
+    # ------------------------------------------------------------------
+    async def _watch_heartbeats(self) -> None:
+        while True:
+            await asyncio.sleep(self.check_interval)
+            now = time.monotonic()
+            for node in list(self._nodes.values()):
+                if node.lost:
+                    continue
+                if now - node.last_heartbeat > self.heartbeat_timeout:
+                    node.conn.abort()
+                    await self._node_lost(node, "heartbeat timeout")
+
+    async def _node_lost(self, node: _Node, reason: str) -> None:
+        if node.lost:
+            return
+        node.lost = True
+        node.conn.closed = True
+        self._nodes.pop(node.node_id, None)
+        self.counters["nodes_lost"] += 1
+        orphaned = node.assigned
+        node.assigned = {}
+        for job_id, walk_ids in orphaned.items():
+            job = self._jobs.get(job_id)
+            if job is None:
+                continue
+            unfinished = sorted(walk_ids & job.outstanding)
+            if unfinished:
+                await self._redispatch(job, unfinished, node, reason)
+
+    async def _redispatch(
+        self, job: _NetJob, walk_ids: list[int], dead: _Node, reason: str
+    ) -> None:
+        """Move a dead node's unfinished slice to the survivors (capped)."""
+        if job.redispatches >= self.max_redispatch:
+            job.error = (
+                f"node {dead.name} died ({reason}) and job {job.job_id} "
+                f"exhausted its {self.max_redispatch} re-dispatch budget"
+            )
+            await self._broadcast_cancel(job)
+            await self._finish(job, JobStatus.FAILED)
+            return
+        live = self._live_nodes()
+        if not live:
+            job.error = (
+                f"node {dead.name} died ({reason}) with walks "
+                f"{walk_ids} in flight and no surviving nodes"
+            )
+            await self._finish(job, JobStatus.FAILED)
+            return
+        job.redispatches += 1
+        # bump the job generation: any report the "dead" node still manages
+        # to emit for the old assignment is dropped as stale on arrival
+        job.generation += 1
+        self.counters["redispatches"] += 1
+        await self._dispatch(job, walk_ids, live)
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def _stats_message(self, request_id: Any = None) -> Message:
+        now = time.monotonic()
+        return Message(
+            "stats",
+            {
+                "request_id": request_id,
+                "coordinator": {
+                    **self.counters,
+                    "jobs_active": len(self._jobs),
+                    "jobs_pending": len(self._pending),
+                    "nodes_connected": len(self._live_nodes()),
+                },
+                "nodes": [
+                    {
+                        "name": node.name,
+                        "capacity": node.capacity,
+                        "heartbeat_age": now - node.last_heartbeat,
+                        "assigned_walks": sum(
+                            len(v) for v in node.assigned.values()
+                        ),
+                        "load": node.load,
+                    }
+                    for node in self._live_nodes()
+                ],
+            },
+        )

@@ -1,0 +1,186 @@
+"""Result types and walk-payload codecs of the distributed backend.
+
+The cluster reuses the service-layer vocabulary on purpose:
+:class:`~repro.parallel.results.WalkOutcome` is what one walk reports no
+matter which runtime executed it, and :class:`~repro.service.jobs.JobStatus`
+describes a finished job identically on one host and on many.  This module
+adds the wire codecs (``walk_result`` frames) and :class:`NetJobResult`,
+the cluster-level aggregate with per-walk node attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.termination import TerminationReason
+from repro.net.protocol import Message, pickle_blob, unpickle_blob
+from repro.parallel.results import ParallelResult, WalkOutcome
+from repro.service.jobs import JobStatus
+
+__all__ = [
+    "NetJobResult",
+    "outcome_to_message",
+    "outcome_from_message",
+    "job_result_to_message",
+    "job_result_from_message",
+]
+
+
+@dataclass
+class NetJobResult:
+    """Everything the coordinator knows about one finished cluster job.
+
+    ``nodes`` maps walk id -> node name for every walk that reported, so a
+    result is auditable: which machine won, and how work spread across the
+    cluster.  ``redispatches`` counts how many times slices of this job had
+    to be moved off a dead node.  ``wall_time`` is coordinator-side
+    submission -> completion (network latency included — it is what a
+    cluster client experiences).
+    """
+
+    job_id: int
+    status: JobStatus
+    n_walkers: int
+    walks: list[WalkOutcome] = field(default_factory=list)
+    winner: Optional[WalkOutcome] = None
+    winner_node: Optional[str] = None
+    nodes: dict[int, str] = field(default_factory=dict)
+    error: Optional[str] = None
+    redispatches: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def solved(self) -> bool:
+        return self.status is JobStatus.SOLVED
+
+    @property
+    def config(self) -> Optional[np.ndarray]:
+        return self.winner.config if self.winner is not None else None
+
+    def to_parallel_result(self) -> ParallelResult:
+        """View this cluster job as a :class:`ParallelResult`.
+
+        ``wall_time`` keeps multi-walk semantics (the winner's in-walk
+        solving time); ``elapsed_time`` is the cluster round-trip.
+        """
+        if self.winner is not None:
+            wall_time = self.winner.wall_time
+        elif self.walks:
+            wall_time = max(w.wall_time for w in self.walks)
+        else:
+            wall_time = self.wall_time
+        return ParallelResult(
+            solved=self.solved,
+            n_walkers=self.n_walkers,
+            winner=self.winner,
+            walks=list(self.walks),
+            wall_time=wall_time,
+            elapsed_time=self.wall_time,
+            executor="net",
+        )
+
+    def summary(self) -> str:
+        if self.solved:
+            assert self.winner is not None
+            status = (
+                f"SOLVED by walk {self.winner.walk_id} "
+                f"on node {self.winner_node}"
+            )
+        else:
+            status = self.status.value.upper()
+        extra = (
+            f", {self.redispatches} re-dispatch(es)" if self.redispatches else ""
+        )
+        return (
+            f"cluster job {self.job_id} x{self.n_walkers}: {status}, "
+            f"round-trip {self.wall_time * 1e3:.1f}ms{extra}"
+        )
+
+
+# ----------------------------------------------------------------------
+# walk_result frames (node agent -> coordinator)
+# ----------------------------------------------------------------------
+def outcome_to_message(
+    job_id: int, generation: int, outcome: WalkOutcome
+) -> Message:
+    """Encode one finished walk; the configuration rides in the blob."""
+    return Message(
+        type="walk_result",
+        fields={
+            "job_id": job_id,
+            "generation": generation,
+            "walk_id": outcome.walk_id,
+            "solved": outcome.solved,
+            "cost": float(outcome.cost),
+            "iterations": int(outcome.iterations),
+            "wall_time": float(outcome.wall_time),
+            "reason": outcome.reason.name,
+        },
+        blob=(
+            pickle_blob(np.asarray(outcome.config, dtype=np.int64))
+            if outcome.config is not None
+            else None
+        ),
+    )
+
+
+def outcome_from_message(message: Message) -> WalkOutcome:
+    return WalkOutcome(
+        walk_id=message["walk_id"],
+        solved=message["solved"],
+        cost=message["cost"],
+        iterations=message["iterations"],
+        wall_time=message["wall_time"],
+        reason=TerminationReason[message["reason"]],
+        config=(
+            unpickle_blob(message.blob) if message.blob is not None else None
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# job_result frames (coordinator -> client)
+# ----------------------------------------------------------------------
+def job_result_to_message(result: NetJobResult, request_id: int) -> Message:
+    """Encode a finished job; walk outcomes travel as one pickled blob."""
+    return Message(
+        type="job_result",
+        fields={
+            "request_id": request_id,
+            "job_id": result.job_id,
+            "status": result.status.value,
+            "n_walkers": result.n_walkers,
+            "winner_walk_id": (
+                result.winner.walk_id if result.winner is not None else None
+            ),
+            "winner_node": result.winner_node,
+            "error": result.error,
+            "redispatches": result.redispatches,
+            "wall_time": result.wall_time,
+        },
+        blob=pickle_blob({"walks": result.walks, "nodes": result.nodes}),
+    )
+
+
+def job_result_from_message(message: Message) -> NetJobResult:
+    payload = unpickle_blob(message.blob)
+    walks: list[WalkOutcome] = payload["walks"]
+    winner_walk_id = message["winner_walk_id"]
+    winner = None
+    if winner_walk_id is not None:
+        winner = next(w for w in walks if w.walk_id == winner_walk_id)
+    return NetJobResult(
+        job_id=message["job_id"],
+        status=JobStatus(message["status"]),
+        n_walkers=message["n_walkers"],
+        walks=walks,
+        winner=winner,
+        winner_node=message["winner_node"],
+        nodes=payload["nodes"],
+        error=message["error"],
+        redispatches=message["redispatches"],
+        wall_time=message["wall_time"],
+    )

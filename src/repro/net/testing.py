@@ -1,0 +1,172 @@
+"""In-process cluster harness.
+
+:class:`LocalCluster` boots a coordinator plus ``n_nodes`` node agents on
+one private asyncio event loop running in a background thread — a whole
+"cluster" on localhost inside a single test, demo, or benchmark process
+(the worker pools are still real OS processes, so walks genuinely run in
+parallel).  The harness is also the failure-injection rig:
+``kill_agent(i)`` aborts an agent's TCP connection without a goodbye and
+tears its pool down, which is indistinguishable from a crashed host as far
+as the coordinator can observe — the re-dispatch path is exercised with no
+mocks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from repro.errors import NetError
+from repro.net.agent import NodeAgent
+from repro.net.client import ClusterClient
+from repro.net.coordinator import Coordinator
+
+__all__ = ["LocalCluster"]
+
+
+class LocalCluster:
+    """Coordinator + N in-process node agents on a background event loop.
+
+    Parameters
+    ----------
+    n_nodes:
+        node agents to start.
+    workers_per_node:
+        warm pool size of each agent.
+    heartbeat_interval / heartbeat_timeout:
+        failure-detector tuning; the aggressive defaults keep
+        kill-one-node tests fast while staying far above localhost RTTs.
+    max_redispatch / mp_context / poll_every:
+        forwarded to the coordinator / agents.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int = 2,
+        workers_per_node: int = 1,
+        *,
+        heartbeat_interval: float = 0.2,
+        heartbeat_timeout: float = 2.0,
+        max_redispatch: int = 2,
+        poll_every: int = 16,
+        mp_context: str | None = None,
+    ) -> None:
+        if n_nodes < 0:
+            # 0 is allowed: submit-before-any-node tests add agents later
+            raise NetError(f"n_nodes must be >= 0, got {n_nodes}")
+        self.n_nodes = n_nodes
+        self.workers_per_node = workers_per_node
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_redispatch = max_redispatch
+        self.poll_every = poll_every
+        self.mp_context = mp_context
+
+        self.coordinator: Coordinator | None = None
+        self.agents: list[NodeAgent] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._clients: list[ClusterClient] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self, timeout: float = 60.0) -> "LocalCluster":
+        """Boot the loop thread, the coordinator, and every agent."""
+        if self._started:
+            return self
+        self._started = True
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-net-loop", daemon=True
+        )
+        self._thread.start()
+        self.coordinator = Coordinator(
+            heartbeat_timeout=self.heartbeat_timeout,
+            check_interval=min(0.1, self.heartbeat_timeout / 4),
+            max_redispatch=self.max_redispatch,
+        )
+        self._run(self.coordinator.start(), timeout)
+        for _ in range(self.n_nodes):
+            self.add_agent(timeout=timeout)
+        return self
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Tear everything down (idempotent); joins the loop thread."""
+        if self._loop is None:
+            return
+        for client in self._clients:
+            client.close()
+        self._clients.clear()
+        for agent in self.agents:
+            try:
+                self._run(agent.stop(), timeout)
+            except NetError:  # pragma: no cover - already dead
+                pass
+        self.agents.clear()
+        if self.coordinator is not None:
+            self._run(self.coordinator.stop(), timeout)
+            self.coordinator = None
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        assert self._thread is not None
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "LocalCluster":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self.coordinator is not None, "cluster is not started"
+        return self.coordinator.address
+
+    def client(self) -> ClusterClient:
+        """A connected client whose lifetime the cluster manages."""
+        client = ClusterClient(self.address).connect()
+        self._clients.append(client)
+        return client
+
+    def add_agent(
+        self, name: Optional[str] = None, timeout: float = 60.0
+    ) -> NodeAgent:
+        """Boot one more node agent and join it to the running cluster
+        (elastic growth — also how submit-before-any-node tests resolve)."""
+        host, port = self.address
+        agent = NodeAgent(
+            host,
+            port,
+            n_workers=self.workers_per_node,
+            name=name or f"node-{len(self.agents)}",
+            heartbeat_interval=self.heartbeat_interval,
+            poll_every=self.poll_every,
+            mp_context=self.mp_context,
+        )
+        self._run(agent.start(), timeout)
+        self.agents.append(agent)
+        return agent
+
+    def kill_agent(self, index: int, timeout: float = 60.0) -> None:
+        """Simulate the death of node ``index`` (abrupt, no goodbye)."""
+        self._run(self.agents[index].kill(), timeout)
+
+    def live_node_names(self) -> list[str]:
+        assert self.coordinator is not None
+        return self.coordinator.node_names
+
+    # ------------------------------------------------------------------
+    def _run(self, coro, timeout: float):
+        assert self._loop is not None, "cluster is not started"
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        try:
+            return future.result(timeout=timeout)
+        except TimeoutError:
+            future.cancel()
+            raise NetError(
+                f"cluster operation timed out after {timeout}s"
+            ) from None

@@ -30,7 +30,7 @@ from repro.parallel.cooperative import (
 from repro.parallel.multiwalk import MultiWalkSolver, solve_parallel
 from repro.parallel.results import ParallelResult, WalkOutcome
 from repro.parallel.scaling import ScalingPoint, ScalingStudy, measure_scaling
-from repro.parallel.seeding import walk_seeds
+from repro.parallel.seeding import partition_seeds, partition_walks, walk_seeds
 
 __all__ = [
     "MultiWalkSolver",
@@ -42,6 +42,8 @@ __all__ = [
     "ParallelResult",
     "WalkOutcome",
     "walk_seeds",
+    "partition_seeds",
+    "partition_walks",
     "measure_scaling",
     "ScalingStudy",
     "ScalingPoint",

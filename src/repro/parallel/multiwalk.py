@@ -33,11 +33,12 @@ from repro.util.rng import SeedLike
 from repro.util.timing import Stopwatch
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service -> parallel)
+    from repro.net.client import ClusterClient
     from repro.service.scheduler import SolverService
 
 __all__ = ["MultiWalkSolver", "solve_parallel"]
 
-_EXECUTORS = ("inline", "process", "pool")
+_EXECUTORS = ("inline", "process", "pool", "net")
 
 
 class MultiWalkSolver:
@@ -63,6 +64,11 @@ class MultiWalkSolver:
         a started :class:`repro.service.SolverService` whose worker pool
         executes the walks when ``executor="pool"``; the caller owns its
         lifecycle, so many solvers (and concurrent solves) may share it.
+    cluster:
+        for ``executor="net"``: a connected
+        :class:`repro.net.ClusterClient` (caller-owned, shareable across
+        solvers), or a coordinator address (``(host, port)`` tuple or
+        ``"host:port"`` string) to dial per solve.
     """
 
     def __init__(
@@ -74,6 +80,7 @@ class MultiWalkSolver:
         launch_overhead: float = 0.0,
         mp_context: str | None = None,
         pool: Optional["SolverService"] = None,
+        cluster: "ClusterClient | tuple[str, int] | str | None" = None,
     ) -> None:
         if executor not in _EXECUTORS:
             raise ParallelError(
@@ -89,12 +96,18 @@ class MultiWalkSolver:
             raise ParallelError(
                 'executor="pool" needs a SolverService via the pool argument'
             )
+        if executor == "net" and cluster is None:
+            raise ParallelError(
+                'executor="net" needs a ClusterClient or coordinator '
+                "address via the cluster argument"
+            )
         self.config = config or AdaptiveSearchConfig()
         self.executor = executor
         self.poll_every = poll_every
         self.launch_overhead = launch_overhead
         self.mp_context = mp_context
         self.pool = pool
+        self.cluster = cluster
 
     # ------------------------------------------------------------------
     def solve(
@@ -114,6 +127,8 @@ class MultiWalkSolver:
             return self._solve_inline(problem, config, seeds)
         if self.executor == "pool":
             return self._solve_pool(problem, config, seeds)
+        if self.executor == "net":
+            return self._solve_net(problem, config, seeds)
         return self._solve_process(problem, config, seeds)
 
     # ------------------------------------------------------------------
@@ -133,6 +148,35 @@ class MultiWalkSolver:
             problem, len(seeds), config=config, seeds=seeds
         )
         return handle.result().to_parallel_result()
+
+    # ------------------------------------------------------------------
+    def _solve_net(
+        self,
+        problem: Problem,
+        config: AdaptiveSearchConfig,
+        seeds: list[np.random.SeedSequence],
+    ) -> ParallelResult:
+        """Run the walks as one job on a distributed coordinator cluster.
+
+        The full ordered seed list ships to the coordinator, which
+        partitions walk *indices* across nodes — so walk ``i`` runs the
+        same trajectory as under every other executor, merely on another
+        machine.
+        """
+        from repro.net.client import ClusterClient
+
+        client = self.cluster
+        owned = not isinstance(client, ClusterClient)
+        if owned:
+            client = ClusterClient(client).connect()
+        try:
+            result = client.solve(
+                problem, len(seeds), config=config, seeds=seeds
+            )
+            return result.to_parallel_result()
+        finally:
+            if owned:
+                client.close()
 
     # ------------------------------------------------------------------
     def _solve_inline(
@@ -301,12 +345,13 @@ def solve_parallel(
     launch_overhead: float = 0.0,
     mp_context: str | None = None,
     pool: Optional["SolverService"] = None,
+    cluster: "ClusterClient | tuple[str, int] | str | None" = None,
 ) -> ParallelResult:
     """One-shot convenience wrapper around :class:`MultiWalkSolver`.
 
     All executor tunables (``poll_every``, ``launch_overhead``,
-    ``mp_context``, ``pool``) are forwarded; see :class:`MultiWalkSolver`
-    for their meaning.
+    ``mp_context``, ``pool``, ``cluster``) are forwarded; see
+    :class:`MultiWalkSolver` for their meaning.
     """
     solver = MultiWalkSolver(
         config,
@@ -315,5 +360,6 @@ def solve_parallel(
         launch_overhead=launch_overhead,
         mp_context=mp_context,
         pool=pool,
+        cluster=cluster,
     )
     return solver.solve(problem, n_walkers, seed, time_limit=time_limit)

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.util.rng import SeedLike, spawn_seeds
 
-__all__ = ["walk_seeds"]
+__all__ = ["walk_seeds", "partition_walks", "partition_seeds"]
 
 
 def walk_seeds(n_walkers: int, seed: SeedLike = None) -> list[np.random.SeedSequence]:
@@ -24,3 +24,37 @@ def walk_seeds(n_walkers: int, seed: SeedLike = None) -> list[np.random.SeedSequ
     if n_walkers <= 0:
         raise ValueError(f"n_walkers must be >= 1, got {n_walkers}")
     return spawn_seeds(n_walkers, seed)
+
+
+def partition_walks(n_walks: int, n_nodes: int) -> list[list[int]]:
+    """Round-robin split of walk indices ``0..n_walks-1`` over ``n_nodes``.
+
+    Node ``i`` receives indices ``i, i + n_nodes, i + 2*n_nodes, ...`` —
+    with fewer nodes than walks every node gets work, and shrinking the
+    node count only merges slices (walk identities never change).  Nodes
+    beyond the walk count receive empty slices.
+    """
+    if n_walks < 1:
+        raise ValueError(f"n_walks must be >= 1, got {n_walks}")
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    return [list(range(node, n_walks, n_nodes)) for node in range(n_nodes)]
+
+
+def partition_seeds(
+    job_seed: SeedLike, n_walks: int, n_nodes: int
+) -> list[list[np.random.SeedSequence]]:
+    """Per-node seed slices of one distributed multi-walk job.
+
+    The defining property (tested by hypothesis): concatenating the slices
+    in walk-index order recovers ``walk_seeds(n_walks, job_seed)`` exactly,
+    for **any** node count.  Walk ``i`` of a distributed run is therefore
+    the same trajectory as walk ``i`` of a single-host run with the same
+    job seed — cluster results stay comparable to local ones, which is how
+    the paper compares its HA8000/Grid'5000 runs against one core.
+    """
+    seeds = walk_seeds(n_walks, job_seed)
+    return [
+        [seeds[walk_id] for walk_id in slice_ids]
+        for slice_ids in partition_walks(n_walks, n_nodes)
+    ]

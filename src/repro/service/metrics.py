@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -53,6 +53,14 @@ class MetricsSnapshot:
     latency_p95: float
     queue_wait_mean: float
     worker_utilization: float
+
+    def to_json(self) -> dict[str, float | int]:
+        """JSON-safe dict of every counter (wire format of node heartbeats
+        and the coordinator ``stats`` frame — plain built-in scalars only)."""
+        return {
+            key: (float(value) if isinstance(value, float) else int(value))
+            for key, value in asdict(self).items()
+        }
 
     def summary(self) -> str:
         return (
@@ -136,6 +144,10 @@ class ServiceMetrics:
                 self._queue_waits.pop(0)
             self._latencies.append(latency)
             self._queue_waits.append(queue_wait)
+
+    def to_json(self) -> dict[str, float | int]:
+        """Shorthand for ``snapshot().to_json()``."""
+        return self.snapshot().to_json()
 
     # ------------------------------------------------------------------
     def snapshot(self) -> MetricsSnapshot:

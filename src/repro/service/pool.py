@@ -192,6 +192,12 @@ class WorkerPool:
             h.process for h in self._workers.values() if h.process.is_alive()
         ]
 
+    def worker_pids(self) -> list[int]:
+        """OS pids of the live worker processes (ops/debugging surface:
+        ``repro service --pid-file`` writes these so an operator — or the
+        signal-cleanup test — can verify the children were reaped)."""
+        return [p.pid for p in self.live_processes() if p.pid is not None]
+
     def incarnation(self, worker_id: int) -> int:
         """How many times this worker slot has been respawned."""
         return self._workers[worker_id].incarnation

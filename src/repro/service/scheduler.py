@@ -317,6 +317,11 @@ class SolverService:
     def snapshot(self) -> MetricsSnapshot:
         return self.metrics.snapshot()
 
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The underlying worker pool (``None`` before :meth:`start`)."""
+        return self._pool
+
     def _request_cancel(self, job_id: int) -> None:
         self._inbox.append(("cancel", job_id))
 

@@ -1,0 +1,122 @@
+"""Frame codec and handshake tests (no cluster required)."""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.errors import NetError
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    Message,
+    decode_frame_body,
+    encode_message,
+    pickle_blob,
+    recv_message,
+    send_message,
+    unpickle_blob,
+)
+
+
+def roundtrip(message: Message) -> Message:
+    frame = encode_message(message)
+    body_len = int.from_bytes(frame[:4], "big")
+    kind = frame[4]
+    body = frame[5:]
+    assert body_len == len(body)
+    return decode_frame_body(kind, body)
+
+
+class TestCodec:
+    def test_json_roundtrip(self):
+        msg = Message("heartbeat", {"load": {"jobs": 3}, "running_walks": 2})
+        out = roundtrip(msg)
+        assert out.type == "heartbeat"
+        assert out["load"] == {"jobs": 3}
+        assert out["running_walks"] == 2
+        assert out.blob is None
+
+    def test_blob_roundtrip(self):
+        payload = {"seeds": np.arange(5), "config": None}
+        msg = Message("assign", {"job_id": 9}, blob=pickle_blob(payload))
+        out = roundtrip(msg)
+        assert out.type == "assign"
+        assert out["job_id"] == 9
+        decoded = unpickle_blob(out.blob)
+        np.testing.assert_array_equal(decoded["seeds"], np.arange(5))
+
+    def test_empty_blob_is_preserved(self):
+        out = roundtrip(Message("x", {}, blob=b""))
+        assert out.blob == b""
+
+    def test_unicode_fields(self):
+        out = roundtrip(Message("hello", {"name": "nøde-α"}))
+        assert out["name"] == "nøde-α"
+
+    def test_oversize_frame_refused_on_send(self):
+        with pytest.raises(NetError, match="refusing to send"):
+            encode_message(
+                Message("big", {}, blob=b"\x00" * (MAX_FRAME_BYTES + 1))
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(NetError, match="unknown frame kind"):
+            decode_frame_body(7, b"{}")
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(NetError, match="malformed frame header"):
+            decode_frame_body(0, b"not json at all")
+
+    def test_untyped_header_rejected(self):
+        with pytest.raises(NetError, match="not a typed object"):
+            decode_frame_body(0, b'{"no_type": 1}')
+
+    def test_truncated_blob_header_rejected(self):
+        with pytest.raises(NetError, match="truncated BLOB"):
+            decode_frame_body(1, b"\x00")
+
+    def test_blob_header_overrun_rejected(self):
+        # header_len claims 100 bytes but only 2 follow
+        with pytest.raises(NetError, match="overruns"):
+            decode_frame_body(1, b"\x00\x00\x00\x64{}")
+
+    def test_unpickle_requires_blob(self):
+        with pytest.raises(NetError, match="no binary payload"):
+            unpickle_blob(None)
+
+
+class TestSyncSocketTransport:
+    def test_socketpair_roundtrip_and_eof(self):
+        left, right = socket.socketpair()
+        try:
+            send_message(left, Message("a", {"i": 1}))
+            send_message(left, Message("b", {}, blob=b"\x01\x02"))
+            first = recv_message(right)
+            second = recv_message(right)
+            assert first.type == "a" and first["i"] == 1
+            assert second.type == "b" and second.blob == b"\x01\x02"
+            left.close()
+            assert recv_message(right) is None  # clean EOF
+        finally:
+            right.close()
+
+    def test_mid_frame_eof_raises(self):
+        left, right = socket.socketpair()
+        try:
+            frame = encode_message(Message("a", {"k": "v"}))
+            left.sendall(frame[: len(frame) - 2])  # drop the tail
+            left.close()
+            with pytest.raises(NetError, match="mid-frame"):
+                recv_message(right)
+        finally:
+            right.close()
+
+    def test_corrupt_length_prefix_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"\xff\xff\xff\xff\x00")
+            with pytest.raises(NetError, match="claims"):
+                recv_message(right)
+        finally:
+            left.close()
+            right.close()

@@ -1,9 +1,11 @@
-"""Tests for walk seed derivation."""
+"""Tests for walk seed derivation and distributed partitioning."""
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.parallel.seeding import walk_seeds
+from repro.parallel.seeding import partition_seeds, partition_walks, walk_seeds
 
 
 class TestWalkSeeds:
@@ -36,3 +38,67 @@ class TestWalkSeeds:
             int(np.random.default_rng(s).integers(0, 2**63)) for s in seeds
         }
         assert len(first_draws) == 16
+
+
+class TestPartitionWalks:
+    def test_round_robin_layout(self):
+        assert partition_walks(7, 3) == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_more_nodes_than_walks(self):
+        assert partition_walks(2, 4) == [[0], [1], [], []]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError, match="n_walks"):
+            partition_walks(0, 2)
+        with pytest.raises(ValueError, match="n_nodes"):
+            partition_walks(4, 0)
+
+    @given(
+        n_walks=st.integers(min_value=1, max_value=200),
+        n_nodes=st.integers(min_value=1, max_value=50),
+    )
+    def test_partition_is_exact(self, n_walks, n_nodes):
+        """Every walk index appears in exactly one node slice."""
+        slices = partition_walks(n_walks, n_nodes)
+        assert len(slices) == n_nodes
+        flat = sorted(i for s in slices for i in s)
+        assert flat == list(range(n_walks))
+
+
+class TestPartitionSeeds:
+    """The distributed-comparability property: a cluster run races exactly
+    the single-host walk set, for any node count."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        job_seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n_walks=st.integers(min_value=1, max_value=64),
+        n_nodes=st.integers(min_value=1, max_value=16),
+    )
+    def test_union_over_nodes_equals_single_host_sequence(
+        self, job_seed, n_walks, n_nodes
+    ):
+        single_host = walk_seeds(n_walks, job_seed)
+        slices = partition_seeds(job_seed, n_walks, n_nodes)
+        assert len(slices) == n_nodes
+        # reassemble by walk index using the round-robin layout
+        reassembled = {}
+        for node, index_slice in enumerate(partition_walks(n_walks, n_nodes)):
+            for position, walk_id in enumerate(index_slice):
+                reassembled[walk_id] = slices[node][position]
+        assert sorted(reassembled) == list(range(n_walks))
+        for walk_id, seed in reassembled.items():
+            assert seed.spawn_key == single_host[walk_id].spawn_key
+            assert seed.entropy == single_host[walk_id].entropy
+
+    def test_slice_seeds_are_the_same_objects_per_walk(self):
+        """Two different node counts slice the identical seed sequence."""
+        two = partition_seeds(5, 8, 2)
+        four = partition_seeds(5, 8, 4)
+        flat_two = sorted(
+            (s.spawn_key for node in two for s in node)
+        )
+        flat_four = sorted(
+            (s.spawn_key for node in four for s in node)
+        )
+        assert flat_two == flat_four

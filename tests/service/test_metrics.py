@@ -1,5 +1,7 @@
 """Tests for the service metrics collector (no processes involved)."""
 
+import json
+
 import pytest
 
 from repro.service import JobStatus
@@ -111,3 +113,35 @@ class TestLatencyPercentiles:
         assert isinstance(snap, MetricsSnapshot)
         with pytest.raises(AttributeError):
             snap.jobs_submitted = 99
+
+
+class TestToJson:
+    """to_json() is the wire format of node heartbeats and the coordinator
+    stats frame — it must hold plain built-in scalars only."""
+
+    def test_plain_scalars_only(self):
+        metrics = ServiceMetrics(n_workers=3)
+        metrics.record_submit()
+        metrics.record_walk_completed(0.5, stale=False)
+        metrics.record_job_finished(JobStatus.SOLVED, latency=0.7, queue_wait=0.1)
+        payload = metrics.to_json()
+        # numpy floats (percentiles) must have been coerced away
+        assert all(type(v) in (int, float) for v in payload.values())
+
+    def test_covers_every_snapshot_field(self):
+        snap = ServiceMetrics(n_workers=1).snapshot()
+        payload = snap.to_json()
+        assert set(payload) == set(snap.__dataclass_fields__)
+        assert payload["n_workers"] == 1
+
+    def test_round_trips_through_json(self):
+        metrics = ServiceMetrics(n_workers=2)
+        for latency in (0.1, 0.4):
+            metrics.record_submit()
+            metrics.record_job_finished(
+                JobStatus.SOLVED, latency=latency, queue_wait=0.0
+            )
+        payload = metrics.to_json()
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["jobs_solved"] == 2
+        assert decoded["latency_p95"] == pytest.approx(payload["latency_p95"])

@@ -162,6 +162,50 @@ class TestConcurrentJobs:
 
 
 @pytest.mark.slow
+class TestDeadlineEdgeCases:
+    def test_deadline_expires_while_walks_still_queued(self):
+        """A 1-worker pool is busy with another job, so the deadlined
+        job's walks never reach a worker — the deadline must fire anyway
+        (enforcement is scheduler-side, not walk-side)."""
+        blocker_problem = make_problem("magic_square", n=10)
+        with SolverService(1, tick=0.002) as service:
+            blocker = service.submit(
+                blocker_problem, 1, seed=0, config=AdaptiveSearchConfig()
+            )
+            victim = service.submit(
+                CostasProblem(8), 2, seed=1, config=CFG, deadline=0.3
+            )
+            result = victim.result(timeout=120)
+            assert result.status is JobStatus.TIMED_OUT
+            assert result.walks == []  # nothing was ever dispatched
+            assert result.winner is None
+            assert result.latency >= 0.3
+            blocker.cancel()
+            assert blocker.result(timeout=120).status is JobStatus.CANCELLED
+
+    def test_deadline_racing_winning_walk_never_hangs(self):
+        """Deadline of the order of the solve time: either side may win
+        the race, both outcomes are legal, and the handle always resolves
+        (finish-once semantics — a deadline firing after the winner's
+        report must not double-complete or hang the job)."""
+        problem = CostasProblem(8)
+        seen = set()
+        with SolverService(2, tick=0.002) as service:
+            for attempt, deadline in enumerate((0.005, 0.05, 0.2, 5.0)):
+                result = service.solve(
+                    problem, 2, seed=attempt, config=CFG,
+                    deadline=deadline, timeout=120,
+                )
+                assert result.status in (JobStatus.SOLVED, JobStatus.TIMED_OUT)
+                seen.add(result.status)
+                if result.status is JobStatus.SOLVED:
+                    assert problem.is_solution(result.config)
+                else:
+                    assert result.winner is None
+        assert seen  # the loop ran; typically both outcomes appear
+
+
+@pytest.mark.slow
 class TestLifecycle:
     def test_shutdown_is_idempotent_and_final(self):
         service = SolverService(1)

@@ -303,3 +303,104 @@ class TestExperimentAll:
         text = out.read_text()
         for marker in ("fig1", "fig2", "fig3", "tab1", "tabA"):
             assert marker in text
+
+
+class TestNetParser:
+    def test_coordinator_defaults(self):
+        args = build_parser().parse_args(["coordinator"])
+        assert args.host == "0.0.0.0"
+        assert args.port == 7710
+        assert args.heartbeat_timeout == 5.0
+        assert args.max_redispatch == 2
+
+    def test_node_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["node"])
+
+    def test_node_flags(self):
+        args = build_parser().parse_args(
+            [
+                "node", "--connect", "box:7710", "--workers", "4",
+                "--name", "n0", "--heartbeat-interval", "0.5",
+            ]
+        )
+        assert args.connect == "box:7710"
+        assert args.workers == 4
+        assert args.name == "n0"
+        assert args.heartbeat_interval == 0.5
+
+    def test_submit_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "queens"])
+
+    def test_submit_flags(self):
+        args = build_parser().parse_args(
+            [
+                "submit", "queens", "--set", "n=12",
+                "--connect", "localhost:7710",
+                "--walkers", "8", "--stats", "--timeout", "30",
+            ]
+        )
+        assert args.family == "queens"
+        assert args.set == ["n=12"]
+        assert args.walkers == 8
+        assert args.stats
+        assert args.timeout == 30.0
+
+    def test_service_pid_file_flag(self):
+        args = build_parser().parse_args(
+            ["service", "--family", "costas", "--pid-file", "/tmp/x.pid"]
+        )
+        assert args.pid_file == "/tmp/x.pid"
+
+
+@pytest.mark.slow
+class TestSubmitCommand:
+    def test_submit_against_local_cluster(self, capsys):
+        from repro.net import LocalCluster
+
+        with LocalCluster(n_nodes=2, workers_per_node=1) as cluster:
+            host, port = cluster.address
+            code = main(
+                [
+                    "submit", "queens", "--set", "n=16",
+                    "--connect", f"{host}:{port}",
+                    "--walkers", "2", "--seed", "1", "--stats",
+                ]
+            )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SOLVED by walk" in out
+        assert "cluster:" in out
+        assert "node-0" in out and "node-1" in out
+
+    def test_submit_unreachable_coordinator_exits_2(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        code = main(
+            [
+                "submit", "queens", "--set", "n=8",
+                "--connect", f"127.0.0.1:{dead_port}",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+        assert "cannot reach coordinator" in err
+
+    def test_node_unreachable_coordinator_exits_2(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        code = main(["node", "--connect", f"127.0.0.1:{dead_port}"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+        assert "cannot reach coordinator" in err
