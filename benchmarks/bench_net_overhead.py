@@ -119,6 +119,10 @@ def main(argv=None) -> int:
         "--max-overhead-ms", type=float, default=250.0,
         help="allowed median net-minus-local per-job overhead",
     )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write machine-readable results to this JSON file",
+    )
     args = parser.parse_args(argv)
     n_jobs = args.jobs or (5 if args.smoke else 12)
     n_burst = args.burst or (8 if args.smoke else 16)
@@ -205,6 +209,38 @@ def main(argv=None) -> int:
     ARTIFACT.parent.mkdir(exist_ok=True)
     ARTIFACT.write_text(text + "\n", encoding="utf-8")
     print(f"[artifact written to {ARTIFACT}]")
+    if args.json:
+        import json
+
+        json_path = Path(args.json)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(
+            json.dumps(
+                {
+                    "bench": "net_overhead",
+                    "nodes": args.nodes,
+                    "workers_per_node": args.workers_per_node,
+                    "latency_ms": {
+                        "local_median": local_med * 1e3,
+                        "net_median": net_med * 1e3,
+                        "overhead": overhead_ms,
+                    },
+                    "max_overhead_ms": args.max_overhead_ms,
+                    "throughput": {
+                        "solved": n_solved,
+                        "jobs": n_burst,
+                        "elapsed_s": elapsed,
+                        "nodes_used": sorted(spread),
+                    },
+                    "counters": counters,
+                    "pass": ok,
+                },
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"[json written to {json_path}]")
     return 0 if ok else 1
 
 

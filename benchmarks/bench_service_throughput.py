@@ -123,6 +123,10 @@ def main(argv=None) -> int:
         "--min-speedup", type=float, default=3.0,
         help="required cold/warm per-job latency ratio",
     )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write machine-readable results to this JSON file",
+    )
     args = parser.parse_args(argv)
     n_jobs = args.jobs or (4 if args.smoke else 8)
     n_concurrent = args.concurrent_jobs or (6 if args.smoke else 8)
@@ -198,6 +202,35 @@ def main(argv=None) -> int:
     print(text)
     ARTIFACT.parent.mkdir(exist_ok=True)
     ARTIFACT.write_text(text + "\n", encoding="utf-8")
+    if args.json:
+        import json
+
+        json_path = Path(args.json)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(
+            json.dumps(
+                {
+                    "bench": "service_throughput",
+                    "workers": args.workers,
+                    "latency_ms": {
+                        "cold_median": cold_med * 1e3,
+                        "warm_median": warm_med * 1e3,
+                    },
+                    "speedup": speedup,
+                    "min_speedup": args.min_speedup,
+                    "concurrent": {
+                        "solved": n_solved,
+                        "jobs": n_concurrent,
+                        "peak_in_flight": peak,
+                    },
+                    "pass": ok,
+                },
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"[json written to {json_path}]")
     print(f"[artifact written to {ARTIFACT}]")
     return 0 if ok else 1
 

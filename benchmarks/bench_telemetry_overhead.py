@@ -1,0 +1,190 @@
+"""Telemetry overhead benchmark (standalone script).
+
+Measures what the telemetry subsystem costs the solver hot loop in three
+configurations, on a magic-square instance big enough that every run is
+budget-bound (identical iteration count, so per-iteration time is the
+honest metric):
+
+- *baseline*: the bare sequential engine, no telemetry code anywhere near
+  the loop;
+- *disabled*: the normal production path — multi-walk driver with the
+  default (disabled) recorder; ``solver_callbacks`` returns ``[]``, so
+  the loop must run the same instruction stream as the baseline;
+- *enabled*: full tracing into a ring-buffer sink with iteration
+  milestones sampled every ``--milestone-every`` iterations — the price
+  of actually watching a solve.
+
+Acceptance: the *disabled* path stays within ``--max-overhead-pct``
+(default 5%) of the baseline, median-of-N interleaved.  The *enabled*
+cost is reported but not gated — tracing is opt-in.
+
+Run as a script (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py --smoke
+
+Writes ``benchmarks/out/BENCH_telemetry.json`` (machine-readable) and
+exits 0 iff the disabled-path check passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.solver import AdaptiveSearch
+from repro.parallel import solve_parallel
+from repro.problems import make_problem
+from repro.telemetry import Recorder, RingBufferSink, set_recorder
+from repro.telemetry.solver import solver_callbacks
+
+ARTIFACT = Path(__file__).parent / "out" / "BENCH_telemetry.json"
+
+SIZE = 30  # magic-square side: budget-bound at these iteration budgets
+
+
+def measure_baseline(problem, config, seed: int) -> float:
+    """Per-iteration seconds of the bare sequential engine."""
+    result = AdaptiveSearch(config).solve(problem, seed=seed)
+    assert not result.solved, "probe must stay budget-bound"
+    return result.stats.wall_time / result.stats.iterations
+
+
+def measure_disabled(problem, config, seed: int) -> float:
+    """Per-iteration seconds through the multi-walk driver, telemetry off."""
+    assert solver_callbacks() == [], "default recorder must be disabled"
+    result = solve_parallel(problem, 1, seed=seed, config=config, executor="inline")
+    walk = result.walks[0]
+    assert not walk.solved
+    return walk.wall_time / walk.iterations
+
+
+def measure_enabled(problem, config, seed: int, milestone_every: int) -> float:
+    """Per-iteration seconds with full tracing into a ring buffer."""
+    ring = RingBufferSink(capacity=65_536)
+    recorder = Recorder(
+        sinks=[ring], proc="bench", milestone_every=milestone_every
+    )
+    previous = set_recorder(recorder)
+    try:
+        result = solve_parallel(
+            problem, 1, seed=seed, config=config, executor="inline"
+        )
+    finally:
+        set_recorder(previous)
+    walk = result.walks[0]
+    assert not walk.solved
+    assert len(ring) > 0, "enabled run recorded nothing"
+    return walk.wall_time / walk.iterations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fast run for CI (fewer reps, smaller budget, same checks)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=None,
+        help="measurement repetitions per mode (default 5, smoke 3)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=None,
+        help="iteration budget per run (default 10000, smoke 4000)",
+    )
+    parser.add_argument(
+        "--milestone-every", type=int, default=64,
+        help="iteration-milestone sampling period for the enabled mode",
+    )
+    parser.add_argument(
+        "--max-overhead-pct", type=float, default=5.0,
+        help="allowed telemetry-disabled per-iteration overhead vs baseline",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help=f"machine-readable results path (default {ARTIFACT})",
+    )
+    args = parser.parse_args(argv)
+    reps = args.reps or (3 if args.smoke else 5)
+    budget = args.iterations or (4_000 if args.smoke else 10_000)
+
+    problem = make_problem("magic_square", n=SIZE)
+    config = AdaptiveSearchConfig(max_iterations=budget)
+
+    print(
+        f"telemetry overhead bench: magic-square {SIZE}, "
+        f"{budget} iterations/run, {reps} reps/mode"
+        + (" [smoke]" if args.smoke else ""),
+        flush=True,
+    )
+    measure_baseline(problem, config, seed=0)  # warm-up
+
+    baseline, disabled, enabled = [], [], []
+    for rep in range(reps):  # interleaved: drift hits every mode equally
+        baseline.append(measure_baseline(problem, config, seed=rep))
+        disabled.append(measure_disabled(problem, config, seed=rep))
+        enabled.append(
+            measure_enabled(problem, config, rep, args.milestone_every)
+        )
+        print(f"  rep {rep + 1}/{reps} done", flush=True)
+
+    base_med = statistics.median(baseline)
+    disabled_pct = (statistics.median(disabled) / base_med - 1.0) * 100
+    enabled_pct = (statistics.median(enabled) / base_med - 1.0) * 100
+
+    lines = [
+        f"per-iteration time (median of {reps}):",
+        f"  baseline engine     : {base_med * 1e6:8.2f} us/iter",
+        f"  telemetry disabled  : {statistics.median(disabled) * 1e6:8.2f} "
+        f"us/iter  ({disabled_pct:+.1f}%)",
+        f"  telemetry enabled   : {statistics.median(enabled) * 1e6:8.2f} "
+        f"us/iter  ({enabled_pct:+.1f}%, milestones every "
+        f"{args.milestone_every})",
+    ]
+
+    ok = disabled_pct <= args.max_overhead_pct
+    lines.append(
+        "PASS" if ok else
+        f"FAIL: telemetry-disabled overhead {disabled_pct:.1f}% above "
+        f"{args.max_overhead_pct:.1f}%"
+    )
+    text = "\n".join(lines)
+    print(text)
+
+    artifact = Path(args.json) if args.json else ARTIFACT
+    artifact.parent.mkdir(parents=True, exist_ok=True)
+    artifact.write_text(
+        json.dumps(
+            {
+                "bench": "telemetry_overhead",
+                "problem": f"magic_square-{SIZE}",
+                "iterations_per_run": budget,
+                "reps": reps,
+                "milestone_every": args.milestone_every,
+                "per_iteration_us": {
+                    "baseline": base_med * 1e6,
+                    "disabled": statistics.median(disabled) * 1e6,
+                    "enabled": statistics.median(enabled) * 1e6,
+                },
+                "overhead_pct": {
+                    "disabled": disabled_pct,
+                    "enabled": enabled_pct,
+                },
+                "max_overhead_pct": args.max_overhead_pct,
+                "pass": ok,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"[artifact written to {artifact}]")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,9 @@ Usage (after ``pip install -e .``)::
     python -m repro node --connect localhost:7710 --workers 8
     python -m repro submit --connect localhost:7710 magic_square --set n=20 \
         --walkers 16 --stats
+    python -m repro submit --connect localhost:7710 queens --set n=64 \
+        --walkers 8 --trace out/
+    python -m repro trace out/
     python -m repro problems
     python -m repro platforms
 
@@ -92,6 +95,22 @@ def _forward_termination_signals() -> None:
         pass
 
 
+def _configure_tracing(args: argparse.Namespace, proc: str) -> None:
+    """Install a process recorder writing ``<--trace dir>/<proc>.jsonl``.
+
+    No-op when ``--trace`` was not given, so the default recorder stays
+    disabled and traced code paths cost nothing.
+    """
+    if getattr(args, "trace", None):
+        from repro import telemetry
+
+        telemetry.configure(
+            trace_dir=args.trace,
+            proc=proc,
+            milestone_every=getattr(args, "milestone_every", 0) or 0,
+        )
+
+
 # ----------------------------------------------------------------------
 # subcommands
 # ----------------------------------------------------------------------
@@ -113,6 +132,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
 
     problem = make_problem(args.family, **_parse_params(args.set))
     config = _solver_config(args)
+    _configure_tracing(args, "solve")
     if isinstance(problem, ValueProblem):
         if args.walkers > 1:
             print(
@@ -259,6 +279,7 @@ def cmd_coordinator(args: argparse.Namespace) -> int:
     from repro.net import Coordinator
 
     _forward_termination_signals()
+    _configure_tracing(args, "coordinator")
     coordinator = Coordinator(
         args.host,
         args.port,
@@ -291,6 +312,7 @@ def cmd_node(args: argparse.Namespace) -> int:
 
     _forward_termination_signals()
     host, port = parse_address(args.connect)
+    _configure_tracing(args, args.name or "node")
     agent = NodeAgent(
         host,
         port,
@@ -357,6 +379,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
 
     problem = make_problem(args.family, **_parse_params(args.set))
     config = _solver_config(args)
+    _configure_tracing(args, "client")
     with ClusterClient(args.connect) as client:
         result = client.solve(
             problem,
@@ -371,6 +394,24 @@ def cmd_submit(args: argparse.Namespace) -> int:
         if result.solved and args.render and hasattr(problem, "render"):
             print(problem.render(result.config))
     return 0 if result.solved else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Merge per-process trace files and print timeline + latency report."""
+    from repro.telemetry import (
+        analyze_trace,
+        load_trace,
+        render_report,
+        render_timeline,
+    )
+
+    records = load_trace(args.path)
+    summary = analyze_trace(records, trace_id=args.trace_id)
+    if not args.report_only:
+        print(render_timeline(records, summary))
+        print()
+    print(render_report(summary))
+    return 0
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -468,6 +509,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("fork", "spawn", "forkserver"),
         default=None,
         help="multiprocessing start method for the process executor",
+    )
+    p_solve.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="record telemetry (events + spans) as JSONL under this directory",
+    )
+    p_solve.add_argument(
+        "--milestone-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --trace: emit an iteration milestone every N iterations",
     )
     p_solve.set_defaults(func=cmd_solve)
 
@@ -569,6 +623,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="re-dispatches of a job's walks off dead nodes before it fails",
     )
+    p_coord.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="record coordinator telemetry as JSONL under this directory",
+    )
     p_coord.set_defaults(func=cmd_coordinator)
 
     p_node = sub.add_parser(
@@ -604,6 +664,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="multiprocessing start method for the local pool",
     )
+    p_node.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="record node telemetry as JSONL under this directory",
+    )
+    p_node.add_argument(
+        "--milestone-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --trace: emit an iteration milestone every N iterations",
+    )
     p_node.set_defaults(func=cmd_node)
 
     p_submit = sub.add_parser(
@@ -633,7 +706,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument(
         "--render", action="store_true", help="pretty-print the solution"
     )
+    p_submit.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="record client-side telemetry as JSONL under this directory "
+        "(run the coordinator/nodes with --trace into the same directory "
+        "for a full cluster timeline)",
+    )
     p_submit.set_defaults(func=cmd_submit)
+
+    p_trace = sub.add_parser(
+        "trace", help="merge recorded trace files into a timeline + report"
+    )
+    p_trace.add_argument(
+        "path",
+        help="trace directory (every *.jsonl inside is merged) or one file",
+    )
+    p_trace.add_argument(
+        "--trace-id",
+        default=None,
+        help="analyze this trace id (default: the one with most events)",
+    )
+    p_trace.add_argument(
+        "--report-only",
+        action="store_true",
+        help="skip the event timeline; print only the latency report",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_exp = sub.add_parser("experiment", help="run a registered experiment")
     p_exp.add_argument(

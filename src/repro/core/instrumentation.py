@@ -10,6 +10,13 @@ Two kinds of tooling:
   for swap-neighbourhood local search: dense improving moves and smooth
   (high-autocorrelation) landscapes favour descent, rugged ones force the
   tabu/reset machinery to carry the search.
+
+These are *analysis* tools: they accumulate rich in-process state for a
+single attended run.  Operational observability — structured events,
+spans, counters/histograms shared across solver, pool and cluster — lives
+in :mod:`repro.telemetry`; :meth:`MoveHistogram.publish` bridges the two
+by exporting the move mix into a telemetry
+:class:`~repro.telemetry.metrics.MetricsRegistry`.
 """
 
 from __future__ import annotations
@@ -74,6 +81,18 @@ class MoveHistogram:
             f"{f['plateau']:.1%} plateau, {f['worsening']:.1%} worsening, "
             f"{f['frozen']:.1%} frozen"
         )
+
+    def publish(self, registry) -> None:
+        """Export the move mix as ``solver.moves_<kind>`` counters.
+
+        ``registry`` is a :class:`repro.telemetry.metrics.MetricsRegistry`;
+        counters are get-or-create, so repeated publishes from many walks
+        accumulate into one process-wide move profile.
+        """
+        for kind in ("improving", "plateau", "worsening", "frozen"):
+            count = getattr(self, kind)
+            if count:
+                registry.counter(f"solver.moves_{kind}").inc(count)
 
 
 @dataclass

@@ -14,6 +14,7 @@ __all__ = [
     "SolverError",
     "ParallelError",
     "NetError",
+    "TelemetryError",
     "SimulationError",
     "ExperimentError",
     "CacheError",
@@ -42,6 +43,10 @@ class ParallelError(ReproError):
 
 class NetError(ReproError):
     """Failures of the distributed coordinator/node backend."""
+
+
+class TelemetryError(ReproError):
+    """Invalid telemetry configuration or corrupt trace data."""
 
 
 class SimulationError(ReproError):

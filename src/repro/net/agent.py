@@ -44,8 +44,10 @@ from repro.net.protocol import (
     write_message,
 )
 from repro.net.results import outcome_to_message
-from repro.service.jobs import JobStatus
+from repro.service.jobs import Job, JobStatus
 from repro.service.scheduler import SolverService
+from repro.telemetry.events import TraceContext
+from repro.telemetry.recorder import Recorder
 
 __all__ = ["NodeAgent"]
 
@@ -81,6 +83,11 @@ class NodeAgent:
     service:
         an existing started :class:`SolverService` to borrow instead of
         owning one (tests share a pool across in-process agents).
+    recorder:
+        telemetry recorder handed to the *owned* local service, so traced
+        assignments produce dispatch/walk events in this node's trace file
+        (ignored when ``service`` is supplied — the borrowed service keeps
+        its own recorder).
     """
 
     def __init__(
@@ -95,6 +102,7 @@ class NodeAgent:
         mp_context: str | None = None,
         pump_interval: float = 0.01,
         service: SolverService | None = None,
+        recorder: Recorder | None = None,
     ) -> None:
         if heartbeat_interval <= 0:
             raise NetError(
@@ -107,11 +115,14 @@ class NodeAgent:
         self.pump_interval = pump_interval
         self._service = service
         self._owns_service = service is None
+        self.recorder = recorder
         self._service_kwargs = {
             "n_workers": n_workers,
             "poll_every": poll_every,
             "mp_context": mp_context,
+            "recorder": recorder,
         }
+        self._last_load: dict[str, Any] | None = None
         self.n_workers = service.n_workers if service is not None else n_workers
 
         self._reader: asyncio.StreamReader | None = None
@@ -240,6 +251,7 @@ class NodeAgent:
         problem = payload["problem"]
         config = payload.get("config")
         seeds = payload["seeds"]
+        trace_id = message.get("trace_id") or ""
         slice_state = self._slices.setdefault(
             (job_id, generation), _Slice(job_id, generation)
         )
@@ -248,9 +260,21 @@ class NodeAgent:
             if walk_id in slice_state.handles:
                 continue  # duplicate assign (idempotent)
             # each walk is its own single-walk local job: completions
-            # stream out individually and cancellation stays per-walk
-            slice_state.handles[walk_id] = self._service.submit(
-                problem, 1, config=config, seeds=[seeds[walk_id]]
+            # stream out individually and cancellation stays per-walk;
+            # the trace context carries the *cluster* job/walk ids so the
+            # local scheduler and pool workers stamp cluster-scope events
+            slice_state.handles[walk_id] = self._service.submit_job(
+                Job(
+                    problem=problem,
+                    n_walkers=1,
+                    seeds=[seeds[walk_id]],
+                    config=config,
+                    trace=(
+                        TraceContext(trace_id, job_id, walk_id)
+                        if trace_id
+                        else None
+                    ),
+                )
             )
 
     def _on_cancel(self, message: Message) -> None:
@@ -264,6 +288,28 @@ class NodeAgent:
                 for walk_id, handle in slice_state.handles.items():
                     if walk_id not in slice_state.reported:
                         handle.cancel()
+        # protocol v2: acknowledge after the local cancels are requested,
+        # echoing sent_at verbatim so the coordinator measures the round
+        # trip on its own clock (and trace_id so the ack stays correlated
+        # even though the job is usually finished coordinator-side by now)
+        if message.get("sent_at") is not None:
+            ack = Message(
+                "cancel_ack",
+                {
+                    "job_id": job_id,
+                    "generation": generation,
+                    "sent_at": message["sent_at"],
+                    "trace_id": message.get("trace_id") or "",
+                    "node": self.name,
+                },
+            )
+            asyncio.ensure_future(self._send_quietly(ack))
+
+    async def _send_quietly(self, message: Message) -> None:
+        try:
+            await self._send(message)
+        except (ConnectionError, OSError):
+            pass  # the read loop notices the broken pipe and tears down
 
     # ------------------------------------------------------------------
     # node -> coordinator
@@ -276,16 +322,24 @@ class NodeAgent:
     async def _heartbeat_loop(self) -> None:
         assert self._service is not None
         while True:
+            load = self._service.metrics.to_json()
+            if self._last_load is None:
+                # first beat (and after any reconnect-from-scratch): the
+                # full snapshot establishes the coordinator's baseline
+                fields: dict[str, Any] = {"load": load}
+            else:
+                # protocol v2: subsequent beats carry only changed keys
+                fields = {
+                    "load_delta": {
+                        key: value
+                        for key, value in load.items()
+                        if self._last_load.get(key) != value
+                    }
+                }
+            self._last_load = load
+            fields["running_walks"] = self._outstanding_walks()
             try:
-                await self._send(
-                    Message(
-                        "heartbeat",
-                        {
-                            "load": self._service.metrics.to_json(),
-                            "running_walks": self._outstanding_walks(),
-                        },
-                    )
-                )
+                await self._send(Message("heartbeat", fields))
             except (ConnectionError, OSError):
                 return
             await asyncio.sleep(self.heartbeat_interval)

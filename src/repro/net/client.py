@@ -21,6 +21,7 @@ from __future__ import annotations
 import itertools
 import socket
 import threading
+import time
 from typing import Any, Optional, Sequence
 
 import numpy as np
@@ -37,6 +38,8 @@ from repro.net.protocol import (
 from repro.net.results import NetJobResult, job_result_from_message
 from repro.parallel.seeding import walk_seeds
 from repro.problems.base import Problem
+from repro.telemetry.events import JobFinish, JobSubmit, new_trace_id
+from repro.telemetry.recorder import Recorder, get_recorder
 from repro.util.rng import SeedLike
 
 __all__ = ["ClusterClient", "NetJobHandle", "parse_address"]
@@ -64,9 +67,11 @@ class NetJobHandle:
     def __init__(self, request_id: int) -> None:
         self.request_id = request_id
         self.job_id: Optional[int] = None
+        self.trace_id: str = ""
         self._event = threading.Event()
         self._result: Optional[NetJobResult] = None
         self._error: Optional[str] = None
+        self._submitted_wall = 0.0
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -102,13 +107,24 @@ class ClusterClient:
         coordinator endpoint — ``(host, port)`` or ``"host:port"``.
     connect_timeout:
         seconds allowed for TCP connect + handshake.
+    recorder:
+        telemetry recorder for client-side submit/finish events; defaults
+        to the process recorder (disabled unless configured).  Every
+        submit carries a fresh trace id on the wire regardless, so
+        coordinator/node-side tracing works even from an un-instrumented
+        client.
     """
 
     def __init__(
-        self, address: Any, *, connect_timeout: float = 10.0
+        self,
+        address: Any,
+        *,
+        connect_timeout: float = 10.0,
+        recorder: Recorder | None = None,
     ) -> None:
         self.address = parse_address(address)
         self.connect_timeout = connect_timeout
+        self.recorder = recorder if recorder is not None else get_recorder()
         self._sock: socket.socket | None = None
         self._reader: threading.Thread | None = None
         self._send_lock = threading.Lock()
@@ -215,11 +231,25 @@ class ClusterClient:
         with self._state_lock:
             request_id = next(self._request_ids)
             handle = NetJobHandle(request_id)
+            handle.trace_id = new_trace_id()
+            handle._submitted_wall = time.time()
             self._by_request[request_id] = handle
+        if self.recorder.enabled:
+            self.recorder.emit(
+                JobSubmit(
+                    trace_id=handle.trace_id,
+                    n_walkers=n_walkers,
+                    problem=getattr(problem, "name", type(problem).__name__),
+                )
+            )
         self._send(
             Message(
                 "submit",
-                {"request_id": request_id, "n_walkers": n_walkers},
+                {
+                    "request_id": request_id,
+                    "n_walkers": n_walkers,
+                    "trace_id": handle.trace_id,
+                },
                 blob=pickle_blob(
                     {
                         "problem": problem,
@@ -295,7 +325,17 @@ class ClusterClient:
             with self._state_lock:
                 handle = self._by_request.pop(message["request_id"], None)
             if handle is not None:
-                handle._complete(job_result_from_message(message))
+                result = job_result_from_message(message)
+                if self.recorder.enabled:
+                    self.recorder.emit(
+                        JobFinish(
+                            trace_id=handle.trace_id,
+                            job_id=result.job_id,
+                            status=result.status.value,
+                            latency=time.time() - handle._submitted_wall,
+                        )
+                    )
+                handle._complete(result)
         elif message.type == "stats":
             with self._state_lock:
                 waiter = self._stats_waiters.pop(message.get("request_id"), None)

@@ -33,6 +33,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import time
+from collections import deque
 from typing import Any, Optional
 
 from repro.errors import NetError
@@ -51,8 +52,21 @@ from repro.net.results import (
 )
 from repro.parallel.seeding import partition_walks
 from repro.service.jobs import JobStatus
+from repro.telemetry.events import (
+    AssignEvent,
+    CancelAck,
+    CancelBroadcast,
+    FirstSolve,
+    JobDispatch,
+    JobFinish,
+    JobSubmit,
+)
+from repro.telemetry.recorder import Recorder, get_recorder
 
 __all__ = ["Coordinator"]
+
+#: cancel round trips retained for the stats frame (ring buffer)
+_MAX_CANCEL_SAMPLES = 1024
 
 
 class _Conn:
@@ -107,8 +121,10 @@ class _NetJob:
         config: Any,
         seeds: list[Any],
         submitted_at: float,
+        trace_id: str = "",
     ) -> None:
         self.job_id = job_id
+        self.trace_id = trace_id
         self.request_id = request_id
         self.client = client
         self.problem = problem
@@ -141,6 +157,10 @@ class Coordinator:
     max_redispatch:
         how many times one job's slices may be moved off dead nodes before
         the job fails.
+    recorder:
+        telemetry recorder for dispatch/cancel events; defaults to the
+        process recorder (disabled unless configured).  Cancel round-trip
+        stats are collected regardless — they feed the ``stats`` frame.
     """
 
     def __init__(
@@ -151,6 +171,7 @@ class Coordinator:
         heartbeat_timeout: float = 5.0,
         check_interval: float = 0.25,
         max_redispatch: int = 2,
+        recorder: Recorder | None = None,
     ) -> None:
         if heartbeat_timeout <= 0:
             raise NetError(
@@ -175,6 +196,10 @@ class Coordinator:
         self._dispatch_offset = 0  # rotates the first node across dispatches
         self._pending: list[int] = []  # job ids waiting for a first node
         self._clients: set[_Conn] = set()
+        self.recorder = recorder if recorder is not None else get_recorder()
+        #: recent cancel round trips, coordinator-clock seconds (see the
+        #: protocol v2 notes: sent_at is echoed back, so this is true RTT)
+        self.cancel_latencies: deque[float] = deque(maxlen=_MAX_CANCEL_SAMPLES)
         self.counters = {
             "jobs_submitted": 0,
             "jobs_completed": 0,
@@ -187,6 +212,8 @@ class Coordinator:
             "redispatches": 0,
             "nodes_joined": 0,
             "nodes_lost": 0,
+            "cancels_sent": 0,
+            "cancel_acks": 0,
         }
 
     # ------------------------------------------------------------------
@@ -293,10 +320,17 @@ class Coordinator:
                     break
                 if message.type == "heartbeat":
                     node.last_heartbeat = time.monotonic()
-                    node.load = message.get("load") or {}
+                    if message.get("load") is not None:
+                        node.load = message["load"]
+                    elif message.get("load_delta") is not None:
+                        # protocol v2 delta scheme: only changed keys travel
+                        node.load.update(message["load_delta"])
                 elif message.type == "walk_result":
                     node.last_heartbeat = time.monotonic()
                     await self._on_walk_result(node, message)
+                elif message.type == "cancel_ack":
+                    node.last_heartbeat = time.monotonic()
+                    self._on_cancel_ack(node, message)
         except (NetError, ConnectionError, OSError):
             pass
         finally:
@@ -347,9 +381,21 @@ class Coordinator:
             config=payload.get("config"),
             seeds=seeds,
             submitted_at=time.monotonic(),
+            trace_id=message.get("trace_id") or "",
         )
         self._jobs[job_id] = job
         self.counters["jobs_submitted"] += 1
+        if self.recorder.enabled:
+            self.recorder.emit(
+                JobSubmit(
+                    trace_id=job.trace_id,
+                    job_id=job_id,
+                    n_walkers=len(seeds),
+                    problem=getattr(
+                        job.problem, "name", type(job.problem).__name__
+                    ),
+                )
+            )
         await client.send(
             Message(
                 "job_accepted",
@@ -401,6 +447,25 @@ class Coordinator:
                 continue
             node.assigned.setdefault(job.job_id, set()).update(slice_ids)
             self.counters["walks_dispatched"] += len(slice_ids)
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    AssignEvent(
+                        trace_id=job.trace_id,
+                        job_id=job.job_id,
+                        node=node.name,
+                        walk_ids=tuple(slice_ids),
+                        generation=job.generation,
+                    )
+                )
+                for walk_id in slice_ids:
+                    self.recorder.emit(
+                        JobDispatch(
+                            trace_id=job.trace_id,
+                            job_id=job.job_id,
+                            walk_id=walk_id,
+                            node=node.name,
+                        )
+                    )
             try:
                 await node.conn.send(
                     Message(
@@ -409,6 +474,7 @@ class Coordinator:
                             "job_id": job.job_id,
                             "generation": job.generation,
                             "walk_ids": slice_ids,
+                            "trace_id": job.trace_id,
                         },
                         blob=pickle_blob(
                             {
@@ -454,6 +520,16 @@ class Coordinator:
         if outcome.solved and job.winner is None:
             job.winner = outcome
             job.winner_node = node.name
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    FirstSolve(
+                        trace_id=job.trace_id,
+                        job_id=job.job_id,
+                        walk_id=walk_id,
+                        node=node.name,
+                        wall_time=outcome.wall_time,
+                    )
+                )
             await self._broadcast_cancel(job)
             await self._finish(job, JobStatus.SOLVED)
         elif not job.outstanding:
@@ -462,16 +538,69 @@ class Coordinator:
             )
 
     async def _broadcast_cancel(self, job: _NetJob) -> None:
-        """Tell every node holding a slice of ``job`` to stop its walks."""
-        cancel = Message(
-            "cancel", {"job_id": job.job_id, "generation": job.generation}
-        )
+        """Tell every node holding a slice of ``job`` to stop its walks.
+
+        The frame carries the coordinator's monotonic ``sent_at``; nodes
+        echo it in their ``cancel_ack``, so :meth:`_on_cancel_ack` measures
+        the propagation round trip on one clock, free of host skew.
+        """
+        cancelled_nodes: list[str] = []
         for node in self._live_nodes():
             if node.assigned.pop(job.job_id, None):
+                cancel = Message(
+                    "cancel",
+                    {
+                        "job_id": job.job_id,
+                        "generation": job.generation,
+                        "sent_at": time.monotonic(),
+                        "trace_id": job.trace_id,
+                    },
+                )
                 try:
                     await node.conn.send(cancel)
                 except (ConnectionError, OSError):
                     node.conn.abort()
+                    continue
+                cancelled_nodes.append(node.name)
+                self.counters["cancels_sent"] += 1
+        if cancelled_nodes and self.recorder.enabled:
+            self.recorder.emit(
+                CancelBroadcast(
+                    trace_id=job.trace_id,
+                    job_id=job.job_id,
+                    nodes=tuple(cancelled_nodes),
+                )
+            )
+
+    def _on_cancel_ack(self, node: _Node, message: Message) -> None:
+        """A node confirmed a cancel; ``sent_at`` round-tripped verbatim."""
+        self.counters["cancel_acks"] += 1
+        sent_at = message.get("sent_at")
+        latency = (
+            max(0.0, time.monotonic() - sent_at)
+            if isinstance(sent_at, (int, float))
+            else 0.0
+        )
+        self.cancel_latencies.append(latency)
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.registry.histogram("net.cancel_latency").observe(latency)
+            job_id = message.get("job_id", -1)
+            job = self._jobs.get(job_id)
+            recorder.emit(
+                CancelAck(
+                    # the job is usually already finished when acks arrive;
+                    # recover the trace id from the frame in that case
+                    trace_id=(
+                        job.trace_id
+                        if job is not None
+                        else message.get("trace_id") or ""
+                    ),
+                    job_id=job_id,
+                    node=node.name,
+                    latency=latency,
+                )
+            )
 
     async def _finish(self, job: _NetJob, status: JobStatus) -> None:
         if self._jobs.pop(job.job_id, None) is None:
@@ -483,6 +612,24 @@ class Coordinator:
             self.counters["jobs_failed"] += 1
         elif status is JobStatus.CANCELLED:
             self.counters["jobs_cancelled"] += 1
+        wall_time = time.monotonic() - job.submitted_at
+        if self.recorder.enabled:
+            self.recorder.emit(
+                JobFinish(
+                    trace_id=job.trace_id,
+                    job_id=job.job_id,
+                    status=status.value,
+                    latency=wall_time,
+                )
+            )
+            self.recorder.emit_span(
+                "coordinator.job",
+                start=time.time() - wall_time,
+                duration=wall_time,
+                trace_id=job.trace_id,
+                job_id=job.job_id,
+                status=status.value,
+            )
         result = NetJobResult(
             job_id=job.job_id,
             status=status,
@@ -493,7 +640,7 @@ class Coordinator:
             nodes=dict(job.nodes),
             error=job.error,
             redispatches=job.redispatches,
-            wall_time=time.monotonic() - job.submitted_at,
+            wall_time=wall_time,
         )
         if not job.client.closed:
             try:
@@ -572,6 +719,13 @@ class Coordinator:
     # ------------------------------------------------------------------
     def _stats_message(self, request_id: Any = None) -> Message:
         now = time.monotonic()
+        samples = list(self.cancel_latencies)
+        cancel_latency = {
+            "count": len(samples),
+            "mean": sum(samples) / len(samples) if samples else 0.0,
+            "min": min(samples) if samples else 0.0,
+            "max": max(samples) if samples else 0.0,
+        }
         return Message(
             "stats",
             {
@@ -581,6 +735,7 @@ class Coordinator:
                     "jobs_active": len(self._jobs),
                     "jobs_pending": len(self._pending),
                     "nodes_connected": len(self._live_nodes()),
+                    "cancel_latency": cancel_latency,
                 },
                 "nodes": [
                     {

@@ -34,6 +34,18 @@ The first frame on any connection must be ``hello`` carrying ``role``
 ``welcome`` (echoing its own version) or ``reject`` + close on a version
 mismatch.  Versions must match exactly — the protocol is young enough that
 compatibility windows would be theater.
+
+Version history
+---------------
+- **1** — initial frame set (submit/assign/walk_result/cancel/heartbeat/
+  stats).
+- **2** — telemetry: ``submit``/``assign`` frames may carry a
+  ``trace_id``; ``cancel`` frames carry ``sent_at`` (the coordinator's
+  monotonic send stamp); nodes answer with a new ``cancel_ack`` frame
+  echoing ``sent_at`` verbatim, so the coordinator measures true
+  cancel-propagation round trips on its *own* clock (no cross-host
+  skew); heartbeats may carry ``load_delta`` (changed keys only) instead
+  of a full ``load`` snapshot.
 """
 
 from __future__ import annotations
@@ -62,7 +74,7 @@ __all__ = [
     "unpickle_blob",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: hard frame-size ceiling: a problem pickle is kilobytes, so anything in
 #: the hundreds of megabytes is a corrupt length prefix, not a real frame

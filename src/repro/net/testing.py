@@ -15,12 +15,15 @@ from __future__ import annotations
 
 import asyncio
 import threading
+from pathlib import Path
 from typing import Optional
 
 from repro.errors import NetError
 from repro.net.agent import NodeAgent
 from repro.net.client import ClusterClient
 from repro.net.coordinator import Coordinator
+from repro.telemetry.recorder import Recorder
+from repro.telemetry.sinks import JsonlSink
 
 __all__ = ["LocalCluster"]
 
@@ -39,6 +42,14 @@ class LocalCluster:
         kill-one-node tests fast while staying far above localhost RTTs.
     max_redispatch / mp_context / poll_every:
         forwarded to the coordinator / agents.
+    trace_dir:
+        when set, every cluster component records telemetry to its own
+        JSONL file under this directory (``coordinator.jsonl``,
+        ``node-0.jsonl``..., ``client-0.jsonl``...) — the layout that
+        ``repro trace <dir>`` merges back into one timeline.
+    milestone_every:
+        iteration-milestone sampling period for traced walks (0 = walk
+        lifecycle events only).
     """
 
     def __init__(
@@ -51,6 +62,8 @@ class LocalCluster:
         max_redispatch: int = 2,
         poll_every: int = 16,
         mp_context: str | None = None,
+        trace_dir: str | Path | None = None,
+        milestone_every: int = 0,
     ) -> None:
         if n_nodes < 0:
             # 0 is allowed: submit-before-any-node tests add agents later
@@ -62,13 +75,28 @@ class LocalCluster:
         self.max_redispatch = max_redispatch
         self.poll_every = poll_every
         self.mp_context = mp_context
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self.milestone_every = milestone_every
 
         self.coordinator: Coordinator | None = None
         self.agents: list[NodeAgent] = []
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._clients: list[ClusterClient] = []
+        self._recorders: list[Recorder] = []
         self._started = False
+
+    def _recorder(self, proc: str) -> Recorder | None:
+        """A per-component recorder writing ``<trace_dir>/<proc>.jsonl``."""
+        if self.trace_dir is None:
+            return None
+        recorder = Recorder(
+            sinks=[JsonlSink(self.trace_dir / f"{proc}.jsonl")],
+            proc=proc,
+            milestone_every=self.milestone_every,
+        )
+        self._recorders.append(recorder)
+        return recorder
 
     # ------------------------------------------------------------------
     def start(self, timeout: float = 60.0) -> "LocalCluster":
@@ -85,6 +113,7 @@ class LocalCluster:
             heartbeat_timeout=self.heartbeat_timeout,
             check_interval=min(0.1, self.heartbeat_timeout / 4),
             max_redispatch=self.max_redispatch,
+            recorder=self._recorder("coordinator"),
         )
         self._run(self.coordinator.start(), timeout)
         for _ in range(self.n_nodes):
@@ -107,6 +136,9 @@ class LocalCluster:
         if self.coordinator is not None:
             self._run(self.coordinator.stop(), timeout)
             self.coordinator = None
+        for recorder in self._recorders:
+            recorder.close()
+        self._recorders.clear()
         self._loop.call_soon_threadsafe(self._loop.stop)
         assert self._thread is not None
         self._thread.join(timeout=10.0)
@@ -128,7 +160,8 @@ class LocalCluster:
 
     def client(self) -> ClusterClient:
         """A connected client whose lifetime the cluster manages."""
-        client = ClusterClient(self.address).connect()
+        recorder = self._recorder(f"client-{len(self._clients)}")
+        client = ClusterClient(self.address, recorder=recorder).connect()
         self._clients.append(client)
         return client
 
@@ -138,14 +171,16 @@ class LocalCluster:
         """Boot one more node agent and join it to the running cluster
         (elastic growth — also how submit-before-any-node tests resolve)."""
         host, port = self.address
+        agent_name = name or f"node-{len(self.agents)}"
         agent = NodeAgent(
             host,
             port,
             n_workers=self.workers_per_node,
-            name=name or f"node-{len(self.agents)}",
+            name=agent_name,
             heartbeat_interval=self.heartbeat_interval,
             poll_every=self.poll_every,
             mp_context=self.mp_context,
+            recorder=self._recorder(agent_name),
         )
         self._run(agent.start(), timeout)
         self.agents.append(agent)

@@ -29,6 +29,9 @@ from repro.parallel.results import ParallelResult, WalkOutcome
 from repro.parallel.seeding import walk_seeds
 from repro.parallel.worker import run_walk
 from repro.problems.base import Problem
+from repro.telemetry.events import new_trace_id
+from repro.telemetry.recorder import get_recorder
+from repro.telemetry.solver import solver_callbacks
 from repro.util.rng import SeedLike
 from repro.util.timing import Stopwatch
 
@@ -123,13 +126,32 @@ class MultiWalkSolver:
         config = self.config
         if time_limit is not None:
             config = config.replace(time_limit=min(config.time_limit, time_limit))
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return self._dispatch(problem, config, seeds)
+        trace_id = new_trace_id()
+        with recorder.span(
+            "multiwalk.solve",
+            trace_id=trace_id,
+            executor=self.executor,
+            n_walkers=n_walkers,
+        ):
+            return self._dispatch(problem, config, seeds, trace_id=trace_id)
+
+    def _dispatch(
+        self,
+        problem: Problem,
+        config: AdaptiveSearchConfig,
+        seeds: list[np.random.SeedSequence],
+        trace_id: str = "",
+    ) -> ParallelResult:
         if self.executor == "inline":
-            return self._solve_inline(problem, config, seeds)
+            return self._solve_inline(problem, config, seeds, trace_id)
         if self.executor == "pool":
             return self._solve_pool(problem, config, seeds)
         if self.executor == "net":
             return self._solve_net(problem, config, seeds)
-        return self._solve_process(problem, config, seeds)
+        return self._solve_process(problem, config, seeds, trace_id)
 
     # ------------------------------------------------------------------
     def _solve_pool(
@@ -184,6 +206,7 @@ class MultiWalkSolver:
         problem: Problem,
         config: AdaptiveSearchConfig,
         seeds: list[np.random.SeedSequence],
+        trace_id: str = "",
     ) -> ParallelResult:
         """Run every walk to completion; parallel time = min across walks.
 
@@ -196,7 +219,10 @@ class MultiWalkSolver:
         solver = AdaptiveSearch(config)
         walks: list[WalkOutcome] = []
         for walk_id, walk_seed in enumerate(seeds):
-            result = solver.solve(problem, seed=walk_seed)
+            callbacks = solver_callbacks(trace_id=trace_id, walk_id=walk_id)
+            result = solver.solve(
+                problem, seed=walk_seed, callbacks=callbacks or None
+            )
             walks.append(
                 WalkOutcome(
                     walk_id=walk_id,
@@ -234,10 +260,12 @@ class MultiWalkSolver:
         problem: Problem,
         config: AdaptiveSearchConfig,
         seeds: list[np.random.SeedSequence],
+        trace_id: str = "",
     ) -> ParallelResult:
         ctx = mp.get_context(self.mp_context)
         cancel_event = ctx.Event()
         result_queue: mp.Queue = ctx.Queue()
+        recorder = get_recorder()
         stopwatch = Stopwatch().start()
         processes = [
             ctx.Process(
@@ -250,6 +278,8 @@ class MultiWalkSolver:
                     cancel_event,
                     result_queue,
                     self.poll_every,
+                    trace_id,
+                    recorder.milestone_every if trace_id else 0,
                 ),
                 daemon=True,
             )
@@ -284,6 +314,9 @@ class MultiWalkSolver:
                     raise ParallelError(
                         f"walk {walk_id} crashed:\n{payload['error']}"
                     )
+                records = payload.pop("telemetry", None)
+                if records:
+                    recorder.ingest(records)
                 payloads[walk_id] = payload
                 if payload["solved"] and first_solve_time is None:
                     first_solve_time = stopwatch.elapsed

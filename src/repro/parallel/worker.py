@@ -45,32 +45,51 @@ def run_walk(
     cancel_event: Any,
     result_queue: Any,
     poll_every: int = 128,
+    trace_id: str = "",
+    milestone_every: int = 0,
 ) -> None:
     """Run one walk; report the outcome and raise the completion flag.
 
     Always enqueues exactly one ``(walk_id, payload)`` tuple, where payload
-    is either a result dict or an ``{"error": traceback}`` dict.
+    is either a result dict or an ``{"error": traceback}`` dict.  When
+    ``trace_id`` is set the walk runs under a ring-buffered telemetry
+    recorder and the drained records ride home in ``payload["telemetry"]``
+    — the result queue doubles as the telemetry uplink, same scheme as the
+    warm-pool worker.
     """
     try:
         solver = AdaptiveSearch(config)
-        callback = CancelCheckCallback(cancel_event, poll_every)
-        result = solver.solve(problem, seed=seed, callbacks=[callback])
+        callbacks: list[Any] = [CancelCheckCallback(cancel_event, poll_every)]
+        ring = None
+        if trace_id:
+            from repro.telemetry.recorder import Recorder
+            from repro.telemetry.sinks import RingBufferSink
+            from repro.telemetry.solver import TelemetryCallback
+
+            ring = RingBufferSink()
+            recorder = Recorder(
+                sinks=[ring],
+                proc=f"walk-{walk_id}",
+                milestone_every=milestone_every,
+            )
+            callbacks.append(
+                TelemetryCallback(recorder, trace_id=trace_id, walk_id=walk_id)
+            )
+        result = solver.solve(problem, seed=seed, callbacks=callbacks)
         if result.solved:
             # completion notification: the only inter-process communication
             cancel_event.set()
-        result_queue.put(
-            (
-                walk_id,
-                {
-                    "solved": result.solved,
-                    "cost": result.cost,
-                    "iterations": result.stats.iterations,
-                    "wall_time": result.stats.wall_time,
-                    "reason": result.reason.name,
-                    "config": result.config.tolist() if result.solved else None,
-                },
-            )
-        )
+        payload = {
+            "solved": result.solved,
+            "cost": result.cost,
+            "iterations": result.stats.iterations,
+            "wall_time": result.stats.wall_time,
+            "reason": result.reason.name,
+            "config": result.config.tolist() if result.solved else None,
+        }
+        if ring is not None:
+            payload["telemetry"] = ring.drain()
+        result_queue.put((walk_id, payload))
     except Exception:  # pragma: no cover - defensive: surface worker crashes
         import traceback
 

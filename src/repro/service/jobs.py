@@ -26,6 +26,7 @@ from repro.errors import ParallelError
 from repro.parallel.results import ParallelResult, WalkOutcome
 from repro.parallel.seeding import walk_seeds
 from repro.problems.base import Problem
+from repro.telemetry.events import TraceContext
 from repro.util.rng import SeedLike
 
 __all__ = ["JobStatus", "RetryPolicy", "Job", "JobResult"]
@@ -105,6 +106,11 @@ class Job:
         seconds after submission at which the job is force-cancelled.
     retry:
         crash policy; ``None`` uses the service default.
+    trace:
+        telemetry trace context; when set (and the service's recorder is
+        enabled) the job's dispatches, walks and completion are stamped
+        with this trace id — how a cluster-scope solve keeps one id across
+        client, coordinator, agents and pool workers.
     """
 
     problem: Problem
@@ -115,6 +121,7 @@ class Job:
     priority: int = 0
     deadline: Optional[float] = None
     retry: Optional[RetryPolicy] = None
+    trace: Optional[TraceContext] = None
 
     def __post_init__(self) -> None:
         if self.n_walkers < 1:

@@ -1,9 +1,20 @@
 """Service metrics: throughput, latency, queue wait, utilization, crashes.
 
-``ServiceMetrics`` is the mutable collector owned by the scheduler thread;
-``snapshot()`` freezes it into an immutable :class:`MetricsSnapshot` that
-can be read from any thread (a lock guards the handful of mutation points —
-they are all O(1), so contention is irrelevant at solver time scales).
+Since the telemetry subsystem landed, ``ServiceMetrics`` is a *view* over
+a :class:`repro.telemetry.MetricsRegistry` rather than a bag of private
+counters: every figure lives in a registry instrument
+(``service.jobs_submitted``, ``service.latency``, ...) so the same numbers
+feed :meth:`snapshot`, heartbeat frames, Prometheus text rendering and the
+``repro trace`` report.  The public API — ``record_*`` methods,
+:meth:`snapshot`, :meth:`to_json`, the :class:`MetricsSnapshot` fields —
+is unchanged from the pre-telemetry collector, and quantiles are still
+exact ``np.percentile`` over a bounded observation window (the histogram
+retains the same 16 384-observation ring the old collector used).
+
+By default each ``ServiceMetrics`` owns a private registry (so concurrent
+services in one process never bleed counters into each other); pass
+``registry=`` to share one — e.g. the scheduler passes its recorder's
+registry when the service is explicitly instrumented.
 
 Worker utilization is measured as busy-time integral over wall time:
 every dispatch->result interval adds to a busy-seconds accumulator, and
@@ -16,14 +27,17 @@ import threading
 import time
 from dataclasses import asdict, dataclass
 
-import numpy as np
-
 from repro.service.jobs import JobStatus
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["MetricsSnapshot", "ServiceMetrics"]
 
 #: retain at most this many per-job latency observations (ring buffer)
 _MAX_OBSERVATIONS = 16_384
+
+#: instruments are latency-scale histograms; share the default buckets but
+#: pin the window so quantiles keep their historical semantics
+_HISTOGRAM_KWARGS = {"window": _MAX_OBSERVATIONS}
 
 
 @dataclass(frozen=True)
@@ -80,70 +94,76 @@ class MetricsSnapshot:
 
 
 class ServiceMetrics:
-    """Mutable counters behind :class:`MetricsSnapshot` (thread-safe)."""
+    """Registry-backed collector behind :class:`MetricsSnapshot`.
 
-    def __init__(self, n_workers: int) -> None:
+    Thread-safe: the instruments carry their own locks; the only composite
+    update (in-flight count and its peak) takes the collector lock.
+    """
+
+    def __init__(
+        self, n_workers: int, registry: MetricsRegistry | None = None
+    ) -> None:
         self._lock = threading.Lock()
         self._started_at = time.monotonic()
         self.n_workers = n_workers
-        self.jobs_submitted = 0
-        self.jobs_in_flight = 0
-        self.peak_jobs_in_flight = 0
-        self.tasks_dispatched = 0
-        self.walks_completed = 0
-        self.stale_walks = 0
-        self.crashes = 0
-        self.retries = 0
-        self.worker_respawns = 0
-        self.busy_seconds = 0.0
-        self._by_status: dict[JobStatus, int] = {s: 0 for s in JobStatus}
-        self._latencies: list[float] = []
-        self._queue_waits: list[float] = []
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._jobs_submitted = r.counter("service.jobs_submitted")
+        self._jobs_in_flight = r.gauge("service.jobs_in_flight")
+        self._peak_in_flight = r.gauge("service.peak_jobs_in_flight")
+        self._tasks_dispatched = r.counter("service.tasks_dispatched")
+        self._walks_completed = r.counter("service.walks_completed")
+        self._stale_walks = r.counter("service.stale_walks")
+        self._crashes = r.counter("service.crashes")
+        self._retries = r.counter("service.retries")
+        self._respawns = r.counter("service.worker_respawns")
+        self._busy_seconds = r.counter("service.busy_seconds")
+        self._by_status = {
+            status: r.counter(f"service.jobs_{status.value}")
+            for status in JobStatus
+        }
+        self._latency = r.histogram("service.latency", **_HISTOGRAM_KWARGS)
+        self._queue_wait = r.histogram(
+            "service.queue_wait", **_HISTOGRAM_KWARGS
+        )
 
     # ------------------------------------------------------------------
     # recording (called from the scheduler thread)
     # ------------------------------------------------------------------
     def record_submit(self) -> None:
         with self._lock:
-            self.jobs_submitted += 1
-            self.jobs_in_flight += 1
-            self.peak_jobs_in_flight = max(
-                self.peak_jobs_in_flight, self.jobs_in_flight
-            )
+            self._jobs_submitted.inc()
+            self._jobs_in_flight.inc()
+            self._peak_in_flight.set_max(self._jobs_in_flight.value)
 
     def record_dispatch(self) -> None:
-        with self._lock:
-            self.tasks_dispatched += 1
+        self._tasks_dispatched.inc()
 
     def record_walk_completed(self, busy_time: float, stale: bool) -> None:
-        with self._lock:
-            self.walks_completed += 1
-            self.busy_seconds += busy_time
-            if stale:
-                self.stale_walks += 1
+        self._walks_completed.inc()
+        self._busy_seconds.inc(busy_time)
+        if stale:
+            self._stale_walks.inc()
 
     def record_crash(self, busy_time: float, retried: bool) -> None:
-        with self._lock:
-            self.crashes += 1
-            self.busy_seconds += busy_time
-            if retried:
-                self.retries += 1
+        self._crashes.inc()
+        self._busy_seconds.inc(busy_time)
+        if retried:
+            self._retries.inc()
 
     def record_respawn(self) -> None:
-        with self._lock:
-            self.worker_respawns += 1
+        self._respawns.inc()
 
     def record_job_finished(
         self, status: JobStatus, latency: float, queue_wait: float
     ) -> None:
         with self._lock:
-            self.jobs_in_flight = max(0, self.jobs_in_flight - 1)
-            self._by_status[status] += 1
-            if len(self._latencies) >= _MAX_OBSERVATIONS:
-                self._latencies.pop(0)
-                self._queue_waits.pop(0)
-            self._latencies.append(latency)
-            self._queue_waits.append(queue_wait)
+            self._jobs_in_flight.set(
+                max(0.0, self._jobs_in_flight.value - 1.0)
+            )
+        self._by_status[status].inc()
+        self._latency.observe(latency)
+        self._queue_wait.observe(queue_wait)
 
     def to_json(self) -> dict[str, float | int]:
         """Shorthand for ``snapshot().to_json()``."""
@@ -151,41 +171,34 @@ class ServiceMetrics:
 
     # ------------------------------------------------------------------
     def snapshot(self) -> MetricsSnapshot:
-        with self._lock:
-            uptime = max(time.monotonic() - self._started_at, 1e-9)
-            completed = sum(
-                self._by_status[s] for s in JobStatus if s.finished
-            )
-            latencies = np.asarray(self._latencies, dtype=np.float64)
-            waits = np.asarray(self._queue_waits, dtype=np.float64)
-            return MetricsSnapshot(
-                uptime=uptime,
-                n_workers=self.n_workers,
-                jobs_submitted=self.jobs_submitted,
-                jobs_completed=completed,
-                jobs_solved=self._by_status[JobStatus.SOLVED],
-                jobs_unsolved=self._by_status[JobStatus.UNSOLVED],
-                jobs_failed=self._by_status[JobStatus.FAILED],
-                jobs_cancelled=self._by_status[JobStatus.CANCELLED],
-                jobs_timed_out=self._by_status[JobStatus.TIMED_OUT],
-                jobs_in_flight=self.jobs_in_flight,
-                peak_jobs_in_flight=self.peak_jobs_in_flight,
-                tasks_dispatched=self.tasks_dispatched,
-                walks_completed=self.walks_completed,
-                stale_walks=self.stale_walks,
-                crashes=self.crashes,
-                retries=self.retries,
-                worker_respawns=self.worker_respawns,
-                throughput_jobs_per_s=completed / uptime,
-                latency_mean=float(latencies.mean()) if latencies.size else 0.0,
-                latency_p50=(
-                    float(np.percentile(latencies, 50)) if latencies.size else 0.0
-                ),
-                latency_p95=(
-                    float(np.percentile(latencies, 95)) if latencies.size else 0.0
-                ),
-                queue_wait_mean=float(waits.mean()) if waits.size else 0.0,
-                worker_utilization=min(
-                    1.0, self.busy_seconds / (self.n_workers * uptime)
-                ),
-            )
+        uptime = max(time.monotonic() - self._started_at, 1e-9)
+        completed = sum(
+            int(self._by_status[s].value) for s in JobStatus if s.finished
+        )
+        return MetricsSnapshot(
+            uptime=uptime,
+            n_workers=self.n_workers,
+            jobs_submitted=int(self._jobs_submitted.value),
+            jobs_completed=completed,
+            jobs_solved=int(self._by_status[JobStatus.SOLVED].value),
+            jobs_unsolved=int(self._by_status[JobStatus.UNSOLVED].value),
+            jobs_failed=int(self._by_status[JobStatus.FAILED].value),
+            jobs_cancelled=int(self._by_status[JobStatus.CANCELLED].value),
+            jobs_timed_out=int(self._by_status[JobStatus.TIMED_OUT].value),
+            jobs_in_flight=int(self._jobs_in_flight.value),
+            peak_jobs_in_flight=int(self._peak_in_flight.value),
+            tasks_dispatched=int(self._tasks_dispatched.value),
+            walks_completed=int(self._walks_completed.value),
+            stale_walks=int(self._stale_walks.value),
+            crashes=int(self._crashes.value),
+            retries=int(self._retries.value),
+            worker_respawns=int(self._respawns.value),
+            throughput_jobs_per_s=completed / uptime,
+            latency_mean=float(self._latency.mean),
+            latency_p50=float(self._latency.p50),
+            latency_p95=float(self._latency.p95),
+            queue_wait_mean=float(self._queue_wait.mean),
+            worker_utilization=min(
+                1.0, self._busy_seconds.value / (self.n_workers * uptime)
+            ),
+        )

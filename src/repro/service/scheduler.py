@@ -43,6 +43,12 @@ from repro.service.jobs import Job, JobResult, JobStatus, RetryPolicy
 from repro.service.metrics import MetricsSnapshot, ServiceMetrics
 from repro.service.pool import CancelToken, WorkerPool
 from repro.service.worker import WalkTask
+from repro.telemetry.events import JobDispatch, JobFinish, JobSubmit
+from repro.telemetry.recorder import (
+    Recorder,
+    epoch_of_monotonic,
+    get_recorder,
+)
 from repro.util.rng import SeedLike
 
 __all__ = ["JobHandle", "SolverService"]
@@ -92,6 +98,7 @@ class _JobState:
         "job", "job_id", "seq", "handle", "problem_id", "token", "retry",
         "seeds", "submitted_at", "first_dispatch_at", "deadline_at",
         "outcomes", "outstanding", "winner", "retries", "crashes", "error",
+        "trace",
     )
 
     def __init__(
@@ -122,6 +129,7 @@ class _JobState:
         self.retries = 0
         self.crashes = 0
         self.error: str | None = None
+        self.trace = job.trace
 
 
 def _outcome_from_payload(walk_id: int, payload: dict[str, Any]) -> WalkOutcome:
@@ -160,6 +168,11 @@ class SolverService:
         scheduler heartbeat in seconds: the granularity of deadline
         enforcement, crash detection and backoff wake-ups (results are
         reaped as fast as they arrive regardless).
+    recorder:
+        telemetry recorder for dispatch/finish events and spans; defaults
+        to the process recorder (disabled unless configured).  Passing an
+        explicit recorder also shares its metrics registry with the
+        service's :class:`ServiceMetrics`, unifying the two.
     """
 
     def __init__(
@@ -172,6 +185,7 @@ class SolverService:
         poll_every: int = 64,
         retry_policy: RetryPolicy | None = None,
         tick: float = 0.005,
+        recorder: Recorder | None = None,
     ) -> None:
         if pool is None and (n_workers is None or n_workers < 1):
             raise ParallelError(
@@ -198,7 +212,14 @@ class SolverService:
         self._started = False
         self._shutdown_requested = False
         self._closed = False
-        self.metrics = ServiceMetrics(self.n_workers)
+        self.recorder = recorder if recorder is not None else get_recorder()
+        # an explicitly instrumented service shares its recorder's metrics
+        # registry; otherwise the metrics stay private to this service so
+        # concurrent services in one process never merge their counters
+        self.metrics = ServiceMetrics(
+            self.n_workers,
+            registry=recorder.registry if recorder is not None else None,
+        )
 
         # scheduler-thread-private state
         self._jobs: dict[int, _JobState] = {}
@@ -292,6 +313,23 @@ class SolverService:
         job_id = next(self._job_counter)
         handle = JobHandle(job_id, self)
         self.metrics.record_submit()
+        recorder = self.recorder
+        if recorder.enabled:
+            ctx = job.trace
+            recorder.emit(
+                JobSubmit(
+                    trace_id=ctx.trace_id if ctx is not None else "",
+                    job_id=(
+                        ctx.job_id
+                        if ctx is not None and ctx.job_id >= 0
+                        else job_id
+                    ),
+                    n_walkers=job.n_walkers,
+                    problem=getattr(
+                        job.problem, "name", type(job.problem).__name__
+                    ),
+                )
+            )
         self._inbox.append(("submit", job, job_id, handle, time.monotonic()))
         return handle
 
@@ -424,6 +462,22 @@ class SolverService:
                 continue  # job finished while this task was queued
             worker_id = self._idle.pop()
             now = time.monotonic()
+            recorder = self.recorder
+            ctx = state.trace
+            # cluster-scope ids when the job carries a trace context (a net
+            # job is a single-walk local job whose *cluster* walk id lives
+            # in the context), local ids otherwise
+            walk_label = (
+                ctx.walk_id if ctx is not None and ctx.walk_id >= 0 else walk_id
+            )
+            job_label = (
+                ctx.job_id if ctx is not None and ctx.job_id >= 0 else job_id
+            )
+            task_trace = (
+                ctx.for_job(job_label).for_walk(walk_label)
+                if ctx is not None and recorder.enabled
+                else None
+            )
             pool.send_task(
                 worker_id,
                 WalkTask(
@@ -435,12 +489,23 @@ class SolverService:
                     slot=state.token.slot,
                     generation=state.token.generation,
                     poll_every=self.poll_every,
+                    trace=task_trace,
+                    milestone_every=recorder.milestone_every,
                 ),
             )
             self._in_flight[worker_id] = (job_id, walk_id, now)
             if state.first_dispatch_at is None:
                 state.first_dispatch_at = now
             self.metrics.record_dispatch()
+            if recorder.enabled:
+                recorder.emit(
+                    JobDispatch(
+                        trace_id=ctx.trace_id if ctx is not None else "",
+                        job_id=job_label,
+                        walk_id=walk_label,
+                        worker=worker_id,
+                    )
+                )
 
     def _check_deadlines(self, now: float) -> None:
         for state in list(self._jobs.values()):
@@ -493,6 +558,9 @@ class SolverService:
                 time.monotonic() - entry[2] if entry is not None else 0.0
             )
             self._idle.add(worker_id)
+            if self.recorder.enabled and "telemetry" in payload:
+                # worker-side trace records, shipped home via the outbox
+                self.recorder.ingest(payload["telemetry"])
             if "error" in payload:
                 self._handle_crash(
                     job_id, walk_id, busy_time=busy_time,
@@ -577,4 +645,38 @@ class SolverService:
             crashes=state.crashes,
         )
         self.metrics.record_job_finished(status, latency, queue_wait)
+        recorder = self.recorder
+        if recorder.enabled:
+            ctx = state.trace
+            trace_id = ctx.trace_id if ctx is not None else ""
+            job_label = (
+                ctx.job_id
+                if ctx is not None and ctx.job_id >= 0
+                else state.job_id
+            )
+            submitted_epoch = epoch_of_monotonic(state.submitted_at)
+            recorder.emit_span(
+                "job.queue_wait",
+                start=submitted_epoch,
+                duration=queue_wait,
+                trace_id=trace_id,
+                job_id=job_label,
+            )
+            recorder.emit_span(
+                "job.total",
+                start=submitted_epoch,
+                duration=latency,
+                trace_id=trace_id,
+                job_id=job_label,
+                status=status.value,
+            )
+            recorder.emit(
+                JobFinish(
+                    trace_id=trace_id,
+                    job_id=job_label,
+                    status=status.value,
+                    latency=latency,
+                    queue_wait=queue_wait,
+                )
+            )
         state.handle._complete(result)

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.config import AdaptiveSearchConfig
 from repro.core.solver import AdaptiveSearch
+from repro.telemetry.events import TraceContext
 
 __all__ = [
     "WalkTask",
@@ -43,7 +44,14 @@ __all__ = [
 
 @dataclass(frozen=True)
 class WalkTask:
-    """One unit of pool work: a single walk of one job."""
+    """One unit of pool work: a single walk of one job.
+
+    ``trace`` is ``None`` unless the scheduler is tracing this job, in
+    which case the worker runs the walk under a ring-buffered telemetry
+    recorder and ships the buffered records home inside the result payload
+    (``payload["telemetry"]``) — the pool outbox doubles as the telemetry
+    uplink, so no extra IPC machinery exists for tracing.
+    """
 
     job_id: int
     walk_id: int
@@ -53,6 +61,8 @@ class WalkTask:
     slot: int
     generation: int
     poll_every: int = 64
+    trace: Optional[TraceContext] = None
+    milestone_every: int = 0
 
 
 class GenerationCancelCallback:
@@ -124,11 +134,40 @@ def service_worker_main(
         try:
             problem = problems[task.problem_id]
             solver = AdaptiveSearch(task.config)
-            callback = GenerationCancelCallback(
-                cancel_generations, task.slot, task.generation, task.poll_every
+            callbacks: list[Any] = [
+                GenerationCancelCallback(
+                    cancel_generations, task.slot, task.generation,
+                    task.poll_every,
+                )
+            ]
+            ring = None
+            if task.trace is not None:
+                # traced walk: record telemetry into a bounded ring and
+                # ship it home with the result (see WalkTask docstring)
+                from repro.telemetry.recorder import Recorder
+                from repro.telemetry.sinks import RingBufferSink
+                from repro.telemetry.solver import TelemetryCallback
+
+                ring = RingBufferSink()
+                recorder = Recorder(
+                    sinks=[ring],
+                    proc=f"worker-{worker_id}",
+                    milestone_every=task.milestone_every,
+                )
+                callbacks.append(
+                    TelemetryCallback(
+                        recorder,
+                        trace_id=task.trace.trace_id,
+                        job_id=task.trace.job_id,
+                        walk_id=task.trace.walk_id,
+                    )
+                )
+            result = solver.solve(
+                problem, seed=task.seed, callbacks=callbacks
             )
-            result = solver.solve(problem, seed=task.seed, callbacks=[callback])
             payload = walk_payload(result)
+            if ring is not None:
+                payload["telemetry"] = ring.drain()
         except Exception:
             import traceback
 

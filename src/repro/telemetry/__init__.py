@@ -1,0 +1,98 @@
+"""Unified tracing & metrics across solver, pool, and cluster.
+
+The telemetry subsystem gives every execution backend (inline, warm pool,
+distributed cluster) one observability vocabulary:
+
+- **events** (:mod:`repro.telemetry.events`) — typed, frozen dataclasses
+  for lifecycle moments: job submit/dispatch/finish, walk start/finish,
+  restarts/resets, iteration milestones, assign/cancel traffic;
+- **spans** — named durations with parent ids, measured on monotonic
+  clocks, stamped with wall-clock starts so a distributed solve merges
+  into one timeline;
+- **metrics** (:mod:`repro.telemetry.metrics`) — a per-process registry of
+  counters, gauges and histograms (fixed buckets + exact-quantile window)
+  that :class:`repro.service.metrics.MetricsSnapshot` is now a view over;
+- **sinks** (:mod:`repro.telemetry.sinks`) — ring buffer, append-only
+  JSONL, composite fan-out, plus Prometheus text rendering on the
+  registry;
+- **recorder** (:mod:`repro.telemetry.recorder`) — the process-local
+  pipeline tying those together, with a module-level default that starts
+  *disabled* so un-instrumented programs pay nothing.
+
+``repro trace <dir>`` (see :mod:`repro.telemetry.timeline`) merges the
+per-process JSONL files of a traced solve and prints the reconstructed
+timeline plus latency breakdowns (dispatch overhead, cancel propagation,
+per-walk busy time).
+"""
+
+from repro.telemetry.events import (
+    AssignEvent,
+    CancelAck,
+    CancelBroadcast,
+    EVENT_KINDS,
+    FirstSolve,
+    IterationMilestone,
+    JobDispatch,
+    JobFinish,
+    JobSubmit,
+    ResetEvent,
+    RestartEvent,
+    Span,
+    TelemetryEvent,
+    TraceContext,
+    WalkFinish,
+    WalkStart,
+    event_from_record,
+    event_to_record,
+    new_span_id,
+    new_trace_id,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.recorder import (
+    Recorder,
+    configure,
+    epoch_of_monotonic,
+    get_recorder,
+    set_recorder,
+)
+from repro.telemetry.sinks import (
+    CompositeSink,
+    JsonlSink,
+    RingBufferSink,
+    read_jsonl,
+)
+from repro.telemetry.solver import TelemetryCallback, solver_callbacks
+from repro.telemetry.timeline import (
+    TraceSummary,
+    WalkTimeline,
+    analyze_trace,
+    load_trace,
+    render_report,
+    render_timeline,
+)
+
+__all__ = [
+    # events
+    "TelemetryEvent", "JobSubmit", "JobDispatch", "JobFinish",
+    "WalkStart", "WalkFinish", "IterationMilestone", "RestartEvent",
+    "ResetEvent", "AssignEvent", "CancelBroadcast", "CancelAck",
+    "FirstSolve", "Span", "TraceContext", "EVENT_KINDS",
+    "new_trace_id", "new_span_id", "event_to_record", "event_from_record",
+    # metrics
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    # recorder
+    "Recorder", "get_recorder", "set_recorder", "configure",
+    "epoch_of_monotonic",
+    # sinks
+    "RingBufferSink", "JsonlSink", "CompositeSink", "read_jsonl",
+    # solver glue
+    "TelemetryCallback", "solver_callbacks",
+    # timeline
+    "TraceSummary", "WalkTimeline", "load_trace", "analyze_trace",
+    "render_timeline", "render_report",
+]

@@ -1,0 +1,337 @@
+"""The unified metrics registry: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` per process (usually owned by the process's
+:class:`~repro.telemetry.recorder.Recorder`) is the single home for every
+numeric instrument in the system — solver counters, service throughput,
+coordinator cancel latency.  :class:`~repro.service.metrics.MetricsSnapshot`
+is a *view* over this registry, and node heartbeats / the ``repro trace``
+report read the same instruments instead of three ad-hoc counter dicts.
+
+Three instrument kinds:
+
+``Counter``
+    monotonically increasing total (float increments allowed, e.g. busy
+    seconds);
+``Gauge``
+    a value that goes up and down (jobs in flight);
+``Histogram``
+    observation distribution with *both* fixed cumulative buckets (the
+    Prometheus rendering and a cheap quantile estimate that never grows)
+    and a bounded ring of raw observations for exact windowed p50/p95/p99
+    — the window is what the legacy service metrics used, so snapshots
+    stay numerically identical after the migration.
+
+Every instrument carries its own lock; all operations are O(1) (the ring
+is a ``deque(maxlen=...)``), so instruments are safe to touch from
+scheduler threads, asyncio callbacks and the reaper simultaneously.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from collections import deque
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import TelemetryError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: default histogram bucket upper bounds, tuned for latencies in seconds
+#: (1 ms .. 1 min); observations above the last bound land in +Inf
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: default raw-observation window (matches the legacy service ring buffer)
+DEFAULT_WINDOW = 16_384
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_json(self) -> float | int:
+        value = self._value
+        return int(value) if float(value).is_integer() else float(value)
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if it is below (peak tracking)."""
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_json(self) -> float | int:
+        value = self._value
+        return int(value) if float(value).is_integer() else float(value)
+
+
+class Histogram:
+    """Observation distribution with buckets + an exact-quantile window.
+
+    ``quantile(q)`` is computed from the raw-observation ring when it holds
+    anything (exact over the retention window — identical to the legacy
+    ``np.percentile`` over a bounded list), and interpolated from the
+    cumulative buckets otherwise (``window=0`` disables retention for
+    instruments that must stay O(1) in memory under unbounded load).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] | None = None,
+        window: int = DEFAULT_WINDOW,
+    ) -> None:
+        if window < 0:
+            raise TelemetryError(f"window must be >= 0, got {window}")
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise TelemetryError(
+                f"histogram {name} buckets must be strictly increasing"
+            )
+        self.name = name
+        self._lock = threading.Lock()
+        self.bounds = bounds
+        # one count per bound plus the +Inf overflow bucket
+        self._bucket_counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._window: deque[float] = deque(maxlen=window or 1)
+        self._retain = window > 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+            if self._retain:
+                self._window.append(value)
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean over the retention window (all-time mean when window=0)."""
+        with self._lock:
+            if self._retain and self._window:
+                return float(np.mean(self._window))
+            return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (``q`` in [0, 1]); 0.0 with no observations."""
+        if not 0.0 <= q <= 1.0:
+            raise TelemetryError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self._retain and self._window:
+                return float(np.percentile(np.asarray(self._window), q * 100))
+            if self._count == 0:
+                return 0.0
+            return self._bucket_quantile(q)
+
+    def _bucket_quantile(self, q: float) -> float:
+        """Linear interpolation inside the first bucket whose cumulative
+        count reaches ``q * count`` (the classic Prometheus estimate)."""
+        rank = q * self._count
+        cumulative = 0
+        lower = 0.0
+        for index, bucket_count in enumerate(self._bucket_counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index >= len(self.bounds):  # overflow bucket: no upper edge
+                    return self.bounds[-1] if self.bounds else 0.0
+                upper = self.bounds[index]
+                if bucket_count == 0:
+                    return upper
+                fraction = (rank - previous) / bucket_count
+                return lower + (upper - lower) * fraction
+            if index < len(self.bounds):
+                lower = self.bounds[index]
+        return self.bounds[-1] if self.bounds else 0.0
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def to_json(self) -> dict[str, float | int]:
+        return {
+            "count": self._count,
+            "sum": float(self._sum),
+            "mean": float(self.mean),
+            "p50": float(self.p50),
+            "p95": float(self.p95),
+            "p99": float(self.p99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument in one process.
+
+    Names are dotted (``service.latency``, ``net.cancel_latency``); the
+    Prometheus rendering rewrites dots to underscores.  Asking for an
+    existing name with a different instrument kind raises — a name means
+    one thing everywhere.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, factory, kind: str):
+        if not name:
+            raise TelemetryError("instrument name must be non-empty")
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise TelemetryError(
+                        f"instrument {name!r} already registered as "
+                        f"{existing.kind}, requested {kind}"
+                    )
+                return existing
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name), "gauge")
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] | None = None,
+        window: int = DEFAULT_WINDOW,
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, buckets, window), "histogram"
+        )
+
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def get(self, name: str) -> Optional[Counter | Gauge | Histogram]:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def instruments(self) -> Iterable[Counter | Gauge | Histogram]:
+        with self._lock:
+            items = list(self._instruments.items())
+        return [instrument for _, instrument in sorted(items)]
+
+    def to_json(self) -> dict[str, float | int | dict]:
+        """Flat JSON-safe dump: scalars for counters/gauges, summary dicts
+        for histograms (the wire shape of heartbeat telemetry)."""
+        return {
+            instrument.name: instrument.to_json()
+            for instrument in self.instruments()
+        }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of every instrument."""
+        lines: list[str] = []
+        for instrument in self.instruments():
+            name = instrument.name.replace(".", "_").replace("-", "_")
+            if isinstance(instrument, (Counter, Gauge)):
+                lines.append(f"# TYPE {name} {instrument.kind}")
+                lines.append(f"{name} {_format_value(instrument.value)}")
+            else:
+                lines.append(f"# TYPE {name} histogram")
+                cumulative = 0
+                for bound, count in zip(
+                    instrument.bounds, instrument._bucket_counts
+                ):
+                    cumulative += count
+                    lines.append(
+                        f'{name}_bucket{{le="{_format_value(bound)}"}} '
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f'{name}_bucket{{le="+Inf"}} {instrument.count}'
+                )
+                lines.append(f"{name}_sum {_format_value(instrument.total)}")
+                lines.append(f"{name}_count {instrument.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

@@ -1,0 +1,234 @@
+"""The process-local telemetry recorder.
+
+One :class:`Recorder` per process owns the event pipeline (typed events →
+flattened records → sinks), the span helpers, and the process's
+:class:`~repro.telemetry.metrics.MetricsRegistry`.  Everything funnels
+through :meth:`Recorder.emit`, whose very first statement is the disabled
+check — a disabled recorder costs one attribute load and one branch, and
+hot paths are expected to guard with ``if recorder.enabled:`` so they pay
+*nothing* when telemetry is off (the solver loop never even constructs the
+event object).
+
+The module-level default recorder (:func:`get_recorder` /
+:func:`set_recorder` / :func:`configure`) is how layers find telemetry
+without threading a recorder argument through every constructor: the
+scheduler, the multi-walk driver and the CLI all fall back to it.  It
+starts **disabled**, so an un-configured program pays the same near-zero
+cost as before this subsystem existed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.telemetry.events import (
+    Span,
+    TelemetryEvent,
+    event_to_record,
+    new_span_id,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.sinks import JsonlSink
+
+__all__ = [
+    "Recorder",
+    "get_recorder",
+    "set_recorder",
+    "configure",
+    "epoch_of_monotonic",
+]
+
+
+def epoch_of_monotonic(mono_ts: float) -> float:
+    """Convert a ``time.monotonic()`` stamp to an (approximate) epoch time.
+
+    Used when a duration was measured with monotonic stamps but the span
+    must carry a wall-clock start so traces from different processes sort
+    into one timeline.  The conversion is taken *now*, so convert promptly
+    after measuring.
+    """
+    return time.time() - (time.monotonic() - mono_ts)
+
+
+class Recorder:
+    """Process-local event recorder + metrics registry.
+
+    Parameters
+    ----------
+    enabled:
+        master switch.  A disabled recorder drops every emit immediately;
+        callers on hot paths should additionally guard event construction
+        with :attr:`enabled`.
+    sinks:
+        record destinations (ring buffer, JSONL file, ...); a recorder
+        with no sinks still drives its metrics registry.
+    registry:
+        the metrics registry to own; a fresh one by default.
+    proc:
+        process label stamped into every record (``"coordinator"``,
+        ``"node-1"``, ``"worker-3"``...).
+    milestone_every:
+        solver iteration sampling period: 0 disables iteration milestone
+        events entirely (restart/reset/start/finish events still flow).
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        sinks: Iterable[Any] = (),
+        registry: MetricsRegistry | None = None,
+        proc: str = "",
+        milestone_every: int = 0,
+    ) -> None:
+        self.enabled = enabled
+        self.sinks = list(sinks)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.proc = proc
+        self.milestone_every = milestone_every
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def emit(self, event: TelemetryEvent) -> None:
+        """Stamp (if needed), flatten, and write one event to every sink."""
+        if not self.enabled:
+            return
+        if event.ts == 0.0:
+            # frozen dataclass: stamp via __setattr__ bypass is uglier than
+            # rebuilding the record dict, so stamp the record instead
+            record = event_to_record(event, self.proc)
+            record["ts"] = time.time()
+        else:
+            record = event_to_record(event, self.proc)
+        self._write(record)
+
+    def ingest(self, records: Iterable[dict[str, Any]]) -> None:
+        """Forward records produced by *another* recorder (e.g. shipped
+        back from a pool worker) into this recorder's sinks verbatim."""
+        if not self.enabled:
+            return
+        for record in records:
+            self._write(dict(record))
+
+    def _write(self, record: dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.write(record)
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        trace_id: str = "",
+        parent_id: str = "",
+        **attrs: Any,
+    ) -> Iterator[str]:
+        """Measure a block; yields the span id for children to parent on.
+
+        The duration comes from ``perf_counter`` (monotonic, high
+        resolution); ``ts`` is the wall-clock start.
+        """
+        span_id = new_span_id() if self.enabled else ""
+        started_wall = time.time()
+        started = time.perf_counter()
+        try:
+            yield span_id
+        finally:
+            if self.enabled:
+                self.emit(
+                    Span(
+                        ts=started_wall,
+                        trace_id=trace_id,
+                        name=name,
+                        duration=time.perf_counter() - started,
+                        span_id=span_id,
+                        parent_id=parent_id,
+                        attrs=dict(attrs),
+                    )
+                )
+
+    def emit_span(
+        self,
+        name: str,
+        *,
+        start: float,
+        duration: float,
+        trace_id: str = "",
+        parent_id: str = "",
+        **attrs: Any,
+    ) -> None:
+        """Record an externally measured duration (``start`` is epoch)."""
+        if not self.enabled:
+            return
+        self.emit(
+            Span(
+                ts=start,
+                trace_id=trace_id,
+                name=name,
+                duration=duration,
+                span_id=new_span_id(),
+                parent_id=parent_id,
+                attrs=dict(attrs),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+# ----------------------------------------------------------------------
+# module-level default recorder
+# ----------------------------------------------------------------------
+_default_lock = threading.Lock()
+_default_recorder = Recorder(enabled=False)
+
+
+def get_recorder() -> Recorder:
+    """The process default recorder (disabled until :func:`configure`)."""
+    return _default_recorder
+
+
+def set_recorder(recorder: Recorder) -> Recorder:
+    """Install ``recorder`` as the process default; returns the previous."""
+    global _default_recorder
+    with _default_lock:
+        previous = _default_recorder
+        _default_recorder = recorder
+    return previous
+
+
+def configure(
+    *,
+    trace_dir: str | Path | None = None,
+    proc: str = "main",
+    enabled: bool = True,
+    milestone_every: int = 0,
+    extra_sinks: Iterable[Any] = (),
+) -> Recorder:
+    """Build and install a default recorder in one call.
+
+    With ``trace_dir`` set, events append to ``<trace_dir>/<proc>.jsonl``
+    — the per-process file layout that ``repro trace <dir>`` merges.
+    """
+    sinks: list[Any] = list(extra_sinks)
+    if trace_dir is not None:
+        sinks.append(JsonlSink(Path(trace_dir) / f"{proc}.jsonl"))
+    recorder = Recorder(
+        enabled=enabled,
+        sinks=sinks,
+        proc=proc,
+        milestone_every=milestone_every,
+    )
+    set_recorder(recorder)
+    return recorder

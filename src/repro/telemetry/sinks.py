@@ -1,0 +1,125 @@
+"""Pluggable event sinks.
+
+A sink receives flattened JSON-safe records (the output of
+:func:`repro.telemetry.events.event_to_record`) and does something durable
+with them.  Three implementations cover the use cases:
+
+- :class:`RingBufferSink` — bounded in-memory ring; the worker-process
+  default (records ship back to the scheduler through the pool outbox, so
+  they must stay small and allocation-cheap);
+- :class:`JsonlSink` — append-only JSON-Lines file, one record per line;
+  the durable per-process trace format that ``repro trace`` merges;
+- :class:`CompositeSink` — fan-out to several sinks.
+
+All sinks are thread-safe: events may arrive from the scheduler thread,
+asyncio callbacks and client threads at once.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import TelemetryError
+
+__all__ = ["RingBufferSink", "JsonlSink", "CompositeSink", "read_jsonl"]
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` records in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise TelemetryError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._records: deque[dict[str, Any]] = deque(maxlen=capacity)
+
+    def write(self, record: dict[str, Any]) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    @property
+    def records(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return list(self._records)
+
+    def drain(self) -> list[dict[str, Any]]:
+        """Return and clear the buffered records (ship-and-forget)."""
+        with self._lock:
+            records = list(self._records)
+            self._records.clear()
+        return records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Appends one JSON object per line to a file (created eagerly)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        try:
+            self._fh = self.path.open("a", encoding="utf-8")
+        except OSError as err:
+            raise TelemetryError(
+                f"cannot open trace file {self.path}: {err}"
+            ) from None
+
+    def write(self, record: dict[str, Any]) -> None:
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with self._lock:
+            if self._fh.closed:
+                return
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+
+class CompositeSink:
+    """Fans every record out to several sinks."""
+
+    def __init__(self, sinks: Iterable[Any]) -> None:
+        self.sinks = list(sinks)
+
+    def write(self, record: dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.write(record)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Load every record of one JSONL trace file (skips blank lines)."""
+    path = Path(path)
+    records: list[dict[str, Any]] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as err:
+        raise TelemetryError(f"cannot read trace file {path}: {err}") from None
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as err:
+            raise TelemetryError(
+                f"{path}:{line_no}: malformed trace record: {err}"
+            ) from None
+    return records

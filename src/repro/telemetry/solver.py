@@ -1,0 +1,156 @@
+"""Solver-side telemetry: the callback that turns loop hooks into events.
+
+:class:`TelemetryCallback` plugs into the existing
+:class:`~repro.core.callbacks.CallbackList` seam of
+:class:`~repro.core.solver.AdaptiveSearch` — the hot loop itself is not
+modified.  ``on_iteration`` is the only per-iteration code and consists of
+one modulo and one comparison when sampling is on; :func:`solver_callbacks`
+returns an *empty list* when the recorder is disabled, so a telemetry-off
+solve carries zero extra callbacks and executes the identical instruction
+stream it did before this subsystem existed (the overhead-guard test in
+``tests/telemetry/test_overhead.py`` enforces this).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.telemetry.events import (
+    IterationMilestone,
+    ResetEvent,
+    RestartEvent,
+    WalkFinish,
+    WalkStart,
+)
+from repro.telemetry.recorder import Recorder, get_recorder
+
+__all__ = ["TelemetryCallback", "solver_callbacks"]
+
+
+class TelemetryCallback:
+    """Emits walk lifecycle events + sampled iteration milestones."""
+
+    def __init__(
+        self,
+        recorder: Recorder,
+        *,
+        trace_id: str = "",
+        job_id: int = -1,
+        walk_id: int = -1,
+        milestone_every: int | None = None,
+    ) -> None:
+        self.recorder = recorder
+        self.trace_id = trace_id
+        self.job_id = job_id
+        self.walk_id = walk_id
+        self.milestone_every = (
+            recorder.milestone_every
+            if milestone_every is None
+            else milestone_every
+        )
+        self._started = 0.0
+        self._last_iteration = 0
+        self._hist = recorder.registry.histogram("solver.walk_time")
+        self._iters = recorder.registry.counter("solver.iterations")
+        self._restarts = recorder.registry.counter("solver.restarts")
+        self._resets = recorder.registry.counter("solver.resets")
+
+    # ------------------------------------------------------------------
+    def on_start(self, config: np.ndarray, cost: float) -> None:
+        self._started = time.perf_counter()
+        self.recorder.emit(
+            WalkStart(
+                trace_id=self.trace_id,
+                job_id=self.job_id,
+                walk_id=self.walk_id,
+                cost=float(cost),
+            )
+        )
+
+    def on_iteration(self, info: Any) -> None:
+        self._last_iteration = info.iteration
+        every = self.milestone_every
+        if every and info.iteration % every == 0:
+            self.recorder.emit(
+                IterationMilestone(
+                    trace_id=self.trace_id,
+                    job_id=self.job_id,
+                    walk_id=self.walk_id,
+                    iteration=info.iteration,
+                    cost=float(info.cost),
+                    best_cost=float(info.best_cost),
+                )
+            )
+
+    def on_restart(self, restart_index: int, cost: float) -> None:
+        self._restarts.inc()
+        self.recorder.emit(
+            RestartEvent(
+                trace_id=self.trace_id,
+                job_id=self.job_id,
+                walk_id=self.walk_id,
+                restart_index=restart_index,
+                cost=float(cost),
+            )
+        )
+
+    def on_reset(self, iteration: int, cost: float) -> None:
+        self._resets.inc()
+        self.recorder.emit(
+            ResetEvent(
+                trace_id=self.trace_id,
+                job_id=self.job_id,
+                walk_id=self.walk_id,
+                iteration=iteration,
+                cost=float(cost),
+            )
+        )
+
+    def on_finish(self, solved: bool, cost: float) -> None:
+        wall_time = (
+            time.perf_counter() - self._started if self._started else 0.0
+        )
+        self._hist.observe(wall_time)
+        self._iters.inc(self._last_iteration)
+        self.recorder.emit(
+            WalkFinish(
+                trace_id=self.trace_id,
+                job_id=self.job_id,
+                walk_id=self.walk_id,
+                solved=bool(solved),
+                cost=float(cost),
+                iterations=self._last_iteration,
+                wall_time=wall_time,
+            )
+        )
+
+
+def solver_callbacks(
+    recorder: Optional[Recorder] = None,
+    *,
+    trace_id: str = "",
+    job_id: int = -1,
+    walk_id: int = -1,
+    milestone_every: int | None = None,
+) -> list[TelemetryCallback]:
+    """The callbacks to splice into a solve: ``[]`` when telemetry is off.
+
+    Returning an empty list (rather than a no-op callback) is the
+    disable knob that matters: the solver's fan-out loop then has nothing
+    extra to call per iteration.
+    """
+    recorder = recorder if recorder is not None else get_recorder()
+    if not recorder.enabled:
+        return []
+    return [
+        TelemetryCallback(
+            recorder,
+            trace_id=trace_id,
+            job_id=job_id,
+            walk_id=walk_id,
+            milestone_every=milestone_every,
+        )
+    ]

@@ -1,0 +1,96 @@
+"""End-to-end traced distributed solve: the full dispatch -> solve ->
+cancel arc must reconstruct from the merged per-process JSONL files."""
+
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import AdaptiveSearchConfig
+from repro.net import LocalCluster
+from repro.problems import make_problem
+from repro.service import JobStatus
+from repro.telemetry.timeline import analyze_trace, load_trace
+
+CFG = AdaptiveSearchConfig(max_iterations=500_000)
+
+
+@pytest.fixture(scope="module")
+def traced_solve(tmp_path_factory):
+    """One traced 2-node solve; returns (trace_dir, result, coordinator
+    counters snapshot)."""
+    trace_dir = tmp_path_factory.mktemp("trace")
+    with LocalCluster(
+        n_nodes=2, workers_per_node=1, trace_dir=trace_dir
+    ) as cluster:
+        client = cluster.client()
+        problem = make_problem("queens", n=25)
+        result = client.solve(
+            problem, n_walkers=4, seed=7, config=CFG, timeout=120
+        )
+        # cancel acks race the job result; wait for at least one so the
+        # trace always covers the full cancel round trip
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if cluster.coordinator.counters.get("cancel_acks", 0) >= 1:
+                break
+            time.sleep(0.02)
+        counters = dict(cluster.coordinator.counters)
+        cancel_latencies = list(cluster.coordinator.cancel_latencies)
+    return trace_dir, result, counters, cancel_latencies
+
+
+@pytest.mark.slow
+class TestTracedClusterSolve:
+    def test_solve_succeeded(self, traced_solve):
+        _, result, _, _ = traced_solve
+        assert result.status is JobStatus.SOLVED
+
+    def test_coordinator_counts_cancel_round_trip(self, traced_solve):
+        _, _, counters, cancel_latencies = traced_solve
+        assert counters["cancels_sent"] >= 1
+        assert counters["cancel_acks"] >= 1
+        assert cancel_latencies and all(l >= 0.0 for l in cancel_latencies)
+
+    def test_per_process_files_written(self, traced_solve):
+        trace_dir, _, _, _ = traced_solve
+        names = sorted(p.name for p in trace_dir.glob("*.jsonl"))
+        assert names == [
+            "client-0.jsonl", "coordinator.jsonl",
+            "node-0.jsonl", "node-1.jsonl",
+        ]
+
+    def test_merged_trace_reconstructs_complete_arc(self, traced_solve):
+        trace_dir, result, _, _ = traced_solve
+        summary = analyze_trace(load_trace(trace_dir))
+        assert summary.complete, "trace missing part of the solve arc"
+        assert summary.status == "solved"
+        assert summary.roundtrip is not None and summary.roundtrip > 0
+        # every walk got dispatched with a node attribution
+        assert set(summary.walks) == {0, 1, 2, 3}
+        assert all(w.node for w in summary.walks.values())
+        # the winner's walk events made it back from the worker process
+        winner = summary.walks[result.winner.walk_id]
+        assert winner.solved
+        assert winner.iterations == result.winner.iterations
+        # dispatch overheads and cancel latency are measurable
+        assert summary.dispatch_overheads
+        assert all(o >= 0.0 for o in summary.dispatch_overheads)
+        assert summary.cancel_latencies
+        assert summary.first_solve is not None
+
+    def test_trace_cli_verb(self, traced_solve, capsys):
+        trace_dir, _, _, _ = traced_solve
+        assert main(["trace", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "cancel propagation" in out
+        assert "dispatch overhead" in out
+        assert "time to first solve" in out
+        assert "per-walk spans (4 walks)" in out
+
+    def test_trace_cli_report_only(self, traced_solve, capsys):
+        trace_dir, _, _, _ = traced_solve
+        assert main(["trace", str(trace_dir), "--report-only"]) == 0
+        out = capsys.readouterr().out
+        assert "latency breakdown" in out
+        assert "walk_start" not in out  # timeline suppressed

@@ -1,0 +1,118 @@
+"""Typed events: registry completeness and lossless JSONL round-trips."""
+
+import dataclasses
+import json
+import pickle
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.events import (
+    EVENT_KINDS,
+    AssignEvent,
+    CancelAck,
+    CancelBroadcast,
+    FirstSolve,
+    IterationMilestone,
+    JobDispatch,
+    JobFinish,
+    JobSubmit,
+    ResetEvent,
+    RestartEvent,
+    Span,
+    TraceContext,
+    WalkFinish,
+    WalkStart,
+    event_from_record,
+    event_to_record,
+    new_span_id,
+    new_trace_id,
+)
+
+#: one fully populated instance of every event kind — the round-trip tests
+#: iterate this list, so adding an event without extending it fails below
+SAMPLE_EVENTS = [
+    JobSubmit(ts=1.0, trace_id="t1", job_id=3, n_walkers=4, problem="queens-8"),
+    JobDispatch(ts=1.1, trace_id="t1", job_id=3, walk_id=2, worker=1, node="node-0"),
+    JobFinish(ts=1.2, trace_id="t1", job_id=3, status="solved", latency=0.5,
+              queue_wait=0.01),
+    WalkStart(ts=1.3, trace_id="t1", job_id=3, walk_id=2, cost=17.0),
+    WalkFinish(ts=1.4, trace_id="t1", job_id=3, walk_id=2, solved=True,
+               cost=0.0, iterations=123, wall_time=0.25),
+    IterationMilestone(ts=1.5, trace_id="t1", job_id=3, walk_id=2,
+                       iteration=1000, cost=4.0, best_cost=2.0),
+    RestartEvent(ts=1.6, trace_id="t1", job_id=3, walk_id=2,
+                 restart_index=1, cost=9.0),
+    ResetEvent(ts=1.7, trace_id="t1", job_id=3, walk_id=2,
+               iteration=512, cost=6.0),
+    AssignEvent(ts=1.8, trace_id="t1", job_id=3, node="node-1",
+                walk_ids=(0, 2, 4), generation=1),
+    CancelBroadcast(ts=1.9, trace_id="t1", job_id=3, nodes=("node-0", "node-1")),
+    CancelAck(ts=2.0, trace_id="t1", job_id=3, node="node-1", latency=0.002),
+    FirstSolve(ts=2.1, trace_id="t1", job_id=3, walk_id=2, node="node-1",
+               wall_time=0.3),
+    Span(ts=2.2, trace_id="t1", name="job.total", duration=0.7,
+         span_id="abc", parent_id="def", attrs={"status": "solved"}),
+]
+
+
+def test_registry_covers_every_sample_kind():
+    assert {type(e) for e in SAMPLE_EVENTS} == set(EVENT_KINDS.values())
+    assert {e.kind for e in SAMPLE_EVENTS} == set(EVENT_KINDS)
+
+
+@pytest.mark.parametrize(
+    "event", SAMPLE_EVENTS, ids=[e.kind for e in SAMPLE_EVENTS]
+)
+def test_jsonl_round_trip(event):
+    """Every event survives record -> JSON text -> record -> event."""
+    record = event_to_record(event, proc="tester")
+    decoded = json.loads(json.dumps(record))
+    assert decoded["event"] == event.kind
+    assert decoded["proc"] == "tester"
+    restored = event_from_record(decoded)
+    assert restored == event
+
+
+def test_record_shape_is_json_safe():
+    record = event_to_record(SAMPLE_EVENTS[8])  # AssignEvent with a tuple
+    assert record["walk_ids"] == [0, 2, 4]  # tuples flattened to lists
+    json.dumps(record)  # must not raise
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(TelemetryError, match="unknown event kind"):
+        event_from_record({"event": "wat", "ts": 1.0})
+
+
+def test_events_are_frozen():
+    event = JobSubmit(job_id=1)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        event.job_id = 2
+
+
+def test_id_generators():
+    assert len(new_trace_id()) == 16
+    assert len(new_span_id()) == 12
+    assert new_trace_id() != new_trace_id()
+
+
+class TestTraceContext:
+    def test_derivation(self):
+        ctx = TraceContext("abc")
+        walk = ctx.for_job(7).for_walk(3)
+        assert walk == TraceContext("abc", job_id=7, walk_id=3)
+        assert ctx.job_id == -1  # originals untouched (frozen)
+
+    def test_wire_round_trip(self):
+        ctx = TraceContext("abc", job_id=7, walk_id=3)
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+
+    def test_from_wire_rejects_untagged(self):
+        assert TraceContext.from_wire(None) is None
+        assert TraceContext.from_wire({}) is None
+        assert TraceContext.from_wire({"trace_id": ""}) is None
+
+    def test_picklable(self):
+        ctx = TraceContext("abc", job_id=7, walk_id=3)
+        assert pickle.loads(pickle.dumps(ctx)) == ctx

@@ -1,0 +1,149 @@
+"""Counters, gauges, histograms and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(TelemetryError, match="cannot decrease"):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_up_down(self):
+        g = Gauge("x")
+        g.set(5)
+        g.inc(2)
+        g.dec(3)
+        assert g.value == 4
+
+    def test_set_max_only_raises(self):
+        g = Gauge("x")
+        g.set_max(3)
+        g.set_max(1)
+        assert g.value == 3
+
+
+class TestHistogram:
+    def test_windowed_quantiles_are_exact(self):
+        h = Histogram("lat")
+        values = [0.1, 0.2, 0.3, 0.4, 10.0]
+        for v in values:
+            h.observe(v)
+        assert h.count == 5
+        assert h.quantile(0.5) == pytest.approx(np.percentile(values, 50))
+        assert h.p95 == pytest.approx(np.percentile(values, 95))
+        assert h.p99 == pytest.approx(np.percentile(values, 99))
+        assert h.mean == pytest.approx(np.mean(values))
+
+    def test_window_is_bounded(self):
+        h = Histogram("lat", window=4)
+        for v in (1.0, 1.0, 1.0, 1.0, 100.0):
+            h.observe(v)
+        # the window holds the last 4 observations only
+        assert h.quantile(0.0) == pytest.approx(1.0)
+        assert h.quantile(1.0) == pytest.approx(100.0)
+        # the all-time aggregates still see everything
+        assert h.count == 5
+        assert h.total == pytest.approx(104.0)
+
+    def test_bucket_quantile_fallback(self):
+        """window=0: quantiles interpolate from the cumulative buckets."""
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0), window=0)
+        for v in (0.5, 1.5, 3.0, 3.5):
+            h.observe(v)
+        # rank 2 of 4 lands in the (1, 2] bucket
+        assert 1.0 <= h.quantile(0.5) <= 2.0
+        # everything within range: max quantile stays below the top bound
+        assert h.quantile(1.0) <= 4.0
+
+    def test_bucket_quantile_overflow(self):
+        h = Histogram("lat", buckets=(1.0,), window=0)
+        h.observe(50.0)
+        assert h.quantile(0.99) == 1.0  # clamped at the last finite bound
+
+    def test_empty(self):
+        h = Histogram("lat")
+        assert h.quantile(0.5) == 0.0
+        assert h.mean == 0.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(TelemetryError, match="strictly increasing"):
+            Histogram("x", buckets=(2.0, 1.0))
+        with pytest.raises(TelemetryError, match="window"):
+            Histogram("x", window=-1)
+        with pytest.raises(TelemetryError, match="quantile"):
+            Histogram("x").quantile(1.5)
+
+    def test_to_json(self):
+        h = Histogram("lat")
+        h.observe(0.2)
+        data = h.to_json()
+        assert data["count"] == 1
+        assert data["sum"] == pytest.approx(0.2)
+        assert data["p50"] == pytest.approx(0.2)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TelemetryError, match="already registered"):
+            reg.gauge("a")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TelemetryError, match="non-empty"):
+            MetricsRegistry().counter("")
+
+    def test_names_and_get(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ["a", "b"]
+        assert reg.get("a").kind == "gauge"
+        assert reg.get("missing") is None
+
+    def test_to_json(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc(3)
+        reg.histogram("lat").observe(0.5)
+        data = reg.to_json()
+        assert data["jobs"] == 3
+        assert data["lat"]["count"] == 1
+
+    def test_prometheus_rendering(self):
+        reg = MetricsRegistry()
+        reg.counter("service.jobs").inc(2)
+        h = reg.histogram("net.lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        text = reg.render_prometheus()
+        assert "# TYPE net_lat histogram" in text
+        assert "# TYPE service_jobs counter" in text
+        assert "service_jobs 2" in text
+        assert 'net_lat_bucket{le="0.1"} 1' in text
+        assert 'net_lat_bucket{le="+Inf"} 2' in text
+        assert "net_lat_count 2" in text
+
+    def test_prometheus_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""

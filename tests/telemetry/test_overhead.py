@@ -1,0 +1,64 @@
+"""Overhead guard: telemetry OFF must cost (nearly) nothing.
+
+Two layers of protection:
+
+- structural: with the default (disabled) recorder, ``solver_callbacks``
+  contributes *no* callbacks, so the hot loop runs the identical
+  instruction stream it ran before the telemetry subsystem existed;
+- empirical: per-iteration time of a telemetry-disabled multi-walk solve
+  stays within noise of the bare sequential engine on a magic-square
+  instance big enough to stay budget-bound (median-of-N, interleaved A/B
+  to cancel machine drift).
+"""
+
+import statistics
+
+import pytest
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.solver import AdaptiveSearch
+from repro.parallel import solve_parallel
+from repro.problems import make_problem
+from repro.telemetry.recorder import get_recorder
+from repro.telemetry.solver import solver_callbacks
+
+#: instance/budget chosen so no run solves -> fixed work per run
+CONFIG = AdaptiveSearchConfig(max_iterations=10_000)
+SIZE = 30
+REPS = 3
+#: generous vs the <=5% acceptance bar: absorbs CI scheduling noise while
+#: still catching any accidental per-iteration work on the disabled path
+MAX_RATIO = 1.15
+
+
+def test_disabled_recorder_contributes_no_callbacks():
+    assert get_recorder().enabled is False
+    assert solver_callbacks() == []
+
+
+def _baseline_iter_time(problem) -> float:
+    result = AdaptiveSearch(CONFIG).solve(problem, seed=9)
+    assert not result.solved  # budget-bound: both sides do identical work
+    return result.stats.wall_time / result.stats.iterations
+
+
+def _telemetry_off_iter_time(problem) -> float:
+    result = solve_parallel(problem, 1, seed=9, config=CONFIG, executor="inline")
+    walk = result.walks[0]
+    assert not walk.solved
+    return walk.wall_time / walk.iterations
+
+
+@pytest.mark.slow
+def test_disabled_telemetry_throughput_within_noise():
+    problem = make_problem("magic_square", n=SIZE)
+    _baseline_iter_time(problem)  # warm-up (caches, allocator)
+    baseline, telemetry_off = [], []
+    for _ in range(REPS):  # interleaved so drift hits both sides equally
+        baseline.append(_baseline_iter_time(problem))
+        telemetry_off.append(_telemetry_off_iter_time(problem))
+    ratio = statistics.median(telemetry_off) / statistics.median(baseline)
+    assert ratio <= MAX_RATIO, (
+        f"telemetry-disabled solve is {ratio:.2f}x the bare engine "
+        f"(limit {MAX_RATIO}x)"
+    )

@@ -1,0 +1,113 @@
+"""Recorder semantics: enable gating, stamping, spans, ingest, defaults."""
+
+import pytest
+
+from repro.telemetry.events import JobSubmit, WalkStart
+from repro.telemetry.recorder import (
+    Recorder,
+    configure,
+    epoch_of_monotonic,
+    get_recorder,
+    set_recorder,
+)
+from repro.telemetry.sinks import RingBufferSink, read_jsonl
+
+
+@pytest.fixture
+def ring():
+    return RingBufferSink()
+
+
+@pytest.fixture
+def recorder(ring):
+    return Recorder(sinks=[ring], proc="tester")
+
+
+class TestEmit:
+    def test_stamps_unset_ts(self, recorder, ring):
+        recorder.emit(JobSubmit(trace_id="t", job_id=1))
+        (record,) = ring.records
+        assert record["ts"] > 0
+        assert record["proc"] == "tester"
+        assert record["event"] == "job_submit"
+
+    def test_preserves_explicit_ts(self, recorder, ring):
+        recorder.emit(JobSubmit(ts=123.5, job_id=1))
+        assert ring.records[0]["ts"] == 123.5
+
+    def test_disabled_is_noop(self, ring):
+        recorder = Recorder(enabled=False, sinks=[ring])
+        recorder.emit(JobSubmit(job_id=1))
+        recorder.ingest([{"event": "walk_start"}])
+        recorder.emit_span("x", start=1.0, duration=0.1)
+        with recorder.span("y") as span_id:
+            assert span_id == ""
+        assert len(ring) == 0
+
+    def test_ingest_forwards_verbatim(self, recorder, ring):
+        shipped = [{"event": "walk_start", "ts": 9.0, "proc": "worker-1"}]
+        recorder.ingest(shipped)
+        assert ring.records == shipped
+        assert ring.records[0] is not shipped[0]  # defensive copy
+
+
+class TestSpans:
+    def test_span_measures_and_parents(self, recorder, ring):
+        with recorder.span("outer", trace_id="t") as outer_id:
+            with recorder.span("inner", trace_id="t", parent_id=outer_id):
+                pass
+        inner, outer = ring.records  # inner closes (and records) first
+        assert inner["name"] == "inner"
+        assert inner["parent_id"] == outer_id
+        assert outer["span_id"] == outer_id
+        assert outer["duration"] >= inner["duration"] >= 0.0
+        assert outer["ts"] <= inner["ts"]
+
+    def test_span_recorded_on_exception(self, recorder, ring):
+        with pytest.raises(RuntimeError):
+            with recorder.span("doomed"):
+                raise RuntimeError("boom")
+        assert ring.records[0]["name"] == "doomed"
+
+    def test_emit_span_external_measurement(self, recorder, ring):
+        recorder.emit_span(
+            "job.total", start=100.0, duration=2.0, trace_id="t", status="solved"
+        )
+        (record,) = ring.records
+        assert record["ts"] == 100.0
+        assert record["duration"] == 2.0
+        assert record["attrs"] == {"status": "solved"}
+
+
+class TestDefaultRecorder:
+    def test_starts_disabled(self):
+        assert get_recorder().enabled is False
+
+    def test_set_and_restore(self):
+        mine = Recorder(enabled=True)
+        previous = set_recorder(mine)
+        try:
+            assert get_recorder() is mine
+        finally:
+            set_recorder(previous)
+
+    def test_configure_builds_jsonl_recorder(self, tmp_path):
+        previous = get_recorder()
+        try:
+            recorder = configure(trace_dir=tmp_path, proc="unit")
+            assert get_recorder() is recorder
+            recorder.emit(WalkStart(trace_id="t", walk_id=0))
+            recorder.close()
+            records = read_jsonl(tmp_path / "unit.jsonl")
+            assert records[0]["event"] == "walk_start"
+            assert records[0]["proc"] == "unit"
+        finally:
+            set_recorder(previous)
+
+
+def test_epoch_of_monotonic_is_recent():
+    import time
+
+    now = time.monotonic()
+    epoch = epoch_of_monotonic(now)
+    assert abs(epoch - time.time()) < 1.0

@@ -1,0 +1,84 @@
+"""Ring-buffer, JSONL and composite sinks."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.sinks import (
+    CompositeSink,
+    JsonlSink,
+    RingBufferSink,
+    read_jsonl,
+)
+
+
+class TestRingBufferSink:
+    def test_eviction_keeps_most_recent(self):
+        ring = RingBufferSink(capacity=3)
+        for i in range(5):
+            ring.write({"i": i})
+        assert len(ring) == 3
+        assert [r["i"] for r in ring.records] == [2, 3, 4]
+
+    def test_drain_clears(self):
+        ring = RingBufferSink()
+        ring.write({"i": 0})
+        assert ring.drain() == [{"i": 0}]
+        assert ring.drain() == []
+        assert len(ring) == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(TelemetryError, match="capacity"):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "deep" / "trace.jsonl"  # parents auto-created
+        sink = JsonlSink(path)
+        sink.write({"event": "walk_start", "walk_id": 0})
+        sink.write({"event": "walk_finish", "walk_id": 0, "solved": True})
+        sink.close()
+        records = read_jsonl(path)
+        assert [r["event"] for r in records] == ["walk_start", "walk_finish"]
+        assert records[1]["solved"] is True
+
+    def test_append_across_reopens(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for i in range(2):
+            sink = JsonlSink(path)
+            sink.write({"i": i})
+            sink.close()
+        assert [r["i"] for r in read_jsonl(path)] == [0, 1]
+
+    def test_write_after_close_is_noop(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.write({"i": 0})  # silently dropped, no error
+        assert read_jsonl(tmp_path / "t.jsonl") == []
+
+
+class TestReadJsonl:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TelemetryError, match="cannot read"):
+            read_jsonl(tmp_path / "nope.jsonl")
+
+    def test_malformed_line_reports_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n', encoding="utf-8")
+        with pytest.raises(TelemetryError, match="bad.jsonl:2"):
+            read_jsonl(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('\n{"i": 1}\n\n', encoding="utf-8")
+        assert read_jsonl(path) == [{"i": 1}]
+
+
+def test_composite_fans_out(tmp_path):
+    ring = RingBufferSink()
+    jsonl = JsonlSink(tmp_path / "t.jsonl")
+    sink = CompositeSink([ring, jsonl])
+    sink.write({"i": 7})
+    sink.close()
+    assert ring.records == [{"i": 7}]
+    assert read_jsonl(tmp_path / "t.jsonl") == [{"i": 7}]

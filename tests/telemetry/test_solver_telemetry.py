@@ -1,0 +1,98 @@
+"""TelemetryCallback against a real Adaptive Search solve."""
+
+import pytest
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.solver import AdaptiveSearch
+from repro.problems import make_problem
+from repro.telemetry.recorder import Recorder
+from repro.telemetry.sinks import RingBufferSink
+from repro.telemetry.solver import solver_callbacks
+
+
+@pytest.fixture
+def ring():
+    return RingBufferSink()
+
+
+@pytest.fixture
+def recorder(ring):
+    return Recorder(sinks=[ring], proc="tester")
+
+
+def _solve(recorder, **kwargs):
+    problem = make_problem("queens", n=20)
+    callbacks = solver_callbacks(recorder, trace_id="t", walk_id=3, **kwargs)
+    result = AdaptiveSearch(AdaptiveSearchConfig(max_iterations=50_000)).solve(
+        problem, seed=5, callbacks=callbacks or None
+    )
+    return result
+
+
+def test_disabled_recorder_yields_no_callbacks():
+    assert solver_callbacks(Recorder(enabled=False)) == []
+
+
+def test_walk_lifecycle_events(recorder, ring):
+    result = _solve(recorder)
+    events = {r["event"] for r in ring.records}
+    assert {"walk_start", "walk_finish"} <= events
+    start = next(r for r in ring.records if r["event"] == "walk_start")
+    finish = next(r for r in ring.records if r["event"] == "walk_finish")
+    assert start["walk_id"] == finish["walk_id"] == 3
+    assert start["trace_id"] == "t"
+    assert finish["solved"] == result.solved
+    assert finish["iterations"] == result.stats.iterations
+    assert finish["wall_time"] > 0
+
+
+def test_metrics_updated(recorder):
+    result = _solve(recorder)
+    registry = recorder.registry
+    assert registry.get("solver.walk_time").count == 1
+    assert registry.get("solver.iterations").value == result.stats.iterations
+
+
+def test_milestone_sampling(recorder, ring):
+    result = _solve(recorder, milestone_every=5)
+    milestones = [r for r in ring.records if r["event"] == "iteration"]
+    assert milestones, "expected sampled iteration milestones"
+    assert len(milestones) <= result.stats.iterations // 5 + 1
+    assert all(r["iteration"] % 5 == 0 for r in milestones)
+
+
+def test_no_milestones_by_default(recorder, ring):
+    _solve(recorder)
+    assert not any(r["event"] == "iteration" for r in ring.records)
+
+
+def test_process_executor_ships_walk_telemetry(recorder, ring):
+    """Child walks record into a ring and the parent ingests the drain.
+
+    The process executor has no shared sink with its children: each walk
+    runs under its own ring-buffered recorder and the records ride home in
+    the result payload (same uplink scheme as the warm-pool workers).
+    """
+    from repro.parallel import solve_parallel
+    from repro.telemetry.recorder import set_recorder
+
+    previous = set_recorder(recorder)
+    try:
+        result = solve_parallel(
+            make_problem("queens", n=20),
+            2,
+            seed=5,
+            config=AdaptiveSearchConfig(max_iterations=50_000),
+            executor="process",
+        )
+    finally:
+        set_recorder(previous)
+    assert result.solved
+    finishes = [r for r in ring.records if r["event"] == "walk_finish"]
+    assert {r["walk_id"] for r in finishes} == {0, 1}
+    by_walk = {w.walk_id: w for w in result.walks}
+    for record in finishes:
+        assert record["iterations"] == by_walk[record["walk_id"]].iterations
+    assert {r["proc"] for r in finishes} == {"walk-0", "walk-1"}
+    spans = [r for r in ring.records if r["event"] == "span"]
+    assert any(r["name"] == "multiwalk.solve" for r in spans)

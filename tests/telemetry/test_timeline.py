@@ -1,0 +1,175 @@
+"""Trace reconstruction from synthetic multi-process records."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.timeline import (
+    analyze_trace,
+    load_trace,
+    render_report,
+    render_timeline,
+)
+
+T0 = 1_000_000.0
+
+
+def _cluster_records(trace_id="abc123"):
+    """A hand-written merged trace of one 2-walk distributed solve."""
+    return [
+        {"event": "job_submit", "ts": T0, "trace_id": trace_id,
+         "proc": "client", "job_id": -1, "n_walkers": 2, "problem": "queens-9"},
+        {"event": "job_submit", "ts": T0 + 0.001, "trace_id": trace_id,
+         "proc": "coordinator", "job_id": 0, "n_walkers": 2,
+         "problem": "queens-9"},
+        {"event": "assign", "ts": T0 + 0.002, "trace_id": trace_id,
+         "proc": "coordinator", "job_id": 0, "node": "node-0",
+         "walk_ids": [0], "generation": 0},
+        {"event": "job_dispatch", "ts": T0 + 0.002, "trace_id": trace_id,
+         "proc": "coordinator", "job_id": 0, "walk_id": 0, "node": "node-0"},
+        {"event": "job_dispatch", "ts": T0 + 0.003, "trace_id": trace_id,
+         "proc": "coordinator", "job_id": 0, "walk_id": 1, "node": "node-1"},
+        {"event": "walk_start", "ts": T0 + 0.010, "trace_id": trace_id,
+         "proc": "worker-0", "walk_id": 0, "cost": 8.0},
+        {"event": "walk_start", "ts": T0 + 0.012, "trace_id": trace_id,
+         "proc": "worker-0", "walk_id": 1, "cost": 6.0},
+        {"event": "restart", "ts": T0 + 0.015, "trace_id": trace_id,
+         "proc": "worker-0", "walk_id": 1, "restart_index": 1, "cost": 5.0},
+        {"event": "reset", "ts": T0 + 0.016, "trace_id": trace_id,
+         "proc": "worker-0", "walk_id": 1, "iteration": 40, "cost": 4.0},
+        {"event": "walk_finish", "ts": T0 + 0.020, "trace_id": trace_id,
+         "proc": "worker-0", "walk_id": 0, "solved": True, "cost": 0.0,
+         "iterations": 90, "wall_time": 0.01},
+        {"event": "first_solve", "ts": T0 + 0.021, "trace_id": trace_id,
+         "proc": "coordinator", "job_id": 0, "walk_id": 0, "node": "node-0",
+         "wall_time": 0.019},
+        {"event": "cancel_broadcast", "ts": T0 + 0.022, "trace_id": trace_id,
+         "proc": "coordinator", "job_id": 0, "nodes": ["node-1"]},
+        {"event": "cancel_ack", "ts": T0 + 0.024, "trace_id": trace_id,
+         "proc": "coordinator", "job_id": 0, "node": "node-1",
+         "latency": 0.002},
+        {"event": "span", "ts": T0 + 0.001, "trace_id": trace_id,
+         "proc": "coordinator", "name": "coordinator.job", "duration": 0.024,
+         "span_id": "s1", "parent_id": "", "attrs": {}},
+        {"event": "job_finish", "ts": T0 + 0.025, "trace_id": trace_id,
+         "proc": "coordinator", "job_id": 0, "status": "solved",
+         "latency": 0.024},
+        # the losing node's local sub-job finishes cancelled *after* the
+        # real finish — must not demote the trace status
+        {"event": "job_finish", "ts": T0 + 0.027, "trace_id": trace_id,
+         "proc": "node-1", "job_id": 0, "status": "cancelled",
+         "latency": 0.02},
+        {"event": "walk_finish", "ts": T0 + 0.026, "trace_id": trace_id,
+         "proc": "worker-0", "walk_id": 1, "solved": False, "cost": 3.0,
+         "iterations": 70, "wall_time": 0.013},
+    ]
+
+
+class TestAnalyzeTrace:
+    def test_reconstructs_complete_timeline(self):
+        summary = analyze_trace(_cluster_records())
+        assert summary.trace_id == "abc123"
+        assert summary.complete
+        assert summary.status == "solved"
+        assert summary.submit_ts == T0
+        assert summary.finish_ts == pytest.approx(T0 + 0.027)
+        assert summary.roundtrip == pytest.approx(0.027)
+        assert summary.restarts == 1 and summary.resets == 1
+
+    def test_per_walk_timelines(self):
+        summary = analyze_trace(_cluster_records())
+        assert set(summary.walks) == {0, 1}
+        walk0 = summary.walks[0]
+        assert walk0.node == "node-0"
+        assert walk0.solved and walk0.iterations == 90
+        assert walk0.dispatch_overhead == pytest.approx(0.008)
+        assert summary.dispatch_overheads == pytest.approx([0.008, 0.009])
+
+    def test_cancel_latencies(self):
+        summary = analyze_trace(_cluster_records())
+        assert summary.cancel_broadcast_ts == pytest.approx(T0 + 0.022)
+        assert summary.cancel_latencies == [0.002]
+
+    def test_status_precedence_over_late_cancelled(self):
+        """A node-local cancelled finish cannot mask the solved status."""
+        summary = analyze_trace(_cluster_records())
+        assert summary.status == "solved"
+        # but finish_ts still reflects the *last* finish (true end-to-end)
+        assert summary.finish_ts == pytest.approx(T0 + 0.027)
+
+    def test_dominant_trace_selected(self):
+        records = _cluster_records() + [
+            {"event": "job_submit", "ts": T0, "trace_id": "other", "job_id": 9}
+        ]
+        assert analyze_trace(records).trace_id == "abc123"
+
+    def test_explicit_trace_id_filters(self):
+        records = _cluster_records() + [
+            {"event": "job_submit", "ts": T0 + 5, "trace_id": "other",
+             "job_id": 9, "n_walkers": 1},
+        ]
+        summary = analyze_trace(records, trace_id="other")
+        assert summary.trace_id == "other"
+        assert summary.n_events == 1
+        assert not summary.complete
+
+    def test_incomplete_trace(self):
+        records = _cluster_records()[:6]  # no finishes, no cancel arc
+        assert not analyze_trace(records).complete
+
+
+class TestRendering:
+    def test_timeline_lists_events_in_order(self):
+        records = _cluster_records()
+        summary = analyze_trace(records)
+        text = render_timeline(records, summary)
+        assert text.startswith("trace abc123")
+        assert "cancel_ack from node-1 rtt=2.0ms" in text
+        assert "walk_start walk=0" in text
+        assert text.index("job_submit") < text.index("walk_finish")
+
+    def test_report_sections(self):
+        summary = analyze_trace(_cluster_records())
+        text = render_report(summary)
+        assert "end-to-end" in text and "status solved" in text
+        assert "dispatch overhead" in text
+        assert "cancel propagation" in text
+        assert "time to first solve" in text
+        assert "per-walk spans (2 walks)" in text
+        assert "1 restart(s)" in text
+
+    def test_report_handles_sparse_trace(self):
+        summary = analyze_trace([
+            {"event": "walk_start", "ts": T0, "trace_id": "x", "walk_id": 0,
+             "cost": 5.0},
+        ])
+        text = render_report(summary)
+        assert "per-walk spans (1 walks)" in text
+
+
+class TestLoadTrace:
+    def test_merges_directory_sorted(self, tmp_path):
+        a = [{"event": "walk_start", "ts": 2.0}]
+        b = [{"event": "job_submit", "ts": 1.0}]
+        (tmp_path / "node-0.jsonl").write_text(
+            "\n".join(json.dumps(r) for r in a) + "\n", encoding="utf-8"
+        )
+        (tmp_path / "client.jsonl").write_text(
+            "\n".join(json.dumps(r) for r in b) + "\n", encoding="utf-8"
+        )
+        records = load_trace(tmp_path)
+        assert [r["event"] for r in records] == ["job_submit", "walk_start"]
+
+    def test_single_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"event": "job_submit", "ts": 1.0}\n', encoding="utf-8")
+        assert len(load_trace(path)) == 1
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(TelemetryError, match="no .jsonl trace files"):
+            load_trace(tmp_path)
+
+    def test_missing_path_rejected(self, tmp_path):
+        with pytest.raises(TelemetryError, match="does not exist"):
+            load_trace(tmp_path / "nope")
