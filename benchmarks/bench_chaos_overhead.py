@@ -1,0 +1,232 @@
+"""Dormant-chaos + CRC overhead benchmark (standalone script).
+
+The chaos PR added two things to every hot dispatch path:
+
+- a **frame CRC32** computed on send and verified on receive
+  (protocol v3), and
+- a **chaos hook probe** — one module-attribute load and an ``is None``
+  branch per frame send and per walk dispatch — consulted even when no
+  fault plan is installed.
+
+This bench gates that the *dormant* cost of both stays under
+``--max-overhead-pct`` (default 3%) of the measured end-to-end dispatch
+latency of a cluster job:
+
+1. micro-measure the per-call cost of the hook probe and of CRC32 over
+   a realistic assign-frame body;
+2. measure the median end-to-end latency of a tiny budget-capped
+   cluster job (the same probe as ``bench_net_overhead.py``);
+3. model the per-job injection-machinery cost (frames per job x
+   (crc + hook) + walk dispatches x hook) and require
+   ``modeled_cost / dispatch_latency <= max-overhead-pct``.
+
+As a cross-check it also re-runs the cluster probe with a fault plan
+installed whose specs can never match (armed-but-idle), reporting the
+armed-vs-dormant delta (informational — cluster medians are noisier
+than the 3% band, so the gate rides on the modeled fraction).
+
+Run as a script (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_chaos_overhead.py
+    PYTHONPATH=src python benchmarks/bench_chaos_overhead.py --smoke
+
+Writes ``benchmarks/out/BENCH_chaos.json``.  Exit code 0 iff the gate
+passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+import zlib
+from pathlib import Path
+
+from repro.chaos import FaultPlan, FrameFault, WalkFault, hooks
+from repro.core.config import AdaptiveSearchConfig
+from repro.net import LocalCluster
+from repro.net.protocol import Message, encode_message, pickle_blob
+from repro.problems import make_problem
+
+ARTIFACT = Path(__file__).parent / "out" / "BENCH_chaos.txt"
+JSON_ARTIFACT = Path(__file__).parent / "out" / "BENCH_chaos.json"
+
+PROBE_ITERATIONS = 4
+PROBE_WALKERS = 2
+#: conservative frame count for one 2-walk job round-trip: submit,
+#: accept, assign, 2 walk results, job result, plus heartbeat traffic
+FRAMES_PER_JOB = 16
+
+
+def bench_hook_probe(n: int = 200_000) -> float:
+    """Seconds per dormant hook query (attribute load + None check)."""
+    active = hooks.active
+    start = time.perf_counter()
+    for _ in range(n):
+        active()
+    return (time.perf_counter() - start) / n
+
+
+def bench_crc(n: int = 20_000) -> tuple[float, int]:
+    """Seconds per CRC32 of a realistic assign-frame body."""
+    blob = pickle_blob(
+        {"problem": list(range(256)), "seeds": list(range(PROBE_WALKERS))}
+    )
+    frame = encode_message(
+        Message("assign", {"job_id": 1, "walk_ids": [0, 1]}, blob=blob)
+    )
+    body = frame[9:]
+    crc32 = zlib.crc32
+    start = time.perf_counter()
+    for _ in range(n):
+        crc32(body)
+    return (time.perf_counter() - start) / n, len(body)
+
+
+def measure_cluster(n_jobs: int, workers: int, chaos=None) -> list[float]:
+    problem = make_problem("magic_square", n=10)
+    config = AdaptiveSearchConfig(max_iterations=PROBE_ITERATIONS)
+    latencies = []
+    with LocalCluster(
+        n_nodes=2, workers_per_node=workers, chaos=chaos
+    ) as cluster:
+        client = cluster.client()
+        client.solve(
+            problem, PROBE_WALKERS, seed=0, config=config, timeout=600
+        )  # warm-up ships the problem to every pool
+        for index in range(n_jobs):
+            start = time.perf_counter()
+            client.solve(
+                problem,
+                PROBE_WALKERS,
+                seed=index,
+                config=config,
+                timeout=600,
+            )
+            latencies.append(time.perf_counter() - start)
+    return latencies
+
+
+def never_matching_plan() -> FaultPlan:
+    """Armed-but-idle: specs that no real frame/walk can ever match."""
+    return FaultPlan(
+        [
+            FrameFault("drop", message_type="no-such-frame-type"),
+            WalkFault("raise", walk_id=10**9, job_id=10**9),
+        ],
+        seed=0,
+        name="never-matching",
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fast run for CI (fewer jobs, same gate)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="cluster probe jobs per path (default 10, smoke 4)",
+    )
+    parser.add_argument(
+        "--workers-per-node", type=int, default=2, help="pool size per node"
+    )
+    parser.add_argument(
+        "--max-overhead-pct", type=float, default=3.0,
+        help="allowed dormant chaos+CRC share of dispatch latency",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help=f"machine-readable results path (default {JSON_ARTIFACT})",
+    )
+    args = parser.parse_args(argv)
+    n_jobs = args.jobs or (4 if args.smoke else 10)
+
+    print("micro-benchmarking dormant hook probe and frame CRC ...",
+          flush=True)
+    hook_s = bench_hook_probe()
+    crc_s, body_bytes = bench_crc()
+
+    print("measuring dormant-chaos cluster dispatch latency ...", flush=True)
+    dormant = measure_cluster(n_jobs, args.workers_per_node)
+    print("measuring armed-but-idle cluster dispatch latency ...", flush=True)
+    armed = measure_cluster(
+        n_jobs, args.workers_per_node, chaos=never_matching_plan()
+    )
+
+    dormant_med = statistics.median(dormant)
+    armed_med = statistics.median(armed)
+    # per job: every frame pays one CRC on send + one on receive + one
+    # hook probe on send; every walk dispatch pays one hook probe
+    modeled_s = FRAMES_PER_JOB * (2 * crc_s + hook_s) + PROBE_WALKERS * hook_s
+    fraction_pct = 100.0 * modeled_s / dormant_med
+    armed_delta_pct = 100.0 * (armed_med - dormant_med) / dormant_med
+
+    lines = [
+        "chaos overhead bench: dormant fault-injection machinery"
+        + (" [smoke]" if args.smoke else ""),
+        "",
+        f"hook probe        : {hook_s * 1e9:8.1f} ns/query",
+        f"frame CRC32       : {crc_s * 1e6:8.2f} us/frame "
+        f"({body_bytes} byte body)",
+        f"dispatch latency  : median {dormant_med * 1e3:8.1f} ms/job "
+        f"(dormant, {n_jobs} jobs)",
+        f"armed-but-idle    : median {armed_med * 1e3:8.1f} ms/job "
+        f"({armed_delta_pct:+.1f}% vs dormant; informational)",
+        "",
+        f"modeled dormant chaos+CRC cost: {modeled_s * 1e6:.1f} us/job "
+        f"({FRAMES_PER_JOB} frames x (2xCRC + hook) + "
+        f"{PROBE_WALKERS} dispatch hooks)",
+        f"share of dispatch latency     : {fraction_pct:.3f}% "
+        f"(allowed <= {args.max_overhead_pct:.1f}%)",
+    ]
+
+    ok = fraction_pct <= args.max_overhead_pct
+    lines.append(
+        "PASS" if ok else
+        f"FAIL: dormant chaos+CRC costs {fraction_pct:.2f}% of dispatch "
+        f"latency (allowed {args.max_overhead_pct:.1f}%)"
+    )
+
+    text = "\n".join(lines)
+    print(text)
+    ARTIFACT.parent.mkdir(exist_ok=True)
+    ARTIFACT.write_text(text + "\n", encoding="utf-8")
+    print(f"[artifact written to {ARTIFACT}]")
+
+    import json
+
+    json_path = Path(args.json) if args.json else JSON_ARTIFACT
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text(
+        json.dumps(
+            {
+                "bench": "chaos_overhead",
+                "hook_probe_ns": hook_s * 1e9,
+                "crc_us_per_frame": crc_s * 1e6,
+                "crc_body_bytes": body_bytes,
+                "frames_per_job": FRAMES_PER_JOB,
+                "dispatch_ms": {
+                    "dormant_median": dormant_med * 1e3,
+                    "armed_idle_median": armed_med * 1e3,
+                    "armed_delta_pct": armed_delta_pct,
+                },
+                "modeled_overhead_us": modeled_s * 1e6,
+                "overhead_pct": fraction_pct,
+                "max_overhead_pct": args.max_overhead_pct,
+                "jobs": n_jobs,
+                "pass": ok,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"[json written to {json_path}]")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

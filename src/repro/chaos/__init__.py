@@ -1,0 +1,61 @@
+"""Seeded, deterministic fault injection for the parallel / distributed
+solver stack.
+
+The package has three layers:
+
+``repro.chaos.plan``
+    :class:`FaultPlan` — a seeded schedule of typed fault specs
+    (:class:`FrameFault`, :class:`WalkFault`, :class:`NodeFault`,
+    :class:`CoordinatorCrash`).  Every injection decision is a pure
+    function of the plan seed and the query sequence, so a scenario
+    replays identically from the same seed.
+
+``repro.chaos.hooks``
+    the process-global injection point the hot paths consult.  When no
+    plan is installed the hook is one attribute load and an ``is None``
+    branch — dormant chaos costs nothing (gated by
+    ``benchmarks/bench_chaos_overhead.py``).
+
+``repro.chaos.scenarios`` / ``repro.chaos.runner``
+    named end-to-end failure drills (worker crash, corrupt frame, node
+    partition, coordinator crash mid-job, straggler hedge) replayed
+    against a :class:`~repro.net.testing.LocalCluster` by seed —
+    ``repro chaos <name>`` on the command line, ``tests/chaos/`` in CI.
+"""
+
+from repro.chaos import hooks
+from repro.chaos.plan import (
+    CoordinatorCrash,
+    FaultPlan,
+    FrameFault,
+    NodeFault,
+    WalkFault,
+    fault_from_dict,
+    plan_from_dict,
+)
+from repro.chaos.runner import (
+    ScenarioReport,
+    run_all,
+    run_custom,
+    run_scenario,
+)
+from repro.chaos.scenarios import SCENARIO_NAMES, build_plan
+from repro.errors import ChaosError
+
+__all__ = [
+    "ChaosError",
+    "CoordinatorCrash",
+    "FaultPlan",
+    "FrameFault",
+    "NodeFault",
+    "SCENARIO_NAMES",
+    "ScenarioReport",
+    "WalkFault",
+    "build_plan",
+    "fault_from_dict",
+    "hooks",
+    "plan_from_dict",
+    "run_all",
+    "run_custom",
+    "run_scenario",
+]

@@ -1,0 +1,53 @@
+"""The process-global chaos hook.
+
+Production seams never hold a plan reference; they ask this module.  The
+cost when chaos is off — the only case that matters for performance — is
+one module-attribute load and one ``is None`` branch (see
+``benchmarks/bench_chaos_overhead.py``, which gates exactly that).
+
+Only one plan can be active per process at a time: fault injection is a
+whole-process mode, not a per-object feature, mirroring how a real fault
+(a dying host, a flaky NIC) is not scoped to one connection either.
+In-process harnesses (:class:`~repro.net.testing.LocalCluster`) install
+the plan on start and uninstall on stop; the :func:`chaos` context manager
+does the same for hand-rolled tests.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.chaos.plan import FaultPlan
+
+__all__ = ["install", "uninstall", "active", "chaos"]
+
+_active: Optional[FaultPlan] = None
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Arm ``plan`` and make it the process-wide active plan."""
+    global _active
+    _active = plan.arm()
+    return plan
+
+
+def uninstall() -> None:
+    """Deactivate fault injection (idempotent)."""
+    global _active
+    _active = None
+
+
+def active() -> Optional[FaultPlan]:
+    """The installed plan, or ``None`` — the one hot-path query."""
+    return _active
+
+
+@contextmanager
+def chaos(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the duration of a ``with`` block."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall()

@@ -1,0 +1,338 @@
+"""Named failure drills — each a small cluster workload plus a seeded
+:class:`~repro.chaos.plan.FaultPlan` that injects exactly one failure
+mode, with pass/fail checks asserting the stack recovered the way the
+failure model says it must.
+
+Every scenario is deterministic in the plan's injection sequence: the
+same seed produces the same ``plan.log`` (which faults fired, where).
+Wall-clock timings naturally vary, but the *decisions* replay.
+
+The five drills cover the failure matrix end to end:
+
+``worker-crash``
+    a pool worker hard-exits mid-walk (``os._exit``); the node-local
+    scheduler respawns the worker and retries the walk — the job solves.
+``corrupt-frame``
+    a walk-result frame is bit-flipped on the wire; protocol CRC rejects
+    it, the coordinator drops the connection, the node is declared lost
+    and its walks re-dispatch — the job solves on the survivor.
+``node-partition``
+    a node stops heartbeating (partition, not crash — its pool keeps
+    burning CPU); the failure detector declares it dead and re-dispatches
+    — the surviving node wins.
+``coordinator-crash-mid-job``
+    the coordinator dies (``kill -9`` semantics: no goodbye, no final
+    fsync) on the first walk result; a fresh coordinator replays the
+    write-ahead journal, re-dispatches the in-flight job, and the
+    reconnecting client collects the result via its idempotent
+    ``client_key`` — exactly one winner.
+``straggler-hedge``
+    one walk runs ~10x slower than its siblings; the coordinator hedges
+    a clean copy onto another node and the job finishes far below the
+    straggler's floor, with the hedge visible in the merged trace.
+
+Scenario functions lazily import ``repro.net.testing`` — the protocol
+module imports this package for its frame-fault hook, so a top-level
+import here would be circular.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.chaos.plan import (
+    CoordinatorCrash,
+    FaultPlan,
+    FrameFault,
+    NodeFault,
+    WalkFault,
+)
+from repro.core.config import AdaptiveSearchConfig
+from repro.errors import ChaosError
+
+__all__ = ["SCENARIO_NAMES", "build_plan", "get_scenario"]
+
+# one walk is slowed to this many seconds *per iteration*; with the
+# iteration budget below, its no-hedge completion floor is
+# STRAGGLER_ITERATIONS * STRAGGLER_DELAY seconds of pure sleep.
+STRAGGLER_DELAY = 0.01
+STRAGGLER_ITERATIONS = 1500
+
+# a generous per-walk budget for solvable workloads: first finisher wins
+# long before any walk exhausts it.
+_BIG = AdaptiveSearchConfig(max_iterations=100_000_000)
+
+
+def build_plan(name: str, seed: int = 0) -> FaultPlan:
+    """The fault plan a named scenario injects, reseeded to ``seed``.
+
+    Exposed separately from the run so determinism can be asserted on
+    the plan alone (same seed, same query sequence, same log) without
+    booting a cluster.
+    """
+    if name == "worker-crash":
+        faults = [WalkFault("exit", walk_id=0)]
+    elif name == "corrupt-frame":
+        faults = [FrameFault("corrupt", message_type="walk_result")]
+    elif name == "node-partition":
+        faults = [NodeFault("partition", node="node-0")]
+    elif name == "coordinator-crash-mid-job":
+        faults = [CoordinatorCrash("walk_result")]
+    elif name == "straggler-hedge":
+        faults = [
+            WalkFault("slow", walk_id=3, iteration_delay=STRAGGLER_DELAY)
+        ]
+    else:
+        raise ChaosError(
+            f"unknown chaos scenario {name!r}; known: "
+            f"{', '.join(SCENARIO_NAMES)}"
+        )
+    return FaultPlan(faults, seed=seed, name=name)
+
+
+def _problem(n: int):
+    from repro.problems import make_problem
+
+    return make_problem("magic_square", n=n)
+
+
+# ----------------------------------------------------------------------
+# scenario bodies: each returns (checks, details); the runner wraps them
+# in a ScenarioReport.  ``workdir`` is a scenario-private temp directory.
+
+
+def _run_worker_crash(
+    plan: FaultPlan, workdir: Path
+) -> tuple[dict[str, bool], dict[str, Any]]:
+    from repro.net.testing import LocalCluster
+    from repro.service.jobs import JobStatus
+
+    with LocalCluster(
+        n_nodes=1,
+        workers_per_node=2,
+        heartbeat_interval=0.1,
+        heartbeat_timeout=2.0,
+        chaos=plan,
+    ) as cluster:
+        client = cluster.client()
+        problem = _problem(10)
+        result = client.submit(problem, 2, seed=7, config=_BIG).result(
+            timeout=120
+        )
+    fired = [e for e in plan.log if e["site"] == "walk"]
+    return (
+        {
+            "solved": result.status is JobStatus.SOLVED,
+            "valid_solution": result.best_config is not None
+            and bool(problem.is_solution(result.best_config)),
+            "worker_killed": any(
+                e["action"] == "exit" for e in fired
+            ),
+        },
+        {"cost": result.best_cost, "faults_fired": len(plan.log)},
+    )
+
+
+def _run_corrupt_frame(
+    plan: FaultPlan, workdir: Path
+) -> tuple[dict[str, bool], dict[str, Any]]:
+    from repro.net.testing import LocalCluster
+    from repro.service.jobs import JobStatus
+
+    with LocalCluster(
+        n_nodes=2,
+        workers_per_node=1,
+        heartbeat_interval=0.1,
+        heartbeat_timeout=1.0,
+        chaos=plan,
+    ) as cluster:
+        client = cluster.client()
+        problem = _problem(10)
+        result = client.submit(problem, 2, seed=3, config=_BIG).result(
+            timeout=120
+        )
+        counters = dict(cluster.coordinator.counters)
+    fired = [e for e in plan.log if e["site"] == "frame"]
+    return (
+        {
+            "solved": result.status is JobStatus.SOLVED,
+            "frame_corrupted": any(
+                e["action"] == "corrupt" for e in fired
+            ),
+            "sender_dropped": counters.get("nodes_lost", 0) >= 1,
+            "walks_redispatched": counters.get("redispatches", 0) >= 1,
+        },
+        {"counters": counters},
+    )
+
+
+def _run_node_partition(
+    plan: FaultPlan, workdir: Path
+) -> tuple[dict[str, bool], dict[str, Any]]:
+    from repro.net.testing import LocalCluster
+    from repro.service.jobs import JobStatus
+
+    # node-0 is partitioned from t=0: it registers and accepts walks,
+    # but its heartbeats and results never reach the coordinator.  The
+    # job is submitted while node-0 is the only node, so it can only
+    # complete via dead-node detection + re-dispatch onto node-1, which
+    # joins after the walks are already stuck behind the partition.
+    with LocalCluster(
+        n_nodes=1,
+        workers_per_node=2,
+        heartbeat_interval=0.1,
+        heartbeat_timeout=1.0,
+        chaos=plan,
+    ) as cluster:
+        client = cluster.client()
+        problem = _problem(10)
+        handle = client.submit(problem, 2, seed=2, config=_BIG)
+        cluster.add_agent()  # node-1, the healthy survivor
+        result = handle.result(timeout=300)
+        counters = dict(cluster.coordinator.counters)
+        survivors = cluster.live_node_names()
+    return (
+        {
+            "solved": result.status is JobStatus.SOLVED,
+            "partitioned_node_declared_dead": counters.get(
+                "nodes_lost", 0
+            )
+            >= 1,
+            "survivor_won": result.winner_node == "node-1",
+            "partition_fired": any(
+                e["site"] == "node" and e["action"] == "partition"
+                for e in plan.log
+            ),
+        },
+        {"counters": counters, "survivors": survivors},
+    )
+
+
+def _run_coordinator_crash(
+    plan: FaultPlan, workdir: Path
+) -> tuple[dict[str, bool], dict[str, Any]]:
+    from repro.net.testing import LocalCluster
+    from repro.service.jobs import JobStatus
+
+    journal = workdir / "coordinator.journal"
+    cluster = LocalCluster(
+        n_nodes=2,
+        workers_per_node=1,
+        heartbeat_interval=0.1,
+        heartbeat_timeout=1.0,
+        chaos=plan,
+        journal=journal,
+    )
+    try:
+        cluster.start()
+        client = cluster.client(reconnect=True, reconnect_backoff=0.05)
+        problem = _problem(10)
+        handle = client.submit(problem, 2, seed=5, config=_BIG)
+        # the plan kills the coordinator when the first walk result
+        # arrives; wait for the crash, then restart from the journal.
+        deadline = time.monotonic() + 60.0
+        while (
+            not cluster.coordinator.crashed
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.02)
+        crashed = cluster.coordinator.crashed
+        cluster.restart_coordinator()
+        result = handle.result(timeout=120)
+        counters = dict(cluster.coordinator.counters)
+        reconnects = client.reconnects
+    finally:
+        cluster.stop()
+    return (
+        {
+            "coordinator_crashed": crashed,
+            "solved_after_restart": result.status is JobStatus.SOLVED,
+            "job_recovered_from_journal": counters.get(
+                "recovered_jobs", 0
+            )
+            >= 1,
+            "client_reconnected": reconnects >= 1,
+            "journal_survived": journal.exists(),
+        },
+        {"counters": counters, "reconnects": reconnects},
+    )
+
+
+def _run_straggler_hedge(
+    plan: FaultPlan, workdir: Path
+) -> tuple[dict[str, bool], dict[str, Any]]:
+    from repro.net.testing import LocalCluster
+    from repro.telemetry.timeline import analyze_trace, load_trace
+
+    trace_dir = workdir / "trace"
+    # budget-capped walks on a board too big to solve in the budget:
+    # every walk runs its full budget, so the slowed walk *is* the
+    # completion bottleneck unless the coordinator hedges around it.
+    config = AdaptiveSearchConfig(max_iterations=STRAGGLER_ITERATIONS)
+    no_hedge_floor = STRAGGLER_ITERATIONS * STRAGGLER_DELAY
+    start = time.monotonic()
+    with LocalCluster(
+        n_nodes=2,
+        workers_per_node=2,
+        heartbeat_interval=0.1,
+        heartbeat_timeout=5.0,
+        chaos=plan,
+        hedge_factor=3.0,
+        trace_dir=trace_dir,
+    ) as cluster:
+        client = cluster.client()
+        problem = _problem(30)
+        result = client.submit(problem, 4, seed=1, config=config).result(
+            timeout=120
+        )
+        counters = dict(cluster.coordinator.counters)
+    wall = time.monotonic() - start
+    summary = analyze_trace(load_trace(trace_dir))
+    return (
+        {
+            "job_completed": len(result.walks) == 4,
+            "hedged": counters.get("hedges", 0) >= 1,
+            # without a hedge the job cannot finish before the slowed
+            # walk sleeps through its full budget — beating that floor
+            # proves the hedge beat the no-hedge wall-clock.
+            "beat_no_hedge_floor": wall < no_hedge_floor,
+            "hedge_in_trace": len(summary.hedges) >= 1,
+            "slowdown_fired": any(
+                e["site"] == "walk" and e["action"] == "slow"
+                for e in plan.log
+            ),
+        },
+        {
+            "wall": round(wall, 3),
+            "no_hedge_floor": no_hedge_floor,
+            "counters": counters,
+            "hedge_events": summary.hedges,
+        },
+    )
+
+
+_SCENARIOS: dict[
+    str, Callable[[FaultPlan, Path], tuple[dict[str, bool], dict[str, Any]]]
+] = {
+    "worker-crash": _run_worker_crash,
+    "corrupt-frame": _run_corrupt_frame,
+    "node-partition": _run_node_partition,
+    "coordinator-crash-mid-job": _run_coordinator_crash,
+    "straggler-hedge": _run_straggler_hedge,
+}
+
+SCENARIO_NAMES: tuple[str, ...] = tuple(_SCENARIOS)
+
+
+def get_scenario(
+    name: str,
+) -> Callable[[FaultPlan, Path], tuple[dict[str, bool], dict[str, Any]]]:
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise ChaosError(
+            f"unknown chaos scenario {name!r}; known: "
+            f"{', '.join(SCENARIO_NAMES)}"
+        ) from None

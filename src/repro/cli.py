@@ -285,6 +285,9 @@ def cmd_coordinator(args: argparse.Namespace) -> int:
         args.port,
         heartbeat_timeout=args.heartbeat_timeout,
         max_redispatch=args.max_redispatch,
+        journal_path=args.journal,
+        hedge_factor=args.hedge_factor,
+        max_hedges=args.max_hedges,
     )
 
     async def _serve() -> None:
@@ -305,25 +308,37 @@ def cmd_coordinator(args: argparse.Namespace) -> int:
 
 
 def cmd_node(args: argparse.Namespace) -> int:
-    """Run one node agent against a coordinator until interrupted."""
+    """Run one node agent against a coordinator until interrupted.
+
+    With ``--reconnect`` the warm worker pool is started once and kept
+    across coordinator outages: when the connection drops, a fresh agent
+    handshake is retried against the same :class:`SolverService` with
+    exponential backoff, so a coordinator restart does not pay the pool
+    re-spawn cost on every node.
+    """
     import asyncio
 
+    from repro.errors import NetError
     from repro.net import NodeAgent, parse_address
 
     _forward_termination_signals()
     host, port = parse_address(args.connect)
     _configure_tracing(args, args.name or "node")
-    agent = NodeAgent(
-        host,
-        port,
-        n_workers=args.workers,
-        name=args.name,
-        heartbeat_interval=args.heartbeat_interval,
-        poll_every=args.poll_every,
-        mp_context=args.mp_context,
-    )
 
-    async def _run() -> None:
+    def _agent(service=None) -> NodeAgent:
+        return NodeAgent(
+            host,
+            port,
+            n_workers=args.workers,
+            name=args.name,
+            heartbeat_interval=args.heartbeat_interval,
+            poll_every=args.poll_every,
+            mp_context=args.mp_context,
+            service=service,
+        )
+
+    async def _run_once() -> None:
+        agent = _agent()
         try:
             await agent.start()
             print(
@@ -335,9 +350,48 @@ def cmd_node(args: argparse.Namespace) -> int:
         finally:
             await agent.stop()
 
+    async def _run_reconnecting() -> None:
+        from repro.service import SolverService
+
+        service = await asyncio.to_thread(
+            lambda: SolverService(
+                n_workers=args.workers,
+                poll_every=args.poll_every,
+                mp_context=args.mp_context,
+            ).start()
+        )
+        delay = 0.5
+        try:
+            while True:
+                agent = _agent(service=service)
+                try:
+                    await agent.start()
+                    delay = 0.5
+                    print(
+                        f"node {agent.name} connected to {host}:{port} "
+                        f"({agent.n_workers} workers)",
+                        flush=True,
+                    )
+                    await agent.closed.wait()
+                except NetError as err:
+                    print(f"node: {err}", file=sys.stderr)
+                finally:
+                    await agent.stop()
+                print(
+                    f"node disconnected; retrying in {delay:.1f}s",
+                    file=sys.stderr,
+                )
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, 10.0)
+        finally:
+            await asyncio.to_thread(service.shutdown, wait_jobs=False)
+
     try:
-        asyncio.run(_run())
-        print("node disconnected", file=sys.stderr)
+        if args.reconnect:
+            asyncio.run(_run_reconnecting())
+        else:
+            asyncio.run(_run_once())
+            print("node disconnected", file=sys.stderr)
     except KeyboardInterrupt:
         print("node stopped", file=sys.stderr)
     return 0
@@ -380,7 +434,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
     problem = make_problem(args.family, **_parse_params(args.set))
     config = _solver_config(args)
     _configure_tracing(args, "client")
-    with ClusterClient(args.connect) as client:
+    with ClusterClient(args.connect, reconnect=args.reconnect) as client:
         result = client.solve(
             problem,
             args.walkers,
@@ -394,6 +448,51 @@ def cmd_submit(args: argparse.Namespace) -> int:
         if result.solved and args.render and hasattr(problem, "render"):
             print(problem.render(result.config))
     return 0 if result.solved else 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Replay deterministic failure drills against an in-process cluster."""
+    from repro.chaos import (
+        SCENARIO_NAMES,
+        plan_from_dict,
+        run_custom,
+        run_scenario,
+    )
+
+    if args.list:
+        for name in SCENARIO_NAMES:
+            print(name)
+        return 0
+    if args.file:
+        import json
+        from pathlib import Path
+
+        from repro.errors import ChaosError
+
+        try:
+            spec = json.loads(Path(args.file).read_text())
+        except OSError as err:
+            raise ChaosError(f"cannot read fault plan: {err}") from err
+        except json.JSONDecodeError as err:
+            raise ChaosError(
+                f"fault plan {args.file} is not valid JSON: {err}"
+            ) from err
+        plan = plan_from_dict(spec)
+        if args.seed:
+            plan = plan.reseeded(args.seed)
+        report = run_custom(plan)
+        print(report.summary())
+        return 0 if report.passed else 1
+    names = (
+        list(SCENARIO_NAMES) if args.scenario == "all" else [args.scenario]
+    )
+    reports = [run_scenario(name, seed=args.seed) for name in names]
+    for report in reports:
+        print(report.summary())
+    failed = [r.name for r in reports if not r.passed]
+    if failed:
+        print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -624,6 +723,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-dispatches of a job's walks off dead nodes before it fails",
     )
     p_coord.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="write-ahead job journal; a restarted coordinator given the "
+        "same path recovers and re-dispatches in-flight jobs",
+    )
+    p_coord.add_argument(
+        "--hedge-factor",
+        type=float,
+        default=None,
+        metavar="F",
+        help="hedge a straggler walk once it runs F times longer than the "
+        "median completed walk (default: hedging off)",
+    )
+    p_coord.add_argument(
+        "--max-hedges",
+        type=int,
+        default=2,
+        help="with --hedge-factor: hedged re-dispatches allowed per job",
+    )
+    p_coord.add_argument(
         "--trace",
         default=None,
         metavar="DIR",
@@ -663,6 +783,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("fork", "spawn", "forkserver"),
         default=None,
         help="multiprocessing start method for the local pool",
+    )
+    p_node.add_argument(
+        "--reconnect",
+        action="store_true",
+        help="keep the warm pool alive across coordinator outages and "
+        "re-handshake with exponential backoff instead of exiting",
     )
     p_node.add_argument(
         "--trace",
@@ -707,6 +833,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--render", action="store_true", help="pretty-print the solution"
     )
     p_submit.add_argument(
+        "--reconnect",
+        action="store_true",
+        help="survive coordinator restarts: redial with backoff and "
+        "resubmit the in-flight job idempotently",
+    )
+    p_submit.add_argument(
         "--trace",
         default=None,
         metavar="DIR",
@@ -715,6 +847,34 @@ def build_parser() -> argparse.ArgumentParser:
         "for a full cluster timeline)",
     )
     p_submit.set_defaults(func=cmd_submit)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="replay a deterministic failure drill against a local cluster",
+    )
+    p_chaos.add_argument(
+        "scenario",
+        nargs="?",
+        default="all",
+        help="scenario name (see --list) or 'all'",
+    )
+    p_chaos.add_argument(
+        "--list", action="store_true", help="list the named scenarios"
+    )
+    p_chaos.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fault-plan seed; the same seed replays the same injections",
+    )
+    p_chaos.add_argument(
+        "--file",
+        default=None,
+        metavar="PATH",
+        help="run a custom fault plan from a JSON file instead of a named "
+        "scenario (see repro.chaos.plan_from_dict for the schema)",
+    )
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_trace = sub.add_parser(
         "trace", help="merge recorded trace files into a timeline + report"

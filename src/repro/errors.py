@@ -14,6 +14,7 @@ __all__ = [
     "SolverError",
     "ParallelError",
     "NetError",
+    "ChaosError",
     "TelemetryError",
     "SimulationError",
     "ExperimentError",
@@ -43,6 +44,10 @@ class ParallelError(ReproError):
 
 class NetError(ReproError):
     """Failures of the distributed coordinator/node backend."""
+
+
+class ChaosError(ReproError):
+    """Invalid fault plan, scenario, or chaos-runner request."""
 
 
 class TelemetryError(ReproError):

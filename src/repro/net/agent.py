@@ -83,6 +83,11 @@ class NodeAgent:
     service:
         an existing started :class:`SolverService` to borrow instead of
         owning one (tests share a pool across in-process agents).
+    chaos:
+        optional :class:`~repro.chaos.plan.FaultPlan`; node faults
+        (``kill`` / ``partition`` / ``stall``) matching this agent's name
+        are enacted from the heartbeat loop, and the plan is forwarded to
+        the owned local service for walk-fault injection.
     recorder:
         telemetry recorder handed to the *owned* local service, so traced
         assignments produce dispatch/walk events in this node's trace file
@@ -102,6 +107,7 @@ class NodeAgent:
         mp_context: str | None = None,
         pump_interval: float = 0.01,
         service: SolverService | None = None,
+        chaos: Any = None,
         recorder: Recorder | None = None,
     ) -> None:
         if heartbeat_interval <= 0:
@@ -115,12 +121,16 @@ class NodeAgent:
         self.pump_interval = pump_interval
         self._service = service
         self._owns_service = service is None
+        self.chaos = chaos
+        if chaos is not None:
+            chaos.arm()
         self.recorder = recorder
         self._service_kwargs = {
             "n_workers": n_workers,
             "poll_every": poll_every,
             "mp_context": mp_context,
             "recorder": recorder,
+            "chaos": chaos,
         }
         self._last_load: dict[str, Any] | None = None
         self.n_workers = service.n_workers if service is not None else n_workers
@@ -319,9 +329,26 @@ class NodeAgent:
         async with self._send_lock:
             await write_message(self._writer, message)
 
+    def _node_state(self) -> str:
+        """This node's chaos state ("ok" when no plan targets it)."""
+        if self.chaos is None:
+            return "ok"
+        return self.chaos.node_state(self.name)
+
     async def _heartbeat_loop(self) -> None:
         assert self._service is not None
         while True:
+            state = self._node_state()
+            if state == "kill":
+                # abrupt death, scheduled so this task can be cancelled
+                # from inside the teardown it triggers
+                asyncio.ensure_future(self.kill())
+                return
+            if state in ("partition", "stall"):
+                # silent: the coordinator's failure detector sees exactly
+                # a hung/unreachable host (no heartbeat, connection alive)
+                await asyncio.sleep(self.heartbeat_interval)
+                continue
             load = self._service.metrics.to_json()
             if self._last_load is None:
                 # first beat (and after any reconnect-from-scratch): the
@@ -338,6 +365,9 @@ class NodeAgent:
                 }
             self._last_load = load
             fields["running_walks"] = self._outstanding_walks()
+            # protocol v3: per-walk progress rides in the heartbeat and
+            # feeds the coordinator's straggler detector
+            fields["progress"] = self._service.walk_progress()
             try:
                 await self._send(Message("heartbeat", fields))
             except (ConnectionError, OSError):
@@ -356,6 +386,11 @@ class NodeAgent:
     async def _pump_loop(self) -> None:
         """Stream finished walks to the coordinator as they complete."""
         while True:
+            if self._node_state() == "partition":
+                # hold results back (not marked reported) so they flow
+                # the moment the partition heals
+                await asyncio.sleep(self.pump_interval)
+                continue
             for key in list(self._slices):
                 slice_state = self._slices.get(key)
                 if slice_state is None:

@@ -14,14 +14,25 @@ per-walk :class:`~numpy.random.SeedSequence` list with
 ships it whole; the *coordinator* partitions walk indices across nodes.
 A cluster solve with job seed ``s`` therefore races the identical walk
 trajectories as ``solve_parallel(..., seed=s)`` on one host.
+
+Resilience (``reconnect=True``): every submit carries a UUID
+``client_key`` and keeps its wire frame around; when the coordinator
+connection drops, the reader thread redials with exponential backoff plus
+jitter and *resubmits* every unanswered job under its original key.  The
+coordinator deduplicates on the key — it re-attaches the client to the
+still-running job or replays the cached result, so a coordinator restart
+(or a network blip) costs a client nothing but latency.  Stats waiters
+are not replayed; they fail fast on disconnect.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 import socket
 import threading
 import time
+import uuid
 from typing import Any, Optional, Sequence
 
 import numpy as np
@@ -68,10 +79,15 @@ class NetJobHandle:
         self.request_id = request_id
         self.job_id: Optional[int] = None
         self.trace_id: str = ""
+        #: idempotency key; the coordinator dedupes resubmissions on it
+        self.client_key: str = ""
         self._event = threading.Event()
         self._result: Optional[NetJobResult] = None
         self._error: Optional[str] = None
         self._submitted_wall = 0.0
+        #: original submit frame, kept for replay after a reconnect
+        self._submit_fields: dict[str, Any] = {}
+        self._submit_blob: Optional[bytes] = None
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -107,6 +123,14 @@ class ClusterClient:
         coordinator endpoint — ``(host, port)`` or ``"host:port"``.
     connect_timeout:
         seconds allowed for TCP connect + handshake.
+    reconnect:
+        survive coordinator restarts: redial with backoff on connection
+        loss and resubmit unanswered jobs under their ``client_key`` (see
+        module docstring).  The coordinator also keeps this client's jobs
+        running while it is away instead of cancelling them.
+    reconnect_backoff / reconnect_max_delay / max_reconnect_attempts:
+        exponential-backoff schedule of the redial loop; each wait is
+        jittered to half-to-full of the nominal delay.
     recorder:
         telemetry recorder for client-side submit/finish events; defaults
         to the process recorder (disabled unless configured).  Every
@@ -120,29 +144,35 @@ class ClusterClient:
         address: Any,
         *,
         connect_timeout: float = 10.0,
+        reconnect: bool = False,
+        reconnect_backoff: float = 0.05,
+        reconnect_max_delay: float = 2.0,
+        max_reconnect_attempts: int = 20,
         recorder: Recorder | None = None,
     ) -> None:
         self.address = parse_address(address)
         self.connect_timeout = connect_timeout
+        self.reconnect = reconnect
+        self.reconnect_backoff = reconnect_backoff
+        self.reconnect_max_delay = reconnect_max_delay
+        self.max_reconnect_attempts = max_reconnect_attempts
         self.recorder = recorder if recorder is not None else get_recorder()
         self._sock: socket.socket | None = None
         self._reader: threading.Thread | None = None
         self._send_lock = threading.Lock()
         self._state_lock = threading.Lock()
+        self._connected = threading.Event()
         self._request_ids = itertools.count()
         self._by_request: dict[int, NetJobHandle] = {}
         self._stats_waiters: dict[int, tuple[threading.Event, list]] = {}
         self._closed = False
+        self.reconnects = 0
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def connect(self) -> "ClusterClient":
-        """Dial and handshake (idempotent)."""
-        if self._sock is not None:
-            return self
-        if self._closed:
-            raise NetError("cluster client is closed")
+    def _dial(self) -> socket.socket:
+        """TCP connect + handshake; returns the ready socket."""
         host, port = self.address
         try:
             sock = socket.create_connection(
@@ -157,7 +187,11 @@ class ClusterClient:
                 sock,
                 Message(
                     "hello",
-                    {"role": "client", "protocol": PROTOCOL_VERSION},
+                    {
+                        "role": "client",
+                        "protocol": PROTOCOL_VERSION,
+                        "reconnect": self.reconnect,
+                    },
                 ),
             )
             welcome = recv_message(sock)
@@ -174,7 +208,16 @@ class ClusterClient:
             sock.close()
             raise NetError(f"coordinator rejected client: {detail}")
         sock.settimeout(None)
-        self._sock = sock
+        return sock
+
+    def connect(self) -> "ClusterClient":
+        """Dial and handshake (idempotent)."""
+        if self._sock is not None:
+            return self
+        if self._closed:
+            raise NetError("cluster client is closed")
+        self._sock = self._dial()
+        self._connected.set()
         self._reader = threading.Thread(
             target=self._read_loop, name="repro-net-client", daemon=True
         )
@@ -189,6 +232,7 @@ class ClusterClient:
             self._closed = True
             sock = self._sock
             self._sock = None
+        self._connected.set()  # release any sender waiting on a reconnect
         if sock is not None:
             try:
                 sock.shutdown(socket.SHUT_RDWR)
@@ -216,8 +260,16 @@ class ClusterClient:
         *,
         config: AdaptiveSearchConfig | None = None,
         seeds: Sequence[np.random.SeedSequence] | None = None,
+        deadline: float | None = None,
+        client_key: str | None = None,
     ) -> NetJobHandle:
-        """Submit one multi-walk job to the cluster; returns immediately."""
+        """Submit one multi-walk job to the cluster; returns immediately.
+
+        ``deadline`` (seconds) is enforced coordinator-side: an overdue
+        job comes back ``TIMED_OUT`` and ``degraded`` with best-so-far
+        outcomes.  ``client_key`` defaults to a fresh UUID — supply your
+        own to make retries across *client* restarts idempotent too.
+        """
         self.connect()
         if seeds is not None:
             seed_list = list(seeds)
@@ -228,11 +280,35 @@ class ClusterClient:
                 )
         else:
             seed_list = walk_seeds(n_walkers, seed)
+        # pickle eagerly, in the caller's frame: an un-picklable problem
+        # must fail fast here with the offending type named, not surface
+        # as a remote crash loop
+        try:
+            blob = pickle_blob(
+                {
+                    "problem": problem,
+                    "config": config,
+                    "seeds": seed_list,
+                }
+            )
+        except Exception as err:
+            raise NetError(
+                f"problem {type(problem).__name__!r} is not picklable and "
+                f"cannot be submitted to the cluster: {err}"
+            ) from err
         with self._state_lock:
             request_id = next(self._request_ids)
             handle = NetJobHandle(request_id)
             handle.trace_id = new_trace_id()
+            handle.client_key = client_key or uuid.uuid4().hex
             handle._submitted_wall = time.time()
+            handle._submit_fields = {
+                "n_walkers": n_walkers,
+                "trace_id": handle.trace_id,
+                "client_key": handle.client_key,
+                "deadline": deadline,
+            }
+            handle._submit_blob = blob
             self._by_request[request_id] = handle
         if self.recorder.enabled:
             self.recorder.emit(
@@ -245,18 +321,8 @@ class ClusterClient:
         self._send(
             Message(
                 "submit",
-                {
-                    "request_id": request_id,
-                    "n_walkers": n_walkers,
-                    "trace_id": handle.trace_id,
-                },
-                blob=pickle_blob(
-                    {
-                        "problem": problem,
-                        "config": config,
-                        "seeds": seed_list,
-                    }
-                ),
+                {"request_id": request_id, **handle._submit_fields},
+                blob=blob,
             )
         )
         return handle
@@ -292,6 +358,9 @@ class ClusterClient:
 
     # ------------------------------------------------------------------
     def _send(self, message: Message) -> None:
+        if self.reconnect and not self._closed:
+            # ride out an in-progress reconnect instead of failing the call
+            self._connected.wait(self.connect_timeout)
         sock = self._sock
         if sock is None:
             raise NetError("cluster client is not connected")
@@ -302,18 +371,92 @@ class ClusterClient:
             raise NetError(f"lost coordinator connection: {err}") from None
 
     def _read_loop(self) -> None:
-        sock = self._sock
-        error = "coordinator closed the connection"
-        try:
-            while sock is not None:
-                message = recv_message(sock)
-                if message is None:
-                    break
-                self._on_message(message)
-        except (OSError, NetError) as err:
-            if not self._closed:
-                error = f"coordinator connection failed: {err}"
-        self._fail_all(error)
+        while True:
+            sock = self._sock
+            error = "coordinator closed the connection"
+            try:
+                while sock is not None:
+                    message = recv_message(sock)
+                    if message is None:
+                        break
+                    self._on_message(message)
+            except (OSError, NetError) as err:
+                if not self._closed:
+                    error = f"coordinator connection failed: {err}"
+            if self._closed or not self.reconnect:
+                self._fail_all(error)
+                return
+            # connection lost but resilience is on: fail only the stats
+            # waiters (not replayable), then redial and resubmit jobs
+            self._connected.clear()
+            with self._state_lock:
+                self._sock = None
+                stats_waiters = list(self._stats_waiters.values())
+                self._stats_waiters.clear()
+            for event, _ in stats_waiters:
+                event.set()
+            if not self._reconnect():
+                self._fail_all(
+                    f"{error}; reconnect gave up after "
+                    f"{self.max_reconnect_attempts} attempts"
+                )
+                return
+
+    def _reconnect(self) -> bool:
+        """Redial with exponential backoff + jitter; replay in-flight jobs."""
+        delay = self.reconnect_backoff
+        for _ in range(self.max_reconnect_attempts):
+            if self._closed:
+                return False
+            time.sleep(delay * (0.5 + 0.5 * random.random()))
+            delay = min(delay * 2, self.reconnect_max_delay)
+            try:
+                sock = self._dial()
+            except NetError:
+                continue
+            with self._state_lock:
+                if self._closed:
+                    sock.close()
+                    return False
+                self._sock = sock
+            self.reconnects += 1
+            self._connected.set()
+            self._resubmit_inflight()
+            return True
+        return False
+
+    def _resubmit_inflight(self) -> None:
+        """Resubmit every unanswered job under its original client_key.
+
+        Fresh request ids, identical keys and payloads: the coordinator
+        either re-attaches us to the still-running job or replays the
+        finished result — never a second run.
+        """
+        with self._state_lock:
+            handles = [
+                h for h in self._by_request.values()
+                if h._submit_blob is not None
+            ]
+            self._by_request.clear()
+            for handle in handles:
+                handle.request_id = next(self._request_ids)
+                self._by_request[handle.request_id] = handle
+        for handle in handles:
+            try:
+                self._send(
+                    Message(
+                        "submit",
+                        {
+                            "request_id": handle.request_id,
+                            **handle._submit_fields,
+                        },
+                        blob=handle._submit_blob,
+                    )
+                )
+            except NetError:
+                # the new connection died already; the read loop notices
+                # and the next reconnect cycle replays again
+                return
 
     def _on_message(self, message: Message) -> None:
         if message.type == "job_accepted":

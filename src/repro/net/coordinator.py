@@ -18,6 +18,23 @@ One asyncio TCP server owning all cluster-wide policy:
 - **re-dispatch** — a dead node's unfinished walk indices are re-assigned
   to the survivors under a bumped job generation, at most
   ``max_redispatch`` times per job, after which the job fails loudly;
+- **crash recovery** — with a ``journal_path``, every accepted job is
+  written ahead to a JSONL journal (see :mod:`repro.net.journal`); a
+  restarted coordinator replays the journal, re-creates every unfinished
+  job under a strictly larger generation (stale pre-crash reports stay
+  dropped) and re-dispatches it once nodes rejoin;
+- **idempotent resubmission** — submits may carry a client-supplied
+  ``client_key``; resubmitting the same key re-attaches the (reconnected)
+  client to the still-running job, or replays the cached result if the
+  job finished while the client was away — never a duplicate run;
+- **straggler hedging** — per-walk progress ships in node heartbeats;
+  once most of a job's walks are done, a walk that is both old and slow
+  relative to the finished median is *hedged*: a second copy of the same
+  seed and generation goes to another node, first copy wins, the loser is
+  dropped as stale (off by default, ``hedge_factor=None``);
+- **graceful degradation** — deadline expiry or unrecoverable cluster
+  loss finishes the job with ``degraded=True`` and every outcome
+  aggregated so far (best-so-far configuration) instead of raising;
 - **aggregation & stats** — walk outcomes are folded into one
   :class:`~repro.net.results.NetJobResult`; a ``stats`` request returns
   coordinator counters plus every node's last heartbeat load (the
@@ -33,10 +50,11 @@ from __future__ import annotations
 import asyncio
 import itertools
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Any, Optional
 
 from repro.errors import NetError
+from repro.net.journal import JobJournal, decode_payload, replay_journal
 from repro.net.protocol import (
     PROTOCOL_VERSION,
     Message,
@@ -57,6 +75,7 @@ from repro.telemetry.events import (
     CancelAck,
     CancelBroadcast,
     FirstSolve,
+    HedgeDispatch,
     JobDispatch,
     JobFinish,
     JobSubmit,
@@ -67,6 +86,9 @@ __all__ = ["Coordinator"]
 
 #: cancel round trips retained for the stats frame (ring buffer)
 _MAX_CANCEL_SAMPLES = 1024
+
+#: finished results cached for client_key replay (bounded LRU)
+_MAX_FINISHED_CACHE = 256
 
 
 class _Conn:
@@ -79,6 +101,9 @@ class _Conn:
         self.writer = writer
         self._send_lock = asyncio.Lock()
         self.closed = False
+        #: a resilient client (hello ``reconnect=True``) keeps its jobs
+        #: running on disconnect instead of having them cancelled
+        self.resilient = False
 
     async def send(self, message: Message) -> None:
         if self.closed:
@@ -116,21 +141,26 @@ class _NetJob:
         self,
         job_id: int,
         request_id: int,
-        client: _Conn,
+        client: Optional[_Conn],
         problem: Any,
         config: Any,
         seeds: list[Any],
         submitted_at: float,
         trace_id: str = "",
+        client_key: str = "",
     ) -> None:
         self.job_id = job_id
         self.trace_id = trace_id
         self.request_id = request_id
+        #: ``None`` while the owning client is disconnected (resilient
+        #: client away, or job recovered from the journal)
         self.client = client
+        self.client_key = client_key
         self.problem = problem
         self.config = config
         self.seeds = seeds
         self.submitted_at = submitted_at
+        self.deadline_at: Optional[float] = None
         self.generation = 0
         self.outstanding: set[int] = set(range(len(seeds)))
         self.outcomes: dict[int, Any] = {}
@@ -139,6 +169,14 @@ class _NetJob:
         self.winner_node: Optional[str] = None
         self.redispatches = 0
         self.error: Optional[str] = None
+        self.degraded = False
+        #: straggler bookkeeping: last dispatch time and heartbeat progress
+        #: per outstanding walk, wall times of finished walks, hedge caps
+        self.dispatched_at: dict[int, float] = {}
+        self.progress: dict[int, dict[str, Any]] = {}
+        self.completed_walls: list[float] = []
+        self.hedged: dict[int, int] = {}
+        self.hedge_count = 0
 
 
 class Coordinator:
@@ -157,6 +195,24 @@ class Coordinator:
     max_redispatch:
         how many times one job's slices may be moved off dead nodes before
         the job fails.
+    journal_path:
+        when set, a :class:`~repro.net.journal.JobJournal` write-ahead log
+        is kept there and replayed on :meth:`start` — unfinished jobs of a
+        crashed predecessor are re-created and re-dispatched.
+    hedge_factor:
+        straggler hedging threshold: once at least half of a job's walks
+        completed, an outstanding walk older than
+        ``hedge_factor x median(finished wall times)`` (and slower than
+        half the median iteration rate, when progress is known) gets a
+        second copy on another node.  ``None`` disables hedging.
+    max_hedges / min_hedge_delay:
+        per-job cap on hedged copies, and the floor below which no walk is
+        considered a straggler regardless of the median.
+    chaos:
+        optional :class:`~repro.chaos.plan.FaultPlan` consulted at the
+        ``submit`` / ``dispatch`` / ``walk_result`` / ``finish`` lifecycle
+        points; a firing plan crashes the coordinator there (the
+        in-process ``kill -9``).
     recorder:
         telemetry recorder for dispatch/cancel events; defaults to the
         process recorder (disabled unless configured).  Cancel round-trip
@@ -171,6 +227,11 @@ class Coordinator:
         heartbeat_timeout: float = 5.0,
         check_interval: float = 0.25,
         max_redispatch: int = 2,
+        journal_path: Any = None,
+        hedge_factor: float | None = None,
+        max_hedges: int = 2,
+        min_hedge_delay: float = 0.25,
+        chaos: Any = None,
         recorder: Recorder | None = None,
     ) -> None:
         if heartbeat_timeout <= 0:
@@ -181,14 +242,27 @@ class Coordinator:
             raise NetError(
                 f"max_redispatch must be >= 0, got {max_redispatch}"
             )
+        if hedge_factor is not None and hedge_factor <= 0:
+            raise NetError(f"hedge_factor must be > 0, got {hedge_factor}")
+        if max_hedges < 0:
+            raise NetError(f"max_hedges must be >= 0, got {max_hedges}")
         self.host = host
         self.port = port
         self.heartbeat_timeout = heartbeat_timeout
         self.check_interval = check_interval
         self.max_redispatch = max_redispatch
+        self.journal_path = journal_path
+        self.hedge_factor = hedge_factor
+        self.max_hedges = max_hedges
+        self.min_hedge_delay = min_hedge_delay
+        self.chaos = chaos
+        if chaos is not None:
+            chaos.arm()
 
         self._server: asyncio.AbstractServer | None = None
         self._watchdog: asyncio.Task | None = None
+        self._journal: JobJournal | None = None
+        self.crashed = False
         self._node_ids = itertools.count()
         self._job_ids = itertools.count()
         self._nodes: dict[int, _Node] = {}
@@ -196,6 +270,10 @@ class Coordinator:
         self._dispatch_offset = 0  # rotates the first node across dispatches
         self._pending: list[int] = []  # job ids waiting for a first node
         self._clients: set[_Conn] = set()
+        #: client_key -> job_id of the still-running job with that key
+        self._client_keys: dict[str, int] = {}
+        #: client_key -> finished NetJobResult, for idempotent resubmission
+        self._finished_by_key: OrderedDict[str, NetJobResult] = OrderedDict()
         self.recorder = recorder if recorder is not None else get_recorder()
         #: recent cancel round trips, coordinator-clock seconds (see the
         #: protocol v2 notes: sent_at is echoed back, so this is true RTT)
@@ -214,6 +292,9 @@ class Coordinator:
             "nodes_lost": 0,
             "cancels_sent": 0,
             "cancel_acks": 0,
+            "hedges": 0,
+            "recovered_jobs": 0,
+            "reattached_clients": 0,
         }
 
     # ------------------------------------------------------------------
@@ -221,12 +302,57 @@ class Coordinator:
     # ------------------------------------------------------------------
     async def start(self) -> tuple[str, int]:
         """Bind and start serving; returns the actual (host, port)."""
+        if self.journal_path is not None:
+            self._recover_from_journal()
+            self._journal = JobJournal(self.journal_path)
+            for job in self._jobs.values():
+                # re-journal the recovered generation so a second crash
+                # still starts above every assignment ever made
+                self._journal.log_generation(job.job_id, job.generation)
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._watchdog = asyncio.ensure_future(self._watch_heartbeats())
         return self.address
+
+    def _recover_from_journal(self) -> None:
+        """Replay the journal into fresh, undispatched job entries."""
+        entries, max_job_id = replay_journal(self.journal_path)
+        if max_job_id >= 0:
+            self._job_ids = itertools.count(max_job_id + 1)
+        now = time.monotonic()
+        for job_id in sorted(entries):
+            entry = entries[job_id]
+            try:
+                payload = unpickle_blob(decode_payload(entry))
+                seeds = list(payload["seeds"])
+            except Exception:
+                continue  # corrupt entry: skip it, recover the rest
+            if not seeds:
+                continue
+            job = _NetJob(
+                job_id=job_id,
+                request_id=0,
+                client=None,
+                problem=payload["problem"],
+                config=payload.get("config"),
+                seeds=seeds,
+                submitted_at=now,
+                trace_id=entry.get("trace_id") or "",
+                client_key=entry.get("client_key") or "",
+            )
+            # strictly above every journaled assignment: pre-crash reports
+            # from surviving nodes stay stale (recovery invariant 2)
+            job.generation = int(entry.get("generation", 0)) + 1
+            deadline = entry.get("deadline")
+            if deadline is not None:
+                job.deadline_at = now + float(deadline)
+            self._jobs[job_id] = job
+            self._pending.append(job_id)
+            if job.client_key:
+                self._client_keys[job.client_key] = job_id
+            self.counters["recovered_jobs"] += 1
 
     @property
     def address(self) -> tuple[str, int]:
@@ -245,12 +371,52 @@ class Coordinator:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
         for node in list(self._nodes.values()):
             node.conn.abort()
         for client in list(self._clients):
             client.abort()
         self._nodes.clear()
         self._clients.clear()
+
+    async def crash(self) -> None:
+        """Die abruptly: no cancels, no client answers, no journal fsync.
+
+        The in-process stand-in for ``kill -9`` — every connection is
+        reset, the journal fd is dropped without a final sync, and all
+        in-memory job state evaporates.  Recovery must come exclusively
+        from the journal (which is exactly what the chaos tests assert).
+        """
+        self.crashed = True
+        if self._journal is not None:
+            self._journal.abort()
+            self._journal = None
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            self._watchdog = None
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        for node in list(self._nodes.values()):
+            node.conn.abort()
+        for client in list(self._clients):
+            client.abort()
+        self._nodes.clear()
+        self._clients.clear()
+        self._jobs.clear()
+        self._pending.clear()
+        self._client_keys.clear()
+
+    async def _maybe_crash(self, point: str) -> bool:
+        """Crash here if the chaos plan says so; True when we did."""
+        if self.chaos is None or self.crashed:
+            return self.crashed
+        if not self.chaos.coordinator_crash(point):
+            return False
+        await self.crash()
+        return True
 
     async def serve_forever(self) -> None:
         """Block until cancelled (the ``repro coordinator`` CLI loop)."""
@@ -325,6 +491,9 @@ class Coordinator:
                     elif message.get("load_delta") is not None:
                         # protocol v2 delta scheme: only changed keys travel
                         node.load.update(message["load_delta"])
+                    progress = message.get("progress")
+                    if progress:
+                        self._ingest_progress(node, progress)
                 elif message.type == "walk_result":
                     node.last_heartbeat = time.monotonic()
                     await self._on_walk_result(node, message)
@@ -336,7 +505,26 @@ class Coordinator:
         finally:
             await self._node_lost(node, "connection lost")
 
+    def _ingest_progress(self, node: _Node, progress: Any) -> None:
+        """Fold heartbeat progress entries into their jobs (v3 frames)."""
+        now = time.monotonic()
+        for entry in progress:
+            if not isinstance(entry, dict):
+                continue
+            job = self._jobs.get(entry.get("job_id"))
+            if job is None:
+                continue
+            walk_id = entry.get("walk_id")
+            if walk_id in job.outstanding:
+                job.progress[walk_id] = {
+                    "iterations": int(entry.get("iterations", 0)),
+                    "elapsed": float(entry.get("elapsed", 0.0)),
+                    "node": node.name,
+                    "at": now,
+                }
+
     async def _run_client(self, conn: _Conn, hello: Message) -> None:
+        conn.resilient = bool(hello.get("reconnect", False))
         self._clients.add(conn)
         await conn.send(Message("welcome", {"protocol": PROTOCOL_VERSION}))
         try:
@@ -359,6 +547,8 @@ class Coordinator:
     # submission and dispatch
     # ------------------------------------------------------------------
     async def _on_submit(self, client: _Conn, message: Message) -> None:
+        if await self._maybe_crash("submit"):
+            return
         payload = unpickle_blob(message.blob)
         seeds = list(payload["seeds"])
         if not seeds:
@@ -372,18 +562,64 @@ class Coordinator:
                 )
             )
             return
+        client_key = message.get("client_key") or ""
+        request_id = message.get("request_id", 0)
+        if client_key:
+            # idempotent resubmission: the same key either replays the
+            # finished result or re-attaches to the still-running job —
+            # it never starts a second copy of the work
+            cached = self._finished_by_key.get(client_key)
+            if cached is not None:
+                await client.send(
+                    Message(
+                        "job_accepted",
+                        {"request_id": request_id, "job_id": cached.job_id},
+                    )
+                )
+                await client.send(job_result_to_message(cached, request_id))
+                return
+            active_id = self._client_keys.get(client_key)
+            if active_id is not None and active_id in self._jobs:
+                job = self._jobs[active_id]
+                job.client = client
+                job.request_id = request_id
+                self.counters["reattached_clients"] += 1
+                await client.send(
+                    Message(
+                        "job_accepted",
+                        {"request_id": request_id, "job_id": active_id},
+                    )
+                )
+                return
         job_id = next(self._job_ids)
         job = _NetJob(
             job_id=job_id,
-            request_id=message.get("request_id", 0),
+            request_id=request_id,
             client=client,
             problem=payload["problem"],
             config=payload.get("config"),
             seeds=seeds,
             submitted_at=time.monotonic(),
             trace_id=message.get("trace_id") or "",
+            client_key=client_key,
         )
+        deadline = message.get("deadline")
+        if deadline is not None:
+            job.deadline_at = job.submitted_at + float(deadline)
         self._jobs[job_id] = job
+        if client_key:
+            self._client_keys[client_key] = job_id
+        if self._journal is not None:
+            # write-ahead: the job is durable before the client hears
+            # "accepted" and before any node sees a slice of it
+            self._journal.log_submit(
+                job_id,
+                client_key=client_key,
+                trace_id=job.trace_id,
+                n_walkers=len(seeds),
+                deadline=deadline,
+                payload=message.blob or b"",
+            )
         self.counters["jobs_submitted"] += 1
         if self.recorder.enabled:
             self.recorder.emit(
@@ -437,15 +673,20 @@ class Coordinator:
         of piling onto the first one.  Rotation moves only *where* a walk
         runs; its seed — and hence trajectory — travels with the walk id.
         """
+        if await self._maybe_crash("dispatch"):
+            return
         start = self._dispatch_offset % len(nodes)
         self._dispatch_offset += 1
         nodes = nodes[start:] + nodes[:start]
         slices = partition_walks(len(walk_ids), len(nodes))
+        now = time.monotonic()
         for node, index_slice in zip(nodes, slices):
             slice_ids = [walk_ids[i] for i in index_slice]
             if not slice_ids:
                 continue
             node.assigned.setdefault(job.job_id, set()).update(slice_ids)
+            for walk_id in slice_ids:
+                job.dispatched_at[walk_id] = now
             self.counters["walks_dispatched"] += len(slice_ids)
             if self.recorder.enabled:
                 self.recorder.emit(
@@ -497,17 +738,23 @@ class Coordinator:
     # results
     # ------------------------------------------------------------------
     async def _on_walk_result(self, node: _Node, message: Message) -> None:
+        if await self._maybe_crash("walk_result"):
+            return
         self.counters["walk_results"] += 1
         job = self._jobs.get(message["job_id"])
         walk_id = message["walk_id"]
         if job is None or walk_id not in job.outstanding:
-            # late loser after a cancel, or a zombie assignment generation:
-            # the job-generation token scheme means stale reports are simply
-            # dropped here, never double-counted
+            # late loser after a cancel, a zombie assignment generation, or
+            # the losing copy of a hedged walk: the outstanding-membership
+            # check means stale reports are simply dropped here, never
+            # double-counted
             self.counters["stale_results"] += 1
             return
-        node.assigned.get(job.job_id, set()).discard(walk_id)
+        # a hedged walk may be assigned on several nodes; clear them all
+        for holder in self._nodes.values():
+            holder.assigned.get(job.job_id, set()).discard(walk_id)
         job.outstanding.discard(walk_id)
+        job.progress.pop(walk_id, None)
         job.nodes[walk_id] = node.name
         if message.get("error") is not None:
             # the walk failed remotely even after the node's local retries
@@ -517,6 +764,7 @@ class Coordinator:
             return
         outcome = outcome_from_message(message)
         job.outcomes[walk_id] = outcome
+        job.completed_walls.append(outcome.wall_time)
         if outcome.solved and job.winner is None:
             job.winner = outcome
             job.winner_node = node.name
@@ -603,8 +851,19 @@ class Coordinator:
             )
 
     async def _finish(self, job: _NetJob, status: JobStatus) -> None:
+        if await self._maybe_crash("finish"):
+            return
         if self._jobs.pop(job.job_id, None) is None:
             return  # already finished through another path
+        # idempotent: stops the losing copies of hedged walks (and any
+        # slice the solved-path broadcast already handled is a no-op)
+        await self._broadcast_cancel(job)
+        if self._journal is not None:
+            # journal the terminal state *before* the client hears it
+            # (recovery invariant 4)
+            self._journal.log_finish(job.job_id, status.value)
+        if job.client_key:
+            self._client_keys.pop(job.client_key, None)
         self.counters["jobs_completed"] += 1
         if status is JobStatus.SOLVED:
             self.counters["jobs_solved"] += 1
@@ -641,8 +900,16 @@ class Coordinator:
             error=job.error,
             redispatches=job.redispatches,
             wall_time=wall_time,
+            degraded=job.degraded,
         )
-        if not job.client.closed:
+        if job.client_key:
+            # keep the result around so a resubmission of the same key
+            # (reconnected client, post-recovery replay) gets this exact
+            # answer instead of a second run
+            self._finished_by_key[job.client_key] = result
+            while len(self._finished_by_key) > _MAX_FINISHED_CACHE:
+                self._finished_by_key.popitem(last=False)
+        if job.client is not None and not job.client.closed:
             try:
                 await job.client.send(
                     job_result_to_message(result, job.request_id)
@@ -651,8 +918,14 @@ class Coordinator:
                 job.client.abort()
 
     async def _abandon_client_jobs(self, client: _Conn) -> None:
-        """A disconnected client's jobs are cancelled cluster-wide."""
+        """A disconnected client's jobs are cancelled cluster-wide —
+        unless the client declared itself resilient (hello
+        ``reconnect=True``), in which case its jobs keep running detached
+        and the client re-attaches by resubmitting its ``client_key``."""
         for job in [j for j in self._jobs.values() if j.client is client]:
+            if client.resilient:
+                job.client = None
+                continue
             await self._broadcast_cancel(job)
             await self._finish(job, JobStatus.CANCELLED)
 
@@ -669,6 +942,124 @@ class Coordinator:
                 if now - node.last_heartbeat > self.heartbeat_timeout:
                     node.conn.abort()
                     await self._node_lost(node, "heartbeat timeout")
+            await self._check_deadlines(now)
+            if self.hedge_factor is not None:
+                await self._check_stragglers(now)
+
+    async def _check_deadlines(self, now: float) -> None:
+        """Expire overdue jobs with best-so-far results (degradation)."""
+        for job in list(self._jobs.values()):
+            if job.deadline_at is None or now < job.deadline_at:
+                continue
+            job.degraded = bool(job.outcomes)
+            job.error = job.error or (
+                f"deadline expired with {len(job.outstanding)} of "
+                f"{len(job.seeds)} walks unfinished"
+            )
+            await self._finish(job, JobStatus.TIMED_OUT)
+
+    # ------------------------------------------------------------------
+    # straggler hedging
+    # ------------------------------------------------------------------
+    async def _check_stragglers(self, now: float) -> None:
+        """Hedge outstanding walks that are old *and* slow (see ctor)."""
+        for job in list(self._jobs.values()):
+            total = len(job.seeds)
+            completed = total - len(job.outstanding)
+            if not job.completed_walls or completed * 2 < total:
+                continue  # too early to call anything a straggler
+            walls = sorted(job.completed_walls)
+            median_wall = walls[len(walls) // 2]
+            threshold = max(
+                self.hedge_factor * median_wall, self.min_hedge_delay
+            )
+            for walk_id in sorted(job.outstanding):
+                if job.hedge_count >= self.max_hedges:
+                    break
+                if job.hedged.get(walk_id, 0) >= 1:
+                    continue  # one hedged copy per walk is the cap
+                started = job.dispatched_at.get(walk_id)
+                if started is None or now - started <= threshold:
+                    continue
+                if not self._is_slow(job, walk_id):
+                    continue
+                await self._hedge(job, walk_id, now - started)
+
+    def _is_slow(self, job: _NetJob, walk_id: int) -> bool:
+        """Slow = no progress report, or under half the median iteration
+        rate of this job's finished walks."""
+        entry = job.progress.get(walk_id)
+        if entry is None:
+            return True
+        rates = [
+            o.iterations / max(o.wall_time, 1e-9)
+            for o in job.outcomes.values()
+        ]
+        if not rates:
+            return True
+        rates.sort()
+        median_rate = rates[len(rates) // 2]
+        elapsed = max(float(entry.get("elapsed", 0.0)), 1e-9)
+        rate = float(entry.get("iterations", 0)) / elapsed
+        return rate < 0.5 * median_rate
+
+    async def _hedge(self, job: _NetJob, walk_id: int, elapsed: float) -> None:
+        """Dispatch a duplicate of ``walk_id`` to another node.
+
+        Same seed, same generation: whichever copy reports first wins the
+        walk (outstanding-membership drops the loser as stale), so hedging
+        never changes *what* is computed, only how long the tail waits.
+        """
+        slow_node = None
+        for node in self._live_nodes():
+            if walk_id in node.assigned.get(job.job_id, set()):
+                slow_node = node
+                break
+        candidates = [n for n in self._live_nodes() if n is not slow_node]
+        if not candidates:
+            return
+        target = min(
+            candidates,
+            key=lambda n: sum(len(v) for v in n.assigned.values()),
+        )
+        job.hedged[walk_id] = job.hedged.get(walk_id, 0) + 1
+        job.hedge_count += 1
+        job.dispatched_at[walk_id] = time.monotonic()
+        target.assigned.setdefault(job.job_id, set()).add(walk_id)
+        self.counters["hedges"] += 1
+        self.counters["walks_dispatched"] += 1
+        if self.recorder.enabled:
+            self.recorder.emit(
+                HedgeDispatch(
+                    trace_id=job.trace_id,
+                    job_id=job.job_id,
+                    walk_id=walk_id,
+                    node=target.name,
+                    from_node=slow_node.name if slow_node is not None else "",
+                    elapsed=elapsed,
+                )
+            )
+        try:
+            await target.conn.send(
+                Message(
+                    "assign",
+                    {
+                        "job_id": job.job_id,
+                        "generation": job.generation,
+                        "walk_ids": [walk_id],
+                        "trace_id": job.trace_id,
+                    },
+                    blob=pickle_blob(
+                        {
+                            "problem": job.problem,
+                            "config": job.config,
+                            "seeds": {walk_id: job.seeds[walk_id]},
+                        }
+                    ),
+                )
+            )
+        except (ConnectionError, OSError):
+            target.conn.abort()
 
     async def _node_lost(self, node: _Node, reason: str) -> None:
         if node.lost:
@@ -696,6 +1087,7 @@ class Coordinator:
                 f"node {dead.name} died ({reason}) and job {job.job_id} "
                 f"exhausted its {self.max_redispatch} re-dispatch budget"
             )
+            job.degraded = bool(job.outcomes)
             await self._broadcast_cancel(job)
             await self._finish(job, JobStatus.FAILED)
             return
@@ -705,6 +1097,7 @@ class Coordinator:
                 f"node {dead.name} died ({reason}) with walks "
                 f"{walk_ids} in flight and no surviving nodes"
             )
+            job.degraded = bool(job.outcomes)
             await self._finish(job, JobStatus.FAILED)
             return
         job.redispatches += 1
@@ -712,6 +1105,8 @@ class Coordinator:
         # to emit for the old assignment is dropped as stale on arrival
         job.generation += 1
         self.counters["redispatches"] += 1
+        if self._journal is not None:
+            self._journal.log_generation(job.job_id, job.generation)
         await self._dispatch(job, walk_ids, live)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,184 @@
+"""Coordinator write-ahead job journal.
+
+Append-only JSONL, one record per line, three record kinds:
+
+``submit``
+    a job was accepted: job id, client key, trace id, deadline, and the
+    full submit payload (problem + config + seeds) as base64-wrapped
+    pickle — everything needed to re-create the job from nothing;
+``generation``
+    the job's assignment generation was bumped (a re-dispatch happened);
+``finish``
+    the job reached a terminal status.
+
+Durability policy (the "fsync-batched" contract): every append is
+*flushed* to the OS immediately — a coordinator that is ``kill -9``-ed
+loses nothing that was appended — but ``fsync`` is only forced on
+``submit`` records and every ``fsync_every``-th append otherwise, so the
+high-frequency records (generations, finishes) never put a disk sync on
+the dispatch path.  Only a whole-machine power loss can eat the tail, and
+the client-side idempotent resubmission (``client_key``) covers exactly
+that window.
+
+Recovery invariants (asserted by ``tests/chaos``):
+
+1. every journaled-but-unfinished job is re-created and re-dispatched in
+   full after a restart — walk outcomes are deliberately *not* journaled,
+   so recovery re-runs all of a job's walks from their seeds (walks are
+   deterministic given the seed, so the result is equivalent);
+2. a recovered job's generation starts strictly above any journaled
+   generation, so reports from pre-crash assignments stay stale;
+3. a torn final line (crash mid-append) is ignored, never fatal;
+4. ``finish`` is appended before the client is answered, so a job can be
+   recovered *and* already answered at most once — the coordinator's
+   ``client_key`` result cache dedupes that race on resubmit.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.errors import NetError
+
+__all__ = ["JobJournal", "replay_journal", "decode_payload"]
+
+
+class JobJournal:
+    """Append-only JSONL write-ahead log of coordinator job state."""
+
+    def __init__(self, path: str | Path, *, fsync_every: int = 8) -> None:
+        if fsync_every < 1:
+            raise NetError(f"fsync_every must be >= 1, got {fsync_every}")
+        self.path = Path(path)
+        self.fsync_every = fsync_every
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file: Optional[Any] = open(self.path, "a", encoding="utf-8")
+        self._since_fsync = 0
+
+    # ------------------------------------------------------------------
+    def _append(self, record: dict[str, Any], *, durable: bool) -> None:
+        if self._file is None:
+            return  # journal closed/aborted: recovery owns the truth now
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._file.flush()
+        self._since_fsync += 1
+        if durable or self._since_fsync >= self.fsync_every:
+            os.fsync(self._file.fileno())
+            self._since_fsync = 0
+
+    def log_submit(
+        self,
+        job_id: int,
+        *,
+        client_key: str,
+        trace_id: str,
+        n_walkers: int,
+        deadline: float | None,
+        payload: bytes,
+    ) -> None:
+        """Journal an accepted job (durable: fsync before dispatch)."""
+        self._append(
+            {
+                "kind": "submit",
+                "job_id": job_id,
+                "client_key": client_key,
+                "trace_id": trace_id,
+                "n_walkers": n_walkers,
+                "deadline": deadline,
+                "payload": base64.b64encode(payload).decode("ascii"),
+            },
+            durable=True,
+        )
+
+    def log_generation(self, job_id: int, generation: int) -> None:
+        self._append(
+            {"kind": "generation", "job_id": job_id, "generation": generation},
+            durable=False,
+        )
+
+    def log_finish(self, job_id: int, status: str) -> None:
+        self._append(
+            {"kind": "finish", "job_id": job_id, "status": status},
+            durable=False,
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Graceful close: final fsync, then release the fd (idempotent)."""
+        if self._file is None:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._file.close()
+        self._file = None
+
+    def abort(self) -> None:
+        """Crash-style close: no final fsync (the chaos ``kill -9``)."""
+        if self._file is None:
+            return
+        file, self._file = self._file, None
+        try:
+            file.close()
+        except OSError:  # pragma: no cover - fd already gone
+            pass
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def replay_journal(path: str | Path) -> tuple[dict[int, dict[str, Any]], int]:
+    """Fold a journal back into its unfinished jobs.
+
+    Returns ``(jobs, max_job_id)`` where ``jobs`` maps job id to the
+    folded record: the ``submit`` fields (payload still base64) plus the
+    highest journaled ``generation``.  Finished jobs are dropped; a torn
+    trailing line (crash mid-append) ends the replay silently; a missing
+    file replays to nothing.
+    """
+    path = Path(path)
+    jobs: dict[int, dict[str, Any]] = {}
+    max_job_id = -1
+    if not path.exists():
+        return jobs, max_job_id
+    with open(path, "r", encoding="utf-8") as file:
+        for line in file:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail: everything after it is gone anyway
+            if not isinstance(record, dict):
+                continue
+            job_id = record.get("job_id")
+            if not isinstance(job_id, int):
+                continue
+            max_job_id = max(max_job_id, job_id)
+            kind = record.get("kind")
+            if kind == "submit":
+                entry = dict(record)
+                entry["generation"] = 0
+                jobs[job_id] = entry
+            elif kind == "generation" and job_id in jobs:
+                jobs[job_id]["generation"] = max(
+                    jobs[job_id]["generation"], int(record.get("generation", 0))
+                )
+            elif kind == "finish":
+                jobs.pop(job_id, None)
+    return jobs, max_job_id
+
+
+def decode_payload(entry: dict[str, Any]) -> bytes:
+    """The pickled submit payload of one replayed ``submit`` entry."""
+    try:
+        return base64.b64decode(entry["payload"])
+    except (KeyError, ValueError) as err:
+        raise NetError(f"corrupt journal payload: {err}") from None

@@ -3,7 +3,7 @@
 Every message on a coordinator/agent/client connection is one
 length-prefixed frame::
 
-    uint32 body_len | uint8 kind | body
+    uint32 body_len | uint8 kind | uint32 crc32 | body
 
 with two body kinds,
 
@@ -46,6 +46,15 @@ Version history
   cancel-propagation round trips on its *own* clock (no cross-host
   skew); heartbeats may carry ``load_delta`` (changed keys only) instead
   of a full ``load`` snapshot.
+- **3** — integrity + resilience: the frame header grows a ``crc32`` of
+  the body (:func:`zlib.crc32`); both decode paths verify it and reject
+  corrupt frames with a :class:`NetError` instead of feeding garbage to
+  ``json.loads``/``pickle.loads``.  ``hello`` may carry ``reconnect``
+  (client asks the coordinator to keep its jobs alive across a
+  disconnect); ``submit`` may carry ``client_key`` (idempotent
+  resubmission token) and ``deadline`` (seconds of cluster-side budget);
+  heartbeats may carry ``progress`` (per-walk iteration counts feeding
+  the coordinator's straggler detector).
 """
 
 from __future__ import annotations
@@ -55,9 +64,12 @@ import json
 import pickle
 import socket
 import struct
+import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.chaos import hooks as _chaos
 from repro.errors import NetError
 
 __all__ = [
@@ -74,13 +86,13 @@ __all__ = [
     "unpickle_blob",
 ]
 
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
 #: hard frame-size ceiling: a problem pickle is kilobytes, so anything in
 #: the hundreds of megabytes is a corrupt length prefix, not a real frame
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
-_HEADER = struct.Struct("!IB")  # body length, kind
+_HEADER = struct.Struct("!IBI")  # body length, kind, crc32(body)
 _LEN = struct.Struct("!I")
 
 _KIND_JSON = 0
@@ -132,11 +144,21 @@ def encode_message(message: Message) -> bytes:
             f"refusing to send a {len(body)}-byte frame "
             f"(limit {MAX_FRAME_BYTES})"
         )
-    return _HEADER.pack(len(body), kind) + body
+    return _HEADER.pack(len(body), kind, zlib.crc32(body)) + body
+
+
+def _verify_crc(body: bytes, expected: int) -> None:
+    """Protocol v3: reject a frame whose body fails its CRC32."""
+    actual = zlib.crc32(body)
+    if actual != expected:
+        raise NetError(
+            f"frame CRC mismatch (got {actual:#010x}, header says "
+            f"{expected:#010x}); closing connection"
+        )
 
 
 def decode_frame_body(kind: int, body: bytes) -> Message:
-    """Decode a frame body (everything after the 5-byte header)."""
+    """Decode a frame body (everything after the header)."""
     if kind == _KIND_JSON:
         header_bytes, blob = body, None
     elif kind == _KIND_BLOB:
@@ -167,6 +189,26 @@ def _check_length(body_len: int) -> None:
         )
 
 
+def _faulted_frames(
+    plan: Any, message: Message, frame: bytes
+) -> tuple[list[bytes], float]:
+    """Apply an installed fault plan to one outgoing frame.
+
+    Returns the frames to actually put on the wire (empty = dropped,
+    doubled = duplicated) and a pre-send delay in seconds.
+    """
+    fault = plan.frame_fault(message.type)
+    if fault is None:
+        return [frame], 0.0
+    if fault.action == "drop":
+        return [], 0.0
+    if fault.action == "delay":
+        return [frame], fault.delay
+    if fault.action == "corrupt":
+        return [plan.corrupt_frame(frame, _HEADER.size)], 0.0
+    return [frame, frame], 0.0  # duplicate
+
+
 # ----------------------------------------------------------------------
 # asyncio streams (coordinator, node agents)
 # ----------------------------------------------------------------------
@@ -178,12 +220,13 @@ async def read_message(reader: asyncio.StreamReader) -> Optional[Message]:
         if not err.partial:
             return None
         raise NetError("connection closed mid-frame") from None
-    body_len, kind = _HEADER.unpack(header)
+    body_len, kind, crc = _HEADER.unpack(header)
     _check_length(body_len)
     try:
         body = await reader.readexactly(body_len)
     except asyncio.IncompleteReadError:
         raise NetError("connection closed mid-frame") from None
+    _verify_crc(body, crc)
     return decode_frame_body(kind, body)
 
 
@@ -191,7 +234,19 @@ async def write_message(
     writer: asyncio.StreamWriter, message: Message
 ) -> None:
     """Write one message and drain the transport."""
-    writer.write(encode_message(message))
+    frame = encode_message(message)
+    plan = _chaos.active()
+    if plan is not None:
+        frames, delay = _faulted_frames(plan, message, frame)
+        if delay:
+            await asyncio.sleep(delay)
+        if not frames:
+            return
+        for faulted in frames:
+            writer.write(faulted)
+        await writer.drain()
+        return
+    writer.write(frame)
     await writer.drain()
 
 
@@ -217,14 +272,24 @@ def recv_message(sock: socket.socket) -> Optional[Message]:
     header = _recv_exactly(sock, _HEADER.size)
     if header is None:
         return None
-    body_len, kind = _HEADER.unpack(header)
+    body_len, kind, crc = _HEADER.unpack(header)
     _check_length(body_len)
     body = _recv_exactly(sock, body_len) if body_len else b""
     if body is None:
         raise NetError("connection closed mid-frame")
+    _verify_crc(body, crc)
     return decode_frame_body(kind, body)
 
 
 def send_message(sock: socket.socket, message: Message) -> None:
     """Blocking write of one complete frame."""
-    sock.sendall(encode_message(message))
+    frame = encode_message(message)
+    plan = _chaos.active()
+    if plan is not None:
+        frames, delay = _faulted_frames(plan, message, frame)
+        if delay:
+            time.sleep(delay)
+        for faulted in frames:
+            sock.sendall(faulted)
+        return
+    sock.sendall(frame)

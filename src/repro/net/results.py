@@ -39,6 +39,12 @@ class NetJobResult:
     to be moved off a dead node.  ``wall_time`` is coordinator-side
     submission -> completion (network latency included — it is what a
     cluster client experiences).
+
+    ``degraded`` marks graceful degradation: the job could not run to its
+    normal conclusion (deadline expired, cluster partially lost) but the
+    coordinator still aggregated every walk outcome it had instead of
+    raising — :attr:`best_config` / :attr:`best_cost` expose the
+    best-so-far configuration in that case.
     """
 
     job_id: int
@@ -51,6 +57,7 @@ class NetJobResult:
     error: Optional[str] = None
     redispatches: int = 0
     wall_time: float = 0.0
+    degraded: bool = False
 
     @property
     def solved(self) -> bool:
@@ -59,6 +66,27 @@ class NetJobResult:
     @property
     def config(self) -> Optional[np.ndarray]:
         return self.winner.config if self.winner is not None else None
+
+    @property
+    def best_walk(self) -> Optional[WalkOutcome]:
+        """The winner, else the lowest-cost reported walk with a config."""
+        if self.winner is not None:
+            return self.winner
+        candidates = [w for w in self.walks if w.config is not None]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda w: w.cost)
+
+    @property
+    def best_config(self) -> Optional[np.ndarray]:
+        """Best-so-far configuration (meaningful even when degraded)."""
+        best = self.best_walk
+        return best.config if best is not None else None
+
+    @property
+    def best_cost(self) -> Optional[float]:
+        best = self.best_walk
+        return best.cost if best is not None else None
 
     def to_parallel_result(self) -> ParallelResult:
         """View this cluster job as a :class:`ParallelResult`.
@@ -94,6 +122,12 @@ class NetJobResult:
         extra = (
             f", {self.redispatches} re-dispatch(es)" if self.redispatches else ""
         )
+        if self.degraded:
+            best = self.best_cost
+            extra += (
+                f", DEGRADED (best-so-far cost "
+                f"{best if best is not None else '?'})"
+            )
         return (
             f"cluster job {self.job_id} x{self.n_walkers}: {status}, "
             f"round-trip {self.wall_time * 1e3:.1f}ms{extra}"
@@ -160,6 +194,7 @@ def job_result_to_message(result: NetJobResult, request_id: int) -> Message:
             "error": result.error,
             "redispatches": result.redispatches,
             "wall_time": result.wall_time,
+            "degraded": result.degraded,
         },
         blob=pickle_blob({"walks": result.walks, "nodes": result.nodes}),
     )
@@ -183,4 +218,5 @@ def job_result_from_message(message: Message) -> NetJobResult:
         error=message["error"],
         redispatches=message["redispatches"],
         wall_time=message["wall_time"],
+        degraded=bool(message.get("degraded", False)),
     )

@@ -16,8 +16,9 @@ from __future__ import annotations
 import asyncio
 import threading
 from pathlib import Path
-from typing import Optional
+from typing import Any, Optional
 
+from repro.chaos import hooks as _chaos_hooks
 from repro.errors import NetError
 from repro.net.agent import NodeAgent
 from repro.net.client import ClusterClient
@@ -50,6 +51,15 @@ class LocalCluster:
     milestone_every:
         iteration-milestone sampling period for traced walks (0 = walk
         lifecycle events only).
+    chaos:
+        a :class:`~repro.chaos.plan.FaultPlan` installed process-wide for
+        the cluster's lifetime (frame faults) and handed to the
+        coordinator (crash points) and every agent (node + walk faults).
+    journal:
+        coordinator write-ahead journal path — enables
+        :meth:`kill_coordinator` / :meth:`restart_coordinator` recovery.
+    hedge_factor / max_hedges:
+        straggler-hedging knobs forwarded to the coordinator.
     """
 
     def __init__(
@@ -64,6 +74,11 @@ class LocalCluster:
         mp_context: str | None = None,
         trace_dir: str | Path | None = None,
         milestone_every: int = 0,
+        chaos: Any = None,
+        journal: str | Path | None = None,
+        hedge_factor: float | None = None,
+        max_hedges: int = 2,
+        min_hedge_delay: float = 0.25,
     ) -> None:
         if n_nodes < 0:
             # 0 is allowed: submit-before-any-node tests add agents later
@@ -77,6 +92,11 @@ class LocalCluster:
         self.mp_context = mp_context
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         self.milestone_every = milestone_every
+        self.chaos = chaos
+        self.journal = Path(journal) if journal is not None else None
+        self.hedge_factor = hedge_factor
+        self.max_hedges = max_hedges
+        self.min_hedge_delay = min_hedge_delay
 
         self.coordinator: Coordinator | None = None
         self.agents: list[NodeAgent] = []
@@ -104,21 +124,34 @@ class LocalCluster:
         if self._started:
             return self
         self._started = True
+        if self.chaos is not None:
+            # process-wide: the protocol send paths consult the installed
+            # plan for frame faults (drop/delay/corrupt/duplicate)
+            _chaos_hooks.install(self.chaos)
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever, name="repro-net-loop", daemon=True
         )
         self._thread.start()
-        self.coordinator = Coordinator(
-            heartbeat_timeout=self.heartbeat_timeout,
-            check_interval=min(0.1, self.heartbeat_timeout / 4),
-            max_redispatch=self.max_redispatch,
-            recorder=self._recorder("coordinator"),
-        )
+        self.coordinator = self._make_coordinator(port=0)
         self._run(self.coordinator.start(), timeout)
         for _ in range(self.n_nodes):
             self.add_agent(timeout=timeout)
         return self
+
+    def _make_coordinator(self, port: int) -> Coordinator:
+        return Coordinator(
+            port=port,
+            heartbeat_timeout=self.heartbeat_timeout,
+            check_interval=min(0.1, self.heartbeat_timeout / 4),
+            max_redispatch=self.max_redispatch,
+            journal_path=self.journal,
+            hedge_factor=self.hedge_factor,
+            max_hedges=self.max_hedges,
+            min_hedge_delay=self.min_hedge_delay,
+            chaos=self.chaos,
+            recorder=self._recorder("coordinator"),
+        )
 
     def stop(self, timeout: float = 60.0) -> None:
         """Tear everything down (idempotent); joins the loop thread."""
@@ -139,6 +172,8 @@ class LocalCluster:
         for recorder in self._recorders:
             recorder.close()
         self._recorders.clear()
+        if self.chaos is not None and _chaos_hooks.active() is self.chaos:
+            _chaos_hooks.uninstall()
         self._loop.call_soon_threadsafe(self._loop.stop)
         assert self._thread is not None
         self._thread.join(timeout=10.0)
@@ -158,10 +193,15 @@ class LocalCluster:
         assert self.coordinator is not None, "cluster is not started"
         return self.coordinator.address
 
-    def client(self) -> ClusterClient:
-        """A connected client whose lifetime the cluster manages."""
+    def client(self, **kwargs: Any) -> ClusterClient:
+        """A connected client whose lifetime the cluster manages.
+
+        Keyword arguments (e.g. ``reconnect=True``) are forwarded to
+        :class:`ClusterClient`."""
         recorder = self._recorder(f"client-{len(self._clients)}")
-        client = ClusterClient(self.address, recorder=recorder).connect()
+        client = ClusterClient(
+            self.address, recorder=recorder, **kwargs
+        ).connect()
         self._clients.append(client)
         return client
 
@@ -180,6 +220,7 @@ class LocalCluster:
             heartbeat_interval=self.heartbeat_interval,
             poll_every=self.poll_every,
             mp_context=self.mp_context,
+            chaos=self.chaos,
             recorder=self._recorder(agent_name),
         )
         self._run(agent.start(), timeout)
@@ -189,6 +230,39 @@ class LocalCluster:
     def kill_agent(self, index: int, timeout: float = 60.0) -> None:
         """Simulate the death of node ``index`` (abrupt, no goodbye)."""
         self._run(self.agents[index].kill(), timeout)
+
+    def kill_coordinator(self, timeout: float = 60.0) -> None:
+        """``kill -9`` the coordinator in-process: connections reset, the
+        journal fd dropped without a final fsync, all in-memory job state
+        gone.  Agents and clients observe a dead endpoint."""
+        assert self.coordinator is not None, "cluster is not started"
+        self._run(self.coordinator.crash(), timeout)
+
+    def restart_coordinator(
+        self, *, rejoin_agents: bool = True, timeout: float = 60.0
+    ) -> Coordinator:
+        """Boot a fresh coordinator on the *same* port from the journal.
+
+        The old agents hold dead connections (their teardown raced the
+        crash); by default they are stopped and replaced with fresh agents
+        of the same names so recovered jobs have somewhere to run.
+        """
+        assert self.coordinator is not None, "cluster is not started"
+        port = self.coordinator.port
+        names = [agent.name for agent in self.agents]
+        if rejoin_agents:
+            for agent in self.agents:
+                try:
+                    self._run(agent.stop(), timeout)
+                except NetError:  # pragma: no cover - already dead
+                    pass
+            self.agents.clear()
+        self.coordinator = self._make_coordinator(port=port)
+        self._run(self.coordinator.start(), timeout)
+        if rejoin_agents:
+            for name in names:
+                self.add_agent(name=name, timeout=timeout)
+        return self.coordinator
 
     def live_node_names(self) -> list[str]:
         assert self.coordinator is not None

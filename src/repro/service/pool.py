@@ -25,6 +25,7 @@ can never affect the slot's next tenant.
 from __future__ import annotations
 
 import multiprocessing as mp
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -88,6 +89,9 @@ class WorkerPool:
         self.n_workers = n_workers
         self._ctx = mp.get_context(mp_context)
         self._cancel_generations = self._ctx.RawArray("q", cancel_slots)
+        #: per-worker iteration counters, written by the walks themselves
+        #: (see GenerationCancelCallback) — the straggler detector's feed
+        self.progress = self._ctx.RawArray("q", n_workers)
         self._free_slots = list(range(cancel_slots - 1, -1, -1))
         self._slot_generations = [0] * cancel_slots
         self.outbox: Any = self._ctx.Queue()
@@ -106,7 +110,10 @@ class WorkerPool:
         inbox = self._ctx.Queue()
         process = self._ctx.Process(
             target=service_worker_main,
-            args=(worker_id, inbox, self.outbox, self._cancel_generations),
+            args=(
+                worker_id, inbox, self.outbox, self._cancel_generations,
+                self.progress,
+            ),
             daemon=True,
             name=f"repro-service-worker-{worker_id}",
         )
@@ -133,6 +140,7 @@ class WorkerPool:
         # the dead worker's inbox may hold queued messages; abandon it
         old.inbox.close()
         old.inbox.cancel_join_thread()
+        self.progress[worker_id] = 0
         handle = self._spawn(worker_id, incarnation=old.incarnation + 1)
         self._workers[worker_id] = handle
         for problem_id, problem in self._problems.items():
@@ -216,6 +224,16 @@ class WorkerPool:
         existing = self._problem_ids.get(id(problem))
         if existing is not None:
             return existing
+        # fail fast, in the caller's frame, with the offending type named —
+        # otherwise the pickle error surfaces asynchronously in the queue
+        # feeder thread and the scheduler sees a crash-retry loop instead
+        try:
+            pickle.dumps(problem, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as err:
+            raise ParallelError(
+                f"problem {type(problem).__name__!r} is not picklable and "
+                f"cannot be shipped to pool workers: {err}"
+            ) from err
         problem_id = self._next_problem_id
         self._next_problem_id += 1
         self._problems[problem_id] = problem

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import pickle
 import threading
 import time
 from collections import deque
@@ -173,6 +174,10 @@ class SolverService:
         to the process recorder (disabled unless configured).  Passing an
         explicit recorder also shares its metrics registry with the
         service's :class:`ServiceMetrics`, unifying the two.
+    chaos:
+        optional :class:`~repro.chaos.plan.FaultPlan`; when set, every
+        dispatch asks the plan for a walk fault to ride inside the task
+        (``None`` costs one attribute check per dispatch).
     """
 
     def __init__(
@@ -186,6 +191,7 @@ class SolverService:
         retry_policy: RetryPolicy | None = None,
         tick: float = 0.005,
         recorder: Recorder | None = None,
+        chaos: Any = None,
     ) -> None:
         if pool is None and (n_workers is None or n_workers < 1):
             raise ParallelError(
@@ -204,6 +210,9 @@ class SolverService:
         self.poll_every = poll_every
         self.retry_policy = retry_policy or RetryPolicy()
         self.tick = tick
+        self.chaos = chaos
+        if chaos is not None:
+            chaos.arm()
 
         self._lock = threading.Lock()
         self._thread: threading.Thread | None = None
@@ -227,7 +236,9 @@ class SolverService:
         self._ready: list[tuple[tuple[int, int, int], int, int]] = []
         self._delayed: list[tuple[float, tuple[int, int, int], int, int]] = []
         self._idle: set[int] = set()
-        self._in_flight: dict[int, tuple[int, int, float]] = {}
+        #: worker -> (job_id, walk_id, dispatched_at, job_label, walk_label)
+        #: where the labels are cluster-scope ids when the job is traced
+        self._in_flight: dict[int, tuple[int, int, float, int, int]] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -310,6 +321,16 @@ class SolverService:
                 raise ParallelError("service is shut down")
         if not self._started:
             self.start()
+        # fail fast in the caller's frame: an un-picklable problem would
+        # otherwise surface asynchronously (queue feeder thread) and read
+        # like a worker crash-retry loop instead of a usage error
+        try:
+            pickle.dumps(job.problem, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as err:
+            raise ParallelError(
+                f"problem {type(job.problem).__name__!r} is not picklable "
+                f"and cannot be shipped to pool workers: {err}"
+            ) from err
         job_id = next(self._job_counter)
         handle = JobHandle(job_id, self)
         self.metrics.record_submit()
@@ -359,6 +380,32 @@ class SolverService:
     def pool(self) -> WorkerPool | None:
         """The underlying worker pool (``None`` before :meth:`start`)."""
         return self._pool
+
+    def walk_progress(self) -> list[dict[str, Any]]:
+        """Iteration progress of every in-flight walk (cluster-scope ids
+        when the job carries a trace context).  Snapshot-cheap: reads the
+        shared progress array the walks already write between cancel
+        polls.  Safe to call from any thread."""
+        pool = self._pool
+        if pool is None:
+            return []
+        now = time.monotonic()
+        entries: list[dict[str, Any]] = []
+        try:
+            flights = list(self._in_flight.items())
+        except RuntimeError:  # pragma: no cover - resized mid-iteration
+            return []
+        for worker_id, entry in flights:
+            _, _, dispatched_at, job_label, walk_label = entry
+            entries.append(
+                {
+                    "job_id": job_label,
+                    "walk_id": walk_label,
+                    "iterations": int(pool.progress[worker_id]),
+                    "elapsed": now - dispatched_at,
+                }
+            )
+        return entries
 
     def _request_cancel(self, job_id: int) -> None:
         self._inbox.append(("cancel", job_id))
@@ -478,6 +525,12 @@ class SolverService:
                 if ctx is not None and recorder.enabled
                 else None
             )
+            fault = (
+                self.chaos.walk_fault(walk_label, job_label)
+                if self.chaos is not None
+                else None
+            )
+            pool.progress[worker_id] = 0
             pool.send_task(
                 worker_id,
                 WalkTask(
@@ -491,9 +544,12 @@ class SolverService:
                     poll_every=self.poll_every,
                     trace=task_trace,
                     milestone_every=recorder.milestone_every,
+                    fault=fault,
                 ),
             )
-            self._in_flight[worker_id] = (job_id, walk_id, now)
+            self._in_flight[worker_id] = (
+                job_id, walk_id, now, job_label, walk_label,
+            )
             if state.first_dispatch_at is None:
                 state.first_dispatch_at = now
             self.metrics.record_dispatch()
@@ -527,7 +583,7 @@ class SolverService:
             self._idle.add(worker_id)
             if entry is None:
                 continue  # died idle: nothing to retry
-            job_id, walk_id, dispatched_at = entry
+            job_id, walk_id, dispatched_at = entry[0], entry[1], entry[2]
             self._handle_crash(
                 job_id,
                 walk_id,

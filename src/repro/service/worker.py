@@ -21,10 +21,24 @@ Generations only grow, so a slot can be handed to the next job immediately —
 a stale walk of the previous tenant still sees itself cancelled while the
 new tenant (holding a strictly larger generation) keeps running.  One job's
 win therefore never kills another job's walks.
+
+Progress: alongside the cancel poll, the walk publishes its iteration
+count into the shared ``progress`` array (one int64 slot per worker).  The
+scheduler snapshots it for free, node agents ship it in heartbeats, and
+the coordinator's straggler detector feeds on it — all without any extra
+IPC on the hot path.
+
+Chaos: a :class:`~repro.chaos.plan.WalkFault` can ride inside the task
+(``task.fault``); the worker then raises, hard-exits, or sleeps per
+iteration exactly as instructed.  The spec travels with the task, so walk
+faults work identically across process boundaries and need no global
+state in the child.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -51,6 +65,9 @@ class WalkTask:
     recorder and ships the buffered records home inside the result payload
     (``payload["telemetry"]``) — the pool outbox doubles as the telemetry
     uplink, so no extra IPC machinery exists for tracing.
+
+    ``fault`` is ``None`` unless a chaos plan targeted this dispatch (see
+    module docstring).
     """
 
     job_id: int
@@ -63,6 +80,7 @@ class WalkTask:
     poll_every: int = 64
     trace: Optional[TraceContext] = None
     milestone_every: int = 0
+    fault: Optional[Any] = None  # chaos WalkFault, picklable
 
 
 class GenerationCancelCallback:
@@ -70,12 +88,17 @@ class GenerationCancelCallback:
 
     The shared array is only polled every ``poll_every`` iterations — the
     scheme needs completion detection, not instantaneous preemption
-    (same trade-off as the process executor's event poll).
+    (same trade-off as the process executor's event poll).  When a shared
+    ``progress`` array is supplied, the same poll publishes the walk's
+    iteration count into ``progress[progress_index]`` — piggybacked, so
+    progress reporting costs nothing between polls.
     """
 
     def __init__(
         self, cancel_generations: Any, slot: int, generation: int,
         poll_every: int = 64,
+        progress: Any = None,
+        progress_index: int = 0,
     ) -> None:
         if poll_every < 1:
             raise ValueError(f"poll_every must be >= 1, got {poll_every}")
@@ -83,25 +106,55 @@ class GenerationCancelCallback:
         self.slot = slot
         self.generation = generation
         self.poll_every = poll_every
+        self.progress = progress
+        self.progress_index = progress_index
 
     def on_iteration(self, info: Any) -> bool | None:
-        if (
-            info.iteration % self.poll_every == 0
-            and self.cancel_generations[self.slot] >= self.generation
-        ):
-            return False
+        if info.iteration % self.poll_every == 0:
+            if self.progress is not None:
+                self.progress[self.progress_index] = info.iteration
+            if self.cancel_generations[self.slot] >= self.generation:
+                return False
+        return None
+
+
+class _FaultCallback:
+    """Applies an injected walk fault from inside the solver loop."""
+
+    def __init__(self, fault: Any) -> None:
+        self.fault = fault
+
+    def on_iteration(self, info: Any) -> bool | None:
+        fault = self.fault
+        if fault.action == "slow":
+            time.sleep(fault.iteration_delay)
+            return None
+        if info.iteration >= fault.at_iteration:
+            if fault.action == "exit":
+                os._exit(3)
+            raise RuntimeError(
+                f"chaos: injected walk crash at iteration {info.iteration}"
+            )
         return None
 
 
 def walk_payload(result: Any) -> dict[str, Any]:
-    """Reduce a :class:`SolveResult` to the picklable walk-report dict."""
+    """Reduce a :class:`SolveResult` to the picklable walk-report dict.
+
+    The configuration ships whether or not the walk solved —
+    ``result.config`` is the best configuration *seen*, which is what
+    graceful degradation (deadline expiry, partial cluster loss) returns
+    to the client as best-so-far.
+    """
     return {
         "solved": result.solved,
         "cost": result.cost,
         "iterations": result.stats.iterations,
         "wall_time": result.stats.wall_time,
         "reason": result.reason.name,
-        "config": result.config.tolist() if result.solved else None,
+        "config": (
+            result.config.tolist() if result.config is not None else None
+        ),
     }
 
 
@@ -110,6 +163,7 @@ def service_worker_main(
     inbox: Any,
     outbox: Any,
     cancel_generations: Any,
+    progress: Any = None,
 ) -> None:
     """Run the worker loop until a shutdown message arrives.
 
@@ -132,14 +186,28 @@ def service_worker_main(
             continue
         task: WalkTask = message[1]
         try:
+            fault = task.fault
+            if fault is not None and fault.at_iteration <= 0:
+                # pre-solve faults fire deterministically even for walks
+                # whose budget is smaller than one callback interval
+                if fault.action == "exit":
+                    os._exit(3)
+                if fault.action == "raise":
+                    raise RuntimeError(
+                        "chaos: injected walk crash before the first "
+                        "iteration"
+                    )
             problem = problems[task.problem_id]
             solver = AdaptiveSearch(task.config)
             callbacks: list[Any] = [
                 GenerationCancelCallback(
                     cancel_generations, task.slot, task.generation,
                     task.poll_every,
+                    progress=progress, progress_index=worker_id,
                 )
             ]
+            if fault is not None:
+                callbacks.append(_FaultCallback(fault))
             ring = None
             if task.trace is not None:
                 # traced walk: record telemetry into a bounded ring and

@@ -30,7 +30,9 @@ from repro.telemetry.events import (
     CancelAck,
     CancelBroadcast,
     EVENT_KINDS,
+    FaultInjected,
     FirstSolve,
+    HedgeDispatch,
     IterationMilestone,
     JobDispatch,
     JobFinish,
@@ -81,7 +83,8 @@ __all__ = [
     "TelemetryEvent", "JobSubmit", "JobDispatch", "JobFinish",
     "WalkStart", "WalkFinish", "IterationMilestone", "RestartEvent",
     "ResetEvent", "AssignEvent", "CancelBroadcast", "CancelAck",
-    "FirstSolve", "Span", "TraceContext", "EVENT_KINDS",
+    "FirstSolve", "HedgeDispatch", "FaultInjected", "Span",
+    "TraceContext", "EVENT_KINDS",
     "new_trace_id", "new_span_id", "event_to_record", "event_from_record",
     # metrics
     "Counter", "Gauge", "Histogram", "MetricsRegistry",

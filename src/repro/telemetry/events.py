@@ -50,6 +50,8 @@ __all__ = [
     "CancelBroadcast",
     "CancelAck",
     "FirstSolve",
+    "HedgeDispatch",
+    "FaultInjected",
     "Span",
     "TraceContext",
     "EVENT_KINDS",
@@ -225,6 +227,34 @@ class FirstSolve(TelemetryEvent):
 
 
 @dataclass(frozen=True, kw_only=True)
+class HedgeDispatch(TelemetryEvent):
+    """A straggling walk was hedged: a duplicate copy (same seed, same
+    generation) dispatched to another node; the first copy to report wins
+    and the loser is dropped as stale."""
+
+    kind = "hedge"
+
+    job_id: int = -1
+    walk_id: int = -1
+    node: str = ""
+    from_node: str = ""
+    elapsed: float = 0.0
+
+
+@dataclass(frozen=True, kw_only=True)
+class FaultInjected(TelemetryEvent):
+    """The chaos layer injected one fault (site = frame/walk/node/
+    coordinator) — lets a merged trace show *when* the failure happened
+    relative to the recovery machinery reacting to it."""
+
+    kind = "fault"
+
+    site: str = ""
+    action: str = ""
+    detail: str = ""
+
+
+@dataclass(frozen=True, kw_only=True)
 class Span(TelemetryEvent):
     """A named duration; ``ts`` is the epoch start time."""
 
@@ -243,7 +273,8 @@ EVENT_KINDS: dict[str, Type[TelemetryEvent]] = {
     for cls in (
         JobSubmit, JobDispatch, JobFinish, WalkStart, WalkFinish,
         IterationMilestone, RestartEvent, ResetEvent, AssignEvent,
-        CancelBroadcast, CancelAck, FirstSolve, Span,
+        CancelBroadcast, CancelAck, FirstSolve, HedgeDispatch,
+        FaultInjected, Span,
     )
 }
 

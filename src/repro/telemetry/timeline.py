@@ -91,6 +91,8 @@ class TraceSummary:
     first_solve: Optional[dict[str, Any]] = None
     restarts: int = 0
     resets: int = 0
+    hedges: list[dict[str, Any]] = field(default_factory=list)
+    faults: list[dict[str, Any]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -216,6 +218,10 @@ def analyze_trace(
             summary.restarts += 1
         elif kind == "reset":
             summary.resets += 1
+        elif kind == "hedge":
+            summary.hedges.append(record)
+        elif kind == "fault":
+            summary.faults.append(record)
         elif kind == "span":
             summary.spans.append(record)
     return summary
@@ -309,6 +315,18 @@ def _describe(record: dict[str, Any]) -> str:
         return (
             f"span {record.get('name')} {_ms(record.get('duration', 0.0))}"
         )
+    if kind == "hedge":
+        return (
+            f"hedge job={record.get('job_id')} walk={record.get('walk_id')} "
+            f"{record.get('from_node') or '?'} -> {record.get('node')} "
+            f"after {_ms(record.get('elapsed', 0.0))}"
+        )
+    if kind == "fault":
+        detail = record.get("detail") or ""
+        return (
+            f"fault injected: {record.get('site')}/{record.get('action')}"
+            + (f" ({detail})" if detail else "")
+        )
     if kind == "restart":
         return f"restart #{record.get('restart_index')} walk={record.get('walk_id')}"
     if kind == "reset":
@@ -378,5 +396,22 @@ def render_report(summary: TraceSummary) -> str:
         lines.append(
             f"solver: {summary.restarts} restart(s), "
             f"{summary.resets} partial reset(s)"
+        )
+    if summary.hedges:
+        lines.append("")
+        lines.append(f"hedged re-dispatches ({len(summary.hedges)})")
+        for hedge in summary.hedges:
+            lines.append(
+                f"  walk {hedge.get('walk_id')} "
+                f"{hedge.get('from_node') or '?'} -> {hedge.get('node')} "
+                f"after {_ms(hedge.get('elapsed', 0.0))}"
+            )
+    if summary.faults:
+        lines.append("")
+        lines.append(
+            f"injected faults ({len(summary.faults)}): "
+            + ", ".join(
+                f"{f.get('site')}/{f.get('action')}" for f in summary.faults
+            )
         )
     return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Graceful degradation: deadline expiry and partial cluster loss must
+return best-so-far configurations flagged ``degraded`` instead of
+throwing the completed work away.
+"""
+
+import multiprocessing as mp
+import time
+
+import pytest
+
+from repro.chaos import FaultPlan, NodeFault, WalkFault
+from repro.core.config import AdaptiveSearchConfig
+from repro.net import LocalCluster
+from repro.net.results import NetJobResult
+from repro.problems import make_problem
+from repro.service import JobStatus
+
+# a board far too big to solve in this budget: walks always run to the
+# iteration cap and report UNSOLVED with their best configuration
+SHORT = AdaptiveSearchConfig(max_iterations=2000)
+
+FAST = dict(heartbeat_interval=0.1, heartbeat_timeout=1.0)
+
+
+def no_service_orphans(grace: float = 15.0) -> bool:
+    """True once every pool worker is gone.  A chaos-killed agent tears
+    its pool down asynchronously (the slowed walk only notices the
+    cancel token at its next poll), so allow a short wind-down."""
+    deadline = time.monotonic() + grace
+    while time.monotonic() < deadline:
+        if not [
+            p
+            for p in mp.active_children()
+            if p.name.startswith("repro-service")
+        ]:
+            return True
+        time.sleep(0.1)
+    return False
+
+
+@pytest.mark.slow
+class TestDeadlineDegradation:
+    def test_deadline_returns_best_so_far(self):
+        # three walks finish their budget in well under a second; walk 0
+        # is slowed so hard it cannot finish before the deadline
+        plan = FaultPlan(
+            [WalkFault("slow", walk_id=0, iteration_delay=0.1)],
+            seed=0,
+            name="deadline",
+        )
+        with LocalCluster(
+            n_nodes=2, workers_per_node=2, chaos=plan, **FAST
+        ) as cluster:
+            client = cluster.client()
+            problem = make_problem("magic_square", n=30)
+            result = client.submit(
+                problem, 4, seed=0, config=SHORT, deadline=2.5
+            ).result(timeout=60)
+        assert result.status is JobStatus.TIMED_OUT
+        assert result.degraded
+        assert "deadline expired" in result.error
+        # the completed walks' best configuration survives
+        assert result.best_config is not None
+        assert result.best_cost is not None and result.best_cost > 0
+        assert 1 <= len(result.walks) <= 3
+        assert no_service_orphans()
+
+
+@pytest.mark.slow
+class TestPartialClusterLoss:
+    def test_failed_job_keeps_completed_walks(self):
+        # walk 1 (on node-1) completes its budget quickly; walk 0's node
+        # is killed and the re-dispatch budget is zero, so the job fails
+        # — but with walk 1's result attached and the degraded flag set
+        plan = FaultPlan(
+            [
+                WalkFault("slow", walk_id=0, iteration_delay=0.1),
+                NodeFault("kill", node="node-0", after=0.8),
+            ],
+            seed=0,
+            name="partial-loss",
+        )
+        with LocalCluster(
+            n_nodes=2, workers_per_node=1, max_redispatch=0, chaos=plan, **FAST
+        ) as cluster:
+            client = cluster.client()
+            problem = make_problem("magic_square", n=30)
+            result = client.submit(
+                problem, 2, seed=0, config=SHORT
+            ).result(timeout=60)
+        assert result.status is JobStatus.FAILED
+        assert "re-dispatch budget" in result.error
+        assert result.degraded
+        assert len(result.walks) == 1
+        assert result.best_config is not None
+        assert no_service_orphans()
+
+
+class TestDegradedResultSurface:
+    def test_summary_marks_degraded_results(self):
+        result = NetJobResult(
+            job_id=1,
+            status=JobStatus.TIMED_OUT,
+            n_walkers=4,
+            error="deadline expired with 1 of 4 walks unfinished",
+            degraded=True,
+        )
+        assert "DEGRADED" in result.summary()
+
+    def test_healthy_result_is_not_degraded(self):
+        result = NetJobResult(
+            job_id=1, status=JobStatus.UNSOLVED, n_walkers=1
+        )
+        assert result.degraded is False
+        assert "DEGRADED" not in result.summary()

@@ -1,0 +1,204 @@
+"""FaultPlan unit tests — above all, determinism.
+
+An injection decision is a pure function of (plan seed, query sequence):
+two plans with the same seed fed the same queries must produce
+byte-identical replay logs.  That property is what makes a chaos
+scenario a *regression test* instead of a flake generator.
+"""
+
+import pytest
+
+from repro.chaos import (
+    ChaosError,
+    CoordinatorCrash,
+    FaultPlan,
+    FrameFault,
+    NodeFault,
+    SCENARIO_NAMES,
+    WalkFault,
+    build_plan,
+    fault_from_dict,
+    plan_from_dict,
+)
+from repro.errors import ReproError
+
+
+def _scripted_queries(plan: FaultPlan) -> list:
+    """A fixed query script touching every seam, as a cluster run would."""
+    plan.arm()
+    out = []
+    for walk_id in range(6):
+        out.append(plan.walk_fault(walk_id, job_id=0))
+    for point in ("submit", "dispatch", "walk_result", "finish"):
+        out.append(plan.coordinator_crash(point))
+    for message_type in ("heartbeat", "walk_result", "assign"):
+        for _ in range(4):
+            out.append(plan.frame_fault(message_type))
+    for node in ("node-0", "node-1"):
+        out.append(plan.node_state(node))
+    return out
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_named_scenario_plans_replay_identically(self, name):
+        first = build_plan(name, seed=42)
+        second = build_plan(name, seed=42)
+        _scripted_queries(first)
+        _scripted_queries(second)
+        assert first.log == second.log
+        assert len(first.log) >= 1  # the script reaches every seam
+
+    def test_probabilistic_sequence_is_seed_deterministic(self):
+        spec = FrameFault(
+            "drop", message_type="heartbeat", probability=0.4, max_count=99
+        )
+        fired = []
+        for seed in (7, 7, 8):
+            plan = FaultPlan([spec], seed=seed).arm()
+            fired.append(
+                [plan.frame_fault("heartbeat") is not None for _ in range(64)]
+            )
+        assert fired[0] == fired[1]  # same seed, same coin flips
+        assert fired[0] != fired[2]  # different seed, different sequence
+        assert any(fired[0]) and not all(fired[0])
+
+    def test_corrupt_frame_offset_is_seed_deterministic(self):
+        frame = bytes(range(64))
+        one = FaultPlan([], seed=3).corrupt_frame(frame, 9)
+        two = FaultPlan([], seed=3).corrupt_frame(frame, 9)
+        assert one == two
+        assert one != frame
+        assert one[:9] == frame[:9]  # the header is never touched
+
+    def test_reset_replays_from_scratch(self):
+        plan = FaultPlan(
+            [WalkFault("raise", walk_id=2)], seed=1, name="x"
+        ).arm()
+        _scripted_queries(plan)
+        first_log = list(plan.log)
+        plan.reset()
+        _scripted_queries(plan)
+        assert plan.log == first_log
+
+
+class TestGates:
+    def test_max_count_exhausts(self):
+        plan = FaultPlan([WalkFault("raise", walk_id=1, max_count=2)]).arm()
+        hits = [plan.walk_fault(1) is not None for _ in range(5)]
+        assert hits == [True, True, False, False, False]
+
+    def test_skip_first_defers(self):
+        plan = FaultPlan(
+            [CoordinatorCrash("dispatch", skip_first=2)]
+        ).arm()
+        hits = [plan.coordinator_crash("dispatch") for _ in range(4)]
+        assert hits == [False, False, True, False]
+
+    def test_walk_fault_matches_ids(self):
+        plan = FaultPlan([WalkFault("exit", walk_id=3, job_id=1)]).arm()
+        assert plan.walk_fault(3, job_id=0) is None
+        assert plan.walk_fault(2, job_id=1) is None
+        fault = plan.walk_fault(3, job_id=1)
+        assert fault is not None and fault.action == "exit"
+
+    def test_wildcard_walk_fault_matches_any(self):
+        plan = FaultPlan([WalkFault("raise")]).arm()
+        assert plan.walk_fault(17, job_id=99) is not None
+
+    def test_frame_fault_filters_message_type(self):
+        plan = FaultPlan(
+            [FrameFault("drop", message_type="walk_result")]
+        ).arm()
+        assert plan.frame_fault("heartbeat") is None
+        assert plan.frame_fault("walk_result") is not None
+
+    def test_node_window_open_and_closed(self):
+        plan = FaultPlan(
+            [
+                NodeFault("partition", node="node-0"),
+                NodeFault("stall", node="node-1", after=9999.0),
+            ]
+        ).arm()
+        assert plan.node_state("node-0") == "partition"
+        assert plan.node_state("node-1") == "ok"  # window not open yet
+        assert plan.node_state("node-2") == "ok"
+        # the transition is logged once, not per query
+        plan.node_state("node-0")
+        assert [e for e in plan.log if e["site"] == "node"] == [
+            {"site": "node", "action": "partition", "node": "node-0"}
+        ]
+
+
+class TestValidationAndSerialization:
+    def test_chaos_error_is_repro_error(self):
+        assert issubclass(ChaosError, ReproError)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            lambda: FrameFault("explode"),
+            lambda: WalkFault("melt"),
+            lambda: NodeFault("vanish"),
+            lambda: CoordinatorCrash("coffee_break"),
+            lambda: FaultPlan([object()]),
+        ],
+    )
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ChaosError):
+            bad()
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ChaosError, match="unknown chaos scenario"):
+            build_plan("does-not-exist")
+
+    def test_plan_from_dict_roundtrip(self):
+        plan = plan_from_dict(
+            {
+                "name": "from-json",
+                "seed": 11,
+                "faults": [
+                    {"kind": "frame", "action": "delay", "delay": 0.2},
+                    {"kind": "walk", "action": "exit", "walk_id": 1},
+                    {
+                        "kind": "node",
+                        "action": "kill",
+                        "node": "node-0",
+                        "after": 0.5,
+                        "duration": None,
+                    },
+                    {"kind": "coordinator_crash", "point": "submit"},
+                ],
+            }
+        )
+        assert plan.name == "from-json" and plan.seed == 11
+        assert [type(f).__name__ for f in plan.faults] == [
+            "FrameFault",
+            "WalkFault",
+            "NodeFault",
+            "CoordinatorCrash",
+        ]
+        assert plan.faults[2].duration == float("inf")
+
+    @pytest.mark.parametrize(
+        "data,match",
+        [
+            ({"faults": [{"action": "drop"}]}, "kind"),
+            ({"faults": [{"kind": "meteor"}]}, "unknown fault kind"),
+            (
+                {"faults": [{"kind": "walk", "action": "exit", "bogus": 1}]},
+                "bad walk fault spec",
+            ),
+            ("not a dict", "must be an object"),
+        ],
+    )
+    def test_bad_plan_dicts_rejected(self, data, match):
+        with pytest.raises(ChaosError, match=match):
+            plan_from_dict(data)
+
+    def test_reseeded_keeps_faults_changes_seed(self):
+        plan = build_plan("corrupt-frame", seed=1)
+        other = plan.reseeded(2)
+        assert other.seed == 2
+        assert other.faults == plan.faults
+        assert other.name == plan.name

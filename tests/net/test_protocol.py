@@ -1,6 +1,7 @@
 """Frame codec and handshake tests (no cluster required)."""
 
 import socket
+import zlib
 
 import numpy as np
 import pytest
@@ -20,10 +21,13 @@ from repro.net.protocol import (
 
 def roundtrip(message: Message) -> Message:
     frame = encode_message(message)
+    # header layout (v3): uint32 body_len | uint8 kind | uint32 crc32
     body_len = int.from_bytes(frame[:4], "big")
     kind = frame[4]
-    body = frame[5:]
+    crc = int.from_bytes(frame[5:9], "big")
+    body = frame[9:]
     assert body_len == len(body)
+    assert crc == zlib.crc32(body)
     return decode_frame_body(kind, body)
 
 
@@ -111,10 +115,35 @@ class TestSyncSocketTransport:
         finally:
             right.close()
 
+    def test_corrupt_body_rejected_by_crc(self):
+        left, right = socket.socketpair()
+        try:
+            frame = bytearray(encode_message(Message("a", {"k": "value"})))
+            frame[-1] ^= 0xFF  # flip one body bit on the wire
+            left.sendall(bytes(frame))
+            with pytest.raises(NetError, match="CRC mismatch"):
+                recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_corrupt_header_crc_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            frame = bytearray(encode_message(Message("a", {"k": "value"})))
+            frame[6] ^= 0x55  # damage the stored CRC itself
+            left.sendall(bytes(frame))
+            with pytest.raises(NetError, match="CRC mismatch"):
+                recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
     def test_corrupt_length_prefix_rejected(self):
         left, right = socket.socketpair()
         try:
-            left.sendall(b"\xff\xff\xff\xff\x00")
+            # full v3 header (9 bytes) with an absurd body length
+            left.sendall(b"\xff\xff\xff\xff\x00\x00\x00\x00\x00")
             with pytest.raises(NetError, match="claims"):
                 recv_message(right)
         finally:

@@ -1,9 +1,12 @@
 """Failure injection: node death, re-dispatch, and pending dispatch.
 
-These tests use ``LocalCluster.kill_agent`` — an aborted TCP connection
-with no goodbye, indistinguishable from a crashed host — so the
-coordinator's failure detector and re-dispatch path run with no mocks.
-Each scenario gets its own cluster (aggressive heartbeats, real pools).
+Node deaths are injected with seeded :mod:`repro.chaos` fault plans: a
+``NodeFault("kill", after=...)`` makes the agent abort its TCP
+connection with no goodbye at a planned time — indistinguishable from a
+crashed host — so the coordinator's failure detector and re-dispatch
+path run with no mocks, and the injection schedule is part of the test
+instead of a sleep-then-kill race in the test body.  Each scenario gets
+its own cluster (aggressive heartbeats, real pools).
 """
 
 import multiprocessing as mp
@@ -11,6 +14,7 @@ import time
 
 import pytest
 
+from repro.chaos import FaultPlan, NodeFault
 from repro.core.config import AdaptiveSearchConfig
 from repro.net import LocalCluster
 from repro.problems import make_problem
@@ -23,10 +27,19 @@ FAST_DETECT = dict(
 )
 
 
-def no_service_orphans() -> bool:
-    return not [
-        p for p in mp.active_children() if p.name.startswith("repro-service")
-    ]
+def no_service_orphans(grace: float = 15.0) -> bool:
+    """True once every pool worker is gone (chaos-killed agents tear
+    their pools down asynchronously, so allow a short wind-down)."""
+    deadline = time.monotonic() + grace
+    while time.monotonic() < deadline:
+        if not [
+            p
+            for p in mp.active_children()
+            if p.name.startswith("repro-service")
+        ]:
+            return True
+        time.sleep(0.1)
+    return False
 
 
 @pytest.mark.slow
@@ -34,12 +47,15 @@ class TestNodeDeath:
     def test_kill_one_node_mid_job(self):
         """Acceptance scenario: one node dies mid-job; the job completes
         anyway via re-dispatch to the survivor."""
-        with LocalCluster(n_nodes=2, **FAST_DETECT) as cluster:
+        plan = FaultPlan(
+            [NodeFault("kill", node="node-0", after=0.5)],
+            seed=0,
+            name="kill-one",
+        )
+        with LocalCluster(n_nodes=2, chaos=plan, **FAST_DETECT) as cluster:
             client = cluster.client()
             problem = make_problem("magic_square", n=16)
             handle = client.submit(problem, 4, seed=2, config=CFG)
-            time.sleep(0.5)  # walks are running on both nodes
-            cluster.kill_agent(0)
             result = handle.result(timeout=300)
             assert result.status is JobStatus.SOLVED
             assert problem.is_solution(result.config)
@@ -49,17 +65,24 @@ class TestNodeDeath:
             stats = client.stats()
             assert stats["coordinator"]["nodes_lost"] == 1
             assert stats["coordinator"]["redispatches"] >= 1
+        assert [e["action"] for e in plan.log if e["site"] == "node"] == [
+            "kill"
+        ]
         assert no_service_orphans()
 
     def test_kill_every_node_fails_loudly(self):
-        with LocalCluster(n_nodes=2, **FAST_DETECT) as cluster:
+        plan = FaultPlan(
+            [
+                NodeFault("kill", node="node-0", after=0.3),
+                NodeFault("kill", node="node-1", after=0.6),
+            ],
+            seed=0,
+            name="kill-all",
+        )
+        with LocalCluster(n_nodes=2, chaos=plan, **FAST_DETECT) as cluster:
             client = cluster.client()
             problem = make_problem("magic_square", n=30)  # hours of work
             handle = client.submit(problem, 2, seed=0, config=CFG)
-            time.sleep(0.3)
-            cluster.kill_agent(0)
-            time.sleep(0.3)
-            cluster.kill_agent(1)
             result = handle.result(timeout=60)
             assert result.status is JobStatus.FAILED
             assert "no surviving nodes" in result.error
@@ -67,12 +90,17 @@ class TestNodeDeath:
 
     def test_redispatch_budget_exhausted(self):
         """With max_redispatch=0 the first node death fails the job."""
-        with LocalCluster(n_nodes=2, max_redispatch=0, **FAST_DETECT) as cluster:
+        plan = FaultPlan(
+            [NodeFault("kill", node="node-0", after=0.3)],
+            seed=0,
+            name="budget",
+        )
+        with LocalCluster(
+            n_nodes=2, max_redispatch=0, chaos=plan, **FAST_DETECT
+        ) as cluster:
             client = cluster.client()
             problem = make_problem("magic_square", n=30)
             handle = client.submit(problem, 2, seed=0, config=CFG)
-            time.sleep(0.3)
-            cluster.kill_agent(0)
             result = handle.result(timeout=60)
             assert result.status is JobStatus.FAILED
             assert "re-dispatch budget" in result.error

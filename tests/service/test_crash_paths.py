@@ -3,13 +3,18 @@
 The service must convert worker failures into per-job retries (soft crash:
 the walk raises, the worker survives; hard crash: the worker process dies
 and is respawned) and must never leave orphaned processes behind.
+
+Failures are injected with :mod:`repro.chaos` fault plans — the same
+seeded ``WalkFault`` specs the cluster-level chaos scenarios use — except
+for one test that keeps a problem whose *evaluation* raises, covering the
+user-code seam the chaos layer deliberately sits below.
 """
 
 import multiprocessing as mp
-import os
 
 import pytest
 
+from repro.chaos import FaultPlan, WalkFault
 from repro.core.config import AdaptiveSearchConfig
 from repro.problems import CostasProblem
 from repro.service import JobStatus, RetryPolicy, SolverService
@@ -25,29 +30,6 @@ class AlwaysRaiseProblem(CostasProblem):
         raise RuntimeError("injected failure")
 
 
-class HardExitProblem(CostasProblem):
-    """Every evaluation kills the worker process outright (hard crash)."""
-
-    def variable_errors(self, state):
-        os._exit(3)
-
-
-class CrashOnceProblem(CostasProblem):
-    """Raises on the first attempt only (flagged through the filesystem),
-    so the retried walk succeeds."""
-
-    def __init__(self, n, flag_path):
-        super().__init__(n)
-        self.flag_path = str(flag_path)
-
-    def variable_errors(self, state):
-        if not os.path.exists(self.flag_path):
-            with open(self.flag_path, "w", encoding="utf-8") as fh:
-                fh.write("crashed")
-            raise RuntimeError("transient failure")
-        return super().variable_errors(state)
-
-
 def no_service_orphans():
     return not [
         p for p in mp.active_children() if p.name.startswith("repro-service")
@@ -57,24 +39,34 @@ def no_service_orphans():
 @pytest.mark.slow
 class TestSoftCrash:
     def test_retry_budget_exhaustion_fails_the_job(self):
-        problem = AlwaysRaiseProblem(8)
-        service = SolverService(1)
+        # every dispatch of the walk carries a raise fault, so every
+        # retry crashes too and the budget runs out
+        plan = FaultPlan([WalkFault("raise", max_count=99)], seed=0)
+        service = SolverService(1, chaos=plan)
         with service:
             result = service.solve(
-                problem, 1, seed=0, config=CFG, retry=FAST_RETRY, timeout=120
+                CostasProblem(8),
+                1,
+                seed=0,
+                config=CFG,
+                retry=FAST_RETRY,
+                timeout=120,
             )
             snapshot = service.snapshot()
         assert result.status is JobStatus.FAILED
-        assert "injected failure" in result.error
+        assert "chaos: injected walk crash" in result.error
         assert result.crashes == FAST_RETRY.max_retries + 1
         assert result.retries == FAST_RETRY.max_retries
         # the worker caught the exception and survived: no respawns
         assert snapshot.worker_respawns == 0
+        assert len(plan.log) == FAST_RETRY.max_retries + 1
         assert no_service_orphans()
 
-    def test_crash_then_retry_succeeds(self, tmp_path):
-        problem = CrashOnceProblem(8, tmp_path / "crashed.flag")
-        with SolverService(1) as service:
+    def test_crash_then_retry_succeeds(self):
+        # the fault fires once; the retried dispatch runs clean
+        plan = FaultPlan([WalkFault("raise", max_count=1)], seed=0)
+        problem = CostasProblem(8)
+        with SolverService(1, chaos=plan) as service:
             result = service.solve(
                 problem, 1, seed=0, config=CFG, retry=FAST_RETRY, timeout=120
             )
@@ -85,7 +77,9 @@ class TestSoftCrash:
 
     def test_crash_does_not_poison_other_jobs(self):
         """A failing job shares the pool with a healthy one; only the
-        failing job is affected."""
+        failing job is affected.  This one keeps the ad-hoc raising
+        problem: it covers crashes thrown by *user evaluation code*, a
+        layer below the chaos injection points."""
         bad = AlwaysRaiseProblem(8)
         good = CostasProblem(8)
         with SolverService(2) as service:
@@ -99,16 +93,36 @@ class TestSoftCrash:
         assert good_result.status is JobStatus.SOLVED
         assert good.is_solution(good_result.config)
 
+    def test_fault_targets_only_its_job(self):
+        """A job-scoped fault plan leaves other jobs untouched."""
+        plan = FaultPlan([WalkFault("raise", job_id=0, max_count=99)], seed=0)
+        good = CostasProblem(8)
+        with SolverService(2, chaos=plan) as service:
+            bad_handle = service.submit(
+                good, 1, seed=0, config=CFG, retry=FAST_RETRY
+            )
+            good_handle = service.submit(good, 2, seed=1, config=CFG)
+            bad_result = bad_handle.result(timeout=120)
+            good_result = good_handle.result(timeout=120)
+        assert bad_result.status is JobStatus.FAILED
+        assert good_result.status is JobStatus.SOLVED
+
 
 @pytest.mark.slow
 class TestHardCrash:
     def test_dead_worker_is_respawned_and_job_fails(self):
-        problem = HardExitProblem(8)
+        # every dispatch hard-exits its worker; the pool heals each time
+        plan = FaultPlan([WalkFault("exit", max_count=99)], seed=0)
         policy = RetryPolicy(max_retries=1, backoff=0.01)
-        service = SolverService(1, tick=0.002)
+        service = SolverService(1, tick=0.002, chaos=plan)
         with service:
             result = service.solve(
-                problem, 1, seed=0, config=CFG, retry=policy, timeout=120
+                CostasProblem(8),
+                1,
+                seed=0,
+                config=CFG,
+                retry=policy,
+                timeout=120,
             )
             snapshot = service.snapshot()
             # the pool healed itself: the worker slot is alive again
@@ -121,15 +135,15 @@ class TestHardCrash:
         assert service._pool.live_processes() == []
         assert no_service_orphans()
 
-    def test_pool_keeps_serving_after_a_hard_crash(self, tmp_path):
+    def test_pool_keeps_serving_after_a_hard_crash(self):
         """After a worker death the respawned worker still knows every
         registered problem and solves follow-up jobs."""
-        killer = HardExitProblem(8)
+        plan = FaultPlan([WalkFault("exit", max_count=1)], seed=0)
         healthy = CostasProblem(8)
         policy = RetryPolicy(max_retries=0)
-        with SolverService(1, tick=0.002) as service:
+        with SolverService(1, tick=0.002, chaos=plan) as service:
             first = service.solve(
-                killer, 1, seed=0, config=CFG, retry=policy, timeout=120
+                healthy, 1, seed=0, config=CFG, retry=policy, timeout=120
             )
             assert first.status is JobStatus.FAILED
             second = service.solve(healthy, 1, seed=1, config=CFG, timeout=120)

@@ -12,7 +12,9 @@ from repro.telemetry.events import (
     AssignEvent,
     CancelAck,
     CancelBroadcast,
+    FaultInjected,
     FirstSolve,
+    HedgeDispatch,
     IterationMilestone,
     JobDispatch,
     JobFinish,
@@ -51,6 +53,10 @@ SAMPLE_EVENTS = [
     CancelAck(ts=2.0, trace_id="t1", job_id=3, node="node-1", latency=0.002),
     FirstSolve(ts=2.1, trace_id="t1", job_id=3, walk_id=2, node="node-1",
                wall_time=0.3),
+    HedgeDispatch(ts=2.15, trace_id="t1", job_id=3, walk_id=2,
+                  node="node-1", from_node="node-0", elapsed=1.5),
+    FaultInjected(ts=2.18, trace_id="t1", site="frame", action="corrupt",
+                  detail="walk_result"),
     Span(ts=2.2, trace_id="t1", name="job.total", duration=0.7,
          span_id="abc", parent_id="def", attrs={"status": "solved"}),
 ]
