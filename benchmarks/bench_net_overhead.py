@@ -38,6 +38,7 @@ from pathlib import Path
 
 from repro.core.config import AdaptiveSearchConfig
 from repro.net import LocalCluster
+from repro.net.protocol import pickle_blob
 from repro.problems import make_problem
 from repro.service import SolverService
 
@@ -156,6 +157,9 @@ def main(argv=None) -> int:
             timeout=600,
         )  # warm-up
         net = measure_net(client, probe_problem, n_jobs, probe_config)
+        # protocol v4 dispatch-dedup accounting: every probe job reuses the
+        # one problem the warm-up shipped, so later assigns are digest-only
+        probe_counters = dict(cluster.coordinator.counters)
 
         print("bursting concurrent jobs across the cluster ...", flush=True)
         n_solved, elapsed, spread, failures = run_throughput_phase(
@@ -166,6 +170,13 @@ def main(argv=None) -> int:
     local_med = statistics.median(local)
     net_med = statistics.median(net)
     overhead_ms = (net_med - local_med) * 1e3
+    problem_bytes = len(pickle_blob(probe_problem))
+    repeat_assigns = probe_counters["repeat_assigns"]
+    mean_repeat = (
+        probe_counters["repeat_assign_bytes"] / repeat_assigns
+        if repeat_assigns
+        else float("inf")
+    )
     lines += [
         "per-job latency, identical budget-capped "
         f"{PROBE_WALKERS}-walk job "
@@ -184,9 +195,32 @@ def main(argv=None) -> int:
         f"dispatched, {counters['walk_results']} results, "
         f"{counters['stale_results']} stale, "
         f"{counters['redispatches']} re-dispatches",
+        "",
+        "dispatch payload size (protocol v4 problem dedup, probe phase):",
+        f"  problem pickle    : {problem_bytes} bytes",
+        f"  problems shipped  : {probe_counters['problems_shipped']} "
+        f"(<= {args.nodes} nodes, once per connection)",
+        f"  repeat assigns    : {repeat_assigns} at mean "
+        f"{mean_repeat:.0f} bytes (digest-only)",
     ]
 
     ok = True
+    if probe_counters["problems_shipped"] > args.nodes:
+        ok = False
+        lines.append(
+            f"FAIL: problem re-shipped — {probe_counters['problems_shipped']} "
+            f"ships for one problem across {args.nodes} nodes"
+        )
+    if repeat_assigns == 0:
+        ok = False
+        lines.append("FAIL: no repeat assigns observed in the probe phase")
+    elif mean_repeat >= problem_bytes:
+        ok = False
+        lines.append(
+            f"FAIL: repeat assigns average {mean_repeat:.0f} bytes — not "
+            f"smaller than the {problem_bytes}-byte problem pickle, so "
+            "dispatch is still re-shipping problem state"
+        )
     if overhead_ms > args.max_overhead_ms:
         ok = False
         lines.append(
@@ -233,6 +267,16 @@ def main(argv=None) -> int:
                         "nodes_used": sorted(spread),
                     },
                     "counters": counters,
+                    "dispatch_dedup": {
+                        "problem_bytes": problem_bytes,
+                        "problems_shipped": probe_counters[
+                            "problems_shipped"
+                        ],
+                        "repeat_assigns": repeat_assigns,
+                        "mean_repeat_assign_bytes": (
+                            mean_repeat if repeat_assigns else None
+                        ),
+                    },
                     "pass": ok,
                 },
                 indent=2,

@@ -70,6 +70,70 @@ def bench_solver_iteration_rate(benchmark):
     assert result.stats.iterations == 300
 
 
+# ----------------------------------------------------------------------
+# vector-walk kernels: the batched counterparts of the scalar kernels
+# above, timed per lane so the numbers are directly comparable
+# ----------------------------------------------------------------------
+VECTOR_PROBLEMS = [
+    ("costas", {"n": 14}),
+    ("magic_square", {"n": 30}),
+    ("all_interval", {"n": 40}),
+]
+VECTOR_K = 128
+
+
+def _vector_fixture(family, params):
+    from repro.vector.problems import as_vector_problem
+
+    problem = make_problem(family, **params)
+    vp = as_vector_problem(problem, VECTOR_K)
+    rng = np.random.default_rng(0)
+    configs = np.stack(
+        [problem.random_configuration(rng) for _ in range(VECTOR_K)]
+    )
+    vp.begin_round(configs)
+    return problem, vp, configs
+
+
+@pytest.mark.parametrize("family,params", VECTOR_PROBLEMS)
+def bench_vector_errors(benchmark, family, params):
+    """Batched per-variable errors across all lanes (one call)."""
+    problem, vp, configs = _vector_fixture(family, params)
+    errors = benchmark(lambda: vp.errors())
+    assert errors.shape == (VECTOR_K, problem.size)
+
+
+@pytest.mark.parametrize("family,params", VECTOR_PROBLEMS)
+def bench_vector_deltas(benchmark, family, params):
+    """Batched best-swap deltas for one selected variable per lane."""
+    problem, vp, configs = _vector_fixture(family, params)
+    i_sel = np.full(VECTOR_K, problem.size // 2, dtype=np.int64)
+    deltas = benchmark(lambda: vp.deltas(i_sel))
+    assert deltas.shape == (VECTOR_K, problem.size)
+
+
+def bench_vector_iteration_rate(benchmark):
+    """End-to-end lane-iterations/second of the vector engine.
+
+    Compare against ``bench_solver_iteration_rate`` after dividing the
+    vector time by ``VECTOR_K`` — the ratio is the batching speedup that
+    ``benchmarks/bench_vector_walk.py`` gates.
+    """
+    from repro.vector.engine import VectorWalkEngine
+
+    problem = make_problem("magic_square", n=12)
+    cfg = AdaptiveSearchConfig(max_iterations=300)
+
+    def run():
+        engine = VectorWalkEngine(problem, k=VECTOR_K, config=cfg, seed=3)
+        engine.run()
+        return engine
+
+    engine = benchmark.pedantic(run, rounds=5, iterations=1)
+    # a lucky lane may solve early; the bulk must exhaust the budget
+    assert int(engine.iterations.max()) == 300
+
+
 def bench_model_solver_iteration_rate(benchmark):
     """End-to-end iteration rate of the declarative (model-defined) path.
 

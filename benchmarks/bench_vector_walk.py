@@ -1,0 +1,201 @@
+"""Vector-walk engine throughput benchmark (standalone script).
+
+Measures aggregate Adaptive Search iterations/second of the NumPy-batched
+:class:`~repro.vector.engine.VectorWalkEngine` against the scalar engine on
+the two paper-relevant hard families (magic-square n>=30, Costas n>=14),
+and gates the speedup ratio.
+
+Methodology — built for a noisy shared machine:
+
+- **interleaving**: each repetition measures the scalar engine immediately
+  before the vector engine, so background load shifts both rates of a
+  ratio, not one side;
+- **per-rep ratios**: the gated quantity is the per-repetition
+  vector/scalar ratio, never a ratio of aggregate medians;
+- **median of ratios** over ``--reps`` repetitions (default 5, smoke 3);
+- **lane sweep**: the vector engine amortizes per-call NumPy overhead over
+  ``k`` lanes, so the sweep covers several ``k`` and the report keeps the
+  per-``k`` medians plus the best one (the headline number a user can
+  reproduce by picking that ``k``).
+
+Run as a script (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_vector_walk.py
+    PYTHONPATH=src python benchmarks/bench_vector_walk.py --smoke
+
+Writes ``BENCH_vector.json`` at the repository root (override with
+``--json``).  Exit code 0 iff every case clears ``--min-ratio``
+(default 10x, smoke 5x — smoke shrinks lane counts and budgets to stay
+CI-fast, which costs batching efficiency).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.solver import AdaptiveSearch
+from repro.problems import make_problem
+
+ARTIFACT = Path(__file__).parent / "out" / "vector_walk.txt"
+DEFAULT_JSON = Path(__file__).parent.parent / "BENCH_vector.json"
+
+#: benchmark cases: paper-relevant sizes where batching must pay off
+CASES = [
+    ("magic_square", {"n": 30}),
+    ("costas", {"n": 14}),
+]
+
+
+def scalar_rate(family: str, params: dict, iters: int, seed: int) -> float:
+    """Iterations/second of one scalar walk with a fixed budget."""
+    problem = make_problem(family, **params)
+    config = AdaptiveSearchConfig(max_iterations=iters)
+    start = time.perf_counter()
+    result = AdaptiveSearch(config).solve(problem, seed)
+    elapsed = time.perf_counter() - start
+    return result.stats.iterations / elapsed
+
+
+def vector_rate(
+    family: str, params: dict, iters: int, k: int, seed: int
+) -> float:
+    """Aggregate lane-iterations/second of a ``k``-lane vector batch."""
+    from repro.vector.engine import VectorWalkEngine
+
+    problem = make_problem(family, **params)
+    config = AdaptiveSearchConfig(max_iterations=iters)
+    engine = VectorWalkEngine(problem, k=k, config=config, seed=seed)
+    start = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - start
+    return int(engine.iterations.sum()) / elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fast run for CI (fewer lanes/iterations, 5x gate)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=None,
+        help="interleaved repetitions per (case, k) point "
+        "(default 5, smoke 3)",
+    )
+    parser.add_argument(
+        "--lanes", type=int, nargs="+", default=None,
+        help="lane counts to sweep (default 128 192 256, smoke 64)",
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, default=None,
+        help="required best-k median speedup (default 10, smoke 5)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help=f"machine-readable results path (default {DEFAULT_JSON})",
+    )
+    args = parser.parse_args(argv)
+    lane_sweep = args.lanes or ([64] if args.smoke else [128, 192, 256])
+    reps = args.reps or (3 if args.smoke else 5)
+    min_ratio = args.min_ratio if args.min_ratio is not None else (
+        5.0 if args.smoke else 10.0
+    )
+    scalar_iters = 1500 if args.smoke else 4000
+    vector_iters = 150 if args.smoke else 300
+
+    lines = [
+        f"vector-walk bench: lanes {lane_sweep}, {reps} reps, "
+        f"scalar budget {scalar_iters}, vector budget {vector_iters} "
+        f"rounds/lane, gate >= {min_ratio:.0f}x"
+        + (" [smoke]" if args.smoke else ""),
+        "",
+    ]
+
+    results = []
+    ok = True
+    for family, params in CASES:
+        case_name = f"{family}-{params['n']}"
+        print(f"measuring {case_name} ...", flush=True)
+        per_k = {}
+        for k in lane_sweep:
+            ratios = []
+            for rep in range(reps):
+                s = scalar_rate(family, params, scalar_iters, 1000 + rep)
+                v = vector_rate(
+                    family, params, vector_iters, k, 2000 + rep * k
+                )
+                ratios.append(v / s)
+            per_k[k] = {
+                "ratios": ratios,
+                "median": statistics.median(ratios),
+            }
+            lines.append(
+                f"  {case_name:16s} k={k:4d}: median {per_k[k]['median']:6.2f}x"
+                f"  (reps: {', '.join(f'{r:.2f}' for r in ratios)})"
+            )
+        best_k = max(per_k, key=lambda k: per_k[k]["median"])
+        best = per_k[best_k]["median"]
+        passed = best >= min_ratio
+        ok = ok and passed
+        lines.append(
+            f"  {case_name:16s} best: {best:6.2f}x at k={best_k}  "
+            f"[{'PASS' if passed else 'FAIL'} >= {min_ratio:.0f}x]"
+        )
+        lines.append("")
+        results.append(
+            {
+                "case": case_name,
+                "family": family,
+                "n": params["n"],
+                "per_k": {
+                    str(k): {
+                        "ratios": entry["ratios"],
+                        "median": entry["median"],
+                    }
+                    for k, entry in per_k.items()
+                },
+                "best_k": best_k,
+                "best_median_ratio": best,
+                "pass": passed,
+            }
+        )
+
+    lines.append("PASS" if ok else "FAIL")
+    text = "\n".join(lines)
+    print(text)
+    ARTIFACT.parent.mkdir(exist_ok=True)
+    ARTIFACT.write_text(text + "\n", encoding="utf-8")
+    print(f"[artifact written to {ARTIFACT}]")
+
+    json_path = Path(args.json) if args.json else DEFAULT_JSON
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text(
+        json.dumps(
+            {
+                "bench": "vector_walk",
+                "smoke": args.smoke,
+                "lane_sweep": lane_sweep,
+                "reps": reps,
+                "scalar_iterations": scalar_iters,
+                "vector_iterations_per_lane": vector_iters,
+                "min_ratio": min_ratio,
+                "cases": results,
+                "pass": ok,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"[json written to {json_path}]")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -163,6 +163,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
             poll_every=args.poll_every,
             launch_overhead=args.launch_overhead,
             mp_context=args.mp_context,
+            lanes=args.lanes,
         ).solve(problem, args.walkers, seed=args.seed)
         print(parallel.summary())
         solved, config_vec = parallel.solved, parallel.config
@@ -176,6 +177,12 @@ def cmd_sample(args: argparse.Namespace) -> int:
 
     spec = BenchmarkSpec(args.family, _parse_params(args.set))
     cache = SampleCache(args.cache) if args.cache else None
+    if args.service_workers and args.vector_lanes:
+        print(
+            "error: pass --service-workers or --vector-lanes, not both",
+            file=sys.stderr,
+        )
+        return 2
     if args.service_workers:
         from repro.service import SolverService
 
@@ -190,6 +197,7 @@ def cmd_sample(args: argparse.Namespace) -> int:
             solver_config=_solver_config(args),
             cache=cache,
             service=service,
+            vector_lanes=args.vector_lanes or None,
         )
     solved = [s for s in samples if s.solved]
     print(
@@ -207,6 +215,95 @@ def cmd_sample(args: argparse.Namespace) -> int:
         save_samples(args.out, samples, meta={"spec": spec.label, "runs": args.runs})
         print(f"samples written to {args.out}")
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run every standalone benchmark script and merge their JSON results.
+
+    A script qualifies if it lives in the benchmarks directory, matches
+    ``bench_*.py``, and supports the ``--smoke``/``--json`` convention
+    (checked by source inspection, so pytest-benchmark modules are skipped
+    rather than run with flags they do not understand).  One merged
+    ``BENCH_summary.json`` captures the per-PR perf trajectory.
+    """
+    import json
+    import subprocess
+    import time as _time
+    from pathlib import Path
+
+    bench_dir = Path(args.dir)
+    if not bench_dir.is_dir():
+        print(f"error: benchmark directory {bench_dir} not found", file=sys.stderr)
+        return 2
+    scripts = []
+    for path in sorted(bench_dir.glob("bench_*.py")):
+        source = path.read_text(encoding="utf-8")
+        if '"--smoke"' in source and '"--json"' in source:
+            scripts.append(path)
+    if not scripts:
+        print(f"error: no --smoke/--json benches under {bench_dir}", file=sys.stderr)
+        return 2
+    if args.only:
+        wanted = set(args.only)
+        scripts = [p for p in scripts if p.stem.removeprefix("bench_") in wanted]
+        missing = wanted - {p.stem.removeprefix("bench_") for p in scripts}
+        if missing:
+            print(f"error: unknown benches {sorted(missing)}", file=sys.stderr)
+            return 2
+
+    summary: dict[str, object] = {
+        "smoke": bool(args.smoke),
+        "generated_at": _time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "benches": {},
+    }
+    benches: dict[str, object] = summary["benches"]  # type: ignore[assignment]
+    all_ok = True
+    for script in scripts:
+        name = script.stem.removeprefix("bench_")
+        json_path = bench_dir / "out" / f"{name}.json"
+        cmd = [sys.executable, str(script), "--json", str(json_path)]
+        if args.smoke:
+            cmd.append("--smoke")
+        print(f"[bench] running {script.name} ...", flush=True)
+        started = _time.perf_counter()
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=args.timeout
+            )
+        except subprocess.TimeoutExpired:
+            all_ok = False
+            benches[name] = {"status": "timeout", "timeout_s": args.timeout}
+            print(f"[bench] {name}: TIMEOUT after {args.timeout:.0f}s")
+            continue
+        elapsed = _time.perf_counter() - started
+        entry: dict[str, object] = {
+            "status": "pass" if proc.returncode == 0 else "fail",
+            "exit_code": proc.returncode,
+            "elapsed_s": round(elapsed, 3),
+        }
+        try:
+            entry["results"] = json.loads(json_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            entry["results"] = None
+            if proc.returncode == 0:
+                entry["status"] = "fail"
+        if entry["status"] != "pass":
+            all_ok = False
+            tail = "\n".join(
+                (proc.stdout + "\n" + proc.stderr).strip().splitlines()[-8:]
+            )
+            entry["output_tail"] = tail
+        benches[name] = entry
+        print(
+            f"[bench] {name}: {str(entry['status']).upper()} "
+            f"({elapsed:.1f}s)"
+        )
+    summary["pass"] = all_ok
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+    print(f"[bench] summary written to {out}")
+    return 0 if all_ok else 1
 
 
 def cmd_service(args: argparse.Namespace) -> int:
@@ -584,9 +681,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_solve.add_argument(
         "--executor",
-        choices=("inline", "process", "cooperative"),
+        choices=("inline", "process", "cooperative", "vector"),
         default="process",
         help="multi-walk executor when --walkers > 1",
+    )
+    p_solve.add_argument(
+        "--lanes",
+        type=int,
+        default=None,
+        metavar="K",
+        help="vector executor: lanes per engine process (default: all "
+        "walkers lock-step in this process; less than --walkers runs a "
+        "hybrid processes x lanes layout)",
     )
     p_solve.add_argument(
         "--render", action="store_true", help="pretty-print the solution"
@@ -638,7 +744,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect runs concurrently on a warm pool of this many workers "
         "(0 = sequential in-process)",
     )
+    p_sample.add_argument(
+        "--vector-lanes",
+        type=int,
+        default=0,
+        metavar="K",
+        help="collect runs as lanes of the NumPy-batched vector engine, K "
+        "at a time (0 = sequential; iteration counts stay bit-identical)",
+    )
     p_sample.set_defaults(func=cmd_sample)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the standalone benchmark scripts and merge their JSON "
+        "results into one summary",
+    )
+    p_bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI mode: forward --smoke to every bench",
+    )
+    p_bench.add_argument(
+        "--dir",
+        default="benchmarks",
+        help="benchmark scripts directory (default ./benchmarks)",
+    )
+    p_bench.add_argument(
+        "--out",
+        default="BENCH_summary.json",
+        help="merged summary path (default ./BENCH_summary.json)",
+    )
+    p_bench.add_argument(
+        "--only",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="run only these benches (names without the bench_ prefix)",
+    )
+    p_bench.add_argument(
+        "--timeout",
+        type=float,
+        default=900.0,
+        help="per-bench wall-clock timeout in seconds",
+    )
+    p_bench.set_defaults(func=cmd_bench)
 
     p_service = sub.add_parser(
         "service",

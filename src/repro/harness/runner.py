@@ -94,6 +94,7 @@ def collect_samples(
     time_limit: float = 120.0,
     service: Any = None,
     cluster: Any = None,
+    vector_lanes: int | None = None,
 ) -> list[RunSample]:
     """``n_runs`` independent sequential solves of ``spec``.
 
@@ -103,15 +104,27 @@ def collect_samples(
     :class:`repro.service.SolverService`) collects the runs concurrently on
     its warm pool instead of one after another in this process; ``cluster``
     (a :class:`repro.net.ClusterClient` or a coordinator address) spreads
-    them across a whole multi-node cluster instead.  Both keep per-run
-    seeds bit-identical to the sequential path, so the sample cache stays
-    executor-agnostic.
+    them across a whole multi-node cluster instead; ``vector_lanes`` runs
+    the samples as lanes of the NumPy-batched
+    :class:`~repro.vector.engine.VectorWalkEngine` (``vector_lanes`` at a
+    time, every lane to its own termination).  All three keep per-run seeds
+    bit-identical to the sequential path — iteration counts (the Las Vegas
+    cost measure) are exactly equal — so the sample cache stays
+    executor-agnostic.  Vector-collected wall times are per-lane shares of
+    a shared clock; prefer ``metric="iterations"`` with it, as the paper
+    experiments do.
     """
     if n_runs <= 0:
         raise ExperimentError(f"n_runs must be >= 1, got {n_runs}")
-    if service is not None and cluster is not None:
+    if (service is not None) + (cluster is not None) + (
+        vector_lanes is not None
+    ) > 1:
         raise ExperimentError(
-            "pass either service= or cluster=, not both"
+            "pass only one of service=, cluster=, or vector_lanes="
+        )
+    if vector_lanes is not None and vector_lanes < 1:
+        raise ExperimentError(
+            f"vector_lanes must be >= 1, got {vector_lanes}"
         )
     base_config = solver_config or AdaptiveSearchConfig()
     config = base_config.replace(
@@ -138,13 +151,18 @@ def collect_samples(
     from repro.problems.value_base import ValueProblem
 
     run_seeds = spawn_seeds(n_runs, seed)
-    if service is not None or cluster is not None:
+    if service is not None or cluster is not None or vector_lanes is not None:
         if isinstance(problem, ValueProblem):
             raise ExperimentError(
-                "service/cluster-backed sampling supports permutation "
-                "problems only; collect value-mode samples sequentially"
+                "service/cluster/vector-backed sampling supports "
+                "permutation problems only; collect value-mode samples "
+                "sequentially"
             )
-        if cluster is not None:
+        if vector_lanes is not None:
+            samples = _collect_via_vector(
+                problem, config, run_seeds, vector_lanes
+            )
+        elif cluster is not None:
             samples = _collect_via_cluster(cluster, problem, config, run_seeds)
         else:
             samples = _collect_via_service(service, problem, config, run_seeds)
@@ -166,6 +184,46 @@ def collect_samples(
             )
     if cache is not None:
         cache.store(cache_spec, samples)
+    return samples
+
+
+def _collect_via_vector(
+    problem: Any,
+    config: AdaptiveSearchConfig,
+    run_seeds: Sequence[np.random.SeedSequence],
+    lanes: int,
+) -> list[RunSample]:
+    """Batches of ``lanes`` runs advanced lock-step by the vector engine.
+
+    ``first_wins=False``: every lane runs to its own termination, exactly
+    like independent sequential runs.  Each lane consumes its run's seed
+    sequence at the scalar call sites, so iteration counts are
+    bit-identical to the sequential path (the equivalence property the
+    vector test suite pins down); only wall times differ, as with any
+    concurrent executor.
+    """
+    from repro.vector.engine import VectorWalkEngine
+
+    samples: list[RunSample] = []
+    for start in range(0, len(run_seeds), lanes):
+        batch = list(run_seeds[start : start + lanes])
+        engine = VectorWalkEngine(
+            problem,
+            k=len(batch),
+            config=config,
+            seeds=batch,
+            first_wins=False,
+        )
+        outcome = engine.run()
+        for walk_seed, result in zip(batch, outcome.walks):
+            samples.append(
+                RunSample(
+                    wall_time=result.stats.wall_time,
+                    iterations=result.stats.iterations,
+                    solved=result.solved,
+                    seed=str(walk_seed.entropy),
+                )
+            )
     return samples
 
 

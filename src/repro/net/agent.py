@@ -141,6 +141,9 @@ class NodeAgent:
         self._tasks: list[asyncio.Task] = []
         self._slices: dict[tuple[int, int], _Slice] = {}
         self._cancelled: dict[int, int] = {}  # job_id -> max cancelled gen
+        #: protocol v4: problems received so far, by content digest — an
+        #: assign naming a cached digest carries no problem payload at all
+        self._problem_cache: dict[str, Any] = {}
         self._stopped = False
         self.closed = asyncio.Event()
         self.node_id: int | None = None
@@ -258,7 +261,18 @@ class NodeAgent:
         if self._cancelled.get(job_id, -1) >= generation:
             return  # assignment raced a cancel we already processed
         payload = unpickle_blob(message.blob)
-        problem = payload["problem"]
+        digest = payload.get("problem_digest")
+        if "problem" in payload:
+            problem = payload["problem"]
+            if digest:
+                self._problem_cache[digest] = problem
+        else:
+            try:
+                problem = self._problem_cache[digest]
+            except KeyError:  # pragma: no cover - protocol guard
+                raise NetError(
+                    f"assign references unknown problem digest {digest!r}"
+                ) from None
         config = payload.get("config")
         seeds = payload["seeds"]
         trace_id = message.get("trace_id") or ""

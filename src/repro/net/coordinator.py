@@ -131,6 +131,10 @@ class _Node:
         self.load: dict[str, Any] = {}
         #: job_id -> walk ids currently assigned to this node
         self.assigned: dict[int, set[int]] = {}
+        #: protocol v4: problem digests this connection has already
+        #: received — later assigns ship a digest reference instead of the
+        #: pickled problem (reset naturally on reconnect: new _Node)
+        self.known_problems: set[str] = set()
         self.lost = False
 
 
@@ -177,6 +181,16 @@ class _NetJob:
         self.completed_walls: list[float] = []
         self.hedged: dict[int, int] = {}
         self.hedge_count = 0
+        self._problem_digest: Optional[str] = None
+
+    @property
+    def problem_digest(self) -> str:
+        """Content digest of this job's problem (computed once)."""
+        if self._problem_digest is None:
+            from repro.parallel.shm import problem_digest
+
+            self._problem_digest = problem_digest(self.problem)
+        return self._problem_digest
 
 
 class Coordinator:
@@ -295,6 +309,11 @@ class Coordinator:
             "hedges": 0,
             "recovered_jobs": 0,
             "reattached_clients": 0,
+            "assigns_sent": 0,
+            "assign_bytes": 0,
+            "problems_shipped": 0,
+            "repeat_assigns": 0,
+            "repeat_assign_bytes": 0,
         }
 
     # ------------------------------------------------------------------
@@ -717,22 +736,44 @@ class Coordinator:
                             "walk_ids": slice_ids,
                             "trace_id": job.trace_id,
                         },
-                        blob=pickle_blob(
-                            {
-                                "problem": job.problem,
-                                "config": job.config,
-                                "seeds": {
-                                    walk_id: job.seeds[walk_id]
-                                    for walk_id in slice_ids
-                                },
-                            }
-                        ),
+                        blob=self._assign_blob(job, node, slice_ids),
                     )
                 )
             except (ConnectionError, OSError):
                 # the node died mid-assign; the reader task notices the
                 # same broken pipe and re-dispatch happens there
                 node.conn.abort()
+
+    def _assign_blob(
+        self, job: _NetJob, node: _Node, slice_ids: list[int]
+    ) -> bytes:
+        """Build one assign payload, shipping the problem at most once.
+
+        Protocol v4: the payload always names the problem by content
+        digest; the pickled problem itself rides along only the first time
+        this connection sees that digest (re-dispatches, hedges and later
+        jobs over the same problem are then near-empty frames).  The known
+        set lives on the connection, so a reconnected node transparently
+        receives the problem again.
+        """
+        digest = job.problem_digest
+        payload: dict[str, Any] = {
+            "problem_digest": digest,
+            "config": job.config,
+            "seeds": {walk_id: job.seeds[walk_id] for walk_id in slice_ids},
+        }
+        first_ship = digest not in node.known_problems
+        if first_ship:
+            payload["problem"] = job.problem
+            node.known_problems.add(digest)
+            self.counters["problems_shipped"] += 1
+        blob = pickle_blob(payload)
+        self.counters["assigns_sent"] += 1
+        self.counters["assign_bytes"] += len(blob)
+        if not first_ship:
+            self.counters["repeat_assigns"] += 1
+            self.counters["repeat_assign_bytes"] += len(blob)
+        return blob
 
     # ------------------------------------------------------------------
     # results
@@ -1049,13 +1090,7 @@ class Coordinator:
                         "walk_ids": [walk_id],
                         "trace_id": job.trace_id,
                     },
-                    blob=pickle_blob(
-                        {
-                            "problem": job.problem,
-                            "config": job.config,
-                            "seeds": {walk_id: job.seeds[walk_id]},
-                        }
-                    ),
+                    blob=self._assign_blob(job, target, [walk_id]),
                 )
             )
         except (ConnectionError, OSError):

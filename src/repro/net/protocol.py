@@ -55,6 +55,13 @@ Version history
   resubmission token) and ``deadline`` (seconds of cluster-side budget);
   heartbeats may carry ``progress`` (per-walk iteration counts feeding
   the coordinator's straggler detector).
+- **4** — dispatch dedup: ``assign`` payloads always carry a
+  ``problem_digest`` (content hash, see
+  :func:`repro.parallel.shm.problem_digest`) and include the pickled
+  ``problem`` itself only the *first* time a given digest goes to a given
+  connection; the node caches problems by digest and later assigns of the
+  same job/problem are a few hundred bytes instead of re-shipping the
+  tables per dispatch.
 """
 
 from __future__ import annotations
@@ -86,7 +93,7 @@ __all__ = [
     "unpickle_blob",
 ]
 
-PROTOCOL_VERSION = 3
+PROTOCOL_VERSION = 4
 
 #: hard frame-size ceiling: a problem pickle is kilobytes, so anything in
 #: the hundreds of megabytes is a corrupt length prefix, not a real frame

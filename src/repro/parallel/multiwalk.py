@@ -41,7 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service -> parallel)
 
 __all__ = ["MultiWalkSolver", "solve_parallel"]
 
-_EXECUTORS = ("inline", "process", "pool", "net")
+_EXECUTORS = ("inline", "process", "pool", "net", "vector")
 
 
 class MultiWalkSolver:
@@ -72,6 +72,13 @@ class MultiWalkSolver:
         :class:`repro.net.ClusterClient` (caller-owned, shareable across
         solvers), or a coordinator address (``(host, port)`` tuple or
         ``"host:port"`` string) to dial per solve.
+    lanes:
+        for ``executor="vector"``: the maximum walk lanes batched into one
+        :class:`~repro.vector.engine.VectorWalkEngine` process.  ``None``
+        (default) runs every walk lock-step in the calling process; a
+        smaller value splits the walks round-robin over
+        ``ceil(k / lanes)`` processes — the hybrid processes x lanes
+        layout.  Walk ``i`` keeps the identical trajectory either way.
     """
 
     def __init__(
@@ -84,6 +91,7 @@ class MultiWalkSolver:
         mp_context: str | None = None,
         pool: Optional["SolverService"] = None,
         cluster: "ClusterClient | tuple[str, int] | str | None" = None,
+        lanes: int | None = None,
     ) -> None:
         if executor not in _EXECUTORS:
             raise ParallelError(
@@ -104,6 +112,8 @@ class MultiWalkSolver:
                 'executor="net" needs a ClusterClient or coordinator '
                 "address via the cluster argument"
             )
+        if lanes is not None and lanes < 1:
+            raise ParallelError(f"lanes must be >= 1, got {lanes}")
         self.config = config or AdaptiveSearchConfig()
         self.executor = executor
         self.poll_every = poll_every
@@ -111,6 +121,7 @@ class MultiWalkSolver:
         self.mp_context = mp_context
         self.pool = pool
         self.cluster = cluster
+        self.lanes = lanes
 
     # ------------------------------------------------------------------
     def solve(
@@ -151,6 +162,8 @@ class MultiWalkSolver:
             return self._solve_pool(problem, config, seeds)
         if self.executor == "net":
             return self._solve_net(problem, config, seeds)
+        if self.executor == "vector":
+            return self._solve_vector(problem, config, seeds, trace_id)
         return self._solve_process(problem, config, seeds, trace_id)
 
     # ------------------------------------------------------------------
@@ -252,6 +265,184 @@ class MultiWalkSolver:
             wall_time=wall_time,
             elapsed_time=elapsed,
             executor="inline",
+        )
+
+    # ------------------------------------------------------------------
+    def _solve_vector(
+        self,
+        problem: Problem,
+        config: AdaptiveSearchConfig,
+        seeds: list[np.random.SeedSequence],
+        trace_id: str = "",
+    ) -> ParallelResult:
+        """Advance all walks lock-step as lanes of the vector engine.
+
+        Seeds come from the same :func:`walk_seeds` derivation as every
+        other executor and each lane consumes its generator at the scalar
+        call sites, so walk ``i`` is bit-identical to walk ``i`` under the
+        inline/process/pool executors (the property the k=1 equivalence
+        suite pins down).  With ``lanes`` set below the walk count the
+        walks split round-robin over several engine processes — the
+        hybrid processes x lanes layout.
+        """
+        if self.lanes is not None and self.lanes < len(seeds):
+            return self._solve_vector_hybrid(problem, config, seeds)
+        from repro.telemetry.vector import vector_telemetry
+        from repro.vector.engine import VectorWalkEngine
+
+        telemetry = vector_telemetry(trace_id=trace_id) if trace_id else None
+        stopwatch = Stopwatch().start()
+        engine = VectorWalkEngine(
+            problem,
+            k=len(seeds),
+            config=config,
+            seeds=seeds,
+            first_wins=True,
+            round_callback=(
+                telemetry.round_callback if telemetry is not None else None
+            ),
+        )
+        if telemetry is not None:
+            telemetry.on_start(engine)
+        outcome = engine.run()
+        elapsed = stopwatch.stop()
+        if telemetry is not None:
+            telemetry.on_finish(outcome)
+        walks = [
+            WalkOutcome(
+                walk_id=lane,
+                solved=result.solved,
+                cost=result.cost,
+                iterations=result.stats.iterations,
+                wall_time=result.stats.wall_time,
+                reason=result.reason,
+                config=result.config if result.solved else None,
+            )
+            for lane, result in enumerate(outcome.walks)
+        ]
+        solved_walks = [w for w in walks if w.solved]
+        winner = (
+            min(solved_walks, key=lambda w: w.wall_time)
+            if solved_walks
+            else None
+        )
+        return ParallelResult(
+            solved=winner is not None,
+            n_walkers=len(seeds),
+            winner=winner,
+            walks=walks,
+            wall_time=winner.wall_time if winner is not None else elapsed,
+            elapsed_time=elapsed,
+            executor="vector",
+        )
+
+    def _solve_vector_hybrid(
+        self,
+        problem: Problem,
+        config: AdaptiveSearchConfig,
+        seeds: list[np.random.SeedSequence],
+    ) -> ParallelResult:
+        """Hybrid layout: ``ceil(k / lanes)`` processes x ``lanes`` lanes."""
+        from repro.parallel.seeding import partition_walks
+        from repro.parallel.vector_worker import run_vector_slice
+
+        assert self.lanes is not None
+        n_walks = len(seeds)
+        n_procs = -(-n_walks // self.lanes)
+        slices = [s for s in partition_walks(n_walks, n_procs) if s]
+        ctx = mp.get_context(self.mp_context)
+        cancel_event = ctx.Event()
+        result_queue: mp.Queue = ctx.Queue()
+        stopwatch = Stopwatch().start()
+        processes = [
+            ctx.Process(
+                target=run_vector_slice,
+                args=(
+                    slice_ids,
+                    problem,
+                    config,
+                    [seeds[walk_id] for walk_id in slice_ids],
+                    cancel_event,
+                    result_queue,
+                    max(1, self.poll_every // max(1, len(slice_ids))),
+                ),
+                daemon=True,
+            )
+            for slice_ids in slices
+        ]
+        for proc in processes:
+            proc.start()
+        if math.isinf(config.time_limit):
+            deadline = None
+        else:
+            deadline = (
+                time.monotonic() + config.time_limit * (len(slices) + 1) + 60.0
+            )
+        payloads: dict[int, dict] = {}
+        first_solve_time: float | None = None
+        try:
+            while len(payloads) < n_walks:
+                timeout = None
+                if deadline is not None:
+                    timeout = max(0.1, deadline - time.monotonic())
+                try:
+                    walk_id, payload = result_queue.get(timeout=timeout)
+                except queue_mod.Empty:
+                    raise ParallelError(
+                        f"vector multi-walk timed out: "
+                        f"{n_walks - len(payloads)} of {n_walks} walks "
+                        "never reported"
+                    )
+                if "error" in payload:
+                    raise ParallelError(
+                        f"vector slice crashed on walk {walk_id}:\n"
+                        f"{payload['error']}"
+                    )
+                payloads[walk_id] = payload
+                if payload["solved"] and first_solve_time is None:
+                    first_solve_time = stopwatch.elapsed
+                    cancel_event.set()
+        finally:
+            cancel_event.set()
+            for proc in processes:
+                proc.join(timeout=30.0)
+            for proc in processes:
+                if proc.is_alive():  # pragma: no cover - defensive cleanup
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+        elapsed = stopwatch.stop()
+        walks = [
+            WalkOutcome(
+                walk_id=walk_id,
+                solved=payload["solved"],
+                cost=payload["cost"],
+                iterations=payload["iterations"],
+                wall_time=payload["wall_time"],
+                reason=TerminationReason[payload["reason"]],
+                config=(
+                    np.asarray(payload["config"], dtype=np.int64)
+                    if payload["config"] is not None
+                    else None
+                ),
+            )
+            for walk_id, payload in sorted(payloads.items())
+        ]
+        solved_walks = [w for w in walks if w.solved]
+        winner = (
+            min(solved_walks, key=lambda w: w.wall_time)
+            if solved_walks
+            else None
+        )
+        return ParallelResult(
+            solved=winner is not None,
+            n_walkers=n_walks,
+            winner=winner,
+            walks=walks,
+            wall_time=(
+                first_solve_time if first_solve_time is not None else elapsed
+            ),
+            elapsed_time=elapsed,
+            executor="vector",
         )
 
     # ------------------------------------------------------------------
@@ -379,6 +570,7 @@ def solve_parallel(
     mp_context: str | None = None,
     pool: Optional["SolverService"] = None,
     cluster: "ClusterClient | tuple[str, int] | str | None" = None,
+    lanes: int | None = None,
 ) -> ParallelResult:
     """One-shot convenience wrapper around :class:`MultiWalkSolver`.
 
@@ -394,5 +586,6 @@ def solve_parallel(
         mp_context=mp_context,
         pool=pool,
         cluster=cluster,
+        lanes=lanes,
     )
     return solver.solve(problem, n_walkers, seed, time_limit=time_limit)

@@ -1,0 +1,275 @@
+"""Zero-copy shared-memory problem state.
+
+A problem instance is dominated by its constant tables (cell/row/column
+index maps, domain arrays, CSR-style incidence structures).  Shipping those
+through a queue pickles them once per worker — and again on every respawn
+or per-job dispatch.  This module publishes them **once** into a
+:class:`multiprocessing.shared_memory.SharedMemory` segment and hands
+around a tiny :class:`ShmManifest` instead.
+
+Mechanics
+---------
+``publish`` pickles the problem with protocol 5 and a ``buffer_callback``,
+so every NumPy array inside the object comes out as an out-of-band
+:class:`pickle.PickleBuffer` rather than being copied into the pickle
+stream.  The (small) pickle plus the raw buffers are laid out back-to-back
+in one segment::
+
+    [ pickle bytes | buffer 0 | buffer 1 | ... ]
+
+and the manifest records the segment name, the pickle length and each
+buffer's ``(offset, length)``.  ``attach`` maps the segment and rebuilds
+the object with ``pickle.loads(..., buffers=...)`` over **read-only views
+of the mapped memory** — the arrays inside the reconstructed problem alias
+the shared pages directly (zero copy, and immutable so one worker can
+never corrupt another's tables).
+
+Ownership
+---------
+The *publisher* owns every segment: only :meth:`SharedProblemStore.release`
+/ :meth:`SharedProblemStore.close` unlink.  Attachers must call
+:func:`detach` (or let :func:`attach_problem`'s handle do it) which merely
+closes the local mapping.  On Python < 3.13 attaching auto-registers the
+segment with the ``resource_tracker`` — and because one tracker process is
+shared by the whole process tree, *any* bookkeeping an attacher does there
+races the publisher's own entry (an attach-then-unregister deletes it; a
+bare attach double-unlinks at exit).  :func:`attach_problem` therefore
+suppresses the registration itself while mapping, so the tracker only ever
+holds the publisher's entry.  A publisher that dies without cleanup is
+covered by that entry, so crashed runs do not leak segments either.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import secrets
+import threading
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Optional
+
+from repro.errors import ParallelError
+
+__all__ = [
+    "ShmManifest",
+    "SharedProblemStore",
+    "AttachedProblem",
+    "attach_problem",
+    "problem_digest",
+]
+
+_attach_lock = threading.Lock()
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment without registering it with the tracker.
+
+    Python < 3.13 has no ``track=False``; patching the module-level
+    ``register`` for the duration of the constructor is the standard
+    workaround.  The lock serializes concurrent attaches in one process
+    (publishes are unaffected: ``create=True`` must keep registering).
+    """
+    with _attach_lock:
+        original = resource_tracker.register
+
+        def _skip_shm(res_name: str, rtype: str) -> None:
+            if rtype != "shared_memory":  # pragma: no cover - defensive
+                original(res_name, rtype)
+
+        resource_tracker.register = _skip_shm  # type: ignore[assignment]
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class ShmManifest:
+    """Everything an attacher needs: a name, a layout, and a digest.
+
+    The manifest itself is tiny and cheap to pickle — it is what crosses
+    queues and sockets instead of the problem.  ``digest`` identifies the
+    *content* (pickle stream + buffers), so caches keyed on it are safe
+    across processes and hosts.
+    """
+
+    segment: str
+    pickle_len: int
+    buffers: tuple[tuple[int, int], ...]  # (offset, length) per buffer
+    digest: str
+    total_len: int
+
+
+def _serialize(problem: Any) -> tuple[bytes, list[pickle.PickleBuffer]]:
+    raws: list[pickle.PickleBuffer] = []
+    try:
+        head = pickle.dumps(problem, protocol=5, buffer_callback=raws.append)
+    except Exception as err:
+        raise ParallelError(
+            f"problem {type(problem).__name__!r} is not picklable and "
+            f"cannot be published to shared memory: {err}"
+        ) from err
+    return head, raws
+
+
+def problem_digest(problem: Any) -> str:
+    """Content digest of a problem's serialized form (hex).
+
+    Matches the digest of a manifest produced by ``publish`` for an equal
+    object, which is what lets dispatch layers send a digest reference in
+    place of the payload once the receiver has the problem cached.
+    """
+    head, raws = _serialize(problem)
+    h = hashlib.blake2b(head, digest_size=16)
+    for raw in raws:
+        h.update(raw.raw())
+    return h.hexdigest()
+
+
+class SharedProblemStore:
+    """Publisher side: owns segments, publishes problems, unlinks on close.
+
+    Deduplicates by object identity (strong reference kept) *and* by
+    content digest, so republishing an equal problem returns the existing
+    manifest instead of a second segment.
+    """
+
+    def __init__(self, prefix: str = "repro") -> None:
+        self._prefix = prefix
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._by_id: dict[int, ShmManifest] = {}
+        self._keep: dict[int, Any] = {}  # id -> problem (pins identity)
+        self._by_digest: dict[str, ShmManifest] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def publish(self, problem: Any) -> ShmManifest:
+        if self._closed:
+            raise ParallelError("shared problem store is closed")
+        cached = self._by_id.get(id(problem))
+        if cached is not None:
+            return cached
+        head, raws = _serialize(problem)
+        views = [raw.raw() for raw in raws]
+        h = hashlib.blake2b(head, digest_size=16)
+        for view in views:
+            h.update(view)
+        digest = h.hexdigest()
+        manifest = self._by_digest.get(digest)
+        if manifest is None:
+            layout: list[tuple[int, int]] = []
+            offset = len(head)
+            for view in views:
+                layout.append((offset, view.nbytes))
+                offset += view.nbytes
+            total = max(1, offset)
+            name = f"{self._prefix}-{secrets.token_hex(6)}"
+            seg = shared_memory.SharedMemory(
+                name=name, create=True, size=total
+            )
+            seg.buf[: len(head)] = head
+            for (buf_off, buf_len), view in zip(layout, views):
+                seg.buf[buf_off : buf_off + buf_len] = view.cast("B")
+            manifest = ShmManifest(
+                segment=seg.name,
+                pickle_len=len(head),
+                buffers=tuple(layout),
+                digest=digest,
+                total_len=total,
+            )
+            self._segments[seg.name] = seg
+            self._by_digest[digest] = manifest
+        self._by_id[id(problem)] = manifest
+        self._keep[id(problem)] = problem
+        return manifest
+
+    # ------------------------------------------------------------------
+    def release(self, manifest: ShmManifest) -> None:
+        """Unlink one published segment (idempotent)."""
+        seg = self._segments.pop(manifest.segment, None)
+        if seg is None:
+            return
+        self._by_digest.pop(manifest.digest, None)
+        stale = [
+            pid for pid, m in self._by_id.items()
+            if m.segment == manifest.segment
+        ]
+        for pid in stale:
+            self._by_id.pop(pid, None)
+            self._keep.pop(pid, None)
+        seg.close()
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def close(self) -> None:
+        """Unlink every published segment (idempotent)."""
+        self._closed = True
+        for manifest in list(self._by_digest.values()):
+            self.release(manifest)
+
+    def __enter__(self) -> "SharedProblemStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    @property
+    def segment_names(self) -> list[str]:
+        return sorted(self._segments)
+
+
+@dataclass
+class AttachedProblem:
+    """Attacher-side handle: the problem plus the mapping keeping it alive.
+
+    The reconstructed problem's arrays alias the mapped segment, so the
+    mapping must outlive the problem.  Call :meth:`detach` only once the
+    problem is no longer in use (worker shutdown).
+    """
+
+    problem: Any
+    manifest: ShmManifest
+    _segment: Optional[shared_memory.SharedMemory] = field(default=None)
+
+    def detach(self) -> None:
+        if self._segment is not None:
+            seg, self._segment = self._segment, None
+            self.problem = None
+            seg.close()
+
+
+def attach_problem(manifest: ShmManifest) -> AttachedProblem:
+    """Map a published problem without copying its tables.
+
+    The returned handle owns the local mapping; the segment itself still
+    belongs to the publisher (see module docstring for the ownership and
+    resource-tracker rules).
+    """
+    try:
+        seg = _attach_untracked(manifest.segment)
+    except FileNotFoundError as err:
+        raise ParallelError(
+            f"shared problem segment {manifest.segment!r} has vanished "
+            "(publisher gone?)"
+        ) from err
+    buf = seg.buf
+    head = bytes(buf[: manifest.pickle_len])
+    views = [
+        memoryview(buf)[off : off + length].toreadonly()
+        for off, length in manifest.buffers
+    ]
+    try:
+        problem = pickle.loads(head, buffers=views)
+    except Exception:
+        seg.close()
+        raise
+    return AttachedProblem(problem=problem, manifest=manifest, _segment=seg)

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.errors import ParallelError
+from repro.parallel.shm import SharedProblemStore
 from repro.problems.base import Problem
 from repro.service.worker import WalkTask, service_worker_main
 
@@ -79,6 +80,7 @@ class WorkerPool:
         *,
         mp_context: str | None = None,
         cancel_slots: int = 64,
+        use_shared_memory: bool = True,
     ) -> None:
         if n_workers < 1:
             raise ParallelError(f"n_workers must be >= 1, got {n_workers}")
@@ -96,8 +98,14 @@ class WorkerPool:
         self._slot_generations = [0] * cancel_slots
         self.outbox: Any = self._ctx.Queue()
         self._problems: dict[int, Problem] = {}
+        #: the exact inbox message shipped for each problem, built once at
+        #: registration: a shared-memory manifest when available, else the
+        #: problem pickled a single time — respawns and late workers reuse
+        #: it instead of re-serializing (and the manifest is ~200 bytes)
+        self._problem_msgs: dict[int, tuple] = {}
         self._problem_ids: dict[int, int] = {}  # id(problem) -> problem_id
         self._next_problem_id = 0
+        self._shm_store = SharedProblemStore() if use_shared_memory else None
         self._workers: dict[int, _WorkerHandle] = {}
         self._closed = False
         for worker_id in range(n_workers):
@@ -143,8 +151,10 @@ class WorkerPool:
         self.progress[worker_id] = 0
         handle = self._spawn(worker_id, incarnation=old.incarnation + 1)
         self._workers[worker_id] = handle
-        for problem_id, problem in self._problems.items():
-            handle.inbox.put(("problem", problem_id, problem))
+        # reuse the registration-time payloads: nothing is re-pickled on a
+        # respawn, and shared-memory problems re-ship as manifests only
+        for problem_id, message in sorted(self._problem_msgs.items()):
+            handle.inbox.put(message)
             handle.known_problems.add(problem_id)
 
     def shutdown(self, timeout: float = 10.0) -> None:
@@ -171,6 +181,9 @@ class WorkerPool:
             handle.inbox.cancel_join_thread()
         self.outbox.close()
         self.outbox.cancel_join_thread()
+        if self._shm_store is not None:
+            # workers are gone; unlinking now cannot strand an attachment
+            self._shm_store.close()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -224,22 +237,37 @@ class WorkerPool:
         existing = self._problem_ids.get(id(problem))
         if existing is not None:
             return existing
-        # fail fast, in the caller's frame, with the offending type named —
-        # otherwise the pickle error surfaces asynchronously in the queue
-        # feeder thread and the scheduler sees a crash-retry loop instead
-        try:
-            pickle.dumps(problem, protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception as err:
-            raise ParallelError(
-                f"problem {type(problem).__name__!r} is not picklable and "
-                f"cannot be shipped to pool workers: {err}"
-            ) from err
+        # serialize exactly once, in the caller's frame, so a pickle error
+        # surfaces here with the offending type named — not asynchronously
+        # in the queue feeder thread as a crash-retry loop.  Preferred
+        # form: a shared-memory manifest (workers attach, zero copies);
+        # fallback: the pickled bytes, cached for respawns.
+        message: tuple
+        if self._shm_store is not None:
+            try:
+                manifest = self._shm_store.publish(problem)
+                message = ("problem_shm", self._next_problem_id, manifest)
+            except OSError:  # pragma: no cover - no usable /dev/shm
+                self._shm_store = None
+                message = ()
+        if self._shm_store is None:
+            try:
+                payload = pickle.dumps(
+                    problem, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            except Exception as err:
+                raise ParallelError(
+                    f"problem {type(problem).__name__!r} is not picklable "
+                    f"and cannot be shipped to pool workers: {err}"
+                ) from err
+            message = ("problem_bytes", self._next_problem_id, payload)
         problem_id = self._next_problem_id
         self._next_problem_id += 1
         self._problems[problem_id] = problem
+        self._problem_msgs[problem_id] = message
         self._problem_ids[id(problem)] = problem_id
         for handle in self._workers.values():
-            handle.inbox.put(("problem", problem_id, problem))
+            handle.inbox.put(message)
             handle.known_problems.add(problem_id)
         return problem_id
 

@@ -6,6 +6,13 @@ it blocks on its private inbox queue and reacts to three message kinds,
 ``("problem", problem_id, problem)``
     cache the (already unpickled) problem instance — each problem crosses
     the process boundary once per worker, not once per walk;
+``("problem_bytes", problem_id, payload)``
+    same, but the parent ships the bytes it pickled once at registration
+    (so respawns never re-serialize) and the worker unpickles;
+``("problem_shm", problem_id, manifest)``
+    zero-copy form: attach the named shared-memory segment published by
+    the pool and rebuild the problem over read-only views of it (see
+    :mod:`repro.parallel.shm`); the attachment is held until shutdown;
 ``("walk", task)``
     run one Adaptive Search walk and report
     ``("result", worker_id, job_id, walk_id, payload)`` on the shared
@@ -38,6 +45,7 @@ state in the child.
 from __future__ import annotations
 
 import os
+import pickle
 import time
 from dataclasses import dataclass
 from typing import Any, Optional
@@ -173,14 +181,29 @@ def service_worker_main(
     (or shutdown) ends the loop.
     """
     problems: dict[int, Any] = {}
+    attachments: list[Any] = []
     while True:
         message = inbox.get()
         kind = message[0]
         if kind == "shutdown":
+            for att in attachments:
+                att.detach()
             break
         if kind == "problem":
             _, problem_id, problem = message
             problems[problem_id] = problem
+            continue
+        if kind == "problem_bytes":
+            _, problem_id, payload = message
+            problems[problem_id] = pickle.loads(payload)
+            continue
+        if kind == "problem_shm":
+            from repro.parallel.shm import attach_problem
+
+            _, problem_id, manifest = message
+            att = attach_problem(manifest)
+            attachments.append(att)
+            problems[problem_id] = att.problem
             continue
         if kind != "walk":  # pragma: no cover - protocol guard
             continue

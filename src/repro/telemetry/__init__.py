@@ -69,6 +69,7 @@ from repro.telemetry.sinks import (
     read_jsonl,
 )
 from repro.telemetry.solver import TelemetryCallback, solver_callbacks
+from repro.telemetry.vector import VectorTelemetry, vector_telemetry
 from repro.telemetry.timeline import (
     TraceSummary,
     WalkTimeline,
@@ -95,6 +96,8 @@ __all__ = [
     "RingBufferSink", "JsonlSink", "CompositeSink", "read_jsonl",
     # solver glue
     "TelemetryCallback", "solver_callbacks",
+    # vector glue
+    "VectorTelemetry", "vector_telemetry",
     # timeline
     "TraceSummary", "WalkTimeline", "load_trace", "analyze_trace",
     "render_timeline", "render_report",

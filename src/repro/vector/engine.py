@@ -1,0 +1,493 @@
+"""The vector-walk engine: ``k`` independent walks, lock-step in one process.
+
+:class:`VectorWalkEngine` advances ``k`` Adaptive Search walks ("lanes")
+simultaneously.  Each round every live lane executes exactly one iteration
+of the scalar loop in :class:`repro.core.session.AdaptiveSearchSession` —
+worst-variable selection, best-swap evaluation, tabu/plateau/local-minimum
+bookkeeping, partial resets and restarts — but the per-iteration O(n) work
+is batched across lanes through a :class:`~repro.vector.problems.VectorProblem`
+kernel set, amortizing NumPy's per-call overhead over the whole lane block.
+
+Equivalence contract
+--------------------
+Lane ``l`` seeded with ``seeds[l]`` produces the *bit-identical* trajectory
+(configurations, costs, marks, counters, RNG stream) of a scalar
+``AdaptiveSearch`` walk with the same seed and configuration:
+
+- all batched quantities (errors, deltas, costs) are exact integers in
+  float64, computed by kernels verified equal to the scalar protocol;
+- RNG draws happen per lane, on that lane's own generator, at exactly the
+  scalar call sites (tie-breaks, local-minimum acceptance, reset swaps,
+  restart shuffles) — lanes are independent streams, so batching never
+  reorders draws *within* a lane;
+- control flow is replicated per lane via boolean masks in the same order
+  as the scalar loop: solved check, restart check, budget check, iterate.
+
+The property test in ``tests/vector/test_equivalence.py`` pins this down
+across problem families.
+
+First-finisher semantics
+------------------------
+With ``first_wins=True`` (the multi-walk executor's mode) the batch stops
+as soon as any lane solves; still-running lanes report ``CANCELLED`` with
+their current iteration counts, mirroring the process executor's cancel
+event.  With ``first_wins=False`` every lane runs to its own termination
+(solved lanes freeze while stragglers continue), mirroring the inline
+executor and ``collect_samples``.
+
+Time limits are honoured at round granularity (every lane shares the
+engine's clock); reproducible runs should bound ``max_iterations`` instead,
+exactly as with the scalar engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.result import SolveResult, SolveStats
+from repro.core.termination import TerminationReason
+from repro.errors import SolverError
+from repro.parallel.seeding import walk_seeds
+from repro.problems.base import Problem
+from repro.util.rng import SeedLike
+from repro.util.timing import Stopwatch
+from repro.vector.problems import VectorProblem, as_vector_problem
+from repro.vector.selection import argmin_lanes, masked_argmax_lanes
+
+__all__ = ["VectorWalkEngine", "VectorRunOutcome", "solve_vector"]
+
+_STAT_FIELDS = (
+    "swaps",
+    "local_minima",
+    "plateau_moves",
+    "accepted_local_min_moves",
+    "frozen_variables",
+    "resets",
+    "restarts",
+)
+
+
+@dataclass
+class VectorRunOutcome:
+    """What a vector run produced: one :class:`SolveResult` per lane."""
+
+    walks: list[SolveResult]
+    elapsed: float
+
+    @property
+    def solved(self) -> bool:
+        return any(w.solved for w in self.walks)
+
+    @property
+    def winner_lane(self) -> Optional[int]:
+        """Lane of the first solver (earliest finish; ties -> lowest lane)."""
+        solved = [
+            (w.stats.wall_time, lane)
+            for lane, w in enumerate(self.walks)
+            if w.solved
+        ]
+        return min(solved)[1] if solved else None
+
+
+class VectorWalkEngine:
+    """Lock-step batch of ``k`` Adaptive Search walks (see module docstring).
+
+    Parameters
+    ----------
+    problem:
+        the instance every lane solves.
+    k:
+        number of lanes.
+    config:
+        base solver configuration; per-problem defaults merge exactly as in
+        the scalar engine unless ``use_problem_defaults=False``.
+    seeds:
+        explicit per-lane seed sequences (one per lane).  Pass the list from
+        :func:`repro.parallel.seeding.walk_seeds` so lane ``i`` equals walk
+        ``i`` of every other executor; when omitted, ``seed`` is expanded
+        through ``walk_seeds(k, seed)`` — the *same* derivation path — so
+        mixing scalar and vector executors in one campaign stays
+        reproducible.
+    first_wins:
+        stop the whole batch at the first solving lane (multi-walk mode).
+    round_callback:
+        called as ``round_callback(engine)`` after every round; returning
+        ``False`` cancels all live lanes (cooperative cancellation for pool
+        and hybrid workers).
+    """
+
+    solver_name = "vector_adaptive_search"
+
+    def __init__(
+        self,
+        problem: Problem,
+        k: int,
+        config: AdaptiveSearchConfig | None = None,
+        *,
+        seeds: Optional[Sequence[np.random.SeedSequence]] = None,
+        seed: SeedLike = None,
+        use_problem_defaults: bool = True,
+        first_wins: bool = False,
+        round_callback: Optional[Callable[["VectorWalkEngine"], Optional[bool]]] = None,
+        vector_problem: Optional[VectorProblem] = None,
+    ) -> None:
+        if k < 1:
+            raise SolverError(f"lane count must be >= 1, got {k}")
+        if seeds is not None and len(seeds) != k:
+            raise SolverError(
+                f"got {len(seeds)} seeds for {k} lanes; pass one per lane"
+            )
+        self.problem = problem
+        self.k = int(k)
+        self.n = problem.size
+        base = config or AdaptiveSearchConfig()
+        if use_problem_defaults:
+            base = base.merged_with(problem.default_solver_parameters())
+        self.config = base
+        self.first_wins = first_wins
+        self.round_callback = round_callback
+        if seeds is None:
+            seeds = walk_seeds(k, seed)
+        self.seeds = list(seeds)
+        self.rngs = [np.random.default_rng(s) for s in self.seeds]
+        self.vp = vector_problem or as_vector_problem(problem, k)
+
+        n = self.n
+        self.configs = np.empty((k, n), dtype=np.int64)
+        for lane in range(k):
+            self.configs[lane] = problem.random_configuration(self.rngs[lane])
+        self.cost = self.vp.lane_costs(self.configs)
+        self.best_cost = self.cost.copy()
+        self.best_configs = self.configs.copy()
+        # narrow marks halve (or quarter) the per-round tabu-mask traffic:
+        # a mark never exceeds the global iteration budget plus the longest
+        # freeze tenure, so int16 is exact whenever that bound fits;
+        # iteration counts beyond 2**31 are out of scope for any real run
+        freeze_max = max(base.freeze_swap, base.freeze_loc_min, 0)
+        mark_bound = (
+            base.max_iterations + freeze_max
+            if math.isfinite(base.max_iterations)
+            else math.inf
+        )
+        self._mdt = (
+            np.int16 if mark_bound < np.iinfo(np.int16).max else np.int32
+        )
+        self.marks = np.zeros((k, n), dtype=self._mdt)
+        self._it_m = np.zeros(k, dtype=self._mdt)
+        self._eligible = np.empty((k, n), dtype=bool)
+        self.iterations = np.zeros(k, dtype=np.int64)
+        self._restart_iterations = np.zeros(k, dtype=np.int64)
+        self._restart_index = np.zeros(k, dtype=np.int64)
+        self.stats = {name: np.zeros(k, dtype=np.int64) for name in _STAT_FIELDS}
+        self.active = np.ones(k, dtype=bool)
+        self._reasons: list[Optional[TerminationReason]] = [None] * k
+        self._finish_time = np.zeros(k, dtype=np.float64)
+        self._stopwatch = Stopwatch()
+        self.rounds = 0
+        self._n_solved = 0
+        self._sentinel = self.vp.delta_sentinel
+        self._i_sel = np.zeros(k, dtype=np.int64)
+        self._all_lanes = np.arange(k)
+        self._better = np.empty(k, dtype=bool)
+
+    # ------------------------------------------------------------------
+    @property
+    def solved_lanes(self) -> list[int]:
+        return [
+            lane
+            for lane, reason in enumerate(self._reasons)
+            if reason is TerminationReason.SOLVED
+        ]
+
+    def _finish(self, lane: int, reason: TerminationReason) -> None:
+        self.active[lane] = False
+        self._reasons[lane] = reason
+        self._finish_time[lane] = self._stopwatch.elapsed
+        if reason is TerminationReason.SOLVED:
+            self._n_solved += 1
+
+    def _cancel_live(self) -> None:
+        for lane in np.flatnonzero(self.active):
+            self._finish(int(lane), TerminationReason.CANCELLED)
+
+    # ------------------------------------------------------------------
+    def run(self) -> VectorRunOutcome:
+        """Run every lane to termination; see class docstring for modes."""
+        sw = self._stopwatch
+        callback = self.round_callback
+        first_wins = self.first_wins
+        time_limit = self.config.time_limit
+        timed = math.isfinite(time_limit)
+        with sw:
+            while True:
+                self._pre_phase()
+                if first_wins and self._n_solved:
+                    self._cancel_live()
+                if not self.active.any():
+                    break
+                self._round()
+                self.rounds += 1
+                if callback is not None:
+                    if callback(self) is False:
+                        self._cancel_live()
+                        break
+                if timed and sw.elapsed >= time_limit:
+                    for lane in np.flatnonzero(self.active):
+                        self._finish(int(lane), TerminationReason.TIME_LIMIT)
+                    break
+        return self._package()
+
+    # ------------------------------------------------------------------
+    def _pre_phase(self) -> None:
+        """Per-lane solved / restart / iteration-budget checks, in the
+        scalar loop's order and precedence."""
+        cfg = self.config
+        active = self.active
+        solved = active & (self.cost <= cfg.target_cost)
+        if solved.any():
+            for lane in np.flatnonzero(solved):
+                self._finish(int(lane), TerminationReason.SOLVED)
+        if math.isfinite(cfg.restart_limit):
+            due = active & (self._restart_iterations >= cfg.restart_limit)
+            if due.any():
+                for lane in np.flatnonzero(due):
+                    self._restart_lane(int(lane))
+        if math.isfinite(cfg.max_iterations):
+            over = active & (self.iterations >= cfg.max_iterations)
+            if over.any():
+                for lane in np.flatnonzero(over):
+                    self._finish(int(lane), TerminationReason.MAX_ITERATIONS)
+
+    def _restart_lane(self, lane: int) -> None:
+        cfg = self.config
+        if self._restart_index[lane] >= cfg.max_restarts:
+            self._finish(lane, TerminationReason.RESTARTS_EXHAUSTED)
+            return
+        self._restart_index[lane] += 1
+        self.stats["restarts"][lane] += 1
+        start = self.problem.random_configuration(self.rngs[lane])
+        self.configs[lane] = start
+        self.cost[lane] = self.problem.cost(start)
+        self.vp.notify_rows([lane], self.configs)
+        self.marks[lane, :] = 0
+        self._restart_iterations[lane] = 0
+        self._track_best_lane(lane)
+        if self.cost[lane] <= cfg.target_cost:
+            self._finish(lane, TerminationReason.SOLVED)
+
+    def _track_best_lane(self, lane: int) -> None:
+        if self.cost[lane] < self.best_cost[lane]:
+            self.best_cost[lane] = self.cost[lane]
+            self.best_configs[lane] = self.configs[lane]
+
+    def _partial_reset(self, lane: int) -> None:
+        """Exact replica of the scalar partial reset (same RNG calls)."""
+        rng = self.rngs[lane]
+        n = self.n
+        row = self.configs[lane]
+        n_swaps = max(1, int(np.ceil(self.config.reset_fraction * n / 2.0)))
+        for _ in range(n_swaps):
+            a, b = rng.integers(0, n, size=2)
+            row[a], row[b] = row[b], row[a]
+        self.stats["resets"][lane] += 1
+        self.marks[lane, :] = 0
+        self.cost[lane] = self.problem.cost(row)
+        self.vp.notify_rows([lane], self.configs)
+
+    # ------------------------------------------------------------------
+    def _round(self) -> None:
+        """One lock-step iteration across all live lanes."""
+        cfg = self.config
+        active = self.active
+        rngs = self.rngs
+        marks = self.marks
+        it = self.iterations
+        all_live = bool(active.all())
+        if all_live:
+            it += 1
+            self._restart_iterations += 1
+        else:
+            it[active] += 1
+            self._restart_iterations[active] += 1
+
+        vp = self.vp
+        vp.begin_round(self.configs)
+        errors = vp.errors()
+        it_m = self._it_m
+        np.copyto(it_m, it, casting="unsafe")
+        eligible = np.less(marks, it_m[:, None], out=self._eligible)
+        has_eligible = eligible.any(axis=1)
+        if all_live and has_eligible.all():
+            work = self._all_lanes
+        else:
+            for lane in np.flatnonzero(active & ~has_eligible):
+                # the scalar loop's `continue`: reset, no best-tracking
+                self._partial_reset(int(lane))
+            work = np.flatnonzero(active & has_eligible)
+            if work.size == 0:
+                return
+
+        i_rows = masked_argmax_lanes(errors, eligible, work, rngs, scratch=True)
+        i_sel = self._i_sel
+        i_sel[work] = i_rows
+        deltas = vp.deltas(i_sel)
+        deltas[work, i_rows] = self._sentinel
+        j_rows = argmin_lanes(deltas, work, rngs)
+        delta_rows = deltas[work, j_rows]
+
+        if cfg.plateau_is_local_min:
+            improving = delta_rows < 0
+        else:
+            improving = delta_rows <= 0
+
+        # improving lanes: vectorized bookkeeping
+        imp_lanes = work[improving]
+        imp_i = i_rows[improving]
+        imp_j = j_rows[improving]
+        imp_delta = delta_rows[improving]
+        self.stats["swaps"][imp_lanes] += 1
+        plateau = imp_lanes[imp_delta == 0]
+        self.stats["plateau_moves"][plateau] += 1
+        if cfg.freeze_swap > 0:
+            until = it[imp_lanes] + cfg.freeze_swap
+            marks[imp_lanes, imp_i] = until
+            marks[imp_lanes, imp_j] = until
+
+        # local-minimum lanes: the marks scatter, stats, and frozen counts
+        # batch across lanes; only the acceptance draw itself runs per lane
+        # (RNG order matters within a lane; lanes are independent streams).
+        # The frozen count per rejected lane is computable up front because
+        # every write between the scalar freeze and the scalar count is
+        # row-local to the lane being processed.
+        acc_lanes: list[int] = []
+        acc_i: list[int] = []
+        acc_j: list[int] = []
+        acc_delta: list[float] = []
+        stats = self.stats
+        lm_rows = np.flatnonzero(~improving)
+        if lm_rows.size:
+            lm_lanes = work[lm_rows]
+            lm_i = i_rows[lm_rows]
+            lm_j = j_rows[lm_rows]
+            lm_d = delta_rows[lm_rows]
+            lm_it = it[lm_lanes]
+            stats["local_minima"][lm_lanes] += 1
+            stats["frozen_variables"][lm_lanes] += 1
+            marks[lm_lanes, lm_i] = lm_it + cfg.freeze_loc_min
+            frozen_cnt = (
+                marks[lm_lanes] > lm_it.astype(self._mdt)[:, None]
+            ).sum(axis=1)
+            finite = np.isfinite(lm_d)
+            prob = cfg.prob_select_loc_min
+            reset_limit = cfg.reset_limit
+            freeze_swap = cfg.freeze_swap
+            for row in range(lm_rows.size):
+                lane = int(lm_lanes[row])
+                if finite[row] and rngs[lane].random() < prob:
+                    if freeze_swap > 0:
+                        marks[lane, int(lm_j[row])] = int(lm_it[row]) + freeze_swap
+                    acc_lanes.append(lane)
+                    acc_i.append(int(lm_i[row]))
+                    acc_j.append(int(lm_j[row]))
+                    acc_delta.append(float(lm_d[row]))
+                elif frozen_cnt[row] > reset_limit:
+                    self._partial_reset(lane)
+            if acc_lanes:
+                acc_arr = np.asarray(acc_lanes, dtype=np.int64)
+                stats["swaps"][acc_arr] += 1
+                stats["accepted_local_min_moves"][acc_arr] += 1
+                acc_d_arr = np.asarray(acc_delta, dtype=np.float64)
+                stats["plateau_moves"][acc_arr[acc_d_arr == 0]] += 1
+
+        # apply all executed swaps (improving + accepted local-min moves)
+        if acc_lanes:
+            lanes_arr = np.concatenate(
+                [imp_lanes, np.asarray(acc_lanes, dtype=np.int64)]
+            )
+            ii = np.concatenate([imp_i, np.asarray(acc_i, dtype=np.int64)])
+            jj = np.concatenate([imp_j, np.asarray(acc_j, dtype=np.int64)])
+            dd = np.concatenate(
+                [imp_delta.astype(np.float64), np.asarray(acc_delta, dtype=np.float64)]
+            )
+        else:
+            lanes_arr, ii, jj, dd = imp_lanes, imp_i, imp_j, imp_delta
+        if lanes_arr.size:
+            configs = self.configs
+            vals_i = configs[lanes_arr, ii].copy()
+            configs[lanes_arr, ii] = configs[lanes_arr, jj]
+            configs[lanes_arr, jj] = vals_i
+            self.cost[lanes_arr] += dd
+            vp.notify_swaps(lanes_arr, ii, jj, configs)
+
+        # track best for every lane that iterated (including rejected
+        # local-minimum lanes whose reset fell through, as in the scalar loop)
+        better = self._better
+        if work.size == self.k:
+            np.less(self.cost, self.best_cost, out=better)
+        else:
+            better[:] = False
+            better[work] = True
+            better &= self.cost < self.best_cost
+        rows = np.flatnonzero(better)
+        if rows.size:
+            self.best_cost[rows] = self.cost[rows]
+            self.best_configs[rows] = self.configs[rows]
+
+    # ------------------------------------------------------------------
+    def _package(self) -> VectorRunOutcome:
+        walks: list[SolveResult] = []
+        for lane in range(self.k):
+            reason = self._reasons[lane] or TerminationReason.CANCELLED
+            stats = SolveStats(
+                iterations=int(self.iterations[lane]),
+                swaps=int(self.stats["swaps"][lane]),
+                local_minima=int(self.stats["local_minima"][lane]),
+                plateau_moves=int(self.stats["plateau_moves"][lane]),
+                accepted_local_min_moves=int(
+                    self.stats["accepted_local_min_moves"][lane]
+                ),
+                frozen_variables=int(self.stats["frozen_variables"][lane]),
+                resets=int(self.stats["resets"][lane]),
+                restarts=int(self.stats["restarts"][lane]),
+                wall_time=float(self._finish_time[lane]),
+            )
+            walks.append(
+                SolveResult(
+                    solved=reason is TerminationReason.SOLVED,
+                    config=self.best_configs[lane].copy(),
+                    cost=float(self.best_cost[lane]),
+                    reason=reason,
+                    stats=stats,
+                    problem_name=self.problem.name,
+                    solver_name=self.solver_name,
+                )
+            )
+        return VectorRunOutcome(walks=walks, elapsed=self._stopwatch.elapsed)
+
+
+def solve_vector(
+    problem: Problem,
+    k: int,
+    seed: SeedLike = None,
+    *,
+    config: AdaptiveSearchConfig | None = None,
+    seeds: Optional[Sequence[np.random.SeedSequence]] = None,
+    first_wins: bool = False,
+    round_callback: Optional[Callable[[VectorWalkEngine], Optional[bool]]] = None,
+) -> VectorRunOutcome:
+    """One-shot convenience wrapper around :class:`VectorWalkEngine`."""
+    engine = VectorWalkEngine(
+        problem,
+        k,
+        config,
+        seeds=seeds,
+        seed=seed,
+        first_wins=first_wins,
+        round_callback=round_callback,
+    )
+    return engine.run()

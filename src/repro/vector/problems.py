@@ -1,0 +1,632 @@
+"""Batched problem kernels for the vector-walk engine.
+
+A :class:`VectorProblem` adapter evaluates ``k`` independent walks of one
+problem instance simultaneously: the configurations live in a ``(k, n)``
+int64 matrix (one lane per row) and every protocol call is a NumPy-batched
+kernel over all lanes at once.  The adapters are *exact*: for every lane the
+returned errors and swap deltas are bit-identical to the scalar
+:class:`~repro.problems.base.Problem` protocol on that lane's configuration,
+which is what makes the vector engine's trajectories reproducible against
+the scalar engine (see ``tests/vector``).
+
+Design rule (why there is no incremental state here): scalar walks maintain
+per-walk caches because one swap invalidates O(1) of them.  Across ``k``
+lanes the bookkeeping for incremental updates (different swaps per lane,
+partial resets, restarts) costs more in Python than rebuilding the derived
+tables from the configuration matrix with two or three full-width NumPy
+passes — so ``begin_round`` rebuilds everything, once per lock-step round.
+
+Batched swap-delta kernels
+--------------------------
+``magic_square``
+    the scalar all-``j`` delta formula lifted to ``(k, n)`` with per-lane
+    gathers of the selected variable's row/column/diagonal sums (int32
+    arithmetic; all quantities are small integers, so float64 results are
+    exact).
+``costas`` / ``all_interval``
+    both costs are count-table costs ``sum_b max(c_b - 1, 0)`` over buckets
+    holding ``N`` items, which equals ``N - distinct``.  Distinct values fit
+    a machine-word bitmask (differences span < 64 values), so the cost of a
+    candidate configuration is ``N`` minus the popcount of an OR-reduction —
+    no scatter, no sort, no per-bucket collision handling.  The kernel
+    materializes the *post-swap* difference tensor for every candidate ``j``
+    in one shot via indicator tables: ``new = old + (T[i] - T[j]) * dv``,
+    then OR-reduces bit masks and popcounts.  Padding slots carry a
+    dedicated sentinel bit that inflates every lane and candidate equally
+    and cancels in the delta.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Type
+
+import numpy as np
+
+from repro.problems.all_interval import AllIntervalProblem
+from repro.problems.base import Problem
+from repro.problems.costas import CostasProblem
+from repro.problems.magic_square import MagicSquareProblem
+
+__all__ = [
+    "VectorProblem",
+    "VectorMagicSquare",
+    "VectorCostas",
+    "VectorAllInterval",
+    "ScalarLaneFallback",
+    "register_vector_adapter",
+    "as_vector_problem",
+    "has_batched_kernels",
+]
+
+
+class VectorProblem:
+    """Protocol advancing ``k`` lanes of one problem in lock-step.
+
+    Call order per round: ``begin_round(configs)`` once, then ``errors()``
+    and ``deltas(i_sel)`` against the tables built from that snapshot.  The
+    engine mutates ``configs`` only *after* ``deltas`` (swaps / resets), so
+    staleness is never observable.
+
+    ``errors`` and ``deltas`` may return any numeric dtype (values must be
+    exact) and may reuse an internal buffer — the engine consumes both
+    before the next ``begin_round``.  ``delta_sentinel`` is the "never pick
+    this" value the engine writes over the selected variable's own column
+    before the batched argmin: ``inf`` for float kernels, the dtype maximum
+    for integer kernels (whose real deltas are orders of magnitude smaller).
+    """
+
+    #: True for real batched kernels, False for the per-lane fallback
+    batched = True
+
+    #: written over column ``i_sel`` before the argmin; see class docstring
+    delta_sentinel: float = np.inf
+
+    def __init__(self, problem: Problem, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"lane count must be >= 1, got {k}")
+        self.problem = problem
+        self.k = int(k)
+        self.n = problem.size
+
+    def begin_round(self, configs: np.ndarray) -> None:
+        """Rebuild derived tables from the ``(k, n)`` configuration matrix."""
+        raise NotImplementedError
+
+    def errors(self) -> np.ndarray:
+        """Per-variable error projection, ``(k, n)`` float64."""
+        raise NotImplementedError
+
+    def deltas(self, i_sel: np.ndarray) -> np.ndarray:
+        """Swap deltas of lane ``l``'s variable ``i_sel[l]`` against every
+        ``j``, as a ``(k, n)`` numeric matrix with entry
+        ``[l, i_sel[l]] == 0``."""
+        raise NotImplementedError
+
+    # -- optional incremental hooks -----------------------------------
+    # The engine reports every mutation it makes to the configuration
+    # matrix between rounds.  Adapters that maintain derived state
+    # incrementally (cheaper than a full rebuild when most lanes change by
+    # one swap) override these; the defaults keep ``begin_round`` as a
+    # from-scratch rebuild.
+
+    def notify_swaps(
+        self, lanes: np.ndarray, ii: np.ndarray, jj: np.ndarray, configs: np.ndarray
+    ) -> None:
+        """Lanes ``lanes`` swapped cells ``ii``/``jj`` (already applied)."""
+
+    def notify_rows(self, lanes: "list[int]", configs: np.ndarray) -> None:
+        """Whole rows rewritten (partial reset / restart)."""
+
+    def lane_costs(self, configs: np.ndarray) -> np.ndarray:
+        """Stateless cost of every lane, ``(k,)`` float64."""
+        problem = self.problem
+        return np.asarray(
+            [problem.cost(configs[lane]) for lane in range(len(configs))],
+            dtype=np.float64,
+        )
+
+
+# ----------------------------------------------------------------------
+# magic square
+# ----------------------------------------------------------------------
+class VectorMagicSquare(VectorProblem):
+    """Batched magic-square kernels (order ``n``, ``A = n*n`` variables).
+
+    All arithmetic runs in the narrowest exact integer dtype: per-family
+    delta terms are bounded by twice the worst line error, which fits int16
+    through order 31 (int32 beyond), and the four family terms accumulate
+    into an int32 buffer — a 4x memory-traffic reduction versus float64
+    that the delta kernel, being bandwidth-bound at ``(k, A)`` width, turns
+    directly into throughput.  Line sums are stored ``- m`` (the magic
+    constant) so every error term is a plain ``abs``.
+    """
+
+    def __init__(self, problem: MagicSquareProblem, k: int) -> None:
+        super().__init__(problem, k)
+        n = self.order = problem.order
+        A = self.n
+        self.m = problem.magic_constant
+        self._rows = problem._rows  # (A,) cell -> row index
+        self._cols = problem._cols
+        self._on_diag = problem._on_diag
+        self._on_anti = problem._on_anti
+        self._ar = np.arange(k)
+        # worst line sum = the n largest values in one line; a combined
+        # row term |s_i'| - e_i + |s_j'| - e_j stays within 2*(err + A)
+        bound = int(np.arange(A - n + 1, A + 1).sum())
+        worst_term = (bound - self.m) + A
+        self._cdt = np.int16 if 2 * worst_term < np.iinfo(np.int16).max else np.int32
+        self.delta_sentinel = int(np.iinfo(np.int32).max)
+        self._diag_cells = np.flatnonzero(problem._on_diag)
+        self._anti_cells = np.flatnonzero(problem._on_anti)
+        self._on_diag_c = problem._on_diag.astype(self._cdt)
+        self._on_anti_c = problem._on_anti.astype(self._cdt)
+        self._cfg = np.empty((k, A), dtype=self._cdt)
+        self._dv = np.empty((k, A), dtype=self._cdt)
+        self._t = np.empty((k, A), dtype=self._cdt)
+        self._t2 = np.empty((k, A), dtype=self._cdt)
+        self._t3 = np.empty((k, A), dtype=self._cdt)
+        self._acc = np.empty((k, A), dtype=np.int32)
+        # a cell error sums four non-negative line terms, so uint16 holds
+        # it whenever the combined bound fits — half the argmax traffic
+        edt = np.uint16 if 4 * worst_term < np.iinfo(np.uint16).max else np.int32
+        self._err = np.empty((k, A), dtype=edt)
+        self._diag_ix = np.arange(n)
+        self._synced = False
+        self._dirty: list[int] = []
+
+    def _rebuild_lane(self, lane: int, configs: np.ndarray) -> None:
+        n, cdt, m = self.order, self._cdt, self.m
+        self._cfg[lane] = configs[lane]
+        g = self._cfg[lane].reshape(n, n)
+        ix = self._diag_ix
+        self._rs[lane] = g.sum(axis=1, dtype=cdt)
+        self._rs[lane] -= cdt(m)
+        self._cs[lane] = g.sum(axis=0, dtype=cdt)
+        self._cs[lane] -= cdt(m)
+        self._dg[lane] = g[ix, ix].sum(dtype=cdt) - cdt(m)
+        self._at[lane] = g[ix, n - 1 - ix].sum(dtype=cdt) - cdt(m)
+
+    def notify_swaps(
+        self, lanes: np.ndarray, ii: np.ndarray, jj: np.ndarray, configs: np.ndarray
+    ) -> None:
+        if not self._synced or lanes.size == 0:
+            return
+        new_i = configs[lanes, ii]
+        new_j = configs[lanes, jj]
+        self._cfg[lanes, ii] = new_i
+        self._cfg[lanes, jj] = new_j
+        d = (new_i - new_j).astype(self._cdt)  # value change at cell ii
+        rows, cols = self._rows, self._cols
+        # lanes are unique, so each (lane, line) slot appears once per
+        # statement; same-line swaps cancel across the two statements
+        self._rs[lanes, rows[ii]] += d
+        self._rs[lanes, rows[jj]] -= d
+        self._cs[lanes, cols[ii]] += d
+        self._cs[lanes, cols[jj]] -= d
+        self._dg[lanes] += d * (self._on_diag_c[ii] - self._on_diag_c[jj])
+        self._at[lanes] += d * (self._on_anti_c[ii] - self._on_anti_c[jj])
+
+    def notify_rows(self, lanes: "list[int]", configs: np.ndarray) -> None:
+        if self._synced:
+            self._dirty.extend(lanes)
+
+    def begin_round(self, configs: np.ndarray) -> None:
+        k, n = self.k, self.order
+        cdt, m = self._cdt, self.m
+        if self._synced:
+            for lane in self._dirty:
+                self._rebuild_lane(lane, configs)
+            self._dirty.clear()
+        else:
+            np.copyto(self._cfg, configs, casting="unsafe")
+            grid = self._cfg.reshape(k, n, n)
+            # line sums relative to the magic constant
+            self._rs = grid.sum(axis=2, dtype=cdt)
+            self._rs -= cdt(m)
+            self._cs = grid.sum(axis=1, dtype=cdt)
+            self._cs -= cdt(m)
+            ix = self._diag_ix
+            self._dg = grid[:, ix, ix].sum(axis=1, dtype=cdt)
+            self._dg -= cdt(m)
+            self._at = grid[:, ix, n - 1 - ix].sum(axis=1, dtype=cdt)
+            self._at -= cdt(m)
+            self._synced = True
+        self._re = np.abs(self._rs)
+        self._ce = np.abs(self._cs)
+        self._de = np.abs(self._dg)
+        self._ae = np.abs(self._at)
+
+    def errors(self) -> np.ndarray:
+        # cell c has row c // n and column c % n, so the per-cell error is
+        # one broadcast add over the (k, n, n) view — no gather, no copy.
+        # The abs'd line terms are non-negative, so when the error buffer
+        # is uint16 the int16 terms are reinterpreted (a free view, same
+        # bits) rather than cast.
+        k, n = self.k, self.order
+        e = self._err
+        re, ce, de, ae = self._re, self._ce, self._de, self._ae
+        if e.dtype == np.uint16:
+            re, ce = re.view(np.uint16), ce.view(np.uint16)
+            de, ae = de.view(np.uint16), ae.view(np.uint16)
+        np.add(re[:, :, None], ce[:, None, :], out=e.reshape(k, n, n))
+        e[:, self._diag_cells] += de[:, None]
+        e[:, self._anti_cells] += ae[:, None]
+        return e
+
+    def deltas(self, i_sel: np.ndarray) -> np.ndarray:
+        ar = self._ar
+        cfg = self._cfg
+        n = self.order
+        rows, cols = self._rows, self._cols
+        rs, cs, re, ce = self._rs, self._cs, self._re, self._ce
+        dv, t, t2, t3, acc = self._dv, self._t, self._t2, self._t3, self._acc
+        lane_col = ar[:, None]
+        span = np.arange(n)[None, :]
+
+        vi = cfg[ar, i_sel][:, None]                     # (k, 1)
+        np.subtract(cfg, vi, out=dv)                     # (k, A)
+        ri = rows[i_sel]                                 # (k,)
+        ci = cols[i_sel]
+
+        # rows: |s_i + dv| - e_i + |s_j - dv| - e_j, zero within i's own
+        # row.  Cell c sits in row c // n, so the per-cell row-sum "gather"
+        # is a broadcast over the (k, n, n) view (no materialized copy),
+        # and i's own row is the contiguous cell block ri*n .. ri*n + n.
+        kk = self.k
+        dv3 = dv.reshape(kk, n, n)
+        t23 = t2.reshape(kk, n, n)
+        t33 = t3.reshape(kk, n, n)
+        np.add(dv, rs[ar, ri][:, None], out=t)
+        np.abs(t, out=t)
+        t -= re[ar, ri][:, None]
+        np.subtract(rs[:, :, None], dv3, out=t23)
+        np.abs(t2, out=t2)
+        t23 -= re[:, :, None]
+        t += t2
+        t[lane_col, ri[:, None] * n + span] = 0
+
+        # columns, same shape (broadcast over the last axis); the result
+        # lands in t2 so both families combine in a single upcasting add
+        np.add(dv, cs[ar, ci][:, None], out=t2)
+        np.abs(t2, out=t2)
+        t2 -= ce[ar, ci][:, None]
+        np.subtract(cs[:, None, :], dv3, out=t33)
+        np.abs(t3, out=t3)
+        t33 -= ce[:, None, :]
+        t2 += t3
+        t2[lane_col, ci[:, None] + span * n] = 0
+        np.add(t, t2, out=acc)
+
+        # diagonals: coefficient ([i on diag] - [j on diag]) covers the
+        # i-only / j-only / both / neither cases.  When i is off the
+        # diagonal (the overwhelmingly common case) the coefficient is
+        # nonzero only on the n diagonal cells, so the term is an (m, n)
+        # scatter-add instead of a full (k, A) pass; the few lanes whose
+        # selected variable sits on the diagonal take the full-width path.
+        self._diag_family(
+            i_sel, dv, acc, self._on_diag, self._on_diag_c, self._diag_cells,
+            self._dg, self._de,
+        )
+        self._diag_family(
+            i_sel, dv, acc, self._on_anti, self._on_anti_c, self._anti_cells,
+            self._at, self._ae,
+        )
+
+        acc[ar, i_sel] = 0
+        return acc
+
+    def _diag_family(
+        self,
+        i_sel: np.ndarray,
+        dv: np.ndarray,
+        acc: np.ndarray,
+        on_line: np.ndarray,
+        on_line_c: np.ndarray,
+        line_cells: np.ndarray,
+        line_sum: np.ndarray,
+        line_err: np.ndarray,
+    ) -> None:
+        i_on = on_line[i_sel]
+        if not i_on.all():
+            off = np.flatnonzero(~i_on)
+            if off.size == self.k:
+                sub_dv = dv[:, line_cells]
+                acc[:, line_cells] += np.abs(
+                    line_sum[:, None] - sub_dv
+                ) - line_err[:, None]
+            else:
+                sub_dv = dv[off[:, None], line_cells[None, :]]
+                acc[off[:, None], line_cells[None, :]] += np.abs(
+                    line_sum[off, None] - sub_dv
+                ) - line_err[off, None]
+        if i_on.any():
+            on = np.flatnonzero(i_on)
+            coef = self._cdt(1) - on_line_c
+            term = np.abs(line_sum[on, None] + coef * dv[on]) - line_err[on, None]
+            acc[on] += term
+
+    def lane_costs(self, configs: np.ndarray) -> np.ndarray:
+        k, n = len(configs), self.order
+        m = self.m
+        grid = configs.reshape(k, n, n)
+        diag_ix = np.arange(n)
+        return (
+            np.abs(grid.sum(axis=2) - m).sum(axis=1)
+            + np.abs(grid.sum(axis=1) - m).sum(axis=1)
+            + np.abs(grid[:, diag_ix, diag_ix].sum(axis=1) - m)
+            + np.abs(grid[:, diag_ix, n - 1 - diag_ix].sum(axis=1) - m)
+        ).astype(np.float64)
+
+
+# ----------------------------------------------------------------------
+# costas
+# ----------------------------------------------------------------------
+class VectorCostas(VectorProblem):
+    """Batched Costas kernels via the bitmask-distinct identity.
+
+    Cost over ``P = n(n-1)/2`` difference pairs equals
+    ``sum_d (n - d - distinct_d)``: pairs at distance ``d`` minus the number
+    of distinct difference values at that distance.  Differences span
+    ``2n - 1 < 64`` values, so ``distinct_d`` is the popcount of an OR of
+    single-bit masks — computable for every candidate swap at once from the
+    post-swap difference tensor (see module docstring).  Works for
+    ``n <= 32`` (uint64 masks); larger orders use the scalar fallback.
+    """
+
+    MAX_N = 32
+
+    def __init__(self, problem: CostasProblem, k: int) -> None:
+        super().__init__(problem, k)
+        n = self.n
+        if n > self.MAX_N:
+            raise ValueError(f"bitmask kernel supports n <= {self.MAX_N}")
+        self.off = n - 1
+        self.W = 2 * n - 1
+        nd = na = n - 1
+        self.nd, self.na = nd, na
+        self.P = n * (n - 1) // 2
+        # pair tables (shared with the scalar problem's reference kernels)
+        self._pa = problem._pair_a
+        self._pb = problem._pair_b
+        self._pd = problem._pair_d
+        # incidence matrix: errors = dup_pairs @ inc
+        inc = np.zeros((self.P, n), dtype=np.float64)
+        inc[np.arange(self.P), self._pa] += 1.0
+        inc[np.arange(self.P), self._pb] += 1.0
+        self._inc = inc
+        # rectangular (a, d) pair layout, a = left endpoint, d = distance;
+        # transposed so the OR-reduction runs over the *leading* axis, where
+        # NumPy reduces with contiguous full-width passes
+        a_ix = np.arange(na)
+        d_ix = np.arange(1, n)
+        validT = (a_ix[:, None] + d_ix[None, :]) < n        # (na, nd)
+        self._validT = validT
+        self._iaT = np.where(validT, a_ix[:, None], 0)
+        self._ibT = np.where(validT, a_ix[:, None] + d_ix[None, :], 0)
+        self.SENT = self.W  # padding sentinel bit; cancels in the delta
+        # indicator table: T4[pos, a, d] = [b == pos] - [a == pos]
+        T4 = np.zeros((n, na, nd), dtype=np.int16)
+        for pos in range(n):
+            T4[pos] = np.where(
+                validT,
+                (self._ibT == pos).astype(np.int16)
+                - (self._iaT == pos).astype(np.int16),
+                0,
+            )
+        self._T4 = T4
+        # big-tensor layout (na, nd, k, n_j): Tj broadcast over lanes
+        self._Tj = np.ascontiguousarray(T4.transpose(1, 2, 0))[:, :, None, :]
+        self._mask_dtype = np.uint32 if self.W < 32 else np.uint64
+        self._D = np.empty((na, nd, k, n), dtype=np.int16)
+        self._new = np.empty((na, nd, k, n), dtype=np.int16)
+        self._newu = np.empty((na, nd, k, n), dtype=self._mask_dtype)
+        self._mask = np.empty((na, nd, k, n), dtype=self._mask_dtype)
+        self._one = self._mask_dtype(1)
+        self._lane_col = np.arange(k)[:, None]
+
+    def begin_round(self, configs: np.ndarray) -> None:
+        k, n, off, W = self.k, self.n, self.off, self.W
+        self._V = configs
+        diffs = configs[:, self._pb] - configs[:, self._pa] + off   # (k, P)
+        self._diffs = diffs
+        keys = (self._lane_col * self.nd + (self._pd[None, :] - 1)) * W + diffs
+        self._counts = np.bincount(
+            keys.ravel(), minlength=k * self.nd * W
+        ).reshape(k, self.nd, W)
+        oldk = configs[:, self._ibT] - configs[:, self._iaT] + off  # (k, na, nd)
+        oldk = np.where(self._validT[None], oldk, self.SENT)
+        self._oldT = np.ascontiguousarray(
+            oldk.transpose(1, 2, 0)
+        ).astype(np.int16)                                          # (na, nd, k)
+
+    def errors(self) -> np.ndarray:
+        c = self._counts[self._lane_col, self._pd[None, :] - 1, self._diffs]
+        dup = (c > 1).astype(np.float64)
+        return dup @ self._inc
+
+    def deltas(self, i_sel: np.ndarray) -> np.ndarray:
+        k, n = self.k, self.n
+        ar = self._lane_col[:, 0]
+        vi = self._V[ar, i_sel]
+        dv = (self._V - vi[:, None]).astype(np.int16)               # (k, n)
+        TiT = np.ascontiguousarray(
+            self._T4[i_sel].transpose(1, 2, 0)
+        )[:, :, :, None]                                            # (na, nd, k, 1)
+        D, new, newu, mask = self._D, self._new, self._newu, self._mask
+        np.subtract(TiT, self._Tj, out=D)
+        np.multiply(D, dv[None, None, :, :], out=new)
+        np.add(new, self._oldT[:, :, :, None], out=new)
+        newu[...] = new
+        np.left_shift(self._one, newu, out=mask)
+        ors = np.bitwise_or.reduce(mask, axis=0)                    # (nd, k, n)
+        sumd = np.bitwise_count(ors).sum(axis=0, dtype=np.int32)    # (k, n)
+        mo = np.left_shift(self._one, self._oldT.astype(self._mask_dtype))
+        co = np.bitwise_count(np.bitwise_or.reduce(mo, axis=0)).sum(
+            axis=0, dtype=np.int32
+        )                                                           # (k,)
+        deltas = (co[:, None] - sumd).astype(np.float64)
+        deltas[ar, i_sel] = 0.0
+        return deltas
+
+    def lane_costs(self, configs: np.ndarray) -> np.ndarray:
+        k = len(configs)
+        off, W = self.off, self.W
+        diffs = configs[:, self._pb] - configs[:, self._pa] + off
+        lane_col = np.arange(k)[:, None]
+        keys = (lane_col * self.nd + (self._pd[None, :] - 1)) * W + diffs
+        counts = np.bincount(keys.ravel(), minlength=k * self.nd * W)
+        counts = counts.reshape(k, self.nd * W)
+        return np.maximum(counts - 1, 0).sum(axis=1).astype(np.float64)
+
+
+# ----------------------------------------------------------------------
+# all interval
+# ----------------------------------------------------------------------
+class VectorAllInterval(VectorProblem):
+    """Batched All-Interval kernels (same bitmask-distinct identity).
+
+    The ``n - 1`` adjacent absolute differences form one bucket family with
+    values ``1 .. n-1``; cost = ``(n-1) - distinct``.  Works for ``n <= 62``
+    (int64 masks, no sentinel needed: the full rectangle is valid).
+    """
+
+    MAX_N = 62
+
+    def __init__(self, problem: AllIntervalProblem, k: int) -> None:
+        super().__init__(problem, k)
+        n = self.n
+        if n > self.MAX_N:
+            raise ValueError(f"bitmask kernel supports n <= {self.MAX_N}")
+        # indicator: E[pos, d] = [d+1 == pos] - [d == pos] for diff slot d
+        d_ix = np.arange(n - 1)
+        E = np.zeros((n, n - 1), dtype=np.int16)
+        for pos in range(n):
+            E[pos] = (d_ix + 1 == pos).astype(np.int16) - (d_ix == pos).astype(
+                np.int16
+            )
+        self._E = E
+        self._ar = np.arange(k)
+        self._lane_col = self._ar[:, None]
+
+    def begin_round(self, configs: np.ndarray) -> None:
+        k, n = self.k, self.n
+        self._V = configs
+        sd = configs[:, 1:] - configs[:, :-1]                 # (k, n-1) signed
+        self._sd = sd.astype(np.int16)
+        ad = np.abs(sd)
+        self._ad = ad
+        keys = self._lane_col * n + ad
+        self._counts = np.bincount(keys.ravel(), minlength=k * n).reshape(k, n)
+
+    def errors(self) -> np.ndarray:
+        k, n = self.k, self.n
+        dup = (self._counts[self._lane_col, self._ad] > 1).astype(np.float64)
+        errors = np.zeros((k, n), dtype=np.float64)
+        errors[:, :-1] += dup
+        errors[:, 1:] += dup
+        return errors
+
+    def deltas(self, i_sel: np.ndarray) -> np.ndarray:
+        ar = self._ar
+        vi = self._V[ar, i_sel]
+        dv = (self._V - vi[:, None]).astype(np.int16)          # (k, n)
+        Ei = self._E[i_sel]                                    # (k, n-1)
+        D = Ei[:, None, :] - self._E[None, :, :]               # (k, n, n-1)
+        new = self._sd[:, None, :] + D * dv[:, :, None]
+        np.abs(new, out=new)
+        mask = np.left_shift(np.int64(1), new.astype(np.int64))
+        distinct = np.bitwise_count(np.bitwise_or.reduce(mask, axis=-1))
+        distinct = distinct.astype(np.int32)                   # (k, n)
+        old_mask = np.left_shift(np.int64(1), self._ad.astype(np.int64))
+        old_distinct = np.bitwise_count(
+            np.bitwise_or.reduce(old_mask, axis=-1)
+        ).astype(np.int32)                                     # (k,)
+        deltas = (old_distinct[:, None] - distinct).astype(np.float64)
+        deltas[ar, i_sel] = 0.0
+        return deltas
+
+    def lane_costs(self, configs: np.ndarray) -> np.ndarray:
+        k, n = len(configs), self.n
+        ad = np.abs(configs[:, 1:] - configs[:, :-1])
+        keys = np.arange(k)[:, None] * n + ad
+        counts = np.bincount(keys.ravel(), minlength=k * n).reshape(k, n)
+        return np.maximum(counts - 1, 0).sum(axis=1).astype(np.float64)
+
+
+# ----------------------------------------------------------------------
+# generic fallback
+# ----------------------------------------------------------------------
+class ScalarLaneFallback(VectorProblem):
+    """Correct-for-everything adapter looping the scalar protocol per lane.
+
+    No speedup — it exists so ``executor="vector"`` accepts any problem and
+    so oversized instances of the batched families degrade gracefully
+    instead of failing.
+    """
+
+    batched = False
+
+    def begin_round(self, configs: np.ndarray) -> None:
+        problem = self.problem
+        self._states = [problem.init_state(configs[lane]) for lane in range(self.k)]
+
+    def errors(self) -> np.ndarray:
+        problem = self.problem
+        return np.stack(
+            [problem.variable_errors(state) for state in self._states]
+        ).astype(np.float64)
+
+    def deltas(self, i_sel: np.ndarray) -> np.ndarray:
+        problem = self.problem
+        out = np.empty((self.k, self.n), dtype=np.float64)
+        for lane, state in enumerate(self._states):
+            out[lane] = problem.swap_deltas(state, int(i_sel[lane]))
+        return out
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_ADAPTERS: dict[Type[Problem], Callable[[Problem, int], VectorProblem]] = {}
+
+
+def register_vector_adapter(
+    problem_type: Type[Problem],
+) -> Callable[[Callable[[Problem, int], VectorProblem]], Callable]:
+    """Class decorator registering a batched adapter for a problem type."""
+
+    def deco(factory: Callable[[Problem, int], VectorProblem]) -> Callable:
+        _ADAPTERS[problem_type] = factory
+        return factory
+
+    return deco
+
+
+register_vector_adapter(MagicSquareProblem)(VectorMagicSquare)
+register_vector_adapter(CostasProblem)(VectorCostas)
+register_vector_adapter(AllIntervalProblem)(VectorAllInterval)
+
+
+def has_batched_kernels(problem: Problem) -> bool:
+    """True when ``as_vector_problem`` returns a real batched adapter."""
+    factory = _ADAPTERS.get(type(problem))
+    if factory is None:
+        return False
+    try:
+        factory(problem, 1)
+    except ValueError:
+        return False
+    return True
+
+
+def as_vector_problem(problem: Problem, k: int) -> VectorProblem:
+    """Best available adapter: a registered batched kernel set when the
+    instance fits its fast path, otherwise the scalar-lane fallback."""
+    factory = _ADAPTERS.get(type(problem))
+    if factory is not None:
+        try:
+            return factory(problem, k)
+        except ValueError:
+            pass  # instance outside the fast path (e.g. too large for masks)
+    return ScalarLaneFallback(problem, k)

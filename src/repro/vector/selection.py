@@ -1,0 +1,117 @@
+"""Batched random-tie selection, stream-compatible with the scalar helpers.
+
+The scalar engine draws selection randomness through
+:mod:`repro.core.selection`: one ``rng.integers(0, n_candidates)`` call per
+selection *iff* the extreme value is tied, none otherwise.  The batched
+helpers below reproduce that call pattern exactly per lane — the max/min and
+tie detection are vectorized across lanes, and only tied lanes touch their
+generator — so lane ``l`` of a vector walk consumes its RNG stream in the
+same order as the scalar walk with the same seed.  That property is what the
+bit-identical trajectory tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["masked_argmax_lanes", "argmin_lanes"]
+
+
+def _resolve_ties(
+    tie_matrix: np.ndarray,
+    counts: np.ndarray,
+    first: np.ndarray,
+    lanes: np.ndarray,
+    rngs: Sequence[np.random.Generator],
+) -> np.ndarray:
+    """Pick per-lane winners from boolean candidate rows.
+
+    ``first`` must already hold the lowest candidate index per lane (the
+    no-draw answer).  Lanes with more than one candidate draw
+    ``rng.integers(0, count)`` — the same single call the scalar helpers
+    make — and take the c-th candidate in ascending index order.
+    """
+    tied = np.flatnonzero(counts > 1)
+    if tied.size == 0:
+        return first
+    out = first.copy()
+    # one nonzero pass over just the tied rows instead of a per-row
+    # flatnonzero: candidates come out grouped by row in ascending column
+    # order, walked via the per-row counts
+    cols = np.nonzero(tie_matrix[tied])[1]
+    cnts = counts[tied].tolist()
+    lanes_t = lanes[tied].tolist()
+    off = 0
+    for idx, row in enumerate(tied.tolist()):
+        c = cnts[idx]
+        pick = int(rngs[lanes_t[idx]].integers(0, c))
+        if pick:  # pick 0 is already `first`
+            out[row] = cols[off + pick]
+        off += c
+    return out
+
+
+def masked_argmax_lanes(
+    values: np.ndarray,
+    mask: np.ndarray,
+    lanes: np.ndarray,
+    rngs: Sequence[np.random.Generator],
+    scratch: bool = False,
+) -> np.ndarray:
+    """Per-lane ``masked_argmax_random_tie`` over the rows ``lanes``.
+
+    ``values``/``mask`` are the full ``(k, n)`` matrices; only the selected
+    rows are evaluated (and only their generators consumed).  Every selected
+    row must have at least one admissible candidate — with ``scratch=True``
+    the caller vouches for that (the fill value masquerades as the max on an
+    empty row) and permits clobbering masked-out entries of ``values`` in
+    place instead of allocating a shielded copy.
+    """
+    if lanes.size == values.shape[0]:
+        sub_vals, sub_mask = values, mask  # all lanes live: skip the copy
+    else:
+        sub_vals, sub_mask = values[lanes], mask[lanes]
+        scratch = True  # the fancy-index copy above is already private
+    if sub_vals.dtype.kind != "f" and scratch:
+        # integer errors are non-negative (count-based costs), so zeroing
+        # the masked-out entries shields them — a SIMD multiply, much
+        # cheaper than a branchy masked fill.  A zero max can collide with
+        # legitimately zero candidates, hence the explicit re-mask of ties.
+        np.multiply(sub_vals, sub_mask, out=sub_vals)
+        best = sub_vals.max(axis=1)
+        ties = (sub_vals == best[:, None]) & sub_mask
+    else:
+        if sub_vals.dtype.kind == "f":
+            fill = -np.inf
+        else:
+            fill = np.iinfo(sub_vals.dtype).min
+        if scratch:
+            np.copyto(sub_vals, fill, where=~sub_mask)
+            shielded = sub_vals
+        else:
+            shielded = np.where(sub_mask, sub_vals, fill)
+        best = shielded.max(axis=1)
+        if not scratch and not (best > fill).all():
+            raise ValueError("mask admits no candidate for some lane")
+        # any real candidate beats the fill, so equality-with-max alone
+        # finds exactly the admissible ties
+        ties = shielded == best[:, None]
+    counts = ties.sum(axis=1)
+    first = ties.argmax(axis=1)
+    return _resolve_ties(ties, counts, first, lanes, rngs)
+
+
+def argmin_lanes(
+    values: np.ndarray,
+    lanes: np.ndarray,
+    rngs: Sequence[np.random.Generator],
+) -> np.ndarray:
+    """Per-lane ``argmin_random_tie`` over the rows ``lanes``."""
+    sub = values if lanes.size == values.shape[0] else values[lanes]
+    best = sub.min(axis=1)
+    ties = sub == best[:, None]
+    counts = ties.sum(axis=1)
+    first = ties.argmax(axis=1)
+    return _resolve_ties(ties, counts, first, lanes, rngs)

@@ -150,7 +150,7 @@ class TestClusterSampling:
 
     def test_service_and_cluster_are_exclusive(self, client):
         spec = BenchmarkSpec("queens", {"n": 8})
-        with pytest.raises(Exception, match="not both"):
+        with pytest.raises(Exception, match="only one of"):
             collect_samples(spec, 2, service=object(), cluster=client)
 
 

@@ -1,0 +1,179 @@
+"""Vector engine behavior beyond per-lane equivalence.
+
+First-finisher semantics (the multi-walk contract), cooperative
+cancellation through ``round_callback``, the ``executor="vector"``
+integration in :class:`~repro.parallel.multiwalk.MultiWalkSolver`
+(including the hybrid processes x lanes layout), and the telemetry
+lane events.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TerminationReason
+from repro.core.config import AdaptiveSearchConfig
+from repro.core.solver import AdaptiveSearch
+from repro.errors import ParallelError
+from repro.parallel.multiwalk import MultiWalkSolver, solve_parallel
+from repro.parallel.seeding import walk_seeds
+from repro.problems import make_problem
+from repro.telemetry import (
+    Recorder,
+    RingBufferSink,
+    get_recorder,
+    set_recorder,
+)
+from repro.vector.engine import VectorWalkEngine
+
+
+def magic(n=6):
+    return make_problem("magic_square", n=n)
+
+
+class TestFirstFinisher:
+    def test_first_wins_cancels_losers(self):
+        config = AdaptiveSearchConfig(max_iterations=50_000)
+        outcome = VectorWalkEngine(
+            magic(), k=6, config=config, seed=3, first_wins=True
+        ).run()
+        assert outcome.solved
+        winner = outcome.winner_lane
+        assert winner is not None
+        assert outcome.walks[winner].solved
+        for lane, walk in enumerate(outcome.walks):
+            if walk.solved:
+                continue
+            assert walk.reason is TerminationReason.CANCELLED, lane
+            # lock-step: a cancelled lane stopped the round the winner
+            # solved, so it cannot have done more work than the winner
+            assert walk.stats.iterations <= outcome.walks[winner].stats.iterations
+
+    def test_everyone_finishes_without_first_wins(self):
+        config = AdaptiveSearchConfig(max_iterations=4000)
+        outcome = VectorWalkEngine(
+            magic(), k=6, config=config, seed=3, first_wins=False
+        ).run()
+        for walk in outcome.walks:
+            assert walk.reason is not TerminationReason.CANCELLED
+
+    def test_round_callback_false_cancels_all(self):
+        config = AdaptiveSearchConfig(max_iterations=50_000)
+        outcome = VectorWalkEngine(
+            magic(),
+            k=3,
+            config=config,
+            seed=0,
+            round_callback=lambda engine: False,
+        ).run()
+        assert not outcome.solved
+        assert all(
+            walk.reason is TerminationReason.CANCELLED
+            for walk in outcome.walks
+        )
+        assert all(walk.stats.iterations <= 1 for walk in outcome.walks)
+
+    def test_round_callback_budget(self):
+        rounds_seen = []
+
+        def stop_after_20(engine):
+            rounds_seen.append(engine.rounds)
+            return engine.rounds < 20
+
+        config = AdaptiveSearchConfig(max_iterations=50_000)
+        engine = VectorWalkEngine(
+            magic(8), k=2, config=config, seed=1,
+            round_callback=stop_after_20,
+        )
+        outcome = engine.run()
+        assert not outcome.solved
+        assert engine.rounds == 20
+        assert rounds_seen == sorted(rounds_seen)
+
+
+class TestVectorExecutor:
+    """executor="vector" through MultiWalkSolver / solve_parallel."""
+
+    def test_winner_walk_matches_inline_trajectory(self):
+        config = AdaptiveSearchConfig(max_iterations=20_000)
+        vector = solve_parallel(
+            magic(5), 4, seed=7, config=config, executor="vector"
+        )
+        inline = solve_parallel(
+            magic(5), 4, seed=7, config=config, executor="inline"
+        )
+        assert vector.solved and inline.solved
+        assert vector.executor == "vector"
+        assert vector.n_walkers == 4 and len(vector.walks) == 4
+        w = vector.winner.walk_id
+        # walk w is the same trajectory under both executors
+        assert inline.walks[w].solved
+        assert vector.winner.iterations == inline.walks[w].iterations
+        assert vector.winner.cost == inline.walks[w].cost
+        assert np.array_equal(vector.winner.config, inline.walks[w].config)
+        # cancelled lanes were cut short relative to their full inline runs
+        for lane, walk in enumerate(vector.walks):
+            if walk.reason is TerminationReason.CANCELLED:
+                assert walk.iterations <= inline.walks[lane].iterations
+
+    def test_solution_is_valid(self):
+        problem = magic(6)
+        result = solve_parallel(
+            problem,
+            3,
+            seed=11,
+            config=AdaptiveSearchConfig(max_iterations=100_000),
+            executor="vector",
+        )
+        assert result.solved
+        assert problem.is_solution(result.config)
+
+    def test_hybrid_lanes_layout(self):
+        """lanes below the walk count splits across engine processes; every
+        walk keeps its walk_seeds-derived trajectory."""
+        config = AdaptiveSearchConfig(max_iterations=3000)
+        result = solve_parallel(
+            magic(5),
+            4,
+            seed=13,
+            config=config,
+            executor="vector",
+            lanes=2,
+            time_limit=120,
+        )
+        assert result.executor == "vector"
+        assert len(result.walks) == 4
+        if result.solved:
+            w = result.winner.walk_id
+            scalar = AdaptiveSearch(config).solve(
+                magic(5), walk_seeds(4, 13)[w]
+            )
+            assert scalar.solved
+            assert result.winner.iterations == scalar.stats.iterations
+
+    def test_lanes_validation(self):
+        with pytest.raises(ParallelError, match="lanes"):
+            MultiWalkSolver(executor="vector", lanes=0)
+
+
+class TestVectorTelemetry:
+    def test_lane_events_and_counters(self):
+        sink = RingBufferSink()
+        previous = get_recorder()
+        set_recorder(
+            Recorder(enabled=True, sinks=[sink], milestone_every=50)
+        )
+        try:
+            result = solve_parallel(
+                magic(5),
+                3,
+                seed=2,
+                config=AdaptiveSearchConfig(max_iterations=20_000),
+                executor="vector",
+            )
+        finally:
+            set_recorder(previous)
+        assert result.solved
+        kinds = [record["event"] for record in sink.records]
+        assert kinds.count("walk_start") == 3
+        assert kinds.count("walk_finish") == 3
+        assert "iteration" in kinds or result.winner.iterations < 50
