@@ -1,0 +1,362 @@
+"""Gateway load benchmark (standalone script).
+
+Drives the solve-as-a-service front door the way tenants do — stdlib
+``http.client`` over TCP, no in-process shortcuts — against a real
+``LocalCluster``, and checks the three serving-layer claims:
+
+1. **Sustained throughput.**  Closed-loop client threads submit trivial
+   budget-capped jobs and poll each to completion.  The gateway must
+   sustain ``--min-jobs-per-s`` (default 50) end-to-end submissions/s,
+   with p50/p95 request-to-result latency reported.
+
+2. **Dedup under duplicate traffic.**  Seeds are drawn from a small pool,
+   so identical submissions recur; the in-flight coalescer and the result
+   cache must absorb them (hit ratio > 0) instead of re-running walks.
+
+3. **Load shedding.**  A capacity-1 gateway holding one slow job must
+   answer an over-quota burst with HTTP 429 + ``Retry-After`` for every
+   excess submission.
+
+Run as a script (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py
+    PYTHONPATH=src python benchmarks/bench_gateway.py --smoke
+
+Writes ``BENCH_gateway.json`` at the repository root (override with
+``--json``).  Exit code 0 iff every acceptance check passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import http.client
+
+from repro.gateway import Tenant, TenantRegistry
+from repro.gateway.testing import LocalGateway
+from repro.net import LocalCluster
+
+ARTIFACT = Path(__file__).parent / "out" / "gateway.txt"
+DEFAULT_JSON = Path(__file__).parent.parent / "BENCH_gateway.json"
+
+#: the load tenant must never be the bottleneck being measured: quotas
+#: high enough that only the gateway/cluster path limits throughput
+BENCH_KEY = "bench-key"
+
+
+def bench_tenants() -> TenantRegistry:
+    return TenantRegistry(
+        [
+            Tenant(
+                "bench",
+                BENCH_KEY,
+                priority_class="standard",
+                rate=1e6,
+                burst=1e6,
+                max_inflight=10_000,
+            )
+        ]
+    )
+
+#: trivial job template: a tiny fixed iteration budget makes solver work
+#: negligible, so the measurement is pure serving overhead
+JOB_TEMPLATE = {
+    "problem": "costas",
+    "params": {"n": 6},
+    "n_walkers": 1,
+    "config": {"max_iterations": 2000},
+}
+
+
+def run_client(address, n_jobs: int, seed_pool: int, worker: int):
+    """One closed-loop client: submit, poll to terminal, repeat.
+
+    Returns (latencies_s, outcomes) where outcomes counts response kinds.
+    """
+    host, port = address
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    latencies = []
+    outcomes = {"cached": 0, "deduped": 0, "completed": 0, "failed": 0}
+    for index in range(n_jobs):
+        body = dict(JOB_TEMPLATE, seed=(worker * 7919 + index) % seed_pool)
+        start = time.perf_counter()
+        conn.request(
+            "POST",
+            "/v1/jobs",
+            body=json.dumps(body),
+            headers={
+                "Content-Type": "application/json",
+                "X-API-Key": BENCH_KEY,
+            },
+        )
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        if response.status == 200 and payload.get("cached"):
+            outcomes["cached"] += 1
+            latencies.append(time.perf_counter() - start)
+            continue
+        if response.status != 202:
+            outcomes["failed"] += 1
+            continue
+        if payload.get("deduped"):
+            outcomes["deduped"] += 1
+        job_id = payload["job_id"]
+        while True:
+            conn.request(
+                "GET", f"/v1/jobs/{job_id}", headers={"X-API-Key": BENCH_KEY}
+            )
+            snap = json.loads(conn.getresponse().read())
+            if snap["status"] not in ("queued", "running"):
+                break
+            time.sleep(0.002)
+        latencies.append(time.perf_counter() - start)
+        if snap["status"] in ("solved", "unsolved"):
+            outcomes["completed"] += 1
+        else:
+            outcomes["failed"] += 1
+    conn.close()
+    return latencies, outcomes
+
+
+def scrape_metrics(address) -> dict[str, float]:
+    host, port = address
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    conn.request("GET", "/metrics")
+    text = conn.getresponse().read().decode()
+    conn.close()
+    metrics = {}
+    for line in text.splitlines():
+        if line and not line.startswith("#"):
+            parts = line.split()
+            if len(parts) == 2:
+                try:
+                    metrics[parts[0]] = float(parts[1])
+                except ValueError:
+                    pass
+    return metrics
+
+
+def run_shed_phase(cluster, n_burst: int):
+    """Capacity-1 gateway + one slow job: the burst must be shed."""
+    with LocalGateway(cluster.address, bench_tenants(), capacity=1) as gw:
+        host, port = gw.address
+        conn = http.client.HTTPConnection(host, port, timeout=60)
+        slow = {
+            "problem": "magic_square",
+            "params": {"n": 12},
+            "n_walkers": 1,
+            "seed": 1,
+            "deadline": 30.0,
+        }
+        conn.request(
+            "POST",
+            "/v1/jobs",
+            body=json.dumps(slow),
+            headers={"X-API-Key": BENCH_KEY},
+        )
+        response = conn.getresponse()
+        response.read()
+        assert response.status == 202, f"slow job refused: {response.status}"
+        shed = 0
+        retry_after_ok = True
+        for index in range(n_burst):
+            body = dict(JOB_TEMPLATE, seed=10_000 + index)
+            conn.request(
+                "POST",
+                "/v1/jobs",
+                body=json.dumps(body),
+                headers={"X-API-Key": BENCH_KEY},
+            )
+            response = conn.getresponse()
+            response.read()
+            if response.status == 429:
+                shed += 1
+                if not response.getheader("Retry-After"):
+                    retry_after_ok = False
+        conn.close()
+        return shed, retry_after_ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fast run for CI (fewer jobs, same checks)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=None,
+        help="closed-loop client threads (default 8, smoke 4)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="submissions per client (default 40, smoke 10)",
+    )
+    parser.add_argument(
+        "--seed-pool", type=int, default=None,
+        help="distinct seeds; smaller = more duplicate traffic "
+        "(default 32, smoke 8)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="cluster pool size"
+    )
+    parser.add_argument(
+        "--min-jobs-per-s", type=float, default=50.0,
+        help="required sustained end-to-end submissions/s",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help=f"machine-readable results path (default {DEFAULT_JSON})",
+    )
+    args = parser.parse_args(argv)
+    n_clients = args.clients or (4 if args.smoke else 8)
+    n_jobs = args.jobs or (10 if args.smoke else 40)
+    seed_pool = args.seed_pool or (8 if args.smoke else 32)
+    total = n_clients * n_jobs
+
+    lines = [
+        f"gateway bench: {n_clients} clients x {n_jobs} jobs, "
+        f"{seed_pool} distinct seeds, {args.workers}-worker cluster"
+        + (" [smoke]" if args.smoke else ""),
+        "",
+    ]
+
+    print("booting cluster + gateway ...", flush=True)
+    with LocalCluster(n_nodes=1, workers_per_node=args.workers) as cluster:
+        with LocalGateway(
+            cluster.address, bench_tenants(), capacity=max(64, n_clients * 2)
+        ) as gw:
+            # warm-up: ship the problem pickle to the node once
+            warm, _ = run_client(gw.address, 1, 1, worker=99)
+            print(f"load phase: {total} submissions ...", flush=True)
+            start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=n_clients) as pool:
+                futures = [
+                    pool.submit(
+                        run_client, gw.address, n_jobs, seed_pool, worker
+                    )
+                    for worker in range(n_clients)
+                ]
+                results = [future.result() for future in futures]
+            elapsed = time.perf_counter() - start
+            metrics = scrape_metrics(gw.address)
+
+        print("shed phase: over-quota burst ...", flush=True)
+        n_burst = 8 if args.smoke else 16
+        shed, retry_after_ok = run_shed_phase(cluster, n_burst)
+
+    latencies = sorted(t for lat, _ in results for t in lat)
+    outcomes = {"cached": 0, "deduped": 0, "completed": 0, "failed": 0}
+    for _, out in results:
+        for key, value in out.items():
+            outcomes[key] += value
+    jobs_per_s = total / elapsed
+    p50 = statistics.median(latencies) * 1e3 if latencies else float("nan")
+    p95 = (
+        latencies[int(0.95 * (len(latencies) - 1))] * 1e3
+        if latencies
+        else float("nan")
+    )
+    dedup_hits = outcomes["cached"] + outcomes["deduped"]
+    dedup_ratio = dedup_hits / max(total, 1)
+    cluster_jobs = int(metrics.get("gateway_jobs_submitted_total", 0))
+
+    lines += [
+        f"load phase: {total} submissions in {elapsed:.2f}s "
+        f"-> {jobs_per_s:.1f} jobs/s (required >= {args.min_jobs_per_s:.0f})",
+        f"  latency p50 {p50:.1f} ms, p95 {p95:.1f} ms "
+        "(submit -> terminal status)",
+        f"  outcomes: {outcomes['completed']} ran, "
+        f"{outcomes['cached']} cache hits, {outcomes['deduped']} coalesced, "
+        f"{outcomes['failed']} failed",
+        f"  dedup hit ratio: {dedup_ratio:.2f} "
+        f"({dedup_hits}/{total} duplicate submissions absorbed; "
+        f"{cluster_jobs} cluster jobs actually ran)",
+        "",
+        f"shed phase: {shed}/{n_burst} over-quota submissions shed with 429"
+        + ("" if retry_after_ok else " (MISSING Retry-After)"),
+    ]
+
+    ok = True
+    if jobs_per_s < args.min_jobs_per_s:
+        ok = False
+        lines.append(
+            f"FAIL: {jobs_per_s:.1f} jobs/s below the "
+            f"{args.min_jobs_per_s:.0f} floor"
+        )
+    if outcomes["failed"]:
+        ok = False
+        lines.append(f"FAIL: {outcomes['failed']} submissions failed")
+    if dedup_hits == 0:
+        ok = False
+        lines.append("FAIL: no dedup hits under duplicate traffic")
+    if cluster_jobs >= total:
+        ok = False
+        lines.append(
+            f"FAIL: {cluster_jobs} cluster jobs for {total} submissions — "
+            "dedup saved nothing"
+        )
+    if shed == 0:
+        ok = False
+        lines.append("FAIL: over-quota burst was not shed")
+    if not retry_after_ok:
+        ok = False
+        lines.append("FAIL: a 429 was missing its Retry-After header")
+    if ok:
+        lines.append("PASS")
+
+    text = "\n".join(lines)
+    print(text)
+    ARTIFACT.parent.mkdir(exist_ok=True)
+    ARTIFACT.write_text(text + "\n", encoding="utf-8")
+    print(f"[artifact written to {ARTIFACT}]")
+
+    json_path = Path(args.json) if args.json else DEFAULT_JSON
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text(
+        json.dumps(
+            {
+                "bench": "gateway",
+                "smoke": bool(args.smoke),
+                "clients": n_clients,
+                "jobs_per_client": n_jobs,
+                "seed_pool": seed_pool,
+                "throughput": {
+                    "total_jobs": total,
+                    "elapsed_s": round(elapsed, 3),
+                    "jobs_per_s": round(jobs_per_s, 1),
+                    "latency_ms": {
+                        "p50": round(p50, 2),
+                        "p95": round(p95, 2),
+                    },
+                },
+                "dedup": {
+                    "cache_hits": outcomes["cached"],
+                    "coalesced": outcomes["deduped"],
+                    "hit_ratio": round(dedup_ratio, 3),
+                    "cluster_jobs": cluster_jobs,
+                },
+                "shedding": {
+                    "burst": n_burst,
+                    "shed_429": shed,
+                    "retry_after_present": retry_after_ok,
+                },
+                "pass": ok,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"[json written to {json_path}]")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

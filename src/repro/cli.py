@@ -256,6 +256,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "generated_at": _time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "benches": {},
     }
+    if args.only:
+        # partial run: fold the fresh results into an existing summary so
+        # `repro bench --only X` updates one bench without erasing the rest
+        try:
+            previous = json.loads(Path(args.out).read_text(encoding="utf-8"))
+            summary["benches"] = dict(previous.get("benches", {}))
+        except (OSError, json.JSONDecodeError):
+            pass
     benches: dict[str, object] = summary["benches"]  # type: ignore[assignment]
     all_ok = True
     for script in scripts:
@@ -298,7 +306,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"[bench] {name}: {str(entry['status']).upper()} "
             f"({elapsed:.1f}s)"
         )
-    summary["pass"] = all_ok
+    summary["pass"] = all_ok and all(
+        entry.get("status") == "pass"
+        for entry in benches.values()
+        if isinstance(entry, dict)
+    )
     out = Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
@@ -491,6 +503,60 @@ def cmd_node(args: argparse.Namespace) -> int:
             print("node disconnected", file=sys.stderr)
     except KeyboardInterrupt:
         print("node stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_gateway(args: argparse.Namespace) -> int:
+    """Run the solve-as-a-service HTTP/WebSocket gateway until interrupted."""
+    import asyncio
+
+    from repro.gateway import Gateway, TenantRegistry
+    from repro.net import parse_address
+    from repro.telemetry.recorder import get_recorder
+
+    _forward_termination_signals()
+    _configure_tracing(args, "gateway")
+    coordinator = parse_address(args.connect)
+    if args.keys is not None:
+        tenants = TenantRegistry.from_file(args.keys)
+    else:
+        print(
+            "warning: no --keys file; running in anonymous mode "
+            "(any API key accepted, shared default quotas)",
+            file=sys.stderr,
+        )
+        tenants = TenantRegistry(allow_anonymous=True)
+    gateway = Gateway(
+        coordinator,
+        tenants,
+        host=args.host,
+        port=args.port,
+        capacity=args.capacity,
+        cache_entries=args.cache_entries,
+        cache_ttl=args.cache_ttl,
+        recorder=get_recorder(),
+    )
+
+    async def _serve() -> None:
+        await gateway.start()
+        host, port = gateway.address
+        print(
+            f"gateway listening on {host}:{port} "
+            f"({len(tenants)} tenant(s), capacity {args.capacity}), "
+            f"coordinator {coordinator[0]}:{coordinator[1]}",
+            flush=True,
+        )
+        try:
+            await gateway.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await gateway.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("gateway stopped", file=sys.stderr)
     return 0
 
 
@@ -953,6 +1019,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --trace: emit an iteration milestone every N iterations",
     )
     p_node.set_defaults(func=cmd_node)
+
+    p_gateway = sub.add_parser(
+        "gateway",
+        help="run the solve-as-a-service HTTP/WebSocket front door over "
+        "a cluster coordinator",
+    )
+    p_gateway.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address to submit jobs through",
+    )
+    p_gateway.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_gateway.add_argument(
+        "--port", type=int, default=7720, help="HTTP port (0 = pick a free one)"
+    )
+    p_gateway.add_argument(
+        "--keys",
+        default=None,
+        metavar="PATH",
+        help="tenant keys file (JSON or TOML); omitted = anonymous mode",
+    )
+    p_gateway.add_argument(
+        "--capacity",
+        type=int,
+        default=64,
+        help="global in-flight job budget for admission control",
+    )
+    p_gateway.add_argument(
+        "--cache-entries",
+        type=int,
+        default=1024,
+        help="result-cache size (completed seeded jobs)",
+    )
+    p_gateway.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=3600.0,
+        help="result-cache entry lifetime in seconds",
+    )
+    p_gateway.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="record gateway telemetry as JSONL under this directory",
+    )
+    p_gateway.set_defaults(func=cmd_gateway)
 
     p_submit = sub.add_parser(
         "submit", help="submit one multi-walk job to a running cluster"

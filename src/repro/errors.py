@@ -14,6 +14,7 @@ __all__ = [
     "SolverError",
     "ParallelError",
     "NetError",
+    "GatewayError",
     "ChaosError",
     "TelemetryError",
     "SimulationError",
@@ -44,6 +45,10 @@ class ParallelError(ReproError):
 
 class NetError(ReproError):
     """Failures of the distributed coordinator/node backend."""
+
+
+class GatewayError(ReproError):
+    """Failures of the solve-as-a-service HTTP/WebSocket gateway."""
 
 
 class ChaosError(ReproError):

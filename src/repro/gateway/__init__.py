@@ -1,0 +1,36 @@
+"""Solve-as-a-service front door: HTTP/WebSocket gateway over a cluster.
+
+The cluster protocol (:mod:`repro.net`) is a trusted-peer pickle channel;
+this package is the *untrusted-edge* counterpart: a JSON API where tenants
+name registered problem families instead of shipping code, quotas and
+priority classes keep them from starving each other, identical seeded
+submissions collapse onto one cluster job, and progress streams over
+WebSocket.  Everything is stdlib asyncio — no web framework.
+
+Layout:
+
+- :mod:`repro.gateway.http` — hand-rolled HTTP/1.1 parsing + routing
+- :mod:`repro.gateway.websocket` — the RFC 6455 server subset
+- :mod:`repro.gateway.tenants` — API keys, token buckets, priority classes
+- :mod:`repro.gateway.cache` — canonical job hashing + result LRU/TTL
+- :mod:`repro.gateway.admission` — load shedding + walker-count planning
+- :mod:`repro.gateway.app` — the :class:`Gateway` server itself
+- :mod:`repro.gateway.testing` — :class:`LocalGateway` harness
+"""
+
+from repro.gateway.admission import AdmissionController, WalkerPlanner
+from repro.gateway.app import Gateway, GatewayJob
+from repro.gateway.cache import ResultCache, canonical_job_key
+from repro.gateway.tenants import PRIORITY_CLASSES, Tenant, TenantRegistry
+
+__all__ = [
+    "AdmissionController",
+    "Gateway",
+    "GatewayJob",
+    "PRIORITY_CLASSES",
+    "ResultCache",
+    "Tenant",
+    "TenantRegistry",
+    "WalkerPlanner",
+    "canonical_job_key",
+]

@@ -1,0 +1,210 @@
+"""Admission control and automatic walker-count planning.
+
+**Admission** keeps the gateway stable under overload by shedding the
+lowest-priority work first.  Each priority class may fill a different
+fraction of the global in-flight capacity — with the defaults and
+``capacity=100``, ``batch`` traffic is refused beyond 50 in-flight jobs,
+``standard`` beyond 80, and only ``premium`` may use the full 100.  Under
+saturation the low classes therefore starve before the high ones feel any
+pressure, which is exactly the shedding order the priority classes
+promise.  Refusals come back as a structured decision the HTTP layer turns
+into ``429 Too Many Requests`` with a ``Retry-After`` header.
+
+**Planning** answers "how many walkers should this job get?" when the
+client does not say.  The paper's central result makes this a statistics
+question: independent multi-walk speedup is ``E[T] / E[min_k]``, entirely
+determined by the sequential runtime distribution.  The planner records
+observed wall times per problem family, fits them with
+:func:`repro.stats.best_fit`, and picks the largest ``k`` whose predicted
+*efficiency* (speedup / k) stays above a floor — exponential-like families
+(Costas) get many walkers, saturating families (shifted-exponential or
+lognormal regimes) stop early where extra walkers would be wasted.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import GatewayError
+from repro.stats import best_fit, predicted_speedup
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "WalkerPlanner",
+]
+
+#: fraction of global capacity each priority class may occupy
+DEFAULT_PRIORITY_FRACTIONS = {0: 0.5, 1: 0.8, 2: 1.0}
+
+
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    __slots__ = ("admitted", "reason", "retry_after")
+
+    def __init__(
+        self, admitted: bool, reason: str = "", retry_after: float = 1.0
+    ) -> None:
+        self.admitted = admitted
+        self.reason = reason
+        self.retry_after = retry_after
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+class AdmissionController:
+    """Priority-aware load shedding over a global in-flight budget.
+
+    ``capacity`` is the total number of gateway jobs allowed in flight at
+    once; ``priority_fractions`` maps each integer priority to the share
+    of that capacity it may consume.  A class's effective limit is
+    ``max(1, floor(capacity * fraction))`` so tiny capacities still admit
+    one job per class.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        priority_fractions: dict[int, float] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise GatewayError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        fractions = dict(priority_fractions or DEFAULT_PRIORITY_FRACTIONS)
+        for priority, fraction in fractions.items():
+            if not 0.0 < fraction <= 1.0:
+                raise GatewayError(
+                    f"priority {priority} fraction must be in (0, 1], "
+                    f"got {fraction}"
+                )
+        self.priority_fractions = fractions
+        self.inflight = 0
+        self.shed = 0
+
+    def limit_for(self, priority: int) -> int:
+        fraction = self.priority_fractions.get(priority, 1.0)
+        return max(1, math.floor(self.capacity * fraction))
+
+    def admit(
+        self, priority: int, tenant_inflight: int, tenant_max_inflight: int
+    ) -> AdmissionDecision:
+        """Check the tenant quota then the class share; does not reserve —
+        call :meth:`acquire` after a positive decision."""
+        if tenant_inflight >= tenant_max_inflight:
+            return AdmissionDecision(
+                False,
+                f"tenant in-flight quota of {tenant_max_inflight} reached",
+                retry_after=1.0,
+            )
+        if self.inflight >= self.limit_for(priority):
+            self.shed += 1
+            return AdmissionDecision(
+                False,
+                f"gateway at capacity for priority class {priority} "
+                f"({self.inflight}/{self.limit_for(priority)} in flight)",
+                retry_after=2.0,
+            )
+        return AdmissionDecision(True)
+
+    def acquire(self) -> None:
+        self.inflight += 1
+
+    def release(self) -> None:
+        if self.inflight > 0:
+            self.inflight -= 1
+
+
+class WalkerPlanner:
+    """Pick a default walker count per problem family from runtime fits.
+
+    Wall times of completed jobs are recorded per family; once
+    ``min_samples`` exist, :func:`repro.stats.best_fit` characterizes the
+    family's runtime distribution and the plan is the largest power-of-two
+    ``k <= max_walkers`` whose predicted efficiency
+    ``speedup(k) / k >= min_efficiency``.  Before enough evidence exists
+    (or when fitting fails on degenerate samples) the plan is
+    ``default_walkers``.
+    """
+
+    def __init__(
+        self,
+        *,
+        default_walkers: int = 4,
+        max_walkers: int = 64,
+        min_samples: int = 8,
+        min_efficiency: float = 0.5,
+        max_samples: int = 512,
+    ) -> None:
+        if not 1 <= default_walkers <= max_walkers:
+            raise GatewayError(
+                f"need 1 <= default_walkers <= max_walkers, got "
+                f"default_walkers={default_walkers}, max_walkers={max_walkers}"
+            )
+        if not 0.0 < min_efficiency <= 1.0:
+            raise GatewayError(
+                f"min_efficiency must be in (0, 1], got {min_efficiency}"
+            )
+        self.default_walkers = default_walkers
+        self.max_walkers = max_walkers
+        self.min_samples = min_samples
+        self.min_efficiency = min_efficiency
+        self.max_samples = max_samples
+        self._samples: dict[str, list[float]] = {}
+        self._plans: dict[str, int] = {}
+        self._fits: dict[str, str] = {}
+
+    def record(self, family: str, wall_time: float) -> None:
+        """Record one completed job's wall time and refresh the plan."""
+        if wall_time <= 0:
+            return
+        samples = self._samples.setdefault(family, [])
+        samples.append(float(wall_time))
+        if len(samples) > self.max_samples:
+            # sliding window: old measurements stop describing the mix of
+            # instances tenants currently submit
+            del samples[: len(samples) - self.max_samples]
+        if len(samples) >= self.min_samples:
+            self._refit(family)
+
+    def _refit(self, family: str) -> None:
+        try:
+            fit = best_fit(self._samples[family])
+        except ValueError:
+            # degenerate samples (e.g. all identical); keep prior plan
+            return
+        candidates = []
+        k = 1
+        while k <= self.max_walkers:
+            candidates.append(k)
+            k *= 2
+        try:
+            speedups = predicted_speedup(fit, candidates)
+        except ValueError:
+            return
+        plan = 1
+        for k in candidates:
+            if speedups[k] / k >= self.min_efficiency:
+                plan = k
+        self._plans[family] = plan
+        self._fits[family] = fit.name
+
+    def plan(self, family: str) -> int:
+        """The current walker-count recommendation for ``family``."""
+        return self._plans.get(family, self.default_walkers)
+
+    def fitted_family(self, family: str) -> Optional[str]:
+        """Which distribution family the plan is based on (None = default)."""
+        return self._fits.get(family)
+
+    def stats(self) -> dict[str, dict[str, object]]:
+        return {
+            family: {
+                "samples": len(samples),
+                "plan": self.plan(family),
+                "fit": self._fits.get(family),
+            }
+            for family, samples in sorted(self._samples.items())
+        }

@@ -1,0 +1,136 @@
+"""Result-cache dedup: canonical job hashing plus a bounded LRU with TTL.
+
+Two solve requests are "the same job" when they would provably compute the
+same thing: same registered problem factory, same parameters, same walker
+count, same seed, and same solver configuration.  :func:`canonical_job_key`
+reduces that tuple to a sha256 digest over a ``sort_keys`` JSON encoding,
+so parameter *order* never matters — ``{"n": 64, "density": 0.5}`` and
+``{"density": 0.5, "n": 64}`` collide by construction.
+
+The gateway uses the digest twice:
+
+- **in-flight coalescing** — a second identical submission attaches to the
+  already-running gateway job instead of spawning a cluster job, across
+  tenants (results carry no tenant data).  The digest also rides to the
+  coordinator as the ``client_key``, so even a gateway restart between the
+  two submissions cannot double-run the work (protocol-v4 idempotency).
+- **completed-result caching** — :class:`ResultCache`, an ``OrderedDict``
+  LRU bounded by entry count with per-entry TTL; an expired or evicted
+  entry simply means the job runs again.
+
+Unseeded submissions (``seed`` absent/None) are never cached or coalesced:
+each run legitimately explores a different trajectory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import OrderedDict
+from typing import Any, Optional
+
+from repro.errors import GatewayError
+
+__all__ = ["CacheEntry", "ResultCache", "canonical_job_key"]
+
+
+def canonical_job_key(
+    problem: str,
+    params: dict[str, Any],
+    *,
+    n_walkers: int,
+    seed: int | None,
+    config: dict[str, Any] | None = None,
+) -> Optional[str]:
+    """Canonical digest for a submission, or ``None`` when unseeded.
+
+    Raises :class:`GatewayError` when ``params``/``config`` contain values
+    JSON cannot encode — those came off the wire as JSON, so this only
+    fires for programmatic misuse.
+    """
+    if seed is None:
+        return None
+    material = {
+        "problem": problem,
+        "params": params,
+        "n_walkers": int(n_walkers),
+        "seed": int(seed),
+        "config": config or {},
+    }
+    try:
+        encoded = json.dumps(
+            material, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+    except (TypeError, ValueError) as err:
+        raise GatewayError(f"job parameters are not JSON-encodable: {err}")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+class CacheEntry:
+    """One cached result payload with its insertion stamp."""
+
+    __slots__ = ("payload", "stamp")
+
+    def __init__(self, payload: Any, stamp: float) -> None:
+        self.payload = payload
+        self.stamp = stamp
+
+
+class ResultCache:
+    """Bounded LRU of completed job results keyed by canonical digest.
+
+    Single-event-loop use, so no locking.  ``hits`` / ``misses`` feed the
+    gateway's metrics counters.
+    """
+
+    def __init__(self, max_entries: int = 1024, ttl: float = 3600.0) -> None:
+        if max_entries < 1:
+            raise GatewayError(
+                f"cache needs max_entries >= 1, got {max_entries}"
+            )
+        if ttl <= 0:
+            raise GatewayError(f"cache needs ttl > 0, got {ttl}")
+        self.max_entries = max_entries
+        self.ttl = float(ttl)
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str, now: float | None = None) -> Optional[Any]:
+        """The cached payload, refreshing recency, or ``None``."""
+        now = time.monotonic() if now is None else now
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if now - entry.stamp > self.ttl:
+            del self._entries[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.payload
+
+    def put(self, key: str, payload: Any, now: float | None = None) -> None:
+        now = time.monotonic() if now is None else now
+        self._entries[key] = CacheEntry(payload, now)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+        }

@@ -1,0 +1,280 @@
+"""Minimal HTTP/1.1 server pieces on raw asyncio streams.
+
+The offline environment forbids aiohttp, so the gateway speaks HTTP the
+same way :mod:`repro.net.protocol` speaks its frame protocol: hand-rolled
+over ``asyncio.StreamReader`` / ``StreamWriter``, small enough to audit in
+one sitting.  Only what a JSON API front door needs is implemented:
+
+- :func:`read_request` — request line + headers + ``Content-Length`` body
+  (no chunked uploads; responses are always ``Content-Length`` framed);
+- :class:`HttpResponse` with :func:`json_response` / :func:`error_response`
+  helpers — every API answer is a JSON object, errors carry
+  ``{"error": ...}`` plus optional extra fields (``retry_after``);
+- :class:`Router` — literal and ``{param}`` path segments, per-method
+  dispatch, 404/405 as :class:`HttpError`;
+- keep-alive: the connection loop in :mod:`repro.gateway.app` serves
+  requests until the peer closes or sends ``Connection: close``, which is
+  what lets a closed-loop bench client reuse one TCP connection per
+  worker.
+
+Size ceilings mirror the frame protocol's ``MAX_FRAME_BYTES`` philosophy:
+a request line, header block, or body beyond the limit is a protocol
+violation answered with 431/413, not an allocation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Optional
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+import asyncio
+
+from repro.errors import GatewayError
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "Router",
+    "encode_response",
+    "error_response",
+    "json_response",
+    "read_request",
+    "text_response",
+]
+
+#: request line + header block ceiling
+MAX_HEADER_BYTES = 32 * 1024
+#: request body ceiling — JSON job submissions are a few hundred bytes
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    426: "Upgrade Required",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(GatewayError):
+    """An HTTP-level failure carrying the status to answer with."""
+
+    def __init__(
+        self, status: int, message: str, headers: dict[str, str] | None = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: line, lowercased headers, raw body."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.header("connection").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def json(self) -> Any:
+        """The body parsed as JSON; raises :class:`HttpError` 400."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            raise HttpError(400, f"request body is not valid JSON: {err}")
+
+
+@dataclass
+class HttpResponse:
+    """One response; ``encode_response`` adds framing headers."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+def json_response(
+    payload: Any, status: int = 200, headers: dict[str, str] | None = None
+) -> HttpResponse:
+    return HttpResponse(
+        status=status,
+        body=(json.dumps(payload, separators=(",", ":")) + "\n").encode(),
+        headers=dict(headers or {}),
+    )
+
+
+def text_response(
+    text: str, status: int = 200, content_type: str = "text/plain"
+) -> HttpResponse:
+    return HttpResponse(
+        status=status, body=text.encode("utf-8"), content_type=content_type
+    )
+
+
+def error_response(
+    status: int,
+    message: str,
+    headers: dict[str, str] | None = None,
+    **extra: Any,
+) -> HttpResponse:
+    return json_response(
+        {"error": message, **extra}, status=status, headers=headers
+    )
+
+
+def encode_response(response: HttpResponse, *, keep_alive: bool) -> bytes:
+    reason = _REASONS.get(response.status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {response.status} {reason}",
+        f"Content-Type: {response.content_type}",
+        f"Content-Length: {len(response.body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in response.headers.items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + response.body
+
+
+# ----------------------------------------------------------------------
+# request parsing
+# ----------------------------------------------------------------------
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_header_bytes: int = MAX_HEADER_BYTES,
+    max_body_bytes: int = MAX_BODY_BYTES,
+) -> Optional[HttpRequest]:
+    """Read one request; ``None`` on a clean EOF before the request line.
+
+    Raises :class:`HttpError` on malformed or oversized requests — the
+    connection loop answers it and closes.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as err:
+        if not err.partial:
+            return None
+        raise HttpError(400, "connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, "request header block too large") from None
+    if len(head) > max_header_bytes:
+        raise HttpError(431, "request header block too large")
+    try:
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")[:-2]
+    except ValueError:
+        raise HttpError(400, "malformed request head") from None
+    parts = request_line.split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {request_line!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported HTTP version {version!r}")
+    split = urlsplit(target)
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length: {length_text!r}") from None
+    if length > max_body_bytes:
+        raise HttpError(413, f"request body of {length} bytes is too large")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "connection closed mid-body") from None
+    return HttpRequest(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+        version=version,
+    )
+
+
+# ----------------------------------------------------------------------
+# routing
+# ----------------------------------------------------------------------
+Handler = Callable[..., Awaitable[Any]]
+
+
+class Router:
+    """Method + path-pattern dispatch with ``{param}`` capture segments.
+
+    >>> router = Router()
+    >>> router.add("GET", "/v1/jobs/{job_id}", handler)
+
+    ``resolve`` returns ``(handler, params)`` or raises :class:`HttpError`
+    404 (no pattern matches the path) / 405 (path known, method not).
+    """
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, tuple[str, ...], Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        segments = tuple(pattern.strip("/").split("/"))
+        self._routes.append((method.upper(), segments, handler))
+
+    def _match(
+        self, segments: tuple[str, ...], path_parts: list[str]
+    ) -> Optional[dict[str, str]]:
+        if len(segments) != len(path_parts):
+            return None
+        params: dict[str, str] = {}
+        for pattern_part, path_part in zip(segments, path_parts):
+            if pattern_part.startswith("{") and pattern_part.endswith("}"):
+                if not path_part:
+                    return None
+                params[pattern_part[1:-1]] = path_part
+            elif pattern_part != path_part:
+                return None
+        return params
+
+    def resolve(self, method: str, path: str) -> tuple[Handler, dict[str, str]]:
+        path_parts = path.strip("/").split("/")
+        seen_path = False
+        for route_method, segments, handler in self._routes:
+            params = self._match(segments, path_parts)
+            if params is None:
+                continue
+            seen_path = True
+            if route_method == method.upper():
+                return handler, params
+        if seen_path:
+            raise HttpError(405, f"method {method} not allowed on {path}")
+        raise HttpError(404, f"no such endpoint: {path}")

@@ -1,0 +1,231 @@
+"""Multi-tenant authentication, rate limits, and priority classes.
+
+Tenants are declared in a JSON or TOML file mapping names to API keys and
+quotas::
+
+    {"tenants": {
+        "alice": {"key": "alice-k1", "rate": 50, "burst": 100,
+                  "max_inflight": 8, "priority": "premium"},
+        "batch-ci": {"key": "ci-k1", "rate": 5, "priority": "batch"}
+    }}
+
+or equivalently in TOML (``[tenants.alice]`` tables; picked by file
+extension, both parsed with the stdlib).  Three priority classes map onto
+the protocol-v5 integer priorities — ``batch`` (0), ``standard`` (1),
+``premium`` (2) — which order both the coordinator's pending queue and
+each node's local dispatch queue, and decide who is shed first under
+load (see :mod:`repro.gateway.admission`).
+
+Rate limiting is a classic token bucket per tenant: ``rate`` tokens/s
+refill up to ``burst``; one token per job submission.  ``max_inflight``
+caps a tenant's concurrently running gateway jobs independently of the
+global admission capacity.  Both use the monotonic clock; a bucket that
+is empty reports how long until the next token, which becomes the 429
+``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.errors import GatewayError
+
+__all__ = [
+    "PRIORITY_CLASSES",
+    "Tenant",
+    "TenantRegistry",
+    "TokenBucket",
+]
+
+#: priority class name -> protocol-v5 integer priority
+PRIORITY_CLASSES = {"batch": 0, "standard": 1, "premium": 2}
+
+#: defaults applied when a tenant entry omits a field
+DEFAULT_RATE = 50.0
+DEFAULT_BURST = 100.0
+DEFAULT_MAX_INFLIGHT = 16
+
+
+class TokenBucket:
+    """``rate`` tokens/s refilling up to ``burst``; not thread-safe by
+    design — the gateway touches it from one event loop only."""
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0 or burst <= 0:
+            raise GatewayError(
+                f"token bucket needs rate > 0 and burst > 0, "
+                f"got rate={rate}, burst={burst}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp = time.monotonic()
+
+    def _refill(self, now: float) -> None:
+        # clamp: a caller-supplied clock (tests) may start before _stamp
+        elapsed = max(0.0, now - self._stamp)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def try_acquire(self, now: float | None = None) -> bool:
+        """Take one token if available."""
+        self._refill(time.monotonic() if now is None else now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until the next token exists (0 when one is ready)."""
+        return max(0.0, (1.0 - self._tokens) / self.rate)
+
+
+@dataclass
+class Tenant:
+    """One authenticated tenant with its live quota state."""
+
+    name: str
+    key: str
+    priority_class: str = "standard"
+    rate: float = DEFAULT_RATE
+    burst: float = DEFAULT_BURST
+    max_inflight: int = DEFAULT_MAX_INFLIGHT
+
+    def __post_init__(self) -> None:
+        if self.priority_class not in PRIORITY_CLASSES:
+            known = ", ".join(sorted(PRIORITY_CLASSES))
+            raise GatewayError(
+                f"tenant {self.name!r} has unknown priority class "
+                f"{self.priority_class!r}; known classes: {known}"
+            )
+        if self.max_inflight < 1:
+            raise GatewayError(
+                f"tenant {self.name!r} needs max_inflight >= 1, "
+                f"got {self.max_inflight}"
+            )
+        self.bucket = TokenBucket(self.rate, self.burst)
+        #: gateway jobs currently running on behalf of this tenant
+        self.inflight = 0
+
+    @property
+    def priority(self) -> int:
+        return PRIORITY_CLASSES[self.priority_class]
+
+
+class TenantRegistry:
+    """API key -> :class:`Tenant` lookup.
+
+    ``allow_anonymous=True`` (the keys-file-less quickstart and the load
+    bench) accepts any or no key as a single shared ``anonymous`` tenant
+    with default quotas.
+    """
+
+    def __init__(
+        self, tenants: list[Tenant] | None = None, *, allow_anonymous: bool = False
+    ) -> None:
+        self._by_key: dict[str, Tenant] = {}
+        self._by_name: dict[str, Tenant] = {}
+        for tenant in tenants or []:
+            self.add(tenant)
+        self._anonymous: Optional[Tenant] = None
+        if allow_anonymous:
+            self._anonymous = Tenant(name="anonymous", key="")
+            self._by_name[self._anonymous.name] = self._anonymous
+
+    def add(self, tenant: Tenant) -> None:
+        if tenant.key in self._by_key:
+            raise GatewayError(
+                f"API key of tenant {tenant.name!r} collides with "
+                f"tenant {self._by_key[tenant.key].name!r}"
+            )
+        if tenant.name in self._by_name:
+            raise GatewayError(f"duplicate tenant name {tenant.name!r}")
+        self._by_key[tenant.key] = tenant
+        self._by_name[tenant.name] = tenant
+
+    def authenticate(self, key: str | None) -> Optional[Tenant]:
+        """The tenant owning ``key``, the anonymous tenant, or ``None``."""
+        if key:
+            tenant = self._by_key.get(key)
+            if tenant is not None:
+                return tenant
+        return self._anonymous
+
+    def get(self, name: str) -> Optional[Tenant]:
+        return self._by_name.get(name)
+
+    def tenants(self) -> list[Tenant]:
+        return sorted(self._by_name.values(), key=lambda t: t.name)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(
+        cls, spec: dict[str, Any], *, allow_anonymous: bool = False
+    ) -> "TenantRegistry":
+        entries = spec.get("tenants")
+        if not isinstance(entries, dict) or not entries:
+            raise GatewayError(
+                "tenant spec needs a non-empty 'tenants' mapping"
+            )
+        tenants = []
+        for name, entry in entries.items():
+            if not isinstance(entry, dict) or not entry.get("key"):
+                raise GatewayError(
+                    f"tenant {name!r} needs at least a 'key' field"
+                )
+            unknown = set(entry) - {
+                "key", "rate", "burst", "max_inflight", "priority"
+            }
+            if unknown:
+                raise GatewayError(
+                    f"tenant {name!r} has unknown fields {sorted(unknown)}"
+                )
+            tenants.append(
+                Tenant(
+                    name=str(name),
+                    key=str(entry["key"]),
+                    priority_class=str(entry.get("priority", "standard")),
+                    rate=float(entry.get("rate", DEFAULT_RATE)),
+                    burst=float(entry.get("burst", entry.get("rate", DEFAULT_BURST))),
+                    max_inflight=int(
+                        entry.get("max_inflight", DEFAULT_MAX_INFLIGHT)
+                    ),
+                )
+            )
+        return cls(tenants, allow_anonymous=allow_anonymous)
+
+    @classmethod
+    def from_file(
+        cls, path: str | Path, *, allow_anonymous: bool = False
+    ) -> "TenantRegistry":
+        """Load a keys file; ``.toml`` parses with :mod:`tomllib`, anything
+        else as JSON."""
+        path = Path(path)
+        try:
+            raw = path.read_bytes()
+        except OSError as err:
+            raise GatewayError(f"cannot read keys file {path}: {err}") from None
+        if path.suffix == ".toml":
+            import tomllib
+
+            try:
+                spec = tomllib.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, tomllib.TOMLDecodeError) as err:
+                raise GatewayError(
+                    f"keys file {path} is not valid TOML: {err}"
+                ) from None
+        else:
+            try:
+                spec = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as err:
+                raise GatewayError(
+                    f"keys file {path} is not valid JSON: {err}"
+                ) from None
+        return cls.from_dict(spec, allow_anonymous=allow_anonymous)

@@ -1,0 +1,105 @@
+"""In-process gateway harness.
+
+:class:`LocalGateway` runs a :class:`~repro.gateway.app.Gateway` on a
+private asyncio loop in a background thread — the same pattern as
+:class:`repro.net.testing.LocalCluster`, and designed to sit next to one::
+
+    with LocalCluster(n_nodes=2) as cluster:
+        with LocalGateway(cluster.address, tenants) as gw:
+            http.client.HTTPConnection(*gw.address) ...
+
+Blocking callers (tests, the bench's thread-pool clients) talk plain HTTP
+to :attr:`address`; the harness owns startup/teardown ordering so the
+gateway's cluster client is connected before ``__enter__`` returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any
+
+from repro.errors import GatewayError
+from repro.gateway.app import Gateway
+from repro.gateway.tenants import TenantRegistry
+
+__all__ = ["LocalGateway"]
+
+
+class LocalGateway:
+    """A gateway on a background event-loop thread.
+
+    ``tenants=None`` runs in anonymous mode (any key accepted); keyword
+    arguments are forwarded to :class:`~repro.gateway.app.Gateway`.
+    """
+
+    def __init__(
+        self,
+        coordinator: tuple[str, int],
+        tenants: TenantRegistry | None = None,
+        **kwargs: Any,
+    ) -> None:
+        self.coordinator = coordinator
+        self.tenants = (
+            tenants
+            if tenants is not None
+            else TenantRegistry(allow_anonymous=True)
+        )
+        self.kwargs = kwargs
+        self.gateway: Gateway | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def start(self, timeout: float = 60.0) -> "LocalGateway":
+        if self._loop is not None:
+            return self
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-gateway-loop", daemon=True
+        )
+        self._thread.start()
+        self.gateway = Gateway(self.coordinator, self.tenants, **self.kwargs)
+        self._run(self.gateway.start(), timeout)
+        return self
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if self._loop is None:
+            return
+        if self.gateway is not None:
+            self._run(self.gateway.stop(), timeout)
+            self.gateway = None
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        assert self._thread is not None
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "LocalGateway":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self.gateway is not None, "gateway is not started"
+        return self.gateway.address
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def _run(self, coro, timeout: float):
+        assert self._loop is not None
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        try:
+            return future.result(timeout=timeout)
+        except TimeoutError:
+            future.cancel()
+            raise GatewayError(
+                f"gateway operation timed out after {timeout}s"
+            ) from None

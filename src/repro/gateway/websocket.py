@@ -1,0 +1,152 @@
+"""Server-side WebSocket (RFC 6455) on asyncio streams — the subset the
+gateway needs to stream job progress events.
+
+Scope: the server accepts an upgrade on an existing HTTP connection, sends
+unmasked text frames (JSON event objects), answers pings, and closes with
+a proper close frame.  Fragmentation is not produced and not accepted
+(every gateway event fits one frame), and binary frames are rejected —
+the event stream is a JSON-lines-over-frames channel, nothing more.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import struct
+from typing import Optional
+
+import asyncio
+
+from repro.errors import GatewayError
+
+__all__ = [
+    "OP_TEXT",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "accept_key",
+    "handshake_response",
+    "read_frame",
+    "send_close",
+    "send_text",
+]
+
+#: fixed GUID the handshake concatenates to the client nonce (RFC 6455 §4)
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: inbound frames are tiny control traffic (closes, pings); anything
+#: larger is a misbehaving client
+MAX_INBOUND_PAYLOAD = 64 * 1024
+
+
+def accept_key(client_key: str) -> str:
+    """``Sec-WebSocket-Accept`` for a client's ``Sec-WebSocket-Key``."""
+    digest = hashlib.sha1((client_key + _WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def handshake_response(client_key: str) -> bytes:
+    """The complete 101 Switching Protocols response."""
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {accept_key(client_key)}\r\n"
+        "\r\n"
+    ).encode("ascii")
+
+
+def _encode_frame(opcode: int, payload: bytes) -> bytes:
+    """One unmasked server->client frame (FIN always set)."""
+    head = bytes([0x80 | opcode])
+    length = len(payload)
+    if length < 126:
+        head += bytes([length])
+    elif length < 1 << 16:
+        head += bytes([126]) + struct.pack("!H", length)
+    else:
+        head += bytes([127]) + struct.pack("!Q", length)
+    return head + payload
+
+
+async def send_text(writer: asyncio.StreamWriter, text: str) -> None:
+    writer.write(_encode_frame(OP_TEXT, text.encode("utf-8")))
+    await writer.drain()
+
+
+async def send_close(
+    writer: asyncio.StreamWriter, code: int = 1000, reason: str = ""
+) -> None:
+    payload = struct.pack("!H", code) + reason.encode("utf-8")
+    writer.write(_encode_frame(OP_CLOSE, payload))
+    await writer.drain()
+
+
+async def _send_pong(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    writer.write(_encode_frame(OP_PONG, payload))
+    await writer.drain()
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> Optional[tuple[int, bytes]]:
+    """Read one client frame; ``None`` on EOF at a frame boundary.
+
+    Client frames must be masked (RFC 6455 §5.1) and unfragmented; the
+    payload is returned unmasked.
+    """
+    try:
+        head = await reader.readexactly(2)
+    except asyncio.IncompleteReadError as err:
+        if not err.partial:
+            return None
+        raise GatewayError("websocket closed mid-frame") from None
+    fin = bool(head[0] & 0x80)
+    opcode = head[0] & 0x0F
+    masked = bool(head[1] & 0x80)
+    length = head[1] & 0x7F
+    if not fin or opcode == OP_CONT:
+        raise GatewayError("fragmented websocket frames are not supported")
+    if not masked:
+        raise GatewayError("client websocket frames must be masked")
+    try:
+        if length == 126:
+            (length,) = struct.unpack("!H", await reader.readexactly(2))
+        elif length == 127:
+            (length,) = struct.unpack("!Q", await reader.readexactly(8))
+        if length > MAX_INBOUND_PAYLOAD:
+            raise GatewayError(
+                f"inbound websocket frame of {length} bytes is too large"
+            )
+        mask = await reader.readexactly(4)
+        payload = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError:
+        raise GatewayError("websocket closed mid-frame") from None
+    unmasked = bytes(b ^ mask[i % 4] for i, b in enumerate(payload))
+    return opcode, unmasked
+
+
+async def serve_control_frames(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    """Drain client frames until close/EOF, answering pings.
+
+    Run as a background task next to the event-sender: its completion
+    means the client went away and streaming should stop.
+    """
+    while True:
+        frame = await read_frame(reader)
+        if frame is None:
+            return
+        opcode, payload = frame
+        if opcode == OP_CLOSE:
+            return
+        if opcode == OP_PING:
+            await _send_pong(writer, payload)

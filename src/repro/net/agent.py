@@ -276,6 +276,9 @@ class NodeAgent:
         config = payload.get("config")
         seeds = payload["seeds"]
         trace_id = message.get("trace_id") or ""
+        # protocol v5: the cluster-level priority orders this node's own
+        # dispatch queue too, so a premium job overtakes queued batch work
+        priority = int(message.get("priority", 0) or 0)
         slice_state = self._slices.setdefault(
             (job_id, generation), _Slice(job_id, generation)
         )
@@ -293,6 +296,7 @@ class NodeAgent:
                     n_walkers=1,
                     seeds=[seeds[walk_id]],
                     config=config,
+                    priority=priority,
                     trace=(
                         TraceContext(trace_id, job_id, walk_id)
                         if trace_id

@@ -262,6 +262,7 @@ class ClusterClient:
         seeds: Sequence[np.random.SeedSequence] | None = None,
         deadline: float | None = None,
         client_key: str | None = None,
+        priority: int = 0,
     ) -> NetJobHandle:
         """Submit one multi-walk job to the cluster; returns immediately.
 
@@ -269,6 +270,9 @@ class ClusterClient:
         job comes back ``TIMED_OUT`` and ``degraded`` with best-so-far
         outcomes.  ``client_key`` defaults to a fresh UUID — supply your
         own to make retries across *client* restarts idempotent too.
+        ``priority`` (protocol v5) orders the coordinator's pending queue
+        and each node's local dispatch queue — higher runs sooner; the
+        default 0 preserves plain FIFO.
         """
         self.connect()
         if seeds is not None:
@@ -307,6 +311,7 @@ class ClusterClient:
                 "trace_id": handle.trace_id,
                 "client_key": handle.client_key,
                 "deadline": deadline,
+                "priority": int(priority),
             }
             handle._submit_blob = blob
             self._by_request[request_id] = handle

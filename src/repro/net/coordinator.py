@@ -152,6 +152,7 @@ class _NetJob:
         submitted_at: float,
         trace_id: str = "",
         client_key: str = "",
+        priority: int = 0,
     ) -> None:
         self.job_id = job_id
         self.trace_id = trace_id
@@ -160,6 +161,9 @@ class _NetJob:
         #: client away, or job recovered from the journal)
         self.client = client
         self.client_key = client_key
+        #: protocol v5: orders the pending-dispatch queue (higher first)
+        #: and travels in assign frames so node-local schedulers agree
+        self.priority = priority
         self.problem = problem
         self.config = config
         self.seeds = seeds
@@ -213,6 +217,10 @@ class Coordinator:
         when set, a :class:`~repro.net.journal.JobJournal` write-ahead log
         is kept there and replayed on :meth:`start` — unfinished jobs of a
         crashed predecessor are re-created and re-dispatched.
+    journal_max_bytes:
+        size trigger for journal rotation: once a ``finish`` append leaves
+        the file over this many bytes it is compacted down to the
+        unfinished jobs (``None`` = never rotate).
     hedge_factor:
         straggler hedging threshold: once at least half of a job's walks
         completed, an outstanding walk older than
@@ -242,6 +250,7 @@ class Coordinator:
         check_interval: float = 0.25,
         max_redispatch: int = 2,
         journal_path: Any = None,
+        journal_max_bytes: int | None = None,
         hedge_factor: float | None = None,
         max_hedges: int = 2,
         min_hedge_delay: float = 0.25,
@@ -266,6 +275,7 @@ class Coordinator:
         self.check_interval = check_interval
         self.max_redispatch = max_redispatch
         self.journal_path = journal_path
+        self.journal_max_bytes = journal_max_bytes
         self.hedge_factor = hedge_factor
         self.max_hedges = max_hedges
         self.min_hedge_delay = min_hedge_delay
@@ -323,7 +333,9 @@ class Coordinator:
         """Bind and start serving; returns the actual (host, port)."""
         if self.journal_path is not None:
             self._recover_from_journal()
-            self._journal = JobJournal(self.journal_path)
+            self._journal = JobJournal(
+                self.journal_path, max_bytes=self.journal_max_bytes
+            )
             for job in self._jobs.values():
                 # re-journal the recovered generation so a second crash
                 # still starts above every assignment ever made
@@ -360,6 +372,7 @@ class Coordinator:
                 submitted_at=now,
                 trace_id=entry.get("trace_id") or "",
                 client_key=entry.get("client_key") or "",
+                priority=int(entry.get("priority", 0) or 0),
             )
             # strictly above every journaled assignment: pre-crash reports
             # from surviving nodes stay stale (recovery invariant 2)
@@ -621,6 +634,7 @@ class Coordinator:
             submitted_at=time.monotonic(),
             trace_id=message.get("trace_id") or "",
             client_key=client_key,
+            priority=int(message.get("priority", 0) or 0),
         )
         deadline = message.get("deadline")
         if deadline is not None:
@@ -638,6 +652,7 @@ class Coordinator:
                 n_walkers=len(seeds),
                 deadline=deadline,
                 payload=message.blob or b"",
+                priority=job.priority,
             )
         self.counters["jobs_submitted"] += 1
         if self.recorder.enabled:
@@ -676,6 +691,15 @@ class Coordinator:
         if not live:
             return
         pending, self._pending = self._pending, []
+        # protocol v5: drain the backlog highest-priority first; equal
+        # priorities keep their submission order (job ids are monotonic),
+        # so an all-default backlog stays plain FIFO
+        pending.sort(
+            key=lambda job_id: (
+                -(self._jobs[job_id].priority if job_id in self._jobs else 0),
+                job_id,
+            )
+        )
         for job_id in pending:
             job = self._jobs.get(job_id)
             if job is not None:
@@ -735,6 +759,7 @@ class Coordinator:
                             "generation": job.generation,
                             "walk_ids": slice_ids,
                             "trace_id": job.trace_id,
+                            "priority": job.priority,
                         },
                         blob=self._assign_blob(job, node, slice_ids),
                     )
@@ -1089,6 +1114,7 @@ class Coordinator:
                         "generation": job.generation,
                         "walk_ids": [walk_id],
                         "trace_id": job.trace_id,
+                        "priority": job.priority,
                     },
                     blob=self._assign_blob(job, target, [walk_id]),
                 )

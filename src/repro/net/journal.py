@@ -20,6 +20,17 @@ the dispatch path.  Only a whole-machine power loss can eat the tail, and
 the client-side idempotent resubmission (``client_key``) covers exactly
 that window.
 
+Rotation: under sustained gateway traffic the journal is append-only
+garbage after a few thousand jobs — every finished job leaves its submit
+payload behind forever.  With ``max_bytes`` set, a ``finish`` append that
+leaves the file over the limit triggers a compaction: the journal is
+replayed in-process, only the *unfinished* jobs are rewritten (one
+``submit`` record each, plus a ``generation`` record when above 0) to a
+temporary file which is fsync'd and atomically ``os.replace``-d over the
+old journal.  Crash recovery is preserved at every instant: before the
+replace the old journal is intact; after it the new journal holds exactly
+the jobs a recovery would have re-created anyway.
+
 Recovery invariants (asserted by ``tests/chaos``):
 
 1. every journaled-but-unfinished job is re-created and re-dispatched in
@@ -50,11 +61,21 @@ __all__ = ["JobJournal", "replay_journal", "decode_payload"]
 class JobJournal:
     """Append-only JSONL write-ahead log of coordinator job state."""
 
-    def __init__(self, path: str | Path, *, fsync_every: int = 8) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync_every: int = 8,
+        max_bytes: int | None = None,
+    ) -> None:
         if fsync_every < 1:
             raise NetError(f"fsync_every must be >= 1, got {fsync_every}")
+        if max_bytes is not None and max_bytes < 1:
+            raise NetError(f"max_bytes must be >= 1, got {max_bytes}")
         self.path = Path(path)
         self.fsync_every = fsync_every
+        self.max_bytes = max_bytes
+        self.compactions = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._file: Optional[Any] = open(self.path, "a", encoding="utf-8")
         self._since_fsync = 0
@@ -79,6 +100,7 @@ class JobJournal:
         n_walkers: int,
         deadline: float | None,
         payload: bytes,
+        priority: int = 0,
     ) -> None:
         """Journal an accepted job (durable: fsync before dispatch)."""
         self._append(
@@ -89,6 +111,7 @@ class JobJournal:
                 "trace_id": trace_id,
                 "n_walkers": n_walkers,
                 "deadline": deadline,
+                "priority": priority,
                 "payload": base64.b64encode(payload).decode("ascii"),
             },
             durable=True,
@@ -105,6 +128,68 @@ class JobJournal:
             {"kind": "finish", "job_id": job_id, "status": status},
             durable=False,
         )
+        # a finish is the checkpoint that turns earlier records into
+        # garbage, so it is the natural moment to check the size trigger
+        if (
+            self.max_bytes is not None
+            and self._file is not None
+            and self._file.tell() > self.max_bytes
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Rewrite the journal keeping only unfinished jobs (atomic).
+
+        The live fd is flushed and fsync'd first so the replay sees every
+        appended record, the replacement file is fsync'd before the
+        ``os.replace``, and appending resumes on the new file — at no
+        point would a crash lose a recoverable job.
+        """
+        if self._file is None:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        entries, max_job_id = replay_journal(self.path)
+        tmp_path = self.path.with_name(self.path.name + ".compact")
+        with open(tmp_path, "w", encoding="utf-8") as tmp:
+            # preserve the job-id high-water mark even when every journaled
+            # job finished, so a recovered coordinator never reuses an id
+            # that a cached result or a stale report may still reference
+            tmp.write(
+                json.dumps(
+                    {"kind": "checkpoint", "job_id": max_job_id},
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+            for job_id in sorted(entries):
+                entry = entries[job_id]
+                generation = entry.get("generation", 0)
+                record = {
+                    key: value
+                    for key, value in entry.items()
+                    if key != "generation"
+                }
+                tmp.write(json.dumps(record, separators=(",", ":")) + "\n")
+                if generation:
+                    tmp.write(
+                        json.dumps(
+                            {
+                                "kind": "generation",
+                                "job_id": job_id,
+                                "generation": generation,
+                            },
+                            separators=(",", ":"),
+                        )
+                        + "\n"
+                    )
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        self._file.close()
+        os.replace(tmp_path, self.path)
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._since_fsync = 0
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -62,6 +62,12 @@ Version history
   connection; the node caches problems by digest and later assigns of the
   same job/problem are a few hundred bytes instead of re-shipping the
   tables per dispatch.
+- **5** — scheduling: ``submit`` frames may carry a ``priority`` (int,
+  higher dispatches sooner; absent/0 keeps plain FIFO), which the
+  coordinator uses to order its pending-dispatch queue and forwards in
+  ``assign`` frames so each node's local scheduler orders its own
+  dispatch queue the same way.  The gateway maps tenant priority classes
+  onto this field.
 """
 
 from __future__ import annotations
@@ -93,7 +99,7 @@ __all__ = [
     "unpickle_blob",
 ]
 
-PROTOCOL_VERSION = 4
+PROTOCOL_VERSION = 5
 
 #: hard frame-size ceiling: a problem pickle is kilobytes, so anything in
 #: the hundreds of megabytes is a corrupt length prefix, not a real frame

@@ -76,6 +76,7 @@ class LocalCluster:
         milestone_every: int = 0,
         chaos: Any = None,
         journal: str | Path | None = None,
+        journal_max_bytes: int | None = None,
         hedge_factor: float | None = None,
         max_hedges: int = 2,
         min_hedge_delay: float = 0.25,
@@ -94,6 +95,7 @@ class LocalCluster:
         self.milestone_every = milestone_every
         self.chaos = chaos
         self.journal = Path(journal) if journal is not None else None
+        self.journal_max_bytes = journal_max_bytes
         self.hedge_factor = hedge_factor
         self.max_hedges = max_hedges
         self.min_hedge_delay = min_hedge_delay
@@ -146,6 +148,7 @@ class LocalCluster:
             check_interval=min(0.1, self.heartbeat_timeout / 4),
             max_redispatch=self.max_redispatch,
             journal_path=self.journal,
+            journal_max_bytes=self.journal_max_bytes,
             hedge_factor=self.hedge_factor,
             max_hedges=self.max_hedges,
             min_hedge_delay=self.min_hedge_delay,

@@ -1,0 +1,106 @@
+"""Canonical job hashing and the result LRU/TTL cache.
+
+The hashing tests are the dedup contract: parameter *order* never
+matters, every semantic field does, and unseeded jobs are never keyed.
+"""
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.gateway.cache import ResultCache, canonical_job_key
+
+
+class TestCanonicalJobKey:
+    def test_param_order_is_irrelevant(self):
+        a = canonical_job_key(
+            "magic_square", {"n": 6, "density": 0.5}, n_walkers=4, seed=1
+        )
+        b = canonical_job_key(
+            "magic_square", {"density": 0.5, "n": 6}, n_walkers=4, seed=1
+        )
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_config_order_is_irrelevant(self):
+        a = canonical_job_key(
+            "costas", {"n": 7}, n_walkers=2, seed=3,
+            config={"max_iterations": 10, "time_limit": 1.0},
+        )
+        b = canonical_job_key(
+            "costas", {"n": 7}, n_walkers=2, seed=3,
+            config={"time_limit": 1.0, "max_iterations": 10},
+        )
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(problem="queens", params={"n": 6}, n_walkers=4, seed=1),
+            dict(problem="costas", params={"n": 7}, n_walkers=4, seed=1),
+            dict(problem="costas", params={"n": 6}, n_walkers=8, seed=1),
+            dict(problem="costas", params={"n": 6}, n_walkers=4, seed=2),
+            dict(
+                problem="costas", params={"n": 6}, n_walkers=4, seed=1,
+                config={"max_iterations": 5},
+            ),
+        ],
+    )
+    def test_every_semantic_field_changes_the_digest(self, kwargs):
+        base = canonical_job_key(
+            "costas", {"n": 6}, n_walkers=4, seed=1, config=None
+        )
+        problem = kwargs.pop("problem")
+        params = kwargs.pop("params")
+        assert canonical_job_key(problem, params, **kwargs) != base
+
+    def test_unseeded_jobs_are_never_keyed(self):
+        assert (
+            canonical_job_key("costas", {"n": 6}, n_walkers=4, seed=None)
+            is None
+        )
+
+    def test_unencodable_params_rejected(self):
+        with pytest.raises(GatewayError, match="JSON"):
+            canonical_job_key(
+                "costas", {"n": object()}, n_walkers=1, seed=1
+            )
+
+
+class TestResultCache:
+    def test_hit_and_miss_counters(self):
+        cache = ResultCache(max_entries=4, ttl=10.0)
+        assert cache.get("k", now=0.0) is None
+        cache.put("k", {"solved": True}, now=0.0)
+        assert cache.get("k", now=1.0) == {"solved": True}
+        assert cache.stats() == {
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "expirations": 0,
+        }
+
+    def test_ttl_expiry(self):
+        cache = ResultCache(max_entries=4, ttl=5.0)
+        cache.put("k", 1, now=0.0)
+        assert cache.get("k", now=4.9) == 1
+        assert cache.get("k", now=10.0) is None
+        assert cache.expirations == 1
+        assert len(cache) == 0
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_entries=2, ttl=100.0)
+        cache.put("a", 1, now=0.0)
+        cache.put("b", 2, now=0.0)
+        assert cache.get("a", now=1.0) == 1  # refresh a's recency
+        cache.put("c", 3, now=2.0)  # evicts b, the stalest
+        assert cache.get("b", now=3.0) is None
+        assert cache.get("a", now=3.0) == 1
+        assert cache.get("c", now=3.0) == 3
+        assert cache.evictions == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(GatewayError):
+            ResultCache(max_entries=0)
+        with pytest.raises(GatewayError):
+            ResultCache(ttl=0.0)

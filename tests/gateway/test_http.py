@@ -1,0 +1,153 @@
+"""Unit tests for the hand-rolled HTTP layer (no sockets needed)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.gateway.http import (
+    HttpError,
+    HttpResponse,
+    Router,
+    encode_response,
+    error_response,
+    json_response,
+    read_request,
+)
+
+
+def parse(raw: bytes, **kwargs):
+    """Feed bytes into a StreamReader and run read_request on them."""
+
+    async def _go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(_go())
+
+
+class TestReadRequest:
+    def test_get_with_query(self):
+        request = parse(
+            b"GET /v1/jobs/abc?key=k1&x=1 HTTP/1.1\r\n"
+            b"Host: localhost\r\nX-API-Key: secret\r\n\r\n"
+        )
+        assert request.method == "GET"
+        assert request.path == "/v1/jobs/abc"
+        assert request.query == {"key": "k1", "x": "1"}
+        assert request.header("x-api-key") == "secret"
+        assert request.header("X-API-Key") == "secret"
+        assert request.keep_alive
+
+    def test_post_with_body(self):
+        body = json.dumps({"problem": "costas"}).encode()
+        request = parse(
+            b"POST /v1/jobs HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert request.method == "POST"
+        assert request.json() == {"problem": "costas"}
+
+    def test_clean_eof_is_none(self):
+        assert parse(b"") is None
+
+    def test_connection_close_header(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_http10_defaults_to_close(self):
+        assert not parse(b"GET / HTTP/1.0\r\n\r\n").keep_alive
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"NONSENSE\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_oversized_headers_431(self):
+        raw = b"GET / HTTP/1.1\r\nX-Big: " + b"a" * 4096 + b"\r\n\r\n"
+        with pytest.raises(HttpError) as err:
+            parse(raw, max_header_bytes=512)
+        assert err.value.status == 431
+
+    def test_oversized_body_413(self):
+        with pytest.raises(HttpError) as err:
+            parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n" + b"x" * 999,
+                max_body_bytes=100,
+            )
+        assert err.value.status == 413
+
+    def test_truncated_body_400(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+        assert err.value.status == 400
+
+    def test_bad_json_body_400(self):
+        request = parse(
+            b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\n{oo}"
+        )
+        with pytest.raises(HttpError) as err:
+            request.json()
+        assert err.value.status == 400
+
+
+class TestResponses:
+    def test_json_response_roundtrip(self):
+        raw = encode_response(json_response({"a": 1}), keep_alive=True)
+        head, body = raw.split(b"\r\n\r\n", 1)
+        assert head.startswith(b"HTTP/1.1 200 OK")
+        assert b"Content-Type: application/json" in head
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert b"Connection: keep-alive" in head
+        assert json.loads(body) == {"a": 1}
+
+    def test_error_response_extras(self):
+        response = error_response(
+            429, "slow down", headers={"Retry-After": "2"}, retry_after=2
+        )
+        raw = encode_response(response, keep_alive=False)
+        assert b"429 Too Many Requests" in raw
+        assert b"Retry-After: 2" in raw
+        assert b"Connection: close" in raw
+        body = json.loads(raw.split(b"\r\n\r\n", 1)[1])
+        assert body == {"error": "slow down", "retry_after": 2}
+
+
+class TestRouter:
+    def setup_method(self):
+        self.router = Router()
+
+        async def handler(request, **params):
+            return params
+
+        self.handler = handler
+        self.router.add("GET", "/v1/jobs/{job_id}", handler)
+        self.router.add("DELETE", "/v1/jobs/{job_id}", handler)
+        self.router.add("GET", "/healthz", handler)
+
+    def test_literal_match(self):
+        handler, params = self.router.resolve("GET", "/healthz")
+        assert handler is self.handler
+        assert params == {}
+
+    def test_param_capture(self):
+        _, params = self.router.resolve("GET", "/v1/jobs/abc123")
+        assert params == {"job_id": "abc123"}
+
+    def test_unknown_path_404(self):
+        with pytest.raises(HttpError) as err:
+            self.router.resolve("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_wrong_method_405(self):
+        with pytest.raises(HttpError) as err:
+            self.router.resolve("POST", "/healthz")
+        assert err.value.status == 405
+
+    def test_empty_param_segment_no_match(self):
+        with pytest.raises(HttpError) as err:
+            self.router.resolve("GET", "/v1/jobs//")
+        assert err.value.status == 404

@@ -1,0 +1,124 @@
+"""Tenant registry, token buckets, and priority classes."""
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.gateway.tenants import (
+    PRIORITY_CLASSES,
+    Tenant,
+    TenantRegistry,
+    TokenBucket,
+)
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert bucket.try_acquire(now=0.0)
+        assert bucket.try_acquire(now=0.0)
+        assert not bucket.try_acquire(now=0.0)
+        assert bucket.retry_after() == pytest.approx(1.0)
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0)
+        assert bucket.try_acquire(now=0.0)
+        assert bucket.try_acquire(now=0.0)
+        assert not bucket.try_acquire(now=0.1)
+        # 0.5s at 2 tokens/s -> one fresh token
+        assert bucket.try_acquire(now=0.6)
+
+    def test_burst_is_a_ceiling(self):
+        bucket = TokenBucket(rate=100.0, burst=1.0)
+        assert bucket.try_acquire(now=0.0)
+        # a long idle period must not bank more than `burst` tokens
+        assert bucket.try_acquire(now=100.0)
+        assert not bucket.try_acquire(now=100.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(GatewayError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(GatewayError):
+            TokenBucket(rate=1.0, burst=-1.0)
+
+
+class TestTenant:
+    def test_priority_classes_map_to_protocol_integers(self):
+        assert PRIORITY_CLASSES == {"batch": 0, "standard": 1, "premium": 2}
+        assert Tenant("a", "k", priority_class="premium").priority == 2
+        assert Tenant("b", "k2").priority == 1
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(GatewayError, match="priority class"):
+            Tenant("a", "k", priority_class="platinum")
+
+    def test_bad_inflight_rejected(self):
+        with pytest.raises(GatewayError, match="max_inflight"):
+            Tenant("a", "k", max_inflight=0)
+
+
+class TestTenantRegistry:
+    def test_authenticate_by_key(self):
+        registry = TenantRegistry(
+            [Tenant("alice", "k-a"), Tenant("bob", "k-b")]
+        )
+        assert registry.authenticate("k-a").name == "alice"
+        assert registry.authenticate("k-b").name == "bob"
+        assert registry.authenticate("k-c") is None
+        assert registry.authenticate(None) is None
+        assert len(registry) == 2
+
+    def test_anonymous_mode(self):
+        registry = TenantRegistry(allow_anonymous=True)
+        assert registry.authenticate(None).name == "anonymous"
+        assert registry.authenticate("whatever").name == "anonymous"
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(GatewayError, match="collides"):
+            TenantRegistry([Tenant("a", "k"), Tenant("b", "k")])
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(GatewayError, match="duplicate"):
+            TenantRegistry([Tenant("a", "k1"), Tenant("a", "k2")])
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "keys.json"
+        path.write_text(
+            '{"tenants": {'
+            '"alice": {"key": "k-a", "rate": 5, "priority": "premium"},'
+            '"ci": {"key": "k-ci", "priority": "batch", "max_inflight": 2}'
+            "}}"
+        )
+        registry = TenantRegistry.from_file(path)
+        alice = registry.get("alice")
+        assert alice.priority == 2
+        assert alice.rate == 5.0
+        ci = registry.get("ci")
+        assert ci.priority == 0
+        assert ci.max_inflight == 2
+
+    def test_from_toml_file(self, tmp_path):
+        path = tmp_path / "keys.toml"
+        path.write_text(
+            "[tenants.alice]\nkey = 'k-a'\npriority = 'premium'\n"
+            "[tenants.bob]\nkey = 'k-b'\nrate = 2.5\n"
+        )
+        registry = TenantRegistry.from_file(path)
+        assert registry.authenticate("k-a").priority == 2
+        assert registry.authenticate("k-b").rate == 2.5
+
+    def test_bad_files_rejected(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(GatewayError, match="cannot read"):
+            TenantRegistry.from_file(missing)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(GatewayError, match="not valid JSON"):
+            TenantRegistry.from_file(bad)
+        empty = tmp_path / "empty.json"
+        empty.write_text("{}")
+        with pytest.raises(GatewayError, match="tenants"):
+            TenantRegistry.from_file(empty)
+        unknown = tmp_path / "unknown.json"
+        unknown.write_text('{"tenants": {"a": {"key": "k", "quota": 3}}}')
+        with pytest.raises(GatewayError, match="unknown fields"):
+            TenantRegistry.from_file(unknown)

@@ -1,0 +1,98 @@
+"""Protocol v5: per-job priority orders dispatch.
+
+Priority rides the ``submit`` frame, orders the coordinator's pending
+queue, and is forwarded in ``assign`` frames so each node's local
+scheduler honors it too.  The integration test makes ordering observable
+by submitting to a cluster with *no nodes* (everything queues), then
+adding a single one-worker node: completion order is then exactly
+dispatch order.
+"""
+
+import pytest
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.net import LocalCluster
+from repro.net.journal import JobJournal, replay_journal
+from repro.problems import make_problem
+
+
+class TestJournalCarriesPriority:
+    def test_submit_record_roundtrip(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with JobJournal(path) as journal:
+            journal.log_submit(
+                7,
+                client_key="ck",
+                trace_id="t",
+                n_walkers=2,
+                deadline=None,
+                payload=b"blob",
+                priority=5,
+            )
+        entries, _ = replay_journal(path)
+        assert entries[7]["priority"] == 5
+
+    def test_priority_defaults_to_zero(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with JobJournal(path) as journal:
+            journal.log_submit(
+                1,
+                client_key="ck",
+                trace_id="t",
+                n_walkers=1,
+                deadline=None,
+                payload=b"blob",
+            )
+        entries, _ = replay_journal(path)
+        assert entries[1]["priority"] == 0
+
+
+@pytest.mark.slow
+class TestPriorityDispatchOrder:
+    def test_pending_queue_drains_highest_priority_first(self):
+        # bounded-iteration unsolvable-ish jobs: each runs a fixed budget,
+        # so completion order purely reflects dispatch order
+        config = AdaptiveSearchConfig(max_iterations=30_000)
+        with LocalCluster(n_nodes=0, workers_per_node=1) as cluster:
+            client = cluster.client()
+            problem = make_problem("queens", n=100)
+            handles = {
+                priority: client.submit(
+                    problem, 1, seed=priority, config=config,
+                    priority=priority,
+                )
+                for priority in (0, 1, 2)
+            }
+            # everything is parked in the pending queue; now give the
+            # cluster exactly one worker to drain it through
+            cluster.add_agent()
+            results = {
+                priority: handle.result(timeout=120)
+                for priority, handle in handles.items()
+            }
+        # coordinator-side wall time includes queue wait: with one worker
+        # and near-simultaneous submission, earlier dispatch = smaller
+        # wall time, so priorities must finish 2, then 1, then 0
+        assert (
+            results[2].wall_time
+            < results[1].wall_time
+            < results[0].wall_time
+        )
+
+    def test_default_priority_preserves_fifo(self):
+        config = AdaptiveSearchConfig(max_iterations=20_000)
+        with LocalCluster(n_nodes=0, workers_per_node=1) as cluster:
+            client = cluster.client()
+            problem = make_problem("queens", n=100)
+            handles = [
+                client.submit(problem, 1, seed=i, config=config)
+                for i in range(3)
+            ]
+            cluster.add_agent()
+            results = [handle.result(timeout=120) for handle in handles]
+        # same priority (0): submission order is completion order
+        assert (
+            results[0].wall_time
+            < results[1].wall_time
+            < results[2].wall_time
+        )
