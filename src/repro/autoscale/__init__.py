@@ -1,0 +1,34 @@
+"""repro.autoscale — online runtime learning and predictive scheduling.
+
+The paper's central observation — parallel multi-walk speedup is a
+function of the *sequential runtime distribution* — run in reverse and
+online: instead of measuring a distribution offline to explain a
+speedup, the serving stack learns distributions from its own telemetry
+and uses them to *choose* walker counts, hedge delays, and admission
+costs before each job runs.
+
+Layers, bottom up:
+
+- :class:`DecayingHistogram` — streaming log-bucketed sketch of wall
+  times with exponential forgetting;
+- :class:`RuntimeModel` — one (family, size) histogram plus its current
+  parametric fit, refit periodically via :func:`repro.stats.best_fit`;
+- :class:`ModelStore` — all models, the exact→aggregate lookup ladder,
+  and JSON persistence for warm restarts;
+- :class:`Predictor` — the decision API the gateway planner, the
+  coordinator's hedging loop, and the admission controller call.
+"""
+
+from repro.autoscale.histogram import DecayingHistogram
+from repro.autoscale.models import RuntimeModel, model_key
+from repro.autoscale.predictor import Decision, Predictor
+from repro.autoscale.store import ModelStore
+
+__all__ = [
+    "DecayingHistogram",
+    "Decision",
+    "ModelStore",
+    "Predictor",
+    "RuntimeModel",
+    "model_key",
+]

@@ -1,0 +1,207 @@
+"""Decaying log-bucketed runtime histograms.
+
+The online learner's substrate: every walk/job wall-time observation
+lands in one of ~100 geometrically spaced buckets spanning microseconds
+to days, and every observation multiplies existing mass by a decay factor
+— so the histogram is an exponentially weighted window over the last
+``window`` observations.  Old measurements fade as tenants change the mix
+of instances they submit, which is exactly the staleness failure mode a
+sliding list would handle with abrupt forgetting.
+
+Two consumers:
+
+- quantile queries (``quantile``/``cdf``) answer hedging and deadline
+  questions directly from the empirical mass, no fit required;
+- ``representative_sample`` reconstitutes a weighted pseudo-sample for
+  :func:`repro.stats.best_fit`, turning the streaming sketch back into
+  the offline fitting machinery's input.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import AutoscaleError
+
+__all__ = ["DecayingHistogram"]
+
+#: histogram support: 1 microsecond .. ~11.5 days, in seconds
+_T_MIN = 1e-6
+_T_MAX = 1e6
+
+
+class DecayingHistogram:
+    """Exponentially decaying histogram over log-spaced runtime buckets.
+
+    Parameters
+    ----------
+    n_buckets:
+        bucket count over the fixed ``[1e-6 s, 1e6 s]`` support (values
+        outside clamp into the edge buckets).  The default 96 gives 8
+        buckets per decade — ~33% relative resolution, plenty for
+        quantile-triggered hedging.
+    window:
+        effective observation window: existing mass is multiplied by
+        ``1 - 1/window`` per observation, so total mass converges to
+        ``window`` and an observation's weight halves every
+        ``~0.69 * window`` arrivals.
+    """
+
+    __slots__ = ("n_buckets", "window", "counts", "count", "_growth")
+
+    def __init__(self, n_buckets: int = 96, window: int = 512) -> None:
+        if n_buckets < 8:
+            raise AutoscaleError(f"n_buckets must be >= 8, got {n_buckets}")
+        if window < 2:
+            raise AutoscaleError(f"window must be >= 2, got {window}")
+        self.n_buckets = n_buckets
+        self.window = window
+        #: decayed mass per bucket (floats; decay shrinks them)
+        self.counts = np.zeros(n_buckets, dtype=np.float64)
+        #: lifetime observations (undecayed integer, for refit triggers)
+        self.count = 0
+        self._growth = math.log(_T_MAX / _T_MIN) / n_buckets
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def _index(self, value: float) -> int:
+        if value <= _T_MIN:
+            return 0
+        index = int(math.log(value / _T_MIN) / self._growth)
+        return min(index, self.n_buckets - 1)
+
+    def _midpoint(self, index: int) -> float:
+        """Geometric midpoint of bucket ``index``."""
+        return _T_MIN * math.exp(self._growth * (index + 0.5))
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    def observe(self, value: float, weight: float = 1.0) -> None:
+        """Fold one wall-time observation in (non-positive values ignored)."""
+        if not (value > 0.0) or not math.isfinite(value) or weight <= 0.0:
+            return
+        self.counts *= 1.0 - 1.0 / self.window
+        self.counts[self._index(value)] += weight
+        self.count += 1
+
+    @property
+    def total(self) -> float:
+        """Current (decayed) total mass."""
+        return float(self.counts.sum())
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """Mass-weighted mean of bucket midpoints (0 when empty)."""
+        total = self.total
+        if total <= 0.0:
+            return 0.0
+        mids = np.array([self._midpoint(i) for i in range(self.n_buckets)])
+        return float(np.dot(self.counts, mids) / total)
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile by linear interpolation inside the bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise AutoscaleError(f"quantile must be in [0, 1], got {q}")
+        total = self.total
+        if total <= 0.0:
+            return 0.0
+        target = q * total
+        cumulative = 0.0
+        for index in range(self.n_buckets):
+            mass = self.counts[index]
+            if mass <= 0.0:
+                continue
+            if cumulative + mass >= target:
+                lo = _T_MIN * math.exp(self._growth * index)
+                hi = _T_MIN * math.exp(self._growth * (index + 1))
+                frac = (target - cumulative) / mass
+                return float(lo + frac * (hi - lo))
+            cumulative += mass
+        return float(_T_MAX)
+
+    def cdf(self, t: float) -> float:
+        """Fraction of (decayed) mass at or below ``t``."""
+        total = self.total
+        if total <= 0.0:
+            return 0.0
+        if t <= 0.0:
+            return 0.0
+        index = self._index(t)
+        below = float(self.counts[:index].sum())
+        lo = _T_MIN * math.exp(self._growth * index)
+        hi = _T_MIN * math.exp(self._growth * (index + 1))
+        frac = min(1.0, max(0.0, (t - lo) / (hi - lo)))
+        return min(1.0, (below + frac * float(self.counts[index])) / total)
+
+    def representative_sample(self, max_points: int = 256) -> np.ndarray:
+        """A weighted pseudo-sample reconstituting the sketch for fitting.
+
+        Each non-empty bucket contributes its geometric midpoint repeated
+        proportionally to its mass (at least once, so tails are never
+        silently dropped), totalling about ``max_points`` values — the
+        shape `best_fit` needs without keeping raw samples around.
+        """
+        if max_points < 1:
+            raise AutoscaleError(f"max_points must be >= 1, got {max_points}")
+        total = self.total
+        if total <= 0.0:
+            return np.empty(0, dtype=np.float64)
+        values: list[float] = []
+        for index in range(self.n_buckets):
+            mass = float(self.counts[index])
+            if mass <= 0.0:
+                continue
+            repeats = max(1, round(mass / total * max_points))
+            values.extend([self._midpoint(index)] * repeats)
+        return np.asarray(values, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "n_buckets": self.n_buckets,
+            "window": self.window,
+            "count": self.count,
+            # sparse encoding: only non-empty buckets travel
+            "buckets": {
+                str(i): round(float(self.counts[i]), 9)
+                for i in range(self.n_buckets)
+                if self.counts[i] > 0.0
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "DecayingHistogram":
+        try:
+            hist = cls(
+                n_buckets=int(data["n_buckets"]), window=int(data["window"])
+            )
+            hist.count = int(data.get("count", 0))
+            for key, mass in dict(data.get("buckets", {})).items():
+                index = int(key)
+                if not 0 <= index < hist.n_buckets:
+                    raise AutoscaleError(
+                        f"bucket index {index} outside [0, {hist.n_buckets})"
+                    )
+                hist.counts[index] = float(mass)
+        except (KeyError, TypeError, ValueError) as err:
+            raise AutoscaleError(f"corrupt histogram record: {err}") from err
+        return hist
+
+    def merge(self, other: "DecayingHistogram") -> None:
+        """Fold another histogram's mass in (same geometry required)."""
+        if other.n_buckets != self.n_buckets:
+            raise AutoscaleError(
+                f"cannot merge histograms with {other.n_buckets} vs "
+                f"{self.n_buckets} buckets"
+            )
+        self.counts += other.counts
+        self.count += other.count

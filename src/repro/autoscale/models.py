@@ -1,0 +1,183 @@
+"""Per problem-family/size runtime models learned online.
+
+A :class:`RuntimeModel` owns one :class:`DecayingHistogram` plus the most
+recent parametric fit of it.  Observations stream in from telemetry (the
+gateway's completed jobs, the coordinator's solved walks); every
+``refit_interval`` observations the histogram's representative sample is
+re-fitted with :func:`repro.stats.best_fit` in fallback mode, so a
+cold-start model degrades to a labeled point mass instead of raising.
+
+The model answers the three questions the predictive scheduler asks:
+
+- ``quantile(q)`` — hedge triggers (dispatch a second copy past p95);
+- ``survival(t)`` / ``expected_min`` via ``fit`` — deadline-hit
+  probability and walker-count choice;
+- ``mean()`` — predicted cost in walker-seconds for admission.
+
+Serialization keeps the histogram (sparse buckets) and the fit as
+``(name, params)`` — :func:`repro.stats.refreeze` rebuilds the frozen
+distribution on load, so a restarted service warm-starts exactly where
+the previous one left off.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import AutoscaleError, DegenerateSamplesError
+from repro.stats import DistributionFit, best_fit, refreeze
+from repro.autoscale.histogram import DecayingHistogram
+
+__all__ = ["RuntimeModel", "model_key"]
+
+
+def model_key(family: str, size: Optional[int]) -> str:
+    """Stable string key for one (family, size) model; size ``None`` is the
+    family-wide aggregate every sized observation also feeds."""
+    return family if size is None else f"{family}/{size}"
+
+
+class RuntimeModel:
+    """One family/size runtime distribution learned from streamed walls.
+
+    Parameters
+    ----------
+    family / size:
+        the problem family (e.g. ``"costas"``) and instance size this
+        model describes; ``size=None`` marks the family-wide aggregate.
+    min_samples:
+        observations before the first fit is attempted.
+    refit_interval:
+        observations between refits once fitting has started (refits are
+        a few milliseconds; amortizing them keeps the observe path cheap).
+    """
+
+    def __init__(
+        self,
+        family: str,
+        size: Optional[int] = None,
+        *,
+        min_samples: int = 5,
+        refit_interval: int = 8,
+        histogram: DecayingHistogram | None = None,
+    ) -> None:
+        if min_samples < 1:
+            raise AutoscaleError(f"min_samples must be >= 1, got {min_samples}")
+        if refit_interval < 1:
+            raise AutoscaleError(
+                f"refit_interval must be >= 1, got {refit_interval}"
+            )
+        self.family = family
+        self.size = size
+        self.min_samples = min_samples
+        self.refit_interval = refit_interval
+        self.histogram = histogram if histogram is not None else DecayingHistogram()
+        self.fit: DistributionFit | None = None
+        self.fit_error: str = ""
+        self._since_fit = 0
+
+    # ------------------------------------------------------------------
+    # learning
+    # ------------------------------------------------------------------
+    @property
+    def n_observed(self) -> int:
+        return self.histogram.count
+
+    def observe(self, wall_time: float) -> None:
+        """Stream one wall-time observation in; refit when due."""
+        before = self.histogram.count
+        self.histogram.observe(wall_time)
+        if self.histogram.count == before:
+            return  # rejected (non-positive / non-finite)
+        self._since_fit += 1
+        if self.n_observed < self.min_samples:
+            return
+        if self.fit is None or self._since_fit >= self.refit_interval:
+            self.refit()
+
+    def refit(self) -> None:
+        """Re-fit the histogram's representative sample (never raises)."""
+        self._since_fit = 0
+        samples = self.histogram.representative_sample()
+        try:
+            self.fit = best_fit(samples, on_degenerate="fallback")
+            self.fit_error = ""
+        except DegenerateSamplesError as err:  # pragma: no cover - empty hist
+            self.fit = None
+            self.fit_error = str(err)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """Runtime quantile from the fit, or the raw histogram before one
+        exists (0 when the model has no evidence at all)."""
+        if self.fit is not None and self.fit.name != "degenerate":
+            return float(self.fit.frozen.ppf(q))
+        return self.histogram.quantile(q)
+
+    def mean(self) -> float:
+        if self.fit is not None:
+            return float(self.fit.mean)
+        return self.histogram.mean()
+
+    def cdf(self, t: float) -> float:
+        """P(T <= t): fitted when available, else empirical."""
+        if self.fit is not None and self.fit.name != "degenerate":
+            return float(self.fit.cdf(t))
+        return self.histogram.cdf(t)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "family": self.family,
+            "size": self.size,
+            "min_samples": self.min_samples,
+            "refit_interval": self.refit_interval,
+            "histogram": self.histogram.to_json(),
+        }
+        if self.fit is not None:
+            record["fit"] = {
+                "name": self.fit.name,
+                "params": [float(p) for p in self.fit.params],
+            }
+        if self.fit_error:
+            record["fit_error"] = self.fit_error
+        return record
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "RuntimeModel":
+        try:
+            size = data.get("size")
+            model = cls(
+                family=str(data["family"]),
+                size=None if size is None else int(size),
+                min_samples=int(data.get("min_samples", 5)),
+                refit_interval=int(data.get("refit_interval", 8)),
+                histogram=DecayingHistogram.from_json(data["histogram"]),
+            )
+        except (KeyError, TypeError, ValueError) as err:
+            raise AutoscaleError(f"corrupt model record: {err}") from err
+        fit_record = data.get("fit")
+        if fit_record is not None:
+            try:
+                model.fit = refreeze(
+                    str(fit_record["name"]), fit_record["params"]
+                )
+            except (KeyError, TypeError, ValueError) as err:
+                raise AutoscaleError(
+                    f"corrupt fit record for {model.family}: {err}"
+                ) from err
+        model.fit_error = str(data.get("fit_error", ""))
+        return model
+
+    def summary(self) -> str:
+        label = model_key(self.family, self.size)
+        if self.fit is None:
+            return f"{label}: {self.n_observed} obs, no fit yet"
+        return (
+            f"{label}: {self.n_observed} obs, {self.fit.name} "
+            f"mean={self.mean():.4g} p95={self.quantile(0.95):.4g}"
+        )

@@ -1,0 +1,276 @@
+"""The predictive scheduler's decision API.
+
+A :class:`Predictor` turns learned runtime models into the three
+scheduling decisions the serving stack needs:
+
+- :meth:`choose_walkers` — how many independent walkers ``k`` a job
+  should get.  With a deadline, the smallest ``k`` whose predicted
+  first-finisher probability ``P(min_k <= d) = 1 - S(d)^k`` reaches the
+  confidence target (the Arbelaez/Truchet/Codognet speedup-prediction
+  programme run forward); without one, the largest ``k`` whose predicted
+  efficiency ``speedup(k)/k`` stays above a floor — exponential-like
+  families get many walkers, saturating families stop early.
+- :meth:`hedge_delay` — the fitted runtime quantile past which an
+  outstanding walk is a straggler worth duplicating (replaces the fixed
+  ``hedge_factor x median`` multiplier).
+- :meth:`expected_cost` — predicted walker-seconds of a ``k``-walker job
+  (every walker runs until the first finishes, so cost ~ ``k *
+  E[min_k]``), the admission controller's shedding currency.
+
+Every decision falls down a ladder when evidence is missing: exact
+``(family, size)`` model → family aggregate → static defaults.  The
+:class:`Decision` record says which rung answered, so planners and tests
+can tell a learned choice from a cold-start default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.errors import AutoscaleError
+from repro.stats import expected_min
+from repro.autoscale.models import RuntimeModel, model_key
+from repro.autoscale.store import ModelStore
+
+__all__ = ["Predictor", "Decision"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One walker-count decision and its provenance."""
+
+    n_walkers: int
+    #: ``"default"`` (no model), ``"efficiency"`` or ``"deadline"``
+    rule: str
+    #: which model answered (``"costas/12"``, ``"costas"``) or ``""``
+    model: str = ""
+    #: predicted P(finish <= deadline) for the chosen k (deadline rule)
+    hit_probability: Optional[float] = None
+
+
+class Predictor:
+    """Predictive scheduling decisions over a :class:`ModelStore`.
+
+    Parameters
+    ----------
+    store:
+        the learned models (default: a fresh in-memory store).
+    default_walkers / max_walkers:
+        the cold-start plan and the hard ceiling on any plan.
+    min_efficiency:
+        no-deadline rule: largest ``k`` with ``speedup(k)/k`` above this.
+    confidence:
+        deadline rule: smallest ``k`` with ``P(min_k <= d)`` above this.
+    hedge_quantile:
+        default quantile for :meth:`hedge_delay`.
+    """
+
+    def __init__(
+        self,
+        store: ModelStore | None = None,
+        *,
+        default_walkers: int = 4,
+        max_walkers: int = 64,
+        min_efficiency: float = 0.5,
+        confidence: float = 0.9,
+        hedge_quantile: float = 0.95,
+    ) -> None:
+        if not 1 <= default_walkers <= max_walkers:
+            raise AutoscaleError(
+                f"need 1 <= default_walkers <= max_walkers, got "
+                f"{default_walkers} and {max_walkers}"
+            )
+        if not 0.0 < min_efficiency <= 1.0:
+            raise AutoscaleError(
+                f"min_efficiency must be in (0, 1], got {min_efficiency}"
+            )
+        if not 0.0 < confidence < 1.0:
+            raise AutoscaleError(
+                f"confidence must be in (0, 1), got {confidence}"
+            )
+        if not 0.0 < hedge_quantile < 1.0:
+            raise AutoscaleError(
+                f"hedge_quantile must be in (0, 1), got {hedge_quantile}"
+            )
+        self.store = store if store is not None else ModelStore()
+        self.default_walkers = default_walkers
+        self.max_walkers = max_walkers
+        self.min_efficiency = min_efficiency
+        self.confidence = confidence
+        self.hedge_quantile = hedge_quantile
+
+    # ------------------------------------------------------------------
+    # learning passthrough
+    # ------------------------------------------------------------------
+    def observe(
+        self, family: str, wall_time: float, size: Optional[int] = None
+    ) -> None:
+        """Stream one completed-walk/job wall time into the models."""
+        self.store.observe(family, wall_time, size=size)
+
+    def save(self) -> Optional[Path]:
+        """Persist the store when it has a path (no-op otherwise)."""
+        if self.store.path is None:
+            return None
+        return self.store.save()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _usable(
+        self, family: str, size: Optional[int]
+    ) -> Optional[RuntimeModel]:
+        model = self.store.get(family, size)
+        if model is None or model.fit is None:
+            return None
+        return model
+
+    def _candidates(self) -> list[int]:
+        ks = []
+        k = 1
+        while k <= self.max_walkers:
+            ks.append(k)
+            k *= 2
+        return ks
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        family: str,
+        size: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> Decision:
+        """Full walker-count decision with provenance."""
+        model = self._usable(family, size)
+        if model is None:
+            return Decision(self.default_walkers, "default")
+        label = model_key(model.family, model.size)
+        fit = model.fit
+        assert fit is not None
+        if deadline is not None and deadline > 0:
+            best_k, best_p = 1, 0.0
+            for k in self._candidates():
+                p = self._hit_probability(model, deadline, k)
+                if p > best_p + 1e-12:
+                    best_k, best_p = k, p
+                if p >= self.confidence:
+                    return Decision(k, "deadline", label, hit_probability=p)
+            # even max_walkers cannot reach the confidence target: give the
+            # job the smallest k achieving the best reachable probability
+            # rather than burning walkers past the saturation point
+            return Decision(
+                best_k, "deadline", label, hit_probability=best_p
+            )
+        if fit.name == "degenerate":
+            # a point mass predicts zero speedup: parallelism is pure waste
+            return Decision(1, "efficiency", label)
+        base = expected_min(fit, 1)
+        if base <= 0:
+            return Decision(self.default_walkers, "default", label)
+        plan = 1
+        for k in self._candidates():
+            low = expected_min(fit, k)
+            if low <= 0:
+                break
+            if (base / low) / k >= self.min_efficiency:
+                plan = k
+        return Decision(plan, "efficiency", label)
+
+    def choose_walkers(
+        self,
+        family: str,
+        size: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> int:
+        """The walker count alone (see :meth:`decide` for provenance)."""
+        return self.decide(family, size, deadline).n_walkers
+
+    @staticmethod
+    def _hit_probability(
+        model: RuntimeModel, deadline: float, n_walkers: int
+    ) -> float:
+        """``P(min of k <= deadline)`` under the model's fit."""
+        fit = model.fit
+        if fit is not None and fit.name != "degenerate":
+            survival = float(fit.survival(deadline))
+        else:
+            survival = 1.0 - model.cdf(deadline)
+        survival = min(1.0, max(0.0, survival))
+        return 1.0 - survival**n_walkers
+
+    def deadline_hit_probability(
+        self,
+        family: str,
+        deadline: float,
+        n_walkers: int,
+        size: Optional[int] = None,
+    ) -> Optional[float]:
+        """Predicted probability that a ``k``-walker job beats ``deadline``
+        (``None`` when no model has evidence for the family)."""
+        if deadline <= 0 or n_walkers < 1:
+            raise AutoscaleError(
+                f"need deadline > 0 and n_walkers >= 1, got "
+                f"{deadline} and {n_walkers}"
+            )
+        model = self._usable(family, size)
+        if model is None:
+            return None
+        return self._hit_probability(model, deadline, n_walkers)
+
+    def hedge_delay(
+        self,
+        family: str,
+        size: Optional[int] = None,
+        quantile: Optional[float] = None,
+    ) -> Optional[float]:
+        """Quantile-triggered straggler threshold: hedge a walk once it
+        outlives this many seconds (``None`` = no model, caller falls back
+        to the fixed multiplier or skips hedging)."""
+        q = self.hedge_quantile if quantile is None else quantile
+        if not 0.0 < q < 1.0:
+            raise AutoscaleError(f"quantile must be in (0, 1), got {q}")
+        model = self._usable(family, size)
+        if model is None:
+            return None
+        delay = model.quantile(q)
+        return delay if delay > 0 else None
+
+    def expected_cost(
+        self,
+        family: str,
+        n_walkers: int,
+        size: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> Optional[float]:
+        """Predicted walker-seconds of a ``k``-walker job.
+
+        First-finisher-wins means every walker runs for ``min_k`` then is
+        cancelled, so cost ~ ``k * E[min_k]`` (capped at ``k * deadline``
+        when a deadline would cut the job off first).  ``None`` when the
+        family has no model yet.
+        """
+        if n_walkers < 1:
+            raise AutoscaleError(f"n_walkers must be >= 1, got {n_walkers}")
+        model = self._usable(family, size)
+        if model is None:
+            return None
+        runtime = expected_min(model.fit, n_walkers)
+        if deadline is not None and deadline > 0:
+            runtime = min(runtime, deadline)
+        return n_walkers * runtime
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Inspection view merging store rows with per-family plans."""
+        rows = self.store.stats()
+        for model in self.store:
+            key = model_key(model.family, model.size)
+            if key in rows and model.fit is not None:
+                decision = self.decide(model.family, model.size)
+                rows[key]["plan"] = decision.n_walkers
+                rows[key]["rule"] = decision.rule
+        return rows

@@ -1,0 +1,210 @@
+"""The model store: keyed runtime models with persistence.
+
+One :class:`ModelStore` holds every learned :class:`RuntimeModel`, keyed
+by ``(family, size)``.  A sized observation feeds *two* models — the
+exact ``(family, size)`` one and the family-wide aggregate ``(family,
+None)`` — which is what makes the lookup ladder work: a never-seen size
+of a well-known family answers from the aggregate instead of cold-start
+defaults.
+
+Persistence is one JSON document (histograms sparse, fits as
+``(name, params)``).  :meth:`open` warm-starts from an existing file and
+tolerates a missing one; a *corrupt* file is surfaced as
+:class:`~repro.errors.AutoscaleError` by :meth:`load` but silently
+replaced by a fresh store in :meth:`open` — a gateway restart must not
+crash because its model cache rotted.
+
+Thread-safety: the gateway's asyncio loop, the coordinator's loop, and
+CLI threads may share one store, so all mutation happens under a lock
+(observe is microseconds; refits are amortized).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Iterator, Optional
+
+from repro.errors import AutoscaleError
+from repro.autoscale.models import RuntimeModel, model_key
+
+__all__ = ["ModelStore"]
+
+#: on-disk schema version
+_STORE_VERSION = 1
+
+
+class ModelStore:
+    """Keyed runtime models with a family/size lookup ladder.
+
+    Parameters
+    ----------
+    path:
+        optional persistence path; :meth:`save` without an argument
+        writes here.
+    min_samples / refit_interval:
+        defaults for newly created models (see :class:`RuntimeModel`).
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        min_samples: int = 5,
+        refit_interval: int = 8,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.min_samples = min_samples
+        self.refit_interval = refit_interval
+        self._models: dict[tuple[str, Optional[int]], RuntimeModel] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # learning
+    # ------------------------------------------------------------------
+    def _model(self, family: str, size: Optional[int]) -> RuntimeModel:
+        key = (family, size)
+        model = self._models.get(key)
+        if model is None:
+            model = RuntimeModel(
+                family,
+                size,
+                min_samples=self.min_samples,
+                refit_interval=self.refit_interval,
+            )
+            self._models[key] = model
+        return model
+
+    def observe(
+        self, family: str, wall_time: float, size: Optional[int] = None
+    ) -> None:
+        """Stream one observation into the exact and aggregate models."""
+        if not family:
+            return
+        with self._lock:
+            self._model(family, size).observe(wall_time)
+            if size is not None:
+                self._model(family, None).observe(wall_time)
+
+    # ------------------------------------------------------------------
+    # lookup ladder
+    # ------------------------------------------------------------------
+    def get(
+        self, family: str, size: Optional[int] = None
+    ) -> Optional[RuntimeModel]:
+        """Most specific model with any evidence: exact size, then the
+        family aggregate, then ``None`` (callers fall back to defaults)."""
+        with self._lock:
+            if size is not None:
+                model = self._models.get((family, size))
+                if model is not None and model.n_observed > 0:
+                    return model
+            model = self._models.get((family, None))
+            if model is not None and model.n_observed > 0:
+                return model
+        return None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    def __iter__(self) -> Iterator[RuntimeModel]:
+        with self._lock:
+            models = list(self._models.values())
+        return iter(
+            sorted(models, key=lambda m: (m.family, m.size is not None, m.size or 0))
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "version": _STORE_VERSION,
+                "models": [m.to_json() for m in self._models.values()],
+            }
+
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write the store to ``path`` (default: the constructor path)."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise AutoscaleError("no path to save the model store to")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        # write-then-rename: a crash mid-save never corrupts the warm start
+        tmp = target.with_suffix(target.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps(self.to_json(), indent=2) + "\n", encoding="utf-8"
+        )
+        tmp.replace(target)
+        return target
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        *,
+        min_samples: int = 5,
+        refit_interval: int = 8,
+    ) -> "ModelStore":
+        """Strict load: raises :class:`AutoscaleError` on missing/corrupt."""
+        source = Path(path)
+        try:
+            data = json.loads(source.read_text(encoding="utf-8"))
+        except OSError as err:
+            raise AutoscaleError(f"cannot read model store: {err}") from err
+        except json.JSONDecodeError as err:
+            raise AutoscaleError(
+                f"model store {source} is not valid JSON: {err}"
+            ) from err
+        if not isinstance(data, dict) or "models" not in data:
+            raise AutoscaleError(
+                f"model store {source} has no 'models' list"
+            )
+        store = cls(
+            source, min_samples=min_samples, refit_interval=refit_interval
+        )
+        for record in data["models"]:
+            model = RuntimeModel.from_json(record)
+            store._models[(model.family, model.size)] = model
+        return store
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        *,
+        min_samples: int = 5,
+        refit_interval: int = 8,
+    ) -> "ModelStore":
+        """Forgiving open for services: warm-start when the file is good,
+        fresh store (bound to the same path) when missing or corrupt."""
+        source = Path(path)
+        if source.exists():
+            try:
+                return cls.load(
+                    source,
+                    min_samples=min_samples,
+                    refit_interval=refit_interval,
+                )
+            except AutoscaleError:
+                pass  # rotted cache: relearn rather than refuse to serve
+        return cls(
+            source, min_samples=min_samples, refit_interval=refit_interval
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, dict[str, Any]]:
+        """Inspection view: one row per model, CLI/healthz friendly."""
+        rows: dict[str, dict[str, Any]] = {}
+        for model in self:
+            rows[model_key(model.family, model.size)] = {
+                "observations": model.n_observed,
+                "fit": model.fit.name if model.fit is not None else None,
+                "mean": round(model.mean(), 6) if model.n_observed else None,
+                "p95": (
+                    round(model.quantile(0.95), 6) if model.n_observed else None
+                ),
+            }
+        return rows

@@ -15,6 +15,8 @@ Usage (after ``pip install -e .``)::
     python -m repro submit --connect localhost:7710 queens --set n=64 \
         --walkers 8 --trace out/
     python -m repro trace out/
+    python -m repro autoscale show models.json
+    python -m repro autoscale predict models.json costas --size 12 --deadline 2
     python -m repro problems
     python -m repro platforms
 
@@ -205,7 +207,9 @@ def cmd_sample(args: argparse.Namespace) -> int:
     )
     for metric in ("wall_time", "iterations"):
         values = scaled_times(samples, metric=metric)
-        fit = best_fit(np.maximum(values, 1e-9))
+        # fallback: tiny or constant sample sets print a labeled point
+        # mass instead of aborting the whole report
+        fit = best_fit(np.maximum(values, 1e-9), on_degenerate="fallback")
         print(
             f"  {metric}: mean={values.mean():.6g} median={np.median(values):.6g} "
             f"min={values.min():.6g} max={values.max():.6g}"
@@ -389,6 +393,11 @@ def cmd_coordinator(args: argparse.Namespace) -> int:
 
     _forward_termination_signals()
     _configure_tracing(args, "coordinator")
+    predictor = None
+    if args.autoscale:
+        from repro.autoscale import ModelStore, Predictor
+
+        predictor = Predictor(ModelStore.open(args.autoscale))
     coordinator = Coordinator(
         args.host,
         args.port,
@@ -397,17 +406,29 @@ def cmd_coordinator(args: argparse.Namespace) -> int:
         journal_path=args.journal,
         hedge_factor=args.hedge_factor,
         max_hedges=args.max_hedges,
+        min_hedge_delay=args.min_hedge_delay,
+        predictor=predictor,
+        hedge_quantile=args.hedge_quantile,
     )
 
     async def _serve() -> None:
         host, port = await coordinator.start()
         print(f"coordinator listening on {host}:{port}", flush=True)
+        if predictor is not None:
+            print(
+                f"autoscale models: {args.autoscale} "
+                f"({len(predictor.store)} warm)",
+                flush=True,
+            )
         try:
             await coordinator.serve_forever()
         except asyncio.CancelledError:
             pass
         finally:
             await coordinator.stop()
+            if predictor is not None:
+                # persist what this run learned from solved walks
+                await asyncio.to_thread(predictor.save)
 
     try:
         asyncio.run(_serve())
@@ -510,7 +531,7 @@ def cmd_gateway(args: argparse.Namespace) -> int:
     """Run the solve-as-a-service HTTP/WebSocket gateway until interrupted."""
     import asyncio
 
-    from repro.gateway import Gateway, TenantRegistry
+    from repro.gateway import AdmissionController, Gateway, TenantRegistry
     from repro.net import parse_address
     from repro.telemetry.recorder import get_recorder
 
@@ -526,12 +547,26 @@ def cmd_gateway(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         tenants = TenantRegistry(allow_anonymous=True)
+    predictor = None
+    if args.autoscale:
+        from repro.autoscale import ModelStore, Predictor
+
+        # warm-start from the file when present; the gateway saves the
+        # store back on shutdown so restarts keep what was learned
+        predictor = Predictor(ModelStore.open(args.autoscale))
+    admission = None
+    if args.cost_capacity is not None:
+        admission = AdmissionController(
+            capacity=args.capacity, cost_capacity=args.cost_capacity
+        )
     gateway = Gateway(
         coordinator,
         tenants,
         host=args.host,
         port=args.port,
         capacity=args.capacity,
+        predictor=predictor,
+        admission=admission,
         cache_entries=args.cache_entries,
         cache_ttl=args.cache_ttl,
         recorder=get_recorder(),
@@ -546,6 +581,12 @@ def cmd_gateway(args: argparse.Namespace) -> int:
             f"coordinator {coordinator[0]}:{coordinator[1]}",
             flush=True,
         )
+        if predictor is not None:
+            print(
+                f"autoscale models: {args.autoscale} "
+                f"({len(predictor.store)} warm)",
+                flush=True,
+            )
         try:
             await gateway.serve_forever()
         except asyncio.CancelledError:
@@ -673,6 +714,100 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(render_timeline(records, summary))
         print()
     print(render_report(summary))
+    return 0
+
+
+def cmd_autoscale(args: argparse.Namespace) -> int:
+    """Inspect, query, seed, or export a learned runtime-model store."""
+    import json
+    from pathlib import Path
+
+    from repro.autoscale import ModelStore, Predictor
+
+    store = ModelStore.open(args.store)
+
+    def _predictor() -> Predictor:
+        return Predictor(
+            store,
+            max_walkers=args.max_walkers,
+            min_efficiency=args.min_efficiency,
+            confidence=args.confidence,
+        )
+
+    def _fmt(value: object) -> str:
+        return f"{value:.4g}" if isinstance(value, float) else "-"
+
+    if args.action == "show":
+        rows = _predictor().stats()
+        if not rows:
+            print(f"{args.store}: no models learned yet")
+            return 0
+        header = (
+            f"{'model':<24} {'obs':>6}  {'fit':<20} {'mean s':>9}  "
+            f"{'p95 s':>9}  {'plan':>4}  rule"
+        )
+        print(header)
+        print("-" * len(header))
+        for key, row in rows.items():
+            print(
+                f"{key:<24.24} {row['observations']:>6}  "
+                f"{(row['fit'] or '-'):<20} {_fmt(row['mean']):>9}  "
+                f"{_fmt(row['p95']):>9}  {row.get('plan', '-'):>4}  "
+                f"{row.get('rule', '-')}"
+            )
+        return 0
+
+    if args.action == "predict":
+        predictor = _predictor()
+        decision = predictor.decide(args.family, args.size, args.deadline)
+        source = decision.model or "cold start, built-in defaults"
+        print(
+            f"plan: {decision.n_walkers} walker(s) "
+            f"[{decision.rule} rule, {source}]"
+        )
+        if decision.hit_probability is not None:
+            print(
+                f"predicted P(finish <= {args.deadline:g}s) = "
+                f"{decision.hit_probability:.3f}"
+            )
+        delay = predictor.hedge_delay(
+            args.family, args.size, quantile=args.quantile
+        )
+        if delay is not None:
+            print(
+                f"hedge stragglers after {delay:.4g}s "
+                f"(p{args.quantile * 100:g} of learned runtimes)"
+            )
+        cost = predictor.expected_cost(
+            args.family, decision.n_walkers,
+            size=args.size, deadline=args.deadline,
+        )
+        if cost is not None:
+            print(f"predicted cost: {cost:.4g} walker-seconds")
+        return 0
+
+    if args.action == "seed":
+        from repro.cluster.trace import load_samples
+
+        samples, _meta = load_samples(args.samples)
+        solved = [s for s in samples if s.solved]
+        for sample in solved:
+            store.observe(args.family, sample.wall_time, size=args.size)
+        store.save()
+        skipped = len(samples) - len(solved)
+        print(
+            f"seeded {len(solved)} solved wall time(s) into {args.store}"
+            + (f" ({skipped} unsolved skipped)" if skipped else "")
+        )
+        return 0
+
+    # export: the raw JSON document (for diffing, backup, or hand-editing)
+    text = json.dumps(store.to_json(), indent=2)
+    if args.out:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(f"store exported to {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -959,6 +1094,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --hedge-factor: hedged re-dispatches allowed per job",
     )
     p_coord.add_argument(
+        "--min-hedge-delay",
+        type=float,
+        default=0.25,
+        metavar="S",
+        help="never hedge a walk younger than this many seconds",
+    )
+    p_coord.add_argument(
+        "--autoscale",
+        default=None,
+        metavar="PATH",
+        help="runtime-model store (JSON, created if missing): solved walk "
+        "wall times stream into it and it is saved back on shutdown",
+    )
+    p_coord.add_argument(
+        "--hedge-quantile",
+        type=float,
+        default=None,
+        metavar="Q",
+        help="with --autoscale: hedge a straggler walk once it outlives "
+        "the fitted runtime quantile Q (e.g. 0.95); preferred over "
+        "--hedge-factor for families with learned models",
+    )
+    p_coord.add_argument(
         "--trace",
         default=None,
         metavar="DIR",
@@ -1060,6 +1218,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache entry lifetime in seconds",
     )
     p_gateway.add_argument(
+        "--autoscale",
+        default=None,
+        metavar="PATH",
+        help="runtime-model store (JSON, created if missing): enables "
+        "predictive walker planning from learned runtime models; saved "
+        "back on shutdown for a warm restart",
+    )
+    p_gateway.add_argument(
+        "--cost-capacity",
+        type=float,
+        default=None,
+        metavar="WS",
+        help="with --autoscale: total predicted walker-seconds admitted "
+        "in flight before low-priority jobs are shed",
+    )
+    p_gateway.add_argument(
         "--trace",
         default=None,
         metavar="DIR",
@@ -1156,6 +1330,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the event timeline; print only the latency report",
     )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_auto = sub.add_parser(
+        "autoscale",
+        help="inspect and query the learned runtime models behind "
+        "predictive walker planning, hedging, and admission",
+    )
+    auto_sub = p_auto.add_subparsers(dest="action", required=True)
+
+    def add_autoscale_store(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "store", help="model-store JSON path (created if missing)"
+        )
+
+    def add_autoscale_knobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--max-walkers",
+            type=int,
+            default=64,
+            help="hard ceiling on any planned walker count",
+        )
+        p.add_argument(
+            "--min-efficiency",
+            type=float,
+            default=0.5,
+            help="no-deadline rule: largest k with speedup(k)/k above this",
+        )
+        p.add_argument(
+            "--confidence",
+            type=float,
+            default=0.9,
+            help="deadline rule: smallest k with P(min_k <= deadline) "
+            "above this",
+        )
+
+    p_auto_show = auto_sub.add_parser(
+        "show", help="table of learned models and the plans they imply"
+    )
+    add_autoscale_store(p_auto_show)
+    add_autoscale_knobs(p_auto_show)
+    p_auto_show.set_defaults(func=cmd_autoscale)
+
+    p_auto_predict = auto_sub.add_parser(
+        "predict",
+        help="what would the scheduler do for this family right now?",
+    )
+    add_autoscale_store(p_auto_predict)
+    p_auto_predict.add_argument("family", help="problem family")
+    p_auto_predict.add_argument(
+        "--size", type=int, default=None, help="instance size (e.g. n)"
+    )
+    p_auto_predict.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="plan for this deadline in seconds (default: efficiency rule)",
+    )
+    p_auto_predict.add_argument(
+        "--quantile",
+        type=float,
+        default=0.95,
+        help="straggler-hedging quantile to report",
+    )
+    add_autoscale_knobs(p_auto_predict)
+    p_auto_predict.set_defaults(func=cmd_autoscale)
+
+    p_auto_seed = auto_sub.add_parser(
+        "seed",
+        help="feed solved wall times from a `repro sample --out` JSON "
+        "file into the store (offline warm-up)",
+    )
+    add_autoscale_store(p_auto_seed)
+    p_auto_seed.add_argument("samples", help="samples JSON file")
+    p_auto_seed.add_argument(
+        "--family", required=True, help="family to credit the samples to"
+    )
+    p_auto_seed.add_argument(
+        "--size", type=int, default=None, help="instance size (e.g. n)"
+    )
+    p_auto_seed.set_defaults(func=cmd_autoscale)
+
+    p_auto_export = auto_sub.add_parser(
+        "export", help="dump the store as JSON (backup / diff / hand-edit)"
+    )
+    add_autoscale_store(p_auto_export)
+    p_auto_export.add_argument(
+        "--out", default=None, help="write here instead of stdout"
+    )
+    p_auto_export.set_defaults(func=cmd_autoscale)
 
     p_exp = sub.add_parser("experiment", help="run a registered experiment")
     p_exp.add_argument(

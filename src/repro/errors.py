@@ -15,6 +15,9 @@ __all__ = [
     "ParallelError",
     "NetError",
     "GatewayError",
+    "StatsError",
+    "DegenerateSamplesError",
+    "AutoscaleError",
     "ChaosError",
     "TelemetryError",
     "SimulationError",
@@ -49,6 +52,24 @@ class NetError(ReproError):
 
 class GatewayError(ReproError):
     """Failures of the solve-as-a-service HTTP/WebSocket gateway."""
+
+
+class StatsError(ReproError):
+    """Invalid statistical request (bad samples, impossible fit)."""
+
+
+class DegenerateSamplesError(StatsError, ValueError):
+    """Samples too degenerate to characterize a runtime distribution
+    (constant, all near zero, or fewer than the minimum count).
+
+    Subclasses :class:`ValueError` so callers that predate the typed
+    hierarchy — and treat any fitting failure as "keep the previous
+    model" — continue to work unchanged.
+    """
+
+
+class AutoscaleError(ReproError):
+    """Invalid autoscale model store, predictor request, or persistence."""
 
 
 class ChaosError(ReproError):

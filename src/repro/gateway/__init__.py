@@ -18,7 +18,11 @@ Layout:
 - :mod:`repro.gateway.testing` — :class:`LocalGateway` harness
 """
 
-from repro.gateway.admission import AdmissionController, WalkerPlanner
+from repro.gateway.admission import (
+    AdmissionController,
+    PredictivePlanner,
+    WalkerPlanner,
+)
 from repro.gateway.app import Gateway, GatewayJob
 from repro.gateway.cache import ResultCache, canonical_job_key
 from repro.gateway.tenants import PRIORITY_CLASSES, Tenant, TenantRegistry
@@ -28,6 +32,7 @@ __all__ = [
     "Gateway",
     "GatewayJob",
     "PRIORITY_CLASSES",
+    "PredictivePlanner",
     "ResultCache",
     "Tenant",
     "TenantRegistry",

@@ -26,12 +26,14 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from repro.autoscale import Predictor
 from repro.errors import GatewayError
 from repro.stats import best_fit, predicted_speedup
 
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "PredictivePlanner",
     "WalkerPlanner",
 ]
 
@@ -63,16 +65,32 @@ class AdmissionController:
     of that capacity it may consume.  A class's effective limit is
     ``max(1, floor(capacity * fraction))`` so tiny capacities still admit
     one job per class.
+
+    ``cost_capacity`` adds a second, finer budget in predicted
+    *walker-seconds*: when the planner can estimate what a job will cost
+    (``k x E[min_k]``), admission also refuses jobs whose predicted cost
+    would push the in-flight total past the class's share of the budget.
+    Job counts treat a 1-walker costas probe and a 64-walker saturated
+    magic-square identically; cost shedding refuses the expensive one
+    first.  Jobs with no prediction (cold families) only face the count
+    check, so the cost budget can never starve an unlearned family.
     """
 
     def __init__(
         self,
         capacity: int = 64,
         priority_fractions: dict[int, float] | None = None,
+        *,
+        cost_capacity: float | None = None,
     ) -> None:
         if capacity < 1:
             raise GatewayError(f"capacity must be >= 1, got {capacity}")
+        if cost_capacity is not None and cost_capacity <= 0:
+            raise GatewayError(
+                f"cost_capacity must be > 0, got {cost_capacity}"
+            )
         self.capacity = capacity
+        self.cost_capacity = cost_capacity
         fractions = dict(priority_fractions or DEFAULT_PRIORITY_FRACTIONS)
         for priority, fraction in fractions.items():
             if not 0.0 < fraction <= 1.0:
@@ -82,17 +100,30 @@ class AdmissionController:
                 )
         self.priority_fractions = fractions
         self.inflight = 0
+        self.inflight_cost = 0.0
         self.shed = 0
+        self.shed_by_cost = 0
 
     def limit_for(self, priority: int) -> int:
         fraction = self.priority_fractions.get(priority, 1.0)
         return max(1, math.floor(self.capacity * fraction))
 
+    def cost_limit_for(self, priority: int) -> Optional[float]:
+        if self.cost_capacity is None:
+            return None
+        fraction = self.priority_fractions.get(priority, 1.0)
+        return self.cost_capacity * fraction
+
     def admit(
-        self, priority: int, tenant_inflight: int, tenant_max_inflight: int
+        self,
+        priority: int,
+        tenant_inflight: int,
+        tenant_max_inflight: int,
+        cost: float | None = None,
     ) -> AdmissionDecision:
-        """Check the tenant quota then the class share; does not reserve —
-        call :meth:`acquire` after a positive decision."""
+        """Check the tenant quota, the class share, then (when both a cost
+        budget and a prediction exist) the walker-second budget; does not
+        reserve — call :meth:`acquire` after a positive decision."""
         if tenant_inflight >= tenant_max_inflight:
             return AdmissionDecision(
                 False,
@@ -107,14 +138,36 @@ class AdmissionController:
                 f"({self.inflight}/{self.limit_for(priority)} in flight)",
                 retry_after=2.0,
             )
+        cost_limit = self.cost_limit_for(priority)
+        if (
+            cost_limit is not None
+            and cost is not None
+            and self.inflight > 0
+            and self.inflight_cost + cost > cost_limit
+        ):
+            # an empty gateway always admits: a single huge job must run
+            # eventually, however expensive the prediction says it is
+            self.shed += 1
+            self.shed_by_cost += 1
+            return AdmissionDecision(
+                False,
+                f"predicted cost {cost:.1f} walker-seconds exceeds the "
+                f"priority-{priority} budget "
+                f"({self.inflight_cost:.1f}/{cost_limit:.1f} in flight)",
+                retry_after=2.0,
+            )
         return AdmissionDecision(True)
 
-    def acquire(self) -> None:
+    def acquire(self, cost: float = 0.0) -> None:
         self.inflight += 1
+        self.inflight_cost += max(0.0, cost)
 
-    def release(self) -> None:
+    def release(self, cost: float = 0.0) -> None:
         if self.inflight > 0:
             self.inflight -= 1
+        self.inflight_cost = max(0.0, self.inflight_cost - max(0.0, cost))
+        if self.inflight == 0:
+            self.inflight_cost = 0.0  # no drift accumulation across idle
 
 
 class WalkerPlanner:
@@ -156,8 +209,14 @@ class WalkerPlanner:
         self._plans: dict[str, int] = {}
         self._fits: dict[str, str] = {}
 
-    def record(self, family: str, wall_time: float) -> None:
-        """Record one completed job's wall time and refresh the plan."""
+    def record(
+        self, family: str, wall_time: float, size: Optional[int] = None
+    ) -> None:
+        """Record one completed job's wall time and refresh the plan.
+
+        ``size`` is accepted for interface parity with
+        :class:`PredictivePlanner`; this planner models whole families.
+        """
         if wall_time <= 0:
             return
         samples = self._samples.setdefault(family, [])
@@ -191,9 +250,26 @@ class WalkerPlanner:
         self._plans[family] = plan
         self._fits[family] = fit.name
 
-    def plan(self, family: str) -> int:
-        """The current walker-count recommendation for ``family``."""
+    def plan(
+        self,
+        family: str,
+        size: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> int:
+        """The current walker-count recommendation for ``family``
+        (``size``/``deadline`` ignored — see :class:`PredictivePlanner`)."""
         return self._plans.get(family, self.default_walkers)
+
+    def job_cost(
+        self,
+        family: str,
+        n_walkers: int,
+        size: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> Optional[float]:
+        """Predicted walker-seconds (always ``None``: this planner keeps no
+        per-family cost model; :class:`PredictivePlanner` provides one)."""
+        return None
 
     def fitted_family(self, family: str) -> Optional[str]:
         """Which distribution family the plan is based on (None = default)."""
@@ -208,3 +284,63 @@ class WalkerPlanner:
             }
             for family, samples in sorted(self._samples.items())
         }
+
+
+class PredictivePlanner:
+    """Drop-in :class:`WalkerPlanner` replacement backed by a live
+    :class:`~repro.autoscale.Predictor`.
+
+    Same surface (``plan`` / ``record`` / ``job_cost`` / ``fitted_family``
+    / ``stats``), three upgrades: models are keyed by *(family, size)*
+    with the aggregate-fallback ladder instead of family-only; plans can
+    honor per-job deadlines (``P(min_k <= d)`` confidence targets); and
+    every plan comes with a predicted walker-second cost for admission.
+    The underlying store persists, so a restarted gateway plans from its
+    predecessor's evidence instead of defaults.
+    """
+
+    def __init__(
+        self,
+        predictor: Predictor | None = None,
+        *,
+        max_walkers: int | None = None,
+    ) -> None:
+        self.predictor = predictor if predictor is not None else Predictor()
+        self.max_walkers = (
+            max_walkers if max_walkers is not None else self.predictor.max_walkers
+        )
+        self.default_walkers = self.predictor.default_walkers
+
+    def record(
+        self, family: str, wall_time: float, size: Optional[int] = None
+    ) -> None:
+        self.predictor.observe(family, wall_time, size=size)
+
+    def plan(
+        self,
+        family: str,
+        size: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> int:
+        planned = self.predictor.choose_walkers(family, size, deadline)
+        return max(1, min(planned, self.max_walkers))
+
+    def job_cost(
+        self,
+        family: str,
+        n_walkers: int,
+        size: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> Optional[float]:
+        return self.predictor.expected_cost(
+            family, n_walkers, size=size, deadline=deadline
+        )
+
+    def fitted_family(self, family: str) -> Optional[str]:
+        model = self.predictor.store.get(family)
+        if model is None or model.fit is None:
+            return None
+        return model.fit.name
+
+    def stats(self) -> dict[str, dict[str, object]]:
+        return self.predictor.stats()

@@ -41,9 +41,14 @@ from typing import Any, Optional
 
 import asyncio
 
+from repro.autoscale import Predictor
 from repro.core.config import AdaptiveSearchConfig
 from repro.errors import GatewayError, NetError, ProblemError
-from repro.gateway.admission import AdmissionController, WalkerPlanner
+from repro.gateway.admission import (
+    AdmissionController,
+    PredictivePlanner,
+    WalkerPlanner,
+)
 from repro.gateway.cache import ResultCache, canonical_job_key
 from repro.gateway.http import (
     HttpError,
@@ -113,6 +118,10 @@ class GatewayJob:
         self.seed = seed
         self.priority = priority
         self.key = key
+        #: instance size when known (feeds the sized autoscale models)
+        self.size: Optional[int] = None
+        #: predicted walker-seconds reserved against the admission budget
+        self.cost: float = 0.0
         self.status = "queued"
         self.created = time.monotonic()
         self.result: Optional[dict[str, Any]] = None
@@ -204,6 +213,12 @@ class Gateway:
         result-cache sizing.
     planner:
         walker-count planner; defaults to a fresh :class:`WalkerPlanner`.
+    predictor:
+        a live :class:`~repro.autoscale.Predictor`; when given (and no
+        explicit ``planner`` overrides it) the gateway plans through a
+        :class:`PredictivePlanner` — sized models, deadline-aware walker
+        counts, predicted-cost admission — and persists the predictor's
+        model store on :meth:`stop`.
     recorder:
         telemetry recorder; its metrics registry backs ``/metrics`` even
         when event recording is disabled.
@@ -221,7 +236,8 @@ class Gateway:
         capacity: int = 64,
         cache_entries: int = 1024,
         cache_ttl: float = 3600.0,
-        planner: WalkerPlanner | None = None,
+        planner: WalkerPlanner | PredictivePlanner | None = None,
+        predictor: Predictor | None = None,
         admission: AdmissionController | None = None,
         recorder: Recorder | None = None,
         progress_interval: float = 0.5,
@@ -231,7 +247,15 @@ class Gateway:
         self.host = host
         self.port = port
         self.cache = ResultCache(max_entries=cache_entries, ttl=cache_ttl)
-        self.planner = planner if planner is not None else WalkerPlanner()
+        self.predictor = predictor
+        if planner is not None:
+            self.planner = planner
+        elif predictor is not None:
+            self.planner = PredictivePlanner(predictor)
+        else:
+            self.planner = WalkerPlanner()
+        if self.predictor is None and isinstance(self.planner, PredictivePlanner):
+            self.predictor = self.planner.predictor
         self.admission = (
             admission
             if admission is not None
@@ -304,6 +328,9 @@ class Gateway:
             # unblocks any handle.result() threads with a client-closed error
             await asyncio.to_thread(self.client.close)
             self.client = None
+        if self.predictor is not None:
+            # warm restarts: the next gateway plans from this one's evidence
+            await asyncio.to_thread(self.predictor.save)
 
     async def serve_forever(self) -> None:
         """Block until cancelled (the CLI's foreground mode)."""
@@ -404,15 +431,19 @@ class Gateway:
     # handlers
     # ------------------------------------------------------------------
     async def _healthz(self, request: HttpRequest) -> HttpResponse:
-        return json_response(
-            {
-                "status": "ok",
-                "inflight": self.admission.inflight,
-                "jobs": len(self._jobs),
-                "cache": self.cache.stats(),
-                "problems": available_problems(),
-            }
-        )
+        payload: dict[str, Any] = {
+            "status": "ok",
+            "inflight": self.admission.inflight,
+            "jobs": len(self._jobs),
+            "cache": self.cache.stats(),
+            "problems": available_problems(),
+        }
+        if self.admission.cost_capacity is not None:
+            payload["inflight_cost"] = round(self.admission.inflight_cost, 3)
+            payload["shed_by_cost"] = self.admission.shed_by_cost
+        if self.predictor is not None:
+            payload["autoscale"] = self.predictor.stats()
+        return json_response(payload)
 
     async def _metrics(self, request: HttpRequest) -> HttpResponse:
         self._m_inflight.set(self.admission.inflight)
@@ -458,9 +489,23 @@ class Gateway:
                 headers={"Retry-After": f"{max(1, round(retry))}"},
             )
 
+        # instantiate server-side — never unpickle tenant bytes.  This
+        # happens before planning so the instance *size* is known: the
+        # predictive planner keys runtime models by (family, size)
+        try:
+            problem = make_problem(problem_name, **params)
+        except (ProblemError, TypeError) as err:
+            raise HttpError(400, f"cannot build problem: {err}")
+        config = (
+            AdaptiveSearchConfig(**config_spec) if config_spec else None
+        )
+        problem_size = int(problem.size)
+
         planned = "n_walkers" not in body
         if planned:
-            n_walkers = self.planner.plan(problem_name)
+            n_walkers = self.planner.plan(
+                problem_name, size=problem_size, deadline=deadline
+            )
         else:
             n_walkers = body["n_walkers"]
             if not isinstance(n_walkers, int) or not (
@@ -508,9 +553,16 @@ class Gateway:
                     {**running.snapshot(), "deduped": True}, status=202
                 )
 
-        # 3. admission
+        # 3. admission — by job count always, by predicted walker-second
+        # cost when the planner has a model for this family
+        predicted_cost = self.planner.job_cost(
+            problem_name, n_walkers, size=problem_size, deadline=deadline
+        )
         decision = self.admission.admit(
-            tenant.priority, tenant.inflight, tenant.max_inflight
+            tenant.priority,
+            tenant.inflight,
+            tenant.max_inflight,
+            cost=predicted_cost,
         )
         if not decision:
             self._m_shed.inc()
@@ -520,19 +572,12 @@ class Gateway:
                 headers={"Retry-After": f"{max(1, round(decision.retry_after))}"},
             )
 
-        # 4. instantiate server-side — never unpickle tenant bytes
-        try:
-            problem = make_problem(problem_name, **params)
-        except (ProblemError, TypeError) as err:
-            raise HttpError(400, f"cannot build problem: {err}")
-        config = (
-            AdaptiveSearchConfig(**config_spec) if config_spec else None
-        )
-
         job = self._register_job(
             tenant, problem_name, params, n_walkers, seed, key
         )
-        self.admission.acquire()
+        job.size = problem_size
+        job.cost = predicted_cost if predicted_cost is not None else 0.0
+        self.admission.acquire(job.cost)
         tenant.inflight += 1
         self._m_submitted.inc()
         self._m_inflight.set(self.admission.inflight)
@@ -649,7 +694,7 @@ class Gateway:
         else:
             # requester already left; pulse so streamers drain and stop
             job.updated.set()
-        self.admission.release()
+        self.admission.release(job.cost)
         tenant.inflight = max(0, tenant.inflight - 1)
         self._m_inflight.set(self.admission.inflight)
         if job.key is not None and self._inflight_by_key.get(job.key) is job:
@@ -672,7 +717,9 @@ class Gateway:
         if job.key is not None and result.status.value in ("solved", "unsolved"):
             self.cache.put(job.key, payload)
         if result.solved and result.winner is not None:
-            self.planner.record(job.problem, result.winner.wall_time)
+            self.planner.record(
+                job.problem, result.winner.wall_time, size=job.size
+            )
         self._m_job_seconds.observe(result.wall_time)
         self._finalize(job, tenant, result.status.value, result=payload)
 

@@ -230,6 +230,16 @@ class Coordinator:
     max_hedges / min_hedge_delay:
         per-job cap on hedged copies, and the floor below which no walk is
         considered a straggler regardless of the median.
+    predictor / hedge_quantile:
+        a live :class:`~repro.autoscale.Predictor` upgrades hedging from
+        the fixed multiplier to a *quantile trigger*: every solved walk's
+        wall time streams into the predictor's runtime models, and an
+        outstanding walk is hedged as soon as it outlives the fitted
+        ``hedge_quantile`` (default p95) for its problem family — no need
+        to wait for half of *this* job to finish, because the threshold
+        comes from history.  Families the predictor has no model for yet
+        fall back to the ``hedge_factor`` rule (when enabled) and their
+        walks warm the model for next time.
     chaos:
         optional :class:`~repro.chaos.plan.FaultPlan` consulted at the
         ``submit`` / ``dispatch`` / ``walk_result`` / ``finish`` lifecycle
@@ -254,6 +264,8 @@ class Coordinator:
         hedge_factor: float | None = None,
         max_hedges: int = 2,
         min_hedge_delay: float = 0.25,
+        predictor: Any = None,
+        hedge_quantile: float | None = None,
         chaos: Any = None,
         recorder: Recorder | None = None,
     ) -> None:
@@ -269,6 +281,12 @@ class Coordinator:
             raise NetError(f"hedge_factor must be > 0, got {hedge_factor}")
         if max_hedges < 0:
             raise NetError(f"max_hedges must be >= 0, got {max_hedges}")
+        if hedge_quantile is not None and not 0.0 < hedge_quantile < 1.0:
+            raise NetError(
+                f"hedge_quantile must be in (0, 1), got {hedge_quantile}"
+            )
+        if hedge_quantile is not None and predictor is None:
+            raise NetError("hedge_quantile requires a predictor")
         self.host = host
         self.port = port
         self.heartbeat_timeout = heartbeat_timeout
@@ -279,6 +297,8 @@ class Coordinator:
         self.hedge_factor = hedge_factor
         self.max_hedges = max_hedges
         self.min_hedge_delay = min_hedge_delay
+        self.predictor = predictor
+        self.hedge_quantile = hedge_quantile
         self.chaos = chaos
         if chaos is not None:
             chaos.arm()
@@ -317,6 +337,7 @@ class Coordinator:
             "cancels_sent": 0,
             "cancel_acks": 0,
             "hedges": 0,
+            "hedges_quantile": 0,
             "recovered_jobs": 0,
             "reattached_clients": 0,
             "assigns_sent": 0,
@@ -831,6 +852,11 @@ class Coordinator:
         outcome = outcome_from_message(message)
         job.outcomes[walk_id] = outcome
         job.completed_walls.append(outcome.wall_time)
+        if self.predictor is not None and outcome.solved:
+            # every solved walk teaches the runtime models; unsolved walks
+            # are censored observations (cancelled losers, iteration caps)
+            # and would bias the fit, so they stay out
+            self._observe_walk(job, outcome.wall_time)
         if outcome.solved and job.winner is None:
             job.winner = outcome
             job.winner_node = node.name
@@ -850,6 +876,21 @@ class Coordinator:
             await self._finish(
                 job, JobStatus.FAILED if job.error else JobStatus.UNSOLVED
             )
+
+    def _observe_walk(self, job: _NetJob, wall_time: float) -> None:
+        """Feed one solved walk's wall time into the predictor's models."""
+        family = getattr(job.problem, "family", None)
+        if not family:
+            return
+        size = getattr(job.problem, "size", None)
+        try:
+            self.predictor.observe(
+                family,
+                wall_time,
+                size=int(size) if size is not None else None,
+            )
+        except (TypeError, ValueError):
+            pass  # a malformed problem shape must never kill the reader
 
     async def _broadcast_cancel(self, job: _NetJob) -> None:
         """Tell every node holding a slice of ``job`` to stop its walks.
@@ -1009,7 +1050,7 @@ class Coordinator:
                     node.conn.abort()
                     await self._node_lost(node, "heartbeat timeout")
             await self._check_deadlines(now)
-            if self.hedge_factor is not None:
+            if self.hedge_factor is not None or self.hedge_quantile is not None:
                 await self._check_stragglers(now)
 
     async def _check_deadlines(self, now: float) -> None:
@@ -1027,29 +1068,91 @@ class Coordinator:
     # ------------------------------------------------------------------
     # straggler hedging
     # ------------------------------------------------------------------
-    async def _check_stragglers(self, now: float) -> None:
-        """Hedge outstanding walks that are old *and* slow (see ctor)."""
-        for job in list(self._jobs.values()):
-            total = len(job.seeds)
-            completed = total - len(job.outstanding)
-            if not job.completed_walls or completed * 2 < total:
-                continue  # too early to call anything a straggler
-            walls = sorted(job.completed_walls)
-            median_wall = walls[len(walls) // 2]
-            threshold = max(
-                self.hedge_factor * median_wall, self.min_hedge_delay
+    def _quantile_threshold(self, job: _NetJob) -> Optional[float]:
+        """Predictor-backed straggler threshold for ``job``'s family.
+
+        The fitted ``hedge_quantile`` runtime (e.g. p95) of the problem
+        family, learned from *previous* walks cluster-wide — available
+        from the first walk of a job, unlike the median rule which needs
+        half of this job to finish first.  ``None`` when no model exists.
+        """
+        if self.predictor is None or self.hedge_quantile is None:
+            return None
+        family = getattr(job.problem, "family", None)
+        if not family:
+            return None
+        size = getattr(job.problem, "size", None)
+        try:
+            delay = self.predictor.hedge_delay(
+                family,
+                size=int(size) if size is not None else None,
+                quantile=self.hedge_quantile,
             )
+        except (TypeError, ValueError):
+            return None
+        if delay is None:
+            return None
+        return max(float(delay), self.min_hedge_delay)
+
+    def _median_threshold(self, job: _NetJob) -> Optional[float]:
+        """The fixed-multiplier fallback: ``hedge_factor x median`` of this
+        job's finished walls, armed only once half the job completed."""
+        if self.hedge_factor is None:
+            return None
+        total = len(job.seeds)
+        completed = total - len(job.outstanding)
+        if not job.completed_walls or completed * 2 < total:
+            return None  # too early to call anything a straggler
+        walls = sorted(job.completed_walls)
+        median_wall = walls[len(walls) // 2]
+        return max(self.hedge_factor * median_wall, self.min_hedge_delay)
+
+    async def _check_stragglers(self, now: float) -> None:
+        """Hedge outstanding straggler walks (see ctor).
+
+        Trigger ladder per job: the predictor's quantile threshold when a
+        runtime model exists, else the median-multiplier rule.  The
+        quantile path needs no within-job completions and no progress
+        heuristics — history already says what "too long" means; the
+        median path keeps its old-and-slow double check.
+        """
+        for job in list(self._jobs.values()):
+            quantile_threshold = self._quantile_threshold(job)
+            median_threshold = (
+                self._median_threshold(job)
+                if quantile_threshold is None
+                else None
+            )
+            if quantile_threshold is None and median_threshold is None:
+                continue
             for walk_id in sorted(job.outstanding):
                 if job.hedge_count >= self.max_hedges:
                     break
                 if job.hedged.get(walk_id, 0) >= 1:
                     continue  # one hedged copy per walk is the cap
                 started = job.dispatched_at.get(walk_id)
-                if started is None or now - started <= threshold:
+                if started is None:
                     continue
-                if not self._is_slow(job, walk_id):
-                    continue
-                await self._hedge(job, walk_id, now - started)
+                elapsed = now - started
+                if quantile_threshold is not None:
+                    if elapsed > quantile_threshold:
+                        await self._hedge(
+                            job,
+                            walk_id,
+                            elapsed,
+                            trigger="quantile",
+                            threshold=quantile_threshold,
+                        )
+                elif elapsed > median_threshold and self._is_slow(
+                    job, walk_id
+                ):
+                    await self._hedge(
+                        job,
+                        walk_id,
+                        elapsed,
+                        trigger="median_factor",
+                        threshold=median_threshold,
+                    )
 
     def _is_slow(self, job: _NetJob, walk_id: int) -> bool:
         """Slow = no progress report, or under half the median iteration
@@ -1069,12 +1172,21 @@ class Coordinator:
         rate = float(entry.get("iterations", 0)) / elapsed
         return rate < 0.5 * median_rate
 
-    async def _hedge(self, job: _NetJob, walk_id: int, elapsed: float) -> None:
+    async def _hedge(
+        self,
+        job: _NetJob,
+        walk_id: int,
+        elapsed: float,
+        *,
+        trigger: str = "",
+        threshold: float = 0.0,
+    ) -> None:
         """Dispatch a duplicate of ``walk_id`` to another node.
 
         Same seed, same generation: whichever copy reports first wins the
         walk (outstanding-membership drops the loser as stale), so hedging
         never changes *what* is computed, only how long the tail waits.
+        ``trigger``/``threshold`` record *why* it fired for `repro trace`.
         """
         slow_node = None
         for node in self._live_nodes():
@@ -1093,6 +1205,8 @@ class Coordinator:
         job.dispatched_at[walk_id] = time.monotonic()
         target.assigned.setdefault(job.job_id, set()).add(walk_id)
         self.counters["hedges"] += 1
+        if trigger == "quantile":
+            self.counters["hedges_quantile"] += 1
         self.counters["walks_dispatched"] += 1
         if self.recorder.enabled:
             self.recorder.emit(
@@ -1103,6 +1217,8 @@ class Coordinator:
                     node=target.name,
                     from_node=slow_node.name if slow_node is not None else "",
                     elapsed=elapsed,
+                    trigger=trigger,
+                    threshold=threshold,
                 )
             )
         try:

@@ -60,6 +60,11 @@ class LocalCluster:
         :meth:`kill_coordinator` / :meth:`restart_coordinator` recovery.
     hedge_factor / max_hedges:
         straggler-hedging knobs forwarded to the coordinator.
+    predictor / hedge_quantile:
+        predictive-autoscaling knobs forwarded to the coordinator (see
+        :class:`~repro.net.coordinator.Coordinator`); the predictor also
+        survives :meth:`restart_coordinator`, modelling a warm model
+        store across a coordinator crash.
     """
 
     def __init__(
@@ -80,6 +85,8 @@ class LocalCluster:
         hedge_factor: float | None = None,
         max_hedges: int = 2,
         min_hedge_delay: float = 0.25,
+        predictor: Any = None,
+        hedge_quantile: float | None = None,
     ) -> None:
         if n_nodes < 0:
             # 0 is allowed: submit-before-any-node tests add agents later
@@ -99,6 +106,8 @@ class LocalCluster:
         self.hedge_factor = hedge_factor
         self.max_hedges = max_hedges
         self.min_hedge_delay = min_hedge_delay
+        self.predictor = predictor
+        self.hedge_quantile = hedge_quantile
 
         self.coordinator: Coordinator | None = None
         self.agents: list[NodeAgent] = []
@@ -152,6 +161,8 @@ class LocalCluster:
             hedge_factor=self.hedge_factor,
             max_hedges=self.max_hedges,
             min_hedge_delay=self.min_hedge_delay,
+            predictor=self.predictor,
+            hedge_quantile=self.hedge_quantile,
             chaos=self.chaos,
             recorder=self._recorder("coordinator"),
         )

@@ -21,9 +21,12 @@ from repro.stats.ecdf import ECDF
 from repro.stats.fitting import (
     DistributionFit,
     best_fit,
+    degenerate_fit,
+    degenerate_reason,
     fit_exponential,
     fit_lognormal,
     fit_shifted_exponential,
+    refreeze,
 )
 from repro.stats.order_stats import (
     empirical_expected_min,
@@ -47,6 +50,9 @@ __all__ = [
     "fit_exponential",
     "fit_shifted_exponential",
     "fit_lognormal",
+    "degenerate_fit",
+    "degenerate_reason",
+    "refreeze",
     "best_fit",
     "expected_min",
     "empirical_expected_min",

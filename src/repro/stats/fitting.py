@@ -13,19 +13,30 @@ and rank them by Kolmogorov-Smirnov distance:
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 from scipy import stats as sps
 
+from repro.errors import DegenerateSamplesError
+
 __all__ = [
     "DistributionFit",
     "fit_exponential",
     "fit_shifted_exponential",
     "fit_lognormal",
+    "degenerate_fit",
+    "degenerate_reason",
+    "refreeze",
     "best_fit",
 ]
+
+#: minimum samples for a meaningful parametric fit (location + scale + one
+#: degree of freedom left over for the KS ranking to mean anything)
+MIN_FIT_SAMPLES = 3
 
 
 @dataclass(frozen=True)
@@ -132,14 +143,122 @@ _FITTERS: dict[str, Callable[[Sequence[float]], DistributionFit]] = {
 }
 
 
+def degenerate_reason(
+    samples: Sequence[float], min_samples: int = MIN_FIT_SAMPLES
+) -> str | None:
+    """Why ``samples`` cannot support a parametric fit (``None`` = they can).
+
+    The online refit loop feeds whatever telemetry produced — one
+    observation, a burst of identical cache-hit walls, all-zero stub
+    runtimes — so degeneracy is an expected state, not a caller bug.
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.ndim != 1:
+        return f"expected a 1-D sample array, got shape {arr.shape}"
+    if arr.size < min_samples:
+        return f"need at least {min_samples} samples, got {arr.size}"
+    if not np.all(np.isfinite(arr)) or np.any(arr < 0):
+        return "samples must be finite and non-negative"
+    hi = float(arr.max())
+    if hi <= 1e-12:
+        return "all samples are (near) zero"
+    if float(arr.max() - arr.min()) <= 1e-9 * max(hi, 1.0):
+        return f"samples are constant at {hi:.4g}"
+    return None
+
+
+def degenerate_fit(samples: Sequence[float]) -> DistributionFit:
+    """A labeled point-mass stand-in fit for degenerate samples.
+
+    The ``"degenerate"`` name marks it as *not* a real characterization:
+    an exponential of negligible scale pinned at the sample mean, so
+    quantiles, survival probabilities and ``expected_min`` stay finite
+    and sensible (``E[min_k] ~ mean`` for every ``k`` — no predicted
+    speedup, which is the honest answer when all evidence is one point).
+    """
+    arr = np.asarray(samples, dtype=np.float64).ravel()
+    finite = arr[np.isfinite(arr)]
+    loc = float(max(0.0, finite.mean())) if finite.size else 0.0
+    scale = max(1e-12, abs(loc) * 1e-9)
+    frozen = sps.expon(loc=loc, scale=scale)
+    return DistributionFit(
+        name="degenerate",
+        params=(loc, scale),
+        mean=float(frozen.mean()),
+        ks_statistic=math.nan,
+        ks_pvalue=math.nan,
+        log_likelihood=math.nan,
+        frozen=frozen,
+    )
+
+
+def refreeze(name: str, params: Sequence[float]) -> DistributionFit:
+    """Rebuild a :class:`DistributionFit` from its ``(name, params)`` pair.
+
+    The inverse of persisting a fit as JSON (goodness-of-fit statistics
+    are not recoverable and come back as NaN): (shifted) exponentials and
+    degenerate point masses refreeze as ``expon(loc, scale)``, lognormals
+    as ``lognorm(shape, loc, scale)``.
+    """
+    values = tuple(float(p) for p in params)
+    if name in ("exponential", "shifted_exponential", "degenerate"):
+        if len(values) != 2:
+            raise ValueError(f"{name} expects (loc, scale), got {values}")
+        frozen = sps.expon(loc=values[0], scale=max(values[1], 1e-12))
+    elif name == "lognormal":
+        if len(values) != 3:
+            raise ValueError(
+                f"lognormal expects (shape, loc, scale), got {values}"
+            )
+        frozen = sps.lognorm(max(values[0], 1e-12), loc=values[1], scale=values[2])
+    else:
+        raise ValueError(
+            f"unknown distribution family {name!r}; known: "
+            f"{sorted(_FITTERS) + ['degenerate']}"
+        )
+    return DistributionFit(
+        name=name,
+        params=values,
+        mean=float(frozen.mean()),
+        ks_statistic=math.nan,
+        ks_pvalue=math.nan,
+        log_likelihood=math.nan,
+        frozen=frozen,
+    )
+
+
 def best_fit(
-    samples: Sequence[float], candidates: Sequence[str] = ("exponential", "shifted_exponential", "lognormal")
+    samples: Sequence[float],
+    candidates: Sequence[str] = ("exponential", "shifted_exponential", "lognormal"),
+    *,
+    on_degenerate: str = "raise",
 ) -> DistributionFit:
     """Fit every candidate family and return the lowest-KS-distance fit.
 
     Families whose preconditions fail (e.g. lognormal with zero samples)
     are skipped; at least one candidate must succeed.
+
+    Degenerate inputs — constant samples, all-near-zero samples, or fewer
+    than :data:`MIN_FIT_SAMPLES` values — never reach scipy (whose MLE
+    paths emit RuntimeWarnings and NaNs there).  With the default
+    ``on_degenerate="raise"`` they raise
+    :class:`~repro.errors.DegenerateSamplesError` naming the reason; with
+    ``on_degenerate="fallback"`` they return the labeled point-mass
+    :func:`degenerate_fit` instead, which is what the online refit loop
+    uses so a cold-start model is usable rather than an exception.
     """
+    if on_degenerate not in ("raise", "fallback"):
+        raise ValueError(
+            f"on_degenerate must be 'raise' or 'fallback', got {on_degenerate!r}"
+        )
+    reason = degenerate_reason(samples)
+    if reason is not None:
+        arr = np.asarray(samples, dtype=np.float64)
+        if on_degenerate == "fallback" and arr.ndim == 1 and arr.size > 0:
+            return degenerate_fit(arr[np.isfinite(arr)])
+        raise DegenerateSamplesError(
+            f"cannot fit a runtime distribution: {reason}"
+        )
     fits = []
     errors = []
     for name in candidates:
@@ -149,11 +268,23 @@ def best_fit(
                 f"known: {sorted(_FITTERS)}"
             )
         try:
-            fits.append(_FITTERS[name](samples))
+            with warnings.catch_warnings():
+                # scipy MLE internals warn on flat likelihoods; degenerate
+                # shapes were filtered above, so remaining warnings are
+                # noise the online refit loop must not spam logs with
+                warnings.simplefilter("ignore")
+                fit = _FITTERS[name](samples)
         except ValueError as err:
             errors.append(f"{name}: {err}")
+            continue
+        if math.isfinite(fit.ks_statistic):
+            fits.append(fit)
+        else:
+            errors.append(f"{name}: non-finite KS statistic")
     if not fits:
-        raise ValueError(
+        if on_degenerate == "fallback":
+            return degenerate_fit(samples)
+        raise DegenerateSamplesError(
             "no candidate distribution could be fitted: " + "; ".join(errors)
         )
     return min(fits, key=lambda f: f.ks_statistic)

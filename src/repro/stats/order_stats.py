@@ -32,10 +32,10 @@ def expected_min(fit: DistributionFit, k: int) -> float:
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    if fit.name == "exponential":
-        loc, scale = fit.params
-        return float(loc + scale / k)
-    if fit.name == "shifted_exponential":
+    if fit.name in ("exponential", "shifted_exponential", "degenerate"):
+        # the degenerate point-mass fallback is an exponential of
+        # negligible scale, so the same closed form applies (and gives
+        # E[min_k] ~ mean for every k: no predicted speedup)
         loc, scale = fit.params
         return float(loc + scale / k)
     # generic: E[min_k] = ∫_0^1 ppf(u) · k (1-u)^(k-1) du  (probability

@@ -239,6 +239,12 @@ class HedgeDispatch(TelemetryEvent):
     node: str = ""
     from_node: str = ""
     elapsed: float = 0.0
+    #: why the hedge fired: ``"quantile"`` (walk outlived the fitted
+    #: runtime quantile) or ``"median_factor"`` (the fixed-multiplier
+    #: rule).  Empty on records from before this field existed.
+    trigger: str = ""
+    #: the threshold (seconds) the walk's elapsed time exceeded
+    threshold: float = 0.0
 
 
 @dataclass(frozen=True, kw_only=True)

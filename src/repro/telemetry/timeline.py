@@ -316,11 +316,17 @@ def _describe(record: dict[str, Any]) -> str:
             f"span {record.get('name')} {_ms(record.get('duration', 0.0))}"
         )
     if kind == "hedge":
-        return (
+        line = (
             f"hedge job={record.get('job_id')} walk={record.get('walk_id')} "
             f"{record.get('from_node') or '?'} -> {record.get('node')} "
             f"after {_ms(record.get('elapsed', 0.0))}"
         )
+        if record.get("trigger"):
+            line += (
+                f" [{record['trigger']} > "
+                f"{_ms(record.get('threshold', 0.0))}]"
+            )
+        return line
     if kind == "fault":
         detail = record.get("detail") or ""
         return (
@@ -401,10 +407,19 @@ def render_report(summary: TraceSummary) -> str:
         lines.append("")
         lines.append(f"hedged re-dispatches ({len(summary.hedges)})")
         for hedge in summary.hedges:
+            attribution = ""
+            if hedge.get("trigger"):
+                # why it fired: which rule tripped and what threshold the
+                # observed elapsed time exceeded
+                attribution = (
+                    f" [{hedge['trigger']} > "
+                    f"{_ms(hedge.get('threshold', 0.0))}]"
+                )
             lines.append(
                 f"  walk {hedge.get('walk_id')} "
                 f"{hedge.get('from_node') or '?'} -> {hedge.get('node')} "
                 f"after {_ms(hedge.get('elapsed', 0.0))}"
+                + attribution
             )
     if summary.faults:
         lines.append("")

@@ -1,0 +1,160 @@
+"""DecayingHistogram: streaming geometry, decay, queries, persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autoscale import DecayingHistogram
+from repro.errors import AutoscaleError
+
+
+class TestObserve:
+    def test_counts_lifetime_observations(self):
+        hist = DecayingHistogram()
+        for value in [0.1, 0.2, 0.3]:
+            hist.observe(value)
+        assert hist.count == 3
+
+    def test_rejects_non_positive_and_non_finite(self):
+        hist = DecayingHistogram()
+        for bad in [0.0, -1.0, float("nan"), float("inf")]:
+            hist.observe(bad)
+        assert hist.count == 0
+        assert hist.total == 0.0
+
+    def test_out_of_support_values_clamp_to_edges(self):
+        hist = DecayingHistogram()
+        hist.observe(1e-9)  # below support
+        hist.observe(1e9)  # above support
+        assert hist.count == 2
+        assert hist.counts[0] > 0
+        assert hist.counts[-1] > 0
+
+    def test_mass_decays_toward_window(self):
+        hist = DecayingHistogram(window=64)
+        for _ in range(2000):
+            hist.observe(1.0)
+        # total mass converges to the window size, not the raw count
+        assert hist.total == pytest.approx(64, rel=0.05)
+        assert hist.count == 2000
+
+    def test_decay_forgets_old_regime(self):
+        hist = DecayingHistogram(window=32)
+        for _ in range(200):
+            hist.observe(0.01)  # old fast regime
+        for _ in range(200):
+            hist.observe(10.0)  # new slow regime
+        # after ~6 windows of new data the old mode is negligible
+        assert hist.quantile(0.5) == pytest.approx(10.0, rel=0.5)
+
+
+class TestQueries:
+    def test_quantile_tracks_distribution(self):
+        rng = np.random.default_rng(5)
+        hist = DecayingHistogram(window=4096)
+        samples = rng.exponential(2.0, size=4000)
+        for value in samples:
+            hist.observe(value)
+        # log-bucketing gives ~33% relative resolution; check the median
+        # is in the right ballpark (exp(2.0) median = 2 ln 2 ~ 1.386)
+        assert hist.quantile(0.5) == pytest.approx(np.median(samples), rel=0.4)
+        assert hist.quantile(0.95) > hist.quantile(0.5)
+
+    def test_quantile_empty_is_zero(self):
+        assert DecayingHistogram().quantile(0.5) == 0.0
+
+    def test_quantile_bad_q_rejected(self):
+        with pytest.raises(AutoscaleError):
+            DecayingHistogram().quantile(1.5)
+
+    def test_cdf_monotone_and_bounded(self):
+        hist = DecayingHistogram()
+        for value in [1.0, 2.0, 4.0, 8.0]:
+            hist.observe(value)
+        points = [0.5, 1.5, 3.0, 6.0, 20.0]
+        cdfs = [hist.cdf(t) for t in points]
+        assert cdfs == sorted(cdfs)
+        assert all(0.0 <= c <= 1.0 for c in cdfs)
+        assert hist.cdf(0.0) == 0.0
+        assert hist.cdf(1e7) == pytest.approx(1.0)
+
+    def test_mean_matches_point_mass(self):
+        hist = DecayingHistogram()
+        for _ in range(50):
+            hist.observe(3.0)
+        assert hist.mean() == pytest.approx(3.0, rel=0.35)
+
+
+class TestRepresentativeSample:
+    def test_empty_gives_empty(self):
+        sample = DecayingHistogram().representative_sample()
+        assert sample.size == 0
+
+    def test_tails_survive(self):
+        hist = DecayingHistogram(window=8192)
+        for _ in range(5000):
+            hist.observe(1.0)
+        hist.observe(500.0)  # one extreme straggler
+        sample = hist.representative_sample(max_points=64)
+        # the straggler bucket must still contribute at least one point
+        assert sample.max() > 100.0
+
+    def test_sizes_roughly_bounded(self):
+        rng = np.random.default_rng(9)
+        hist = DecayingHistogram()
+        for value in rng.lognormal(0.0, 1.0, size=1000):
+            hist.observe(value)
+        sample = hist.representative_sample(max_points=128)
+        # each non-empty bucket adds at most one rounding unit of slack
+        assert 0 < sample.size <= 128 + hist.n_buckets
+
+
+class TestPersistence:
+    def test_round_trip(self):
+        rng = np.random.default_rng(2)
+        hist = DecayingHistogram(n_buckets=48, window=100)
+        for value in rng.exponential(1.5, size=300):
+            hist.observe(value)
+        back = DecayingHistogram.from_json(hist.to_json())
+        assert back.n_buckets == hist.n_buckets
+        assert back.window == hist.window
+        assert back.count == hist.count
+        assert back.quantile(0.5) == pytest.approx(hist.quantile(0.5), rel=0.01)
+
+    def test_sparse_encoding(self):
+        hist = DecayingHistogram()
+        hist.observe(1.0)
+        record = hist.to_json()
+        assert len(record["buckets"]) == 1
+
+    def test_corrupt_record_raises(self):
+        with pytest.raises(AutoscaleError):
+            DecayingHistogram.from_json({"n_buckets": "many"})
+        with pytest.raises(AutoscaleError):
+            DecayingHistogram.from_json(
+                {"n_buckets": 16, "window": 10, "buckets": {"99": 1.0}}
+            )
+
+    def test_merge_requires_same_geometry(self):
+        a = DecayingHistogram(n_buckets=16)
+        b = DecayingHistogram(n_buckets=32)
+        with pytest.raises(AutoscaleError):
+            a.merge(b)
+
+    def test_merge_adds_mass(self):
+        a = DecayingHistogram()
+        b = DecayingHistogram()
+        a.observe(1.0)
+        b.observe(2.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.total == pytest.approx(2.0, rel=0.01)
+
+
+class TestValidation:
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(AutoscaleError):
+            DecayingHistogram(n_buckets=2)
+        with pytest.raises(AutoscaleError):
+            DecayingHistogram(window=1)

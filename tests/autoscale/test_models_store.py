@@ -1,0 +1,186 @@
+"""RuntimeModel refits and the ModelStore ladder/persistence."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.autoscale import ModelStore, RuntimeModel, model_key
+from repro.errors import AutoscaleError
+
+
+class TestModelKey:
+    def test_aggregate_and_sized(self):
+        assert model_key("costas", None) == "costas"
+        assert model_key("costas", 12) == "costas/12"
+
+
+class TestRuntimeModel:
+    def test_no_fit_below_min_samples(self):
+        model = RuntimeModel("costas", min_samples=5)
+        for value in [1.0, 1.1, 0.9]:
+            model.observe(value)
+        assert model.fit is None
+        assert model.n_observed == 3
+
+    def test_fit_appears_at_min_samples(self):
+        rng = np.random.default_rng(1)
+        model = RuntimeModel("costas", min_samples=5)
+        for value in rng.exponential(1.0, size=5):
+            model.observe(value)
+        assert model.fit is not None
+
+    def test_refit_is_amortized(self):
+        rng = np.random.default_rng(4)
+        model = RuntimeModel("costas", min_samples=3, refit_interval=10)
+        for value in rng.exponential(1.0, size=3):
+            model.observe(value)
+        first = model.fit
+        for value in rng.exponential(1.0, size=5):
+            model.observe(value)
+        # fewer than refit_interval since last fit: object unchanged
+        assert model.fit is first
+        for value in rng.exponential(1.0, size=5):
+            model.observe(value)
+        assert model.fit is not first
+
+    def test_constant_walls_give_labeled_degenerate_fit(self):
+        model = RuntimeModel("cache", min_samples=3)
+        for _ in range(10):
+            model.observe(2.0)
+        assert model.fit is not None
+        assert model.fit.name == "degenerate"
+        # the degenerate fit still answers scheduling queries
+        assert model.mean() == pytest.approx(2.0, rel=0.35)
+        assert model.quantile(0.95) > 0
+
+    def test_rejected_observations_do_not_count(self):
+        model = RuntimeModel("costas")
+        model.observe(-1.0)
+        model.observe(float("nan"))
+        assert model.n_observed == 0
+
+    def test_quantile_empirical_before_fit(self):
+        model = RuntimeModel("costas", min_samples=50)
+        for value in [1.0, 2.0, 3.0]:
+            model.observe(value)
+        assert model.fit is None
+        assert model.quantile(0.5) > 0
+
+    def test_json_round_trip(self):
+        rng = np.random.default_rng(8)
+        model = RuntimeModel("magic-square", 20, min_samples=3)
+        for value in rng.exponential(2.0, size=40):
+            model.observe(value)
+        back = RuntimeModel.from_json(model.to_json())
+        assert back.family == "magic-square"
+        assert back.size == 20
+        assert back.n_observed == model.n_observed
+        assert back.fit is not None
+        assert back.fit.name == model.fit.name
+        assert back.mean() == pytest.approx(model.mean(), rel=1e-6)
+
+    def test_corrupt_record_raises(self):
+        with pytest.raises(AutoscaleError):
+            RuntimeModel.from_json({"size": 3})
+
+    def test_validation(self):
+        with pytest.raises(AutoscaleError):
+            RuntimeModel("x", min_samples=0)
+        with pytest.raises(AutoscaleError):
+            RuntimeModel("x", refit_interval=0)
+
+
+class TestStoreLadder:
+    def test_sized_observation_feeds_aggregate(self):
+        store = ModelStore()
+        store.observe("costas", 1.0, size=12)
+        assert store.get("costas", 12) is not None
+        # unseen size answers from the family aggregate
+        fallback = store.get("costas", 99)
+        assert fallback is not None
+        assert fallback.size is None
+
+    def test_unknown_family_is_none(self):
+        store = ModelStore()
+        store.observe("costas", 1.0)
+        assert store.get("all-interval") is None
+
+    def test_exact_model_preferred(self):
+        store = ModelStore()
+        store.observe("costas", 1.0, size=10)
+        store.observe("costas", 50.0, size=14)
+        model = store.get("costas", 14)
+        assert model is not None and model.size == 14
+
+    def test_iteration_sorted(self):
+        store = ModelStore()
+        store.observe("magic-square", 1.0, size=5)
+        store.observe("costas", 1.0, size=12)
+        keys = [model_key(m.family, m.size) for m in store]
+        assert keys == ["costas", "costas/12", "magic-square", "magic-square/5"]
+
+
+class TestStorePersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        rng = np.random.default_rng(6)
+        path = tmp_path / "models.json"
+        store = ModelStore(path, min_samples=3)
+        for value in rng.exponential(1.0, size=30):
+            store.observe("costas", value, size=12)
+        saved = store.save()
+        assert saved == path
+        back = ModelStore.load(path)
+        assert len(back) == len(store)
+        model = back.get("costas", 12)
+        assert model is not None
+        assert model.fit is not None
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(AutoscaleError):
+            ModelStore().save()
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(AutoscaleError):
+            ModelStore.load(tmp_path / "nope.json")
+
+    def test_load_corrupt_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(AutoscaleError):
+            ModelStore.load(path)
+        path.write_text(json.dumps({"version": 1}), encoding="utf-8")
+        with pytest.raises(AutoscaleError):
+            ModelStore.load(path)
+
+    def test_open_tolerates_missing_and_corrupt(self, tmp_path):
+        missing = tmp_path / "missing.json"
+        store = ModelStore.open(missing)
+        assert len(store) == 0
+        assert store.path == missing
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("][", encoding="utf-8")
+        store = ModelStore.open(corrupt)
+        assert len(store) == 0
+        # the fresh store can save over the rotted file
+        store.observe("costas", 1.0)
+        store.save()
+        assert ModelStore.load(corrupt).get("costas") is not None
+
+    def test_atomic_save_leaves_no_tmp(self, tmp_path):
+        path = tmp_path / "models.json"
+        store = ModelStore(path)
+        store.observe("costas", 1.0)
+        store.save()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_stats_rows(self):
+        store = ModelStore(min_samples=3)
+        for value in [1.0, 1.2, 0.8, 1.1]:
+            store.observe("costas", value, size=12)
+        rows = store.stats()
+        assert set(rows) == {"costas", "costas/12"}
+        assert rows["costas/12"]["observations"] == 4
+        assert rows["costas/12"]["p95"] is not None

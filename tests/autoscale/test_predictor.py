@@ -1,0 +1,226 @@
+"""Predictor decisions: walker counts, deadlines, hedging, cost."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autoscale import ModelStore, Predictor
+from repro.errors import AutoscaleError
+
+
+def _warmed(family, samples, *, size=None, **kw):
+    predictor = Predictor(ModelStore(min_samples=5, refit_interval=4), **kw)
+    for value in samples:
+        predictor.observe(family, value, size=size)
+    return predictor
+
+
+class TestColdStart:
+    def test_unknown_family_gets_defaults(self):
+        predictor = Predictor(default_walkers=4)
+        decision = predictor.decide("never-seen")
+        assert decision.n_walkers == 4
+        assert decision.rule == "default"
+        assert predictor.choose_walkers("never-seen") == 4
+
+    def test_below_min_samples_still_default(self):
+        predictor = Predictor(ModelStore(min_samples=50))
+        for value in [1.0, 1.2, 0.8]:
+            predictor.observe("costas", value)
+        assert predictor.decide("costas").rule == "default"
+
+    def test_hedge_delay_none_when_cold(self):
+        assert Predictor().hedge_delay("never-seen") is None
+
+    def test_expected_cost_none_when_cold(self):
+        assert Predictor().expected_cost("never-seen", 8) is None
+
+    def test_hit_probability_none_when_cold(self):
+        assert (
+            Predictor().deadline_hit_probability("never-seen", 1.0, 4) is None
+        )
+
+
+class TestEfficiencyRule:
+    def test_exponential_family_gets_many_walkers(self):
+        # exponential runtimes: speedup(k) ~ k, efficiency ~ 1 at every k,
+        # so the plan should climb to the ceiling
+        rng = np.random.default_rng(21)
+        predictor = _warmed(
+            "costas", rng.exponential(2.0, size=300), max_walkers=32
+        )
+        decision = predictor.decide("costas")
+        assert decision.rule == "efficiency"
+        assert decision.n_walkers == 32
+
+    def test_shifted_family_saturates(self):
+        # shift t0 dominates: speedup caps at E[T]/t0, efficiency collapses
+        rng = np.random.default_rng(22)
+        samples = 10.0 + rng.exponential(0.5, size=300)
+        predictor = _warmed("magic-square", samples, max_walkers=64)
+        decision = predictor.decide("magic-square")
+        assert decision.rule == "efficiency"
+        assert decision.n_walkers <= 2
+
+    def test_constant_runtime_gets_one_walker(self):
+        predictor = _warmed("cache", [3.0] * 40)
+        # a point mass predicts zero speedup: parallelism is pure waste
+        assert predictor.choose_walkers("cache") == 1
+
+    def test_plan_changes_cold_vs_warm(self):
+        rng = np.random.default_rng(23)
+        predictor = Predictor(ModelStore(min_samples=5, refit_interval=4))
+        cold = predictor.choose_walkers("costas")
+        for value in rng.exponential(1.0, size=100):
+            predictor.observe("costas", value)
+        warm = predictor.choose_walkers("costas")
+        assert warm != cold
+
+
+class TestDeadlineRule:
+    def test_tight_deadline_scales_up(self):
+        rng = np.random.default_rng(31)
+        predictor = _warmed("costas", rng.exponential(2.0, size=300))
+        # mean 2s, deadline 0.5s: one walker hits ~22%, needs several
+        loose = predictor.decide("costas", deadline=20.0)
+        tight = predictor.decide("costas", deadline=0.5)
+        assert loose.rule == tight.rule == "deadline"
+        assert tight.n_walkers > loose.n_walkers
+        assert tight.hit_probability >= 0.9
+
+    def test_smallest_sufficient_k(self):
+        rng = np.random.default_rng(32)
+        predictor = _warmed("costas", rng.exponential(1.0, size=300))
+        # generous deadline: k=1 already exceeds the confidence target
+        decision = predictor.decide("costas", deadline=10.0)
+        assert decision.n_walkers == 1
+
+    def test_unreachable_deadline_does_not_burn_ceiling(self):
+        # runtimes start at 10s: a 5s deadline is unreachable at any k,
+        # so the predictor should NOT max out walkers for nothing
+        rng = np.random.default_rng(33)
+        samples = 10.0 + rng.exponential(0.5, size=300)
+        predictor = _warmed("magic-square", samples, max_walkers=64)
+        decision = predictor.decide("magic-square", deadline=5.0)
+        assert decision.n_walkers < 64
+        assert decision.hit_probability < 0.5
+
+    def test_hit_probability_monotone_in_k(self):
+        rng = np.random.default_rng(34)
+        predictor = _warmed("costas", rng.exponential(1.0, size=300))
+        probs = [
+            predictor.deadline_hit_probability("costas", 0.5, k)
+            for k in [1, 2, 4, 8, 16]
+        ]
+        assert probs == sorted(probs)
+        assert all(0.0 <= p <= 1.0 for p in probs)
+
+    def test_k1_matches_cdf(self):
+        rng = np.random.default_rng(35)
+        predictor = _warmed("costas", rng.exponential(1.0, size=500))
+        model = predictor.store.get("costas")
+        p = predictor.deadline_hit_probability("costas", 1.0, 1)
+        assert p == pytest.approx(float(model.fit.cdf(1.0)), rel=1e-9)
+
+    def test_bad_arguments_rejected(self):
+        predictor = Predictor()
+        with pytest.raises(AutoscaleError):
+            predictor.deadline_hit_probability("x", -1.0, 4)
+        with pytest.raises(AutoscaleError):
+            predictor.deadline_hit_probability("x", 1.0, 0)
+
+
+class TestHedgeDelay:
+    def test_quantile_of_fitted_model(self):
+        rng = np.random.default_rng(41)
+        predictor = _warmed("costas", rng.exponential(1.0, size=500))
+        delay = predictor.hedge_delay("costas")
+        # p95 of exp(1) is ~3.0
+        assert delay == pytest.approx(3.0, rel=0.35)
+        assert predictor.hedge_delay("costas", quantile=0.5) < delay
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(AutoscaleError):
+            Predictor().hedge_delay("x", quantile=1.0)
+
+
+class TestExpectedCost:
+    def test_exponential_cost_flat_in_k(self):
+        # exp: E[min_k] = mean/k, so k * E[min_k] is constant — adding
+        # walkers to an exponential family is free in walker-seconds
+        rng = np.random.default_rng(51)
+        predictor = _warmed("costas", rng.exponential(2.0, size=400))
+        c1 = predictor.expected_cost("costas", 1)
+        c8 = predictor.expected_cost("costas", 8)
+        assert c8 == pytest.approx(c1, rel=0.05)
+
+    def test_shifted_cost_grows_with_k(self):
+        rng = np.random.default_rng(52)
+        samples = 5.0 + rng.exponential(0.5, size=400)
+        predictor = _warmed("magic-square", samples)
+        assert predictor.expected_cost(
+            "magic-square", 8
+        ) > 2 * predictor.expected_cost("magic-square", 1)
+
+    def test_deadline_caps_cost(self):
+        rng = np.random.default_rng(53)
+        samples = 5.0 + rng.exponential(0.5, size=400)
+        predictor = _warmed("magic-square", samples)
+        capped = predictor.expected_cost("magic-square", 4, deadline=1.0)
+        assert capped == pytest.approx(4.0, rel=1e-6)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(AutoscaleError):
+            Predictor().expected_cost("x", 0)
+
+
+class TestLadderAndPersistence:
+    def test_unseen_size_uses_family_aggregate(self):
+        rng = np.random.default_rng(61)
+        predictor = _warmed(
+            "costas", rng.exponential(1.0, size=200), size=12
+        )
+        sized = predictor.decide("costas", size=12)
+        unseen = predictor.decide("costas", size=99)
+        assert sized.model == "costas/12"
+        assert unseen.model == "costas"
+        assert unseen.rule != "default"
+
+    def test_save_and_warm_restart(self, tmp_path):
+        rng = np.random.default_rng(62)
+        path = tmp_path / "models.json"
+        store = ModelStore(path, min_samples=5, refit_interval=4)
+        predictor = Predictor(store, max_walkers=32)
+        for value in rng.exponential(1.0, size=200):
+            predictor.observe("costas", value)
+        plan = predictor.choose_walkers("costas")
+        assert predictor.save() == path
+        # a fresh process opens the same file and plans identically
+        revived = Predictor(ModelStore.open(path), max_walkers=32)
+        assert revived.choose_walkers("costas") == plan
+
+    def test_save_without_path_is_noop(self):
+        assert Predictor().save() is None
+
+    def test_stats_include_plan_rows(self):
+        rng = np.random.default_rng(63)
+        predictor = _warmed("costas", rng.exponential(1.0, size=100))
+        rows = predictor.stats()
+        assert "costas" in rows
+        assert rows["costas"]["plan"] >= 1
+        assert rows["costas"]["rule"] in ("efficiency", "deadline")
+
+
+class TestValidation:
+    def test_constructor_rejects_bad_knobs(self):
+        with pytest.raises(AutoscaleError):
+            Predictor(default_walkers=0)
+        with pytest.raises(AutoscaleError):
+            Predictor(default_walkers=128, max_walkers=64)
+        with pytest.raises(AutoscaleError):
+            Predictor(min_efficiency=0.0)
+        with pytest.raises(AutoscaleError):
+            Predictor(confidence=1.0)
+        with pytest.raises(AutoscaleError):
+            Predictor(hedge_quantile=0.0)

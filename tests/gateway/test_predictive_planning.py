@@ -1,0 +1,125 @@
+"""Predictive planning + cost-based admission (the repro.autoscale wiring)."""
+
+import numpy as np
+import pytest
+
+from repro.autoscale import ModelStore, Predictor
+from repro.errors import GatewayError
+from repro.gateway.admission import AdmissionController, PredictivePlanner
+
+
+def _warmed_planner(family, samples, *, size=None, **predictor_kw):
+    predictor = Predictor(
+        ModelStore(min_samples=5, refit_interval=4), **predictor_kw
+    )
+    planner = PredictivePlanner(predictor)
+    for value in samples:
+        planner.record(family, value, size=size)
+    return planner
+
+
+class TestPredictivePlanner:
+    def test_cold_start_plans_defaults(self):
+        planner = PredictivePlanner(Predictor(default_walkers=4))
+        assert planner.plan("costas") == 4
+        assert planner.job_cost("costas", 8) is None
+        assert planner.fitted_family("costas") is None
+        assert planner.stats() == {}
+
+    def test_exponential_family_scales_up(self):
+        rng = np.random.default_rng(71)
+        planner = _warmed_planner(
+            "costas", rng.exponential(1.0, size=200), max_walkers=32
+        )
+        assert planner.plan("costas") == 32
+        assert planner.fitted_family("costas") is not None
+
+    def test_deadline_changes_the_plan(self):
+        rng = np.random.default_rng(72)
+        planner = _warmed_planner("costas", rng.exponential(2.0, size=300))
+        # generous deadline needs 1 walker, a tight one needs several
+        assert planner.plan("costas", deadline=30.0) == 1
+        assert planner.plan("costas", deadline=0.5) > 1
+
+    def test_sized_models_via_the_ladder(self):
+        rng = np.random.default_rng(73)
+        planner = _warmed_planner(
+            "costas", rng.exponential(1.0, size=200), size=12
+        )
+        # unseen size answers from the family aggregate, not defaults
+        assert planner.plan("costas", size=99) != planner.default_walkers
+
+    def test_max_walkers_clamp(self):
+        rng = np.random.default_rng(74)
+        planner = PredictivePlanner(
+            Predictor(
+                ModelStore(min_samples=5, refit_interval=4), max_walkers=64
+            ),
+            max_walkers=8,
+        )
+        for value in rng.exponential(1.0, size=100):
+            planner.record("costas", value)
+        assert planner.plan("costas") <= 8
+
+    def test_job_cost_present_once_warm(self):
+        rng = np.random.default_rng(75)
+        planner = _warmed_planner("costas", rng.exponential(1.0, size=100))
+        cost = planner.job_cost("costas", 4)
+        assert cost is not None and cost > 0
+
+
+class TestCostAdmission:
+    def test_cost_budget_sheds_expensive_jobs(self):
+        admission = AdmissionController(capacity=100, cost_capacity=10.0)
+        assert admission.admit(2, 0, 100, cost=6.0)
+        admission.acquire(6.0)
+        # another 6 walker-seconds would blow the budget
+        decision = admission.admit(2, 0, 100, cost=6.0)
+        assert not decision
+        assert "walker-seconds" in decision.reason
+        assert admission.shed_by_cost == 1
+        # a cheap job still fits
+        assert admission.admit(2, 0, 100, cost=2.0)
+
+    def test_unknown_cost_only_faces_count_check(self):
+        admission = AdmissionController(capacity=100, cost_capacity=1.0)
+        admission.acquire(0.9)
+        # a cold family with no prediction is never cost-shed
+        assert admission.admit(2, 0, 100, cost=None)
+
+    def test_empty_gateway_always_admits(self):
+        admission = AdmissionController(capacity=100, cost_capacity=1.0)
+        # the single huge job must run eventually
+        assert admission.admit(2, 0, 100, cost=50.0)
+
+    def test_cost_budget_respects_priority_fractions(self):
+        admission = AdmissionController(capacity=100, cost_capacity=10.0)
+        admission.acquire(4.9)
+        # batch (50% share = 5.0) is out of cost budget, premium is not
+        assert not admission.admit(0, 0, 100, cost=1.0)
+        assert admission.admit(2, 0, 100, cost=1.0)
+
+    def test_release_drains_cost(self):
+        admission = AdmissionController(capacity=100, cost_capacity=10.0)
+        admission.acquire(6.0)
+        admission.acquire(3.0)
+        admission.release(6.0)
+        assert admission.inflight_cost == pytest.approx(3.0)
+        admission.release(3.0)
+        assert admission.inflight_cost == 0.0
+
+    def test_idle_resets_drift(self):
+        admission = AdmissionController(capacity=100, cost_capacity=10.0)
+        admission.acquire(5.0)
+        admission.release(5.000001)  # slightly off is fine
+        assert admission.inflight == 0
+        assert admission.inflight_cost == 0.0
+
+    def test_no_cost_capacity_ignores_cost(self):
+        admission = AdmissionController(capacity=100)
+        admission.acquire(1e9)
+        assert admission.admit(2, 0, 100, cost=1e9)
+
+    def test_rejects_bad_cost_capacity(self):
+        with pytest.raises(GatewayError):
+            AdmissionController(capacity=4, cost_capacity=0.0)

@@ -1,0 +1,235 @@
+"""Straggler hedging: quantile trigger, median fallback, attribution.
+
+The trigger logic is unit-tested against a coordinator with fabricated
+job state (no sockets — `_check_stragglers` is pure bookkeeping over the
+registries), plus one live-cluster test proving quantile hedges fire
+end-to-end and carry their attribution.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.autoscale import ModelStore, Predictor
+from repro.errors import NetError
+from repro.net import LocalCluster
+from repro.net.coordinator import Coordinator, _NetJob
+from repro.problems import make_problem
+
+
+def warmed_predictor(family="costas", wall=0.05, n=40, size=7):
+    predictor = Predictor(ModelStore(min_samples=4, refit_interval=4))
+    for _ in range(n):
+        predictor.observe(family, wall, size=size)
+    return predictor
+
+
+def fake_job(problem, n_walkers=2, age=100.0):
+    """An in-flight job whose walks were dispatched ``age`` seconds ago."""
+    job = _NetJob(
+        job_id=1,
+        request_id=0,
+        client=None,
+        problem=problem,
+        config=None,
+        seeds=list(range(n_walkers)),
+        submitted_at=time.monotonic() - age,
+    )
+    now = time.monotonic()
+    for walk_id in range(n_walkers):
+        job.dispatched_at[walk_id] = now - age
+    return job
+
+
+class HedgeSpy:
+    def __init__(self):
+        self.calls = []
+
+    async def __call__(self, job, walk_id, elapsed, *, trigger="", threshold=0.0):
+        self.calls.append(
+            {
+                "walk_id": walk_id,
+                "elapsed": elapsed,
+                "trigger": trigger,
+                "threshold": threshold,
+            }
+        )
+
+
+class TestQuantileTrigger:
+    def test_requires_predictor(self):
+        with pytest.raises(NetError, match="predictor"):
+            Coordinator(hedge_quantile=0.95)
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(NetError, match="hedge_quantile"):
+            Coordinator(predictor=Predictor(), hedge_quantile=1.5)
+
+    def test_threshold_is_the_fitted_quantile(self):
+        predictor = warmed_predictor(wall=2.0)
+        coordinator = Coordinator(
+            predictor=predictor, hedge_quantile=0.9, min_hedge_delay=0.01
+        )
+        job = fake_job(make_problem("costas", n=7))
+        threshold = coordinator._quantile_threshold(job)
+        assert threshold is not None
+        model = predictor.store.get("costas", 7)
+        assert threshold == pytest.approx(model.quantile(0.9), rel=1e-6)
+
+    def test_min_hedge_delay_floors_the_threshold(self):
+        coordinator = Coordinator(
+            predictor=warmed_predictor(wall=0.001),
+            hedge_quantile=0.9,
+            min_hedge_delay=5.0,
+        )
+        job = fake_job(make_problem("costas", n=7))
+        assert coordinator._quantile_threshold(job) == 5.0
+
+    def test_no_model_means_no_quantile_threshold(self):
+        coordinator = Coordinator(
+            predictor=Predictor(), hedge_quantile=0.9
+        )
+        job = fake_job(make_problem("costas", n=7))
+        assert coordinator._quantile_threshold(job) is None
+
+    def test_overdue_walks_hedge_with_attribution(self):
+        coordinator = Coordinator(
+            predictor=warmed_predictor(wall=0.05),
+            hedge_quantile=0.9,
+            min_hedge_delay=0.01,
+            max_hedges=8,
+        )
+        job = fake_job(make_problem("costas", n=7), n_walkers=2, age=10.0)
+        coordinator._jobs[job.job_id] = job
+        spy = HedgeSpy()
+        coordinator._hedge = spy
+        asyncio.run(coordinator._check_stragglers(time.monotonic()))
+        assert [c["walk_id"] for c in spy.calls] == [0, 1]
+        for call in spy.calls:
+            assert call["trigger"] == "quantile"
+            assert call["elapsed"] > call["threshold"] > 0
+
+    def test_fresh_walks_not_hedged(self):
+        coordinator = Coordinator(
+            predictor=warmed_predictor(wall=100.0),
+            hedge_quantile=0.9,
+            min_hedge_delay=0.01,
+        )
+        # walks are 10s old but the learned p90 is ~100s: not stragglers
+        job = fake_job(make_problem("costas", n=7), age=10.0)
+        coordinator._jobs[job.job_id] = job
+        spy = HedgeSpy()
+        coordinator._hedge = spy
+        asyncio.run(coordinator._check_stragglers(time.monotonic()))
+        assert spy.calls == []
+
+    def test_quantile_needs_no_within_job_completions(self):
+        # the median rule refuses to act before half the job finished; the
+        # quantile rule acts from history alone
+        coordinator = Coordinator(
+            predictor=warmed_predictor(wall=0.05),
+            hedge_quantile=0.9,
+            min_hedge_delay=0.01,
+            max_hedges=8,
+        )
+        job = fake_job(make_problem("costas", n=7), n_walkers=4, age=10.0)
+        assert not job.completed_walls
+        coordinator._jobs[job.job_id] = job
+        spy = HedgeSpy()
+        coordinator._hedge = spy
+        asyncio.run(coordinator._check_stragglers(time.monotonic()))
+        assert len(spy.calls) == 4
+
+    def test_unknown_family_falls_back_to_median_rule(self):
+        coordinator = Coordinator(
+            predictor=warmed_predictor(family="costas"),
+            hedge_quantile=0.9,
+            hedge_factor=2.0,
+            min_hedge_delay=0.01,
+            max_hedges=8,
+        )
+        job = fake_job(make_problem("magic_square", n=10), n_walkers=4, age=10.0)
+        # half done with fast walls: the median rule is armed
+        job.outstanding = {2, 3}
+        job.completed_walls = [0.1, 0.1]
+        coordinator._jobs[job.job_id] = job
+        spy = HedgeSpy()
+        coordinator._hedge = spy
+        asyncio.run(coordinator._check_stragglers(time.monotonic()))
+        assert len(spy.calls) == 2
+        assert all(c["trigger"] == "median_factor" for c in spy.calls)
+
+    def test_max_hedges_caps_the_job(self):
+        coordinator = Coordinator(
+            predictor=warmed_predictor(wall=0.05),
+            hedge_quantile=0.9,
+            min_hedge_delay=0.01,
+            max_hedges=1,
+        )
+        job = fake_job(make_problem("costas", n=7), n_walkers=4, age=10.0)
+        job.hedge_count = 1  # budget already spent
+        coordinator._jobs[job.job_id] = job
+        spy = HedgeSpy()
+        coordinator._hedge = spy
+        asyncio.run(coordinator._check_stragglers(time.monotonic()))
+        assert spy.calls == []
+
+
+class TestWalkObservation:
+    def test_solved_walls_feed_the_predictor(self):
+        predictor = Predictor(ModelStore(min_samples=2, refit_interval=2))
+        coordinator = Coordinator(predictor=predictor, hedge_quantile=0.9)
+        job = fake_job(make_problem("costas", n=7))
+        for wall in [0.5, 0.6, 0.7]:
+            coordinator._observe_walk(job, wall)
+        model = predictor.store.get("costas", 7)
+        assert model is not None
+        assert model.n_observed == 3
+        # the family aggregate learned too
+        assert predictor.store.get("costas", 99) is not None
+
+
+@pytest.mark.slow
+class TestQuantileHedgingEndToEnd:
+    def test_live_cluster_fires_quantile_hedges(self, tmp_path):
+        """A predictor whose model says 'costas-7 solves in ~50 ms' makes
+        any walk of a hard problem an immediate straggler: quantile hedges
+        fire (attributed in telemetry) long before the median rule could
+        even arm."""
+        predictor = warmed_predictor(
+            family="magic_square", wall=0.05, size=30
+        )
+        with LocalCluster(
+            n_nodes=2,
+            workers_per_node=1,
+            predictor=predictor,
+            hedge_quantile=0.9,
+            min_hedge_delay=0.05,
+            max_hedges=2,
+            trace_dir=tmp_path,
+        ) as cluster:
+            client = cluster.client()
+            problem = make_problem("magic_square", n=30)
+            handle = client.submit(problem, 2, seed=5, deadline=6.0)
+            deadline = time.monotonic() + 10.0
+            coordinator = cluster.coordinator
+            while time.monotonic() < deadline:
+                if coordinator.counters["hedges_quantile"] >= 1:
+                    break
+                time.sleep(0.1)
+            assert coordinator.counters["hedges_quantile"] >= 1
+            handle.result(timeout=60)
+
+        # attribution survives the JSONL round trip for `repro trace`
+        records = (tmp_path / "coordinator.jsonl").read_text().splitlines()
+        hedges = [
+            r
+            for r in (json.loads(line) for line in records)
+            if r.get("event") == "hedge"
+        ]
+        assert hedges
+        assert all(h["trigger"] == "quantile" for h in hedges)
+        assert all(h["threshold"] > 0 for h in hedges)
+        assert all(h["elapsed"] > h["threshold"] for h in hedges)

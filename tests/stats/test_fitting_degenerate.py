@@ -1,0 +1,172 @@
+"""Hardened `best_fit` behavior on degenerate inputs.
+
+The online refit loop (`repro.autoscale`) feeds raw telemetry into
+`best_fit` — cold-start bursts of 1-2 samples, constant cache-hit walls,
+all-zero stub runtimes.  These must produce either a clear typed error or
+a labeled fallback fit, never scipy warnings or NaN-parameter fits.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.errors import DegenerateSamplesError, ReproError, StatsError
+from repro.stats import (
+    best_fit,
+    degenerate_fit,
+    degenerate_reason,
+    expected_min,
+    predicted_speedup,
+    refreeze,
+)
+
+
+class TestDegenerateReason:
+    def test_healthy_samples_pass(self):
+        rng = np.random.default_rng(7)
+        assert degenerate_reason(rng.exponential(2.0, size=50)) is None
+
+    def test_too_few_samples(self):
+        assert "at least 3" in degenerate_reason([1.0, 2.0])
+
+    def test_empty(self):
+        assert degenerate_reason([]) is not None
+
+    def test_constant_samples(self):
+        assert "constant" in degenerate_reason([5.0] * 20)
+
+    def test_near_constant_samples(self):
+        base = 3.0
+        samples = [base, base + 1e-12, base - 1e-12] * 5
+        assert "constant" in degenerate_reason(samples)
+
+    def test_all_near_zero(self):
+        assert "zero" in degenerate_reason([0.0, 1e-15, 0.0, 1e-14])
+
+    def test_non_finite(self):
+        assert "finite" in degenerate_reason([1.0, float("nan"), 2.0])
+
+
+class TestBestFitRaise:
+    @pytest.mark.parametrize(
+        "samples",
+        [[7.0] * 10, [0.0] * 10, [1.5], [], [2.0, 2.0]],
+        ids=["constant", "zeros", "single", "empty", "two-identical"],
+    )
+    def test_raises_typed_error(self, samples):
+        with pytest.raises(DegenerateSamplesError):
+            best_fit(samples)
+
+    def test_error_is_catchable_as_value_error(self):
+        # legacy callers catch ValueError around best_fit; the typed error
+        # must still land in those handlers
+        with pytest.raises(ValueError):
+            best_fit([3.0] * 8)
+        with pytest.raises(StatsError):
+            best_fit([3.0] * 8)
+        with pytest.raises(ReproError):
+            best_fit([3.0] * 8)
+
+    def test_error_names_the_reason(self):
+        with pytest.raises(DegenerateSamplesError, match="constant"):
+            best_fit([4.0] * 6)
+        with pytest.raises(DegenerateSamplesError, match="at least 3"):
+            best_fit([1.0, 2.0])
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_degenerate"):
+            best_fit([1.0, 2.0, 3.0], on_degenerate="explode")
+
+
+class TestBestFitFallback:
+    def test_constant_samples_fall_back(self):
+        fit = best_fit([5.0] * 10, on_degenerate="fallback")
+        assert fit.name == "degenerate"
+        assert fit.mean == pytest.approx(5.0, rel=1e-6)
+
+    def test_fallback_fit_is_usable_downstream(self):
+        fit = best_fit([2.0, 2.0, 2.0], on_degenerate="fallback")
+        # E[min_k] ~ mean for every k: a point mass predicts no speedup
+        assert expected_min(fit, 1) == pytest.approx(2.0, rel=1e-6)
+        assert expected_min(fit, 64) == pytest.approx(2.0, rel=1e-6)
+        speedups = predicted_speedup(fit, [1, 4, 16])
+        assert all(s == pytest.approx(1.0, rel=1e-6) for s in speedups.values())
+        # survival/cdf answer deadline questions sensibly
+        assert fit.cdf(3.0) == pytest.approx(1.0)
+        assert fit.survival(1.0) == pytest.approx(1.0)
+
+    def test_single_sample_falls_back(self):
+        fit = best_fit([1.25], on_degenerate="fallback")
+        assert fit.name == "degenerate"
+        assert fit.mean == pytest.approx(1.25, rel=1e-6)
+
+    def test_empty_still_raises_in_fallback_mode(self):
+        # a fit from zero evidence would be pure invention
+        with pytest.raises(DegenerateSamplesError):
+            best_fit([], on_degenerate="fallback")
+
+    def test_healthy_samples_unaffected_by_mode(self):
+        rng = np.random.default_rng(3)
+        samples = rng.exponential(1.0, size=200)
+        assert (
+            best_fit(samples, on_degenerate="fallback").name
+            == best_fit(samples).name
+        )
+
+
+class TestNoWarnings:
+    @pytest.mark.parametrize(
+        "samples",
+        [
+            [5.0] * 10,
+            [1e-13] * 8,
+            np.concatenate(
+                [np.full(50, 2.0), [2.0 + 1e-10]]
+            ),  # nearly flat
+        ],
+        ids=["constant", "tiny", "nearly-flat"],
+    )
+    def test_degenerate_paths_emit_no_warnings(self, samples):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("error")
+            try:
+                best_fit(samples, on_degenerate="fallback")
+            except DegenerateSamplesError:
+                pass
+        assert caught == []
+
+
+class TestRefreeze:
+    def test_round_trips_exponential(self):
+        rng = np.random.default_rng(11)
+        fit = best_fit(rng.exponential(2.0, size=300))
+        back = refreeze(fit.name, fit.params)
+        assert back.name == fit.name
+        assert back.mean == pytest.approx(fit.mean, rel=1e-9)
+        assert expected_min(back, 8) == pytest.approx(
+            expected_min(fit, 8), rel=1e-6
+        )
+
+    def test_round_trips_lognormal(self):
+        rng = np.random.default_rng(12)
+        samples = rng.lognormal(0.0, 0.4, size=300)
+        fit = best_fit(samples, candidates=("lognormal",))
+        back = refreeze(fit.name, fit.params)
+        assert back.mean == pytest.approx(fit.mean, rel=1e-9)
+        assert back.cdf(1.0) == pytest.approx(fit.cdf(1.0), rel=1e-9)
+
+    def test_round_trips_degenerate(self):
+        fit = degenerate_fit([4.0, 4.0])
+        back = refreeze(fit.name, fit.params)
+        assert back.mean == pytest.approx(4.0, rel=1e-6)
+
+    def test_rejects_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            refreeze("weibull", (1.0, 2.0))
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ValueError, match="loc, scale"):
+            refreeze("exponential", (1.0, 2.0, 3.0))

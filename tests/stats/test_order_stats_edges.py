@@ -1,0 +1,116 @@
+"""Edge cases of ``expected_min`` / ``predicted_speedup``.
+
+The three corners the scheduler actually leans on: ``k=1`` must be the
+identity (a plan of one walker predicts the plain mean), very large ``k``
+must saturate rather than blow up (the deadline rule probes the power-of-2
+ladder all the way to the ceiling), and a shifted exponential whose shift
+collapsed to zero must degrade gracefully into the plain exponential.
+"""
+
+import numpy as np
+import pytest
+
+from repro.stats.fitting import (
+    DistributionFit,
+    degenerate_fit,
+    fit_exponential,
+    fit_lognormal,
+    fit_shifted_exponential,
+)
+from repro.stats.order_stats import expected_min, predicted_speedup
+
+
+@pytest.fixture
+def exp_fit():
+    return fit_exponential(np.random.default_rng(3).exponential(2.0, 400))
+
+
+@pytest.fixture
+def lognormal_fit():
+    return fit_lognormal(np.random.default_rng(4).lognormal(0.0, 0.5, 400))
+
+
+class TestKOneIdentity:
+    def test_exponential(self, exp_fit):
+        assert expected_min(exp_fit, 1) == pytest.approx(exp_fit.mean)
+
+    def test_lognormal_numeric_path(self, lognormal_fit):
+        # k=1 exercises the quadrature branch with a trivial weight
+        assert expected_min(lognormal_fit, 1) == pytest.approx(
+            lognormal_fit.mean, rel=1e-3
+        )
+
+    def test_degenerate(self):
+        fit = degenerate_fit([0.7] * 10)
+        assert expected_min(fit, 1) == pytest.approx(0.7, rel=1e-6)
+
+    def test_speedup_at_one_is_one(self, exp_fit, lognormal_fit):
+        for fit in (exp_fit, lognormal_fit):
+            assert predicted_speedup(fit, [1])[1] == pytest.approx(
+                1.0, rel=1e-6
+            )
+
+
+class TestVeryLargeK:
+    def test_exponential_keeps_dividing(self, exp_fit):
+        k = 2**20
+        assert expected_min(exp_fit, k) == pytest.approx(exp_fit.mean / k)
+        assert predicted_speedup(exp_fit, [k])[k] == pytest.approx(
+            k, rel=1e-9
+        )
+
+    def test_shifted_saturates_at_the_floor(self):
+        samples = 3.0 + np.random.default_rng(5).exponential(1.0, 400)
+        fit = fit_shifted_exponential(samples)
+        loc, scale = fit.params
+        k = 2**20
+        assert expected_min(fit, k) == pytest.approx(loc, rel=1e-4)
+        # speedup ceiling is E[T]/t0, not k
+        ceiling = (loc + scale) / loc
+        assert predicted_speedup(fit, [k])[k] == pytest.approx(
+            ceiling, rel=1e-3
+        )
+
+    def test_degenerate_never_speeds_up(self):
+        fit = degenerate_fit([0.7] * 10)
+        speedups = predicted_speedup(fit, [1, 2**16])
+        assert speedups[2**16] == pytest.approx(1.0, rel=1e-3)
+
+    def test_lognormal_large_k_is_finite_and_monotone(self, lognormal_fit):
+        values = [expected_min(lognormal_fit, k) for k in (1, 64, 4096)]
+        assert all(np.isfinite(v) and v > 0 for v in values)
+        assert values[0] > values[1] > values[2]
+
+
+class TestZeroShiftShiftedExponential:
+    def test_collapses_to_plain_exponential(self):
+        # a shifted-exp fit whose location ended up exactly 0 must behave
+        # like the memoryless exponential: E[min_k] = mean/k, speedup = k
+        from scipy import stats as sps
+
+        fit = DistributionFit(
+            name="shifted_exponential",
+            params=(0.0, 2.0),
+            mean=2.0,
+            frozen=sps.expon(loc=0.0, scale=2.0),
+            ks_statistic=0.0,
+            ks_pvalue=1.0,
+            log_likelihood=0.0,
+        )
+        for k in (1, 2, 32, 1024):
+            assert expected_min(fit, k) == pytest.approx(2.0 / k)
+        speedups = predicted_speedup(fit, [1, 8, 256])
+        for k, s in speedups.items():
+            assert s == pytest.approx(k, rel=1e-9)
+
+    def test_fitted_near_zero_shift_matches_exponential(self):
+        # fitting data that truly starts at ~0 should land close to the
+        # exponential answer even though the shifted form was used
+        rng = np.random.default_rng(6)
+        samples = rng.exponential(2.0, 2000)
+        shifted = fit_shifted_exponential(samples)
+        plain = fit_exponential(samples)
+        for k in (2, 16):
+            assert expected_min(shifted, k) == pytest.approx(
+                expected_min(plain, k), rel=0.05
+            )

@@ -1,0 +1,213 @@
+"""The `repro autoscale` verb and the autoscale flags on the cluster verbs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.autoscale import ModelStore
+from repro.cli import build_parser, main
+from repro.cluster.trace import RunSample, save_samples
+
+
+def warmed_store(path, family="costas", size=9, samples=None):
+    """A saved store with one exponential-ish model."""
+    if samples is None:
+        rng = np.random.default_rng(7)
+        samples = rng.exponential(0.2, size=200)
+    store = ModelStore(path, min_samples=5, refit_interval=8)
+    for value in samples:
+        store.observe(family, float(value), size=size)
+    store.save()
+    return store
+
+
+class TestAutoscaleParser:
+    def test_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["autoscale"])
+
+    def test_predict_parses_knobs(self):
+        args = build_parser().parse_args(
+            [
+                "autoscale", "predict", "models.json", "costas",
+                "--size", "12", "--deadline", "2.5", "--max-walkers", "16",
+            ]
+        )
+        assert args.family == "costas"
+        assert args.size == 12
+        assert args.deadline == 2.5
+        assert args.max_walkers == 16
+
+    def test_coordinator_accepts_autoscale_flags(self):
+        args = build_parser().parse_args(
+            [
+                "coordinator", "--autoscale", "m.json",
+                "--hedge-quantile", "0.95", "--min-hedge-delay", "0.1",
+            ]
+        )
+        assert args.autoscale == "m.json"
+        assert args.hedge_quantile == 0.95
+        assert args.min_hedge_delay == 0.1
+
+    def test_gateway_accepts_autoscale_flags(self):
+        args = build_parser().parse_args(
+            [
+                "gateway", "--connect", "localhost:7710",
+                "--autoscale", "m.json", "--cost-capacity", "120",
+            ]
+        )
+        assert args.autoscale == "m.json"
+        assert args.cost_capacity == 120.0
+
+
+class TestAutoscaleShow:
+    def test_empty_store(self, tmp_path, capsys):
+        assert main(["autoscale", "show", str(tmp_path / "m.json")]) == 0
+        assert "no models learned yet" in capsys.readouterr().out
+
+    def test_table_lists_models_and_plans(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        warmed_store(path)
+        assert main(["autoscale", "show", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "costas/9" in out
+        assert "costas" in out  # the family aggregate row
+        assert "exponential" in out
+        assert "efficiency" in out
+
+
+class TestAutoscalePredict:
+    def test_cold_store_reports_defaults(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        code = main(["autoscale", "predict", str(path), "queens"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "default rule" in out
+        assert "cold start" in out
+
+    def test_warm_store_plans_from_the_model(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        warmed_store(path)
+        code = main(
+            [
+                "autoscale", "predict", str(path), "costas",
+                "--size", "9", "--max-walkers", "32",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # exponential runtimes: efficiency stays ~1, plan hits the ceiling
+        assert "plan: 32 walker(s)" in out
+        assert "efficiency rule" in out
+        assert "costas/9" in out
+        assert "hedge stragglers after" in out
+        assert "walker-seconds" in out
+
+    def test_deadline_reports_hit_probability(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        warmed_store(path)
+        code = main(
+            [
+                "autoscale", "predict", str(path), "costas",
+                "--size", "9", "--deadline", "0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deadline rule" in out
+        assert "P(finish <= 0.5s)" in out
+
+
+class TestAutoscaleSeed:
+    def _samples_file(self, path, walls, solved=True):
+        samples = [
+            RunSample(
+                solved=solved,
+                wall_time=wall,
+                iterations=100,
+                seed=str(i),
+            )
+            for i, wall in enumerate(walls)
+        ]
+        save_samples(path, samples, meta={"spec": "costas(n=9)"})
+        return path
+
+    def test_seeds_solved_walls(self, tmp_path, capsys):
+        samples = self._samples_file(
+            tmp_path / "s.json", [0.1, 0.2, 0.3, 0.4, 0.5, 0.6]
+        )
+        store_path = tmp_path / "m.json"
+        code = main(
+            [
+                "autoscale", "seed", str(store_path), str(samples),
+                "--family", "costas", "--size", "9",
+            ]
+        )
+        assert code == 0
+        assert "seeded 6 solved wall time(s)" in capsys.readouterr().out
+        store = ModelStore.load(store_path)
+        model = store.get("costas", 9)
+        assert model is not None and model.n_observed == 6
+
+    def test_unsolved_runs_are_skipped(self, tmp_path, capsys):
+        samples = self._samples_file(
+            tmp_path / "s.json", [0.1, 0.2], solved=False
+        )
+        store_path = tmp_path / "m.json"
+        code = main(
+            [
+                "autoscale", "seed", str(store_path), str(samples),
+                "--family", "costas",
+            ]
+        )
+        assert code == 0
+        assert "2 unsolved skipped" in capsys.readouterr().out
+
+    def test_seed_then_predict_round_trip(self, tmp_path, capsys):
+        rng = np.random.default_rng(11)
+        samples = self._samples_file(
+            tmp_path / "s.json", list(rng.exponential(0.2, size=100))
+        )
+        store_path = tmp_path / "m.json"
+        assert main(
+            [
+                "autoscale", "seed", str(store_path), str(samples),
+                "--family", "costas", "--size", "9",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["autoscale", "predict", str(store_path), "costas", "--size", "9"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "efficiency rule" in out
+        assert "costas/9" in out
+
+    def test_corrupt_samples_file_is_a_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(
+            [
+                "autoscale", "seed", str(tmp_path / "m.json"), str(bad),
+                "--family", "costas",
+            ]
+        )
+        assert code == 2
+
+
+class TestAutoscaleExport:
+    def test_export_to_stdout(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        warmed_store(path)
+        assert main(["autoscale", "export", str(path)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert any(m["family"] == "costas" for m in data["models"])
+
+    def test_export_to_file(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        warmed_store(path)
+        out = tmp_path / "backup.json"
+        assert main(["autoscale", "export", str(path), "--out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["models"]
