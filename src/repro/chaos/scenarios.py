@@ -7,7 +7,7 @@ Every scenario is deterministic in the plan's injection sequence: the
 same seed produces the same ``plan.log`` (which faults fired, where).
 Wall-clock timings naturally vary, but the *decisions* replay.
 
-The five drills cover the failure matrix end to end:
+The drills cover the failure matrix end to end:
 
 ``worker-crash``
     a pool worker hard-exits mid-walk (``os._exit``); the node-local
@@ -30,6 +30,11 @@ The five drills cover the failure matrix end to end:
     one walk runs ~10x slower than its siblings; the coordinator hedges
     a clean copy onto another node and the job finishes far below the
     straggler's floor, with the hedge visible in the merged trace.
+``coop-partition``
+    the first few ``elite_push`` migration frames of a cooperative job
+    are dropped on the wire; the islands time out their migration rounds
+    and keep searching independently — the job still solves, and the
+    result's coop summary attributes the lost migrations.
 
 Scenario functions lazily import ``repro.net.testing`` — the protocol
 module imports this package for its frame-fault hook, so a top-level
@@ -83,6 +88,12 @@ def build_plan(name: str, seed: int = 0) -> FaultPlan:
     elif name == "straggler-hedge":
         faults = [
             WalkFault("slow", walk_id=3, iteration_delay=STRAGGLER_DELAY)
+        ]
+    elif name == "coop-partition":
+        # drop the first two full migration rounds of a two-island job
+        # (one elite_push per island per round); later rounds go through
+        faults = [
+            FrameFault("drop", message_type="elite_push", max_count=4)
         ]
     else:
         raise ChaosError(
@@ -313,6 +324,58 @@ def _run_straggler_hedge(
     )
 
 
+def _run_coop_partition(
+    plan: FaultPlan, workdir: Path
+) -> tuple[dict[str, bool], dict[str, Any]]:
+    from repro.coop import CoopConfig
+    from repro.net.testing import LocalCluster
+    from repro.service.jobs import JobStatus
+
+    # two islands on two nodes; the plan drops the first 4 elite_push
+    # frames (= 2 full ring rounds), so both islands sit out their
+    # migration_timeout at least twice and count the rounds as lost.
+    coop = CoopConfig(
+        topology="ring",
+        report_interval=16,
+        migration_timeout=0.2,
+    )
+    with LocalCluster(
+        n_nodes=2,
+        workers_per_node=2,
+        heartbeat_interval=0.1,
+        heartbeat_timeout=5.0,
+        chaos=plan,
+    ) as cluster:
+        client = cluster.client()
+        problem = _problem(10)
+        result = client.submit(
+            problem, 4, seed=11, config=_BIG, coop=coop
+        ).result(timeout=120)
+        counters = dict(cluster.coordinator.counters)
+    coop_stats = result.coop or {}
+    dropped = [
+        e
+        for e in plan.log
+        if e["site"] == "frame" and e["action"] == "drop"
+    ]
+    return (
+        {
+            "solved": result.status is JobStatus.SOLVED,
+            "valid_solution": result.best_config is not None
+            and bool(problem.is_solution(result.best_config)),
+            "migrations_dropped": len(dropped) >= 1,
+            # degradation accounting: the winner island's timed-out
+            # rounds surface in the result's coop summary
+            "loss_attributed": coop_stats.get("migrations_lost", 0) >= 1,
+        },
+        {
+            "coop": coop_stats,
+            "counters": counters,
+            "drops_fired": len(dropped),
+        },
+    )
+
+
 _SCENARIOS: dict[
     str, Callable[[FaultPlan, Path], tuple[dict[str, bool], dict[str, Any]]]
 ] = {
@@ -321,6 +384,7 @@ _SCENARIOS: dict[
     "node-partition": _run_node_partition,
     "coordinator-crash-mid-job": _run_coordinator_crash,
     "straggler-hedge": _run_straggler_hedge,
+    "coop-partition": _run_coop_partition,
 }
 
 SCENARIO_NAMES: tuple[str, ...] = tuple(_SCENARIOS)

@@ -14,6 +14,8 @@ Usage (after ``pip install -e .``)::
         --walkers 16 --stats
     python -m repro submit --connect localhost:7710 queens --set n=64 \
         --walkers 8 --trace out/
+    python -m repro submit --connect localhost:7710 magic_square --set n=20 \
+        --walkers 16 --coop --topology ring
     python -m repro trace out/
     python -m repro autoscale show models.json
     python -m repro autoscale predict models.json costas --size 12 --deadline 2
@@ -37,6 +39,7 @@ from repro.core.config import AdaptiveSearchConfig
 from repro.core.solver import AdaptiveSearch
 from repro.cluster.platforms import PLATFORMS
 from repro.cluster.trace import save_samples
+from repro.coop import TOPOLOGIES
 from repro.errors import ReproError
 from repro.harness.cache import SampleCache
 from repro.harness.report import run_experiment
@@ -248,7 +251,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: no --smoke/--json benches under {bench_dir}", file=sys.stderr)
         return 2
     if args.only:
-        wanted = set(args.only)
+        # short aliases for the long ablation-script names
+        aliases = {"coop": "abl_cooperation"}
+        wanted = {aliases.get(name, name) for name in args.only}
         scripts = [p for p in scripts if p.stem.removeprefix("bench_") in wanted]
         missing = wanted - {p.stem.removeprefix("bench_") for p in scripts}
         if missing:
@@ -637,6 +642,18 @@ def cmd_submit(args: argparse.Namespace) -> int:
 
     problem = make_problem(args.family, **_parse_params(args.set))
     config = _solver_config(args)
+    coop = None
+    if args.coop:
+        from repro.coop import CoopConfig
+
+        coop = CoopConfig(
+            topology=args.topology,
+            report_interval=args.report_interval,
+            adopt_interval=args.adopt_interval,
+            migration_interval=args.migration_interval,
+            migration_timeout=args.migration_timeout,
+            seed=args.coop_seed,
+        )
     _configure_tracing(args, "client")
     with ClusterClient(args.connect, reconnect=args.reconnect) as client:
         result = client.solve(
@@ -645,6 +662,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
             seed=args.seed,
             config=config,
             timeout=args.timeout,
+            coop=coop,
         )
         print(result.summary())
         if args.stats:
@@ -1281,6 +1299,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="record client-side telemetry as JSONL under this directory "
         "(run the coordinator/nodes with --trace into the same directory "
         "for a full cluster timeline)",
+    )
+    p_submit.add_argument(
+        "--coop",
+        action="store_true",
+        help="run the walks as cooperating islands (one per node slice) "
+        "with cross-node elite migration instead of an independent race",
+    )
+    p_submit.add_argument(
+        "--topology",
+        default="ring",
+        choices=list(TOPOLOGIES),
+        help="coop migration topology (with --coop; default ring)",
+    )
+    p_submit.add_argument(
+        "--report-interval",
+        type=int,
+        default=64,
+        metavar="ITERS",
+        help="iterations per synchronized island round (with --coop)",
+    )
+    p_submit.add_argument(
+        "--adopt-interval",
+        type=int,
+        default=256,
+        metavar="ITERS",
+        help="minimum iterations between elite adoptions (with --coop)",
+    )
+    p_submit.add_argument(
+        "--migration-interval",
+        type=int,
+        default=1,
+        metavar="ROUNDS",
+        help="island rounds between cross-island exchanges (with --coop)",
+    )
+    p_submit.add_argument(
+        "--migration-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="seconds an island waits for its elite_push before writing "
+        "the round off as lost (with --coop)",
+    )
+    p_submit.add_argument(
+        "--coop-seed",
+        type=int,
+        default=None,
+        help="adoption-RNG seed (with --coop; defaults to the job seed)",
     )
     p_submit.set_defaults(func=cmd_submit)
 

@@ -1,0 +1,37 @@
+"""Cross-node cooperative search: island topologies + elite migration.
+
+The paper's closing conjecture — that dependent multi-walk with
+inter-process communication is hard to make beat the independent scheme —
+is tested in-process by :mod:`repro.parallel.cooperative`.  This package
+lifts the same elite-pool scheme onto the cluster as an **island model**:
+
+- every node hosts an *island* of walkers around a local
+  :class:`~repro.parallel.cooperative.ElitePool`
+  (:class:`~repro.coop.island.IslandRunner`);
+- islands exchange elite (cost, configuration) pairs over protocol-v6
+  ``elite_report`` / ``elite_push`` frames, relayed by the coordinator
+  once per migration round;
+- who-sends-to-whom is a pluggable, deterministic topology
+  (:func:`~repro.coop.topology.migration_routes` — ``ring``, ``islands``,
+  ``all_to_all``, ``star``);
+- the whole scheme is one JSON-safe knob bundle
+  (:class:`~repro.coop.config.CoopConfig`) travelling with the job, and
+  degrades gracefully to independent multi-walk when migrations are lost.
+
+Entry points: ``ClusterClient.submit(..., coop=CoopConfig(...))``,
+``MultiWalkSolver(executor="coop", ...)``, and
+``repro submit --coop --topology ring``.
+"""
+
+from repro.coop.config import TOPOLOGIES, CoopConfig
+from repro.coop.island import IslandOutcome, IslandRunner, MigrantBatch
+from repro.coop.topology import migration_routes
+
+__all__ = [
+    "CoopConfig",
+    "TOPOLOGIES",
+    "IslandRunner",
+    "IslandOutcome",
+    "MigrantBatch",
+    "migration_routes",
+]

@@ -1,0 +1,91 @@
+"""Deterministic migration routing between islands.
+
+:func:`migration_routes` is the coordinator's whole routing policy: given
+the set of islands that reported in one migration round, it answers "whose
+elite does each island receive this round".  It is a pure function of
+(topology, sorted island ids, round index, group size, best island), so the
+relay — and therefore the migration event log — is reproducible from the
+job parameters alone.
+
+Island ids are coordinator-assigned small integers; they are sorted before
+routing so the result does not depend on dict ordering or on the dispatch
+rotation that decided which node hosts which island.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.coop.config import TOPOLOGIES
+from repro.errors import CoopError
+
+__all__ = ["migration_routes"]
+
+
+def migration_routes(
+    topology: str,
+    islands: Iterable[int],
+    *,
+    round_index: int = 0,
+    group_size: int = 2,
+    best_island: Optional[int] = None,
+) -> dict[int, list[int]]:
+    """Map each island to the (sorted) islands it receives elites from.
+
+    Parameters
+    ----------
+    topology:
+        one of :data:`~repro.coop.config.TOPOLOGIES`.
+    islands:
+        ids of the islands participating in this round.
+    round_index:
+        advances the ring: in round ``r`` island ``k`` sends to island
+        ``k + 1 + (r - 1) % (n - 1)`` (mod n), so over successive rounds a
+        ring of n islands cycles through every non-self target — elites
+        percolate everywhere without all-to-all traffic.
+    group_size:
+        width of the ``"islands"`` topology groups (consecutive islands in
+        sorted order form a group; the last group may be smaller).
+    best_island:
+        required for ``"star"``: the round's lowest-cost island, whose
+        elite is pushed to everyone else.
+
+    A single island (or an empty set) routes nothing — every present
+    island still maps to an empty source list, because the migration
+    round-trip protocol is uniform: every reporting island gets exactly
+    one push, possibly empty.
+    """
+    if topology not in TOPOLOGIES:
+        raise CoopError(
+            f"unknown topology {topology!r}; choose one of {', '.join(TOPOLOGIES)}"
+        )
+    if group_size < 1:
+        raise CoopError(f"group_size must be >= 1, got {group_size}")
+    members = sorted(set(islands))
+    routes: dict[int, list[int]] = {island: [] for island in members}
+    n = len(members)
+    if n < 2:
+        return routes
+
+    if topology == "ring":
+        shift = 1 + (max(round_index, 1) - 1) % (n - 1)
+        for position, source in enumerate(members):
+            routes[members[(position + shift) % n]].append(source)
+    elif topology == "islands":
+        for start in range(0, n, group_size):
+            group = members[start : start + group_size]
+            for target in group:
+                routes[target].extend(s for s in group if s != target)
+    elif topology == "all_to_all":
+        for target in members:
+            routes[target].extend(s for s in members if s != target)
+    else:  # star
+        if best_island is None or best_island not in routes:
+            raise CoopError(
+                f"star topology needs a best_island among {members}, "
+                f"got {best_island!r}"
+            )
+        for target in members:
+            if target != best_island:
+                routes[target].append(best_island)
+    return routes

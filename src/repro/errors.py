@@ -14,6 +14,7 @@ __all__ = [
     "SolverError",
     "ParallelError",
     "NetError",
+    "CoopError",
     "GatewayError",
     "StatsError",
     "DegenerateSamplesError",
@@ -48,6 +49,10 @@ class ParallelError(ReproError):
 
 class NetError(ReproError):
     """Failures of the distributed coordinator/node backend."""
+
+
+class CoopError(ReproError):
+    """Invalid cooperative-search (island model) configuration or state."""
 
 
 class GatewayError(ReproError):

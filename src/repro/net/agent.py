@@ -33,12 +33,19 @@ work to another machine (the coordinator's re-dispatch).
 from __future__ import annotations
 
 import asyncio
+import queue
+import threading
 from typing import Any, Optional
 
+import numpy as np
+
+from repro.coop import CoopConfig, IslandRunner, MigrantBatch
+from repro.core.config import AdaptiveSearchConfig
 from repro.errors import NetError
 from repro.net.protocol import (
     PROTOCOL_VERSION,
     Message,
+    pickle_blob,
     read_message,
     unpickle_blob,
     write_message,
@@ -61,6 +68,31 @@ class _Slice:
         self.handles: dict[int, Any] = {}  # walk_id -> local JobHandle
         self.reported: set[int] = set()
         self.cancelled = False
+
+
+class _Island:
+    """One hosted island (protocol v6 cooperative assignment).
+
+    Unlike independent walks — which become single-walk jobs on the warm
+    worker pool — an island is one dedicated thread driving resumable
+    sessions in synchronized rounds: the round barrier needs all of the
+    island's walkers advancing together, which the pool's independent
+    completion model cannot express.
+    """
+
+    def __init__(
+        self, job_id: int, island: int, generation: int, walk_ids: list[int]
+    ) -> None:
+        self.job_id = job_id
+        self.island = island
+        self.generation = generation
+        self.walk_ids = walk_ids
+        self.inbox: "queue.Queue[MigrantBatch]" = queue.Queue()
+        self.cancel = threading.Event()
+        self.thread: threading.Thread | None = None
+        self.outcome: Any = None
+        self.error: str | None = None
+        self.reported = False
 
 
 class NodeAgent:
@@ -138,8 +170,11 @@ class NodeAgent:
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._send_lock = asyncio.Lock()
+        self._loop: asyncio.AbstractEventLoop | None = None
         self._tasks: list[asyncio.Task] = []
         self._slices: dict[tuple[int, int], _Slice] = {}
+        #: (job_id, island id) -> hosted island thread (protocol v6)
+        self._islands: dict[tuple[int, int], _Island] = {}
         self._cancelled: dict[int, int] = {}  # job_id -> max cancelled gen
         #: protocol v4: problems received so far, by content digest — an
         #: assign naming a cached digest carries no problem payload at all
@@ -153,6 +188,7 @@ class NodeAgent:
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Connect, handshake, start the worker pool and the agent tasks."""
+        self._loop = asyncio.get_running_loop()
         try:
             self._reader, self._writer = await asyncio.open_connection(
                 self.host, self.port
@@ -225,6 +261,15 @@ class NodeAgent:
             for handle in slice_state.handles.values():
                 handle.cancel()
         self._slices.clear()
+        for island_state in self._islands.values():
+            island_state.cancel.set()
+        for island_state in self._islands.values():
+            if island_state.thread is not None:
+                # the island loop polls its cancel event every <= 50ms, so
+                # a short join is enough; a wedged thread is daemonic and
+                # must not block teardown
+                await asyncio.to_thread(island_state.thread.join, 1.0)
+        self._islands.clear()
         if self._owns_service and self._service is not None:
             await asyncio.to_thread(
                 self._service.shutdown, wait_jobs=False
@@ -245,6 +290,8 @@ class NodeAgent:
                     self._on_assign(message)
                 elif message.type == "cancel":
                     self._on_cancel(message)
+                elif message.type == "elite_push":
+                    self._on_elite_push(message)
                 elif message.type == "shutdown":
                     break
         except (NetError, ConnectionError, OSError):
@@ -276,6 +323,11 @@ class NodeAgent:
         config = payload.get("config")
         seeds = payload["seeds"]
         trace_id = message.get("trace_id") or ""
+        if message.get("coop") is not None:
+            # protocol v6: a cooperative assignment is one island, not a
+            # bag of independent walks
+            self._start_island(message, problem, config, seeds, trace_id)
+            return
         # protocol v5: the cluster-level priority orders this node's own
         # dispatch queue too, so a premium job overtakes queued batch work
         priority = int(message.get("priority", 0) or 0)
@@ -305,6 +357,165 @@ class NodeAgent:
                 )
             )
 
+    # ------------------------------------------------------------------
+    # cooperative islands (protocol v6)
+    # ------------------------------------------------------------------
+    def _start_island(
+        self,
+        message: Message,
+        problem: Any,
+        config: Any,
+        seeds: dict[int, Any],
+        trace_id: str,
+    ) -> None:
+        """Host one island on a dedicated thread (idempotent per id)."""
+        job_id = message["job_id"]
+        island_id = int(message["island"])
+        key = (job_id, island_id)
+        if key in self._islands:
+            return  # duplicate assign
+        walk_ids = [int(w) for w in message["walk_ids"]]
+        state = _Island(job_id, island_id, message["generation"], walk_ids)
+        runner = IslandRunner(
+            problem,
+            config if config is not None else AdaptiveSearchConfig(),
+            CoopConfig.from_wire(message["coop"]),
+            island=island_id,
+            walk_ids=walk_ids,
+            seeds=[seeds[walk_id] for walk_id in walk_ids],
+            send_report=self._make_report_sender(job_id, island_id),
+            inbox=state.inbox,
+            cancel=state.cancel,
+            recorder=self.recorder,
+            trace_id=trace_id,
+            job_id=job_id,
+        )
+
+        def _run() -> None:
+            try:
+                state.outcome = runner.run()
+            except Exception as err:  # noqa: BLE001 - reported upstream
+                state.error = f"island {island_id} crashed: {err!r}"
+
+        state.thread = threading.Thread(
+            target=_run,
+            name=f"{self.name}-island-{job_id}-{island_id}",
+            daemon=True,
+        )
+        self._islands[key] = state
+        state.thread.start()
+
+    def _make_report_sender(self, job_id: int, island_id: int) -> Any:
+        """A thread-safe ``send_report`` callable for one island.
+
+        Called from the island thread; the frame is scheduled onto the
+        agent's event loop (fire-and-forget — a send failure looks like a
+        lost push to the island, which times out and continues)."""
+
+        def send_report(round_index: int, cost: float, config: Any) -> None:
+            report = Message(
+                "elite_report",
+                {
+                    "job_id": job_id,
+                    "island": island_id,
+                    "round_index": int(round_index),
+                    "cost": float(cost),
+                },
+                blob=pickle_blob(np.asarray(config, dtype=np.int64)),
+            )
+            loop = self._loop
+            if loop is None or loop.is_closed():
+                return
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    self._send_quietly(report), loop
+                )
+            except RuntimeError:
+                pass  # loop shut down mid-report: island will time out
+
+        return send_report
+
+    def _on_elite_push(self, message: Message) -> None:
+        """Route a relayed migrant batch into its island's inbox."""
+        key = (message["job_id"], message.get("island"))
+        state = self._islands.get(key)
+        if state is None or state.cancel.is_set():
+            return  # island finished/cancelled: push arrived too late
+        metas = message.get("migrants") or []
+        raws = unpickle_blob(message.blob) if message.blob is not None else []
+        migrants = []
+        for meta, raw in zip(metas, raws):
+            try:
+                config = unpickle_blob(raw)
+            except Exception:
+                continue  # one corrupt migrant must not kill the batch
+            migrants.append(
+                (
+                    int(meta.get("from", -1)),
+                    float(meta.get("cost", 0.0)),
+                    config,
+                )
+            )
+        state.inbox.put(
+            MigrantBatch(
+                round_index=int(message.get("round_index", 0)),
+                migrants=tuple(migrants),
+            )
+        )
+
+    async def _report_island(self, state: _Island) -> None:
+        """Ship one finished island's stats, then its walk outcomes.
+
+        Order matters: ``island_stats`` first, so a winning island's
+        adoption/migration counters are folded into the job-level coop
+        summary before the solved walk triggers the job finish.  Cancelled
+        islands report nothing — their counters died with the job.
+        """
+        try:
+            if state.error is not None:
+                for walk_id in state.walk_ids:
+                    await self._send(
+                        Message(
+                            "walk_result",
+                            {
+                                "job_id": state.job_id,
+                                "generation": state.generation,
+                                "walk_id": walk_id,
+                                "error": state.error,
+                            },
+                        )
+                    )
+                return
+            outcome = state.outcome
+            if outcome is None or outcome.cancelled:
+                return
+            await self._send(
+                Message(
+                    "island_stats",
+                    {
+                        "job_id": state.job_id,
+                        "island": state.island,
+                        "rounds": outcome.rounds,
+                        "reports_sent": outcome.stats.get("reports_sent", 0),
+                        "adoptions": outcome.stats.get("adoptions", 0),
+                        "migrations_in": outcome.stats.get(
+                            "migrations_in", 0
+                        ),
+                        "migrations_lost": outcome.stats.get(
+                            "migrations_lost", 0
+                        ),
+                    },
+                )
+            )
+            for walk in outcome.walks:
+                await self._send(
+                    outcome_to_message(
+                        state.job_id, state.generation, walk
+                    )
+                )
+        except (ConnectionError, OSError):
+            pass  # the read loop will notice and tear the agent down
+
     def _on_cancel(self, message: Message) -> None:
         job_id = message["job_id"]
         generation = message["generation"]
@@ -316,6 +527,9 @@ class NodeAgent:
                 for walk_id, handle in slice_state.handles.items():
                     if walk_id not in slice_state.reported:
                         handle.cancel()
+        for (island_job, _), island_state in self._islands.items():
+            if island_job == job_id and island_state.generation <= generation:
+                island_state.cancel.set()
         # protocol v2: acknowledge after the local cancels are requested,
         # echoing sent_at verbatim so the coordinator measures the round
         # trip on its own clock (and trace_id so the ack stays correlated
@@ -393,13 +607,21 @@ class NodeAgent:
             await asyncio.sleep(self.heartbeat_interval)
 
     def _outstanding_walks(self) -> int:
-        return sum(
+        pool_walks = sum(
             1
             for s in self._slices.values()
             if not s.cancelled
             for walk_id, handle in s.handles.items()
             if walk_id not in s.reported and not handle.done()
         )
+        island_walks = sum(
+            len(i.walk_ids)
+            for i in self._islands.values()
+            if not i.cancel.is_set()
+            and i.thread is not None
+            and i.thread.is_alive()
+        )
+        return pool_walks + island_walks
 
     async def _pump_loop(self) -> None:
         """Stream finished walks to the coordinator as they complete."""
@@ -422,6 +644,18 @@ class NodeAgent:
                     await self._report_walk(slice_state, walk_id, handle)
                 if len(slice_state.reported) == len(slice_state.handles):
                     del self._slices[key]
+            for key in list(self._islands):
+                island_state = self._islands.get(key)
+                if (
+                    island_state is None
+                    or island_state.reported
+                    or island_state.thread is None
+                    or island_state.thread.is_alive()
+                ):
+                    continue
+                island_state.reported = True
+                await self._report_island(island_state)
+                del self._islands[key]
             await asyncio.sleep(self.pump_interval)
 
     async def _report_walk(

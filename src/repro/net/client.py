@@ -37,6 +37,7 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
+from repro.coop import CoopConfig
 from repro.core.config import AdaptiveSearchConfig
 from repro.errors import NetError
 from repro.net.protocol import (
@@ -263,6 +264,7 @@ class ClusterClient:
         deadline: float | None = None,
         client_key: str | None = None,
         priority: int = 0,
+        coop: CoopConfig | dict | None = None,
     ) -> NetJobHandle:
         """Submit one multi-walk job to the cluster; returns immediately.
 
@@ -272,9 +274,26 @@ class ClusterClient:
         own to make retries across *client* restarts idempotent too.
         ``priority`` (protocol v5) orders the coordinator's pending queue
         and each node's local dispatch queue — higher runs sooner; the
-        default 0 preserves plain FIFO.
+        default 0 preserves plain FIFO.  ``coop`` (protocol v6) turns the
+        job cooperative: each node slice becomes an island exchanging
+        elites per the :class:`~repro.coop.CoopConfig` topology; a
+        ``coop`` without a seed inherits this job's integer ``seed`` (or a
+        random one), so a fixed job seed replays the exact migrations.
         """
         self.connect()
+        coop_wire: Optional[dict[str, Any]] = None
+        if coop is not None:
+            coop_config = (
+                coop
+                if isinstance(coop, CoopConfig)
+                else CoopConfig.from_wire(coop)
+            )
+            if coop_config.seed is None:
+                entropy = np.random.SeedSequence(
+                    seed if isinstance(seed, (int, np.integer)) else None
+                ).entropy
+                coop_config = coop_config.with_seed(int(entropy))
+            coop_wire = coop_config.to_wire()
         if seeds is not None:
             seed_list = list(seeds)
             if len(seed_list) != n_walkers:
@@ -313,6 +332,8 @@ class ClusterClient:
                 "deadline": deadline,
                 "priority": int(priority),
             }
+            if coop_wire is not None:
+                handle._submit_fields["coop"] = coop_wire
             handle._submit_blob = blob
             self._by_request[request_id] = handle
         if self.recorder.enabled:

@@ -48,14 +48,18 @@ connection is plenty even at large node counts.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import itertools
+import math
 import time
 from collections import OrderedDict, deque
 from typing import Any, Optional
 
-from repro.errors import NetError
+from repro.coop import CoopConfig, migration_routes
+from repro.errors import CoopError, NetError
 from repro.net.journal import JobJournal, decode_payload, replay_journal
 from repro.net.protocol import (
+    MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     Message,
     pickle_blob,
@@ -74,11 +78,13 @@ from repro.telemetry.events import (
     AssignEvent,
     CancelAck,
     CancelBroadcast,
+    EliteReport,
     FirstSolve,
     HedgeDispatch,
     JobDispatch,
     JobFinish,
     JobSubmit,
+    Migration,
 )
 from repro.telemetry.recorder import Recorder, get_recorder
 
@@ -122,11 +128,21 @@ class _Conn:
 class _Node:
     """Registry entry for one connected node agent."""
 
-    def __init__(self, node_id: int, name: str, capacity: int, conn: _Conn) -> None:
+    def __init__(
+        self,
+        node_id: int,
+        name: str,
+        capacity: int,
+        conn: _Conn,
+        protocol: int = PROTOCOL_VERSION,
+    ) -> None:
         self.node_id = node_id
         self.name = name
         self.capacity = capacity
         self.conn = conn
+        #: negotiated protocol version (v6 handshake accepts a window);
+        #: cooperative jobs are only dispatched to >= 6 nodes
+        self.protocol = protocol
         self.last_heartbeat = time.monotonic()
         self.load: dict[str, Any] = {}
         #: job_id -> walk ids currently assigned to this node
@@ -136,6 +152,55 @@ class _Node:
         #: pickled problem (reset naturally on reconnect: new _Node)
         self.known_problems: set[str] = set()
         self.lost = False
+
+
+class _CoopState:
+    """Coordinator-side bookkeeping for one cooperative (island) job.
+
+    The coordinator's role in a migration round is a *barrier relay*:
+    every active island sends one ``elite_report`` per round and then
+    waits; once every active island has an unconsumed report the
+    coordinator routes them through the job's topology and answers every
+    reporting island with exactly one ``elite_push`` (possibly carrying
+    no migrants) — a uniform protocol with deterministic content.  The
+    barrier counts *reports per island*, not matching round numbers, so
+    an island re-created by a re-dispatch (whose local round counter
+    restarts at 1) still participates instead of wedging the relay.
+    Islands that die or finish shrink the expected set, and an island
+    whose push is lost times out locally and continues (degradation,
+    never deadlock).
+    """
+
+    def __init__(self, config: CoopConfig) -> None:
+        self.config = config
+        #: island id -> {"node": node_id, "walks": set, "generation": int}
+        self.islands: dict[int, dict[str, Any]] = {}
+        self.done: set[int] = set()  # sent island_stats (finished cleanly)
+        self.lost: set[int] = set()  # hosting node died
+        self.next_island = 0
+        #: island id -> (island-local round index, cost, raw pickled
+        #: config bytes) — at most one unconsumed report per island
+        self.pending: dict[int, tuple[int, float, bytes]] = {}
+        self.best_cost = math.inf
+        self.stats = {
+            "elite_reports": 0,
+            "rounds_relayed": 0,
+            "rounds_dropped": 0,
+            "migrations_relayed": 0,
+            "pushes_failed": 0,
+            "island_reports": 0,
+            "island_adoptions": 0,
+            "island_migrations_in": 0,
+            "island_migrations_lost": 0,
+        }
+
+    def active_islands(self) -> set[int]:
+        """Islands still expected to report (live node, not finished)."""
+        return {
+            island
+            for island in self.islands
+            if island not in self.done and island not in self.lost
+        }
 
 
 class _NetJob:
@@ -153,6 +218,7 @@ class _NetJob:
         trace_id: str = "",
         client_key: str = "",
         priority: int = 0,
+        coop: Optional[dict] = None,
     ) -> None:
         self.job_id = job_id
         self.trace_id = trace_id
@@ -186,6 +252,12 @@ class _NetJob:
         self.hedged: dict[int, int] = {}
         self.hedge_count = 0
         self._problem_digest: Optional[str] = None
+        #: protocol v6: the validated coop wire dict (None = independent
+        #: multi-walk) and the live island/migration bookkeeping
+        self.coop = coop
+        self.coop_state = (
+            _CoopState(CoopConfig.from_wire(coop)) if coop is not None else None
+        )
 
     @property
     def problem_digest(self) -> str:
@@ -345,6 +417,12 @@ class Coordinator:
             "problems_shipped": 0,
             "repeat_assigns": 0,
             "repeat_assign_bytes": 0,
+            "coop_jobs": 0,
+            "coop_refused": 0,
+            "elite_reports": 0,
+            "migrations_relayed": 0,
+            "migrations_lost": 0,
+            "islands_lost": 0,
         }
 
     # ------------------------------------------------------------------
@@ -383,6 +461,14 @@ class Coordinator:
                 continue  # corrupt entry: skip it, recover the rest
             if not seeds:
                 continue
+            coop = entry.get("coop")
+            if coop is not None:
+                try:
+                    CoopConfig.from_wire(coop)
+                except CoopError:
+                    # a corrupt coop dict must not lose the job: recover
+                    # it as plain independent multi-walk instead
+                    coop = None
             job = _NetJob(
                 job_id=job_id,
                 request_id=0,
@@ -394,6 +480,7 @@ class Coordinator:
                 trace_id=entry.get("trace_id") or "",
                 client_key=entry.get("client_key") or "",
                 priority=int(entry.get("priority", 0) or 0),
+                coop=coop,
             )
             # strictly above every journaled assignment: pre-crash reports
             # from surviving nodes stay stale (recovery invariant 2)
@@ -491,16 +578,22 @@ class Coordinator:
         if hello is None or hello.type != "hello":
             conn.abort()
             return
-        if hello.get("protocol") != PROTOCOL_VERSION:
+        peer_version = hello.get("protocol")
+        if (
+            not isinstance(peer_version, int)
+            or isinstance(peer_version, bool)
+            or not MIN_PROTOCOL_VERSION <= peer_version <= PROTOCOL_VERSION
+        ):
             await conn.send(
                 Message(
                     "reject",
                     {
                         "protocol": PROTOCOL_VERSION,
+                        "min_protocol": MIN_PROTOCOL_VERSION,
                         "error": (
                             f"protocol version mismatch: coordinator speaks "
-                            f"{PROTOCOL_VERSION}, peer sent "
-                            f"{hello.get('protocol')!r}"
+                            f"{MIN_PROTOCOL_VERSION}..{PROTOCOL_VERSION}, "
+                            f"peer sent {peer_version!r}"
                         ),
                     },
                 )
@@ -512,24 +605,34 @@ class Coordinator:
             return
         role = hello.get("role")
         if role == "node":
-            await self._run_node(conn, hello)
+            await self._run_node(conn, hello, peer_version)
         elif role == "client":
-            await self._run_client(conn, hello)
+            await self._run_client(conn, hello, peer_version)
         else:
             conn.abort()
 
-    async def _run_node(self, conn: _Conn, hello: Message) -> None:
+    async def _run_node(
+        self, conn: _Conn, hello: Message, protocol: int
+    ) -> None:
         node_id = next(self._node_ids)
         node = _Node(
             node_id=node_id,
             name=hello.get("name") or f"node-{node_id}",
             capacity=int(hello.get("capacity", 1)),
             conn=conn,
+            protocol=protocol,
         )
         self._nodes[node_id] = node
         self.counters["nodes_joined"] += 1
         await conn.send(
-            Message("welcome", {"protocol": PROTOCOL_VERSION, "node_id": node_id})
+            Message(
+                "welcome",
+                {
+                    "protocol": PROTOCOL_VERSION,
+                    "negotiated": protocol,
+                    "node_id": node_id,
+                },
+            )
         )
         await self._flush_pending()
         try:
@@ -550,6 +653,12 @@ class Coordinator:
                 elif message.type == "walk_result":
                     node.last_heartbeat = time.monotonic()
                     await self._on_walk_result(node, message)
+                elif message.type == "elite_report":
+                    node.last_heartbeat = time.monotonic()
+                    await self._on_elite_report(node, message)
+                elif message.type == "island_stats":
+                    node.last_heartbeat = time.monotonic()
+                    await self._on_island_stats(node, message)
                 elif message.type == "cancel_ack":
                     node.last_heartbeat = time.monotonic()
                     self._on_cancel_ack(node, message)
@@ -576,10 +685,17 @@ class Coordinator:
                     "at": now,
                 }
 
-    async def _run_client(self, conn: _Conn, hello: Message) -> None:
+    async def _run_client(
+        self, conn: _Conn, hello: Message, protocol: int
+    ) -> None:
         conn.resilient = bool(hello.get("reconnect", False))
         self._clients.add(conn)
-        await conn.send(Message("welcome", {"protocol": PROTOCOL_VERSION}))
+        await conn.send(
+            Message(
+                "welcome",
+                {"protocol": PROTOCOL_VERSION, "negotiated": protocol},
+            )
+        )
         try:
             while True:
                 message = await read_message(conn.reader)
@@ -644,6 +760,62 @@ class Coordinator:
                     )
                 )
                 return
+        coop = message.get("coop")
+        if coop is not None:
+            # protocol v6: validate the coop wire dict and refuse the job
+            # outright while any live node negotiated an older protocol —
+            # a cooperative job degraded to "no migration on half the
+            # cluster" would be silently wrong, so fail loudly instead
+            try:
+                coop_config = CoopConfig.from_wire(coop)
+            except CoopError as err:
+                await client.send(
+                    Message(
+                        "error",
+                        {
+                            "request_id": request_id,
+                            "error": f"invalid coop config: {err}",
+                        },
+                    )
+                )
+                return
+            if coop_config.seed is None:
+                await client.send(
+                    Message(
+                        "error",
+                        {
+                            "request_id": request_id,
+                            "error": (
+                                "cooperative submit carries no coop seed "
+                                "(the client derives it from the job seed)"
+                            ),
+                        },
+                    )
+                )
+                return
+            stale = sorted(
+                node.name
+                for node in self._live_nodes()
+                if node.protocol < 6
+            )
+            if stale:
+                self.counters["coop_refused"] += 1
+                await client.send(
+                    Message(
+                        "error",
+                        {
+                            "request_id": request_id,
+                            "error": (
+                                "cooperative jobs need protocol >= 6 on "
+                                "every node; these nodes negotiated an "
+                                "older version: " + ", ".join(stale)
+                            ),
+                        },
+                    )
+                )
+                return
+            coop = coop_config.to_wire()
+            self.counters["coop_jobs"] += 1
         job_id = next(self._job_ids)
         job = _NetJob(
             job_id=job_id,
@@ -656,6 +828,7 @@ class Coordinator:
             trace_id=message.get("trace_id") or "",
             client_key=client_key,
             priority=int(message.get("priority", 0) or 0),
+            coop=coop,
         )
         deadline = message.get("deadline")
         if deadline is not None:
@@ -674,6 +847,7 @@ class Coordinator:
                 deadline=deadline,
                 payload=message.blob or b"",
                 priority=job.priority,
+                coop=coop,
             )
         self.counters["jobs_submitted"] += 1
         if self.recorder.enabled:
@@ -739,6 +913,20 @@ class Coordinator:
         """
         if await self._maybe_crash("dispatch"):
             return
+        if job.coop_state is not None:
+            # cooperative jobs only run on nodes that speak the v6 island
+            # frames; the submit-time gate already refused mixed clusters,
+            # but nodes may have joined (or downgraded peers reconnected)
+            # since, so the dispatch path re-filters defensively
+            nodes = [n for n in nodes if n.protocol >= 6]
+            if not nodes:
+                job.error = (
+                    f"cooperative job {job.job_id} needs protocol >= 6 "
+                    f"nodes and none of the live nodes qualify"
+                )
+                job.degraded = bool(job.outcomes)
+                await self._finish(job, JobStatus.FAILED)
+                return
         start = self._dispatch_offset % len(nodes)
         self._dispatch_offset += 1
         nodes = nodes[start:] + nodes[:start]
@@ -748,6 +936,19 @@ class Coordinator:
             slice_ids = [walk_ids[i] for i in index_slice]
             if not slice_ids:
                 continue
+            island_id: Optional[int] = None
+            if job.coop_state is not None:
+                # one island per node-slice; ids are never reused, so a
+                # replacement island after a re-dispatch is a *new*
+                # identity and stale elite reports stay unambiguous
+                state = job.coop_state
+                island_id = state.next_island
+                state.next_island += 1
+                state.islands[island_id] = {
+                    "node": node.node_id,
+                    "walks": set(slice_ids),
+                    "generation": job.generation,
+                }
             node.assigned.setdefault(job.job_id, set()).update(slice_ids)
             for walk_id in slice_ids:
                 job.dispatched_at[walk_id] = now
@@ -771,17 +972,21 @@ class Coordinator:
                             node=node.name,
                         )
                     )
+            fields: dict[str, Any] = {
+                "job_id": job.job_id,
+                "generation": job.generation,
+                "walk_ids": slice_ids,
+                "trace_id": job.trace_id,
+                "priority": job.priority,
+            }
+            if island_id is not None:
+                fields["coop"] = job.coop
+                fields["island"] = island_id
             try:
                 await node.conn.send(
                     Message(
                         "assign",
-                        {
-                            "job_id": job.job_id,
-                            "generation": job.generation,
-                            "walk_ids": slice_ids,
-                            "trace_id": job.trace_id,
-                            "priority": job.priority,
-                        },
+                        fields,
                         blob=self._assign_blob(job, node, slice_ids),
                     )
                 )
@@ -892,6 +1097,180 @@ class Coordinator:
         except (TypeError, ValueError):
             pass  # a malformed problem shape must never kill the reader
 
+    # ------------------------------------------------------------------
+    # cooperative search: elite migration relay (protocol v6)
+    # ------------------------------------------------------------------
+    async def _on_elite_report(self, node: _Node, message: Message) -> None:
+        """Buffer one island's elite for the barrier relay."""
+        self.counters["elite_reports"] += 1
+        job = self._jobs.get(message.get("job_id"))
+        if job is None or job.coop_state is None:
+            self.counters["stale_results"] += 1
+            return
+        state = job.coop_state
+        island = message.get("island")
+        if (
+            island not in state.islands
+            or island in state.done
+            or island in state.lost
+            or message.blob is None
+        ):
+            # an island id from a pre-redispatch assignment (ids are never
+            # reused) or a malformed frame: drop, never mis-route
+            self.counters["stale_results"] += 1
+            return
+        round_index = int(message.get("round_index", 0))
+        cost = float(message["cost"])
+        state.stats["elite_reports"] += 1
+        if cost < state.best_cost:
+            state.best_cost = cost
+        # at most one unconsumed report per island: a newer report simply
+        # replaces one that never completed a barrier (its island timed
+        # out locally and moved on)
+        state.pending[island] = (round_index, cost, message.blob)
+        if self.recorder.enabled:
+            self.recorder.emit(
+                EliteReport(
+                    trace_id=job.trace_id,
+                    job_id=job.job_id,
+                    island=island,
+                    round_index=round_index,
+                    cost=cost,
+                    node=node.name,
+                )
+            )
+        await self._relay_rounds(job)
+
+    async def _relay_rounds(self, job: _NetJob) -> None:
+        """Relay every migration round whose barrier is now complete.
+
+        Called whenever the barrier inputs change: a report arrived, an
+        island finished (``island_stats``), or a hosting node died — the
+        last two *shrink* the expected set, which can complete a round
+        that was waiting on the shrunk-away island.
+        """
+        state = job.coop_state
+        if state is None:
+            return
+        # reports from islands that died or finished while buffered can
+        # never be pushed back — drop them and account the loss
+        for island in list(state.pending):
+            if island in state.done or island in state.lost:
+                del state.pending[island]
+                state.stats["rounds_dropped"] += 1
+                self.counters["migrations_lost"] += 1
+        active = state.active_islands()
+        if not active or not active <= set(state.pending):
+            return
+        reports = {island: state.pending.pop(island) for island in active}
+        await self._relay_round(job, reports)
+
+    async def _relay_round(
+        self, job: _NetJob, reports: dict[int, tuple[int, float, bytes]]
+    ) -> None:
+        """Route one complete round's elites and push the migrant batches.
+
+        Everything here is a pure function of the (sorted) reports and the
+        relay counter, so two runs with the same seed and topology produce
+        bit-identical migration logs — the determinism the trace-diff test
+        asserts.  The coordinator never unpickles a configuration: the raw
+        report blobs are forwarded verbatim inside the push blob.
+        """
+        state = job.coop_state
+        assert state is not None
+        relay_index = state.stats["rounds_relayed"] + 1
+        participants = sorted(reports)
+        best_island = min(participants, key=lambda i: (reports[i][1], i))
+        try:
+            routes = migration_routes(
+                state.config.topology,
+                participants,
+                round_index=relay_index,
+                group_size=state.config.group_size,
+                best_island=best_island,
+            )
+        except CoopError:  # pragma: no cover - defensive: topologies are
+            state.stats["rounds_dropped"] += 1  # validated at submit
+            return
+        state.stats["rounds_relayed"] += 1
+        for target in participants:
+            sources = routes.get(target, [])
+            entry = state.islands.get(target)
+            node = self._nodes.get(entry["node"]) if entry else None
+            if node is None or node.lost or node.conn.closed:
+                state.stats["pushes_failed"] += 1
+                self.counters["migrations_lost"] += len(sources)
+                continue
+            push = Message(
+                "elite_push",
+                {
+                    "job_id": job.job_id,
+                    "island": target,
+                    # echo the *target's own* reported round index so the
+                    # island's inbox matches it against its current round
+                    "round_index": reports[target][0],
+                    "migrants": [
+                        {"from": source, "cost": reports[source][1]}
+                        for source in sources
+                    ],
+                },
+                blob=(
+                    pickle_blob([reports[source][2] for source in sources])
+                    if sources
+                    else None
+                ),
+            )
+            try:
+                await node.conn.send(push)
+            except (ConnectionError, OSError):
+                node.conn.abort()
+                state.stats["pushes_failed"] += 1
+                self.counters["migrations_lost"] += len(sources)
+                continue
+            state.stats["migrations_relayed"] += len(sources)
+            self.counters["migrations_relayed"] += len(sources)
+            if self.recorder.enabled:
+                for source in sources:
+                    self.recorder.emit(
+                        Migration(
+                            trace_id=job.trace_id,
+                            job_id=job.job_id,
+                            round_index=relay_index,
+                            from_island=source,
+                            to_island=target,
+                            cost=reports[source][1],
+                            digest=hashlib.sha256(
+                                reports[source][2]
+                            ).hexdigest()[:12],
+                        )
+                    )
+
+    async def _on_island_stats(self, node: _Node, message: Message) -> None:
+        """An island finished: fold its counters, shrink the barrier."""
+        job = self._jobs.get(message.get("job_id"))
+        if job is None or job.coop_state is None:
+            return
+        state = job.coop_state
+        island = message.get("island")
+        if (
+            island not in state.islands
+            or island in state.done
+            or island in state.lost
+        ):
+            return
+        state.done.add(island)
+        state.stats["island_reports"] += 1
+        state.stats["island_adoptions"] += int(message.get("adoptions", 0))
+        state.stats["island_migrations_in"] += int(
+            message.get("migrations_in", 0)
+        )
+        lost = int(message.get("migrations_lost", 0))
+        state.stats["island_migrations_lost"] += lost
+        self.counters["migrations_lost"] += lost
+        # the expected set shrank: a round waiting on this island may now
+        # be complete
+        await self._relay_rounds(job)
+
     async def _broadcast_cancel(self, job: _NetJob) -> None:
         """Tell every node holding a slice of ``job`` to stop its walks.
 
@@ -996,6 +1375,31 @@ class Coordinator:
                 job_id=job.job_id,
                 status=status.value,
             )
+        coop_summary: Optional[dict] = None
+        if job.coop_state is not None:
+            state = job.coop_state
+            stats = state.stats
+            coop_summary = {
+                "topology": state.config.topology,
+                "islands": state.next_island,
+                "islands_lost": len(state.lost),
+                "elite_reports": stats["elite_reports"],
+                "rounds_relayed": stats["rounds_relayed"],
+                "rounds_dropped": stats["rounds_dropped"],
+                "migrations_relayed": stats["migrations_relayed"],
+                # everything cooperation promised but never delivered:
+                # island-side push timeouts plus relay-side losses
+                "migrations_lost": (
+                    stats["island_migrations_lost"]
+                    + stats["rounds_dropped"]
+                    + stats["pushes_failed"]
+                ),
+                "adoptions": stats["island_adoptions"],
+                "migrations_in": stats["island_migrations_in"],
+                "best_cost": (
+                    state.best_cost if math.isfinite(state.best_cost) else None
+                ),
+            }
         result = NetJobResult(
             job_id=job.job_id,
             status=status,
@@ -1008,6 +1412,7 @@ class Coordinator:
             redispatches=job.redispatches,
             wall_time=wall_time,
             degraded=job.degraded,
+            coop=coop_summary,
         )
         if job.client_key:
             # keep the result around so a resubmission of the same key
@@ -1117,6 +1522,10 @@ class Coordinator:
         median path keeps its old-and-slow double check.
         """
         for job in list(self._jobs.values()):
+            if job.coop_state is not None:
+                # a hedged duplicate island would double-report into the
+                # migration barrier; cooperative jobs are never hedged
+                continue
             quantile_threshold = self._quantile_threshold(job)
             median_threshold = (
                 self._median_threshold(job)
@@ -1251,6 +1660,20 @@ class Coordinator:
             job = self._jobs.get(job_id)
             if job is None:
                 continue
+            if job.coop_state is not None:
+                # islands hosted on the dead node are gone; their walks
+                # come back below as *new* islands (fresh ids), and any
+                # round that was waiting on them may now be complete
+                state = job.coop_state
+                for island, entry in state.islands.items():
+                    if (
+                        entry["node"] == node.node_id
+                        and island not in state.done
+                        and island not in state.lost
+                    ):
+                        state.lost.add(island)
+                        self.counters["islands_lost"] += 1
+                await self._relay_rounds(job)
             unfinished = sorted(walk_ids & job.outstanding)
             if unfinished:
                 await self._redispatch(job, unfinished, node, reason)

@@ -101,21 +101,24 @@ class JobJournal:
         deadline: float | None,
         payload: bytes,
         priority: int = 0,
+        coop: dict | None = None,
     ) -> None:
         """Journal an accepted job (durable: fsync before dispatch)."""
-        self._append(
-            {
-                "kind": "submit",
-                "job_id": job_id,
-                "client_key": client_key,
-                "trace_id": trace_id,
-                "n_walkers": n_walkers,
-                "deadline": deadline,
-                "priority": priority,
-                "payload": base64.b64encode(payload).decode("ascii"),
-            },
-            durable=True,
-        )
+        record = {
+            "kind": "submit",
+            "job_id": job_id,
+            "client_key": client_key,
+            "trace_id": trace_id,
+            "n_walkers": n_walkers,
+            "deadline": deadline,
+            "priority": priority,
+            "payload": base64.b64encode(payload).decode("ascii"),
+        }
+        if coop is not None:
+            # protocol v6: a recovered cooperative job must come back as a
+            # cooperative job, so the wire dict is journaled verbatim
+            record["coop"] = coop
+        self._append(record, durable=True)
 
     def log_generation(self, job_id: int, generation: int) -> None:
         self._append(

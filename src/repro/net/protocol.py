@@ -31,9 +31,13 @@ Handshake
 ---------
 The first frame on any connection must be ``hello`` carrying ``role``
 (``"node"`` or ``"client"``) and ``protocol``; the coordinator answers
-``welcome`` (echoing its own version) or ``reject`` + close on a version
-mismatch.  Versions must match exactly — the protocol is young enough that
-compatibility windows would be theater.
+``welcome`` (echoing its own version plus the ``negotiated`` one) or
+``reject`` + close.  Since v6 the coordinator accepts any peer version in
+``[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]`` and remembers the negotiated
+version per connection: a v5 agent keeps running independent multi-walk
+slices unchanged, and jobs that *need* v6 frames (cooperative search) are
+refused with a clear error naming the stale node instead of failing
+mid-flight.  Peers older than the window are still rejected outright.
 
 Version history
 ---------------
@@ -68,6 +72,16 @@ Version history
   ``assign`` frames so each node's local scheduler orders its own
   dispatch queue the same way.  The gateway maps tenant priority classes
   onto this field.
+- **6** — cooperative search: ``submit`` frames may carry a ``coop``
+  object (the :class:`~repro.coop.config.CoopConfig` wire dict), which
+  rides into ``assign`` frames together with an ``island`` id; island
+  agents send ``elite_report`` frames (island's best cost + pickled
+  configuration per migration round) and receive ``elite_push`` frames
+  (the coordinator's topology-routed migrant batch for that round); a
+  finishing island sends one ``island_stats`` frame folding its adoption
+  and migration-loss counters into the job result.  Handshakes negotiate
+  down: the coordinator accepts v5 peers (see *Handshake* above) but
+  refuses coop jobs while any live node speaks < 6.
 """
 
 from __future__ import annotations
@@ -87,6 +101,7 @@ from repro.errors import NetError
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MIN_PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
     "Message",
     "encode_message",
@@ -99,7 +114,12 @@ __all__ = [
     "unpickle_blob",
 ]
 
-PROTOCOL_VERSION = 5
+PROTOCOL_VERSION = 6
+
+#: oldest peer version the coordinator still accepts (negotiate-down
+#: window): v5 nodes run independent multi-walk slices fine; only the v6
+#: cooperative frames are gated on the negotiated version per connection
+MIN_PROTOCOL_VERSION = 5
 
 #: hard frame-size ceiling: a problem pickle is kilobytes, so anything in
 #: the hundreds of megabytes is a corrupt length prefix, not a real frame

@@ -45,6 +45,12 @@ class NetJobResult:
     coordinator still aggregated every walk outcome it had instead of
     raising — :attr:`best_config` / :attr:`best_cost` expose the
     best-so-far configuration in that case.
+
+    ``coop`` is ``None`` for independent jobs; for cooperative (island
+    model) jobs it carries the migration ledger — topology, island count,
+    elite reports seen, migrations relayed and *lost* (dropped links,
+    dead islands), and the islands' adoption counters — so a result always
+    discloses how much cooperation actually happened.
     """
 
     job_id: int
@@ -58,6 +64,7 @@ class NetJobResult:
     redispatches: int = 0
     wall_time: float = 0.0
     degraded: bool = False
+    coop: Optional[dict] = None
 
     @property
     def solved(self) -> bool:
@@ -88,7 +95,7 @@ class NetJobResult:
         best = self.best_walk
         return best.cost if best is not None else None
 
-    def to_parallel_result(self) -> ParallelResult:
+    def to_parallel_result(self, executor: str = "net") -> ParallelResult:
         """View this cluster job as a :class:`ParallelResult`.
 
         ``wall_time`` keeps multi-walk semantics (the winner's in-walk
@@ -107,7 +114,7 @@ class NetJobResult:
             walks=list(self.walks),
             wall_time=wall_time,
             elapsed_time=self.wall_time,
-            executor="net",
+            executor=executor,
         )
 
     def summary(self) -> str:
@@ -127,6 +134,13 @@ class NetJobResult:
             extra += (
                 f", DEGRADED (best-so-far cost "
                 f"{best if best is not None else '?'})"
+            )
+        if self.coop is not None:
+            extra += (
+                f", coop {self.coop.get('topology')} x"
+                f"{self.coop.get('islands', 0)} islands "
+                f"({self.coop.get('migrations_relayed', 0)} migrations, "
+                f"{self.coop.get('migrations_lost', 0)} lost)"
             )
         return (
             f"cluster job {self.job_id} x{self.n_walkers}: {status}, "
@@ -195,6 +209,7 @@ def job_result_to_message(result: NetJobResult, request_id: int) -> Message:
             "redispatches": result.redispatches,
             "wall_time": result.wall_time,
             "degraded": result.degraded,
+            "coop": result.coop,
         },
         blob=pickle_blob({"walks": result.walks, "nodes": result.nodes}),
     )
@@ -219,4 +234,5 @@ def job_result_from_message(message: Message) -> NetJobResult:
         redispatches=message["redispatches"],
         wall_time=message["wall_time"],
         degraded=bool(message.get("degraded", False)),
+        coop=message.get("coop"),
     )

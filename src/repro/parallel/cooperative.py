@@ -28,6 +28,8 @@ the paper's independent scheme.
 
 from __future__ import annotations
 
+import math
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -105,6 +107,17 @@ class ElitePool:
     Entries are kept sorted by cost; duplicate configurations are ignored;
     offering a configuration worse than the current worst entry of a full
     pool is a no-op.  The pool only ever stores copies.
+
+    Offers with a non-finite cost (NaN, ±inf) are rejected outright and
+    counted in ``rejected`` — heuristic costs are noisy but they are never
+    legitimately infinite, so such an offer is a corrupted migrant or an
+    uninitialized walker, not an elite.
+
+    The pool is thread-safe: the cluster-side island loop offers from a
+    runner thread while its hosting agent folds arriving migrants in from
+    the event-loop side, so every mutation and read happens under one
+    internal lock.  (The in-process cooperative executor is single-threaded
+    and pays only an uncontended acquire.)
     """
 
     def __init__(self, capacity: int) -> None:
@@ -112,36 +125,49 @@ class ElitePool:
             raise ParallelError(f"pool capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._entries: list[tuple[float, np.ndarray]] = []
+        self._lock = threading.Lock()
         self.offers = 0
         self.accepts = 0
+        self.rejected = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def offer(self, cost: float, config: np.ndarray) -> bool:
         """Report a configuration; returns True if it entered the pool."""
-        self.offers += 1
-        if len(self._entries) >= self.capacity and cost >= self._entries[-1][0]:
-            return False
-        key = config.tobytes()
-        for existing_cost, existing in self._entries:
-            if existing_cost == cost and existing.tobytes() == key:
+        with self._lock:
+            self.offers += 1
+            cost = float(cost)
+            if not math.isfinite(cost):
+                self.rejected += 1
                 return False
-        self._entries.append((float(cost), np.array(config, copy=True)))
-        self._entries.sort(key=lambda e: e[0])
-        del self._entries[self.capacity :]
-        self.accepts += 1
-        return True
+            if (
+                len(self._entries) >= self.capacity
+                and cost >= self._entries[-1][0]
+            ):
+                return False
+            key = config.tobytes()
+            for existing_cost, existing in self._entries:
+                if existing_cost == cost and existing.tobytes() == key:
+                    return False
+            self._entries.append((cost, np.array(config, copy=True)))
+            self._entries.sort(key=lambda e: e[0])
+            del self._entries[self.capacity :]
+            self.accepts += 1
+            return True
 
     def best(self) -> Optional[tuple[float, np.ndarray]]:
         """The lowest-cost entry (cost, copy of config), or None if empty."""
-        if not self._entries:
-            return None
-        cost, config = self._entries[0]
-        return cost, config.copy()
+        with self._lock:
+            if not self._entries:
+                return None
+            cost, config = self._entries[0]
+            return cost, config.copy()
 
     def best_cost(self) -> float:
-        return self._entries[0][0] if self._entries else float("inf")
+        with self._lock:
+            return self._entries[0][0] if self._entries else float("inf")
 
 
 @dataclass

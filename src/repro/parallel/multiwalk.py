@@ -36,12 +36,13 @@ from repro.util.rng import SeedLike
 from repro.util.timing import Stopwatch
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service -> parallel)
+    from repro.coop import CoopConfig
     from repro.net.client import ClusterClient
     from repro.service.scheduler import SolverService
 
 __all__ = ["MultiWalkSolver", "solve_parallel"]
 
-_EXECUTORS = ("inline", "process", "pool", "net", "vector")
+_EXECUTORS = ("inline", "process", "pool", "net", "vector", "coop")
 
 
 class MultiWalkSolver:
@@ -68,10 +69,18 @@ class MultiWalkSolver:
         executes the walks when ``executor="pool"``; the caller owns its
         lifecycle, so many solvers (and concurrent solves) may share it.
     cluster:
-        for ``executor="net"``: a connected
+        for ``executor="net"`` / ``"coop"``: a connected
         :class:`repro.net.ClusterClient` (caller-owned, shareable across
         solvers), or a coordinator address (``(host, port)`` tuple or
         ``"host:port"`` string) to dial per solve.
+    coop:
+        for ``executor="coop"``: the :class:`~repro.coop.CoopConfig`
+        island scheme (topology, migration cadence, adoption policy);
+        ``None`` uses the defaults (a ring).  The ``"coop"`` executor is
+        ``"net"`` with cooperation switched on: each node slice becomes an
+        island and elites migrate between islands per the topology.  A
+        coop config without a seed inherits the integer job seed, so a
+        fixed seed replays the exact migration log.
     lanes:
         for ``executor="vector"``: the maximum walk lanes batched into one
         :class:`~repro.vector.engine.VectorWalkEngine` process.  ``None``
@@ -92,6 +101,7 @@ class MultiWalkSolver:
         pool: Optional["SolverService"] = None,
         cluster: "ClusterClient | tuple[str, int] | str | None" = None,
         lanes: int | None = None,
+        coop: "CoopConfig | dict | None" = None,
     ) -> None:
         if executor not in _EXECUTORS:
             raise ParallelError(
@@ -107,10 +117,15 @@ class MultiWalkSolver:
             raise ParallelError(
                 'executor="pool" needs a SolverService via the pool argument'
             )
-        if executor == "net" and cluster is None:
+        if executor in ("net", "coop") and cluster is None:
             raise ParallelError(
-                'executor="net" needs a ClusterClient or coordinator '
-                "address via the cluster argument"
+                f'executor="{executor}" needs a ClusterClient or '
+                "coordinator address via the cluster argument"
+            )
+        if coop is not None and executor != "coop":
+            raise ParallelError(
+                f'a coop config only applies to executor="coop", '
+                f"not {executor!r}"
             )
         if lanes is not None and lanes < 1:
             raise ParallelError(f"lanes must be >= 1, got {lanes}")
@@ -122,6 +137,7 @@ class MultiWalkSolver:
         self.pool = pool
         self.cluster = cluster
         self.lanes = lanes
+        self.coop = coop
 
     # ------------------------------------------------------------------
     def solve(
@@ -139,7 +155,7 @@ class MultiWalkSolver:
             config = config.replace(time_limit=min(config.time_limit, time_limit))
         recorder = get_recorder()
         if not recorder.enabled:
-            return self._dispatch(problem, config, seeds)
+            return self._dispatch(problem, config, seeds, seed=seed)
         trace_id = new_trace_id()
         with recorder.span(
             "multiwalk.solve",
@@ -147,7 +163,9 @@ class MultiWalkSolver:
             executor=self.executor,
             n_walkers=n_walkers,
         ):
-            return self._dispatch(problem, config, seeds, trace_id=trace_id)
+            return self._dispatch(
+                problem, config, seeds, trace_id=trace_id, seed=seed
+            )
 
     def _dispatch(
         self,
@@ -155,6 +173,7 @@ class MultiWalkSolver:
         config: AdaptiveSearchConfig,
         seeds: list[np.random.SeedSequence],
         trace_id: str = "",
+        seed: SeedLike = None,
     ) -> ParallelResult:
         if self.executor == "inline":
             return self._solve_inline(problem, config, seeds, trace_id)
@@ -162,6 +181,8 @@ class MultiWalkSolver:
             return self._solve_pool(problem, config, seeds)
         if self.executor == "net":
             return self._solve_net(problem, config, seeds)
+        if self.executor == "coop":
+            return self._solve_coop(problem, config, seeds, seed)
         if self.executor == "vector":
             return self._solve_vector(problem, config, seeds, trace_id)
         return self._solve_process(problem, config, seeds, trace_id)
@@ -209,6 +230,44 @@ class MultiWalkSolver:
                 problem, len(seeds), config=config, seeds=seeds
             )
             return result.to_parallel_result()
+        finally:
+            if owned:
+                client.close()
+
+    # ------------------------------------------------------------------
+    def _solve_coop(
+        self,
+        problem: Problem,
+        config: AdaptiveSearchConfig,
+        seeds: list[np.random.SeedSequence],
+        seed: SeedLike = None,
+    ) -> ParallelResult:
+        """Run the walks as one *cooperative* cluster job.
+
+        Identical dispatch path to ``"net"`` except the submit carries the
+        coop scheme: the coordinator turns each node slice into an island
+        and relays elite migrations between them.  The original job
+        ``seed`` rides along so an unseeded coop config becomes
+        deterministic per job.
+        """
+        from repro.coop import CoopConfig
+        from repro.net.client import ClusterClient
+
+        coop = self.coop
+        if coop is None:
+            coop = CoopConfig()
+        elif not isinstance(coop, CoopConfig):
+            coop = CoopConfig.from_wire(coop)
+        client = self.cluster
+        owned = not isinstance(client, ClusterClient)
+        if owned:
+            client = ClusterClient(client).connect()
+        try:
+            result = client.solve(
+                problem, len(seeds), seed, config=config, seeds=seeds,
+                coop=coop,
+            )
+            return result.to_parallel_result(executor="coop")
         finally:
             if owned:
                 client.close()
@@ -571,11 +630,12 @@ def solve_parallel(
     pool: Optional["SolverService"] = None,
     cluster: "ClusterClient | tuple[str, int] | str | None" = None,
     lanes: int | None = None,
+    coop: "CoopConfig | dict | None" = None,
 ) -> ParallelResult:
     """One-shot convenience wrapper around :class:`MultiWalkSolver`.
 
     All executor tunables (``poll_every``, ``launch_overhead``,
-    ``mp_context``, ``pool``, ``cluster``) are forwarded; see
+    ``mp_context``, ``pool``, ``cluster``, ``coop``) are forwarded; see
     :class:`MultiWalkSolver` for their meaning.
     """
     solver = MultiWalkSolver(
@@ -587,5 +647,6 @@ def solve_parallel(
         pool=pool,
         cluster=cluster,
         lanes=lanes,
+        coop=coop,
     )
     return solver.solve(problem, n_walkers, seed, time_limit=time_limit)

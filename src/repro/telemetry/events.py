@@ -51,6 +51,9 @@ __all__ = [
     "CancelAck",
     "FirstSolve",
     "HedgeDispatch",
+    "EliteReport",
+    "EliteAdopt",
+    "Migration",
     "FaultInjected",
     "Span",
     "TraceContext",
@@ -248,6 +251,51 @@ class HedgeDispatch(TelemetryEvent):
 
 
 @dataclass(frozen=True, kw_only=True)
+class EliteReport(TelemetryEvent):
+    """An island reported its elite (cost, configuration) for one
+    migration round (coordinator-side, protocol v6 ``elite_report``)."""
+
+    kind = "elite_report"
+
+    job_id: int = -1
+    island: int = -1
+    round_index: int = 0
+    cost: float = 0.0
+    node: str = ""
+
+
+@dataclass(frozen=True, kw_only=True)
+class EliteAdopt(TelemetryEvent):
+    """A walker restarted from a pool elite (island-side): the walker's
+    cost before the jump and the elite cost it adopted."""
+
+    kind = "elite_adopt"
+
+    job_id: int = -1
+    walk_id: int = -1
+    island: int = -1
+    iteration: int = 0
+    cost_before: float = 0.0
+    cost_elite: float = 0.0
+
+
+@dataclass(frozen=True, kw_only=True)
+class Migration(TelemetryEvent):
+    """The coordinator relayed one elite between two islands.  ``digest``
+    is a short content hash of the migrating configuration, so two runs'
+    migration logs can be compared for bit-identical cooperation."""
+
+    kind = "migration"
+
+    job_id: int = -1
+    round_index: int = 0
+    from_island: int = -1
+    to_island: int = -1
+    cost: float = 0.0
+    digest: str = ""
+
+
+@dataclass(frozen=True, kw_only=True)
 class FaultInjected(TelemetryEvent):
     """The chaos layer injected one fault (site = frame/walk/node/
     coordinator) — lets a merged trace show *when* the failure happened
@@ -280,7 +328,7 @@ EVENT_KINDS: dict[str, Type[TelemetryEvent]] = {
         JobSubmit, JobDispatch, JobFinish, WalkStart, WalkFinish,
         IterationMilestone, RestartEvent, ResetEvent, AssignEvent,
         CancelBroadcast, CancelAck, FirstSolve, HedgeDispatch,
-        FaultInjected, Span,
+        EliteReport, EliteAdopt, Migration, FaultInjected, Span,
     )
 }
 

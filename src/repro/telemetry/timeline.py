@@ -93,6 +93,9 @@ class TraceSummary:
     resets: int = 0
     hedges: list[dict[str, Any]] = field(default_factory=list)
     faults: list[dict[str, Any]] = field(default_factory=list)
+    elite_reports: list[dict[str, Any]] = field(default_factory=list)
+    elite_adopts: list[dict[str, Any]] = field(default_factory=list)
+    migrations: list[dict[str, Any]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -220,6 +223,12 @@ def analyze_trace(
             summary.resets += 1
         elif kind == "hedge":
             summary.hedges.append(record)
+        elif kind == "elite_report":
+            summary.elite_reports.append(record)
+        elif kind == "elite_adopt":
+            summary.elite_adopts.append(record)
+        elif kind == "migration":
+            summary.migrations.append(record)
         elif kind == "fault":
             summary.faults.append(record)
         elif kind == "span":
@@ -327,6 +336,26 @@ def _describe(record: dict[str, Any]) -> str:
                 f"{_ms(record.get('threshold', 0.0))}]"
             )
         return line
+    if kind == "elite_report":
+        return (
+            f"elite_report island={record.get('island')} "
+            f"round={record.get('round_index')} "
+            f"cost={record.get('cost')} from {record.get('node') or '?'}"
+        )
+    if kind == "elite_adopt":
+        return (
+            f"elite_adopt walk={record.get('walk_id')} "
+            f"island={record.get('island')} "
+            f"cost {record.get('cost_before')} -> {record.get('cost_elite')} "
+            f"@iter {record.get('iteration')}"
+        )
+    if kind == "migration":
+        return (
+            f"migration round={record.get('round_index')} "
+            f"island {record.get('from_island')} -> "
+            f"{record.get('to_island')} "
+            f"cost={record.get('cost')} digest={record.get('digest')}"
+        )
     if kind == "fault":
         detail = record.get("detail") or ""
         return (
@@ -420,6 +449,21 @@ def render_report(summary: TraceSummary) -> str:
                 f"{hedge.get('from_node') or '?'} -> {hedge.get('node')} "
                 f"after {_ms(hedge.get('elapsed', 0.0))}"
                 + attribution
+            )
+    if summary.migrations or summary.elite_reports or summary.elite_adopts:
+        lines.append("")
+        lines.append(
+            f"cooperative search: {len(summary.elite_reports)} elite "
+            f"report(s), {len(summary.migrations)} migration(s), "
+            f"{len(summary.elite_adopts)} adoption(s)"
+        )
+        for migration in summary.migrations:
+            lines.append(
+                f"  round {migration.get('round_index'):>3}  "
+                f"island {migration.get('from_island')} -> "
+                f"{migration.get('to_island')}  "
+                f"cost {migration.get('cost')}  "
+                f"digest {migration.get('digest')}"
             )
     if summary.faults:
         lines.append("")

@@ -1,0 +1,78 @@
+"""Cooperative-search failure drills.
+
+Two failure modes of the island model, asserted per DESIGN.md's
+degradation semantics:
+
+- **dropped migrations** (``coop-partition`` scenario): ``elite_push``
+  frames vanish on the wire; islands time their rounds out and keep
+  searching independently — the job solves and the loss is attributed
+  in the result's coop summary;
+- **killed island**: a whole node (and the island it hosts) dies
+  mid-job; the survivor island finishes alone and the result reports
+  the lost island.
+"""
+
+import time
+
+import pytest
+
+from repro.chaos import build_plan, run_scenario
+from repro.chaos.plan import FrameFault
+from repro.coop import CoopConfig
+from repro.core.config import AdaptiveSearchConfig
+from repro.net import LocalCluster
+from repro.problems import make_problem
+from repro.service import JobStatus
+
+_BIG = AdaptiveSearchConfig(max_iterations=100_000_000)
+
+
+def test_plan_is_deterministic():
+    a = build_plan("coop-partition", seed=3)
+    b = build_plan("coop-partition", seed=3)
+    assert a.faults == b.faults
+    assert a.faults == (
+        FrameFault("drop", message_type="elite_push", max_count=4),
+    )
+
+
+@pytest.mark.slow
+def test_coop_partition_scenario_passes():
+    report = run_scenario("coop-partition", seed=0)
+    assert report.passed, report.summary()
+    # the drops really happened and really were attributed
+    assert report.details["drops_fired"] >= 1
+    assert report.details["coop"]["migrations_lost"] >= 1
+    assert report.details["coop"]["islands_lost"] == 0
+
+
+@pytest.mark.slow
+def test_killed_island_mid_job_still_solves_with_attribution():
+    problem = make_problem("magic_square", n=12)
+    coop = CoopConfig(topology="ring", report_interval=16,
+                      migration_timeout=0.5)
+    with LocalCluster(n_nodes=2, workers_per_node=2) as cluster:
+        client = cluster.client()
+        handle = client.submit(problem, 4, seed=8, config=_BIG, coop=coop)
+        # wait until the islands are demonstrably searching (first elite
+        # report has landed), then kill one node without a goodbye
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if cluster.coordinator.counters.get("elite_reports", 0) >= 1:
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("no elite report arrived within 60s")
+        cluster.kill_agent(0)
+        result = handle.result(timeout=300)
+        counters = dict(cluster.coordinator.counters)
+    assert result.status is JobStatus.SOLVED
+    assert problem.is_solution(result.config)
+    summary = result.coop
+    # the dead node's island is marked lost and its walks come back as a
+    # fresh replacement island on the survivor: 2 original + 1 replacement
+    assert summary["islands"] == 3
+    assert summary["islands_lost"] >= 1
+    assert counters.get("islands_lost", 0) >= 1
+    # the survivor island won on the surviving node
+    assert result.winner_node == "node-1"

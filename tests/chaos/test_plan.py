@@ -31,7 +31,7 @@ def _scripted_queries(plan: FaultPlan) -> list:
         out.append(plan.walk_fault(walk_id, job_id=0))
     for point in ("submit", "dispatch", "walk_result", "finish"):
         out.append(plan.coordinator_crash(point))
-    for message_type in ("heartbeat", "walk_result", "assign"):
+    for message_type in ("heartbeat", "walk_result", "assign", "elite_push"):
         for _ in range(4):
             out.append(plan.frame_fault(message_type))
     for node in ("node-0", "node-1"):

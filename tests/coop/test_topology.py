@@ -1,0 +1,112 @@
+"""Unit tests of the pure routing policy and the coop config codec."""
+
+import pytest
+
+from repro.coop import CoopConfig, TOPOLOGIES, migration_routes
+from repro.errors import CoopError
+
+
+class TestMigrationRoutes:
+    def test_ring_round_one_is_the_plain_ring(self):
+        routes = migration_routes("ring", [0, 1, 2, 3], round_index=1)
+        assert routes == {1: [0], 2: [1], 3: [2], 0: [3]}
+
+    def test_ring_rotates_across_rounds(self):
+        members = [0, 1, 2, 3]
+        seen = {island: set() for island in members}
+        for round_index in range(1, 4):
+            routes = migration_routes("ring", members, round_index=round_index)
+            for target, sources in routes.items():
+                assert len(sources) == 1
+                assert sources[0] != target
+                seen[target].update(sources)
+        # over n-1 rounds every island hears from every other island
+        for island, sources in seen.items():
+            assert sources == set(members) - {island}
+
+    def test_ring_is_stable_under_input_order_and_duplicates(self):
+        a = migration_routes("ring", [3, 0, 2, 1], round_index=2)
+        b = migration_routes("ring", [0, 0, 1, 2, 3], round_index=2)
+        assert a == b
+
+    def test_all_to_all(self):
+        routes = migration_routes("all_to_all", [5, 7, 9])
+        assert routes == {5: [7, 9], 7: [5, 9], 9: [5, 7]}
+
+    def test_islands_groups_are_consecutive(self):
+        routes = migration_routes("islands", [0, 1, 2, 3, 4], group_size=2)
+        # groups [0,1], [2,3], [4]: the trailing singleton routes nothing
+        assert routes == {0: [1], 1: [0], 2: [3], 3: [2], 4: []}
+
+    def test_star_pushes_the_best_island_everywhere(self):
+        routes = migration_routes("star", [0, 1, 2], best_island=1)
+        assert routes == {0: [1], 1: [], 2: [1]}
+
+    def test_star_requires_a_member_best_island(self):
+        with pytest.raises(CoopError, match="best_island"):
+            migration_routes("star", [0, 1, 2], best_island=9)
+        with pytest.raises(CoopError, match="best_island"):
+            migration_routes("star", [0, 1, 2])
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_single_island_routes_nothing_but_is_present(self, topology):
+        routes = migration_routes(topology, [4], best_island=4)
+        assert routes == {4: []}
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_empty_round(self, topology):
+        assert migration_routes(topology, [], best_island=None) == {}
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(CoopError, match="unknown topology"):
+            migration_routes("mesh", [0, 1])
+
+    def test_bad_group_size_rejected(self):
+        with pytest.raises(CoopError, match="group_size"):
+            migration_routes("islands", [0, 1], group_size=0)
+
+    def test_routes_are_deterministic(self):
+        for topology in TOPOLOGIES:
+            first = migration_routes(
+                topology, [2, 0, 3, 1], round_index=5, best_island=0
+            )
+            second = migration_routes(
+                topology, [1, 3, 0, 2], round_index=5, best_island=0
+            )
+            assert first == second
+
+
+class TestCoopConfig:
+    def test_wire_roundtrip(self):
+        config = CoopConfig(topology="star", report_interval=16, seed=99)
+        assert CoopConfig.from_wire(config.to_wire()) == config
+
+    def test_unknown_wire_field_rejected(self):
+        with pytest.raises(CoopError, match="unknown coop config field"):
+            CoopConfig.from_wire({"topology": "ring", "bogus": 1})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(CoopError, match="mapping"):
+            CoopConfig.from_wire([("topology", "ring")])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"topology": "mesh"},
+            {"report_interval": 0},
+            {"adopt_interval": -1},
+            {"migration_interval": 0},
+            {"pool_size": 0},
+            {"group_size": 0},
+            {"migration_timeout": 0.0},
+            {"p_adopt": 1.5},
+            {"seed": -1},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(CoopError):
+            CoopConfig(**kwargs)
+
+    def test_with_seed_fills_only_when_unset(self):
+        assert CoopConfig().with_seed(7).seed == 7
+        assert CoopConfig(seed=3).with_seed(7).seed == 3

@@ -12,6 +12,8 @@ from repro.telemetry.events import (
     AssignEvent,
     CancelAck,
     CancelBroadcast,
+    EliteAdopt,
+    EliteReport,
     FaultInjected,
     FirstSolve,
     HedgeDispatch,
@@ -19,6 +21,7 @@ from repro.telemetry.events import (
     JobDispatch,
     JobFinish,
     JobSubmit,
+    Migration,
     ResetEvent,
     RestartEvent,
     Span,
@@ -57,6 +60,12 @@ SAMPLE_EVENTS = [
                   node="node-1", from_node="node-0", elapsed=1.5),
     FaultInjected(ts=2.18, trace_id="t1", site="frame", action="corrupt",
                   detail="walk_result"),
+    EliteReport(ts=2.19, trace_id="t1", job_id=3, island=0, round_index=2,
+                cost=3.0, node="node-0"),
+    EliteAdopt(ts=2.192, trace_id="t1", job_id=3, walk_id=2, island=1,
+               iteration=4096, cost_before=9.0, cost_elite=3.0),
+    Migration(ts=2.194, trace_id="t1", job_id=3, round_index=2,
+              from_island=0, to_island=1, cost=3.0, digest="ab12cd34ef56"),
     Span(ts=2.2, trace_id="t1", name="job.total", duration=0.7,
          span_id="abc", parent_id="def", attrs={"status": "solved"}),
 ]
