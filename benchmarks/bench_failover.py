@@ -1,0 +1,262 @@
+"""Coordinator high-availability benchmark (standalone script).
+
+Two gates for the hot-standby machinery:
+
+1. **failover time** — kill the leader of a standby-backed local
+   cluster and measure wall time until the standby's promoted
+   coordinator is serving (lease detection + journal replay + bind).
+   Gate: median < ``--max-failover-s`` (default 2 s on localhost).
+2. **dormant standby overhead** — while the leader is healthy, the only
+   cost a standby adds to the dispatch path is one ``replica_record``
+   enqueue per journal append (encode + bounded-queue put happen on the
+   leader's event loop; the socket write drains off the critical path)
+   plus lease frames that ride the existing watchdog tick.  Like
+   ``bench_chaos_overhead.py``, the gate is a *modeled* fraction —
+   micro-measured per-record cost x records per job, as a share of the
+   measured end-to-end dispatch latency — because cluster medians are
+   far noisier than a 1% band.  The with/without-standby cluster
+   medians are reported as an informational cross-check.
+
+Run as a script (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_failover.py
+    PYTHONPATH=src python benchmarks/bench_failover.py --smoke
+
+Writes ``benchmarks/out/BENCH_ha.json``.  Exit code 0 iff both gates
+pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import statistics
+import time
+from pathlib import Path
+
+from repro.core.config import AdaptiveSearchConfig
+from repro.net import LocalCluster
+from repro.net.protocol import Message, encode_message
+from repro.problems import make_problem
+
+ARTIFACT = Path(__file__).parent / "out" / "BENCH_ha.txt"
+JSON_ARTIFACT = Path(__file__).parent / "out" / "BENCH_ha.json"
+
+PROBE_ITERATIONS = 4
+PROBE_WALKERS = 2
+#: journal appends per 2-walk job: submit, one generation bump budget,
+#: finish — 4 is a conservative ceiling
+RECORDS_PER_JOB = 4
+
+
+def bench_record_cost(n: int = 20_000) -> float:
+    """Seconds per replica_record leader-side cost: Message build +
+    frame encode + bounded-queue put/get (the enqueue the dispatch path
+    pays; the drain task's socket write overlaps with solving)."""
+    record = {
+        "kind": "submit",
+        "job_id": 123,
+        "n_walkers": PROBE_WALKERS,
+        "generation": 1,
+        "priority": 0,
+        "client_key": "bench-key-0123456789abcdef",
+        "coop": None,
+    }
+
+    async def run() -> float:
+        queue: asyncio.Queue = asyncio.Queue(maxsize=256)
+        start = time.perf_counter()
+        for _ in range(n):
+            message = Message("replica_record", {"record": record})
+            encode_message(message)
+            queue.put_nowait(message)
+            queue.get_nowait()
+        return (time.perf_counter() - start) / n
+
+    return asyncio.run(run())
+
+
+def measure_dispatch(n_jobs: int, workers: int, standby: bool) -> list[float]:
+    problem = make_problem("magic_square", n=10)
+    config = AdaptiveSearchConfig(max_iterations=PROBE_ITERATIONS)
+    latencies = []
+    with LocalCluster(
+        n_nodes=2, workers_per_node=workers, standby=standby
+    ) as cluster:
+        client = cluster.client()
+        client.solve(
+            problem, PROBE_WALKERS, seed=0, config=config, timeout=600
+        )  # warm-up ships the problem to every pool
+        for index in range(n_jobs):
+            start = time.perf_counter()
+            client.solve(
+                problem,
+                PROBE_WALKERS,
+                seed=index,
+                config=config,
+                timeout=600,
+            )
+            latencies.append(time.perf_counter() - start)
+    return latencies
+
+
+def measure_failover(trials: int, lease_timeout: float) -> list[float]:
+    """Wall seconds from leader kill to promoted coordinator serving."""
+    elapsed = []
+    for _ in range(trials):
+        cluster = LocalCluster(
+            n_nodes=0,
+            workers_per_node=1,
+            standby=True,
+            lease_timeout=lease_timeout,
+            heartbeat_timeout=1.0,
+        )
+        cluster.start()
+        try:
+            start = time.perf_counter()
+            cluster.kill_coordinator()
+            cluster.promote_standby(timeout=30.0)
+            elapsed.append(time.perf_counter() - start)
+        finally:
+            cluster.stop()
+    return elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fast run for CI (fewer trials/jobs, same gates)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=None,
+        help="failover trials (default 5, smoke 2)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="dispatch probe jobs per path (default 10, smoke 4)",
+    )
+    parser.add_argument(
+        "--workers-per-node", type=int, default=2, help="pool size per node"
+    )
+    parser.add_argument(
+        "--lease-timeout", type=float, default=0.5,
+        help="standby lease window during the failover trials",
+    )
+    parser.add_argument(
+        "--max-failover-s", type=float, default=2.0,
+        help="allowed median kill-to-serving failover time (localhost)",
+    )
+    parser.add_argument(
+        "--max-overhead-pct", type=float, default=1.0,
+        help="allowed dormant-standby share of dispatch latency",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help=f"machine-readable results path (default {JSON_ARTIFACT})",
+    )
+    args = parser.parse_args(argv)
+    trials = args.trials or (2 if args.smoke else 5)
+    n_jobs = args.jobs or (4 if args.smoke else 10)
+
+    print("micro-benchmarking per-record replication cost ...", flush=True)
+    record_s = bench_record_cost()
+
+    print(f"measuring failover time ({trials} trials) ...", flush=True)
+    failovers = measure_failover(trials, args.lease_timeout)
+    failover_med = statistics.median(failovers)
+
+    print("measuring dispatch latency without a standby ...", flush=True)
+    plain = measure_dispatch(n_jobs, args.workers_per_node, standby=False)
+    print("measuring dispatch latency with a dormant standby ...", flush=True)
+    mirrored = measure_dispatch(n_jobs, args.workers_per_node, standby=True)
+
+    plain_med = statistics.median(plain)
+    mirrored_med = statistics.median(mirrored)
+    modeled_s = RECORDS_PER_JOB * record_s
+    overhead_pct = 100.0 * modeled_s / plain_med
+    measured_delta_pct = 100.0 * (mirrored_med - plain_med) / plain_med
+
+    lines = [
+        "coordinator HA bench: failover time + dormant standby overhead"
+        + (" [smoke]" if args.smoke else ""),
+        "",
+        f"failover (kill -> serving) : median {failover_med:6.3f} s over "
+        f"{trials} trial(s) (lease {args.lease_timeout:.2f}s; "
+        f"allowed < {args.max_failover_s:.1f}s)",
+        f"  per-trial: {', '.join(f'{t:.3f}s' for t in failovers)}",
+        "",
+        f"replication record cost    : {record_s * 1e6:8.2f} us/record "
+        "(build + encode + queue)",
+        f"dispatch latency           : median {plain_med * 1e3:8.1f} ms/job "
+        f"(no standby, {n_jobs} jobs)",
+        f"with dormant standby       : median {mirrored_med * 1e3:8.1f} "
+        f"ms/job ({measured_delta_pct:+.1f}% vs plain; informational)",
+        f"modeled standby cost       : {modeled_s * 1e6:.1f} us/job "
+        f"({RECORDS_PER_JOB} records x {record_s * 1e6:.2f} us)",
+        f"share of dispatch latency  : {overhead_pct:.3f}% "
+        f"(allowed <= {args.max_overhead_pct:.1f}%)",
+    ]
+
+    failover_ok = failover_med < args.max_failover_s
+    overhead_ok = overhead_pct <= args.max_overhead_pct
+    ok = failover_ok and overhead_ok
+    if not failover_ok:
+        lines.append(
+            f"FAIL: median failover {failover_med:.3f}s exceeds "
+            f"{args.max_failover_s:.1f}s"
+        )
+    if not overhead_ok:
+        lines.append(
+            f"FAIL: dormant standby costs {overhead_pct:.2f}% of dispatch "
+            f"latency (allowed {args.max_overhead_pct:.1f}%)"
+        )
+    if ok:
+        lines.append("PASS")
+
+    text = "\n".join(lines)
+    print(text)
+    ARTIFACT.parent.mkdir(exist_ok=True)
+    ARTIFACT.write_text(text + "\n", encoding="utf-8")
+    print(f"[artifact written to {ARTIFACT}]")
+
+    import json
+
+    json_path = Path(args.json) if args.json else JSON_ARTIFACT
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text(
+        json.dumps(
+            {
+                "bench": "failover",
+                "failover_s": {
+                    "median": failover_med,
+                    "trials": failovers,
+                    "lease_timeout": args.lease_timeout,
+                    "max_allowed": args.max_failover_s,
+                },
+                "record_cost_us": record_s * 1e6,
+                "records_per_job": RECORDS_PER_JOB,
+                "dispatch_ms": {
+                    "plain_median": plain_med * 1e3,
+                    "standby_median": mirrored_med * 1e3,
+                    "measured_delta_pct": measured_delta_pct,
+                },
+                "modeled_overhead_us": modeled_s * 1e6,
+                "overhead_pct": overhead_pct,
+                "max_overhead_pct": args.max_overhead_pct,
+                "jobs": n_jobs,
+                "pass": ok,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"[json written to {json_path}]")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

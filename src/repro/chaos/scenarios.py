@@ -26,6 +26,12 @@ The drills cover the failure matrix end to end:
     write-ahead journal, re-dispatches the in-flight job, and the
     reconnecting client collects the result via its idempotent
     ``client_key`` — exactly one winner.
+``leader-failover``
+    the leader coordinator dies mid-job with a hot standby attached; the
+    standby detects the loss, replays its mirrored journal, and promotes
+    itself on its pre-announced port; agents and the client re-home via
+    their ordered address lists and the job finishes with exactly one
+    winner — no resubmission, with ``FailoverComplete`` in the trace.
 ``straggler-hedge``
     one walk runs ~10x slower than its siblings; the coordinator hedges
     a clean copy onto another node and the job finishes far below the
@@ -84,6 +90,10 @@ def build_plan(name: str, seed: int = 0) -> FaultPlan:
     elif name == "node-partition":
         faults = [NodeFault("partition", node="node-0")]
     elif name == "coordinator-crash-mid-job":
+        faults = [CoordinatorCrash("walk_result")]
+    elif name == "leader-failover":
+        # same kill point as coordinator-crash-mid-job; recovery runs
+        # through the hot standby instead of a manual restart
         faults = [CoordinatorCrash("walk_result")]
     elif name == "straggler-hedge":
         faults = [
@@ -271,6 +281,81 @@ def _run_coordinator_crash(
     )
 
 
+def _run_leader_failover(
+    plan: FaultPlan, workdir: Path
+) -> tuple[dict[str, bool], dict[str, Any]]:
+    from repro.net.testing import LocalCluster
+    from repro.service.jobs import JobStatus
+    from repro.telemetry.timeline import analyze_trace, load_trace
+
+    journal = workdir / "coordinator.journal"
+    trace_dir = workdir / "trace"
+    cluster = LocalCluster(
+        n_nodes=2,
+        workers_per_node=1,
+        heartbeat_interval=0.1,
+        heartbeat_timeout=1.0,
+        chaos=plan,
+        journal=journal,
+        trace_dir=trace_dir,
+        standby=True,
+        lease_timeout=1.0,
+    )
+    try:
+        cluster.start()
+        client = cluster.client(reconnect_backoff=0.05)
+        problem = _problem(10)
+        handle = client.submit(problem, 2, seed=5, config=_BIG)
+        # the plan kills the leader on the first walk result; the standby
+        # notices the dropped replication stream and takes over on its
+        # own — unlike coordinator-crash-mid-job, nobody restarts
+        # anything by hand here.
+        deadline = time.monotonic() + 60.0
+        while (
+            not cluster.coordinator.crashed
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.02)
+        crashed = cluster.coordinator.crashed
+        standby = cluster.standby
+        cluster.promote_standby(timeout=30.0)
+        result = handle.result(timeout=120)
+        counters = dict(cluster.coordinator.counters)
+        reconnects = client.reconnects
+        rehomed = sum(1 for agent in cluster.agents if agent.reconnects)
+        failover_elapsed = standby.failover_elapsed
+    finally:
+        cluster.stop()
+    summary = analyze_trace(load_trace(trace_dir))
+    completes = [
+        f
+        for f in summary.failovers
+        if f.get("event") == "failover_complete"
+    ]
+    return (
+        {
+            "leader_crashed": crashed,
+            "standby_promoted": standby.promoted.is_set(),
+            "solved_after_failover": result.status is JobStatus.SOLVED,
+            # one winner: the promoted coordinator recovered the job from
+            # its mirror and finished it exactly once (client_key dedup)
+            "exactly_one_winner": counters.get("jobs_solved", 0) == 1,
+            "job_recovered_from_mirror": counters.get("recovered_jobs", 0)
+            >= 1,
+            "client_rehomed": reconnects >= 1,
+            "agents_rehomed": rehomed >= 1,
+            "failover_in_trace": len(completes) >= 1,
+        },
+        {
+            "counters": counters,
+            "reconnects": reconnects,
+            "agents_rehomed": rehomed,
+            "failover_elapsed": round(failover_elapsed, 3),
+            "promote_reason": standby.promote_reason,
+        },
+    )
+
+
 def _run_straggler_hedge(
     plan: FaultPlan, workdir: Path
 ) -> tuple[dict[str, bool], dict[str, Any]]:
@@ -383,6 +468,7 @@ _SCENARIOS: dict[
     "corrupt-frame": _run_corrupt_frame,
     "node-partition": _run_node_partition,
     "coordinator-crash-mid-job": _run_coordinator_crash,
+    "leader-failover": _run_leader_failover,
     "straggler-hedge": _run_straggler_hedge,
     "coop-partition": _run_coop_partition,
 }

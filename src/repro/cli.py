@@ -9,7 +9,11 @@ Usage (after ``pip install -e .``)::
     python -m repro service jobs.json --workers 4
     python -m repro service --family costas --set n=9 --jobs 8 --walkers 4
     python -m repro coordinator --port 7710
-    python -m repro node --connect localhost:7710 --workers 8
+    python -m repro coordinator --port 7711 --standby-of localhost:7710
+    python -m repro node --connect localhost:7710,localhost:7711 \
+        --reconnect --lease-timeout 2 --workers 8
+    python -m repro submit --coordinators localhost:7710,localhost:7711 \
+        queens --set n=32 --walkers 8
     python -m repro submit --connect localhost:7710 magic_square --set n=20 \
         --walkers 16 --stats
     python -m repro submit --connect localhost:7710 queens --set n=64 \
@@ -252,7 +256,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return 2
     if args.only:
         # short aliases for the long ablation-script names
-        aliases = {"coop": "abl_cooperation"}
+        aliases = {"coop": "abl_cooperation", "ha": "failover"}
         wanted = {aliases.get(name, name) for name in args.only}
         scripts = [p for p in scripts if p.stem.removeprefix("bench_") in wanted]
         missing = wanted - {p.stem.removeprefix("bench_") for p in scripts}
@@ -391,7 +395,7 @@ def cmd_service(args: argparse.Namespace) -> int:
 
 
 def cmd_coordinator(args: argparse.Namespace) -> int:
-    """Run the cluster coordinator until interrupted."""
+    """Run the cluster coordinator (leader, or hot standby) until interrupted."""
     import asyncio
 
     from repro.net import Coordinator
@@ -403,6 +407,8 @@ def cmd_coordinator(args: argparse.Namespace) -> int:
         from repro.autoscale import ModelStore, Predictor
 
         predictor = Predictor(ModelStore.open(args.autoscale))
+    if args.standby_of:
+        return _run_standby(args, predictor)
     coordinator = Coordinator(
         args.host,
         args.port,
@@ -442,6 +448,70 @@ def cmd_coordinator(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_standby(args: argparse.Namespace, predictor) -> int:
+    """``repro coordinator --standby-of``: mirror the leader, take over.
+
+    The standby tails the leader's journal over the v7 replication
+    stream; when the leader's lease goes silent (or the connection
+    drops) it promotes itself and serves on this process's --host/--port
+    — the second entry of the ordered address list clients and agents
+    were started with.
+    """
+    import asyncio
+
+    from repro.net import StandbyCoordinator
+
+    standby = StandbyCoordinator(
+        args.standby_of,
+        host=args.host,
+        port=args.port,
+        journal_path=args.journal,
+        lease_timeout=args.lease_timeout,
+        coordinator_kwargs=dict(
+            heartbeat_timeout=args.heartbeat_timeout,
+            max_redispatch=args.max_redispatch,
+            hedge_factor=args.hedge_factor,
+            max_hedges=args.max_hedges,
+            min_hedge_delay=args.min_hedge_delay,
+            predictor=predictor,
+            hedge_quantile=args.hedge_quantile,
+        ),
+    )
+
+    async def _serve() -> None:
+        host, port = await standby.start()
+        print(
+            f"standby mirroring leader {standby.leader[0]}:"
+            f"{standby.leader[1]} (lease {args.lease_timeout:.1f}s); "
+            f"will serve on {host}:{port} after takeover",
+            flush=True,
+        )
+        try:
+            await standby.wait_promoted()
+            assert standby.coordinator is not None
+            print(
+                f"promoted ({standby.promote_reason}) in "
+                f"{standby.failover_elapsed:.3f}s: coordinator listening "
+                f"on {host}:{port}, "
+                f"{standby.coordinator.counters['recovered_jobs']} job(s) "
+                "recovered",
+                flush=True,
+            )
+            await standby.coordinator.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await standby.stop()
+            if predictor is not None:
+                await asyncio.to_thread(predictor.save)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("standby stopped", file=sys.stderr)
+    return 0
+
+
 def cmd_node(args: argparse.Namespace) -> int:
     """Run one node agent against a coordinator until interrupted.
 
@@ -454,19 +524,20 @@ def cmd_node(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.errors import NetError
-    from repro.net import NodeAgent, parse_address
+    from repro.net import NodeAgent, parse_addresses
 
     _forward_termination_signals()
-    host, port = parse_address(args.connect)
+    addresses = parse_addresses(args.connect)
     _configure_tracing(args, args.name or "node")
 
     def _agent(service=None) -> NodeAgent:
         return NodeAgent(
-            host,
-            port,
+            addresses,
             n_workers=args.workers,
             name=args.name,
             heartbeat_interval=args.heartbeat_interval,
+            reconnect=args.reconnect,
+            lease_timeout=args.lease_timeout,
             poll_every=args.poll_every,
             mp_context=args.mp_context,
             service=service,
@@ -477,7 +548,7 @@ def cmd_node(args: argparse.Namespace) -> int:
         try:
             await agent.start()
             print(
-                f"node {agent.name} connected to {host}:{port} "
+                f"node {agent.name} connected to {agent.host}:{agent.port} "
                 f"({agent.n_workers} workers)",
                 flush=True,
             )
@@ -503,7 +574,8 @@ def cmd_node(args: argparse.Namespace) -> int:
                     await agent.start()
                     delay = 0.5
                     print(
-                        f"node {agent.name} connected to {host}:{port} "
+                        f"node {agent.name} connected to "
+                        f"{agent.host}:{agent.port} "
                         f"({agent.n_workers} workers)",
                         flush=True,
                     )
@@ -640,6 +712,12 @@ def cmd_submit(args: argparse.Namespace) -> int:
     """Submit one multi-walk job to a running cluster and wait."""
     from repro.net import ClusterClient
 
+    if not args.connect and not args.coordinators:
+        print(
+            "error: pass --connect HOST:PORT or --coordinators A:1,B:2",
+            file=sys.stderr,
+        )
+        return 2
     problem = make_problem(args.family, **_parse_params(args.set))
     config = _solver_config(args)
     coop = None
@@ -655,7 +733,14 @@ def cmd_submit(args: argparse.Namespace) -> int:
             seed=args.coop_seed,
         )
     _configure_tracing(args, "client")
-    with ClusterClient(args.connect, reconnect=args.reconnect) as client:
+    if args.coordinators:
+        # ordered leader,standby list: failover implies reconnect
+        endpoints: object = args.coordinators
+        reconnect = True
+    else:
+        endpoints = args.connect
+        reconnect = args.reconnect
+    with ClusterClient(endpoints, reconnect=reconnect) as client:
         result = client.solve(
             problem,
             args.walkers,
@@ -1135,6 +1220,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--hedge-factor for families with learned models",
     )
     p_coord.add_argument(
+        "--standby-of",
+        default=None,
+        metavar="HOST:PORT",
+        help="run as a hot standby of the leader at this address: mirror "
+        "its journal over the v7 replication stream and take over on "
+        "this process's --host/--port when the leader's lease lapses",
+    )
+    p_coord.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="with --standby-of: seconds of leader-lease silence before "
+        "the standby promotes itself",
+    )
+    p_coord.add_argument(
         "--trace",
         default=None,
         metavar="DIR",
@@ -1148,8 +1249,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_node.add_argument(
         "--connect",
         required=True,
-        metavar="HOST:PORT",
-        help="coordinator address",
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="coordinator address, or an ordered leader,standby list "
+        "(with --reconnect the agent re-homes down the list on failover)",
+    )
+    p_node.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="with --reconnect against a v7 coordinator: seconds of "
+        "inbound silence before the coordinator is presumed dead and "
+        "the agent re-homes (catches leader deaths that deliver no EOF)",
     )
     p_node.add_argument(
         "--workers", type=int, default=2, help="local warm-pool size"
@@ -1265,9 +1376,15 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_submit)
     p_submit.add_argument(
         "--connect",
-        required=True,
         metavar="HOST:PORT",
         help="coordinator address",
+    )
+    p_submit.add_argument(
+        "--coordinators",
+        default=None,
+        metavar="A:1,B:2",
+        help="ordered coordinator list (leader first, standbys after); "
+        "implies --reconnect so the client re-homes on failover",
     )
     p_submit.add_argument(
         "--walkers", type=int, default=1, help="walks raced across the cluster"

@@ -20,6 +20,7 @@ Layout:
 
 from repro.gateway.admission import (
     AdmissionController,
+    CircuitBreaker,
     PredictivePlanner,
     WalkerPlanner,
 )
@@ -29,6 +30,7 @@ from repro.gateway.tenants import PRIORITY_CLASSES, Tenant, TenantRegistry
 
 __all__ = [
     "AdmissionController",
+    "CircuitBreaker",
     "Gateway",
     "GatewayJob",
     "PRIORITY_CLASSES",

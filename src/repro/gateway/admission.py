@@ -10,6 +10,12 @@ pressure, which is exactly the shedding order the priority classes
 promise.  Refusals come back as a structured decision the HTTP layer turns
 into ``429 Too Many Requests`` with a ``Retry-After`` header.
 
+**Circuit breaking** protects the gateway's own threads when the cluster
+behind it is unreachable (leader died, failover in progress).  Submits
+that would block on a dead coordinator instead fail fast with ``503`` and
+a ``Retry-After`` hint; after ``reset_timeout`` a single half-open probe
+is let through, and one success re-closes the breaker.
+
 **Planning** answers "how many walkers should this job get?" when the
 client does not say.  The paper's central result makes this a statistics
 question: independent multi-walk speedup is ``E[T] / E[min_k]``, entirely
@@ -24,6 +30,7 @@ lognormal regimes) stop early where extra walkers would be wasted.
 from __future__ import annotations
 
 import math
+import time
 from typing import Optional
 
 from repro.autoscale import Predictor
@@ -33,6 +40,7 @@ from repro.stats import best_fit, predicted_speedup
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "CircuitBreaker",
     "PredictivePlanner",
     "WalkerPlanner",
 ]
@@ -168,6 +176,95 @@ class AdmissionController:
         self.inflight_cost = max(0.0, self.inflight_cost - max(0.0, cost))
         if self.inflight == 0:
             self.inflight_cost = 0.0  # no drift accumulation across idle
+
+
+class CircuitBreaker:
+    """Fail-fast guard between the gateway and an unreachable cluster.
+
+    Classic three-state breaker:
+
+    - **closed** — submits pass through; ``failure_threshold``
+      consecutive cluster failures trip it open;
+    - **open** — submits are refused immediately (the HTTP layer turns
+      that into ``503`` + ``Retry-After``) so request threads never pile
+      up blocking on a dead coordinator while failover is in progress;
+    - **half-open** — after ``reset_timeout`` one probe request is let
+      through; success re-closes the breaker, failure re-opens it for
+      another full timeout.
+
+    Only *cluster* failures (``NetError`` on submit) count — admission
+    refusals and bad requests are the caller's problem, not the
+    cluster's.  Not thread-safe by itself; the gateway calls it under its
+    submit lock.
+    """
+
+    def __init__(
+        self, *, failure_threshold: int = 3, reset_timeout: float = 5.0
+    ) -> None:
+        if failure_threshold < 1:
+            raise GatewayError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout <= 0:
+            raise GatewayError(
+                f"reset_timeout must be > 0, got {reset_timeout}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.state = "closed"
+        self.failures = 0  # consecutive, while closed
+        self.trips = 0
+        self.rejections = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+
+    def allow(self) -> bool:
+        """May a request proceed to the cluster right now?"""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if time.monotonic() - self._opened_at >= self.reset_timeout:
+                self.state = "half_open"
+                self._probe_inflight = True
+                return True
+            self.rejections += 1
+            return False
+        # half_open: exactly one probe at a time
+        if self._probe_inflight:
+            self.rejections += 1
+            return False
+        self._probe_inflight = True
+        return True
+
+    def record_success(self) -> None:
+        """The cluster answered: close (or keep closed) the breaker."""
+        self.state = "closed"
+        self.failures = 0
+        self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        """The cluster was unreachable; maybe trip open."""
+        self._probe_inflight = False
+        if self.state == "half_open":
+            self._trip()
+            return
+        self.failures += 1
+        if self.state == "closed" and self.failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = "open"
+        self.failures = 0
+        self.trips += 1
+        self._opened_at = time.monotonic()
+
+    @property
+    def retry_after(self) -> float:
+        """Seconds a refused client should wait before retrying."""
+        if self.state != "open":
+            return 1.0
+        remaining = self.reset_timeout - (time.monotonic() - self._opened_at)
+        return max(1.0, remaining)
 
 
 class WalkerPlanner:

@@ -46,6 +46,7 @@ from repro.core.config import AdaptiveSearchConfig
 from repro.errors import GatewayError, NetError, ProblemError
 from repro.gateway.admission import (
     AdmissionController,
+    CircuitBreaker,
     PredictivePlanner,
     WalkerPlanner,
 )
@@ -201,7 +202,10 @@ class Gateway:
     Parameters
     ----------
     coordinator:
-        ``(host, port)`` of the cluster coordinator to submit through.
+        the cluster coordinator to submit through — ``(host, port)``,
+        ``"host:port"``, or an *ordered list* of either (leader first,
+        hot standby second); with a list the gateway's cluster client
+        re-homes automatically when the leader dies.
     tenants:
         the :class:`TenantRegistry`; pass one with
         ``allow_anonymous=True`` for a keyless quickstart.
@@ -224,6 +228,12 @@ class Gateway:
         when event recording is disabled.
     progress_interval:
         seconds between ``milestone`` events on running jobs.
+    breaker:
+        the cluster :class:`CircuitBreaker`; defaults to one that opens
+        after 3 consecutive cluster failures and half-open-probes every
+        5 s.  While open, submits answer ``503`` + ``Retry-After``
+        immediately instead of parking request threads on a dead
+        coordinator.
     """
 
     def __init__(
@@ -241,6 +251,7 @@ class Gateway:
         admission: AdmissionController | None = None,
         recorder: Recorder | None = None,
         progress_interval: float = 0.5,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.coordinator = coordinator
         self.tenants = tenants
@@ -263,6 +274,7 @@ class Gateway:
         )
         self.recorder = recorder if recorder is not None else Recorder(enabled=False)
         self.progress_interval = progress_interval
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
 
         self.client: ClusterClient | None = None
         self._server: asyncio.base_events.Server | None = None
@@ -279,6 +291,7 @@ class Gateway:
         self._m_cache_hits = registry.counter("gateway_cache_hits_total")
         self._m_shed = registry.counter("gateway_shed_total")
         self._m_rate_limited = registry.counter("gateway_rate_limited_total")
+        self._m_breaker_open = registry.counter("gateway_breaker_open_total")
         self._m_inflight = registry.gauge("gateway_jobs_inflight")
         self._m_request_seconds = registry.histogram("gateway_request_seconds")
         self._m_job_seconds = registry.histogram("gateway_job_seconds")
@@ -297,7 +310,9 @@ class Gateway:
     async def start(self) -> "Gateway":
         if self._started:
             return self
-        client = ClusterClient(self.coordinator)
+        # reconnect=True: with an ordered coordinator list the client
+        # re-homes to the standby by itself during a failover
+        client = ClusterClient(self.coordinator, reconnect=True)
         try:
             await asyncio.to_thread(client.connect)
         except NetError:
@@ -438,6 +453,13 @@ class Gateway:
             "cache": self.cache.stats(),
             "problems": available_problems(),
         }
+        payload["breaker"] = {
+            "state": self.breaker.state,
+            "trips": self.breaker.trips,
+            "rejections": self.breaker.rejections,
+        }
+        if self.client is not None:
+            payload["cluster_reconnects"] = self.client.reconnects
         if self.admission.cost_capacity is not None:
             payload["inflight_cost"] = round(self.admission.inflight_cost, 3)
             payload["shed_by_cost"] = self.admission.shed_by_cost
@@ -553,7 +575,20 @@ class Gateway:
                     {**running.snapshot(), "deduped": True}, status=202
                 )
 
-        # 3. admission — by job count always, by predicted walker-second
+        # 3. circuit breaker — checked after cache/coalescing (those are
+        # served from gateway memory, cluster or no cluster) but before
+        # admission, so a dead cluster refuses fast instead of parking
+        # this request thread on a submit that cannot land
+        if not self.breaker.allow():
+            self._m_breaker_open.inc()
+            retry = self.breaker.retry_after
+            raise HttpError(
+                503,
+                "cluster unreachable, circuit breaker open",
+                headers={"Retry-After": f"{max(1, round(retry))}"},
+            )
+
+        # 4. admission — by job count always, by predicted walker-second
         # cost when the planner has a model for this family
         predicted_cost = self.planner.job_cost(
             problem_name, n_walkers, size=problem_size, deadline=deadline
@@ -600,8 +635,16 @@ class Gateway:
                 priority=job.priority,
             )
         except NetError as err:
+            self.breaker.record_failure()
             self._finalize(job, tenant, "failed", error=str(err))
-            raise HttpError(503, f"cluster unavailable: {err}")
+            raise HttpError(
+                503,
+                f"cluster unavailable: {err}",
+                headers={
+                    "Retry-After": f"{max(1, round(self.breaker.retry_after))}"
+                },
+            )
+        self.breaker.record_success()
         job.status = "running"
         job.emit("dispatched", cluster_request=handle.request_id)
         self._spawn(self._await_result(job, tenant, handle))
@@ -729,10 +772,15 @@ class Gateway:
             await asyncio.sleep(self.progress_interval)
             if job.finished:
                 return
+            extra: dict[str, Any] = {}
+            if self.client is not None and self.client.reconnects:
+                # tells streaming watchers their job survived a failover
+                extra["cluster_reconnects"] = self.client.reconnects
             job.emit(
                 "milestone",
                 status=job.status,
                 elapsed=round(time.monotonic() - job.created, 6),
+                **extra,
             )
 
     # ------------------------------------------------------------------

@@ -17,6 +17,10 @@ launcher rebuilt as a long-lived service on plain TCP:
 - :class:`ClusterClient` — blocking, thread-safe submission client (what
   ``MultiWalkSolver(executor="net")``, ``collect_samples(cluster=...)``
   and ``repro submit`` use);
+- :class:`StandbyCoordinator` — hot spare tailing the leader's journal
+  over the protocol v7 replication stream; promotes itself on lease
+  silence or connection loss, and clients/agents re-home to it via
+  ordered coordinator address lists;
 - :class:`LocalCluster` — the whole topology in one process on localhost
   for tests, demos and failure injection;
 - :mod:`~repro.net.protocol` — the shared length-prefixed JSON/binary
@@ -38,7 +42,12 @@ Or in one process::
 """
 
 from repro.net.agent import NodeAgent
-from repro.net.client import ClusterClient, NetJobHandle, parse_address
+from repro.net.client import (
+    ClusterClient,
+    NetJobHandle,
+    parse_address,
+    parse_addresses,
+)
 from repro.net.coordinator import Coordinator
 from repro.net.protocol import (
     MAX_FRAME_BYTES,
@@ -46,6 +55,7 @@ from repro.net.protocol import (
     Message,
     encode_message,
 )
+from repro.net.replica import StandbyCoordinator
 from repro.net.results import NetJobResult
 from repro.net.testing import LocalCluster
 
@@ -59,6 +69,8 @@ __all__ = [
     "NetJobResult",
     "NodeAgent",
     "PROTOCOL_VERSION",
+    "StandbyCoordinator",
     "encode_message",
     "parse_address",
+    "parse_addresses",
 ]

@@ -34,7 +34,9 @@ from __future__ import annotations
 
 import asyncio
 import queue
+import random
 import threading
+import time
 from typing import Any, Optional
 
 import numpy as np
@@ -101,7 +103,28 @@ class NodeAgent:
     Parameters
     ----------
     host / port:
-        coordinator address to dial.
+        coordinator address to dial.  ``host`` may instead be an ordered
+        address list (``"a:1,b:2"`` or a sequence of addresses, with
+        ``port`` omitted): the first entry is the preferred (leader)
+        coordinator, later entries are hot standbys tried in order.
+    reconnect:
+        re-home instead of dying when the coordinator connection drops:
+        local work is discarded (the promoted coordinator re-dispatches
+        every unfinished walk under a bumped generation anyway), the
+        ordered address list is redialed with decorrelated-jitter
+        backoff, and the agent rejoins as a fresh node.  Off by default —
+        a plain agent still tears down on disconnect.
+    reconnect_backoff / reconnect_max_delay / max_reconnect_attempts:
+        the redial schedule (same shape as
+        :class:`~repro.net.client.ClusterClient`).
+    lease_timeout:
+        seconds of total inbound silence after which the coordinator is
+        presumed dead and re-homing begins (requires ``reconnect=True``
+        and a v7 coordinator, which renews the lease every watchdog
+        tick).  This catches the leader deaths a FIN never reports:
+        when worker processes forked after connect still hold the
+        socket's fd, closing it in the dead leader delivers no EOF at
+        all.  ``None`` (default) disables the watchdog.
     n_workers:
         size of the local warm pool (reported as capacity in the
         handshake; ignored when ``service`` is supplied).
@@ -129,12 +152,17 @@ class NodeAgent:
 
     def __init__(
         self,
-        host: str,
-        port: int,
+        host: Any,
+        port: int | None = None,
         *,
         n_workers: int = 2,
         name: Optional[str] = None,
         heartbeat_interval: float = 1.0,
+        reconnect: bool = False,
+        reconnect_backoff: float = 0.05,
+        reconnect_max_delay: float = 2.0,
+        max_reconnect_attempts: int = 20,
+        lease_timeout: float | None = None,
         poll_every: int = 32,
         mp_context: str | None = None,
         pump_interval: float = 0.01,
@@ -142,12 +170,34 @@ class NodeAgent:
         chaos: Any = None,
         recorder: Recorder | None = None,
     ) -> None:
+        from repro.net.client import parse_addresses
+
         if heartbeat_interval <= 0:
             raise NetError(
                 f"heartbeat_interval must be > 0, got {heartbeat_interval}"
             )
-        self.host = host
-        self.port = port
+        if port is not None:
+            self.addresses = [(str(host), int(port))]
+        else:
+            self.addresses = parse_addresses(host)
+        self._addr_index = 0
+        self.host, self.port = self.addresses[0]
+        self.reconnect = reconnect
+        self.reconnect_backoff = reconnect_backoff
+        self.reconnect_max_delay = reconnect_max_delay
+        self.max_reconnect_attempts = max_reconnect_attempts
+        if lease_timeout is not None and lease_timeout <= 0:
+            raise NetError(
+                f"lease_timeout must be > 0, got {lease_timeout}"
+            )
+        self.lease_timeout = lease_timeout
+        # bounds the hello/welcome exchange per address during (re)dial;
+        # kept short when a lease window is configured so a wedged
+        # endpoint costs about one failover's worth of waiting, not more
+        self.handshake_timeout = (
+            5.0 if lease_timeout is None else max(1.0, lease_timeout)
+        )
+        self.reconnects = 0
         self.name = name or f"agent-{id(self) & 0xFFFF:04x}"
         self.heartbeat_interval = heartbeat_interval
         self.pump_interval = pump_interval
@@ -182,6 +232,9 @@ class NodeAgent:
         self._stopped = False
         self.closed = asyncio.Event()
         self.node_id: int | None = None
+        self.negotiated: int | None = None
+        self._last_rx = 0.0
+        self._rehoming = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -189,41 +242,93 @@ class NodeAgent:
     async def start(self) -> None:
         """Connect, handshake, start the worker pool and the agent tasks."""
         self._loop = asyncio.get_running_loop()
-        try:
-            self._reader, self._writer = await asyncio.open_connection(
-                self.host, self.port
-            )
-        except OSError as err:
-            raise NetError(
-                f"cannot reach coordinator at {self.host}:{self.port}: {err}"
-            ) from None
-        await write_message(
-            self._writer,
-            Message(
-                "hello",
-                {
-                    "role": "node",
-                    "name": self.name,
-                    "capacity": self.n_workers,
-                    "protocol": PROTOCOL_VERSION,
-                },
-            ),
-        )
-        welcome = await read_message(self._reader)
-        if welcome is None or welcome.type != "welcome":
-            detail = welcome.get("error") if welcome is not None else "EOF"
-            self._writer.close()
-            raise NetError(f"coordinator rejected node {self.name}: {detail}")
-        self.node_id = welcome.get("node_id")
+        await self._connect()
         if self._service is None:
             self._service = await asyncio.to_thread(
                 lambda: SolverService(**self._service_kwargs).start()
             )
+        self._start_tasks()
+
+    async def _connect(self) -> None:
+        """Dial + handshake against the first reachable coordinator.
+
+        Cycles the ordered address list starting from the last good
+        entry, so one call is one full pass over every known coordinator.
+        """
+        errors: list[str] = []
+        for offset in range(len(self.addresses)):
+            index = (self._addr_index + offset) % len(self.addresses)
+            host, port = self.addresses[index]
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError as err:
+                errors.append(f"{host}:{port}: {err}")
+                continue
+            try:
+                # a bounded handshake matters: a dead leader's listening
+                # socket can stay half-alive (fds inherited by forked
+                # workers), so connect succeeds but no welcome ever comes
+                async def _handshake() -> Message | None:
+                    await write_message(
+                        writer,
+                        Message(
+                            "hello",
+                            {
+                                "role": "node",
+                                "name": self.name,
+                                "capacity": self.n_workers,
+                                "protocol": PROTOCOL_VERSION,
+                            },
+                        ),
+                    )
+                    return await read_message(reader)
+
+                welcome = await asyncio.wait_for(
+                    _handshake(), self.handshake_timeout
+                )
+            except (
+                NetError,
+                ConnectionError,
+                OSError,
+                asyncio.TimeoutError,
+            ) as err:
+                if writer.transport is not None:
+                    writer.transport.abort()
+                errors.append(
+                    f"{host}:{port}: {err or 'handshake timed out'}"
+                )
+                continue
+            if welcome is None or welcome.type != "welcome":
+                detail = welcome.get("error") if welcome is not None else "EOF"
+                writer.close()
+                errors.append(f"{host}:{port}: rejected: {detail}")
+                continue
+            self._addr_index = index
+            self.host, self.port = host, port
+            self._reader, self._writer = reader, writer
+            self.node_id = welcome.get("node_id")
+            self.negotiated = welcome.get("negotiated")
+            self._last_rx = time.monotonic()
+            return
+        raise NetError(
+            f"node {self.name} found no reachable coordinator: "
+            + "; ".join(errors)
+        )
+
+    def _start_tasks(self) -> None:
         self._tasks = [
             asyncio.ensure_future(self._read_loop()),
             asyncio.ensure_future(self._heartbeat_loop()),
             asyncio.ensure_future(self._pump_loop()),
         ]
+        if (
+            self.reconnect
+            and self.lease_timeout is not None
+            and (self.negotiated or 0) >= 7
+        ):
+            self._tasks.append(
+                asyncio.ensure_future(self._lease_watch_loop())
+            )
 
     async def run(self) -> None:
         """Convenience for the CLI: start, then serve until disconnected."""
@@ -286,6 +391,7 @@ class NodeAgent:
                 message = await read_message(self._reader)
                 if message is None:
                     break
+                self._last_rx = time.monotonic()
                 if message.type == "assign":
                     self._on_assign(message)
                 elif message.type == "cancel":
@@ -300,7 +406,88 @@ class NodeAgent:
             raise
         finally:
             if not self._stopped:
-                asyncio.ensure_future(self.stop())
+                asyncio.ensure_future(self._handle_disconnect())
+
+    async def _lease_watch_loop(self) -> None:
+        """Presume the coordinator dead after ``lease_timeout`` of silence.
+
+        A v7 coordinator renews its lease on every heartbeat-watchdog
+        tick, so *any* inbound frame resets the clock.  This is the only
+        reliable death signal when the socket's fd is also held by
+        processes forked after connect (workers inherit it), because the
+        dead leader's close then never produces an EOF on our side.
+        """
+        assert self.lease_timeout is not None
+        interval = min(0.25, self.lease_timeout / 4)
+        while True:
+            await asyncio.sleep(interval)
+            if self._stopped:
+                return
+            if time.monotonic() - self._last_rx > self.lease_timeout:
+                asyncio.ensure_future(self._handle_disconnect())
+                return
+
+    async def _handle_disconnect(self) -> None:
+        """The coordinator connection dropped: re-home or tear down.
+
+        Re-homing (``reconnect=True``, protocol v7) drops all local work
+        first — whichever coordinator we join next re-dispatches every
+        unfinished walk under a bumped generation, so anything this agent
+        kept running would only ever report stale; the exactly-one-winner
+        dedup makes the discard safe.  Then the ordered address list is
+        redialed with decorrelated-jitter backoff (desynchronizing a
+        whole fleet orphaned by the same dead leader) and the agent
+        rejoins as a fresh node with a full load snapshot.
+        """
+        if self._stopped or not self.reconnect:
+            await self.stop()
+            return
+        if self._rehoming:
+            # the lease watcher and the cancelled read loop's finally can
+            # both land here for the same drop — only the first proceeds
+            return
+        self._rehoming = True
+        try:
+            current = asyncio.current_task()
+            for task in self._tasks:
+                if task is not current:
+                    task.cancel()
+            self._tasks = []
+            if (
+                self._writer is not None
+                and self._writer.transport is not None
+            ):
+                self._writer.transport.abort()
+            for slice_state in self._slices.values():
+                for handle in slice_state.handles.values():
+                    handle.cancel()
+            self._slices.clear()
+            for island_state in self._islands.values():
+                island_state.cancel.set()
+            self._islands.clear()
+            self._cancelled.clear()
+            # the new coordinator has no baseline: send a full load
+            # snapshot on the first heartbeat after re-homing
+            self._last_load = None
+            delay = self.reconnect_backoff
+            for _ in range(self.max_reconnect_attempts):
+                if self._stopped:
+                    return
+                await asyncio.sleep(delay)
+                delay = min(
+                    self.reconnect_max_delay,
+                    random.uniform(self.reconnect_backoff, delay * 3),
+                )
+                try:
+                    await self._connect()
+                except NetError:
+                    continue
+                self.reconnects += 1
+                self._start_tasks()
+                return
+            await self.stop()
+        finally:
+            self._rehoming = False
 
     def _on_assign(self, message: Message) -> None:
         job_id = message["job_id"]

@@ -54,7 +54,12 @@ from repro.telemetry.events import JobFinish, JobSubmit, new_trace_id
 from repro.telemetry.recorder import Recorder, get_recorder
 from repro.util.rng import SeedLike
 
-__all__ = ["ClusterClient", "NetJobHandle", "parse_address"]
+__all__ = [
+    "ClusterClient",
+    "NetJobHandle",
+    "parse_address",
+    "parse_addresses",
+]
 
 
 def parse_address(address: Any) -> tuple[str, int]:
@@ -71,6 +76,32 @@ def parse_address(address: Any) -> tuple[str, int]:
         return (str(host), int(port))
     except (TypeError, ValueError):
         raise NetError(f"not a cluster address: {address!r}") from None
+
+
+def parse_addresses(value: Any) -> list[tuple[str, int]]:
+    """Coerce one address or an ordered list into ``[(host, port), ...]``.
+
+    Accepts everything :func:`parse_address` does, plus a comma-separated
+    ``"a:1,b:2"`` string and sequences of addresses.  Order is
+    significant — the first entry is the preferred (leader) coordinator,
+    later entries are failover standbys.
+    """
+    if isinstance(value, str):
+        parts = [part.strip() for part in value.split(",") if part.strip()]
+        if not parts:
+            raise NetError(f"no coordinator address in {value!r}")
+        return [parse_address(part) for part in parts]
+    try:
+        return [parse_address(value)]  # a single (host, port) pair?
+    except NetError:
+        pass
+    try:
+        items = list(value)
+    except TypeError:
+        raise NetError(f"not a cluster address list: {value!r}") from None
+    if not items:
+        raise NetError("empty coordinator address list")
+    return [parse_address(item) for item in items]
 
 
 class NetJobHandle:
@@ -121,17 +152,25 @@ class ClusterClient:
     Parameters
     ----------
     address:
-        coordinator endpoint — ``(host, port)`` or ``"host:port"``.
+        coordinator endpoint — ``(host, port)`` or ``"host:port"`` — or
+        an *ordered* list of them (``"a:1,b:2"`` or a sequence): the
+        first is the preferred (leader) coordinator, the rest are hot
+        standbys tried in order whenever the preferred one is down, both
+        at first connect and on every redial (protocol v7 re-homing).
     connect_timeout:
         seconds allowed for TCP connect + handshake.
     reconnect:
-        survive coordinator restarts: redial with backoff on connection
-        loss and resubmit unanswered jobs under their ``client_key`` (see
-        module docstring).  The coordinator also keeps this client's jobs
+        survive coordinator restarts *and failovers*: redial with backoff
+        on connection loss — cycling the address list — and resubmit
+        unanswered jobs under their ``client_key`` (see module
+        docstring).  The coordinator also keeps this client's jobs
         running while it is away instead of cancelling them.
     reconnect_backoff / reconnect_max_delay / max_reconnect_attempts:
-        exponential-backoff schedule of the redial loop; each wait is
-        jittered to half-to-full of the nominal delay.
+        backoff schedule of the redial loop.  Waits use *decorrelated
+        jitter* (each delay drawn uniformly from ``[backoff, 3 x
+        previous]``, capped at ``reconnect_max_delay``), so a fleet of
+        clients orphaned by the same dead leader spreads its redials
+        instead of thundering-herding the freshly promoted standby.
     recorder:
         telemetry recorder for client-side submit/finish events; defaults
         to the process recorder (disabled unless configured).  Every
@@ -151,7 +190,10 @@ class ClusterClient:
         max_reconnect_attempts: int = 20,
         recorder: Recorder | None = None,
     ) -> None:
-        self.address = parse_address(address)
+        self.addresses = parse_addresses(address)
+        self._addr_index = 0
+        #: the address currently (or most recently) connected to
+        self.address = self.addresses[0]
         self.connect_timeout = connect_timeout
         self.reconnect = reconnect
         self.reconnect_backoff = reconnect_backoff
@@ -173,11 +215,33 @@ class ClusterClient:
     # lifecycle
     # ------------------------------------------------------------------
     def _dial(self) -> socket.socket:
+        """Connect + handshake against the first reachable coordinator.
+
+        Tries the ordered address list starting from the one last used
+        (the preferred leader on first connect), so one ``_dial`` is one
+        full pass over every known coordinator before giving up.
+        """
+        errors: list[str] = []
+        for offset in range(len(self.addresses)):
+            index = (self._addr_index + offset) % len(self.addresses)
+            try:
+                sock = self._dial_one(self.addresses[index])
+            except NetError as err:
+                errors.append(str(err))
+                continue
+            self._addr_index = index
+            self.address = self.addresses[index]
+            return sock
+        raise NetError(
+            "no coordinator reachable: " + "; ".join(errors)
+        )
+
+    def _dial_one(self, address: tuple[str, int]) -> socket.socket:
         """TCP connect + handshake; returns the ready socket."""
-        host, port = self.address
+        host, port = address
         try:
             sock = socket.create_connection(
-                self.address, timeout=self.connect_timeout
+                address, timeout=self.connect_timeout
             )
         except OSError as err:
             raise NetError(
@@ -217,6 +281,22 @@ class ClusterClient:
             return self
         if self._closed:
             raise NetError("cluster client is closed")
+        if (
+            self.reconnect
+            and self._reader is not None
+            and self._reader.is_alive()
+        ):
+            # the read loop is already redialing: piggyback on it rather
+            # than racing a second concurrent pass over the shared
+            # address cursor (which can skip the live standby entirely).
+            # The reconnect loop is itself bounded (max attempts), so
+            # waiting for the reader thread is waiting on a finite thing.
+            while self._reader.is_alive():
+                if self._connected.wait(0.2) and self._sock is not None:
+                    return self
+            raise NetError(
+                "cluster client is not connected (reconnect gave up)"
+            )
         self._sock = self._dial()
         self._connected.set()
         self._reader = threading.Thread(
@@ -429,13 +509,24 @@ class ClusterClient:
                 return
 
     def _reconnect(self) -> bool:
-        """Redial with exponential backoff + jitter; replay in-flight jobs."""
+        """Redial with decorrelated-jitter backoff; replay in-flight jobs.
+
+        Each wait is drawn uniformly from ``[base, 3 x previous]`` (AWS
+        "decorrelated jitter"), capped at ``reconnect_max_delay`` —
+        grows like exponential backoff on average but desynchronizes a
+        fleet of clients that all lost the same leader, so a freshly
+        promoted standby sees a trickle instead of a stampede.  Every
+        attempt cycles the whole address list (see :meth:`_dial`).
+        """
         delay = self.reconnect_backoff
         for _ in range(self.max_reconnect_attempts):
             if self._closed:
                 return False
-            time.sleep(delay * (0.5 + 0.5 * random.random()))
-            delay = min(delay * 2, self.reconnect_max_delay)
+            time.sleep(delay)
+            delay = min(
+                self.reconnect_max_delay,
+                random.uniform(self.reconnect_backoff, delay * 3),
+            )
             try:
                 sock = self._dial()
             except NetError:

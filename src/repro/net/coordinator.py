@@ -57,7 +57,15 @@ from typing import Any, Optional
 
 from repro.coop import CoopConfig, migration_routes
 from repro.errors import CoopError, NetError
-from repro.net.journal import JobJournal, decode_payload, replay_journal
+from repro.net.journal import (
+    JobJournal,
+    checkpoint_record,
+    decode_payload,
+    finish_record,
+    generation_record,
+    replay_journal,
+    submit_record,
+)
 from repro.net.protocol import (
     MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
@@ -96,12 +104,37 @@ _MAX_CANCEL_SAMPLES = 1024
 #: finished results cached for client_key replay (bounded LRU)
 _MAX_FINISHED_CACHE = 256
 
+#: per-connection write-queue depth before the slow-consumer policy kicks
+#: in: droppable frames are discarded, job frames backpressure the sender
+_MAX_SEND_QUEUE = 256
+
+#: frame types a slow consumer may lose without breaking correctness —
+#: telemetry and liveness hints, re-sent periodically anyway.  Job frames
+#: (assign/cancel/job_result/replica_record/...) are NEVER dropped: a full
+#: queue backpressures the coordinator task instead, which bounds leader
+#: memory while preserving delivery.
+_DROPPABLE_FRAMES = frozenset({"stats", "lease"})
+
 
 class _Conn:
-    """One connection with write serialization (many tasks may send)."""
+    """One connection with a bounded, serialized write queue.
+
+    Many coordinator tasks may send concurrently; all writes funnel
+    through one drain task per connection, so a stalled peer socket can
+    hold at most ``max_queue`` frames of leader memory.  When the queue
+    is full, frames in :data:`_DROPPABLE_FRAMES` are dropped and counted
+    (``on_drop`` feeds the metrics registry); everything else waits.
+    Write errors surface in the drain task, which aborts the connection —
+    the per-connection reader task then runs the usual loss path.
+    """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        max_queue: int = _MAX_SEND_QUEUE,
+        on_drop: Any = None,
     ) -> None:
         self.reader = reader
         self.writer = writer
@@ -110,16 +143,57 @@ class _Conn:
         #: a resilient client (hello ``reconnect=True``) keeps its jobs
         #: running on disconnect instead of having them cancelled
         self.resilient = False
+        self.dropped_frames = 0
+        self._on_drop = on_drop
+        self._queue: asyncio.Queue[Message] = asyncio.Queue(maxsize=max_queue)
+        self._writer_task: asyncio.Task | None = None
 
     async def send(self, message: Message) -> None:
         if self.closed:
             return
-        async with self._send_lock:
-            await write_message(self.writer, message)
+        if self._writer_task is None:
+            self._writer_task = asyncio.ensure_future(self._drain_loop())
+        if self._queue.full() and message.type in _DROPPABLE_FRAMES:
+            self.dropped_frames += 1
+            if self._on_drop is not None:
+                self._on_drop(message.type)
+            return
+        await self._queue.put(message)
+
+    async def _drain_loop(self) -> None:
+        while True:
+            message = await self._queue.get()
+            try:
+                async with self._send_lock:
+                    await write_message(self.writer, message)
+            except (NetError, ConnectionError, OSError):
+                self.abort()
+                return
+            finally:
+                # also runs on cancellation mid-write, so drain() waiters
+                # are always released
+                self._queue.task_done()
+
+    async def drain(self) -> None:
+        """Wait until every queued frame hit the transport (or the
+        connection died — abort releases waiters either way)."""
+        try:
+            await asyncio.wait_for(self._queue.join(), timeout=5.0)
+        except asyncio.TimeoutError:  # pragma: no cover - defensive
+            pass
 
     def abort(self) -> None:
         if not self.closed:
             self.closed = True
+            if self._writer_task is not None:
+                self._writer_task.cancel()
+            # release any drain() waiters: the unsent tail is gone anyway
+            while True:
+                try:
+                    self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                self._queue.task_done()
             transport = self.writer.transport
             if transport is not None:
                 transport.abort()
@@ -386,6 +460,10 @@ class Coordinator:
         self._dispatch_offset = 0  # rotates the first node across dispatches
         self._pending: list[int] = []  # job ids waiting for a first node
         self._clients: set[_Conn] = set()
+        #: protocol v7: attached hot standbys tailing the journal stream
+        self._replicas: set[_Conn] = set()
+        #: highest job id ever issued (snapshot checkpoint high-water mark)
+        self._max_job_id = -1
         #: client_key -> job_id of the still-running job with that key
         self._client_keys: dict[str, int] = {}
         #: client_key -> finished NetJobResult, for idempotent resubmission
@@ -423,6 +501,9 @@ class Coordinator:
             "migrations_relayed": 0,
             "migrations_lost": 0,
             "islands_lost": 0,
+            "frames_dropped": 0,
+            "replicas_joined": 0,
+            "replica_records_streamed": 0,
         }
 
     # ------------------------------------------------------------------
@@ -451,6 +532,7 @@ class Coordinator:
         entries, max_job_id = replay_journal(self.journal_path)
         if max_job_id >= 0:
             self._job_ids = itertools.count(max_job_id + 1)
+            self._max_job_id = max_job_id
         now = time.monotonic()
         for job_id in sorted(entries):
             entry = entries[job_id]
@@ -518,8 +600,11 @@ class Coordinator:
             node.conn.abort()
         for client in list(self._clients):
             client.abort()
+        for replica in list(self._replicas):
+            replica.abort()
         self._nodes.clear()
         self._clients.clear()
+        self._replicas.clear()
 
     async def crash(self) -> None:
         """Die abruptly: no cancels, no client answers, no journal fsync.
@@ -543,8 +628,11 @@ class Coordinator:
             node.conn.abort()
         for client in list(self._clients):
             client.abort()
+        for replica in list(self._replicas):
+            replica.abort()
         self._nodes.clear()
         self._clients.clear()
+        self._replicas.clear()
         self._jobs.clear()
         self._pending.clear()
         self._client_keys.clear()
@@ -569,7 +657,7 @@ class Coordinator:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        conn = _Conn(reader, writer)
+        conn = _Conn(reader, writer, on_drop=self._on_frame_dropped)
         try:
             hello = await read_message(reader)
         except NetError:
@@ -600,6 +688,7 @@ class Coordinator:
             )
             # graceful FIN, not abort(): an RST may discard the buffered
             # reject frame before the peer reads it
+            await conn.drain()
             conn.closed = True
             writer.close()
             return
@@ -608,8 +697,15 @@ class Coordinator:
             await self._run_node(conn, hello, peer_version)
         elif role == "client":
             await self._run_client(conn, hello, peer_version)
+        elif role == "replica":
+            await self._run_replica(conn, hello, peer_version)
         else:
             conn.abort()
+
+    def _on_frame_dropped(self, frame_type: str) -> None:
+        """Slow-consumer policy fired: account one discarded frame."""
+        self.counters["frames_dropped"] += 1
+        self.recorder.registry.counter("net.dropped_frames").inc()
 
     async def _run_node(
         self, conn: _Conn, hello: Message, protocol: int
@@ -709,8 +805,122 @@ class Coordinator:
             pass
         finally:
             self._clients.discard(conn)
-            conn.closed = True
+            conn.abort()
             await self._abandon_client_jobs(conn)
+
+    # ------------------------------------------------------------------
+    # replication (protocol v7 hot standby)
+    # ------------------------------------------------------------------
+    async def _run_replica(
+        self, conn: _Conn, hello: Message, protocol: int
+    ) -> None:
+        """Serve one hot standby: snapshot, then tail the journal stream.
+
+        The standby is a read-only peer — after the snapshot it only ever
+        receives ``replica_record`` and ``lease`` frames; anything it
+        sends (nothing, today) is ignored until EOF.
+        """
+        if protocol < 7:
+            await conn.send(
+                Message(
+                    "reject",
+                    {
+                        "protocol": PROTOCOL_VERSION,
+                        "min_protocol": 7,
+                        "error": (
+                            f"replica role needs protocol >= 7, "
+                            f"peer negotiated {protocol}"
+                        ),
+                    },
+                )
+            )
+            await conn.drain()
+            conn.closed = True
+            conn.writer.close()
+            return
+        await conn.send(
+            Message(
+                "welcome",
+                {"protocol": PROTOCOL_VERSION, "negotiated": protocol},
+            )
+        )
+        # register + snapshot with no await in between: a concurrent
+        # submit can only queue its tee record *behind* the snapshot frame
+        # (per-connection FIFO), so the standby never misses a record nor
+        # sees one that predates its snapshot
+        self._replicas.add(conn)
+        self.counters["replicas_joined"] += 1
+        snapshot = Message(
+            "replica_snapshot", {"records": self._snapshot_records()}
+        )
+        await conn.send(snapshot)
+        try:
+            while True:
+                message = await read_message(conn.reader)
+                if message is None:
+                    break
+        except (NetError, ConnectionError, OSError):
+            pass
+        finally:
+            self._replicas.discard(conn)
+            conn.abort()
+
+    def _snapshot_records(self) -> list[dict[str, Any]]:
+        """Journal-style records reconstructing every live job.
+
+        The same shape :func:`repro.net.journal.replay_journal` folds —
+        a checkpoint with the job-id high-water mark (a promoted standby
+        must never reuse an id a cached result may still reference), then
+        one ``submit`` per live job plus its ``generation`` when above 0.
+        Deadlines are re-based to the *remaining* budget so a standby
+        promoted later does not grant dead jobs a second life.
+        """
+        now = time.monotonic()
+        records: list[dict[str, Any]] = [checkpoint_record(self._max_job_id)]
+        for job_id in sorted(self._jobs):
+            job = self._jobs[job_id]
+            deadline = None
+            if job.deadline_at is not None:
+                deadline = max(0.0, job.deadline_at - now)
+            records.append(
+                submit_record(
+                    job_id,
+                    client_key=job.client_key,
+                    trace_id=job.trace_id,
+                    n_walkers=len(job.seeds),
+                    deadline=deadline,
+                    payload=pickle_blob(
+                        {
+                            "problem": job.problem,
+                            "config": job.config,
+                            "seeds": job.seeds,
+                        }
+                    ),
+                    priority=job.priority,
+                    coop=job.coop,
+                )
+            )
+            if job.generation:
+                records.append(generation_record(job_id, job.generation))
+        return records
+
+    async def _replicate(self, record: dict[str, Any]) -> None:
+        """Tee one journal record to every attached hot standby.
+
+        ``replica_record`` frames are job frames — never dropped by the
+        slow-consumer policy; a wedged standby backpressures the leader's
+        own task instead of ballooning its memory.  Streams regardless of
+        whether the leader keeps a journal file of its own.
+        """
+        if not self._replicas:
+            return
+        message = Message("replica_record", {"record": record})
+        for replica in list(self._replicas):
+            if replica.closed:
+                self._replicas.discard(replica)
+                continue
+            await replica.send(message)
+            self.counters["replica_records_streamed"] += 1
 
     # ------------------------------------------------------------------
     # submission and dispatch
@@ -817,6 +1027,7 @@ class Coordinator:
             coop = coop_config.to_wire()
             self.counters["coop_jobs"] += 1
         job_id = next(self._job_ids)
+        self._max_job_id = max(self._max_job_id, job_id)
         job = _NetJob(
             job_id=job_id,
             request_id=request_id,
@@ -849,6 +1060,18 @@ class Coordinator:
                 priority=job.priority,
                 coop=coop,
             )
+        await self._replicate(
+            submit_record(
+                job_id,
+                client_key=client_key,
+                trace_id=job.trace_id,
+                n_walkers=len(seeds),
+                deadline=deadline,
+                payload=message.blob or b"",
+                priority=job.priority,
+                coop=coop,
+            )
+        )
         self.counters["jobs_submitted"] += 1
         if self.recorder.enabled:
             self.recorder.emit(
@@ -1348,6 +1571,7 @@ class Coordinator:
             # journal the terminal state *before* the client hears it
             # (recovery invariant 4)
             self._journal.log_finish(job.job_id, status.value)
+        await self._replicate(finish_record(job.job_id, status.value))
         if job.client_key:
             self._client_keys.pop(job.client_key, None)
         self.counters["jobs_completed"] += 1
@@ -1454,9 +1678,38 @@ class Coordinator:
                 if now - node.last_heartbeat > self.heartbeat_timeout:
                     node.conn.abort()
                     await self._node_lost(node, "heartbeat timeout")
+            await self._broadcast_lease(now)
             await self._check_deadlines(now)
             if self.hedge_factor is not None or self.hedge_quantile is not None:
                 await self._check_stragglers(now)
+
+    async def _broadcast_lease(self, now: float) -> None:
+        """Renew the leader lease on every attached standby (v7).
+
+        Rides the heartbeat watchdog tick, so a leader whose event loop
+        wedges stops renewing exactly like one whose process died — both
+        trip the standby's ``lease_timeout``.  Lease frames are droppable
+        under the slow-consumer policy: a standby too stalled to drain
+        them *should* be treated as gone.
+
+        v7 node agents get the same frames: their connections can outlive
+        a dead leader (forked workers keep the socket's fd open, so no FIN
+        is ever delivered), and lease silence is what triggers re-homing.
+        """
+        lease = Message(
+            "lease",
+            {
+                "sent_at": now,
+                "jobs_active": len(self._jobs),
+                "jobs_pending": len(self._pending),
+            },
+        )
+        for replica in list(self._replicas):
+            if not replica.closed:
+                await replica.send(lease)
+        for node in list(self._nodes.values()):
+            if node.protocol >= 7 and not node.lost and not node.conn.closed:
+                await node.conn.send(lease)
 
     async def _check_deadlines(self, now: float) -> None:
         """Expire overdue jobs with best-so-far results (degradation)."""
@@ -1651,7 +1904,7 @@ class Coordinator:
         if node.lost:
             return
         node.lost = True
-        node.conn.closed = True
+        node.conn.abort()
         self._nodes.pop(node.node_id, None)
         self.counters["nodes_lost"] += 1
         orphaned = node.assigned
@@ -1707,6 +1960,7 @@ class Coordinator:
         self.counters["redispatches"] += 1
         if self._journal is not None:
             self._journal.log_generation(job.job_id, job.generation)
+        await self._replicate(generation_record(job.job_id, job.generation))
         await self._dispatch(job, walk_ids, live)
 
     # ------------------------------------------------------------------
@@ -1730,6 +1984,9 @@ class Coordinator:
                     "jobs_active": len(self._jobs),
                     "jobs_pending": len(self._pending),
                     "nodes_connected": len(self._live_nodes()),
+                    "replicas_connected": sum(
+                        1 for r in self._replicas if not r.closed
+                    ),
                     "cancel_latency": cancel_latency,
                 },
                 "nodes": [

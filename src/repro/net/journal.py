@@ -55,7 +55,65 @@ from typing import Any, Optional
 
 from repro.errors import NetError
 
-__all__ = ["JobJournal", "replay_journal", "decode_payload"]
+__all__ = [
+    "JobJournal",
+    "replay_journal",
+    "decode_payload",
+    "submit_record",
+    "generation_record",
+    "finish_record",
+    "checkpoint_record",
+]
+
+
+# ----------------------------------------------------------------------
+# record builders
+#
+# The journal file and the protocol v7 replication stream carry the exact
+# same records; these helpers are the single source of truth for their
+# shape, used by :class:`JobJournal` when appending locally and by the
+# coordinator when teeing each append to attached hot standbys.
+# ----------------------------------------------------------------------
+def submit_record(
+    job_id: int,
+    *,
+    client_key: str,
+    trace_id: str,
+    n_walkers: int,
+    deadline: float | None,
+    payload: bytes,
+    priority: int = 0,
+    coop: dict | None = None,
+) -> dict[str, Any]:
+    """The journal record of one accepted job."""
+    record: dict[str, Any] = {
+        "kind": "submit",
+        "job_id": job_id,
+        "client_key": client_key,
+        "trace_id": trace_id,
+        "n_walkers": n_walkers,
+        "deadline": deadline,
+        "priority": priority,
+        "payload": base64.b64encode(payload).decode("ascii"),
+    }
+    if coop is not None:
+        # protocol v6: a recovered cooperative job must come back as a
+        # cooperative job, so the wire dict is journaled verbatim
+        record["coop"] = coop
+    return record
+
+
+def generation_record(job_id: int, generation: int) -> dict[str, Any]:
+    return {"kind": "generation", "job_id": job_id, "generation": generation}
+
+
+def finish_record(job_id: int, status: str) -> dict[str, Any]:
+    return {"kind": "finish", "job_id": job_id, "status": status}
+
+
+def checkpoint_record(max_job_id: int) -> dict[str, Any]:
+    """Job-id high-water mark (written by compaction and snapshots)."""
+    return {"kind": "checkpoint", "job_id": max_job_id}
 
 
 class JobJournal:
@@ -91,6 +149,15 @@ class JobJournal:
             os.fsync(self._file.fileno())
             self._since_fsync = 0
 
+    def append_record(self, record: dict[str, Any]) -> None:
+        """Append one pre-built record (the v7 replication-tail path).
+
+        A hot standby writes exactly what the leader streamed; ``submit``
+        records keep their durable-fsync contract so a promoted standby's
+        journal is as crash-safe as the leader's was.
+        """
+        self._append(record, durable=record.get("kind") == "submit")
+
     def log_submit(
         self,
         job_id: int,
@@ -104,33 +171,25 @@ class JobJournal:
         coop: dict | None = None,
     ) -> None:
         """Journal an accepted job (durable: fsync before dispatch)."""
-        record = {
-            "kind": "submit",
-            "job_id": job_id,
-            "client_key": client_key,
-            "trace_id": trace_id,
-            "n_walkers": n_walkers,
-            "deadline": deadline,
-            "priority": priority,
-            "payload": base64.b64encode(payload).decode("ascii"),
-        }
-        if coop is not None:
-            # protocol v6: a recovered cooperative job must come back as a
-            # cooperative job, so the wire dict is journaled verbatim
-            record["coop"] = coop
-        self._append(record, durable=True)
+        self._append(
+            submit_record(
+                job_id,
+                client_key=client_key,
+                trace_id=trace_id,
+                n_walkers=n_walkers,
+                deadline=deadline,
+                payload=payload,
+                priority=priority,
+                coop=coop,
+            ),
+            durable=True,
+        )
 
     def log_generation(self, job_id: int, generation: int) -> None:
-        self._append(
-            {"kind": "generation", "job_id": job_id, "generation": generation},
-            durable=False,
-        )
+        self._append(generation_record(job_id, generation), durable=False)
 
     def log_finish(self, job_id: int, status: str) -> None:
-        self._append(
-            {"kind": "finish", "job_id": job_id, "status": status},
-            durable=False,
-        )
+        self._append(finish_record(job_id, status), durable=False)
         # a finish is the checkpoint that turns earlier records into
         # garbage, so it is the natural moment to check the size trigger
         if (
@@ -159,10 +218,7 @@ class JobJournal:
             # job finished, so a recovered coordinator never reuses an id
             # that a cached result or a stale report may still reference
             tmp.write(
-                json.dumps(
-                    {"kind": "checkpoint", "job_id": max_job_id},
-                    separators=(",", ":"),
-                )
+                json.dumps(checkpoint_record(max_job_id), separators=(",", ":"))
                 + "\n"
             )
             for job_id in sorted(entries):

@@ -30,8 +30,9 @@ network), exactly like the paper's MPI ranks.
 Handshake
 ---------
 The first frame on any connection must be ``hello`` carrying ``role``
-(``"node"`` or ``"client"``) and ``protocol``; the coordinator answers
-``welcome`` (echoing its own version plus the ``negotiated`` one) or
+(``"node"``, ``"client"``, or — since v7 — ``"replica"``) and
+``protocol``; the coordinator answers ``welcome`` (echoing its own
+version plus the ``negotiated`` one) or
 ``reject`` + close.  Since v6 the coordinator accepts any peer version in
 ``[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]`` and remembers the negotiated
 version per connection: a v5 agent keeps running independent multi-walk
@@ -82,6 +83,25 @@ Version history
   and migration-loss counters into the job result.  Handshakes negotiate
   down: the coordinator accepts v5 peers (see *Handshake* above) but
   refuses coop jobs while any live node speaks < 6.
+- **7** — high availability: ``hello`` may carry role ``"replica"`` (a
+  hot-standby coordinator; requires protocol >= 7 on both sides).  The
+  leader answers ``welcome``, then one ``replica_snapshot`` frame (the
+  journal-style records of every live job, so a late-attaching standby
+  starts from the leader's current truth) and streams one
+  ``replica_record`` frame per subsequent journal append (submit /
+  generation / finish, carrying priority and coop metadata verbatim) —
+  the write-ahead journal, tailed over the wire, framed and CRC'd like
+  everything else.  The leader also broadcasts periodic ``lease`` frames
+  from its heartbeat watchdog — to standbys *and* to v7 node agents
+  (whose connections can outlive a dead leader without ever seeing an
+  EOF, e.g. when forked workers still hold the socket's fd; lease
+  silence is their re-homing trigger).  A standby whose lease goes
+  silent past its
+  ``lease_timeout`` (or whose connection drops) promotes itself: it
+  replays its mirrored journal through the ordinary recovery path, bumps
+  every generation, and re-dispatches in-flight walks under the existing
+  exactly-one-winner ``client_key`` dedup.  Node/client handshakes still
+  negotiate down to v5 exactly as before.
 """
 
 from __future__ import annotations
@@ -114,7 +134,7 @@ __all__ = [
     "unpickle_blob",
 ]
 
-PROTOCOL_VERSION = 6
+PROTOCOL_VERSION = 7
 
 #: oldest peer version the coordinator still accepts (negotiate-down
 #: window): v5 nodes run independent multi-walk slices fine; only the v6

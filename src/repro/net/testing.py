@@ -23,6 +23,7 @@ from repro.errors import NetError
 from repro.net.agent import NodeAgent
 from repro.net.client import ClusterClient
 from repro.net.coordinator import Coordinator
+from repro.net.replica import StandbyCoordinator
 from repro.telemetry.recorder import Recorder
 from repro.telemetry.sinks import JsonlSink
 
@@ -65,6 +66,14 @@ class LocalCluster:
         :class:`~repro.net.coordinator.Coordinator`); the predictor also
         survives :meth:`restart_coordinator`, modelling a warm model
         store across a coordinator crash.
+    standby / lease_timeout:
+        with ``standby=True`` a hot-standby coordinator (protocol v7) is
+        attached before any agent joins; every agent and every
+        :meth:`client` automatically receives the ordered
+        ``[leader, standby]`` address list with ``reconnect=True``, so
+        :meth:`kill_coordinator` followed by :meth:`promote_standby` (or
+        just the standby's own lease watchdog) exercises the full
+        failover path with nothing mocked.
     """
 
     def __init__(
@@ -87,6 +96,8 @@ class LocalCluster:
         min_hedge_delay: float = 0.25,
         predictor: Any = None,
         hedge_quantile: float | None = None,
+        standby: bool = False,
+        lease_timeout: float = 2.0,
     ) -> None:
         if n_nodes < 0:
             # 0 is allowed: submit-before-any-node tests add agents later
@@ -108,8 +119,11 @@ class LocalCluster:
         self.min_hedge_delay = min_hedge_delay
         self.predictor = predictor
         self.hedge_quantile = hedge_quantile
+        self.with_standby = standby
+        self.lease_timeout = lease_timeout
 
         self.coordinator: Coordinator | None = None
+        self.standby: StandbyCoordinator | None = None
         self.agents: list[NodeAgent] = []
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
@@ -146,6 +160,9 @@ class LocalCluster:
         self._thread.start()
         self.coordinator = self._make_coordinator(port=0)
         self._run(self.coordinator.start(), timeout)
+        if self.with_standby:
+            # before any agent joins, so every agent gets both addresses
+            self.add_standby(timeout=timeout)
         for _ in range(self.n_nodes):
             self.add_agent(timeout=timeout)
         return self
@@ -167,6 +184,61 @@ class LocalCluster:
             recorder=self._recorder("coordinator"),
         )
 
+    def add_standby(self, timeout: float = 60.0) -> StandbyCoordinator:
+        """Attach a hot standby mirroring the running coordinator.
+
+        The standby inherits the cluster's coordinator policy (heartbeat,
+        redispatch, hedging, predictor) so the promoted coordinator
+        behaves exactly like the one it replaces.  Its mirrored journal
+        lives next to the leader's (or in a private tempdir when the
+        cluster runs journal-less)."""
+        assert self.coordinator is not None, "cluster is not started"
+        standby_journal = None
+        if self.journal is not None:
+            standby_journal = self.journal.parent / (
+                self.journal.stem + "-standby" + self.journal.suffix
+            )
+        self.standby = StandbyCoordinator(
+            self.address,
+            journal_path=standby_journal,
+            lease_timeout=self.lease_timeout,
+            recorder=self._recorder("standby"),
+            coordinator_kwargs=dict(
+                heartbeat_timeout=self.heartbeat_timeout,
+                check_interval=min(0.1, self.heartbeat_timeout / 4),
+                max_redispatch=self.max_redispatch,
+                journal_max_bytes=self.journal_max_bytes,
+                hedge_factor=self.hedge_factor,
+                max_hedges=self.max_hedges,
+                min_hedge_delay=self.min_hedge_delay,
+                predictor=self.predictor,
+                hedge_quantile=self.hedge_quantile,
+                chaos=self.chaos,
+            ),
+        )
+        self._run(self.standby.start(), timeout)
+        return self.standby
+
+    def promote_standby(self, timeout: float = 60.0) -> Coordinator:
+        """Wait for the standby to take over and re-point the cluster.
+
+        The standby promotes *itself* (lease silence or connection loss
+        after :meth:`kill_coordinator`); this just blocks until the
+        promoted coordinator is serving and makes it the cluster's
+        coordinator so ``address`` / assertions track the new leader."""
+        assert self.standby is not None, "cluster has no standby"
+        self._run(self.standby.wait_promoted(timeout), timeout + 5.0)
+        assert self.standby.coordinator is not None
+        self.coordinator = self.standby.coordinator
+        return self.coordinator
+
+    def _endpoints(self) -> list[tuple[str, int]]:
+        """Ordered coordinator address list: leader first, then standby."""
+        addresses = [self.address]
+        if self.standby is not None:
+            addresses.append(self.standby.address)
+        return addresses
+
     def stop(self, timeout: float = 60.0) -> None:
         """Tear everything down (idempotent); joins the loop thread."""
         if self._loop is None:
@@ -180,9 +252,16 @@ class LocalCluster:
             except NetError:  # pragma: no cover - already dead
                 pass
         self.agents.clear()
-        if self.coordinator is not None:
+        if self.standby is not None:
+            # stops the promoted coordinator too, if the takeover happened
+            self._run(self.standby.stop(), timeout)
+        if self.coordinator is not None and (
+            self.standby is None
+            or self.coordinator is not self.standby.coordinator
+        ):
             self._run(self.coordinator.stop(), timeout)
-            self.coordinator = None
+        self.coordinator = None
+        self.standby = None
         for recorder in self._recorders:
             recorder.close()
         self._recorders.clear()
@@ -213,8 +292,10 @@ class LocalCluster:
         Keyword arguments (e.g. ``reconnect=True``) are forwarded to
         :class:`ClusterClient`."""
         recorder = self._recorder(f"client-{len(self._clients)}")
+        if self.standby is not None:
+            kwargs.setdefault("reconnect", True)
         client = ClusterClient(
-            self.address, recorder=recorder, **kwargs
+            self._endpoints(), recorder=recorder, **kwargs
         ).connect()
         self._clients.append(client)
         return client
@@ -224,12 +305,14 @@ class LocalCluster:
     ) -> NodeAgent:
         """Boot one more node agent and join it to the running cluster
         (elastic growth — also how submit-before-any-node tests resolve)."""
-        host, port = self.address
         agent_name = name or f"node-{len(self.agents)}"
         agent = NodeAgent(
-            host,
-            port,
+            self._endpoints(),
             n_workers=self.workers_per_node,
+            reconnect=self.standby is not None,
+            lease_timeout=(
+                self.lease_timeout if self.standby is not None else None
+            ),
             name=agent_name,
             heartbeat_interval=self.heartbeat_interval,
             poll_every=self.poll_every,

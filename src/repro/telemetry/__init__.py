@@ -30,6 +30,8 @@ from repro.telemetry.events import (
     CancelAck,
     CancelBroadcast,
     EVENT_KINDS,
+    FailoverBegin,
+    FailoverComplete,
     FaultInjected,
     FirstSolve,
     HedgeDispatch,
@@ -85,6 +87,7 @@ __all__ = [
     "WalkStart", "WalkFinish", "IterationMilestone", "RestartEvent",
     "ResetEvent", "AssignEvent", "CancelBroadcast", "CancelAck",
     "FirstSolve", "HedgeDispatch", "FaultInjected", "Span",
+    "FailoverBegin", "FailoverComplete",
     "TraceContext", "EVENT_KINDS",
     "new_trace_id", "new_span_id", "event_to_record", "event_from_record",
     # metrics

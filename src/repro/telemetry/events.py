@@ -55,6 +55,8 @@ __all__ = [
     "EliteAdopt",
     "Migration",
     "FaultInjected",
+    "FailoverBegin",
+    "FailoverComplete",
     "Span",
     "TraceContext",
     "EVENT_KINDS",
@@ -309,6 +311,32 @@ class FaultInjected(TelemetryEvent):
 
 
 @dataclass(frozen=True, kw_only=True)
+class FailoverBegin(TelemetryEvent):
+    """A hot standby detected leader failure and began its takeover
+    (protocol v7): the leader it was tailing, its own serving address,
+    and why it fired (``"lease-timeout"`` or ``"connection-lost"``)."""
+
+    kind = "failover_begin"
+
+    leader: str = ""
+    standby: str = ""
+    reason: str = ""
+
+
+@dataclass(frozen=True, kw_only=True)
+class FailoverComplete(TelemetryEvent):
+    """The standby finished its takeover: mirrored journal replayed,
+    generations bumped, and the promoted coordinator is serving.
+    ``elapsed`` is detection-to-serving seconds."""
+
+    kind = "failover_complete"
+
+    standby: str = ""
+    jobs_recovered: int = 0
+    elapsed: float = 0.0
+
+
+@dataclass(frozen=True, kw_only=True)
 class Span(TelemetryEvent):
     """A named duration; ``ts`` is the epoch start time."""
 
@@ -328,7 +356,8 @@ EVENT_KINDS: dict[str, Type[TelemetryEvent]] = {
         JobSubmit, JobDispatch, JobFinish, WalkStart, WalkFinish,
         IterationMilestone, RestartEvent, ResetEvent, AssignEvent,
         CancelBroadcast, CancelAck, FirstSolve, HedgeDispatch,
-        EliteReport, EliteAdopt, Migration, FaultInjected, Span,
+        EliteReport, EliteAdopt, Migration, FaultInjected,
+        FailoverBegin, FailoverComplete, Span,
     )
 }
 

@@ -96,6 +96,7 @@ class TraceSummary:
     elite_reports: list[dict[str, Any]] = field(default_factory=list)
     elite_adopts: list[dict[str, Any]] = field(default_factory=list)
     migrations: list[dict[str, Any]] = field(default_factory=list)
+    failovers: list[dict[str, Any]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -229,6 +230,8 @@ def analyze_trace(
             summary.elite_adopts.append(record)
         elif kind == "migration":
             summary.migrations.append(record)
+        elif kind in ("failover_begin", "failover_complete"):
+            summary.failovers.append(record)
         elif kind == "fault":
             summary.faults.append(record)
         elif kind == "span":
@@ -356,6 +359,18 @@ def _describe(record: dict[str, Any]) -> str:
             f"{record.get('to_island')} "
             f"cost={record.get('cost')} digest={record.get('digest')}"
         )
+    if kind == "failover_begin":
+        return (
+            f"failover_begin leader={record.get('leader')} "
+            f"standby={record.get('standby')} "
+            f"reason={record.get('reason')}"
+        )
+    if kind == "failover_complete":
+        return (
+            f"failover_complete standby={record.get('standby')} "
+            f"jobs_recovered={record.get('jobs_recovered')} "
+            f"took {_ms(record.get('elapsed', 0.0))}"
+        )
     if kind == "fault":
         detail = record.get("detail") or ""
         return (
@@ -465,6 +480,27 @@ def render_report(summary: TraceSummary) -> str:
                 f"cost {migration.get('cost')}  "
                 f"digest {migration.get('digest')}"
             )
+    if summary.failovers:
+        lines.append("")
+        completes = [
+            f for f in summary.failovers if f.get("event") == "failover_complete"
+        ]
+        lines.append(
+            f"coordinator failover ({len(completes)} takeover(s))"
+        )
+        for record in summary.failovers:
+            if record.get("event") == "failover_begin":
+                lines.append(
+                    f"  leader {record.get('leader')} lost "
+                    f"({record.get('reason')}), standby "
+                    f"{record.get('standby')} taking over"
+                )
+            else:
+                lines.append(
+                    f"  promoted {record.get('standby')} in "
+                    f"{_ms(record.get('elapsed', 0.0))}, "
+                    f"{record.get('jobs_recovered')} job(s) recovered"
+                )
     if summary.faults:
         lines.append("")
         lines.append(

@@ -1,10 +1,16 @@
-"""Admission control (priority shedding) and walker-count planning."""
+"""Admission control (priority shedding), walker planning, circuit breaking."""
+
+import time
 
 import numpy as np
 import pytest
 
 from repro.errors import GatewayError
-from repro.gateway.admission import AdmissionController, WalkerPlanner
+from repro.gateway.admission import (
+    AdmissionController,
+    CircuitBreaker,
+    WalkerPlanner,
+)
 
 
 class TestAdmissionController:
@@ -117,3 +123,65 @@ class TestWalkerPlanner:
             WalkerPlanner(default_walkers=10, max_walkers=4)
         with pytest.raises(GatewayError):
             WalkerPlanner(min_efficiency=0.0)
+
+
+class TestCircuitBreaker:
+    def test_closed_by_default_and_allows(self):
+        breaker = CircuitBreaker()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        assert breaker.rejections == 0
+
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=60.0)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+        assert not breaker.allow()
+        assert breaker.rejections == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=60.0)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_single_probe_then_close(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=0.05)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        time.sleep(0.06)
+        assert breaker.allow()  # the probe
+        assert breaker.state == "half_open"
+        # a second request while the probe is in flight is refused
+        assert not breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=0.05)
+        breaker.record_failure()
+        time.sleep(0.06)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        assert not breaker.allow()
+
+    def test_retry_after_tracks_the_open_window(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=30.0)
+        assert breaker.retry_after == 1.0  # closed: nominal hint
+        breaker.record_failure()
+        assert 1.0 <= breaker.retry_after <= 30.0
+        assert breaker.retry_after > 25.0  # just opened: nearly full window
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(GatewayError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(GatewayError):
+            CircuitBreaker(reset_timeout=0.0)

@@ -14,6 +14,8 @@ from repro.telemetry.events import (
     CancelBroadcast,
     EliteAdopt,
     EliteReport,
+    FailoverBegin,
+    FailoverComplete,
     FaultInjected,
     FirstSolve,
     HedgeDispatch,
@@ -66,6 +68,10 @@ SAMPLE_EVENTS = [
                iteration=4096, cost_before=9.0, cost_elite=3.0),
     Migration(ts=2.194, trace_id="t1", job_id=3, round_index=2,
               from_island=0, to_island=1, cost=3.0, digest="ab12cd34ef56"),
+    FailoverBegin(ts=2.196, trace_id="t1", leader="127.0.0.1:7710",
+                  standby="127.0.0.1:7711", reason="lease-timeout"),
+    FailoverComplete(ts=2.198, trace_id="t1", standby="127.0.0.1:7711",
+                     jobs_recovered=2, elapsed=0.4),
     Span(ts=2.2, trace_id="t1", name="job.total", duration=0.7,
          span_id="abc", parent_id="def", attrs={"status": "solved"}),
 ]

@@ -329,9 +329,13 @@ class TestNetParser:
         assert args.name == "n0"
         assert args.heartbeat_interval == 0.5
 
-    def test_submit_requires_connect(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["submit", "queens"])
+    def test_submit_requires_connect(self, capsys):
+        # --connect is optional at parse time (--coordinators is the HA
+        # alternative); cmd_submit rejects a submission with neither
+        args = build_parser().parse_args(["submit", "queens"])
+        assert args.connect is None
+        assert main(["submit", "queens"]) == 2
+        assert "--coordinators" in capsys.readouterr().err
 
     def test_submit_flags(self):
         args = build_parser().parse_args(
@@ -403,4 +407,4 @@ class TestSubmitCommand:
         err = capsys.readouterr().err
         assert code == 2
         assert "error:" in err
-        assert "cannot reach coordinator" in err
+        assert "no reachable coordinator" in err
